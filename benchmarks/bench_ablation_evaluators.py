@@ -1,0 +1,80 @@
+"""Ablation: what each tracking heuristic contributes.
+
+Not a paper table — an ablation of the design choices DESIGN.md calls
+out.  The paper argues (section 3) that the evaluators "have to
+cooperate to complement the correspondences that a given one might fail
+to discern"; this bench quantifies that claim by re-running three
+representative case studies with evaluators disabled:
+
+- **displacement only** — raw reciprocal nearest-neighbour matching;
+- **+ call stack** — adds the pruning/rescue heuristic;
+- **full** — call stack + SPMD widening + sequence refinement.
+
+Expected shape: the full combination dominates every ablation, the
+call-stack evaluator is what rescues the long-jump study (NAS BT), and
+the easy short-displacement study (HydroC) is insensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import get_case_study
+from repro.analysis.report import format_table
+from repro.tracking.tracker import Tracker, TrackerConfig
+
+ABLATIONS = (
+    ("displacement only", dict(use_callstack=False, use_spmd=False, use_sequence=False)),
+    ("+ call stack", dict(use_callstack=True, use_spmd=False, use_sequence=False)),
+    ("full combination", dict(use_callstack=True, use_spmd=True, use_sequence=True)),
+)
+
+STUDIES = ("NAS BT", "CGPOP", "HydroC")
+
+
+def _coverage_grid(case_results):
+    grid: dict[str, dict[str, int]] = {}
+    for study_name in STUDIES:
+        study_result = case_results[study_name]
+        frames = list(study_result.result.frames)
+        base_config = TrackerConfig(
+            log_extensive=frames[0].settings.log_y,
+        )
+        grid[study_name] = {}
+        for label, switches in ABLATIONS:
+            config = replace(base_config, **switches)
+            result = Tracker(frames, config).run()
+            grid[study_name][label] = result.coverage
+    return grid
+
+
+def test_ablation_evaluators(benchmark, case_results, output_dir):
+    grid = run_once(benchmark, lambda: _coverage_grid(case_results))
+
+    rows = [
+        [study] + [grid[study][label] for label, _ in ABLATIONS]
+        for study in STUDIES
+    ]
+    text = format_table(
+        ["Study", *(label for label, _ in ABLATIONS)],
+        rows,
+        title="Evaluator ablation: tracking coverage (%)",
+    )
+    print("\n" + text)
+    (output_dir / "ablation_evaluators.txt").write_text(text + "\n")
+
+    for study in STUDIES:
+        coverages = [grid[study][label] for label, _ in ABLATIONS]
+        # Adding evaluators never hurts, and the full combination wins.
+        assert coverages[-1] == max(coverages)
+        assert coverages[1] >= coverages[0]
+
+    # NAS BT's two-orders-of-magnitude jumps defeat pure displacement;
+    # the call-stack evaluator rescues them (the paper's motivation for
+    # combining heuristics).
+    assert grid["NAS BT"]["displacement only"] < 50
+    assert grid["NAS BT"]["+ call stack"] == 100
+
+    # The short-displacement HydroC study is easy for everyone.
+    assert grid["HydroC"]["displacement only"] == 100

@@ -1,0 +1,85 @@
+"""Ablation: sensitivity to the clustering and outlier parameters.
+
+Quantifies two more design choices:
+
+- **DBSCAN eps** — the frame-construction radius.  Too small fragments
+  regions (coverage collapses because spurious objects appear); too
+  large fuses them (fewer identifiable objects).  The default (0.03 of
+  the normalised box) sits on a broad plateau.
+- **Outlier threshold** — the displacement evaluator's 5 % cut (paper
+  section 3).  The WRF study must be insensitive across a wide band:
+  the cut only exists to drop classification noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.analysis.report import format_table
+from repro.apps import hydroc
+from repro.clustering.frames import FrameSettings, make_frames
+from repro.tracking.tracker import Tracker, TrackerConfig
+
+EPS_VALUES = (0.01, 0.02, 0.03, 0.05, 0.08)
+OUTLIER_VALUES = (0.0, 0.02, 0.05, 0.10, 0.20)
+
+
+def test_ablation_eps(benchmark, output_dir):
+    traces = [
+        hydroc.build(block_size=b, ranks=16, iterations=6).run(seed=BENCH_SEED + i)
+        for i, b in enumerate((32, 64, 128))
+    ]
+
+    def sweep():
+        rows = []
+        for eps in EPS_VALUES:
+            frames = make_frames(traces, FrameSettings(eps=eps))
+            result = Tracker(frames).run()
+            rows.append(
+                (eps, [f.n_clusters for f in frames], result.coverage)
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = format_table(
+        ["eps", "clusters per frame", "coverage %"],
+        [[eps, str(counts), cov] for eps, counts, cov in rows],
+        title="DBSCAN eps sensitivity (HydroC, 3 frames)",
+    )
+    print("\n" + text)
+    (output_dir / "ablation_eps.txt").write_text(text + "\n")
+
+    by_eps = {eps: (counts, cov) for eps, counts, cov in rows}
+    # The default value resolves the bimodal structure perfectly.
+    assert by_eps[0.03][0] == [2, 2, 2]
+    assert by_eps[0.03][1] == 100
+    # The plateau above the default is broad.
+    assert by_eps[0.05][1] == 100
+    assert by_eps[0.08][1] == 100
+    # Too small a radius fragments the regions and coverage collapses.
+    assert max(by_eps[0.01][0]) > 2
+    assert by_eps[0.01][1] < 100
+
+
+def test_ablation_outlier_threshold(benchmark, wrf_frames, output_dir):
+    def sweep():
+        rows = []
+        for threshold in OUTLIER_VALUES:
+            config = TrackerConfig(outlier_threshold=threshold)
+            result = Tracker(list(wrf_frames), config).run()
+            rows.append((threshold, len(result.tracked_regions), result.coverage))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = format_table(
+        ["outlier threshold", "tracked regions", "coverage %"],
+        [list(row) for row in rows],
+        title="Displacement outlier-threshold sensitivity (WRF)",
+    )
+    print("\n" + text)
+    (output_dir / "ablation_outlier.txt").write_text(text + "\n")
+
+    # The result is stable across the whole band around the paper's 5 %.
+    coverages = {threshold: cov for threshold, _, cov in rows}
+    assert coverages[0.02] == coverages[0.05] == coverages[0.10] == 100

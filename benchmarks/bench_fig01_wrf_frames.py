@@ -1,0 +1,62 @@
+"""Figure 1: structure of WRF computing bursts at 128 and 256 tasks.
+
+Regenerates the paper's Figures 1a-1c: the clustered performance-space
+frames of WRF at both task counts, and the scale-normalised view where
+the doubled run's clusters land back on the baseline's (Fig. 1c).
+
+Shape assertions:
+- twelve relevant clusters in both frames;
+- per-burst instructions roughly halve when tasks double (Fig. 1b);
+- after cross-frame scale normalisation, each tracked region's centroid
+  moves only slightly between the frames (Fig. 1c: "relative distances
+  are actually kept almost constant").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.clustering.frames import make_frames
+from repro.tracking.scaling import normalize_frames
+from repro.viz.ascii_plot import ascii_scatter
+from repro.viz.frames_plot import render_frame_svg
+
+
+def test_fig01_wrf_frames(benchmark, wrf_traces, wrf_settings, output_dir):
+    frames = run_once(benchmark, lambda: make_frames(wrf_traces, wrf_settings))
+
+    for frame in frames:
+        print()
+        print(
+            ascii_scatter(
+                frame.points,
+                frame.labels,
+                title=f"Figure 1: {frame.label} ({frame.n_clusters} clusters)",
+                x_label="IPC",
+                y_label="instructions",
+            )
+        )
+        render_frame_svg(frame, output_dir / f"fig01_{frame.trace.nranks}tasks.svg")
+
+    assert [frame.n_clusters for frame in frames] == [12, 12]
+
+    # Fig. 1b: doubling tasks halves per-burst instructions.
+    mean_instr = [frame.points[:, 1].mean() for frame in frames]
+    np.testing.assert_allclose(mean_instr[1], mean_instr[0] / 2, rtol=0.06)
+
+    # Fig. 1c: in the normalised space the structures coincide.
+    space = normalize_frames(frames)
+    shifts = []
+    for cid in frames[0].cluster_ids:
+        centroid_a = space.points[0][frames[0].labels == cid].mean(axis=0)
+        # Compare against the nearest centroid of frame B.
+        centroids_b = [
+            space.points[1][frames[1].labels == other].mean(axis=0)
+            for other in frames[1].cluster_ids
+        ]
+        distance = min(np.linalg.norm(centroid_a - cb) for cb in centroids_b)
+        shifts.append(distance)
+    print(f"\nnormalised nearest-centroid shifts: mean={np.mean(shifts):.4f} "
+          f"max={np.max(shifts):.4f} (unit box)")
+    assert np.mean(shifts) < 0.05

@@ -1,0 +1,50 @@
+"""Figure 3: correlations from the displacements evaluator for WRF.
+
+Regenerates the nearest-neighbour cross-classification matrix between
+the WRF-128 (rows) and WRF-256 (columns) frames: cell (i, j) is the
+percentage of cluster A_i's bursts whose nearest burst in the second
+frame belongs to B_j.
+
+Shape assertions:
+- most clusters classify overwhelmingly (>= 90 %) onto one counterpart,
+  as in the paper's matrix of mostly-100 % cells;
+- every row is fully explained (rows sum to ~1);
+- after the 5 % outlier filter, no row is empty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.tracking.evaluators.displacement import displacement_matrix
+from repro.tracking.scaling import normalize_frames
+
+
+def test_fig03_displacement_matrix(benchmark, wrf_frames, output_dir):
+    frame_a, frame_b = wrf_frames
+    space = normalize_frames(wrf_frames)
+
+    matrix = run_once(
+        benchmark,
+        lambda: displacement_matrix(
+            frame_a, frame_b, space.points[0], space.points[1]
+        ),
+    )
+
+    filtered = matrix.drop_below(0.05)
+    text = filtered.to_text(row_label="A", col_label="B")
+    print("\nFigure 3: displacement correlations WRF-128 (rows) x WRF-256 (cols)")
+    print(text)
+    (output_dir / "fig03_displacement_matrix.txt").write_text(text + "\n")
+
+    values = matrix.values
+    assert values.shape == (12, 12)
+    row_sums = values.sum(axis=1)
+    np.testing.assert_allclose(row_sums, 1.0, atol=1e-9)
+
+    dominant_rows = (values.max(axis=1) >= 0.90).sum()
+    assert dominant_rows >= 10  # the paper's matrix is mostly univocal
+
+    for cid in frame_a.cluster_ids:
+        assert filtered.best_match(cid) is not None

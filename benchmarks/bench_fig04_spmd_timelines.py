@@ -1,0 +1,61 @@
+"""Figure 4: SPMD computations in the WRF 128- and 256-task experiments.
+
+Regenerates the temporal view of the cluster sequence at the start of
+one iteration: all processes (rows) execute the same phases over time
+(columns), with mild divergence where behaviour is bimodal.
+
+Shape assertions:
+- the global per-rank sequence alignments of both frames are strongly
+  SPMD (score >= 0.9, near-lockstep phases);
+- both experiments share the same consensus phase pattern per iteration
+  (the paper: "the code phases and the order in which they get executed
+  are the same in both experiments").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.alignment.spmd import consensus_sequence, spmdiness_score
+from repro.tracking.evaluators.simultaneity import frame_alignment
+from repro.viz.timeline import ascii_timeline, render_timeline_svg
+
+
+def test_fig04_spmd_timelines(benchmark, wrf_frames, output_dir):
+    alignments = run_once(
+        benchmark, lambda: [frame_alignment(frame) for frame in wrf_frames]
+    )
+
+    for frame in wrf_frames:
+        iteration_span = frame.trace.makespan / 6  # six simulated iterations
+        print()
+        print(
+            ascii_timeline(
+                frame,
+                width=96,
+                max_ranks=16,
+                t_end=iteration_span,
+            )
+        )
+        render_timeline_svg(
+            frame,
+            output_dir / f"fig04_timeline_{frame.trace.nranks}tasks.svg",
+            t_end=iteration_span,
+        )
+
+    scores = [spmdiness_score(alignment) for alignment in alignments]
+    print(f"\nSPMDiness scores: {[round(s, 3) for s in scores]}")
+    assert all(score >= 0.9 for score in scores)
+
+    # One iteration of WRF visits its 12 phases in a fixed order; both
+    # experiments repeat the same per-iteration pattern.
+    consensus = [consensus_sequence(alignment) for alignment in alignments]
+    for sequence in consensus:
+        n_phases = len(np.unique(sequence))
+        assert n_phases == 12
+        period = sequence[:n_phases]
+        repeats = len(sequence) // n_phases
+        np.testing.assert_array_equal(
+            sequence[: repeats * n_phases], np.tile(period, repeats)
+        )

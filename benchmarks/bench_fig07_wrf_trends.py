@@ -1,0 +1,68 @@
+"""Figure 7: performance trends for the WRF code regions.
+
+Regenerates both panels:
+- 7a: IPC evolution from 128 to 256 tasks, filtered to regions varying
+  more than 3 % — the paper reports a ~20 % decline for two regions and
+  a ~5 % improvement for three;
+- 7b: total instructions per region — flat under strong scaling except
+  one region growing ~5 % (code replication).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.tracking.trends import compute_trends, top_variations
+from repro.viz.ascii_plot import ascii_trend
+from repro.viz.trend_plot import render_trends_svg
+
+
+def test_fig07a_ipc_trends(benchmark, wrf_result, output_dir):
+    series = run_once(benchmark, lambda: compute_trends(wrf_result, "ipc"))
+    shown = top_variations(series, min_variation=0.03)
+
+    print("\nFigure 7a: IPC evolution (regions varying > 3%)")
+    print(
+        ascii_trend(
+            [(f"r{s.region_id}", s.values) for s in shown],
+            x_labels=("128 tasks", "256 tasks"),
+        )
+    )
+    for s in shown:
+        print(f"  Region {s.region_id}: {s.values[0]:.3f} -> {s.values[1]:.3f} "
+              f"({100 * s.pct_change_total():+.1f}%)")
+    render_trends_svg(shown, output_dir / "fig07a_ipc.svg", title="WRF IPC 128->256")
+
+    changes = {s.region_id: s.pct_change_total() for s in series}
+    declining = [c for c in changes.values() if c < -0.15]
+    improving = [c for c in changes.values() if 0.02 < c < 0.09]
+    flat = [c for c in changes.values() if abs(c) <= 0.03]
+    # Paper: regions 11 and 12 lose ~20 %, regions 4, 6, 7 gain ~5 %.
+    assert len(declining) == 2
+    assert all(-0.25 < c < -0.15 for c in declining)
+    assert len(improving) == 3
+    assert len(flat) == 12 - 5
+
+
+def test_fig07b_instruction_totals(benchmark, wrf_result, output_dir):
+    series = run_once(
+        benchmark,
+        lambda: compute_trends(wrf_result, "instructions", aggregate="total"),
+    )
+
+    print("\nFigure 7b: total instructions per region")
+    for s in series:
+        print(f"  Region {s.region_id}: {s.values[0]:.4g} -> {s.values[1]:.4g} "
+              f"({100 * s.pct_change_total():+.1f}%)")
+    render_trends_svg(
+        series, output_dir / "fig07b_instructions.svg",
+        title="WRF total instructions 128->256",
+    )
+
+    changes = [s.pct_change_total() for s in series]
+    replicating = [c for c in changes if c > 0.03]
+    # Strong scaling keeps totals constant; one region replicates ~5 %.
+    assert len(replicating) == 1
+    assert 0.03 < replicating[0] < 0.08
+    assert sum(1 for c in changes if abs(c) <= 0.02) == 11

@@ -1,0 +1,60 @@
+"""Figure 9: the tracked NAS BT frames for classes W, A, B and C.
+
+Regenerates the output images of the problem-size study with all
+tracked regions renamed consistently.
+
+Shape assertions:
+- six clusters per frame, all six tracked at 100 % coverage;
+- per-burst instructions grow by roughly two orders of magnitude from
+  class W to class C (the paper's "large dynamic range");
+- class W exhibits much higher IPC variability than the later classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.tracking.relabel import relabel_frames
+from repro.viz.ascii_plot import ascii_scatter
+from repro.viz.frames_plot import render_sequence_svg
+
+
+def test_fig09_nasbt_frames(benchmark, case_results, output_dir):
+    study_result = run_once(benchmark, lambda: case_results["NAS BT"])
+    result = study_result.result
+
+    assert [frame.n_clusters for frame in result.frames] == [6, 6, 6, 6]
+    assert len(result.tracked_regions) == 6
+    assert result.coverage == 100
+
+    relabeled = relabel_frames(result)
+    for item in relabeled:
+        print()
+        print(
+            ascii_scatter(
+                item.frame.points,
+                item.labels,
+                title=f"Figure 9: {item.frame.label}",
+                x_label="IPC",
+                y_label="instructions",
+                height=12,
+            )
+        )
+    render_sequence_svg(relabeled, output_dir / "fig09_nasbt_tracked.svg")
+
+    # Two orders of magnitude in instructions from W to C.
+    mean_instr = [frame.points[:, 1].mean() for frame in result.frames]
+    assert mean_instr[-1] / mean_instr[0] > 100
+    assert all(b > a for a, b in zip(mean_instr, mean_instr[1:]))
+
+    # Class W's IPC variability dwarfs class C's (paper: "Class W also
+    # presents large variability in IPC").
+    def ipc_spread(frame):
+        spreads = []
+        for cid in frame.cluster_ids:
+            values = frame.points[frame.labels == cid, 0]
+            spreads.append(values.std() / values.mean())
+        return float(np.mean(spreads))
+
+    assert ipc_spread(result.frames[0]) > 2.5 * ipc_spread(result.frames[3])

@@ -1,0 +1,76 @@
+"""Figure 10: performance trends for the NAS BT code regions.
+
+Regenerates both panels of the problem-size study:
+- 10a: per-region IPC across classes W -> A -> B -> C, with two trend
+  families — a sharp 40-65 % loss from W to A that then stabilises
+  (four regions), and a continued decline that only stabilises at B
+  (two regions);
+- 10b: the L2 data-cache miss growth explaining the IPC losses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.tracking.trends import compute_trends
+from repro.viz.ascii_plot import ascii_trend
+from repro.viz.trend_plot import render_trends_svg
+
+CLASSES = ("W", "A", "B", "C")
+
+
+def test_fig10a_ipc_trends(benchmark, case_results, output_dir):
+    study_result = case_results["NAS BT"]
+    series = run_once(benchmark, lambda: compute_trends(study_result.result, "ipc"))
+
+    print("\nFigure 10a: NAS BT IPC per class")
+    print(ascii_trend([(f"r{s.region_id}", s.values) for s in series],
+                      x_labels=CLASSES))
+    sharp, gradual = [], []
+    for s in series:
+        steps = s.step_changes()
+        print(f"  Region {s.region_id}: "
+              + " ".join(f"{v:.3f}" for v in s.values)
+              + "  steps% " + " ".join(f"{100 * c:+.1f}" for c in steps))
+        w_to_a = steps[0]
+        a_to_b = steps[1]
+        b_to_c = steps[2]
+        # Every region must end stable (paper: all stabilise by B).
+        assert abs(b_to_c) < 0.05
+        if abs(a_to_b) < 0.05:
+            sharp.append((s.region_id, w_to_a))
+        else:
+            gradual.append((s.region_id, a_to_b))
+    render_trends_svg(series, output_dir / "fig10a_ipc.svg",
+                      title="NAS BT IPC per class")
+
+    # Paper: "for regions 1, 2, 4 and 5, a sharp loss ranging from 40%
+    # to 65% happens as soon as we move from Class W to A and then
+    # stabilizes, while for regions 3 and 6 the IPC keeps decreasing
+    # and does not stabilize until Class B."
+    assert len(sharp) == 4
+    assert all(-0.65 <= drop <= -0.40 for _, drop in sharp)
+    assert len(gradual) == 2
+    assert all(step < -0.2 for _, step in gradual)
+
+
+def test_fig10b_l2_misses(benchmark, case_results, output_dir):
+    study_result = case_results["NAS BT"]
+    series = run_once(
+        benchmark, lambda: compute_trends(study_result.result, "l2_mpki")
+    )
+
+    print("\nFigure 10b: NAS BT L2 misses per kilo-instruction")
+    for s in series:
+        print(f"  Region {s.region_id}: "
+              + " ".join(f"{v:.2f}" for v in s.values))
+    render_trends_svg(series, output_dir / "fig10b_l2.svg",
+                      title="NAS BT L2 MPKI per class")
+
+    # The IPC reduction is "related to an increase in L2 data cache
+    # misses": L2 MPKI grows monotonically and by an order of magnitude.
+    for s in series:
+        values = s.values
+        assert (np.diff(values) > -1e-6).all()
+        assert values[-1] > 5 * values[0]

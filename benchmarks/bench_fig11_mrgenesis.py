@@ -1,0 +1,85 @@
+"""Figure 11: the MR-Genesis multi-core resource-sharing study.
+
+Regenerates both panels:
+- 11a: IPC of the two main regions as 12 processes are packed onto
+  1..12 nodes' worth of cores — a slight downslope (< 1.5 % per step)
+  up to 2/3 node occupation, a sharp ~8.5 % drop when the node goes
+  over the memory-bandwidth knee, totalling ~17.5 %;
+- 11b: all metrics of Region 1 normalised to their maxima — L2 misses
+  grow inversely to IPC and TLB misses climb with occupation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.tracking.trends import compute_trends, normalized_to_max
+from repro.viz.ascii_plot import ascii_trend
+from repro.viz.trend_plot import render_trends_svg
+
+
+def test_fig11a_ipc_progression(benchmark, case_results, output_dir):
+    study_result = case_results["MR-Genesis"]
+    result = study_result.result
+    assert result.coverage == 100
+    assert len(result.tracked_regions) == 2
+
+    series = run_once(benchmark, lambda: compute_trends(result, "ipc"))
+
+    print("\nFigure 11a: MR-Genesis IPC vs processes per node")
+    print(ascii_trend(
+        [(f"r{s.region_id}", s.values) for s in series],
+        x_labels=tuple(str(k) for k in range(1, 13)),
+    ))
+    render_trends_svg(series, output_dir / "fig11a_ipc.svg",
+                      title="MR-Genesis IPC vs node occupation")
+
+    for s in series:
+        steps = s.step_changes()
+        print(f"  Region {s.region_id} steps%: "
+              + " ".join(f"{100 * c:+.2f}" for c in steps))
+        # Up to 8 tasks/node: slight downslope under 1.5 % per step.
+        assert (np.abs(steps[:7]) < 0.015).all()
+        # Beyond the knee: a sharp single step near -8.5 %.
+        assert steps.min() < -0.06
+        assert -0.11 < steps.min()
+        # Total degradation ~17.5 %.
+        total = s.values[-1] / s.values[0] - 1
+        assert total == np.clip(total, -0.21, -0.14)
+
+
+def test_fig11b_metric_correlation(benchmark, case_results, output_dir):
+    study_result = case_results["MR-Genesis"]
+    result = study_result.result
+
+    def region1_metrics():
+        picked = []
+        for metric in ("ipc", "l2_misses", "tlb_misses", "instructions"):
+            series = compute_trends(result, metric)
+            picked.append(next(s for s in series if s.region_id == 1))
+        return normalized_to_max(picked)
+
+    normalised = run_once(benchmark, region1_metrics)
+
+    print("\nFigure 11b: Region 1 metrics as % of their maxima")
+    print(ascii_trend(
+        [(s.metric, s.values) for s in normalised],
+        x_labels=tuple(str(k) for k in range(1, 13)),
+    ))
+    render_trends_svg(normalised, output_dir / "fig11b_metrics.svg",
+                      title="MR-Genesis region 1 metric correlation")
+
+    by_metric = {s.metric: s.values for s in normalised}
+    # IPC peaks at 1 task/node; misses peak at 12.
+    assert by_metric["ipc"][0] == 100.0
+    assert by_metric["l2_misses"][-1] == 100.0
+    assert by_metric["tlb_misses"][-1] == 100.0
+    # L2 misses grow inversely to IPC (monotone up to jitter noise);
+    # TLB misses climb substantially.
+    assert (np.diff(by_metric["l2_misses"]) > -0.2).all()
+    assert by_metric["l2_misses"][-1] > by_metric["l2_misses"][0] + 5.0
+    assert by_metric["tlb_misses"][-1] > 1.2 * by_metric["tlb_misses"][0]
+    # Instructions are constant: only the mapping changed.
+    instr = by_metric["instructions"]
+    assert instr.max() - instr.min() < 2.0  # within 2 % of the maximum

@@ -1,0 +1,60 @@
+"""Automated conclusions: the paper's section 4 narratives, diagnosed.
+
+Each paper case study ends in a human conclusion; the insights engine
+(`repro.analysis.insights`) should reach the same ones automatically
+from the tracked trends:
+
+- CGPOP: a compiler **encoding change** (fewer instructions, same time);
+- NAS BT: **cache-capacity** degradation (IPC falls with L2 misses);
+- MR-Genesis: a **contention knee** at 2/3 node occupation;
+- HydroC: **cache-capacity** degradation at the L1 boundary;
+- WRF: one region with **work replication** under scaling;
+- NAS FT (time windows): a **progressive slowdown**.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.insights import diagnose, format_insights
+
+EXPECTED_HEADLINES = {
+    "CGPOP": "encoding-change",
+    "NAS BT": "cache-capacity",
+    "MR-Genesis": "contention-knee",
+    "HydroC": "cache-capacity",
+}
+
+
+def test_insights_reach_paper_conclusions(benchmark, case_results, output_dir):
+    def run_all():
+        return {
+            name: diagnose(case_results[name].result)
+            for name in (*EXPECTED_HEADLINES, "WRF", "NAS FT")
+        }
+
+    per_study = run_once(benchmark, run_all)
+
+    report_lines = []
+    for name, insights in per_study.items():
+        report_lines.append(f"== {name} ==")
+        report_lines.append(format_insights(insights))
+        report_lines.append("")
+    text = "\n".join(report_lines)
+    print("\n" + text)
+    (output_dir / "insights.txt").write_text(text + "\n")
+
+    for name, expected_kind in EXPECTED_HEADLINES.items():
+        insights = per_study[name]
+        assert insights, name
+        kinds = {insight.kind for insight in insights}
+        assert expected_kind in kinds, (name, kinds)
+        # The headline (most severe) insight carries the expected kind.
+        assert insights[0].kind == expected_kind, (name, insights[0])
+
+    # WRF: exactly one region flagged for work replication.
+    wrf_kinds = [i.kind for i in per_study["WRF"]]
+    assert wrf_kinds.count("work-replication") == 1
+
+    # NAS FT: the time-window drift shows up as progressive slowdown.
+    ft_kinds = {i.kind for i in per_study["NAS FT"]}
+    assert "progressive-slowdown" in ft_kinds

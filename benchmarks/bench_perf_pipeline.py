@@ -1,0 +1,61 @@
+"""Performance benchmarks of the pipeline stages themselves.
+
+Unlike the figure/table benches (which run once to regenerate paper
+artefacts), these measure wall time with repeated rounds — the numbers
+an adopter cares about when sizing the tool for real traces:
+
+- DBSCAN + frame construction throughput on a mid-sized frame;
+- one full tracking pass (pair of frames);
+- the displacement evaluator alone (the hot nearest-neighbour path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.apps import wrf
+from repro.clustering.frames import FrameSettings, make_frame, make_frames
+from repro.tracking.evaluators.displacement import displacement_matrix
+from repro.tracking.scaling import normalize_frames
+from repro.tracking.tracker import Tracker
+
+SETTINGS = FrameSettings(relevance=0.995)
+
+
+@pytest.fixture(scope="module")
+def mid_traces():
+    return [
+        wrf.build(ranks=64, iterations=6, base_ranks=64).run(seed=BENCH_SEED + 1),
+        wrf.build(ranks=64, iterations=6, base_ranks=64).run(seed=BENCH_SEED + 2),
+    ]
+
+
+@pytest.fixture(scope="module")
+def mid_frames(mid_traces):
+    return make_frames(mid_traces, SETTINGS)
+
+
+def test_perf_frame_construction(benchmark, mid_traces):
+    """Cluster a ~4.6k-burst trace into a frame."""
+    frame = benchmark(lambda: make_frame(mid_traces[0], SETTINGS))
+    assert frame.n_clusters == 12
+
+
+def test_perf_displacement(benchmark, mid_frames):
+    """Nearest-neighbour cross-classification between two frames."""
+    space = normalize_frames(mid_frames)
+    matrix = benchmark(
+        lambda: displacement_matrix(
+            mid_frames[0], mid_frames[1], space.points[0], space.points[1]
+        )
+    )
+    assert matrix.values.shape == (12, 12)
+
+
+def test_perf_full_tracking(benchmark, mid_frames):
+    """The complete combination algorithm on one pair of frames."""
+    result = benchmark.pedantic(
+        lambda: Tracker(list(mid_frames)).run(), rounds=3, iterations=1
+    )
+    assert result.coverage == 100

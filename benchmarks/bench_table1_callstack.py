@@ -1,0 +1,58 @@
+"""Table 1: correlations from the call-stack evaluator for WRF.
+
+Regenerates the mapping between regions and their source references:
+several relations are not univocal because distinct behaviours share
+one call path (regions 2 and 5 point at the same source line, as do
+regions 7 and 12 in our calibration of the paper's table).
+
+Shape assertions:
+- every cluster shares its reference fully with itself across frames;
+- the two engineered shared-reference groups are detected;
+- unrelated regions share no reference (the evaluator prunes them).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from benchmarks.conftest import run_once
+from repro.tracking.evaluators.callstack import callstack_matrix
+
+
+def test_table1_callstack_relations(benchmark, wrf_frames, output_dir):
+    frame_a, frame_b = wrf_frames
+
+    matrix = run_once(benchmark, lambda: callstack_matrix(frame_a, frame_b))
+
+    # Group regions by shared reference, Table 1 style.
+    by_reference: dict[str, list[int]] = defaultdict(list)
+    for cid in frame_a.cluster_ids:
+        for path in sorted(frame_a.cluster(cid).callpaths):
+            by_reference[path].append(cid)
+
+    lines = ["Table 1: call-stack references of the WRF regions"]
+    for path, cids in sorted(by_reference.items()):
+        short = path.split("@")[-1]
+        lines.append(f"  {short:<28} <- regions {cids}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    (output_dir / "table1_callstack.txt").write_text(text + "\n")
+
+    # Self-correspondence is total.
+    for cid in frame_a.cluster_ids:
+        assert matrix.get(cid, cid) == 1.0
+
+    shared_groups = [tuple(sorted(cids)) for cids in by_reference.values()
+                     if len(cids) > 1]
+    assert len(shared_groups) == 2
+
+    # Shared references connect the group members across frames too,
+    # and unrelated pairs share nothing.
+    in_group: set[int] = set()
+    for group in shared_groups:
+        for a in group:
+            for b in group:
+                assert matrix.get(a, b) == 1.0
+        in_group |= set(group)
+    singles = [cid for cid in frame_a.cluster_ids if cid not in in_group]
+    assert matrix.get(singles[0], singles[1]) == 0.0

@@ -1,0 +1,55 @@
+"""Table 3: CGPOP performance results across machines and compilers.
+
+Regenerates the per-region IPC / instructions / duration table of the
+platform-and-compiler study (MareNostrum x {gfortran, xlf}, MinoTauro x
+{gfortran, ifort}).
+
+Shape assertions (paper section 4.1):
+- vendor compilers cut instructions ~36 % (xlf) and ~30 % (ifort);
+- IPC falls in the same proportion;
+- region execution times barely move across compilers (< 1 %);
+- MinoTauro runs the regions ~2.5x faster than MareNostrum;
+- absolute anchors: MN-gfortran IPC ~0.25 and region 1 at ~6.8M
+  instructions per burst (the paper's headline cells).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import table3_report
+
+
+def test_table3_cgpop(benchmark, case_results, output_dir):
+    study_result = run_once(benchmark, lambda: case_results["CGPOP"])
+
+    text, rows = table3_report(study_result)
+    print("\n" + text)
+    (output_dir / "table3_cgpop.txt").write_text(text + "\n")
+
+    assert len(rows) == 2
+    # Scenario order: MN-gfortran, MN-xlf, MT-gfortran, MT-ifort.
+    for row in rows:
+        ipc = row["ipc"]
+        instr = row["instructions"]
+        duration = row["duration_per_process"]
+
+        assert instr[1] / instr[0] == pytest.approx(0.64, abs=0.03)  # xlf
+        assert instr[3] / instr[2] == pytest.approx(0.70, abs=0.03)  # ifort
+        assert ipc[1] / ipc[0] == pytest.approx(0.64, abs=0.04)
+        assert ipc[3] / ipc[2] == pytest.approx(0.70, abs=0.04)
+        # Wall time invariant under the compiler change.
+        assert duration[1] == pytest.approx(duration[0], rel=0.01)
+        assert duration[3] == pytest.approx(duration[2], rel=0.01)
+        # Platform change: MinoTauro ~2.5x faster.
+        speedup = duration[0] / duration[2]
+        assert 2.0 < speedup < 3.0
+
+    # Absolute anchors from the paper's Table 3.
+    region1 = rows[0]
+    assert region1["ipc"][0] == pytest.approx(0.25, abs=0.03)
+    assert region1["instructions"][0] == pytest.approx(6.8e6, rel=0.03)
+    assert region1["ipc"][2] == pytest.approx(0.42, abs=0.05)
+    assert region1["instructions"][2] == pytest.approx(5.0e6, rel=0.03)

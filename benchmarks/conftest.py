@@ -1,0 +1,93 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper.  The heavy
+synthetic runs (WRF at 128/256 tasks, the ten Table 2 case studies) are
+cached at session scope so a figure bench times only the pipeline stage
+it focuses on, while all benches print the rows/series the paper
+reports and assert the reproduction's *shape*.
+
+Rendered artefacts (SVGs, text reports) are written to
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import CASE_STUDIES, CaseStudy
+from repro.analysis.study import StudyResult
+from repro.clustering.frames import FrameSettings, make_frames
+from repro.tracking.tracker import Tracker, TrackingResult
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Seed used by every benchmark run, so the printed numbers are stable.
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+class CaseStudyCache:
+    """Lazily runs and caches the Table 2 case studies."""
+
+    def __init__(self) -> None:
+        self._results: dict[str, StudyResult] = {}
+
+    def __getitem__(self, name: str) -> StudyResult:
+        if name not in self._results:
+            case = self._case(name)
+            self._results[name] = case.run(seed=BENCH_SEED)
+        return self._results[name]
+
+    @staticmethod
+    def _case(name: str) -> CaseStudy:
+        for case in CASE_STUDIES:
+            if case.name == name:
+                return case
+        raise KeyError(name)
+
+
+@pytest.fixture(scope="session")
+def case_results() -> CaseStudyCache:
+    return CaseStudyCache()
+
+
+@pytest.fixture(scope="session")
+def wrf_traces():
+    """The paper's running example: WRF at 128 and 256 tasks."""
+    from repro.apps import wrf
+
+    return [
+        wrf.build(ranks=128, iterations=6).run(seed=BENCH_SEED + 1),
+        wrf.build(ranks=256, iterations=6).run(seed=BENCH_SEED + 2),
+    ]
+
+
+@pytest.fixture(scope="session")
+def wrf_settings() -> FrameSettings:
+    return FrameSettings(relevance=0.995)
+
+
+@pytest.fixture(scope="session")
+def wrf_frames(wrf_traces, wrf_settings):
+    return make_frames(wrf_traces, wrf_settings)
+
+
+@pytest.fixture(scope="session")
+def wrf_result(wrf_frames) -> TrackingResult:
+    return Tracker(wrf_frames).run()
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its value.
+
+    The reproductions are deterministic, so a single round both times
+    the stage and produces the artefact the bench prints and asserts.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Block-size / working-set study (paper section 4.4, Figure 12).
+
+Sweeps HydroC's computation block size across twelve doublings and
+reproduces the cache-capacity story: instructions shrink slightly as
+control overhead amortises, and IPC dips sharply when a 64x64 block of
+8-byte elements stops fitting the 32 KB L1 — visible as a ~40 % jump in
+L1 misses at the 64 -> 128 transition.
+
+Also renders the tracked frames and trend charts as SVG files under
+``examples/output/``.
+
+Usage::
+
+    python examples/blocksize_study.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import ParametricStudy
+from repro.apps.hydroc import BLOCK_SIZES
+from repro.tracking import compute_trends, relabel_frames
+from repro.viz import ascii_trend, render_sequence_svg, render_trends_svg
+
+OUTPUT = Path(__file__).parent / "output"
+
+
+def main() -> None:
+    study = ParametricStudy(
+        app="hydroc",
+        scenarios=tuple({"block_size": b} for b in BLOCK_SIZES),
+    )
+    result = study.run(seed=0)
+    print(f"tracked {result.n_tracked} regions at {result.coverage}% coverage")
+    print("(one code phase, bimodal behaviour -> two tracked regions)\n")
+
+    labels = tuple(str(b) for b in BLOCK_SIZES)
+    for metric, title in (
+        ("instructions", "instructions per burst"),
+        ("ipc", "IPC"),
+        ("l1_misses", "L1 data-cache misses per burst"),
+    ):
+        series = compute_trends(result.result, metric)
+        print(ascii_trend(
+            [(f"r{s.region_id}", s.values) for s in series],
+            x_labels=labels,
+            title=f"HydroC: {title} vs block size",
+        ))
+        print()
+        render_trends_svg(series, OUTPUT / f"hydroc_{metric}.svg",
+                          title=f"HydroC {title}")
+
+    l1 = compute_trends(result.result, "l1_misses")
+    dip = BLOCK_SIZES.index(64)
+    for s in l1:
+        ratio = s.values[dip + 1] / s.values[dip]
+        print(f"Region {s.region_id}: L1 misses x{ratio:.2f} at the "
+              f"64 -> 128 block transition (32 KB L1 limit)")
+
+    relabeled = relabel_frames(result.result)
+    path = render_sequence_svg(relabeled, OUTPUT / "hydroc_frames.svg",
+                               columns=4)
+    print(f"\nrendered {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Platform-and-compiler study (paper section 4.1, Table 3).
+
+Runs CGPOP on both machine models with a generic and a vendor compiler,
+tracks the regions across the four scenarios and reproduces the paper's
+headline observation: vendor compilers execute ~30-36 % fewer
+instructions at proportionally lower IPC, leaving wall time unchanged.
+
+Usage::
+
+    python examples/compiler_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ParametricStudy, table3_report
+from repro.tracking import compute_trends
+
+
+def main() -> None:
+    study = ParametricStudy(
+        app="cgpop",
+        scenarios=(
+            {"machine": "MareNostrum", "compiler": "gfortran"},
+            {"machine": "MareNostrum", "compiler": "xlf"},
+            {"machine": "MinoTauro", "compiler": "gfortran"},
+            {"machine": "MinoTauro", "compiler": "ifort"},
+        ),
+    )
+    result = study.run(seed=0)
+    print(f"tracked {result.n_tracked} regions, coverage {result.coverage}% "
+          f"(the MinoTauro IPC split groups two objects into Region 2)\n")
+
+    text, rows = table3_report(result)
+    print(text)
+
+    print("\nCompiler impact per region:")
+    for row in rows:
+        instr = row["instructions"]
+        ipc = row["ipc"]
+        dur = row["duration_per_process"]
+        print(f"  Region {row['region']}:")
+        print(f"    xlf   vs gfortran (MareNostrum): instructions "
+              f"{100 * (instr[1] / instr[0] - 1):+.0f}%, IPC "
+              f"{100 * (ipc[1] / ipc[0] - 1):+.0f}%, time "
+              f"{100 * (dur[1] / dur[0] - 1):+.2f}%")
+        print(f"    ifort vs gfortran (MinoTauro):   instructions "
+              f"{100 * (instr[3] / instr[2] - 1):+.0f}%, IPC "
+              f"{100 * (ipc[3] / ipc[2] - 1):+.0f}%, time "
+              f"{100 * (dur[3] / dur[2] - 1):+.2f}%")
+
+    print("\nConclusion (as in the paper): the compiler choice changes the"
+          "\ncomputational encoding of the work but not the execution time —"
+          "\nthe regions are memory-bound, so fewer instructions just wait"
+          "\nlonger per instruction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Multi-core resource-sharing study (paper section 4.3, Figure 11).
+
+Runs MR-Genesis with 12 processes packed onto progressively fewer nodes
+(1 to 12 tasks per node) and reproduces the contention signature: flat
+instructions, gently sliding IPC up to ~2/3 occupation, a sharp drop at
+the memory-bandwidth knee, and L2/TLB misses growing inversely.
+
+Usage::
+
+    python examples/contention_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ParametricStudy
+from repro.tracking import compute_trends, normalized_to_max
+from repro.viz import ascii_trend
+
+
+def main() -> None:
+    study = ParametricStudy(
+        app="mr-genesis",
+        scenarios=tuple({"tasks_per_node": k} for k in range(1, 13)),
+    )
+    result = study.run(seed=0)
+    print(f"tracked {result.n_tracked} regions at {result.coverage}% coverage\n")
+
+    labels = tuple(str(k) for k in range(1, 13))
+    ipc = compute_trends(result.result, "ipc")
+    print(ascii_trend(
+        [(f"r{s.region_id}", s.values) for s in ipc],
+        x_labels=labels,
+        title="MR-Genesis: IPC vs processes per node",
+    ))
+    for s in ipc:
+        steps = 100 * s.step_changes()
+        knee = int(np.argmin(steps)) + 2  # +2: steps start at k=1->2
+        total = 100 * (s.values[-1] / s.values[0] - 1)
+        print(f"  Region {s.region_id}: knee at {knee} tasks/node "
+              f"(step {steps.min():+.1f}%), total {total:+.1f}%")
+
+    # Figure 11b: metric correlation for Region 1.
+    metrics = []
+    for name in ("ipc", "l2_misses", "tlb_misses", "instructions"):
+        metrics.append(next(s for s in compute_trends(result.result, name)
+                            if s.region_id == 1))
+    print()
+    print(ascii_trend(
+        [(s.metric, s.values) for s in normalized_to_max(metrics)],
+        x_labels=labels,
+        title="Region 1 metrics as % of their maxima",
+    ))
+    print("\nInstructions are flat (only the mapping changed); the IPC loss"
+          "\nis explained by L2 misses and TLB misses growing as the node"
+          "\nfills — the shared memory system is the bottleneck.")
+
+
+if __name__ == "__main__":
+    main()

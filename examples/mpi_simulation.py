@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Trace a *program* instead of a declarative model.
+
+Real tracing tools intercept MPI programs; :mod:`repro.mpisim` provides
+the same experience offline.  This example writes a small 1-D stencil
+as a per-rank generator, runs it through the discrete-event simulator
+under two problem sizes, and tracks the resulting traces — including
+the who-is-who report with the evaluator evidence.
+
+Usage::
+
+    python examples/mpi_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro import quick_track
+from repro.machine.perfmodel import WorkloadPoint
+from repro.mpisim import MPISimulator
+from repro.tracking import compute_trends, who_is_who
+
+
+def heat_equation(cells_per_rank: float, working_set: float):
+    """A hand-written halo-exchange stencil program."""
+    interior = WorkloadPoint(
+        work_units=cells_per_rank,
+        instructions_per_unit=48.0,
+        memory_accesses_per_unit=1.1,
+        working_set_bytes=working_set,
+    )
+    boundary = WorkloadPoint(
+        work_units=cells_per_rank * 0.1,
+        instructions_per_unit=62.0,
+        memory_accesses_per_unit=0.5,
+        working_set_bytes=working_set / 8,
+    )
+
+    def program(rank, mpi):
+        left = (rank - 1) % mpi.nranks
+        right = (rank + 1) % mpi.nranks
+        for _step in range(6):
+            yield mpi.compute("apply_boundary", boundary)
+            yield mpi.sendrecv(dest=right, src=left, nbytes=4096)
+            yield mpi.sendrecv(dest=left, src=right, nbytes=4096)
+            yield mpi.compute("update_interior", interior)
+            yield mpi.allreduce(8)  # convergence check
+
+    return program
+
+
+def main() -> None:
+    traces = []
+    for index, size in enumerate((256, 1024)):  # grid cells per rank (KiB ws)
+        sim = MPISimulator(nranks=8, app="heat2d", scenario={"size": size})
+        program = heat_equation(
+            cells_per_rank=size * 400.0, working_set=size * 1024.0
+        )
+        trace = sim.run(program, seed=index)
+        traces.append(trace)
+        print(f"simulated size={size}: {trace.n_bursts} bursts, "
+              f"makespan {trace.makespan * 1e3:.2f} ms")
+
+    result = quick_track(traces)
+    print()
+    print(who_is_who(result))
+
+    print("\nIPC trends:")
+    for s in compute_trends(result, "ipc"):
+        print(f"  Region {s.region_id}: {s.values[0]:.3f} -> {s.values[1]:.3f} "
+              f"({100 * s.pct_change_total():+.1f}%)")
+    print("\nThe interior update loses IPC as the working set outgrows L2;"
+          "\nthe boundary region barely moves — exactly the kind of insight"
+          "\nthe paper extracts from WRF and NAS BT.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: track a synthetic application across two scenarios.
+
+Runs WRF (the paper's running example) at two task counts, clusters the
+CPU bursts of each run into performance-space objects, tracks the
+objects across the scenarios and prints the per-region IPC trends —
+the whole pipeline in ~20 lines of user code.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import apps, quick_track
+from repro.clustering import FrameSettings
+from repro.tracking import compute_trends, top_variations
+from repro.viz import ascii_scatter
+
+
+def main() -> None:
+    # 1. Two execution scenarios of the same application.
+    traces = [
+        apps.wrf.build(ranks=32, iterations=4, base_ranks=32).run(seed=1),
+        apps.wrf.build(ranks=64, iterations=4, base_ranks=32).run(seed=2),
+    ]
+    print(f"simulated {traces[0].label()} ({traces[0].n_bursts} bursts) and "
+          f"{traces[1].label()} ({traces[1].n_bursts} bursts)")
+
+    # 2. Cluster + track in one call.
+    result = quick_track(traces, settings=FrameSettings(relevance=0.995))
+    print(f"\ntracked {len(result.tracked_regions)} regions across "
+          f"{result.n_frames} frames at {result.coverage}% coverage")
+    for region in result.tracked_regions:
+        print(f"  {region!r}")
+
+    # 3. Look at one frame.
+    frame = result.frames[0]
+    print()
+    print(ascii_scatter(frame.points, frame.labels, title=frame.label,
+                        x_label="IPC", y_label="instructions", height=14))
+
+    # 4. Which regions changed the most?
+    series = compute_trends(result, "ipc")
+    print("\nIPC trends (regions varying more than 3%):")
+    for s in top_variations(series, min_variation=0.03):
+        print(f"  Region {s.region_id}: {s.values[0]:.3f} -> {s.values[1]:.3f}"
+              f"  ({100 * s.pct_change_total():+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

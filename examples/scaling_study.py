@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Problem-size study with prediction (paper section 4.2 + future work).
+
+Runs NAS BT across classes W, A, B, C, reproduces the two IPC trend
+families of Figure 10, then goes one step past the paper: fits trend
+models to the tracked series and *predicts* the IPC of a hypothetical
+larger class (the paper's "foresee the performance of experiments
+beyond the sample space" future work).
+
+Usage::
+
+    python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ParametricStudy
+from repro.apps.nasbt import CLASS_GRID
+from repro.clustering import FrameSettings
+from repro.predict import extrapolate_trends
+from repro.tracking import compute_trends
+from repro.viz import ascii_trend
+
+CLASSES = ("W", "A", "B", "C")
+
+
+def main() -> None:
+    study = ParametricStudy(
+        app="nas-bt",
+        scenarios=tuple({"problem_class": c} for c in CLASSES),
+        settings=FrameSettings(log_y=True, relevance=0.97),
+    )
+    result = study.run(seed=0)
+    print(f"tracked {result.n_tracked} regions at {result.coverage}% coverage\n")
+
+    series = compute_trends(result.result, "ipc")
+    print(ascii_trend(
+        [(f"r{s.region_id}", s.values) for s in series],
+        x_labels=CLASSES,
+        title="NAS BT: IPC per problem class",
+    ))
+
+    print("\nTrend families:")
+    for s in series:
+        steps = s.step_changes()
+        family = ("sharp W->A drop, then stable"
+                  if abs(steps[1]) < 0.05 else "keeps declining until B")
+        print(f"  Region {s.region_id}: {family} "
+              f"({' '.join(f'{100 * c:+.0f}%' for c in steps)})")
+
+    # Prediction beyond the sample space: a hypothetical 4x class D.
+    grid_sizes = np.asarray([CLASS_GRID[c] ** 3 for c in CLASSES], dtype=float)
+    class_d_cells = float(CLASS_GRID["C"] ** 3 * 4)
+    forecasts = extrapolate_trends(series, grid_sizes, [class_d_cells])
+    print("\nPredicted IPC for a 4x-larger 'class D':")
+    for forecast in forecasts:
+        observed_c = forecast.y_observed[-1]
+        predicted = float(forecast.y_predicted[0])
+        print(f"  Region {forecast.region_id}: {observed_c:.3f} (C) -> "
+              f"{predicted:.3f} (D)  [{type(forecast.model).__name__}]")
+        # The saturated regions should stay put: the model has learnt
+        # the plateau.
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Sequence alignment substrate.
+
+Re-implements the machinery of *"Automatic evaluation of the computation
+structure of parallel applications"* (Gonzalez et al., PDCAT'09), which
+the paper uses twice:
+
+- the **SPMD simultaneity** evaluator aligns the per-rank cluster
+  sequences of one experiment to find which clusters execute at the
+  same logical step in different ranks;
+- the **execution sequence** evaluator aligns the consensus sequences of
+  two experiments around known pivots to match remaining clusters.
+
+The substrate offers classic Needleman-Wunsch global pairwise alignment
+(:mod:`~repro.alignment.pairwise`), star-based multiple sequence
+alignment (:mod:`~repro.alignment.msa`), and the SPMD measures built on
+them (:mod:`~repro.alignment.spmd`).
+"""
+
+from __future__ import annotations
+
+from repro.alignment.msa import MultipleAlignment, star_align
+from repro.alignment.pairwise import GAP, Alignment, global_align
+from repro.alignment.spmd import (
+    consensus_sequence,
+    simultaneity_matrix,
+    spmdiness_score,
+)
+from repro.alignment.structure import (
+    PhaseStructure,
+    detect_period,
+    iteration_boundaries,
+    phase_structure,
+)
+
+__all__ = [
+    "GAP",
+    "Alignment",
+    "global_align",
+    "MultipleAlignment",
+    "star_align",
+    "consensus_sequence",
+    "simultaneity_matrix",
+    "spmdiness_score",
+    "PhaseStructure",
+    "detect_period",
+    "iteration_boundaries",
+    "phase_structure",
+]

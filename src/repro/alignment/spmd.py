@@ -1,0 +1,110 @@
+"""SPMD structure analysis on top of multiple sequence alignment.
+
+Given the per-rank cluster sequences of one experiment aligned into a
+global sequence, three questions matter to the tracker:
+
+- **How SPMD is the application?**  :func:`spmdiness_score` measures the
+  agreement of the alignment columns; 1.0 means every rank executes the
+  same cluster at every logical step.
+- **Which clusters run simultaneously?**  :func:`simultaneity_matrix`
+  estimates, for every cluster pair, the probability of co-occurring in
+  the same alignment column on different ranks — the paper's second
+  evaluator feeds on this.
+- **What is the canonical phase order?**  :func:`consensus_sequence`
+  collapses the alignment into one representative sequence per
+  experiment for the execution-sequence evaluator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alignment.msa import MultipleAlignment
+from repro.alignment.pairwise import GAP
+from repro.errors import AlignmentError
+
+__all__ = ["spmdiness_score", "simultaneity_matrix", "consensus_sequence"]
+
+
+def spmdiness_score(alignment: MultipleAlignment) -> float:
+    """Fraction of non-gap cells agreeing with their column's majority.
+
+    A perfectly SPMD application — every rank executing the same phase at
+    every step — scores 1.0.  Divergent control flow, imbalance-induced
+    cluster splits and alignment gaps all pull the score down.
+    """
+    matrix = alignment.matrix
+    if matrix.size == 0:
+        return 0.0
+    agree = 0
+    total = 0
+    for col in range(matrix.shape[1]):
+        column = matrix[:, col]
+        present = column[column != GAP]
+        if present.size == 0:
+            continue
+        values, counts = np.unique(present, return_counts=True)
+        agree += int(counts.max())
+        total += int(present.size)
+    return agree / total if total else 0.0
+
+
+def simultaneity_matrix(
+    alignment: MultipleAlignment, cluster_ids: tuple[int, ...]
+) -> np.ndarray:
+    """Probability of cluster pairs executing simultaneously.
+
+    For clusters *i* and *j*, the entry is::
+
+        P(i, j) = columns containing both i and j / columns containing i
+
+    (rows are conditioned on the row cluster, so the matrix is not
+    symmetric when cluster frequencies differ).  The diagonal is 1 for
+    every cluster that appears at all.
+
+    Parameters
+    ----------
+    alignment:
+        The per-rank global alignment of one experiment.
+    cluster_ids:
+        Cluster ids to index the matrix with (matrix row/column *k*
+        corresponds to ``cluster_ids[k]``).
+    """
+    if not cluster_ids:
+        raise AlignmentError("cluster_ids must not be empty")
+    index = {cid: k for k, cid in enumerate(cluster_ids)}
+    n = len(cluster_ids)
+    appears = np.zeros(n, dtype=np.int64)
+    together = np.zeros((n, n), dtype=np.int64)
+    matrix = alignment.matrix
+    for col in range(matrix.shape[1]):
+        column = matrix[:, col]
+        present = np.unique(column[column != GAP])
+        known = [index[c] for c in present if c in index]
+        for i in known:
+            appears[i] += 1
+            for j in known:
+                together[i, j] += 1
+    out = np.zeros((n, n), dtype=np.float64)
+    nonzero = appears > 0
+    out[nonzero, :] = together[nonzero, :] / appears[nonzero, None]
+    return out
+
+
+def consensus_sequence(alignment: MultipleAlignment) -> np.ndarray:
+    """Column-majority sequence of the alignment (gap columns dropped).
+
+    The consensus is the representative "execution sequence" of the
+    experiment: the chronological order of its phases as executed by the
+    majority of ranks.
+    """
+    matrix = alignment.matrix
+    consensus: list[int] = []
+    for col in range(matrix.shape[1]):
+        column = matrix[:, col]
+        present = column[column != GAP]
+        if present.size == 0:
+            continue
+        values, counts = np.unique(present, return_counts=True)
+        consensus.append(int(values[np.argmax(counts)]))
+    return np.asarray(consensus, dtype=np.int64)

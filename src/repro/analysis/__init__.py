@@ -1,0 +1,39 @@
+"""Analysis drivers: parametric studies and paper-experiment configs.
+
+- :mod:`~repro.analysis.study` — run a scenario sweep end to end
+  (models -> traces -> frames -> tracking -> trends).
+- :mod:`~repro.analysis.report` — plain-text table formatting for the
+  paper's tables and generic trend reports.
+- :mod:`~repro.analysis.experiments` — the ten canned case studies of
+  the paper's Table 2 plus the per-figure configurations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import (
+    CASE_STUDIES,
+    CaseStudy,
+    get_case_study,
+    run_case_study,
+)
+from repro.analysis.insights import Insight, diagnose, format_insights
+from repro.analysis.report import format_table, table2_rows, table3_report
+from repro.analysis.study import ParametricStudy, StudyResult
+from repro.analysis.windows import iteration_start_times, iteration_windows
+
+__all__ = [
+    "Insight",
+    "diagnose",
+    "format_insights",
+    "iteration_windows",
+    "iteration_start_times",
+    "ParametricStudy",
+    "StudyResult",
+    "CaseStudy",
+    "CASE_STUDIES",
+    "get_case_study",
+    "run_case_study",
+    "format_table",
+    "table2_rows",
+    "table3_report",
+]

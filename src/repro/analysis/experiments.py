@@ -1,0 +1,203 @@
+"""The paper's canned experiments (Table 2 and the four case studies).
+
+Each :class:`CaseStudy` packages the study definition the paper used:
+the application, its scenario sweep and the frame/tracker settings that
+suit it.  ``CASE_STUDIES`` is ordered like the paper's Table 2.
+
+Expected reproduction targets (from the paper):
+
+==================  ======  =======  ========
+case study          images  regions  coverage
+==================  ======  =======  ========
+gadget                   2        8      88 %
+quantum-espresso         2        6      66 %
+wrf                      2       12     100 %
+gromacs                  3        5     100 %
+cgpop                    4        2      66 %
+nas-bt                   4        6     100 %
+hydroc                  12        2     100 %
+mr-genesis              12        2     100 %
+nas-ft                  15        2     100 %
+gromacs-window          20        4      80 %
+==================  ======  =======  ========
+
+Average coverage ~90 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.study import ParametricStudy, StudyResult
+from repro.apps import nasft
+from repro.apps.hydroc import BLOCK_SIZES
+from repro.clustering.frames import FrameSettings
+
+__all__ = ["CaseStudy", "CASE_STUDIES", "get_case_study", "run_case_study"]
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """One Table 2 row: a named study plus its paper-reported targets.
+
+    Attributes
+    ----------
+    name:
+        Table 2 application label.
+    study:
+        The runnable study definition.
+    expected_images / expected_regions / expected_coverage:
+        The values the paper's Table 2 reports, used by the benches.
+    """
+
+    name: str
+    study: ParametricStudy
+    expected_images: int
+    expected_regions: int
+    expected_coverage: int
+
+    def run(self, *, seed: int = 0) -> StudyResult:
+        """Execute the study."""
+        return self.study.run(seed=seed)
+
+
+def _nasft_windows(traces):
+    """Slice the single NAS FT run into the paper's 15 time windows."""
+    (trace,) = traces
+    return nasft.window_traces(trace, n_windows=15)
+
+
+CASE_STUDIES: tuple[CaseStudy, ...] = (
+    CaseStudy(
+        name="Gadget",
+        study=ParametricStudy(
+            app="gadget",
+            scenarios=({"snapshot": 0}, {"snapshot": 1}),
+            settings=FrameSettings(relevance=0.98),
+        ),
+        expected_images=2,
+        expected_regions=8,
+        expected_coverage=88,
+    ),
+    CaseStudy(
+        name="QuantumE",
+        study=ParametricStudy(
+            app="quantum-espresso",
+            scenarios=({"configuration": 0}, {"configuration": 1}),
+            settings=FrameSettings(relevance=0.98),
+        ),
+        expected_images=2,
+        expected_regions=6,
+        expected_coverage=66,
+    ),
+    CaseStudy(
+        name="WRF",
+        study=ParametricStudy(
+            app="wrf",
+            scenarios=({"ranks": 128}, {"ranks": 256}),
+            settings=FrameSettings(relevance=0.995),
+        ),
+        expected_images=2,
+        expected_regions=12,
+        expected_coverage=100,
+    ),
+    CaseStudy(
+        name="Gromacs",
+        study=ParametricStudy(
+            app="gromacs",
+            scenarios=({"ranks": 24}, {"ranks": 48}, {"ranks": 96}),
+            settings=FrameSettings(relevance=0.98),
+        ),
+        expected_images=3,
+        expected_regions=5,
+        expected_coverage=100,
+    ),
+    CaseStudy(
+        name="CGPOP",
+        study=ParametricStudy(
+            app="cgpop",
+            scenarios=(
+                {"machine": "MareNostrum", "compiler": "gfortran"},
+                {"machine": "MareNostrum", "compiler": "xlf"},
+                {"machine": "MinoTauro", "compiler": "gfortran"},
+                {"machine": "MinoTauro", "compiler": "ifort"},
+            ),
+        ),
+        expected_images=4,
+        expected_regions=2,
+        expected_coverage=66,
+    ),
+    CaseStudy(
+        name="NAS BT",
+        study=ParametricStudy(
+            app="nas-bt",
+            scenarios=(
+                {"problem_class": "W"},
+                {"problem_class": "A"},
+                {"problem_class": "B"},
+                {"problem_class": "C"},
+            ),
+            settings=FrameSettings(log_y=True, relevance=0.97),
+        ),
+        expected_images=4,
+        expected_regions=6,
+        expected_coverage=100,
+    ),
+    CaseStudy(
+        name="HydroC",
+        study=ParametricStudy(
+            app="hydroc",
+            scenarios=tuple({"block_size": b} for b in BLOCK_SIZES),
+        ),
+        expected_images=12,
+        expected_regions=2,
+        expected_coverage=100,
+    ),
+    CaseStudy(
+        name="MR-Genesis",
+        study=ParametricStudy(
+            app="mr-genesis",
+            scenarios=tuple({"tasks_per_node": k} for k in range(1, 13)),
+        ),
+        expected_images=12,
+        expected_regions=2,
+        expected_coverage=100,
+    ),
+    CaseStudy(
+        name="NAS FT",
+        study=ParametricStudy(
+            app="nas-ft",
+            scenarios=({},),
+            trace_hook=_nasft_windows,
+        ),
+        expected_images=15,
+        expected_regions=2,
+        expected_coverage=100,
+    ),
+    CaseStudy(
+        name="Gromacs (20)",
+        study=ParametricStudy(
+            app="gromacs-window",
+            scenarios=tuple({"window": w} for w in range(20)),
+            settings=FrameSettings(relevance=0.98),
+        ),
+        expected_images=20,
+        expected_regions=4,
+        expected_coverage=80,
+    ),
+)
+
+
+def get_case_study(name: str) -> CaseStudy:
+    """Look up one case study by its Table 2 name (case-insensitive)."""
+    for case in CASE_STUDIES:
+        if case.name.lower() == name.lower():
+            return case
+    raise KeyError(
+        f"unknown case study {name!r}; available: {[c.name for c in CASE_STUDIES]}"
+    )
+
+
+def run_case_study(name: str, *, seed: int = 0) -> StudyResult:
+    """Run one Table 2 case study end to end."""
+    return get_case_study(name).run(seed=seed)

@@ -1,0 +1,309 @@
+"""Automatic diagnosis of tracked-region behaviour.
+
+The paper's case studies all end in a human conclusion: "the IPC loss
+is related to an increase in L2 misses", "the compiler changes the
+encoding but not the time", "beyond 2/3 occupation the node saturates".
+This module automates those readings: a set of rules inspects each
+tracked region's metric trends and emits :class:`Insight` records with
+the evidence that triggered them.
+
+The rules are deliberately transparent (thresholded trend shapes, no
+opaque scoring) so an analyst can check every claim against the
+underlying series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.tracking.tracker import TrackingResult
+from repro.tracking.trends import TrendSeries, compute_trends
+
+__all__ = ["Insight", "diagnose", "format_insights"]
+
+
+@dataclass(frozen=True)
+class Insight:
+    """One diagnosed behaviour of one tracked region.
+
+    Attributes
+    ----------
+    region_id:
+        The tracked region.
+    kind:
+        Machine-readable rule name (``"cache-capacity"``,
+        ``"contention-knee"``, ``"encoding-change"``, ``"imbalance
+        -growth"``, ``"progressive-slowdown"``, ``"work-replication"``,
+        ``"stable"``).
+    severity:
+        Magnitude of the effect in [0, 1]-ish scale (relative change).
+    message:
+        Human-readable diagnosis.
+    evidence:
+        The numbers backing the claim.
+    """
+
+    region_id: int
+    kind: str
+    severity: float
+    message: str
+    evidence: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"Insight(region={self.region_id}, kind={self.kind!r}, "
+            f"severity={self.severity:.2f})"
+        )
+
+
+def _series_map(result: TrackingResult) -> dict[str, dict[int, TrendSeries]]:
+    metrics = {
+        "ipc": ("ipc", "mean"),
+        "instructions": ("instructions", "mean"),
+        "instructions_total": ("instructions", "total"),
+        # Mean per burst, not total: totals shift with the number of
+        # bursts DBSCAN keeps per frame, which is clustering noise.
+        "duration_mean": ("duration", "mean"),
+        "l1_mpki": ("l1_mpki", "mean"),
+        "l2_mpki": ("l2_mpki", "mean"),
+        "tlb_mpki": ("tlb_mpki", "mean"),
+    }
+    table: dict[str, dict[int, TrendSeries]] = {}
+    for key, (metric, aggregate) in metrics.items():
+        table[key] = {
+            s.region_id: s
+            for s in compute_trends(result, metric, aggregate=aggregate)
+        }
+    return table
+
+
+def _total_change(series: TrendSeries | None) -> float:
+    return series.pct_change_total() if series is not None else 0.0
+
+
+def _imbalance_growth(result: TrackingResult, region_id: int) -> tuple[float, float]:
+    """Coefficient of variation of per-rank instructions, first vs last."""
+    region = result.region(region_id)
+    cvs: list[float] = []
+    for frame_index in (0, result.n_frames - 1):
+        frame = result.frames[frame_index]
+        members = region.members[frame_index]
+        if not members:
+            return 0.0, 0.0
+        indices = np.concatenate(
+            [frame.cluster(cid).indices for cid in sorted(members)]
+        )
+        instr = frame.trace.metric("instructions")[indices]
+        ranks = frame.trace.rank[indices]
+        per_rank = np.asarray(
+            [instr[ranks == r].mean() for r in np.unique(ranks)]
+        )
+        mean = per_rank.mean()
+        cvs.append(float(per_rank.std() / mean) if mean else 0.0)
+    return cvs[0], cvs[-1]
+
+
+def diagnose(
+    result: TrackingResult,
+    *,
+    ipc_threshold: float = 0.03,
+    miss_growth_threshold: float = 0.3,
+) -> list[Insight]:
+    """Run every rule on every spanning region; returns insights sorted
+    by severity (most severe first), one or more per region."""
+    table = _series_map(result)
+    insights: list[Insight] = []
+
+    for region in result.tracked_regions:
+        rid = region.region_id
+        ipc = table["ipc"].get(rid)
+        if ipc is None or np.isfinite(ipc.values).sum() < 2:
+            continue
+        ipc_change = _total_change(ipc)
+        instr_change = _total_change(table["instructions"].get(rid))
+        total_instr_change = _total_change(table["instructions_total"].get(rid))
+        duration_change = _total_change(table["duration_mean"].get(rid))
+        l1_growth = _total_change(table["l1_mpki"].get(rid))
+        l2_growth = _total_change(table["l2_mpki"].get(rid))
+        tlb_growth = _total_change(table["tlb_mpki"].get(rid))
+        found_any = False
+
+        # Encoding change: instruction count moves, wall time does not.
+        # Checked step by step so studies mixing several factors (the
+        # CGPOP machines-x-compilers grid) still expose the compiler
+        # steps.  When this fires, it *explains* the IPC (and MPKI)
+        # movement — both are ratios over the changed instruction count
+        # — so the IPC-decline rules below are skipped for this region.
+        instr_steps = table["instructions"][rid].step_changes()
+        duration_steps = table["duration_mean"][rid].step_changes()
+        encoding_steps = [
+            (index, float(instr_step))
+            for index, (instr_step, dur_step) in enumerate(
+                zip(instr_steps, duration_steps)
+            )
+            if np.isfinite(instr_step)
+            and np.isfinite(dur_step)
+            and abs(instr_step) >= 0.10
+            and abs(dur_step) <= 0.05
+        ]
+        encoding_change = bool(encoding_steps)
+        if encoding_change:
+            found_any = True
+            step_index, step_value = max(
+                encoding_steps, key=lambda item: abs(item[1])
+            )
+            scenarios = ", ".join(
+                f"{index + 1}->{index + 2}" for index, _ in encoding_steps
+            )
+            insights.append(Insight(
+                region_id=rid,
+                kind="encoding-change",
+                severity=abs(step_value),
+                message=(
+                    f"Region {rid}: instructions per burst change "
+                    f"{step_value * 100:+.0f}% at scenario step(s) "
+                    f"{scenarios} while execution time stays flat — a "
+                    "code-generation (compiler/ISA) change, not an "
+                    "algorithmic one; the region is bound elsewhere."
+                ),
+                evidence={
+                    "steps": encoding_steps,
+                    "instructions_change": instr_change,
+                    "ipc_change": ipc_change,
+                },
+            ))
+
+        if ipc_change <= -ipc_threshold and not encoding_change:
+            steps = ipc.step_changes()
+            finite_steps = steps[np.isfinite(steps)]
+            worst = float(finite_steps.min()) if finite_steps.size else 0.0
+            others = (
+                float(np.median(np.abs(finite_steps)))
+                if finite_steps.size
+                else 0.0
+            )
+            knee_like = (
+                finite_steps.size >= 4
+                and worst < -0.03
+                and abs(worst) > 4 * max(others, 1e-6)
+            )
+            miss_driven = max(l1_growth, l2_growth) >= miss_growth_threshold
+
+            if knee_like and abs(instr_change) < 0.05:
+                knee_index = int(np.nanargmin(steps)) + 1
+                found_any = True
+                insights.append(Insight(
+                    region_id=rid,
+                    kind="contention-knee",
+                    severity=abs(ipc_change),
+                    message=(
+                        f"Region {rid}: IPC slides gently, then drops "
+                        f"{worst * 100:.1f}% in one step at scenario "
+                        f"{knee_index + 1}/{result.n_frames} with constant "
+                        "work — a shared-resource saturation knee "
+                        "(memory bandwidth or cache sharing)."
+                    ),
+                    evidence={
+                        "ipc_change": ipc_change,
+                        "worst_step": worst,
+                        "knee_frame": knee_index,
+                        "tlb_mpki_growth": tlb_growth,
+                    },
+                ))
+            elif miss_driven:
+                level = "L1" if l1_growth >= l2_growth else "L2"
+                growth = max(l1_growth, l2_growth)
+                found_any = True
+                insights.append(Insight(
+                    region_id=rid,
+                    kind="cache-capacity",
+                    severity=abs(ipc_change),
+                    message=(
+                        f"Region {rid}: IPC falls {ipc_change * 100:+.0f}% "
+                        f"while {level} misses per kilo-instruction grow "
+                        f"{growth * 100:+.0f}% — the working set stopped "
+                        f"fitting the {level} cache."
+                    ),
+                    evidence={
+                        "ipc_change": ipc_change,
+                        "l1_mpki_growth": l1_growth,
+                        "l2_mpki_growth": l2_growth,
+                    },
+                ))
+            elif abs(instr_change) < 0.05:
+                found_any = True
+                insights.append(Insight(
+                    region_id=rid,
+                    kind="progressive-slowdown",
+                    severity=abs(ipc_change),
+                    message=(
+                        f"Region {rid}: IPC declines {ipc_change * 100:+.0f}% "
+                        "with flat instructions and no cache-miss growth — "
+                        "a core-side drift (frequency, code path or "
+                        "runtime-state degradation)."
+                    ),
+                    evidence={"ipc_change": ipc_change},
+                ))
+
+        # Work replication under scaling: totals should be constant.
+        ranks = [frame.trace.nranks for frame in result.frames]
+        if ranks[-1] > ranks[0] and total_instr_change >= 0.03:
+            found_any = True
+            insights.append(Insight(
+                region_id=rid,
+                kind="work-replication",
+                severity=total_instr_change,
+                message=(
+                    f"Region {rid}: total instructions grow "
+                    f"{total_instr_change * 100:+.0f}% as the process count "
+                    f"rises {ranks[0]} -> {ranks[-1]} — replicated or "
+                    "non-scalable work."
+                ),
+                evidence={
+                    "total_instructions_change": total_instr_change,
+                    "ranks": (ranks[0], ranks[-1]),
+                },
+            ))
+
+        cv_first, cv_last = _imbalance_growth(result, rid)
+        if cv_last >= 0.08 and cv_last >= 2.0 * max(cv_first, 1e-6):
+            found_any = True
+            insights.append(Insight(
+                region_id=rid,
+                kind="imbalance-growth",
+                severity=cv_last,
+                message=(
+                    f"Region {rid}: per-rank work spread grows from "
+                    f"{cv_first * 100:.1f}% to {cv_last * 100:.1f}% of the "
+                    "mean — load imbalance is developing."
+                ),
+                evidence={"cv_first": cv_first, "cv_last": cv_last},
+            ))
+
+        if not found_any and abs(ipc_change) < ipc_threshold:
+            insights.append(Insight(
+                region_id=rid,
+                kind="stable",
+                severity=abs(ipc_change),
+                message=(
+                    f"Region {rid}: behaviour stable across the study "
+                    f"(IPC {ipc_change * 100:+.1f}%)."
+                ),
+                evidence={"ipc_change": ipc_change},
+            ))
+
+    insights.sort(key=lambda item: (-item.severity, item.region_id))
+    return insights
+
+
+def format_insights(insights: list[Insight]) -> str:
+    """Render insights as a bulleted report."""
+    if not insights:
+        return "No insights produced (no spanning region triggered a rule)."
+    lines = ["Automated diagnosis:"]
+    for insight in insights:
+        lines.append(f"  [{insight.kind}] {insight.message}")
+    return "\n".join(lines)

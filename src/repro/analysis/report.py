@@ -1,0 +1,110 @@
+"""Plain-text report formatting for the paper's tables.
+
+Everything here returns strings (or row dicts), so benches can both
+print the reproduction and assert on the underlying numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro._util import format_si
+from repro.analysis.study import StudyResult
+from repro.tracking.trends import compute_trends
+
+__all__ = ["format_table", "table2_rows", "format_table2", "table3_report"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def table2_rows(results: Mapping[str, StudyResult]) -> list[dict[str, Any]]:
+    """Build the paper's Table 2 rows from named study results."""
+    rows: list[dict[str, Any]] = []
+    for name, study_result in results.items():
+        row = {"application": name}
+        row.update(study_result.result.summary_row())
+        rows.append(row)
+    return rows
+
+
+def format_table2(results: Mapping[str, StudyResult]) -> str:
+    """Render the Table 2 reproduction as text."""
+    rows = table2_rows(results)
+    mean_cov = np.mean([row["coverage_pct"] for row in rows]) if rows else 0.0
+    body = format_table(
+        ["Application", "Input images", "Tracked regions", "Coverage %"],
+        [
+            [row["application"], row["input_images"], row["tracked_regions"],
+             row["coverage_pct"]]
+            for row in rows
+        ],
+        title="Table 2: Summary of experiments",
+    )
+    return f"{body}\nAverage coverage: {mean_cov:.1f}%"
+
+
+def table3_report(study_result: StudyResult) -> tuple[str, list[dict[str, Any]]]:
+    """Build the paper's Table 3 (CGPOP per-region results).
+
+    Returns the rendered text plus the raw rows: one dict per tracked
+    region with per-scenario IPC, mean instructions per burst and total
+    per-process duration.
+    """
+    result = study_result.result
+    labels = [frame.label for frame in result.frames]
+    ipc = compute_trends(result, "ipc")
+    instr = compute_trends(result, "instructions")
+    duration = compute_trends(result, "duration", aggregate="total")
+    nranks = [frame.trace.nranks for frame in result.frames]
+
+    rows: list[dict[str, Any]] = []
+    text_rows: list[list[str]] = []
+    for s_ipc, s_instr, s_dur in zip(ipc, instr, duration):
+        per_process = np.asarray(
+            [v / n for v, n in zip(s_dur.values, nranks)], dtype=np.float64
+        )
+        rows.append(
+            {
+                "region": s_ipc.region_id,
+                "labels": labels,
+                "ipc": s_ipc.values.tolist(),
+                "instructions": s_instr.values.tolist(),
+                "duration_per_process": per_process.tolist(),
+            }
+        )
+        text_rows.append(
+            [f"Region {s_ipc.region_id}", "IPC"]
+            + [f"{v:.2f}" for v in s_ipc.values]
+        )
+        text_rows.append(
+            ["", "Instructions"] + [format_si(v) for v in s_instr.values]
+        )
+        text_rows.append(
+            ["", "Duration"] + [f"{v:.3f}s" for v in per_process]
+        )
+    text = format_table(
+        ["", "Metric", *labels],
+        text_rows,
+        title="Table 3: CGPOP performance results",
+    )
+    return text, rows

@@ -1,0 +1,115 @@
+"""Parametric study driver: a scenario sweep through the full pipeline.
+
+A :class:`ParametricStudy` names an application and lists the scenario
+keyword-argument dictionaries of its experiments; :meth:`run` produces
+a :class:`StudyResult` bundling the traces, frames, tracking result and
+a trend cache — everything the benches and examples consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.apps.base import AppModel
+from repro.apps.registry import build_app
+from repro.clustering.frames import FrameSettings, make_frames
+from repro.errors import StudyError
+from repro.tracking.tracker import Tracker, TrackerConfig, TrackingResult
+from repro.tracking.trends import TrendSeries, compute_trends
+from repro.trace.trace import Trace
+
+__all__ = ["ParametricStudy", "StudyResult"]
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Everything a finished study produced.
+
+    Attributes
+    ----------
+    study:
+        The study definition.
+    traces:
+        One trace per scenario, in order.
+    result:
+        The tracking result over the scenario frames.
+    """
+
+    study: "ParametricStudy"
+    traces: tuple[Trace, ...]
+    result: TrackingResult
+
+    def trends(self, metric: str, *, aggregate: str = "mean") -> list[TrendSeries]:
+        """Per-region trend series for *metric* (spanning regions only)."""
+        return compute_trends(self.result, metric, aggregate=aggregate)
+
+    @property
+    def coverage(self) -> int:
+        """Coverage percentage of the tracking."""
+        return self.result.coverage
+
+    @property
+    def n_tracked(self) -> int:
+        """Number of regions tracked across the whole sequence."""
+        return len(self.result.tracked_regions)
+
+
+@dataclass(frozen=True)
+class ParametricStudy:
+    """A named scenario sweep of one application.
+
+    Attributes
+    ----------
+    app:
+        Registered application name (see :mod:`repro.apps.registry`).
+    scenarios:
+        One keyword-argument mapping per experiment, in sequence order.
+    settings:
+        Frame-construction settings shared by all scenarios.
+    config:
+        Tracker configuration.
+    trace_hook:
+        Optional post-processing turning the generated traces into the
+        final trace list (e.g. slicing one long run into time windows).
+    """
+
+    app: str
+    scenarios: tuple[Mapping[str, Any], ...]
+    settings: FrameSettings = field(default_factory=FrameSettings)
+    config: TrackerConfig = field(default_factory=TrackerConfig)
+    trace_hook: Callable[[list[Trace]], list[Trace]] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise StudyError("a study needs at least one scenario")
+
+    def build_models(self) -> list[AppModel]:
+        """Instantiate the application model of every scenario."""
+        return [build_app(self.app, **dict(scenario)) for scenario in self.scenarios]
+
+    def run(self, *, seed: int = 0) -> StudyResult:
+        """Execute the sweep: simulate, cluster, track.
+
+        Each scenario gets a derived seed so experiments are independent
+        but the whole study is reproducible from one integer.
+        """
+        traces = [
+            model.run(seed=seed + index)
+            for index, model in enumerate(self.build_models())
+        ]
+        if self.trace_hook is not None:
+            traces = self.trace_hook(traces)
+        if len(traces) < 2:
+            raise StudyError(
+                "tracking needs at least two frames; add scenarios or a "
+                "trace hook producing several time windows"
+            )
+        from dataclasses import replace
+
+        config = self.config
+        if self.settings.log_y and not config.log_extensive:
+            config = replace(config, log_extensive=True)
+        frames = make_frames(traces, self.settings)
+        result = Tracker(frames, config).run()
+        return StudyResult(study=self, traces=tuple(traces), result=result)

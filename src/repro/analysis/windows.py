@@ -1,0 +1,87 @@
+"""Windowing one experiment for evolutionary analysis.
+
+The paper's evolutionary mode compares "different time intervals within
+the same experiment".  Equal wall-clock slices (as in
+:func:`repro.apps.nasft.window_traces`) can cut through the middle of
+an iteration; this module instead detects the run's iterative structure
+(:mod:`repro.alignment.structure`) and cuts on iteration boundaries, so
+every window holds whole iterations and the same phase mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alignment.structure import detect_period
+from repro.clustering.frames import FrameSettings, make_frame
+from repro.errors import StudyError
+from repro.trace.filters import filter_time_window
+from repro.trace.trace import Trace
+
+__all__ = ["iteration_windows", "iteration_start_times"]
+
+
+def iteration_start_times(
+    trace: Trace,
+    *,
+    settings: FrameSettings | None = None,
+    threshold: float = 0.85,
+) -> list[float]:
+    """Wall-clock times at which the trace's iterations begin.
+
+    The trace is clustered once; the densest-populated rank's label
+    sequence is scanned for its period, and the begin timestamps of the
+    bursts at multiples of the period are the iteration starts.
+    """
+    frame = make_frame(trace, settings)
+    sequences = frame.rank_sequences
+    if not sequences:
+        raise StudyError("trace has no clustered bursts to window")
+    # The rank with the most clustered bursts gives the cleanest signal.
+    rank = max(sequences, key=lambda r: sequences[r].size)
+    sequence = sequences[rank]
+    period = detect_period(sequence, threshold=threshold)
+    if period is None:
+        raise StudyError(
+            "no iterative structure detected; use wall-clock windows instead"
+        )
+    mask = (frame.trace.rank == rank) & (frame.labels != 0)
+    begins = np.sort(frame.trace.begin[mask])
+    return [float(begins[i]) for i in range(0, begins.shape[0], period)]
+
+
+def iteration_windows(
+    trace: Trace,
+    n_windows: int,
+    *,
+    settings: FrameSettings | None = None,
+    threshold: float = 0.85,
+) -> list[Trace]:
+    """Slice *trace* into *n_windows* groups of whole iterations.
+
+    Iterations are distributed as evenly as possible (earlier windows
+    get the remainder).  Each returned trace carries a ``window``
+    scenario key.
+    """
+    if n_windows < 1:
+        raise StudyError(f"n_windows must be >= 1, got {n_windows}")
+    starts = iteration_start_times(trace, settings=settings, threshold=threshold)
+    n_iterations = len(starts)
+    if n_iterations < n_windows:
+        raise StudyError(
+            f"only {n_iterations} iterations detected for {n_windows} windows"
+        )
+    per_window, remainder = divmod(n_iterations, n_windows)
+    edges: list[float] = [starts[0]]
+    index = 0
+    for window in range(n_windows):
+        index += per_window + (1 if window < remainder else 0)
+        edges.append(
+            starts[index] if index < n_iterations else float(trace.end.max()) + 1.0
+        )
+    windows: list[Trace] = []
+    for window in range(n_windows):
+        piece = filter_time_window(trace, edges[window], edges[window + 1])
+        piece.scenario["window"] = window
+        windows.append(piece)
+    return windows

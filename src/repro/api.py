@@ -1,0 +1,62 @@
+"""High-level convenience API.
+
+These helpers wire the pipeline stages together for the common case:
+traces in, tracked regions and trends out.  Power users can drive the
+stages directly (:mod:`repro.clustering`, :mod:`repro.tracking`).
+"""
+
+from __future__ import annotations
+
+from repro.clustering.frames import Frame, FrameSettings, make_frame, make_frames
+from repro.tracking.tracker import Tracker, TrackerConfig, TrackingResult
+from repro.trace.trace import Trace
+
+__all__ = ["cluster_trace", "make_frames", "track_frames", "quick_track"]
+
+
+def cluster_trace(trace: Trace, settings: FrameSettings | None = None) -> Frame:
+    """Cluster one trace into a frame (capture + object recognition)."""
+    return make_frame(trace, settings)
+
+
+def track_frames(
+    frames: list[Frame], config: TrackerConfig | None = None
+) -> TrackingResult:
+    """Track objects across already-built frames."""
+    return Tracker(frames, config).run()
+
+
+def quick_track(
+    traces: list[Trace],
+    *,
+    settings: FrameSettings | None = None,
+    config: TrackerConfig | None = None,
+) -> TrackingResult:
+    """One-call pipeline: traces -> frames -> tracking result.
+
+    Parameters
+    ----------
+    traces:
+        One trace per execution scenario, in sequence order.
+    settings:
+        Frame-construction settings shared by all scenarios.
+    config:
+        Tracker configuration.
+
+    Examples
+    --------
+    >>> from repro import apps, quick_track
+    >>> traces = [apps.wrf.build(ranks=n).run(seed=0) for n in (32, 64)]
+    >>> result = quick_track(traces)
+    >>> result.coverage > 0
+    True
+    """
+    from dataclasses import replace
+
+    settings = settings or FrameSettings()
+    config = config or TrackerConfig()
+    if settings.log_y and not config.log_extensive:
+        # Keep the tracking space consistent with the clustering space.
+        config = replace(config, log_extensive=True)
+    frames = make_frames(traces, settings)
+    return Tracker(frames, config).run()

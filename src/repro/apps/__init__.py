@@ -1,0 +1,50 @@
+"""Synthetic SPMD application workloads.
+
+The paper's experiments trace nine real MPI applications.  We cannot
+run WRF or Gromacs here, so each application is modelled as a synthetic
+SPMD program: an ordered list of code regions executed every iteration,
+each described machine-independently (work units, instructions and
+memory accesses per unit, working set, imbalance, behavioural modes)
+and rendered into hardware counters by :mod:`repro.machine`.  Running a
+model produces a :class:`~repro.trace.trace.Trace` indistinguishable —
+for the tracker's purposes — from a real burst-level trace.
+
+Each application module exposes ``build(**scenario)`` returning an
+:class:`~repro.apps.base.AppModel`; the :mod:`~repro.apps.registry`
+maps application names to their builders.
+"""
+
+from __future__ import annotations
+
+from repro.apps import (
+    cgpop,
+    gadget,
+    gromacs,
+    hydroc,
+    mrgenesis,
+    nasbt,
+    nasft,
+    quantum_espresso,
+    wrf,
+)
+from repro.apps.base import AppModel, Mode, RegionSpec
+from repro.apps.registry import APP_BUILDERS, build_app
+from repro.apps.runner import run_app
+
+__all__ = [
+    "AppModel",
+    "RegionSpec",
+    "Mode",
+    "run_app",
+    "APP_BUILDERS",
+    "build_app",
+    "wrf",
+    "cgpop",
+    "nasbt",
+    "nasft",
+    "mrgenesis",
+    "hydroc",
+    "gadget",
+    "quantum_espresso",
+    "gromacs",
+]

@@ -1,0 +1,92 @@
+"""Shared helpers for the lighter application models.
+
+The Table 2 case studies that the paper does not dissect in detail
+(Gadget, Quantum Espresso, Gromacs, NAS FT) are modelled with a common
+vocabulary: stacks of well-separated regions plus, where the paper's
+coverage figure demands it, *crossing-mode* regions whose two
+behavioural modes swap positions between scenarios.  Crossing modes are
+the controlled way to produce objects the tracking heuristics cannot
+tell apart — they share one call path, one sequence slot and
+overlapping trajectories, so the tracker (correctly) groups them into a
+wide relation, lowering coverage below 100 % exactly as the paper
+reports for these applications.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Mode, RegionSpec
+from repro.machine.perfmodel import WorkloadPoint
+from repro.trace.callstack import CallPath
+
+__all__ = ["simple_region", "crossing_region"]
+
+
+def simple_region(
+    name: str,
+    file: str,
+    line: int,
+    *,
+    instructions: float,
+    cpi_scale: float,
+    instr_per_unit: float = 50.0,
+    imbalance: float = 0.04,
+    cycle_jitter: float = 0.015,
+    cpi_drift_per_iter: float = 0.0,
+) -> RegionSpec:
+    """One stable single-mode region with *instructions* per burst."""
+    return RegionSpec(
+        name=name,
+        callpath=CallPath.single(name, file, line),
+        point=WorkloadPoint(
+            work_units=instructions / instr_per_unit,
+            instructions_per_unit=instr_per_unit,
+            memory_accesses_per_unit=0.4,
+            working_set_bytes=64 * 1024,
+            bandwidth_demand_gbs=0.3,
+            core_cpi_scale=cpi_scale,
+        ),
+        imbalance=imbalance,
+        work_jitter=0.008,
+        cycle_jitter=cycle_jitter,
+        cpi_drift_per_iter=cpi_drift_per_iter,
+    )
+
+
+def crossing_region(
+    name: str,
+    file: str,
+    line: int,
+    *,
+    instructions: float,
+    cpi_center: float,
+    cpi_delta: float,
+    instr_per_unit: float = 50.0,
+) -> RegionSpec:
+    """A bimodal region whose modes sit at ``cpi_center -+ cpi_delta``.
+
+    Shrink *cpi_delta* towards zero in another scenario to make the two
+    modes coalesce into a single object there: the tracker then (again,
+    correctly) relates both original objects to the merged one as a
+    grouped relation ``{a1, a2} == {b}``, which is precisely what drags
+    the paper's coverage below 100 % for Gadget, Quantum ESPRESSO and
+    the 20-image Gromacs study — nearby objects "that the tracking
+    heuristics could not distinguish as separate individuals".
+    """
+    return RegionSpec(
+        name=name,
+        callpath=CallPath.single(name, file, line),
+        point=WorkloadPoint(
+            work_units=instructions / instr_per_unit,
+            instructions_per_unit=instr_per_unit,
+            memory_accesses_per_unit=0.4,
+            working_set_bytes=64 * 1024,
+            bandwidth_demand_gbs=0.3,
+            core_cpi_scale=1.0,
+        ),
+        modes=(
+            Mode(weight=0.5, cpi_scale=max(cpi_center - cpi_delta, 1e-6)),
+            Mode(weight=0.5, cpi_scale=cpi_center + cpi_delta),
+        ),
+        work_jitter=0.008,
+        cycle_jitter=0.012,
+    )

@@ -1,0 +1,118 @@
+"""Gromacs — molecular dynamics.
+
+Gromacs appears twice in the paper's Table 2:
+
+- a **3-image study** (here: a process-count sweep) with 5 tracked
+  regions at 100 % coverage — five well-separated behaviours that the
+  tracker follows univocally;
+- a **20-image study** (here: consecutive time windows of a long run)
+  with 4 tracked regions at 80 % coverage — the non-bonded kernel is
+  bimodal and its modes drift across each other over time, so the
+  tracker groups them into one wide relation (4 tracked out of 5
+  identifiable).
+"""
+
+from __future__ import annotations
+
+from repro.apps._generic import crossing_region, simple_region
+from repro.apps.base import AppModel
+from repro.errors import ModelError
+from repro.machine.machine import MINOTAURO, Machine
+
+__all__ = ["build", "build_window"]
+
+_STABLE = (
+    # (name, file, line, instructions, cpi_scale)
+    ("nonbonded_inner", "nb_kernel.c", 512, 8.8e8, 1.05),
+    ("pme_spread", "pme.c", 240, 6.4e8, 1.60),
+    ("bonded_forces", "bondfree.c", 130, 4.6e8, 1.30),
+    ("constraints_lincs", "clincs.c", 77, 3.2e8, 1.95),
+    ("neighbor_search", "ns.c", 420, 2.0e8, 0.90),
+)
+
+
+def build(
+    ranks: int = 24,
+    *,
+    iterations: int = 6,
+    machine: Machine = MINOTAURO,
+    base_ranks: int = 24,
+) -> AppModel:
+    """3-image study scenario: Gromacs at a given process count.
+
+    Work per process divides with the process count; behaviours stay
+    well separated so the tracker resolves all five regions.
+    """
+    scale = base_ranks / ranks
+    regions = tuple(
+        simple_region(
+            name,
+            file,
+            line,
+            instructions=instr * scale,
+            cpi_scale=cpi * (1.0 + 0.02 * (ranks / base_ranks - 1.0)),
+        )
+        for name, file, line, instr, cpi in _STABLE
+    )
+    return AppModel(
+        name="Gromacs",
+        nranks=ranks,
+        regions=regions,
+        iterations=iterations,
+        machine=machine,
+        scenario={"tasks": ranks},
+    )
+
+
+def build_window(
+    window: int,
+    *,
+    n_windows: int = 20,
+    ranks: int = 24,
+    iterations: int = 5,
+    machine: Machine = MINOTAURO,
+) -> AppModel:
+    """20-image study scenario: one time window of a long Gromacs run.
+
+    Four behaviours are stable (with a gentle thermal drift); the
+    non-bonded kernel is bimodal, and its two modes slide across each
+    other as the particle distribution evolves — around the crossing the
+    displacement evaluator cannot keep them apart, so the pair collapses
+    to one tracked region for the whole sequence.
+    """
+    if not 0 <= window < n_windows:
+        raise ModelError(f"window must be in [0, {n_windows}), got {window}")
+    progress = window / max(n_windows - 1, 1)
+    drift = 1.0 + 0.06 * progress
+    regions = [
+        simple_region(
+            name,
+            file,
+            line,
+            instructions=instr,
+            cpi_scale=cpi * drift,
+        )
+        for name, file, line, instr, cpi in _STABLE[1:4]
+    ]
+    # The bimodal kernel: mode separation shrinks, crosses zero and
+    # reopens with the opposite sign over the 20 windows.
+    delta = 0.18 - 0.36 * progress
+    regions.append(
+        crossing_region(
+            "nonbonded_inner",
+            "nb_kernel.c",
+            512,
+            instructions=8.8e8,
+            cpi_center=1.15,
+            cpi_delta=delta if abs(delta) > 1e-9 else 1e-9,
+        )
+    )
+    regions.sort(key=lambda region: region.name)
+    return AppModel(
+        name="Gromacs",
+        nranks=ranks,
+        regions=tuple(regions),
+        iterations=iterations,
+        machine=machine,
+        scenario={"window": window},
+    )

@@ -1,0 +1,96 @@
+"""NAS BT — block-tridiagonal solver of the NAS Parallel Benchmarks.
+
+Paper section 4.2: BT v2.3 at 16 processes on MareNostrum with growing
+problem classes W, A, B, C (roughly 4x size per step).  Six computing
+regions are tracked.  Modelled behaviours (Figures 9-10):
+
+- per-process instructions grow with the grid volume, spanning about
+  two orders of magnitude from W to C;
+- the three solvers and the RHS assembly (regions 1, 2, 4, 5) carry a
+  large working set that blows past L2 already at class A: their IPC
+  drops 40-65 % from W to A and then stabilises;
+- the two lighter regions (3, 6) cross L2 capacity gradually: their IPC
+  keeps falling until class B;
+- class W shows large IPC variability (tiny problem, noisy timing);
+- L2 data-cache misses per process rise in step with the IPC losses.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, RegionSpec
+from repro.errors import ModelError
+from repro.machine.machine import MARENOSTRUM, Machine
+from repro.machine.perfmodel import WorkloadPoint
+from repro.trace.callstack import CallPath
+
+__all__ = ["build", "CLASS_GRID"]
+
+#: Grid edge length per NAS class (true BT values).
+CLASS_GRID: dict[str, int] = {"W": 24, "A": 64, "B": 102, "C": 162}
+
+#: (name, file, line, work coefficient, core CPI scale, memory accesses
+#: per unit, heavy working set).  Heavy regions keep ~6x the per-cell
+#: state resident (block factors), so their working sets blast past L2
+#: already at class A.
+_REGIONS: tuple[tuple[str, str, int, float, float, float, bool], ...] = (
+    ("x_solve", "x_solve.f", 41, 1.00, 1.00, 1.0, True),
+    ("y_solve", "y_solve.f", 41, 0.85, 1.40, 1.3, True),
+    ("compute_rhs", "rhs.f", 22, 0.72, 0.90, 1.0, False),
+    ("z_solve", "z_solve.f", 41, 0.55, 2.00, 1.6, True),
+    ("exact_rhs", "exact_rhs.f", 20, 0.40, 1.55, 0.8, True),
+    ("add", "add.f", 16, 0.25, 1.35, 1.0, False),
+)
+
+_INSTR_PER_UNIT = 30.0
+_BYTES_PER_CELL = 40.0  # five 8-byte solution variables
+_HEAVY_WS_FACTOR = 6.0
+
+
+def build(
+    problem_class: str = "A",
+    *,
+    ranks: int = 16,
+    iterations: int = 8,
+    machine: Machine = MARENOSTRUM,
+) -> AppModel:
+    """Build the NAS BT model for one problem class."""
+    try:
+        grid = CLASS_GRID[problem_class]
+    except KeyError as exc:
+        raise ModelError(
+            f"unknown NAS class {problem_class!r}; choose from {sorted(CLASS_GRID)}"
+        ) from exc
+    cells_per_rank = grid**3 / ranks
+    # Small problems run noisily (paper: "Class W also presents large
+    # variability in IPC").
+    cycle_jitter = 0.08 if problem_class == "W" else 0.02
+
+    regions = []
+    for name, file, line, coefficient, cpi, mem_per_unit, heavy in _REGIONS:
+        ws = cells_per_rank * _BYTES_PER_CELL
+        if heavy:
+            ws *= _HEAVY_WS_FACTOR
+        regions.append(
+            RegionSpec(
+                name=name,
+                callpath=CallPath.single(name, file, line),
+                point=WorkloadPoint(
+                    work_units=cells_per_rank * coefficient,
+                    instructions_per_unit=_INSTR_PER_UNIT,
+                    memory_accesses_per_unit=mem_per_unit,
+                    working_set_bytes=ws,
+                    bandwidth_demand_gbs=0.8,
+                    core_cpi_scale=cpi,
+                ),
+                work_jitter=0.01,
+                cycle_jitter=cycle_jitter,
+            )
+        )
+    return AppModel(
+        name="NAS-BT",
+        nranks=ranks,
+        regions=tuple(regions),
+        iterations=iterations,
+        machine=machine,
+        scenario={"class": problem_class},
+    )

@@ -1,0 +1,76 @@
+"""Quantum ESPRESSO — plane-wave DFT electronic-structure code.
+
+Table 2 row: 2 input images, 6 tracked regions, 66 % coverage.  The two
+scenarios are SCF configurations with different FFT grid mappings.
+Three regions are stable; three more (the FFT scatter/gather family)
+are bimodal in one configuration and homogeneous in the other, so each
+contributes a pair of objects the tracker must group with the merged
+counterpart: 9 identifiable objects, 3 + 3 = 6 tracked relations,
+coverage 66 %.
+"""
+
+from __future__ import annotations
+
+from repro.apps._generic import crossing_region, simple_region
+from repro.apps.base import AppModel
+from repro.errors import ModelError
+from repro.machine.machine import MARENOSTRUM, Machine
+
+__all__ = ["build"]
+
+
+def build(
+    configuration: int = 0,
+    *,
+    ranks: int = 64,
+    iterations: int = 6,
+    machine: Machine = MARENOSTRUM,
+) -> AppModel:
+    """Build the Quantum ESPRESSO model for one SCF configuration."""
+    if configuration not in (0, 1):
+        raise ModelError(f"configuration must be 0 or 1, got {configuration}")
+    sign = 1.0 if configuration == 0 else 0.0
+    drift = 1.0 + 0.05 * configuration
+    regions = (
+        simple_region(
+            "h_psi", "h_psi.f90", 120, instructions=9.5e8, cpi_scale=1.15 * drift
+        ),
+        crossing_region(
+            "fft_scatter_x",
+            "fft_parallel.f90",
+            301,
+            instructions=7.6e8,
+            cpi_center=1.55,
+            cpi_delta=0.22 * sign,
+        ),
+        simple_region(
+            "cdiaghg", "cdiaghg.f90", 88, instructions=5.9e8, cpi_scale=2.05 * drift
+        ),
+        crossing_region(
+            "fft_scatter_y",
+            "fft_parallel.f90",
+            355,
+            instructions=4.4e8,
+            cpi_center=1.40,
+            cpi_delta=0.20 * sign,
+        ),
+        simple_region(
+            "sum_band", "sum_band.f90", 204, instructions=3.1e8, cpi_scale=0.95 * drift
+        ),
+        crossing_region(
+            "fft_scatter_z",
+            "fft_parallel.f90",
+            410,
+            instructions=2.0e8,
+            cpi_center=1.70,
+            cpi_delta=0.24 * sign,
+        ),
+    )
+    return AppModel(
+        name="QuantumESPRESSO",
+        nranks=ranks,
+        regions=regions,
+        iterations=iterations,
+        machine=machine,
+        scenario={"configuration": configuration},
+    )

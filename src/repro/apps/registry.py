@@ -1,0 +1,53 @@
+"""Application registry: name -> model builder.
+
+The CLI and the study driver refer to applications by name; this module
+is the single lookup point.  Builders take scenario keyword arguments
+and return :class:`~repro.apps.base.AppModel` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.apps import (
+    cgpop,
+    gadget,
+    gromacs,
+    hydroc,
+    mrgenesis,
+    nasbt,
+    nasft,
+    quantum_espresso,
+    wrf,
+)
+from repro.apps.base import AppModel
+
+__all__ = ["APP_BUILDERS", "build_app"]
+
+AppBuilder = Callable[..., AppModel]
+
+#: All registered applications.  ``gromacs-window`` is the 20-image
+#: time-window variant of the Gromacs study.
+APP_BUILDERS: dict[str, AppBuilder] = {
+    "wrf": wrf.build,
+    "cgpop": cgpop.build,
+    "nas-bt": nasbt.build,
+    "nas-ft": nasft.build,
+    "mr-genesis": mrgenesis.build,
+    "hydroc": hydroc.build,
+    "gadget": gadget.build,
+    "quantum-espresso": quantum_espresso.build,
+    "gromacs": gromacs.build,
+    "gromacs-window": gromacs.build_window,
+}
+
+
+def build_app(name: str, /, **scenario: Any) -> AppModel:
+    """Build the application *name* with scenario keyword arguments."""
+    try:
+        builder = APP_BUILDERS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown application {name!r}; registered: {sorted(APP_BUILDERS)}"
+        ) from exc
+    return builder(**scenario)

@@ -1,0 +1,120 @@
+"""WRF — Weather Research & Forecasting model (paper sections 2-3).
+
+The paper's running example: WRF at 128 and 256 tasks on MareNostrum,
+with twelve relevant computing regions.  The model encodes the
+behaviours the paper reports when doubling the core count:
+
+- per-process instructions halve (strong scaling), so total
+  instructions per region stay constant — except Region 1, whose total
+  grows ~5 % per doubling (code replication, Fig. 7b);
+- regions 11 and 12 lose ~20 % IPC, regions 4, 6 and 7 gain ~5 %
+  (Fig. 7a); the rest move less than 3 %;
+- region 2 stretches vertically (instruction imbalance) and regions 7
+  and 11 horizontally (IPC variability), as in Fig. 1a;
+- several regions share call-stack references into
+  ``module_comm_dm.f90`` (Table 1): regions 2 and 5 point to the same
+  line, as do regions 7 and 12.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.base import AppModel, RegionSpec
+from repro.machine.machine import MARENOSTRUM, Machine
+from repro.machine.perfmodel import WorkloadPoint
+from repro.trace.callstack import CallPath
+
+__all__ = ["build", "REGION_TABLE"]
+
+#: Region parameter table: (name, source line, per-rank instructions at
+#: the 128-task baseline [millions], core-CPI scale, imbalance,
+#: cycle jitter).  Call-stack file mirrors the paper's Table 1.
+REGION_TABLE: tuple[tuple[str, int, float, float, float, float], ...] = (
+    ("halo_exchange_a", 4939, 700.0, 1.20, 0.05, 0.015),
+    ("advect_scalar", 6474, 620.0, 1.80, 0.35, 0.015),
+    ("small_step_prep", 6060, 540.0, 1.40, 0.05, 0.015),
+    ("advance_uv", 2472, 460.0, 2.40, 0.05, 0.015),
+    ("advect_scalar_tail", 6474, 390.0, 1.10, 0.05, 0.015),
+    ("advance_w", 3310, 320.0, 2.00, 0.05, 0.015),
+    ("sound_step", 5734, 260.0, 1.60, 0.05, 0.050),
+    ("microphysics", 1210, 200.0, 1.30, 0.05, 0.015),
+    ("radiation", 2088, 150.0, 2.20, 0.05, 0.015),
+    ("pbl_physics", 7150, 110.0, 1.50, 0.05, 0.015),
+    ("sound_step_tail", 6275, 75.0, 2.60, 0.05, 0.050),
+    ("boundary_update", 5734, 45.0, 1.90, 0.05, 0.015),
+)
+
+_FILE = "module_comm_dm.f90"
+_INSTR_PER_UNIT = 60.0
+#: Regions whose IPC degrades ~20 % per core-count doubling (1-based).
+_DEGRADING = {11, 12}
+#: Regions whose IPC improves ~5 % per doubling.
+_IMPROVING = {4, 6, 7}
+#: Region with ~5 % total-instruction growth per doubling (replication).
+_REPLICATING = {1}
+
+
+def build(
+    ranks: int = 128,
+    *,
+    iterations: int = 6,
+    machine: Machine = MARENOSTRUM,
+    base_ranks: int = 128,
+) -> AppModel:
+    """Build the WRF model for a given task count.
+
+    Parameters
+    ----------
+    ranks:
+        MPI process count of the scenario.
+    iterations:
+        Simulated outer time steps.
+    machine:
+        Machine preset (the paper ran WRF on MareNostrum).
+    base_ranks:
+        Task count of the reference scenario; scaling behaviours are
+        expressed relative to it.
+    """
+    doublings = math.log2(ranks / base_ranks)
+    regions = []
+    for index, (name, line, instr_m, cpi, imbalance, jitter) in enumerate(
+        REGION_TABLE, start=1
+    ):
+        total_instr = instr_m * 1e6 * base_ranks
+        if index in _REPLICATING:
+            total_instr *= 1.0 + 0.05 * doublings
+        per_rank_instr = total_instr / ranks
+        cpi_scale = cpi
+        if index in _DEGRADING:
+            cpi_scale *= 1.25**doublings
+        elif index in _IMPROVING:
+            cpi_scale *= (1.0 / 1.05) ** doublings
+        regions.append(
+            RegionSpec(
+                name=name,
+                # Regions sharing a source line share the full call path
+                # (paper Table 1: several regions point at the same
+                # communication-module line).
+                callpath=CallPath.single(f"comm_line_{line}", _FILE, line),
+                point=WorkloadPoint(
+                    work_units=per_rank_instr / _INSTR_PER_UNIT,
+                    instructions_per_unit=_INSTR_PER_UNIT,
+                    memory_accesses_per_unit=0.5,
+                    working_set_bytes=96 * 1024,
+                    bandwidth_demand_gbs=0.3,
+                    core_cpi_scale=cpi_scale,
+                ),
+                imbalance=imbalance,
+                work_jitter=0.01,
+                cycle_jitter=jitter,
+            )
+        )
+    return AppModel(
+        name="WRF",
+        nranks=ranks,
+        regions=tuple(regions),
+        iterations=iterations,
+        machine=machine,
+        scenario={"tasks": ranks},
+    )

@@ -1,0 +1,313 @@
+"""Command-line interface: ``repro-track`` / ``python -m repro``.
+
+Sub-commands
+------------
+``simulate``
+    Generate a synthetic application trace and save it.
+``track``
+    Cluster + track a set of saved traces; print the relations, trends
+    and optionally render SVGs.
+``study``
+    Run one of the paper's canned case studies by name.
+``table2``
+    Run all ten case studies and print the Table 2 reproduction.
+``info``
+    List registered applications, machines and case studies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_scenario(pairs: list[str]) -> dict[str, object]:
+    """Parse ``key=value`` scenario arguments with light type coercion."""
+    scenario: dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"error: scenario argument {pair!r} is not key=value")
+        key, raw = pair.split("=", 1)
+        value: object
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        scenario[key] = value
+    return scenario
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-track",
+        description="Object tracking techniques applied to performance analysis "
+        "(SC 2013 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic application trace")
+    sim.add_argument("app", help="registered application name (see `info`)")
+    sim.add_argument("scenario", nargs="*", help="scenario parameters key=value")
+    sim.add_argument("-o", "--output", required=True, help="trace file (.json/.csv[.gz])")
+    sim.add_argument("--seed", type=int, default=0)
+
+    track = sub.add_parser("track", help="track objects across saved traces")
+    track.add_argument("traces", nargs="+", help="trace files, in sequence order")
+    track.add_argument("--x-metric", default="ipc")
+    track.add_argument("--y-metric", default="instructions")
+    track.add_argument("--eps", type=float, default=0.03)
+    track.add_argument("--min-pts", type=int, default=None)
+    track.add_argument("--relevance", type=float, default=0.95)
+    track.add_argument("--log-y", action="store_true")
+    track.add_argument("--trend-metric", action="append", default=None,
+                       help="metric(s) to report trends for (default: ipc)")
+    track.add_argument("--render", metavar="DIR", default=None,
+                       help="write SVG renderings into DIR")
+
+    study = sub.add_parser("study", help="run a canned paper case study")
+    study.add_argument("name", help="case study name (see `info`)")
+    study.add_argument("--seed", type=int, default=0)
+    study.add_argument("--render", metavar="DIR", default=None)
+
+    sub.add_parser("table2", help="run all case studies; print Table 2")
+
+    report = sub.add_parser(
+        "report", help="who-is-who report with evaluator evidence"
+    )
+    report.add_argument("traces", nargs="+", help="trace files, in sequence order")
+    report.add_argument("--no-evidence", action="store_true",
+                        help="omit the per-relation evaluator evidence")
+    report.add_argument("--relevance", type=float, default=0.95)
+
+    animate = sub.add_parser(
+        "animate", help="write an animated HTML view of the tracked frames"
+    )
+    animate.add_argument("traces", nargs="+", help="trace files, in sequence order")
+    animate.add_argument("-o", "--output", required=True, help="output .html file")
+    animate.add_argument("--interval", type=int, default=900,
+                         help="frame interval in milliseconds")
+    animate.add_argument("--relevance", type=float, default=0.95)
+
+    tune = sub.add_parser(
+        "tune", help="suggest a DBSCAN eps for a trace (plateau search)"
+    )
+    tune.add_argument("trace", help="trace file to tune against")
+    tune.add_argument("--x-metric", default="ipc")
+    tune.add_argument("--y-metric", default="instructions")
+    tune.add_argument("--log-y", action="store_true")
+
+    sub.add_parser("info", help="list applications, machines and case studies")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.apps.registry import build_app
+    from repro.trace.io import save_trace
+
+    model = build_app(args.app, **_parse_scenario(args.scenario))
+    trace = model.run(seed=args.seed)
+    path = save_trace(trace, args.output)
+    print(f"wrote {trace.n_bursts} bursts of {trace.label()} to {path}")
+    return 0
+
+
+def _print_result(result, trend_metrics: list[str]) -> None:
+    from repro.analysis.insights import diagnose, format_insights
+    from repro.analysis.report import format_table
+    from repro.tracking.trends import compute_trends
+
+    print(f"frames: {result.n_frames}   tracked regions: "
+          f"{len(result.tracked_regions)}   coverage: {result.coverage}%")
+    for region in result.regions:
+        print(f"  {region!r}")
+    for metric in trend_metrics:
+        series = compute_trends(result, metric)
+        rows = [
+            [f"Region {s.region_id}"]
+            + [("-" if not np.isfinite(v) else f"{v:.4g}") for v in s.values]
+            for s in series
+        ]
+        labels = [frame.label for frame in result.frames]
+        print()
+        print(format_table(["", *labels], rows, title=f"{metric} evolution"))
+    print()
+    print(format_insights(diagnose(result)))
+
+
+def _render(result, out_dir: str) -> None:
+    from repro.tracking.relabel import relabel_frames
+    from repro.tracking.trends import compute_trends
+    from repro.viz.frames_plot import render_sequence_svg
+    from repro.viz.trend_plot import render_trends_svg
+
+    out = Path(out_dir)
+    relabeled = relabel_frames(result)
+    seq_path = render_sequence_svg(relabeled, out / "frames.svg")
+    trend_path = render_trends_svg(
+        compute_trends(result, "ipc"), out / "trend_ipc.svg", title="IPC evolution"
+    )
+    print(f"rendered {seq_path} and {trend_path}")
+
+
+def _cmd_track(args: argparse.Namespace) -> int:
+    from repro.api import quick_track
+    from repro.clustering.frames import FrameSettings
+    from repro.trace.io import load_trace
+
+    traces = [load_trace(path) for path in args.traces]
+    settings = FrameSettings(
+        x_metric=args.x_metric,
+        y_metric=args.y_metric,
+        eps=args.eps,
+        min_pts=args.min_pts,
+        relevance=args.relevance,
+        log_y=args.log_y,
+    )
+    result = quick_track(traces, settings=settings)
+    _print_result(result, args.trend_metric or ["ipc"])
+    if args.render:
+        _render(result, args.render)
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import get_case_study
+
+    case = get_case_study(args.name)
+    study_result = case.run(seed=args.seed)
+    print(f"case study: {case.name} "
+          f"(expected: {case.expected_regions} regions, "
+          f"{case.expected_coverage}% coverage)")
+    _print_result(study_result.result, ["ipc"])
+    if args.render:
+        _render(study_result.result, args.render)
+    return 0
+
+
+def _load_and_track(trace_paths: list[str], relevance: float):
+    from repro.api import quick_track
+    from repro.clustering.frames import FrameSettings
+    from repro.trace.io import load_trace
+
+    traces = [load_trace(path) for path in trace_paths]
+    return quick_track(traces, settings=FrameSettings(relevance=relevance))
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.tracking.report import who_is_who
+
+    result = _load_and_track(args.traces, args.relevance)
+    print(who_is_who(result, evidence=not args.no_evidence))
+    return 0
+
+
+def _cmd_animate(args: argparse.Namespace) -> int:
+    from repro.tracking.relabel import relabel_frames
+    from repro.viz.animate import render_animation_html
+
+    result = _load_and_track(args.traces, args.relevance)
+    relabeled = relabel_frames(result)
+    path = render_animation_html(
+        relabeled, args.output, interval_ms=args.interval
+    )
+    print(f"wrote {path} ({len(relabeled)} frames)")
+    return 0
+
+
+def _cmd_table2(_: argparse.Namespace) -> int:
+    from repro.analysis.experiments import CASE_STUDIES
+    from repro.analysis.report import format_table2
+
+    results = {}
+    for case in CASE_STUDIES:
+        print(f"running {case.name}...", file=sys.stderr)
+        results[case.name] = case.run()
+    print(format_table2(results))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.clustering.frames import FrameSettings
+    from repro.clustering.tuning import tune_eps
+    from repro.trace.io import load_trace
+
+    trace = load_trace(args.trace)
+    settings = FrameSettings(
+        x_metric=args.x_metric, y_metric=args.y_metric, log_y=args.log_y
+    )
+    result = tune_eps(trace, settings=settings)
+    rows = [
+        [f"{c.eps:.4f}", c.n_clusters, f"{c.noise_fraction * 100:.1f}%",
+         f"{c.silhouette:.3f}", "<- selected" if c is result.best else ""]
+        for c in result.candidates
+    ]
+    print(format_table(
+        ["eps", "clusters", "noise", "silhouette", ""],
+        rows,
+        title=f"eps tuning for {trace.label()}",
+    ))
+    print(f"\nsuggested eps: {result.eps:.4f} "
+          f"({result.best.n_clusters} clusters)")
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    from repro.analysis.experiments import CASE_STUDIES
+    from repro.apps.registry import APP_BUILDERS
+    from repro.machine.machine import MACHINES
+
+    print("applications:")
+    for name in sorted(APP_BUILDERS):
+        print(f"  {name}")
+    print("machines:")
+    for name, machine in MACHINES.items():
+        print(f"  {name}: {machine.clock_hz / 1e9:.2f} GHz, "
+              f"{machine.cores_per_node} cores/node")
+    print("case studies (paper Table 2):")
+    for case in CASE_STUDIES:
+        print(f"  {case.name}: {case.expected_images} images, "
+              f"{case.expected_regions} regions, {case.expected_coverage}%")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "track": _cmd_track,
+    "study": _cmd_study,
+    "table2": _cmd_table2,
+    "report": _cmd_report,
+    "animate": _cmd_animate,
+    "tune": _cmd_tune,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

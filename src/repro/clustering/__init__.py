@@ -1,0 +1,43 @@
+"""Cluster analysis: from performance data to trackable objects.
+
+Implements the frame-capture and object-recognition stages of the
+paper's pipeline (section 2).  CPU bursts become points in a 2-D (or
+n-D) performance-metric space; density-based clustering groups similar
+bursts into objects; a relevance filter keeps the clusters that account
+for most of the execution time.
+
+- :mod:`~repro.clustering.dbscan` — DBSCAN implemented from scratch on
+  :class:`scipy.spatial.cKDTree` (no scikit-learn in this environment).
+- :mod:`~repro.clustering.normalize` — per-frame axis scaling.
+- :mod:`~repro.clustering.cluster` — :class:`Cluster` / :class:`ClusterSet`.
+- :mod:`~repro.clustering.frames` — build :class:`Frame` objects from
+  traces; the frame is the unit the tracker consumes.
+- :mod:`~repro.clustering.quality` — internal clustering quality stats.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.cluster import Cluster, ClusterSet
+from repro.clustering.dbscan import DBSCAN, DBSCANResult
+from repro.clustering.frames import Frame, FrameSettings, make_frame, make_frames
+from repro.clustering.normalize import MinMaxScaler, normalize_columns
+from repro.clustering.quality import cluster_quality, silhouette_samples
+from repro.clustering.tuning import auto_settings, kdist_eps, tune_eps
+
+__all__ = [
+    "auto_settings",
+    "kdist_eps",
+    "tune_eps",
+    "DBSCAN",
+    "DBSCANResult",
+    "Cluster",
+    "ClusterSet",
+    "Frame",
+    "FrameSettings",
+    "make_frame",
+    "make_frames",
+    "MinMaxScaler",
+    "normalize_columns",
+    "cluster_quality",
+    "silhouette_samples",
+]

@@ -1,0 +1,140 @@
+"""Cluster containers: the recognised objects of one frame.
+
+A :class:`Cluster` is one object in the performance-space image — a
+group of CPU bursts with similar behaviour.  Clusters are numbered by
+decreasing total duration (cluster 1 is the most time-consuming), the
+convention the BSC tools and the paper's figures use.  Label 0 is
+noise/filtered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+__all__ = ["Cluster", "ClusterSet", "rank_labels_by_duration"]
+
+
+@dataclass(frozen=True, slots=True)
+class Cluster:
+    """One recognised object of a frame.
+
+    Attributes
+    ----------
+    cluster_id:
+        Duration-ranked id (1 = most time-consuming).
+    indices:
+        Indices of the member bursts within the frame's trace.
+    centroid:
+        Mean position in the frame's (raw) metric space.
+    total_duration:
+        Sum of member burst durations in seconds.
+    callpaths:
+        Canonical string forms of the call paths seen among members.
+    ranks:
+        Distinct MPI ranks contributing bursts to this cluster.
+    """
+
+    cluster_id: int
+    indices: np.ndarray
+    centroid: np.ndarray
+    total_duration: float
+    callpaths: frozenset[str] = field(default_factory=frozenset)
+    ranks: frozenset[int] = field(default_factory=frozenset)
+
+    @property
+    def size(self) -> int:
+        """Number of member bursts."""
+        return int(self.indices.shape[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(id={self.cluster_id}, size={self.size}, "
+            f"duration={self.total_duration:.4g}s)"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSet:
+    """All clusters of one frame plus the per-point labelling.
+
+    ``labels[i]`` is the cluster id of point *i* (0 = noise/filtered).
+    """
+
+    labels: np.ndarray
+    clusters: tuple[Cluster, ...]
+
+    def __post_init__(self) -> None:
+        ids = [c.cluster_id for c in self.clusters]
+        if ids != sorted(ids) or len(set(ids)) != len(ids):
+            raise ClusteringError("cluster ids must be unique and ascending")
+        if any(c.cluster_id < 1 for c in self.clusters):
+            raise ClusteringError("cluster ids must start at 1 (0 is noise)")
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of recognised clusters (noise excluded)."""
+        return len(self.clusters)
+
+    @property
+    def cluster_ids(self) -> tuple[int, ...]:
+        """Ids of the recognised clusters, ascending."""
+        return tuple(c.cluster_id for c in self.clusters)
+
+    def cluster(self, cluster_id: int) -> Cluster:
+        """Return the cluster with the given id."""
+        for cluster in self.clusters:
+            if cluster.cluster_id == cluster_id:
+                return cluster
+        raise KeyError(f"no cluster with id {cluster_id}")
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def noise_indices(self) -> np.ndarray:
+        """Indices of noise/filtered points."""
+        return np.flatnonzero(self.labels == 0)
+
+    def duration_coverage(self, total_duration: float) -> float:
+        """Fraction of *total_duration* the recognised clusters explain."""
+        if total_duration <= 0:
+            return 0.0
+        clustered = sum(c.total_duration for c in self.clusters)
+        return clustered / total_duration
+
+
+def rank_labels_by_duration(
+    labels: np.ndarray, durations: np.ndarray
+) -> np.ndarray:
+    """Renumber cluster labels by decreasing total duration.
+
+    Input labels use 0 for noise and arbitrary positive ids for
+    clusters; the output keeps 0 for noise and assigns 1 to the cluster
+    with the largest summed duration, 2 to the next, and so on.
+    """
+    labels = np.asarray(labels)
+    durations = np.asarray(durations, dtype=np.float64)
+    if labels.shape != durations.shape:
+        raise ClusteringError(
+            f"labels {labels.shape} and durations {durations.shape} differ in shape"
+        )
+    unique = np.unique(labels)
+    unique = unique[unique != 0]
+    if unique.size == 0:
+        return np.zeros_like(labels)
+    totals = np.array([durations[labels == lab].sum() for lab in unique])
+    order = np.argsort(totals)[::-1]
+    mapping = np.zeros(int(labels.max()) + 1, dtype=labels.dtype)
+    for new_id, idx in enumerate(order, start=1):
+        mapping[unique[idx]] = new_id
+    out = np.zeros_like(labels)
+    positive = labels > 0
+    out[positive] = mapping[labels[positive]]
+    return out

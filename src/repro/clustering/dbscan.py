@@ -1,0 +1,140 @@
+"""Density-based clustering (DBSCAN), implemented from scratch.
+
+The BSC cluster-analysis tool the paper builds on (Gonzalez et al.,
+IPDPS'09) uses DBSCAN to group CPU bursts by similarity in the selected
+metric space: density clustering needs no a-priori cluster count and
+marks sparse points as noise, both essential when the number of
+behavioural regions is unknown and instrumentation noise is present.
+
+scikit-learn is not available in this environment, so this is a clean
+classic implementation: neighbourhoods come from a
+:class:`scipy.spatial.cKDTree` ball query, core points are those with
+at least ``min_pts`` neighbours (inclusive of themselves), and clusters
+are grown breadth-first from unvisited core points.  Border points are
+assigned to the first cluster that reaches them, exactly as in the
+original Ester et al. (1996) formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import ClusteringError
+
+__all__ = ["DBSCAN", "DBSCANResult", "NOISE"]
+
+#: Label given to noise points.  Cluster labels start at 1 so that the
+#: plots and tables read like the paper's ("Cluster 0" is reserved).
+NOISE = 0
+
+
+@dataclass(frozen=True, slots=True)
+class DBSCANResult:
+    """Outcome of one DBSCAN run.
+
+    Attributes
+    ----------
+    labels:
+        Per-point cluster label; ``NOISE`` (0) marks noise, clusters are
+        numbered from 1 in discovery order (renumbered by callers that
+        want duration ranking).
+    n_clusters:
+        Number of clusters found.
+    core_mask:
+        Boolean mask of core points.
+    """
+
+    labels: np.ndarray
+    n_clusters: int
+    core_mask: np.ndarray
+
+    def cluster_indices(self, label: int) -> np.ndarray:
+        """Indices of the points carrying *label*."""
+        return np.flatnonzero(self.labels == label)
+
+    @property
+    def noise_indices(self) -> np.ndarray:
+        """Indices of noise points."""
+        return np.flatnonzero(self.labels == NOISE)
+
+
+class DBSCAN:
+    """Classic DBSCAN clusterer.
+
+    Parameters
+    ----------
+    eps:
+        Neighbourhood radius in the (already normalised) metric space.
+    min_pts:
+        Minimum neighbourhood size (including the point itself) for a
+        point to be *core*.
+
+    Notes
+    -----
+    Complexity is ``O(n log n)`` for the tree build plus the total size
+    of all neighbourhoods for the expansion, which is ample for the
+    10^4-10^5 bursts per frame this package works with.
+    """
+
+    def __init__(self, eps: float, min_pts: int) -> None:
+        if eps <= 0:
+            raise ClusteringError(f"eps must be > 0, got {eps}")
+        if min_pts < 1:
+            raise ClusteringError(f"min_pts must be >= 1, got {min_pts}")
+        self.eps = float(eps)
+        self.min_pts = int(min_pts)
+
+    def fit(self, points: np.ndarray) -> DBSCANResult:
+        """Cluster *points* (shape ``(n, d)``) and return the labelling."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ClusteringError(
+                f"points must be a 2-D array, got shape {points.shape}"
+            )
+        n = points.shape[0]
+        if n == 0:
+            return DBSCANResult(
+                labels=np.zeros(0, dtype=np.int32),
+                n_clusters=0,
+                core_mask=np.zeros(0, dtype=bool),
+            )
+        if not np.isfinite(points).all():
+            raise ClusteringError("points contain NaN or infinite values")
+
+        tree = cKDTree(points)
+        neighborhoods = tree.query_ball_point(points, self.eps, workers=-1)
+        neighbor_counts = np.fromiter(
+            (len(nb) for nb in neighborhoods), count=n, dtype=np.int64
+        )
+        core_mask = neighbor_counts >= self.min_pts
+
+        labels = np.full(n, NOISE, dtype=np.int32)
+        visited = np.zeros(n, dtype=bool)
+        current_label = 0
+
+        for seed in range(n):
+            if visited[seed] or not core_mask[seed]:
+                continue
+            current_label += 1
+            # Breadth-first expansion from this core point.
+            queue = [seed]
+            visited[seed] = True
+            labels[seed] = current_label
+            while queue:
+                point = queue.pop()
+                # Only core points expand the cluster; border points are
+                # claimed but not traversed.
+                if not core_mask[point]:
+                    continue
+                for neighbor in neighborhoods[point]:
+                    if labels[neighbor] == NOISE and not visited[neighbor]:
+                        labels[neighbor] = current_label
+                        visited[neighbor] = True
+                        if core_mask[neighbor]:
+                            queue.append(neighbor)
+        return DBSCANResult(
+            labels=labels, n_clusters=current_label, core_mask=core_mask
+        )

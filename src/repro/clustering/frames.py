@@ -1,0 +1,289 @@
+"""Frame construction: one experiment -> one image of trackable objects.
+
+A :class:`Frame` is the analogue of a video frame in the tracking
+analogy: the scatter of every CPU burst of one experiment in a chosen
+performance-metric space, with density clustering applied and the
+clusters ranked and filtered by the time they represent.  Frames are
+what the tracker consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.clustering.cluster import Cluster, ClusterSet, rank_labels_by_duration
+from repro.clustering.dbscan import DBSCAN
+from repro.clustering.normalize import MinMaxScaler
+from repro.errors import ClusteringError
+from repro.trace.filters import filter_min_duration
+from repro.trace.trace import Trace
+
+__all__ = ["FrameSettings", "Frame", "make_frame", "make_frames"]
+
+
+@dataclass(frozen=True, slots=True)
+class FrameSettings:
+    """Knobs of the frame-construction pipeline.
+
+    Attributes
+    ----------
+    x_metric / y_metric:
+        Axis metrics (derived metric or raw counter names).  The paper's
+        default pair: IPC on X, Instructions Completed on Y.
+    extra_metrics:
+        Additional clustering dimensions beyond the two plot axes — the
+        paper notes the process "can be likewise applied to any
+        arbitrary number of dimensions".  Extra axes participate in the
+        DBSCAN space and in cross-frame normalisation; plots keep
+        showing the (x, y) projection.
+    eps:
+        DBSCAN radius in the per-frame min-max normalised space.
+    min_pts:
+        DBSCAN core threshold; ``None`` picks ``max(5, n/400)``.
+    min_duration:
+        Discard bursts shorter than this (seconds) before clustering.
+    relevance:
+        Keep the top-duration clusters until they cover this fraction of
+        the *clustered* time; the rest are folded into label 0.  This is
+        the paper's reduction "to the ones considered more relevant".
+    log_y:
+        Cluster on ``log10(y)`` instead of raw y — useful when one frame
+        spans decades of instruction counts (NAS BT classes).
+    """
+
+    x_metric: str = "ipc"
+    y_metric: str = "instructions"
+    extra_metrics: tuple[str, ...] = ()
+    eps: float = 0.03
+    min_pts: int | None = None
+    min_duration: float = 0.0
+    relevance: float = 0.95
+    log_y: bool = False
+
+    def __post_init__(self) -> None:
+        if self.eps <= 0:
+            raise ClusteringError(f"eps must be > 0, got {self.eps}")
+        if self.min_pts is not None and self.min_pts < 1:
+            raise ClusteringError(f"min_pts must be >= 1, got {self.min_pts}")
+        if not 0.0 < self.relevance <= 1.0:
+            raise ClusteringError(f"relevance must be in (0, 1], got {self.relevance}")
+        if self.min_duration < 0:
+            raise ClusteringError("min_duration must be >= 0")
+        if len(set(self.metric_names)) != len(self.metric_names):
+            raise ClusteringError(
+                f"clustering metrics must be distinct, got {self.metric_names}"
+            )
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        """All clustering dimensions, (x, y, *extra)."""
+        return (self.x_metric, self.y_metric, *self.extra_metrics)
+
+    @property
+    def n_dimensions(self) -> int:
+        """Number of clustering dimensions."""
+        return 2 + len(self.extra_metrics)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One clustered image of the performance space.
+
+    Attributes
+    ----------
+    trace:
+        The (duration-filtered) trace behind the frame.
+    settings:
+        The settings the frame was built with.
+    points:
+        ``(n, d)`` raw metric values per burst, one column per
+        clustering dimension; columns 0 and 1 are the plot axes
+        (x = IPC, y = instructions by default).
+    cluster_set:
+        Per-point labels plus duration-ranked :class:`Cluster` objects.
+    """
+
+    trace: Trace
+    settings: FrameSettings
+    points: np.ndarray
+    cluster_set: ClusterSet
+
+    @property
+    def plot_points(self) -> np.ndarray:
+        """The (x, y) projection used by the 2-D renderers."""
+        return self.points[:, :2]
+
+    @property
+    def label(self) -> str:
+        """Human-readable experiment label."""
+        return self.trace.label()
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Per-point cluster ids (0 = noise/filtered)."""
+        return self.cluster_set.labels
+
+    @property
+    def n_points(self) -> int:
+        """Number of bursts in the frame."""
+        return int(self.points.shape[0])
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of relevant clusters."""
+        return self.cluster_set.n_clusters
+
+    @property
+    def cluster_ids(self) -> tuple[int, ...]:
+        """Ids of the relevant clusters."""
+        return self.cluster_set.cluster_ids
+
+    def cluster(self, cluster_id: int) -> Cluster:
+        """Look up one cluster by id."""
+        return self.cluster_set.cluster(cluster_id)
+
+    @cached_property
+    def rank_sequences(self) -> dict[int, np.ndarray]:
+        """Time-ordered cluster-id sequence per rank (noise dropped).
+
+        This is the input of the SPMD-simultaneity and execution-sequence
+        evaluators: for every rank, the chronological succession of the
+        clusters its bursts belong to.
+        """
+        sequences: dict[int, np.ndarray] = {}
+        labels = self.labels
+        for rank in np.unique(self.trace.rank):
+            mask = self.trace.rank == rank
+            order = np.argsort(self.trace.begin[mask], kind="stable")
+            seq = labels[mask][order]
+            sequences[int(rank)] = seq[seq != 0]
+        return sequences
+
+    def cluster_metric(self, cluster_id: int, metric: str, weighted: bool = True) -> float:
+        """Aggregate *metric* over one cluster's bursts.
+
+        Extensive metrics (instructions, duration, misses...) are summed
+        then divided by the burst count (mean per burst); the IPC is
+        computed as total instructions over total cycles when *weighted*
+        (the paper's tables aggregate that way), else as a plain mean.
+        """
+        indices = self.cluster(cluster_id).indices
+        if metric == "ipc" and weighted:
+            instructions = self.trace.metric("instructions")[indices].sum()
+            cycles = self.trace.metric("cycles")[indices].sum()
+            return float(instructions / cycles) if cycles else 0.0
+        values = self.trace.metric(metric)[indices]
+        return float(values.mean()) if values.size else 0.0
+
+    def cluster_total(self, cluster_id: int, metric: str) -> float:
+        """Sum *metric* over one cluster's bursts."""
+        indices = self.cluster(cluster_id).indices
+        return float(self.trace.metric(metric)[indices].sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"Frame(label={self.label!r}, n_points={self.n_points}, "
+            f"n_clusters={self.n_clusters})"
+        )
+
+
+def _auto_min_pts(n_points: int) -> int:
+    """Default DBSCAN core threshold: scales gently with the population."""
+    return max(5, n_points // 400)
+
+
+def _relevance_filter(
+    labels: np.ndarray, durations: np.ndarray, relevance: float
+) -> np.ndarray:
+    """Keep duration-ranked clusters 1..k covering *relevance* of the
+    clustered time; relabel the rest to 0 and renumber to stay dense."""
+    out = labels.copy()
+    ids = np.unique(labels)
+    ids = ids[ids != 0]
+    if ids.size == 0:
+        return out
+    totals = np.array([durations[labels == lab].sum() for lab in ids])
+    # labels are already duration-ranked: ids ascending = totals descending
+    order = np.argsort(ids)
+    cumulative = np.cumsum(totals[order])
+    target = relevance * cumulative[-1]
+    keep_count = int(np.searchsorted(cumulative, target)) + 1
+    keep_count = min(keep_count, ids.size)
+    dropped = ids[order][keep_count:]
+    if dropped.size:
+        out[np.isin(out, dropped)] = 0
+    return out
+
+
+def make_frame(trace: Trace, settings: FrameSettings | None = None) -> Frame:
+    """Build a :class:`Frame` from a trace.
+
+    Pipeline: duration filter -> metric extraction -> per-frame min-max
+    normalisation -> DBSCAN -> duration ranking -> relevance filter ->
+    cluster object construction.
+    """
+    settings = settings or FrameSettings()
+    if settings.min_duration > 0:
+        trace = filter_min_duration(trace, settings.min_duration)
+    if trace.n_bursts == 0:
+        raise ClusteringError(f"trace {trace.label()!r} has no bursts to cluster")
+
+    columns = [trace.metric(name) for name in settings.metric_names]
+    points = np.column_stack(columns)
+    clustering_columns = list(columns)
+    if settings.log_y:
+        if np.any(clustering_columns[1] <= 0):
+            raise ClusteringError("log_y requires strictly positive y values")
+        clustering_columns[1] = np.log10(clustering_columns[1])
+    clustering_space = np.column_stack(clustering_columns)
+
+    scaler = MinMaxScaler.fit(clustering_space)
+    scaled = scaler.transform(clustering_space)
+    min_pts = settings.min_pts if settings.min_pts is not None else _auto_min_pts(
+        points.shape[0]
+    )
+    result = DBSCAN(eps=settings.eps, min_pts=min_pts).fit(scaled)
+
+    durations = trace.duration
+    ranked = rank_labels_by_duration(result.labels, durations)
+    ranked = _relevance_filter(ranked, durations, settings.relevance)
+    # Renumber after the relevance filter so ids stay dense from 1.
+    ranked = rank_labels_by_duration(ranked, durations)
+
+    clusters: list[Cluster] = []
+    for cluster_id in np.unique(ranked):
+        if cluster_id == 0:
+            continue
+        indices = np.flatnonzero(ranked == cluster_id)
+        callpaths = frozenset(
+            str(trace.callstacks.path(int(pid)))
+            for pid in np.unique(trace.callpath_id[indices])
+        )
+        clusters.append(
+            Cluster(
+                cluster_id=int(cluster_id),
+                indices=indices,
+                centroid=points[indices].mean(axis=0),
+                total_duration=float(durations[indices].sum()),
+                callpaths=callpaths,
+                ranks=frozenset(int(r) for r in np.unique(trace.rank[indices])),
+            )
+        )
+    clusters.sort(key=lambda c: c.cluster_id)
+    return Frame(
+        trace=trace,
+        settings=settings,
+        points=points,
+        cluster_set=ClusterSet(labels=ranked, clusters=tuple(clusters)),
+    )
+
+
+def make_frames(
+    traces: list[Trace], settings: FrameSettings | None = None
+) -> list[Frame]:
+    """Build one frame per trace with shared settings."""
+    settings = settings or FrameSettings()
+    return [make_frame(trace, settings) for trace in traces]

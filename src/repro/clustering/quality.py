@@ -1,0 +1,116 @@
+"""Internal clustering-quality measures.
+
+Used by tests and by analysts tuning DBSCAN parameters: a silhouette
+coefficient (sampled, since the exact version is quadratic) and a set
+of per-frame structural statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.errors import ClusteringError
+
+__all__ = ["silhouette_samples", "silhouette_score", "cluster_quality", "QualityReport"]
+
+
+def silhouette_samples(
+    points: np.ndarray,
+    labels: np.ndarray,
+    *,
+    max_points: int = 2000,
+    seed: int = 0,
+) -> np.ndarray:
+    """Silhouette coefficient per (sampled) clustered point.
+
+    Noise points (label 0) are excluded.  When more than *max_points*
+    clustered points exist, a uniform subsample keeps the computation
+    near-linear while remaining a faithful estimate.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if points.shape[0] != labels.shape[0]:
+        raise ClusteringError("points and labels must have equal length")
+    clustered = np.flatnonzero(labels != 0)
+    if clustered.size == 0:
+        return np.zeros(0)
+    unique = np.unique(labels[clustered])
+    if unique.size < 2:
+        return np.zeros(clustered.size)
+
+    rng = np.random.default_rng(seed)
+    if clustered.size > max_points:
+        clustered = rng.choice(clustered, size=max_points, replace=False)
+    sample_points = points[clustered]
+    sample_labels = labels[clustered]
+
+    # Distances from each sampled point to each cluster's sampled points.
+    scores = np.zeros(clustered.size)
+    dists = cdist(sample_points, sample_points)
+    for i in range(clustered.size):
+        own = sample_labels[i]
+        own_mask = sample_labels == own
+        other_count = int(own_mask.sum()) - 1
+        if other_count <= 0:
+            scores[i] = 0.0
+            continue
+        a = dists[i, own_mask].sum() / other_count
+        b = np.inf
+        for lab in unique:
+            if lab == own:
+                continue
+            mask = sample_labels == lab
+            if mask.any():
+                b = min(b, dists[i, mask].mean())
+        scores[i] = 0.0 if not np.isfinite(b) else (b - a) / max(a, b)
+    return scores
+
+
+def silhouette_score(
+    points: np.ndarray, labels: np.ndarray, *, max_points: int = 2000, seed: int = 0
+) -> float:
+    """Mean sampled silhouette coefficient (0 when undefined)."""
+    samples = silhouette_samples(points, labels, max_points=max_points, seed=seed)
+    return float(samples.mean()) if samples.size else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class QualityReport:
+    """Structural statistics of one clustering.
+
+    Attributes
+    ----------
+    n_clusters:
+        Cluster count.
+    noise_fraction:
+        Fraction of points labelled as noise.
+    silhouette:
+        Sampled mean silhouette coefficient.
+    smallest / largest:
+        Sizes of the extreme clusters (0 when there are none).
+    """
+
+    n_clusters: int
+    noise_fraction: float
+    silhouette: float
+    smallest: int
+    largest: int
+
+
+def cluster_quality(
+    points: np.ndarray, labels: np.ndarray, *, seed: int = 0
+) -> QualityReport:
+    """Compute a :class:`QualityReport` for a labelling of *points*."""
+    labels = np.asarray(labels)
+    n = labels.shape[0]
+    unique, counts = np.unique(labels[labels != 0], return_counts=True)
+    return QualityReport(
+        n_clusters=int(unique.size),
+        noise_fraction=float((labels == 0).sum() / n) if n else 0.0,
+        silhouette=silhouette_score(points, labels, seed=seed),
+        smallest=int(counts.min()) if counts.size else 0,
+        largest=int(counts.max()) if counts.size else 0,
+    )

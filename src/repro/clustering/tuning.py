@@ -1,0 +1,200 @@
+"""Automatic DBSCAN parameter selection.
+
+The BSC cluster-analysis workflow refines its DBSCAN parameters per
+trace; this module provides two standard estimators so users need not
+hand-tune ``eps``:
+
+- :func:`kdist_eps` — the classic Ester et al. heuristic: sort every
+  point's distance to its k-th neighbour and take the curve's knee
+  (point of maximum deviation from the straight line between the
+  extremes);
+- :func:`tune_eps` — a plateau search: cluster the frame across a
+  candidate ladder and pick the eps at the centre of the widest stable
+  cluster-count plateau, breaking ties by sampled silhouette.
+
+Both return concrete numbers usable in
+:class:`~repro.clustering.frames.FrameSettings`; :func:`auto_settings`
+bundles the whole thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.clustering.dbscan import DBSCAN
+from repro.clustering.frames import FrameSettings
+from repro.clustering.normalize import MinMaxScaler
+from repro.clustering.quality import silhouette_score
+from repro.errors import ClusteringError
+from repro.trace.trace import Trace
+
+__all__ = ["kdist_eps", "tune_eps", "auto_settings", "EpsCandidate", "TuningResult"]
+
+
+def kdist_eps(points: np.ndarray, k: int = 8, *, max_points: int = 4000,
+              seed: int = 0) -> float:
+    """Estimate eps from the knee of the sorted k-distance curve.
+
+    *points* must already live in the normalised clustering space.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] <= k:
+        raise ClusteringError(
+            f"need a 2-D array with more than k={k} points, got {points.shape}"
+        )
+    if points.shape[0] > max_points:
+        rng = np.random.default_rng(seed)
+        points = points[rng.choice(points.shape[0], size=max_points, replace=False)]
+    tree = cKDTree(points)
+    distances, _ = tree.query(points, k=k + 1, workers=-1)
+    kdist = np.sort(distances[:, -1])
+
+    # Knee: maximum distance between the curve and the chord joining its
+    # endpoints.
+    n = kdist.shape[0]
+    x = np.linspace(0.0, 1.0, n)
+    y = (kdist - kdist[0]) / max(kdist[-1] - kdist[0], 1e-300)
+    deviation = y - x
+    knee = int(np.argmax(np.abs(deviation)))
+    eps = float(kdist[knee])
+    if eps <= 0:
+        # Degenerate data (duplicated points): fall back to the largest
+        # positive k-distance, or an arbitrary small radius.
+        positive = kdist[kdist > 0]
+        eps = float(positive[0]) if positive.size else 1e-3
+    return eps
+
+
+@dataclass(frozen=True, slots=True)
+class EpsCandidate:
+    """Evaluation of one eps value during tuning."""
+
+    eps: float
+    n_clusters: int
+    noise_fraction: float
+    silhouette: float
+
+
+@dataclass(frozen=True, slots=True)
+class TuningResult:
+    """Outcome of :func:`tune_eps`.
+
+    Attributes
+    ----------
+    best:
+        The selected candidate.
+    candidates:
+        Every evaluated candidate, in eps order.
+    """
+
+    best: EpsCandidate
+    candidates: tuple[EpsCandidate, ...]
+
+    @property
+    def eps(self) -> float:
+        """The selected eps value."""
+        return self.best.eps
+
+
+def tune_eps(
+    trace: Trace,
+    *,
+    settings: FrameSettings | None = None,
+    candidates: np.ndarray | None = None,
+    seed: int = 0,
+) -> TuningResult:
+    """Pick eps by plateau stability over a candidate ladder.
+
+    Clusters the trace's normalised metric space at every candidate,
+    groups consecutive candidates producing the same cluster count into
+    plateaus, and selects the widest plateau with at least one cluster
+    (ties: higher mean silhouette), returning its best-silhouette
+    member.
+    """
+    settings = settings or FrameSettings()
+    if candidates is None:
+        candidates = np.geomspace(0.01, 0.12, 10)
+    candidates = np.sort(np.asarray(candidates, dtype=np.float64))
+    if candidates.size == 0 or candidates[0] <= 0:
+        raise ClusteringError("eps candidates must be positive")
+
+    x = trace.metric(settings.x_metric)
+    y = trace.metric(settings.y_metric)
+    if settings.log_y:
+        if np.any(y <= 0):
+            raise ClusteringError("log_y requires positive y values")
+        y = np.log10(y)
+    space = MinMaxScaler.fit(np.column_stack([x, y])).transform(
+        np.column_stack([x, y])
+    )
+    min_pts = settings.min_pts if settings.min_pts is not None else max(
+        5, space.shape[0] // 400
+    )
+
+    evaluated: list[EpsCandidate] = []
+    for eps in candidates:
+        result = DBSCAN(eps=float(eps), min_pts=min_pts).fit(space)
+        noise = float((result.labels == 0).mean()) if result.labels.size else 1.0
+        score = silhouette_score(space, result.labels, seed=seed)
+        evaluated.append(
+            EpsCandidate(
+                eps=float(eps),
+                n_clusters=result.n_clusters,
+                noise_fraction=noise,
+                silhouette=score,
+            )
+        )
+
+    # Plateaus of consecutive candidates with identical cluster counts.
+    plateaus: list[list[EpsCandidate]] = []
+    for candidate in evaluated:
+        if plateaus and plateaus[-1][-1].n_clusters == candidate.n_clusters:
+            plateaus[-1].append(candidate)
+        else:
+            plateaus.append([candidate])
+    useful = [p for p in plateaus if p[0].n_clusters >= 1]
+    if not useful:
+        raise ClusteringError(
+            "no eps candidate produced any cluster; widen the ladder"
+        )
+    best_plateau = max(
+        useful,
+        key=lambda p: (len(p), float(np.mean([c.silhouette for c in p]))),
+    )
+    best = max(best_plateau, key=lambda c: (c.silhouette, -c.noise_fraction))
+    return TuningResult(best=best, candidates=tuple(evaluated))
+
+
+def auto_settings(
+    trace: Trace,
+    *,
+    settings: FrameSettings | None = None,
+    method: str = "plateau",
+    seed: int = 0,
+) -> FrameSettings:
+    """Return *settings* with eps chosen automatically for *trace*.
+
+    ``method`` is ``"plateau"`` (:func:`tune_eps`, slower, more robust)
+    or ``"kdist"`` (:func:`kdist_eps`, one clustering-free pass).
+    """
+    settings = settings or FrameSettings()
+    if method == "plateau":
+        eps = tune_eps(trace, settings=settings, seed=seed).eps
+    elif method == "kdist":
+        x = trace.metric(settings.x_metric)
+        y = trace.metric(settings.y_metric)
+        if settings.log_y:
+            y = np.log10(y)
+        space = MinMaxScaler.fit(np.column_stack([x, y])).transform(
+            np.column_stack([x, y])
+        )
+        min_pts = settings.min_pts if settings.min_pts is not None else max(
+            5, space.shape[0] // 400
+        )
+        eps = kdist_eps(space, k=min_pts, seed=seed)
+    else:
+        raise ClusteringError(f"unknown tuning method {method!r}")
+    return replace(settings, eps=eps)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All exceptions raised intentionally by the package derive from
+:class:`ReproError` so that callers can catch package-level failures with
+a single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TraceError",
+    "TraceFormatError",
+    "ClusteringError",
+    "TrackingError",
+    "AlignmentError",
+    "ModelError",
+    "StudyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class TraceError(ReproError):
+    """A trace is structurally invalid (inconsistent columns, bad ranks...)."""
+
+
+class TraceFormatError(TraceError):
+    """A serialized trace could not be parsed."""
+
+
+class ClusteringError(ReproError):
+    """Cluster analysis failed (bad parameters, empty input...)."""
+
+
+class TrackingError(ReproError):
+    """The tracking pipeline received inconsistent frames or parameters."""
+
+
+class AlignmentError(ReproError):
+    """Sequence alignment received invalid input."""
+
+
+class ModelError(ReproError):
+    """A machine/application model was configured inconsistently."""
+
+
+class StudyError(ReproError):
+    """A parametric study configuration is invalid."""

@@ -1,0 +1,59 @@
+"""Machine models: the hardware substrate the paper ran on, simulated.
+
+The paper's experiments ran on two BSC clusters — MareNostrum (IBM
+PowerPC 970MP) and MinoTauro (Intel Xeon E5649).  We have neither, so
+this subpackage provides analytic models that reproduce the *mechanisms*
+behind the performance effects the paper observes:
+
+- :mod:`~repro.machine.cache` — capacity-driven cache miss-rate model
+  (HydroC's L1 dip at 32 KB working sets, NAS BT's L2 growth).
+- :mod:`~repro.machine.tlb` — TLB reach model.
+- :mod:`~repro.machine.contention` — shared-node memory-bandwidth
+  contention (MR-Genesis' knee at ~2/3 node occupation).
+- :mod:`~repro.machine.compiler` — compiler code-generation effects
+  (vendor compilers executing fewer instructions at lower IPC).
+- :mod:`~repro.machine.machine` — machine presets for both clusters.
+- :mod:`~repro.machine.perfmodel` — the combined model mapping abstract
+  work (units, working set, memory intensity) to hardware counters.
+"""
+
+from __future__ import annotations
+
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.calibration import CalibratedMachine, calibrate, stall_breakdown
+from repro.machine.compiler import (
+    COMPILERS,
+    CompilerModel,
+    GFORTRAN,
+    IFORT,
+    XLF,
+    get_compiler,
+)
+from repro.machine.contention import NodeContentionModel
+from repro.machine.machine import MACHINES, MARENOSTRUM, MINOTAURO, Machine, get_machine
+from repro.machine.perfmodel import BurstCounters, PerformanceModel, WorkloadPoint
+from repro.machine.tlb import TLBModel
+
+__all__ = [
+    "CacheLevel",
+    "CacheHierarchy",
+    "CalibratedMachine",
+    "calibrate",
+    "stall_breakdown",
+    "TLBModel",
+    "NodeContentionModel",
+    "CompilerModel",
+    "GFORTRAN",
+    "XLF",
+    "IFORT",
+    "COMPILERS",
+    "get_compiler",
+    "Machine",
+    "MARENOSTRUM",
+    "MINOTAURO",
+    "MACHINES",
+    "get_machine",
+    "PerformanceModel",
+    "WorkloadPoint",
+    "BurstCounters",
+]

@@ -1,0 +1,178 @@
+"""Capacity-driven cache miss-rate model.
+
+The model captures the first-order behaviour performance analysts read
+from hardware counters: while a computation's working set fits in a
+cache level, misses stay at a low "streaming" floor (cold misses plus
+conflict noise); once the working set exceeds capacity, the miss rate
+climbs towards a capacity ceiling.  The transition is smooth — real
+caches have associativity conflicts and partial reuse — and is modelled
+with a logistic curve in ``log2(working_set / capacity)``.
+
+This is the mechanism behind two of the paper's studies:
+
+- HydroC (Fig. 12): 2-D blocks of 8-byte elements hit the 32 KB L1
+  limit at block size 64x64, so the step to 128 raises L1 misses ~40 %.
+- NAS BT (Fig. 10): growing problem classes push working sets past L2,
+  raising L2 misses and degrading IPC until the working set is far
+  beyond capacity and the miss rate saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["CacheLevel", "CacheHierarchy"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheLevel:
+    """One level of the data-cache hierarchy.
+
+    Attributes
+    ----------
+    name:
+        Level label (``"L1"``, ``"L2"``...), used in reports.
+    size_bytes:
+        Capacity of the level.
+    line_bytes:
+        Cache line size; sets the floor miss rate for streaming access
+        (one compulsory miss per line).
+    miss_penalty_cycles:
+        Average stall cycles a miss at this level costs (assuming the
+        next level hits).
+    floor_miss_rate:
+        Miss fraction per memory access when the working set fits.
+    ceiling_miss_rate:
+        Miss fraction per memory access when the working set is far
+        larger than the capacity.
+    sharpness:
+        Steepness of the logistic transition in log2 space.  Higher
+        values produce a crisper capacity cliff.
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 64
+    miss_penalty_cycles: float = 10.0
+    floor_miss_rate: float = 0.01
+    ceiling_miss_rate: float = 0.30
+    sharpness: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ModelError(f"{self.name}: size_bytes must be > 0")
+        if self.line_bytes <= 0:
+            raise ModelError(f"{self.name}: line_bytes must be > 0")
+        if not 0.0 <= self.floor_miss_rate <= self.ceiling_miss_rate <= 1.0:
+            raise ModelError(
+                f"{self.name}: need 0 <= floor <= ceiling <= 1, got "
+                f"floor={self.floor_miss_rate}, ceiling={self.ceiling_miss_rate}"
+            )
+        if self.miss_penalty_cycles < 0:
+            raise ModelError(f"{self.name}: miss_penalty_cycles must be >= 0")
+        if self.sharpness <= 0:
+            raise ModelError(f"{self.name}: sharpness must be > 0")
+
+    def miss_rate(self, working_set_bytes: float | np.ndarray) -> float | np.ndarray:
+        """Miss fraction per memory access for a given working set size.
+
+        Logistic in ``log2(ws / size)``: ~floor when the working set is
+        well inside capacity, ~ceiling when well beyond, and exactly the
+        midpoint when the working set equals the capacity.
+        """
+        ws = np.asarray(working_set_bytes, dtype=np.float64)
+        if np.any(ws < 0):
+            raise ModelError("working_set_bytes must be >= 0")
+        # Guard against log(0): an empty working set always fits.
+        safe_ws = np.maximum(ws, 1.0)
+        x = np.log2(safe_ws / self.size_bytes)
+        occupancy = 1.0 / (1.0 + np.exp(-self.sharpness * x))
+        rate = self.floor_miss_rate + (self.ceiling_miss_rate - self.floor_miss_rate) * occupancy
+        if np.isscalar(working_set_bytes):
+            return float(rate)
+        return rate
+
+
+@dataclass(frozen=True, slots=True)
+class CacheHierarchy:
+    """An inclusive multi-level data-cache hierarchy.
+
+    ``levels`` is ordered from closest to the core (L1) outwards.  Miss
+    traffic filters through the levels: the L2 *local* miss rate applies
+    to the accesses that missed L1, and so on.
+    """
+
+    levels: tuple[CacheLevel, ...]
+    memory_latency_cycles: float = 200.0
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ModelError("a cache hierarchy needs at least one level")
+        sizes = [level.size_bytes for level in self.levels]
+        if sizes != sorted(sizes):
+            raise ModelError("cache levels must grow outwards (L1 smallest)")
+        if self.memory_latency_cycles < 0:
+            raise ModelError("memory_latency_cycles must be >= 0")
+
+    @property
+    def n_levels(self) -> int:
+        """Number of cache levels."""
+        return len(self.levels)
+
+    def level(self, name: str) -> CacheLevel:
+        """Return the level called *name*."""
+        for level in self.levels:
+            if level.name == name:
+                return level
+        raise KeyError(f"no cache level named {name!r}")
+
+    def misses_per_access(
+        self,
+        working_set_bytes: float,
+        outer_working_set_bytes: float | None = None,
+    ) -> tuple[float, ...]:
+        """Misses per memory access at every level (global miss rates).
+
+        Element *i* is the fraction of all memory accesses that miss at
+        level *i* — i.e. the product of local miss rates up to there —
+        which is what a global hardware counter (``PAPI_L2_DCM``) reports
+        when divided by total accesses.
+
+        ``outer_working_set_bytes`` optionally distinguishes the *reuse*
+        working set seen by L1 (e.g. one cache block of a blocked
+        algorithm) from the *streamed* working set the outer levels see
+        (the whole per-process domain).  When ``None``, a single working
+        set drives every level.
+        """
+        outer = (
+            working_set_bytes
+            if outer_working_set_bytes is None
+            else outer_working_set_bytes
+        )
+        global_rates: list[float] = []
+        reaching = 1.0  # fraction of accesses that reach this level
+        for index, level in enumerate(self.levels):
+            ws = working_set_bytes if index == 0 else outer
+            local = float(level.miss_rate(ws))
+            missed = reaching * local
+            global_rates.append(missed)
+            reaching = missed
+        return tuple(global_rates)
+
+    def stall_cycles_per_access(
+        self,
+        working_set_bytes: float,
+        outer_working_set_bytes: float | None = None,
+    ) -> float:
+        """Average stall cycles each memory access pays in this hierarchy."""
+        stall = 0.0
+        rates = self.misses_per_access(working_set_bytes, outer_working_set_bytes)
+        for level, global_rate in zip(self.levels, rates):
+            stall += global_rate * level.miss_penalty_cycles
+        # Accesses that miss the last level pay the memory latency.
+        stall += rates[-1] * self.memory_latency_cycles
+        return stall

@@ -1,0 +1,158 @@
+"""Machine-model calibration from measured traces (inverse modelling).
+
+The forward direction of :mod:`repro.machine` predicts counters from a
+machine description.  This module goes backwards: given a *measured*
+trace (real or simulated), estimate the machine's stall parameters by
+regressing burst cycles on the counter columns:
+
+.. math::
+
+   \\text{cycles} \\approx c_0 \\cdot I + p_1 \\cdot L1 + p_2 \\cdot L2
+                          + p_t \\cdot TLB
+
+where ``c_0`` is the core CPI and ``p_*`` are per-miss stall penalties.
+Non-negative least squares keeps the parameters physical.  Uses:
+
+- sanity-check a synthetic model against the machine preset that
+  generated it;
+- characterise an unknown platform from its traces before building app
+  models for it;
+- quantify how memory-bound each cluster is
+  (:func:`stall_breakdown`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.errors import ModelError
+from repro.trace.counters import CYCLES, INSTRUCTIONS, L1_DCM, L2_DCM, TLB_DM
+from repro.trace.trace import Trace
+
+__all__ = ["CalibratedMachine", "calibrate", "stall_breakdown"]
+
+
+@dataclass(frozen=True)
+class CalibratedMachine:
+    """Stall parameters estimated from a trace.
+
+    Attributes
+    ----------
+    core_cpi:
+        Cycles per instruction with all memory references hitting L1.
+    l1_penalty / l2_penalty / tlb_penalty:
+        Estimated stall cycles per miss at each level.  Note the L2
+        penalty is the *additional* cost beyond the L1 penalty already
+        paid (the regression columns are global miss counts, which
+        nest), and likewise captures the memory latency behind L2.
+    r_squared:
+        Fit quality on the training bursts.
+    n_bursts:
+        Number of bursts used.
+    """
+
+    core_cpi: float
+    l1_penalty: float
+    l2_penalty: float
+    tlb_penalty: float
+    r_squared: float
+    n_bursts: int
+
+    def predict_cycles(self, trace: Trace) -> np.ndarray:
+        """Predict per-burst cycles for *trace* under this calibration."""
+        design = _design_matrix(trace)
+        params = np.asarray(
+            [self.core_cpi, self.l1_penalty, self.l2_penalty, self.tlb_penalty]
+        )
+        return design @ params
+
+    def __repr__(self) -> str:
+        return (
+            f"CalibratedMachine(core_cpi={self.core_cpi:.3f}, "
+            f"l1={self.l1_penalty:.1f}cy, l2={self.l2_penalty:.1f}cy, "
+            f"tlb={self.tlb_penalty:.1f}cy, R2={self.r_squared:.4f})"
+        )
+
+
+def _design_matrix(trace: Trace) -> np.ndarray:
+    return np.column_stack(
+        [
+            trace.counter(INSTRUCTIONS),
+            trace.counter(L1_DCM),
+            trace.counter(L2_DCM),
+            trace.counter(TLB_DM),
+        ]
+    )
+
+
+def calibrate(trace: Trace) -> CalibratedMachine:
+    """Estimate stall parameters from one trace's burst population.
+
+    Requires the standard counter set and at least a handful of bursts
+    with some variation in their miss mixes (a single behaviour cannot
+    pin four parameters; the regression will still fit, but collinear
+    columns make individual penalties unidentifiable).
+    """
+    for name in (INSTRUCTIONS, CYCLES, L1_DCM, L2_DCM, TLB_DM):
+        if name not in trace.counter_names:
+            raise ModelError(f"trace lacks the {name} counter")
+    if trace.n_bursts < 4:
+        raise ModelError("need at least 4 bursts to calibrate 4 parameters")
+
+    design = _design_matrix(trace)
+    target = trace.counter(CYCLES).astype(np.float64)
+    # Column scaling keeps NNLS well-conditioned across magnitudes.
+    scales = design.max(axis=0)
+    scales[scales == 0] = 1.0
+    params_scaled, _ = nnls(design / scales, target)
+    params = params_scaled / scales
+
+    prediction = design @ params
+    residual = target - prediction
+    total = target - target.mean()
+    denominator = float(total @ total)
+    r_squared = 1.0 - float(residual @ residual) / denominator if denominator else 1.0
+    return CalibratedMachine(
+        core_cpi=float(params[0]),
+        l1_penalty=float(params[1]),
+        l2_penalty=float(params[2]),
+        tlb_penalty=float(params[3]),
+        r_squared=r_squared,
+        n_bursts=trace.n_bursts,
+    )
+
+
+def stall_breakdown(
+    trace: Trace, calibration: CalibratedMachine | None = None
+) -> dict[str, float]:
+    """Attribute the trace's cycles to core vs memory components.
+
+    Returns fractions summing to ~1: ``core``, ``l1``, ``l2``, ``tlb``
+    (plus ``unexplained`` when the calibration does not fully account
+    for the measured cycles).
+    """
+    calibration = calibration or calibrate(trace)
+    design = _design_matrix(trace)
+    params = np.asarray(
+        [
+            calibration.core_cpi,
+            calibration.l1_penalty,
+            calibration.l2_penalty,
+            calibration.tlb_penalty,
+        ]
+    )
+    contributions = design.sum(axis=0) * params
+    measured = float(trace.counter(CYCLES).sum())
+    if measured <= 0:
+        raise ModelError("trace has no cycles to attribute")
+    breakdown = {
+        "core": contributions[0] / measured,
+        "l1": contributions[1] / measured,
+        "l2": contributions[2] / measured,
+        "tlb": contributions[3] / measured,
+    }
+    breakdown["unexplained"] = 1.0 - sum(breakdown.values())
+    return breakdown

@@ -1,0 +1,91 @@
+"""Compiler code-generation models.
+
+The CGPOP study (paper section 4.1) compares a generic compiler
+(gfortran) against the platform vendor's compiler (IBM xlf on
+MareNostrum, Intel ifort on MinoTauro).  The paper's observation: the
+vendor compilers emit ~30-36 % fewer instructions, but since the
+memory traffic of the algorithm is unchanged, the cycles stay roughly
+constant — so IPC *drops* in the same proportion and wall time barely
+moves (within +-0.03 %).
+
+The model separates the two effects cleanly:
+
+- ``instruction_factor`` scales the instructions emitted per abstract
+  work unit (better instruction selection, fused ops, vectorisation).
+- ``core_cpi_factor`` scales the core-pipeline CPI component
+  (scheduling quality); memory stalls are *not* scaled, because cache
+  misses depend on the data, not the code generator.
+
+With fewer instructions carrying the same memory-stall total, IPC falls
+out of the model exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+__all__ = ["CompilerModel", "GFORTRAN", "XLF", "IFORT", "COMPILERS", "get_compiler"]
+
+
+@dataclass(frozen=True, slots=True)
+class CompilerModel:
+    """Effect of one compiler on generated code.
+
+    Attributes
+    ----------
+    name:
+        Compiler label, e.g. ``"gfortran"``.
+    instruction_factor:
+        Instructions emitted per work unit, relative to the gfortran
+        baseline (1.0).  Vendor compilers < 1.
+    core_cpi_factor:
+        Scaling of the core-pipeline CPI component relative to baseline.
+    vendor:
+        Whether this is the platform vendor's compiler.
+    """
+
+    name: str
+    instruction_factor: float = 1.0
+    core_cpi_factor: float = 1.0
+    vendor: bool = False
+
+    def __post_init__(self) -> None:
+        if self.instruction_factor <= 0:
+            raise ModelError(f"{self.name}: instruction_factor must be > 0")
+        if self.core_cpi_factor <= 0:
+            raise ModelError(f"{self.name}: core_cpi_factor must be > 0")
+
+
+#: GNU Fortran — the cross-platform baseline the paper compares against.
+GFORTRAN = CompilerModel(name="gfortran", instruction_factor=1.0, core_cpi_factor=1.0)
+
+#: IBM XL Fortran on MareNostrum: ~36 % fewer instructions (paper Table 3),
+#: same memory traffic.  The core CPI factor is the reciprocal of the
+#: instruction factor: the fused/vectorised instructions each occupy the
+#: pipeline proportionally longer, so core cycles per work unit stay
+#: constant — which is precisely the paper's observation that execution
+#: time barely moves while IPC falls with the instruction count.
+XLF = CompilerModel(
+    name="xlf", instruction_factor=0.64, core_cpi_factor=1.0 / 0.64, vendor=True
+)
+
+#: Intel Fortran on MinoTauro: ~30 % fewer instructions (paper Table 3).
+IFORT = CompilerModel(
+    name="ifort", instruction_factor=0.70, core_cpi_factor=1.0 / 0.70, vendor=True
+)
+
+COMPILERS: dict[str, CompilerModel] = {
+    model.name: model for model in (GFORTRAN, XLF, IFORT)
+}
+
+
+def get_compiler(name: str) -> CompilerModel:
+    """Look up a compiler preset by name."""
+    try:
+        return COMPILERS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown compiler {name!r}; presets: {sorted(COMPILERS)}"
+        ) from exc

@@ -1,0 +1,78 @@
+"""TLB reach model.
+
+Analogous to the cache model: while a working set fits within the TLB
+reach (entries x page size) the data-TLB miss rate stays at a small
+floor; beyond the reach it climbs logistically to a ceiling.  This
+produces the TLB-miss growth the paper reports for MR-Genesis when
+nodes get more populated and per-process working sets effectively
+compete for shared translation resources (Fig. 11b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["TLBModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class TLBModel:
+    """Data-TLB behaviour of a core.
+
+    Attributes
+    ----------
+    entries:
+        Number of data-TLB entries.
+    page_bytes:
+        Page size covered by each entry.
+    miss_penalty_cycles:
+        Average page-walk cost of one miss.
+    floor_miss_rate / ceiling_miss_rate / sharpness:
+        Logistic transition parameters, as in
+        :class:`~repro.machine.cache.CacheLevel`.
+    """
+
+    entries: int = 64
+    page_bytes: int = 4096
+    miss_penalty_cycles: float = 30.0
+    floor_miss_rate: float = 1e-4
+    ceiling_miss_rate: float = 0.02
+    sharpness: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ModelError("TLB entries must be > 0")
+        if self.page_bytes <= 0:
+            raise ModelError("page_bytes must be > 0")
+        if not 0.0 <= self.floor_miss_rate <= self.ceiling_miss_rate <= 1.0:
+            raise ModelError("need 0 <= floor <= ceiling <= 1")
+        if self.miss_penalty_cycles < 0:
+            raise ModelError("miss_penalty_cycles must be >= 0")
+        if self.sharpness <= 0:
+            raise ModelError("sharpness must be > 0")
+
+    @property
+    def reach_bytes(self) -> int:
+        """Memory the TLB can map at once."""
+        return self.entries * self.page_bytes
+
+    def miss_rate(self, working_set_bytes: float | np.ndarray) -> float | np.ndarray:
+        """Data-TLB miss fraction per memory access for a working set."""
+        ws = np.asarray(working_set_bytes, dtype=np.float64)
+        if np.any(ws < 0):
+            raise ModelError("working_set_bytes must be >= 0")
+        safe_ws = np.maximum(ws, 1.0)
+        x = np.log2(safe_ws / self.reach_bytes)
+        occupancy = 1.0 / (1.0 + np.exp(-self.sharpness * x))
+        rate = self.floor_miss_rate + (self.ceiling_miss_rate - self.floor_miss_rate) * occupancy
+        if np.isscalar(working_set_bytes):
+            return float(rate)
+        return rate
+
+    def stall_cycles_per_access(self, working_set_bytes: float) -> float:
+        """Average page-walk stall per memory access."""
+        return float(self.miss_rate(working_set_bytes)) * self.miss_penalty_cycles

@@ -1,0 +1,59 @@
+"""Latency/bandwidth network model for the MPI simulator.
+
+A classic alpha-beta (Hockney) model: transferring *n* bytes costs
+``latency + n / bandwidth`` seconds, with collectives paying a
+logarithmic tree factor.  Deliberately simple — the tracker consumes
+computation bursts; communication only has to shape the timestamps
+plausibly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkModel:
+    """Alpha-beta interconnect model.
+
+    Attributes
+    ----------
+    latency_s:
+        Per-message latency (the alpha term).
+    bandwidth_bps:
+        Point-to-point bandwidth in bytes/second (the 1/beta term).
+    barrier_cost_s:
+        Cost of a barrier once every rank has arrived.
+    """
+
+    latency_s: float = 2e-6
+    bandwidth_bps: float = 1.2e9
+    barrier_cost_s: float = 4e-6
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ModelError("latency_s must be >= 0")
+        if self.bandwidth_bps <= 0:
+            raise ModelError("bandwidth_bps must be > 0")
+        if self.barrier_cost_s < 0:
+            raise ModelError("barrier_cost_s must be >= 0")
+
+    def p2p_cost(self, nbytes: int) -> float:
+        """Time for one point-to-point message of *nbytes*."""
+        if nbytes < 0:
+            raise ModelError("nbytes must be >= 0")
+        return self.latency_s + nbytes / self.bandwidth_bps
+
+    def allreduce_cost(self, nbytes: int, nranks: int) -> float:
+        """Time for an allreduce of *nbytes* across *nranks* (tree)."""
+        if nranks < 1:
+            raise ModelError("nranks must be >= 1")
+        if nranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nranks))
+        return 2.0 * rounds * self.p2p_cost(nbytes)

@@ -1,0 +1,108 @@
+"""Operations an MPI-simulated program can yield.
+
+Programs are per-rank generators producing these records; the simulator
+interprets them.  Users normally construct them through the
+:class:`~repro.mpisim.simulator.MPIRankAPI` helpers rather than
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.machine.perfmodel import WorkloadPoint
+from repro.trace.callstack import CallPath
+
+__all__ = ["Compute", "Barrier", "AllReduce", "Send", "Recv", "SendRecv"]
+
+
+@dataclass(frozen=True, slots=True)
+class Compute:
+    """A sequential computation region (becomes one CPU burst).
+
+    Attributes
+    ----------
+    region:
+        Region name; also used to derive the default call path.
+    point:
+        Machine-independent workload of the burst.
+    callpath:
+        Source reference recorded on the burst; defaults to a synthetic
+        path derived from the region name.
+    jitter:
+        Log-normal sigma applied to the achieved cycles.
+    """
+
+    region: str
+    point: WorkloadPoint
+    callpath: CallPath | None = None
+    jitter: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not self.region:
+            raise ModelError("compute region name must not be empty")
+        if self.jitter < 0:
+            raise ModelError("jitter must be >= 0")
+
+    def resolved_callpath(self) -> CallPath:
+        """The call path to record (synthesised from the region name)."""
+        if self.callpath is not None:
+            return self.callpath
+        return CallPath.single(self.region, f"{self.region}.c", 1)
+
+
+@dataclass(frozen=True, slots=True)
+class Barrier:
+    """Global synchronisation: every rank waits for the slowest."""
+
+
+@dataclass(frozen=True, slots=True)
+class AllReduce:
+    """Reduction across all ranks: a barrier plus a tree exchange."""
+
+    nbytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ModelError("nbytes must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class Send:
+    """Eager buffered send: completes locally after injection cost."""
+
+    dest: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.dest < 0:
+            raise ModelError("dest must be >= 0")
+        if self.nbytes < 0:
+            raise ModelError("nbytes must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class Recv:
+    """Blocking receive from a specific source rank."""
+
+    src: int
+
+    def __post_init__(self) -> None:
+        if self.src < 0:
+            raise ModelError("src must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class SendRecv:
+    """Combined exchange: send to *dest* while receiving from *src*."""
+
+    dest: int
+    src: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.dest < 0 or self.src < 0:
+            raise ModelError("ranks must be >= 0")
+        if self.nbytes < 0:
+            raise ModelError("nbytes must be >= 0")

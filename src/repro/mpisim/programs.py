@@ -1,0 +1,121 @@
+"""Ready-made simulated MPI programs.
+
+Small, realistic communication patterns used by the examples and tests:
+a 1-D halo-exchange stencil, a ring pipeline and an imbalanced
+master-worker loop.  Each is a factory returning a program callable
+suitable for :meth:`repro.mpisim.simulator.MPISimulator.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.machine.perfmodel import WorkloadPoint
+from repro.mpisim.simulator import MPIRankAPI
+
+__all__ = ["stencil_1d", "ring_exchange", "imbalanced_master_worker"]
+
+Program = Callable[[int, MPIRankAPI], Generator]
+
+
+def stencil_1d(
+    *,
+    iterations: int = 8,
+    cells_per_rank: float = 2e5,
+    halo_bytes: int = 8192,
+    working_set_bytes: float = 256 * 1024,
+) -> Program:
+    """A 1-D domain-decomposed stencil with halo exchanges.
+
+    Every iteration: exchange halos with both neighbours (periodic),
+    compute the interior, then allreduce a residual.  Two behavioural
+    regions per iteration: the big interior update and the small
+    residual reduction preamble.
+    """
+    update = WorkloadPoint(
+        work_units=cells_per_rank,
+        instructions_per_unit=45.0,
+        memory_accesses_per_unit=1.0,
+        working_set_bytes=working_set_bytes,
+    )
+    residual = WorkloadPoint(
+        work_units=cells_per_rank * 0.15,
+        instructions_per_unit=30.0,
+        memory_accesses_per_unit=0.4,
+        working_set_bytes=working_set_bytes / 4,
+    )
+
+    def program(rank: int, mpi: MPIRankAPI):
+        left = (rank - 1) % mpi.nranks
+        right = (rank + 1) % mpi.nranks
+        for _ in range(iterations):
+            if mpi.nranks > 1:
+                yield mpi.sendrecv(dest=right, src=left, nbytes=halo_bytes)
+                yield mpi.sendrecv(dest=left, src=right, nbytes=halo_bytes)
+            yield mpi.compute("stencil_update", update)
+            yield mpi.compute("residual", residual)
+            yield mpi.allreduce(8)
+
+    return program
+
+
+def ring_exchange(
+    *, iterations: int = 6, nbytes: int = 65536, work_units: float = 1e5
+) -> Program:
+    """A pipeline ring: compute, pass a block to the right neighbour."""
+    point = WorkloadPoint(
+        work_units=work_units,
+        instructions_per_unit=50.0,
+        memory_accesses_per_unit=0.6,
+        working_set_bytes=128 * 1024,
+    )
+
+    def program(rank: int, mpi: MPIRankAPI):
+        right = (rank + 1) % mpi.nranks
+        left = (rank - 1) % mpi.nranks
+        for _ in range(iterations):
+            yield mpi.compute("ring_work", point)
+            if mpi.nranks > 1:
+                yield mpi.send(right, nbytes)
+                yield mpi.recv(left)
+
+    return program
+
+
+def imbalanced_master_worker(
+    *, rounds: int = 6, base_work: float = 8e4, master_factor: float = 0.3
+) -> Program:
+    """Master-worker with uneven work: two behavioural regions.
+
+    The master (rank 0) does light coordination work and collects one
+    message per worker per round; workers compute heavy chunks whose
+    size grows with the rank (a deliberate gradient, so the worker
+    region stretches vertically in the performance space).
+    """
+    def program(rank: int, mpi: MPIRankAPI):
+        if rank == 0:
+            coordinate = WorkloadPoint(
+                work_units=base_work * master_factor,
+                instructions_per_unit=40.0,
+                memory_accesses_per_unit=0.3,
+                working_set_bytes=32 * 1024,
+            )
+            for _ in range(rounds):
+                yield mpi.compute("coordinate", coordinate)
+                for worker in range(1, mpi.nranks):
+                    yield mpi.recv(worker)
+                yield mpi.barrier()
+        else:
+            gradient = 1.0 + 0.4 * (rank - 1) / max(mpi.nranks - 2, 1)
+            chunk = WorkloadPoint(
+                work_units=base_work * gradient,
+                instructions_per_unit=55.0,
+                memory_accesses_per_unit=0.8,
+                working_set_bytes=192 * 1024,
+            )
+            for _ in range(rounds):
+                yield mpi.compute("work_chunk", chunk)
+                yield mpi.send(0, 4096)
+                yield mpi.barrier()
+
+    return program

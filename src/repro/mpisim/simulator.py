@@ -1,0 +1,349 @@
+"""The discrete-event MPI simulator.
+
+Each rank runs a Python generator yielding operation records
+(:mod:`repro.mpisim.ops`).  The simulator interprets them against a
+machine performance model (computes) and a network model
+(communication), maintaining one virtual clock per rank:
+
+- **Compute** advances the rank's clock by the modelled burst duration
+  and records a CPU burst;
+- **Send** is eager and buffered: the sender pays an injection latency
+  and continues; the message's arrival time is stamped with the full
+  transfer cost;
+- **Recv** blocks until a matching message exists, then advances the
+  clock to ``max(own clock, arrival)`` — messages between a rank pair
+  match in FIFO order (no tags, one communicator);
+- **Barrier / AllReduce** release when every rank has arrived at the
+  same collective occurrence, at the latest arrival time plus the
+  collective's cost.
+
+The schedule is deterministic: ranks are drained greedily in rank order
+and per-burst noise uses one independent stream per rank, so the same
+program and seed always produce the identical trace.  Invalid programs
+(mismatched collectives, receives that can never match) raise
+:class:`DeadlockError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.machine.compiler import CompilerModel, GFORTRAN
+from repro.machine.machine import MINOTAURO, Machine
+from repro.machine.perfmodel import PerformanceModel, WorkloadPoint
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.ops import AllReduce, Barrier, Compute, Recv, Send, SendRecv
+from repro.trace.callstack import CallPath
+from repro.trace.counters import STANDARD_COUNTERS
+from repro.trace.trace import Trace, TraceBuilder
+
+__all__ = ["MPIRankAPI", "MPISimulator", "DeadlockError"]
+
+Program = Callable[[int, "MPIRankAPI"], Generator]
+
+
+class DeadlockError(ReproError):
+    """The simulated program cannot make progress."""
+
+
+class MPIRankAPI:
+    """Convenience constructor of operation records for one rank.
+
+    Passed to the user's program generator; mirrors a minimal MPI
+    surface (compute is the tracing hook a real tool gets for free).
+    """
+
+    def __init__(self, rank: int, nranks: int) -> None:
+        self.rank = rank
+        self.nranks = nranks
+
+    def compute(
+        self,
+        region: str,
+        point: WorkloadPoint,
+        *,
+        callpath: CallPath | None = None,
+        jitter: float = 0.01,
+    ) -> Compute:
+        """One sequential computation region (one CPU burst)."""
+        return Compute(region=region, point=point, callpath=callpath, jitter=jitter)
+
+    def barrier(self) -> Barrier:
+        """Global synchronisation."""
+        return Barrier()
+
+    def allreduce(self, nbytes: int = 8) -> AllReduce:
+        """Allreduce of *nbytes* across all ranks."""
+        return AllReduce(nbytes=nbytes)
+
+    def send(self, dest: int, nbytes: int) -> Send:
+        """Eager buffered send."""
+        return Send(dest=dest, nbytes=nbytes)
+
+    def recv(self, src: int) -> Recv:
+        """Blocking receive from *src*."""
+        return Recv(src=src)
+
+    def sendrecv(self, dest: int, src: int, nbytes: int) -> SendRecv:
+        """Exchange: send to *dest*, receive from *src*."""
+        return SendRecv(dest=dest, src=src, nbytes=nbytes)
+
+
+class _RankState:
+    __slots__ = (
+        "generator",
+        "clock",
+        "finished",
+        "blocked_on",
+        "collective_index",
+        "rng",
+    )
+
+    def __init__(self, generator: Generator, rng: np.random.Generator) -> None:
+        self.generator = generator
+        self.clock = 0.0
+        self.finished = False
+        self.blocked_on: object | None = None
+        self.collective_index = 0
+        self.rng = rng
+
+
+class MPISimulator:
+    """Runs per-rank program generators into a burst trace.
+
+    Parameters
+    ----------
+    nranks:
+        Number of simulated MPI ranks.
+    machine / compiler / processes_per_node:
+        Performance-model context for the compute regions.
+    network:
+        Interconnect model for the communication operations.
+    app / scenario:
+        Metadata recorded in the resulting trace.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        machine: Machine = MINOTAURO,
+        compiler: CompilerModel = GFORTRAN,
+        processes_per_node: int | None = None,
+        network: NetworkModel | None = None,
+        app: str = "mpisim",
+        scenario: dict | None = None,
+    ) -> None:
+        if nranks < 1:
+            raise ReproError("nranks must be >= 1")
+        self.nranks = nranks
+        self.machine = machine
+        ppn = (
+            processes_per_node
+            if processes_per_node is not None
+            else min(nranks, machine.cores_per_node)
+        )
+        self.perf = PerformanceModel(machine, compiler=compiler, processes_per_node=ppn)
+        self.network = network or NetworkModel()
+        self.app = app
+        self.scenario = dict(scenario or {})
+
+    def run(self, program: Program, *, seed: int = 0, max_steps: int = 10**7) -> Trace:
+        """Simulate *program* on every rank and return the trace.
+
+        ``program(rank, api)`` must return a generator yielding
+        operation records.  *max_steps* bounds the total number of
+        executed operations (runaway-guard, not a scheduling knob).
+        """
+        builder = TraceBuilder(
+            nranks=self.nranks,
+            counter_names=STANDARD_COUNTERS,
+            app=self.app,
+            scenario=self.scenario,
+            clock_hz=self.machine.clock_hz,
+        )
+        states = [
+            _RankState(
+                program(rank, MPIRankAPI(rank, self.nranks)),
+                np.random.default_rng((seed, rank)),
+            )
+            for rank in range(self.nranks)
+        ]
+        # FIFO of message arrival times per (src, dst) pair.
+        mailboxes: dict[tuple[int, int], deque[float]] = {}
+        # Collective occurrence -> {rank: (kind, nbytes)} of arrivals.
+        collectives: dict[int, dict[int, tuple[str, int]]] = {}
+
+        steps = 0
+        while not all(state.finished for state in states):
+            progress = False
+            for rank, state in enumerate(states):
+                if state.finished:
+                    continue
+                while not state.finished and state.blocked_on is None:
+                    steps += 1
+                    if steps > max_steps:
+                        raise ReproError(
+                            f"simulation exceeded {max_steps} operations"
+                        )
+                    try:
+                        op = next(state.generator)
+                    except StopIteration:
+                        state.finished = True
+                        progress = True
+                        break
+                    if not self._execute(
+                        op, rank, state, builder, mailboxes, collectives
+                    ):
+                        # A SendRecv may have installed its residual
+                        # Recv half already; don't overwrite it.
+                        if state.blocked_on is None:
+                            state.blocked_on = op
+                        break
+                    progress = True
+            progress |= self._resolve_collectives(states, collectives)
+            progress |= self._retry_blocked(states, builder, mailboxes, collectives)
+            if not progress:
+                blocked = {
+                    rank: state.blocked_on
+                    for rank, state in enumerate(states)
+                    if not state.finished
+                }
+                raise DeadlockError(
+                    f"no rank can make progress; blocked: {blocked}"
+                )
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # operation execution
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        op,
+        rank: int,
+        state: _RankState,
+        builder: TraceBuilder,
+        mailboxes: dict[tuple[int, int], deque[float]],
+        collectives: dict[int, dict[int, tuple[str, int]]],
+    ) -> bool:
+        """Run one operation; return False if the rank must block."""
+        if isinstance(op, Compute):
+            self._run_compute(op, rank, state, builder)
+            return True
+        if isinstance(op, Send):
+            self._validate_peer(op.dest)
+            arrival = state.clock + self.network.p2p_cost(op.nbytes)
+            mailboxes.setdefault((rank, op.dest), deque()).append(arrival)
+            state.clock += self.network.latency_s  # injection overhead
+            return True
+        if isinstance(op, Recv):
+            self._validate_peer(op.src)
+            queue = mailboxes.get((op.src, rank))
+            if queue:
+                arrival = queue.popleft()
+                state.clock = max(state.clock, arrival)
+                return True
+            return False
+        if isinstance(op, SendRecv):
+            self._validate_peer(op.dest)
+            self._validate_peer(op.src)
+            arrival = state.clock + self.network.p2p_cost(op.nbytes)
+            mailboxes.setdefault((rank, op.dest), deque()).append(arrival)
+            state.clock += self.network.latency_s
+            queue = mailboxes.get((op.src, rank))
+            if queue:
+                state.clock = max(state.clock, queue.popleft())
+                return True
+            # The send half is done; block on an equivalent receive.
+            state.blocked_on = Recv(src=op.src)
+            return False
+        if isinstance(op, (Barrier, AllReduce)):
+            occurrence = state.collective_index
+            kind = "allreduce" if isinstance(op, AllReduce) else "barrier"
+            nbytes = op.nbytes if isinstance(op, AllReduce) else 0
+            arrivals = collectives.setdefault(occurrence, {})
+            arrivals[rank] = (kind, nbytes)
+            return False  # always blocks until everyone arrives
+        raise ReproError(f"program yielded an unknown operation: {op!r}")
+
+    def _run_compute(
+        self, op: Compute, rank: int, state: _RankState, builder: TraceBuilder
+    ) -> None:
+        counters = self.perf.evaluate(op.point)
+        noise = float(state.rng.lognormal(0.0, op.jitter)) if op.jitter else 1.0
+        cycles = float(counters.cycles) * noise
+        duration = cycles / self.machine.clock_hz
+        builder.add(
+            rank=rank,
+            begin=state.clock,
+            duration=duration,
+            callpath=op.resolved_callpath(),
+            counters=[
+                float(counters.instructions),
+                cycles,
+                float(counters.l1_misses),
+                float(counters.l2_misses),
+                float(counters.tlb_misses),
+            ],
+        )
+        state.clock += duration
+
+    def _validate_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.nranks:
+            raise ReproError(f"peer rank {peer} outside [0, {self.nranks})")
+
+    # ------------------------------------------------------------------
+    # blocking resolution
+    # ------------------------------------------------------------------
+    def _resolve_collectives(
+        self,
+        states: list[_RankState],
+        collectives: dict[int, dict[int, tuple[str, int]]],
+    ) -> bool:
+        """Release collectives at which every rank has arrived."""
+        progress = False
+        for occurrence in sorted(collectives):
+            arrivals = collectives[occurrence]
+            if len(arrivals) < self.nranks:
+                continue
+            kinds = {kind for kind, _ in arrivals.values()}
+            if len(kinds) > 1:
+                raise DeadlockError(
+                    f"collective mismatch at occurrence {occurrence}: {kinds}"
+                )
+            release = max(states[rank].clock for rank in arrivals)
+            release += self.network.barrier_cost_s
+            (kind,) = kinds
+            if kind == "allreduce":
+                nbytes = max(n for _, n in arrivals.values())
+                release += self.network.allreduce_cost(nbytes, self.nranks)
+            for rank in arrivals:
+                state = states[rank]
+                state.clock = release
+                state.collective_index += 1
+                state.blocked_on = None
+            del collectives[occurrence]
+            progress = True
+        return progress
+
+    def _retry_blocked(
+        self,
+        states: list[_RankState],
+        builder: TraceBuilder,
+        mailboxes: dict[tuple[int, int], deque[float]],
+        collectives: dict[int, dict[int, tuple[str, int]]],
+    ) -> bool:
+        """Retry ranks blocked on receives whose messages arrived."""
+        progress = False
+        for rank, state in enumerate(states):
+            op = state.blocked_on
+            if state.finished or op is None or not isinstance(op, Recv):
+                continue
+            if self._execute(op, rank, state, builder, mailboxes, collectives):
+                state.blocked_on = None
+                progress = True
+        return progress

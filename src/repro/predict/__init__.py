@@ -1,0 +1,38 @@
+"""Performance prediction from tracked trends (paper's future work).
+
+The paper closes: *"we consider interesting to extend this mechanism to
+build predictive models able to foresee the performance of experiments
+beyond the sample space"*.  This subpackage implements that extension:
+per-region trend models fitted to the tracked metric series —
+constant, linear, power-law (log-log linear) and saturating plateau —
+selected by cross-validated error, and an extrapolation API that
+predicts a region's metric for unseen scenario values.
+"""
+
+from __future__ import annotations
+
+from repro.predict.extrapolate import RegionForecast, extrapolate_trends, fit_trend
+from repro.predict.models import (
+    ConstantModel,
+    LinearModel,
+    PlateauModel,
+    PowerLawModel,
+    TrendModel,
+    fit_best_model,
+)
+from repro.predict.validate import BacktestReport, backtest_trend, backtest_trends
+
+__all__ = [
+    "TrendModel",
+    "ConstantModel",
+    "LinearModel",
+    "PowerLawModel",
+    "PlateauModel",
+    "fit_best_model",
+    "fit_trend",
+    "extrapolate_trends",
+    "RegionForecast",
+    "BacktestReport",
+    "backtest_trend",
+    "backtest_trends",
+]

@@ -1,0 +1,120 @@
+"""Extrapolating tracked trends beyond the sample space.
+
+Bridges :mod:`repro.tracking.trends` and :mod:`repro.predict.models`:
+fit a trend model per tracked region and predict its metric for unseen
+scenario values — e.g. foresee the IPC of WRF's regions at 512 tasks
+from the 128- and 256-task experiments, or MR-Genesis' IPC on a larger
+node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.predict.models import TrendModel, fit_best_model
+from repro.tracking.trends import TrendSeries
+
+__all__ = ["fit_trend", "extrapolate_trends", "RegionForecast"]
+
+
+@dataclass(frozen=True)
+class RegionForecast:
+    """A fitted model plus its predictions for one tracked region.
+
+    Attributes
+    ----------
+    region_id:
+        The tracked region.
+    metric:
+        Metric the forecast covers.
+    model:
+        The selected trend model.
+    x_observed / y_observed:
+        The training points (scenario parameter, metric value).
+    x_predicted / y_predicted:
+        The extrapolation points.
+    """
+
+    region_id: int
+    metric: str
+    model: TrendModel
+    x_observed: np.ndarray
+    y_observed: np.ndarray
+    x_predicted: np.ndarray
+    y_predicted: np.ndarray
+
+    @property
+    def training_rmse(self) -> float:
+        """RMSE of the model on its training points."""
+        return self.model.rmse(self.x_observed, self.y_observed)
+
+    def __repr__(self) -> str:
+        kind = type(self.model).__name__
+        preds = ", ".join(
+            f"{x:g}->{y:.4g}"
+            for x, y in zip(self.x_predicted.tolist(), self.y_predicted.tolist())
+        )
+        return (
+            f"RegionForecast(region={self.region_id}, metric={self.metric!r}, "
+            f"model={kind}, {preds})"
+        )
+
+
+def fit_trend(series: TrendSeries, x: np.ndarray | None = None) -> TrendModel:
+    """Fit the best trend model to one series.
+
+    *x* supplies the scenario parameter per frame; by default the frame
+    index is used.
+    """
+    if x is None:
+        x = np.arange(series.n_frames, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[0] != series.n_frames:
+        raise ModelError(
+            f"x has {x.shape[0]} entries for {series.n_frames} frames"
+        )
+    return fit_best_model(x, series.values)
+
+
+def extrapolate_trends(
+    series_list: list[TrendSeries],
+    x_observed: np.ndarray | list[float] | None,
+    x_predict: np.ndarray | list[float],
+) -> list[RegionForecast]:
+    """Fit and extrapolate every region's series.
+
+    Parameters
+    ----------
+    series_list:
+        Trend series from :func:`repro.tracking.trends.compute_trends`.
+    x_observed:
+        Scenario parameter of each frame (``None`` = frame index).
+    x_predict:
+        Parameter values to predict — typically beyond the observed
+        range.
+    """
+    x_predict = np.asarray(x_predict, dtype=np.float64)
+    forecasts: list[RegionForecast] = []
+    for series in series_list:
+        x = (
+            np.arange(series.n_frames, dtype=np.float64)
+            if x_observed is None
+            else np.asarray(x_observed, dtype=np.float64)
+        )
+        finite = np.isfinite(series.values)
+        model = fit_best_model(x[finite], series.values[finite])
+        forecasts.append(
+            RegionForecast(
+                region_id=series.region_id,
+                metric=series.metric,
+                model=model,
+                x_observed=x[finite],
+                y_observed=series.values[finite],
+                x_predicted=x_predict,
+                y_predicted=model.predict(x_predict),
+            )
+        )
+    return forecasts

@@ -1,0 +1,220 @@
+"""Trend model zoo for per-region metric evolution.
+
+Each model maps a scalar scenario parameter (process count, problem
+size, block size, node occupation...) to a metric value.  Models are
+deliberately simple — the trends the tracker extracts are low-sample
+(one point per experiment), so parsimony beats flexibility.  Model
+selection uses leave-one-out cross-validation when enough points exist,
+falling back to training error otherwise.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = [
+    "TrendModel",
+    "ConstantModel",
+    "LinearModel",
+    "PowerLawModel",
+    "PlateauModel",
+    "fit_best_model",
+]
+
+
+class TrendModel(ABC):
+    """A fitted scalar trend model."""
+
+    @abstractmethod
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the model at *x*."""
+
+    @classmethod
+    @abstractmethod
+    def fit(cls, x: np.ndarray, y: np.ndarray) -> "TrendModel":
+        """Fit the model to observations."""
+
+    @property
+    @abstractmethod
+    def n_parameters(self) -> int:
+        """Number of free parameters (for selection tie-breaking)."""
+
+    def rmse(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Root-mean-square error on the given points."""
+        residual = self.predict(np.asarray(x, dtype=np.float64)) - y
+        return float(np.sqrt(np.mean(residual**2)))
+
+
+@dataclass(frozen=True)
+class ConstantModel(TrendModel):
+    """``y = c`` — metrics that do not respond to the parameter."""
+
+    value: float
+
+    @classmethod
+    def fit(cls, x: np.ndarray, y: np.ndarray) -> "ConstantModel":
+        return cls(value=float(np.mean(y)))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.full_like(x, self.value)
+
+    @property
+    def n_parameters(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class LinearModel(TrendModel):
+    """``y = a x + b``."""
+
+    slope: float
+    intercept: float
+
+    @classmethod
+    def fit(cls, x: np.ndarray, y: np.ndarray) -> "LinearModel":
+        slope, intercept = np.polyfit(x, y, 1)
+        return cls(slope=float(slope), intercept=float(intercept))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+    @property
+    def n_parameters(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class PowerLawModel(TrendModel):
+    """``y = c x^e`` — scaling laws (work per process vs process count)."""
+
+    coefficient: float
+    exponent: float
+
+    @classmethod
+    def fit(cls, x: np.ndarray, y: np.ndarray) -> "PowerLawModel":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if np.any(x <= 0) or np.any(y <= 0):
+            raise ModelError("power-law fit requires positive x and y")
+        exponent, log_c = np.polyfit(np.log(x), np.log(y), 1)
+        return cls(coefficient=float(np.exp(log_c)), exponent=float(exponent))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self.coefficient * np.power(x, self.exponent)
+
+    @property
+    def n_parameters(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class PlateauModel(TrendModel):
+    """``y = plateau + amplitude * exp(-x / scale)`` — saturating trends.
+
+    Captures the paper's "drops then stabilises" IPC patterns (NAS BT
+    regions after the L2 cliff, HydroC after the L1 dip).
+    """
+
+    plateau: float
+    amplitude: float
+    scale: float
+
+    @classmethod
+    def fit(cls, x: np.ndarray, y: np.ndarray) -> "PlateauModel":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.size < 3:
+            raise ModelError("plateau fit needs at least 3 points")
+        # Grid-search the scale (the only non-linear parameter); solve
+        # plateau/amplitude linearly for each candidate.
+        spans = np.ptp(x) or 1.0
+        best: tuple[float, float, float, float] | None = None
+        for scale in np.geomspace(spans / 20, spans * 5, 24):
+            basis = np.exp(-x / scale)
+            design = np.column_stack([np.ones_like(x), basis])
+            coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+            residual = design @ coef - y
+            sse = float(residual @ residual)
+            if best is None or sse < best[0]:
+                best = (sse, float(coef[0]), float(coef[1]), float(scale))
+        assert best is not None
+        _, plateau, amplitude, scale = best
+        return cls(plateau=plateau, amplitude=amplitude, scale=scale)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self.plateau + self.amplitude * np.exp(-x / self.scale)
+
+    @property
+    def n_parameters(self) -> int:
+        return 3
+
+
+_CANDIDATES: tuple[type[TrendModel], ...] = (
+    ConstantModel,
+    LinearModel,
+    PowerLawModel,
+    PlateauModel,
+)
+
+
+def _loo_rmse(model_cls: type[TrendModel], x: np.ndarray, y: np.ndarray) -> float:
+    """Leave-one-out RMSE of a model class on the observations."""
+    errors = []
+    for hold in range(x.size):
+        mask = np.arange(x.size) != hold
+        try:
+            model = model_cls.fit(x[mask], y[mask])
+        except (ModelError, np.linalg.LinAlgError):
+            return float("inf")
+        prediction = float(model.predict(np.asarray([x[hold]]))[0])
+        errors.append((prediction - y[hold]) ** 2)
+    return float(np.sqrt(np.mean(errors)))
+
+
+def fit_best_model(x: np.ndarray, y: np.ndarray) -> TrendModel:
+    """Fit every candidate and return the best by LOO cross-validation.
+
+    With fewer than 4 points, selection falls back to training RMSE
+    with a parsimony penalty; candidates that cannot fit the data (e.g.
+    power law with non-positive values) are skipped.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ModelError("x and y must be 1-D arrays of equal length")
+    finite = np.isfinite(x) & np.isfinite(y)
+    x, y = x[finite], y[finite]
+    if x.size < 2:
+        raise ModelError("need at least 2 finite points to fit a trend")
+
+    scored: list[tuple[float, int, TrendModel]] = []
+    for model_cls in _CANDIDATES:
+        try:
+            model = model_cls.fit(x, y)
+        except (ModelError, np.linalg.LinAlgError):
+            continue
+        if x.size >= 4:
+            score = _loo_rmse(model_cls, x, y)
+        else:
+            scale = float(np.std(y)) or 1.0
+            score = model.rmse(x, y) + 0.05 * scale * model.n_parameters
+        if np.isfinite(score):
+            scored.append((score, model.n_parameters, model))
+    if not scored:
+        raise ModelError("no trend model could fit the data")
+    # Prefer parsimony among models whose scores are essentially tied —
+    # a flat series must select the constant model, not a zero-slope
+    # line that happened to win the cross-validation by float dust.
+    best_score = min(score for score, _, _ in scored)
+    tolerance = best_score * 1.15 + 1e-12 * max(1.0, float(np.max(np.abs(y))))
+    contenders = [item for item in scored if item[0] <= tolerance]
+    contenders.sort(key=lambda item: (item[1], item[0]))
+    return contenders[0][2]

@@ -1,0 +1,143 @@
+"""Walk-forward validation of the trend forecasts.
+
+Before trusting an extrapolation (the paper's "foresee the performance
+of future experiments"), the analyst should know how well the models
+would have predicted the experiments already run.  This module
+implements the standard walk-forward backtest: for every prefix of the
+scenario sequence, fit the model selector on the prefix and predict the
+next scenario, then compare against what was actually measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.predict.models import fit_best_model
+from repro.tracking.trends import TrendSeries
+
+__all__ = ["BacktestReport", "backtest_trend", "backtest_trends"]
+
+
+@dataclass(frozen=True)
+class BacktestReport:
+    """Walk-forward prediction record of one region's trend.
+
+    Attributes
+    ----------
+    region_id / metric:
+        The series that was backtested.
+    x:
+        Scenario parameter of each predicted frame.
+    predicted / actual:
+        One entry per walk-forward step.
+    """
+
+    region_id: int
+    metric: str
+    x: np.ndarray
+    predicted: np.ndarray
+    actual: np.ndarray
+
+    @property
+    def n_steps(self) -> int:
+        """Number of walk-forward predictions made."""
+        return int(self.predicted.shape[0])
+
+    @property
+    def absolute_relative_errors(self) -> np.ndarray:
+        """|predicted - actual| / |actual| per step (inf-safe)."""
+        denominator = np.where(self.actual != 0, np.abs(self.actual), 1.0)
+        return np.abs(self.predicted - self.actual) / denominator
+
+    @property
+    def mape(self) -> float:
+        """Mean absolute percentage error over all steps."""
+        errors = self.absolute_relative_errors
+        return float(errors.mean()) if errors.size else 0.0
+
+    def hit_rate(self, tolerance: float = 0.1) -> float:
+        """Fraction of steps predicted within *tolerance* relative error."""
+        errors = self.absolute_relative_errors
+        if errors.size == 0:
+            return 0.0
+        return float((errors <= tolerance).mean())
+
+    def __repr__(self) -> str:
+        return (
+            f"BacktestReport(region={self.region_id}, metric={self.metric!r}, "
+            f"steps={self.n_steps}, mape={self.mape:.3f})"
+        )
+
+
+def backtest_trend(
+    series: TrendSeries,
+    x: np.ndarray | list[float] | None = None,
+    *,
+    min_train: int = 3,
+) -> BacktestReport:
+    """Walk-forward backtest of one series.
+
+    Parameters
+    ----------
+    series:
+        The tracked trend to validate.
+    x:
+        Scenario parameter per frame (``None`` = frame index).
+    min_train:
+        Smallest prefix used to fit before the first prediction.
+    """
+    if min_train < 2:
+        raise ModelError("min_train must be >= 2")
+    values = series.values
+    x_arr = (
+        np.arange(series.n_frames, dtype=np.float64)
+        if x is None
+        else np.asarray(x, dtype=np.float64)
+    )
+    if x_arr.shape[0] != series.n_frames:
+        raise ModelError(
+            f"x has {x_arr.shape[0]} entries for {series.n_frames} frames"
+        )
+    finite = np.isfinite(values)
+    x_arr, values = x_arr[finite], values[finite]
+    if values.shape[0] <= min_train:
+        raise ModelError(
+            f"need more than min_train={min_train} finite points, "
+            f"got {values.shape[0]}"
+        )
+
+    predicted: list[float] = []
+    actual: list[float] = []
+    targets: list[float] = []
+    for split in range(min_train, values.shape[0]):
+        model = fit_best_model(x_arr[:split], values[:split])
+        prediction = float(model.predict(np.asarray([x_arr[split]]))[0])
+        predicted.append(prediction)
+        actual.append(float(values[split]))
+        targets.append(float(x_arr[split]))
+    return BacktestReport(
+        region_id=series.region_id,
+        metric=series.metric,
+        x=np.asarray(targets),
+        predicted=np.asarray(predicted),
+        actual=np.asarray(actual),
+    )
+
+
+def backtest_trends(
+    series_list: list[TrendSeries],
+    x: np.ndarray | list[float] | None = None,
+    *,
+    min_train: int = 3,
+) -> list[BacktestReport]:
+    """Backtest every region's series; skips series with too few points."""
+    reports: list[BacktestReport] = []
+    for series in series_list:
+        try:
+            reports.append(backtest_trend(series, x, min_train=min_train))
+        except ModelError:
+            continue
+    return reports

@@ -1,0 +1,66 @@
+"""Trace substrate: the CPU-burst data model the whole pipeline consumes.
+
+The paper characterises applications at the granularity of *CPU bursts* —
+the sequential computation between two calls into the MPI/OpenMP runtime.
+Each burst carries its duration, a call-stack reference linking it to the
+source code, and a vector of hardware-counter values describing how it
+performed.  This subpackage provides:
+
+- :class:`~repro.trace.burst.CPUBurst` — a single burst record.
+- :class:`~repro.trace.trace.Trace` — an immutable struct-of-arrays
+  container holding every burst of one experiment, plus scenario
+  metadata (application, rank count, machine, free-form parameters).
+- :mod:`~repro.trace.counters` — canonical hardware-counter names and a
+  registry of derived metrics (IPC, MPKI rates...).
+- :mod:`~repro.trace.callstack` — call-path model and interning table.
+- :mod:`~repro.trace.io` — JSON / CSV persistence.
+- :mod:`~repro.trace.filters` — burst selection (duration, ranks, time).
+- :mod:`~repro.trace.stats` — per-trace summaries.
+"""
+
+from __future__ import annotations
+
+from repro.trace.burst import CPUBurst
+from repro.trace.callstack import CallPath, CallstackTable, StackFrame
+from repro.trace.counters import (
+    CYCLES,
+    INSTRUCTIONS,
+    L1_DCM,
+    L2_DCM,
+    STANDARD_COUNTERS,
+    TLB_DM,
+    derived_metric_names,
+)
+from repro.trace.filters import (
+    filter_min_duration,
+    filter_ranks,
+    filter_time_window,
+    filter_top_duration_fraction,
+)
+from repro.trace.io import load_trace, save_trace
+from repro.trace.stats import TraceSummary, summarize
+from repro.trace.trace import Trace, TraceBuilder
+
+__all__ = [
+    "CPUBurst",
+    "Trace",
+    "TraceBuilder",
+    "CallPath",
+    "StackFrame",
+    "CallstackTable",
+    "INSTRUCTIONS",
+    "CYCLES",
+    "L1_DCM",
+    "L2_DCM",
+    "TLB_DM",
+    "STANDARD_COUNTERS",
+    "derived_metric_names",
+    "load_trace",
+    "save_trace",
+    "filter_min_duration",
+    "filter_ranks",
+    "filter_time_window",
+    "filter_top_duration_fraction",
+    "TraceSummary",
+    "summarize",
+]

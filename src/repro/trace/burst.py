@@ -1,0 +1,88 @@
+"""The CPU-burst record.
+
+A CPU burst is the unit of behaviour the paper analyses: the sequential
+computation a process performs between two consecutive calls into the
+parallel runtime (MPI in all the paper's experiments).  Bursts are what
+gets clustered into objects and tracked across experiments.
+
+:class:`CPUBurst` is the array-of-structs view used at API boundaries
+and in tests; bulk storage lives in :class:`~repro.trace.trace.Trace`
+as struct-of-arrays columns for vectorised analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.trace.callstack import CallPath
+
+__all__ = ["CPUBurst"]
+
+
+@dataclass(frozen=True, slots=True)
+class CPUBurst:
+    """One sequential computation region of one MPI process.
+
+    Attributes
+    ----------
+    rank:
+        MPI rank that executed the burst.
+    begin:
+        Start timestamp in seconds since the start of the run.
+    duration:
+        Elapsed time of the burst in seconds.
+    callpath:
+        Call stack at burst entry, linking the burst to source code.
+    counters:
+        Hardware-counter values accumulated over the burst, keyed by
+        counter name (see :mod:`repro.trace.counters`).
+    """
+
+    rank: int
+    begin: float
+    duration: float
+    callpath: CallPath
+    counters: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.begin < 0:
+            raise ValueError(f"begin must be >= 0, got {self.begin}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        # Freeze the mapping so the record is genuinely immutable.
+        object.__setattr__(self, "counters", MappingProxyType(dict(self.counters)))
+
+    @property
+    def end(self) -> float:
+        """End timestamp in seconds."""
+        return self.begin + self.duration
+
+    def counter(self, name: str) -> float:
+        """Return counter *name*, or raise ``KeyError`` with context."""
+        try:
+            return self.counters[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"burst has no counter {name!r}; available: {sorted(self.counters)}"
+            ) from exc
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle of the burst (0 when cycles are 0)."""
+        from repro.trace.counters import CYCLES, INSTRUCTIONS
+
+        cycles = self.counters.get(CYCLES, 0.0)
+        if cycles == 0:
+            return 0.0
+        return self.counters.get(INSTRUCTIONS, 0.0) / cycles
+
+    def __repr__(self) -> str:  # keep the default repr short and useful
+        return (
+            f"CPUBurst(rank={self.rank}, begin={self.begin:.6f}, "
+            f"duration={self.duration:.6f}, callpath={self.callpath.short()!r}, "
+            f"ipc={self.ipc:.3f})"
+        )

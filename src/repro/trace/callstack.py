@@ -1,0 +1,167 @@
+"""Call-path model: linking bursts to points in the source code.
+
+Every CPU burst records where in the code it started, as a stack of
+``(function, file, line)`` frames.  The tracking algorithm's third
+heuristic (*call stack references*, paper section 3.3) compares these
+references between clusters of different experiments: two objects that
+share no reference cannot be the same region of code.
+
+Call paths are interned through :class:`CallstackTable`, so a trace
+stores one small integer per burst instead of a tuple of strings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+__all__ = ["StackFrame", "CallPath", "CallstackTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class StackFrame:
+    """One level of a call stack: a source location.
+
+    Attributes
+    ----------
+    function:
+        Routine name, e.g. ``"solve_x"``.
+    file:
+        Source file, e.g. ``"module_comm_dm.f90"``.
+    line:
+        Line number of the call site or region entry.
+    """
+
+    function: str
+    file: str
+    line: int
+
+    def __post_init__(self) -> None:
+        if self.line < 0:
+            raise ValueError(f"line must be >= 0, got {self.line}")
+
+    def __str__(self) -> str:
+        return f"{self.function}@{self.file}:{self.line}"
+
+    @classmethod
+    def parse(cls, text: str) -> "StackFrame":
+        """Parse the ``function@file:line`` form produced by ``str()``."""
+        try:
+            function, location = text.split("@", 1)
+            file, line = location.rsplit(":", 1)
+            return cls(function=function, file=file, line=int(line))
+        except ValueError as exc:
+            raise ValueError(f"cannot parse stack frame {text!r}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class CallPath:
+    """An ordered call stack, outermost frame first.
+
+    The *leaf* (innermost frame) is the reference the paper's tables use
+    to identify a region (e.g. ``6474 (module_comm_dm.f90)``).
+    """
+
+    frames: tuple[StackFrame, ...]
+
+    def __post_init__(self) -> None:
+        if not self.frames:
+            raise ValueError("a call path needs at least one frame")
+
+    @property
+    def leaf(self) -> StackFrame:
+        """Innermost frame: the code region the burst executes."""
+        return self.frames[-1]
+
+    @property
+    def depth(self) -> int:
+        """Number of stack frames."""
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[StackFrame]:
+        return iter(self.frames)
+
+    def __str__(self) -> str:
+        return " > ".join(str(frame) for frame in self.frames)
+
+    def short(self) -> str:
+        """Compact human-readable form: ``line (file)`` of the leaf."""
+        return f"{self.leaf.line} ({self.leaf.file})"
+
+    @classmethod
+    def single(cls, function: str, file: str, line: int) -> "CallPath":
+        """Build a depth-1 call path."""
+        return cls(frames=(StackFrame(function, file, line),))
+
+    @classmethod
+    def of(cls, *frames: StackFrame) -> "CallPath":
+        """Build a call path from frames, outermost first."""
+        return cls(frames=tuple(frames))
+
+    @classmethod
+    def parse(cls, text: str) -> "CallPath":
+        """Parse the ``frame > frame > ...`` form produced by ``str()``."""
+        parts = [part.strip() for part in text.split(">")]
+        return cls(frames=tuple(StackFrame.parse(part) for part in parts))
+
+
+class CallstackTable:
+    """Bidirectional interning table of :class:`CallPath` objects.
+
+    Traces store the small integer id; the table recovers the full path.
+    Ids are dense, starting at 0, in first-seen order, which keeps the
+    serialized form stable and compact.
+    """
+
+    def __init__(self, paths: Iterable[CallPath] = ()) -> None:
+        self._paths: list[CallPath] = []
+        self._ids: dict[CallPath, int] = {}
+        for path in paths:
+            self.intern(path)
+
+    def intern(self, path: CallPath) -> int:
+        """Return the id of *path*, registering it on first use."""
+        existing = self._ids.get(path)
+        if existing is not None:
+            return existing
+        new_id = len(self._paths)
+        self._paths.append(path)
+        self._ids[path] = new_id
+        return new_id
+
+    def path(self, path_id: int) -> CallPath:
+        """Return the call path registered under *path_id*."""
+        try:
+            return self._paths[path_id]
+        except IndexError as exc:
+            raise KeyError(f"unknown call path id {path_id}") from exc
+
+    def id_of(self, path: CallPath) -> int:
+        """Return the id of an already-interned path."""
+        try:
+            return self._ids[path]
+        except KeyError as exc:
+            raise KeyError(f"call path {path} is not interned") from exc
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self) -> Iterator[CallPath]:
+        return iter(self._paths)
+
+    def __contains__(self, path: CallPath) -> bool:
+        return path in self._ids
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CallstackTable):
+            return NotImplemented
+        return self._paths == other._paths
+
+    def to_strings(self) -> list[str]:
+        """Serialize as a list of parseable strings, index = id."""
+        return [str(path) for path in self._paths]
+
+    @classmethod
+    def from_strings(cls, texts: Iterable[str]) -> "CallstackTable":
+        """Rebuild a table from :meth:`to_strings` output."""
+        return cls(CallPath.parse(text) for text in texts)

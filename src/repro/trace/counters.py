@@ -1,0 +1,176 @@
+"""Hardware-counter names and derived performance metrics.
+
+The counter naming follows the PAPI preset convention used by Extrae at
+BSC, since those are the names that appear in the traces the paper's
+tool consumes.  A *derived metric* is any per-burst quantity computed
+from raw counters and burst duration — e.g. IPC, or misses per thousand
+instructions (MPKI).  Derived metrics are registered in
+:data:`DERIVED_METRICS` so that frames can be built over any pair of
+axis names without special-casing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.trace.trace import Trace
+
+__all__ = [
+    "INSTRUCTIONS",
+    "CYCLES",
+    "L1_DCM",
+    "L2_DCM",
+    "TLB_DM",
+    "STANDARD_COUNTERS",
+    "DERIVED_METRICS",
+    "derived_metric_names",
+    "register_metric",
+    "metric_values",
+    "is_extensive_metric",
+]
+
+#: Completed instructions (PAPI preset name).
+INSTRUCTIONS = "PAPI_TOT_INS"
+#: Total cycles.
+CYCLES = "PAPI_TOT_CYC"
+#: Level-1 data-cache misses.
+L1_DCM = "PAPI_L1_DCM"
+#: Level-2 data-cache misses.
+L2_DCM = "PAPI_L2_DCM"
+#: Data TLB misses.
+TLB_DM = "PAPI_TLB_DM"
+
+#: The counter set the synthetic runner emits, mirroring a typical
+#: Extrae configuration on the paper's machines.
+STANDARD_COUNTERS: tuple[str, ...] = (INSTRUCTIONS, CYCLES, L1_DCM, L2_DCM, TLB_DM)
+
+MetricFn = Callable[["Trace"], np.ndarray]
+
+
+def _safe_div(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """Element-wise division returning 0 where the denominator is 0."""
+    out = np.zeros_like(num, dtype=np.float64)
+    np.divide(num, den, out=out, where=den != 0)
+    return out
+
+
+def _ipc(trace: "Trace") -> np.ndarray:
+    return _safe_div(trace.counter(INSTRUCTIONS), trace.counter(CYCLES))
+
+
+def _mpki(counter_name: str) -> MetricFn:
+    def metric(trace: "Trace") -> np.ndarray:
+        return 1000.0 * _safe_div(trace.counter(counter_name), trace.counter(INSTRUCTIONS))
+
+    return metric
+
+
+def _duration(trace: "Trace") -> np.ndarray:
+    return trace.duration.astype(np.float64, copy=True)
+
+
+def _instructions(trace: "Trace") -> np.ndarray:
+    return trace.counter(INSTRUCTIONS).astype(np.float64, copy=True)
+
+
+def _cycles(trace: "Trace") -> np.ndarray:
+    return trace.counter(CYCLES).astype(np.float64, copy=True)
+
+
+def _mips(trace: "Trace") -> np.ndarray:
+    return 1e-6 * _safe_div(trace.counter(INSTRUCTIONS), trace.duration)
+
+
+#: Registry of derived metrics, keyed by the short names the rest of the
+#: package (frames, trends, plots) uses on its axes.
+DERIVED_METRICS: dict[str, MetricFn] = {
+    "ipc": _ipc,
+    "instructions": _instructions,
+    "cycles": _cycles,
+    "duration": _duration,
+    "mips": _mips,
+    "l1_misses": lambda t: t.counter(L1_DCM).astype(np.float64, copy=True),
+    "l2_misses": lambda t: t.counter(L2_DCM).astype(np.float64, copy=True),
+    "tlb_misses": lambda t: t.counter(TLB_DM).astype(np.float64, copy=True),
+    "l1_mpki": _mpki(L1_DCM),
+    "l2_mpki": _mpki(L2_DCM),
+    "tlb_mpki": _mpki(TLB_DM),
+}
+
+#: Metrics whose per-burst magnitude scales with how the total work is
+#: divided among processes.  When the process count doubles, these halve
+#: per burst; the cross-frame scale normalisation weights them by the
+#: core count (paper section 2).  Intensive metrics (ratios such as IPC
+#: or MPKI) are min-max scaled instead.
+_EXTENSIVE_METRICS = frozenset(
+    {"instructions", "cycles", "duration", "l1_misses", "l2_misses", "tlb_misses"}
+)
+
+
+def is_extensive_metric(name: str) -> bool:
+    """Return whether *name* scales with the per-process share of work.
+
+    Raw counter names (e.g. ``PAPI_TOT_INS``) are always extensive;
+    derived ratio metrics (``ipc``, ``*_mpki``, ``mips``) are intensive.
+    """
+    if name in _EXTENSIVE_METRICS:
+        return True
+    if name in DERIVED_METRICS:
+        return False
+    # Unknown names are raw counters: event counts are extensive.
+    return True
+
+
+def register_metric(name: str, fn: MetricFn, *, extensive: bool = False) -> None:
+    """Register a user-defined derived metric.
+
+    Parameters
+    ----------
+    name:
+        Axis name under which the metric becomes available.
+    fn:
+        Callable mapping a :class:`~repro.trace.trace.Trace` to a float64
+        array with one value per burst.
+    extensive:
+        Whether the metric scales with the per-process work share (see
+        :func:`is_extensive_metric`).
+    """
+    if name in DERIVED_METRICS:
+        raise ValueError(f"metric {name!r} is already registered")
+    DERIVED_METRICS[name] = fn
+    if extensive:
+        global _EXTENSIVE_METRICS
+        _EXTENSIVE_METRICS = _EXTENSIVE_METRICS | {name}
+
+
+def derived_metric_names() -> tuple[str, ...]:
+    """Return the names of all registered derived metrics."""
+    return tuple(DERIVED_METRICS)
+
+
+def metric_values(trace: "Trace", name: str) -> np.ndarray:
+    """Evaluate metric *name* on *trace*, one float64 value per burst.
+
+    *name* may be a derived metric (``"ipc"``) or a raw counter name
+    (``"PAPI_TOT_INS"``).
+    """
+    if name in DERIVED_METRICS:
+        return DERIVED_METRICS[name](trace)
+    if name in trace.counter_names:
+        return trace.counter(name).astype(np.float64, copy=True)
+    raise KeyError(
+        f"unknown metric {name!r}; available derived metrics: "
+        f"{sorted(DERIVED_METRICS)}; trace counters: {list(trace.counter_names)}"
+    )
+
+
+def standard_counter_index(name: str) -> int:
+    """Return the position of *name* within :data:`STANDARD_COUNTERS`."""
+    try:
+        return STANDARD_COUNTERS.index(name)
+    except ValueError as exc:
+        raise KeyError(f"{name!r} is not a standard counter") from exc

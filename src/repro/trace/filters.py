@@ -1,0 +1,66 @@
+"""Burst selection filters.
+
+The BSC workflow the paper builds on discards negligible bursts before
+clustering: very short computations are instrumentation noise and would
+otherwise dominate the point population while representing a sliver of
+the execution time.  :func:`filter_top_duration_fraction` mirrors the
+"clusters that represent a high percentage of the application time"
+relevance criterion from the paper's section 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.trace import Trace
+
+__all__ = [
+    "filter_min_duration",
+    "filter_top_duration_fraction",
+    "filter_ranks",
+    "filter_time_window",
+]
+
+
+def filter_min_duration(trace: Trace, min_duration: float) -> Trace:
+    """Keep only bursts lasting at least *min_duration* seconds."""
+    if min_duration < 0:
+        raise ValueError(f"min_duration must be >= 0, got {min_duration}")
+    return trace.select(trace.duration >= min_duration)
+
+
+def filter_top_duration_fraction(trace: Trace, fraction: float) -> Trace:
+    """Keep the longest bursts that together cover *fraction* of total time.
+
+    Bursts are ranked by duration (descending) and retained until their
+    cumulative duration reaches ``fraction * total_time``.  The burst
+    that crosses the threshold is included, so coverage is always at
+    least the requested fraction (when the trace is non-empty).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if trace.n_bursts == 0:
+        return trace
+    order = np.argsort(trace.duration)[::-1]
+    cumulative = np.cumsum(trace.duration[order])
+    target = fraction * cumulative[-1]
+    cutoff = int(np.searchsorted(cumulative, target)) + 1
+    keep = np.zeros(trace.n_bursts, dtype=bool)
+    keep[order[:cutoff]] = True
+    return trace.select(keep)
+
+
+def filter_ranks(trace: Trace, ranks: np.ndarray | list[int]) -> Trace:
+    """Keep only bursts executed by the given ranks."""
+    return trace.select(np.isin(trace.rank, np.asarray(ranks)))
+
+
+def filter_time_window(trace: Trace, begin: float, end: float) -> Trace:
+    """Keep bursts that start within ``[begin, end)`` seconds.
+
+    Useful for the paper's *evolutionary* use case: splitting one long
+    experiment into time intervals and tracking across the intervals.
+    """
+    if end <= begin:
+        raise ValueError(f"empty time window [{begin}, {end})")
+    return trace.select((trace.begin >= begin) & (trace.begin < end))

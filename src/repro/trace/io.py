@@ -1,0 +1,215 @@
+"""Trace persistence: a compact JSON column format and a flat CSV form.
+
+The JSON format stores the struct-of-arrays columns directly, which
+round-trips exactly and loads fast.  The CSV format is one row per
+burst with metadata in ``#``-prefixed header comments — convenient for
+inspection with standard tools.  :func:`save_trace` / :func:`load_trace`
+dispatch on the file extension (``.json`` / ``.csv``; a ``.gz`` suffix
+adds transparent gzip compression).
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.trace.callstack import CallstackTable
+from repro.trace.trace import Trace, TraceBuilder
+
+__all__ = ["save_trace", "load_trace", "trace_to_json", "trace_from_json"]
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_json(trace: Trace) -> dict[str, Any]:
+    """Serialize a trace to a JSON-compatible dict (column layout)."""
+    return {
+        "format": "repro-trace",
+        "version": _FORMAT_VERSION,
+        "app": trace.app,
+        "nranks": trace.nranks,
+        "scenario": trace.scenario,
+        "clock_hz": trace.clock_hz,
+        "counter_names": list(trace.counter_names),
+        "callstacks": trace.callstacks.to_strings(),
+        "columns": {
+            "rank": trace.rank.tolist(),
+            "begin": trace.begin.tolist(),
+            "duration": trace.duration.tolist(),
+            "callpath_id": trace.callpath_id.tolist(),
+            "counters": trace.counters_matrix.tolist(),
+        },
+    }
+
+
+def trace_from_json(doc: dict[str, Any]) -> Trace:
+    """Rebuild a trace from :func:`trace_to_json` output."""
+    try:
+        if doc.get("format") != "repro-trace":
+            raise TraceFormatError(
+                f"not a repro trace document (format={doc.get('format')!r})"
+            )
+        if doc.get("version") != _FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace format version {doc.get('version')!r}"
+            )
+        columns = doc["columns"]
+        n = len(columns["rank"])
+        counters = np.asarray(columns["counters"], dtype=np.float64)
+        return Trace(
+            rank=np.asarray(columns["rank"], dtype=np.int32),
+            begin=np.asarray(columns["begin"], dtype=np.float64),
+            duration=np.asarray(columns["duration"], dtype=np.float64),
+            callpath_id=np.asarray(columns["callpath_id"], dtype=np.int32),
+            counters=counters.reshape(n, len(doc["counter_names"])),
+            counter_names=tuple(doc["counter_names"]),
+            callstacks=CallstackTable.from_strings(doc["callstacks"]),
+            nranks=int(doc["nranks"]),
+            app=str(doc["app"]),
+            scenario=dict(doc.get("scenario", {})),
+            clock_hz=float(doc.get("clock_hz", 1e9)),
+        )
+    except TraceFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed trace document: {exc}") from exc
+
+
+def _write_csv(trace: Trace, stream: TextIO) -> None:
+    meta = {
+        "app": trace.app,
+        "nranks": trace.nranks,
+        "scenario": trace.scenario,
+        "clock_hz": trace.clock_hz,
+        "callstacks": trace.callstacks.to_strings(),
+    }
+    stream.write(f"# repro-trace-csv v{_FORMAT_VERSION}\n")
+    stream.write(f"# meta={json.dumps(meta)}\n")
+    writer = csv.writer(stream)
+    writer.writerow(["rank", "begin", "duration", "callpath_id", *trace.counter_names])
+    counters = trace.counters_matrix
+    for i in range(trace.n_bursts):
+        writer.writerow(
+            [
+                int(trace.rank[i]),
+                repr(float(trace.begin[i])),
+                repr(float(trace.duration[i])),
+                int(trace.callpath_id[i]),
+                *(repr(float(v)) for v in counters[i]),
+            ]
+        )
+
+
+def _read_csv(stream: TextIO) -> Trace:
+    header = stream.readline()
+    if not header.startswith("# repro-trace-csv"):
+        raise TraceFormatError("missing repro-trace-csv header line")
+    meta_line = stream.readline()
+    if not meta_line.startswith("# meta="):
+        raise TraceFormatError("missing meta header line")
+    try:
+        meta = json.loads(meta_line[len("# meta=") :])
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"malformed meta header: {exc}") from exc
+    reader = csv.reader(stream)
+    try:
+        columns = next(reader)
+    except StopIteration as exc:
+        raise TraceFormatError("missing CSV column header") from exc
+    expected_prefix = ["rank", "begin", "duration", "callpath_id"]
+    if columns[: len(expected_prefix)] != expected_prefix:
+        raise TraceFormatError(f"unexpected CSV columns: {columns}")
+    counter_names = tuple(columns[len(expected_prefix) :])
+    builder = TraceBuilder(
+        nranks=int(meta["nranks"]),
+        counter_names=counter_names,
+        app=str(meta["app"]),
+        scenario=dict(meta.get("scenario", {})),
+        clock_hz=float(meta.get("clock_hz", 1e9)),
+    )
+    table = CallstackTable.from_strings(meta["callstacks"])
+    paths = list(table)
+    try:
+        for row in reader:
+            if not row:
+                continue
+            builder.add(
+                rank=int(row[0]),
+                begin=float(row[1]),
+                duration=float(row[2]),
+                callpath=paths[int(row[3])],
+                counters=[float(v) for v in row[4:]],
+            )
+    except (IndexError, ValueError) as exc:
+        raise TraceFormatError(f"malformed CSV row: {exc}") from exc
+    return builder.build()
+
+
+def _open_text(path: Path, mode: str) -> TextIO:
+    if path.name.endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def _base_suffix(path: Path) -> str:
+    name = path.name
+    if name.endswith(".gz"):
+        name = name[: -len(".gz")]
+    return Path(name).suffix.lower()
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write *trace* to *path*; format chosen by extension.
+
+    Supported: ``.json``, ``.csv`` (optionally ``.gz``-compressed) and
+    ``.prv`` (Paraver triplet, see :mod:`repro.trace.prv`).  Returns
+    the path written.
+    """
+    path = Path(path)
+    suffix = _base_suffix(path)
+    if suffix == ".prv":
+        from repro.trace.prv import save_prv
+
+        return save_prv(trace, path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with _open_text(path, "w") as stream:
+        if suffix == ".json":
+            json.dump(trace_to_json(trace), stream)
+        elif suffix == ".csv":
+            _write_csv(trace, stream)
+        else:
+            raise TraceFormatError(
+                f"unsupported trace extension {suffix!r} "
+                "(use .json, .csv or .prv)"
+            )
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a trace written by :func:`save_trace`."""
+    path = Path(path)
+    suffix = _base_suffix(path)
+    if suffix == ".prv":
+        from repro.trace.prv import load_prv
+
+        return load_prv(path)
+    with _open_text(path, "r") as stream:
+        if suffix == ".json":
+            try:
+                doc = json.load(stream)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"malformed JSON trace: {exc}") from exc
+            return trace_from_json(doc)
+        if suffix == ".csv":
+            return _read_csv(stream)
+        raise TraceFormatError(
+            f"unsupported trace extension {suffix!r} "
+            "(use .json, .csv or .prv)"
+        )

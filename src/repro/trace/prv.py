@@ -1,0 +1,260 @@
+"""Paraver trace interoperability (simplified ``.prv`` triplet).
+
+The BSC tools the paper builds on consume Paraver traces produced by
+Extrae: a ``.prv`` record file, a ``.pcf`` configuration naming event
+types and values, and a ``.row`` file labelling the process hierarchy.
+This module writes and reads a faithful *subset* of that format, enough
+to exchange burst-level data with the real ecosystem:
+
+- one **state record** (``1:...:begin:end:1``) per CPU burst
+  (state 1 = running);
+- one **event record** (``2:...:end:type:value...``) at each burst end
+  carrying the hardware counters (Extrae's 42000000-range event types)
+  and the call-path reference (caller-line event type);
+- the ``.pcf`` names the counter events and enumerates the call-path
+  values, plus a comment block with the repro metadata (application,
+  scenario, clock) so a round trip loses nothing but timestamp
+  precision (Paraver time is integer nanoseconds).
+
+This is intentionally not a full Paraver implementation (no
+communication records, one application, one thread per task) — exactly
+the subset burst-level analysis needs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.trace.callstack import CallPath, CallstackTable
+from repro.trace.counters import CYCLES, INSTRUCTIONS, L1_DCM, L2_DCM, TLB_DM
+from repro.trace.trace import Trace, TraceBuilder
+
+__all__ = ["save_prv", "load_prv", "COUNTER_EVENT_TYPES", "CALLER_EVENT_TYPE"]
+
+#: Extrae-convention event types for the PAPI counters we emit.
+COUNTER_EVENT_TYPES: dict[str, int] = {
+    INSTRUCTIONS: 42000050,
+    CYCLES: 42000059,
+    L1_DCM: 42000051,
+    L2_DCM: 42000052,
+    TLB_DM: 42000053,
+}
+
+#: Event type carrying the call-path reference (caller line id).
+CALLER_EVENT_TYPE = 30000100
+
+#: Running state id in Paraver's default semantic.
+_RUNNING_STATE = 1
+
+_NS = 1e9
+
+
+def _prv_path(path: str | Path) -> Path:
+    path = Path(path)
+    if path.suffix != ".prv":
+        path = path.with_suffix(".prv")
+    return path
+
+
+def save_prv(trace: Trace, path: str | Path) -> Path:
+    """Write *trace* as a Paraver triplet; returns the ``.prv`` path.
+
+    ``path`` may omit the extension; ``.pcf`` and ``.row`` siblings are
+    written next to the ``.prv``.
+    """
+    prv = _prv_path(path)
+    prv.parent.mkdir(parents=True, exist_ok=True)
+
+    counter_types = [COUNTER_EVENT_TYPES[name] for name in trace.counter_names]
+    end_ns_all = np.rint((trace.begin + trace.duration) * _NS).astype(np.int64)
+    total_ns = int(end_ns_all.max()) if trace.n_bursts else 0
+
+    # Header: #Paraver (d/m/y at h:m):total:nNodes(cpus):nAppl:tasks(...)
+    task_spec = ",".join(f"1:{node}" for node in range(1, trace.nranks + 1))
+    header = (
+        f"#Paraver (01/01/2013 at 00:00):{total_ns}_ns:"
+        f"{trace.nranks}({','.join('1' for _ in range(trace.nranks))}):1:"
+        f"{trace.nranks}({task_spec})"
+    )
+
+    order = np.lexsort((trace.rank, trace.begin))
+    lines = [header]
+    for index in order.tolist():
+        rank = int(trace.rank[index]) + 1  # Paraver tasks are 1-based
+        begin_ns = int(round(float(trace.begin[index]) * _NS))
+        end_ns = int(round(float(trace.end[index]) * _NS))
+        lines.append(
+            f"1:{rank}:1:{rank}:1:{begin_ns}:{end_ns}:{_RUNNING_STATE}"
+        )
+        events = [
+            f"{CALLER_EVENT_TYPE}:{int(trace.callpath_id[index]) + 1}"
+        ]
+        for col, event_type in enumerate(counter_types):
+            value = int(round(float(trace.counters_matrix[index, col])))
+            events.append(f"{event_type}:{value}")
+        lines.append(f"2:{rank}:1:{rank}:1:{end_ns}:" + ":".join(events))
+    prv.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    _write_pcf(trace, prv.with_suffix(".pcf"))
+    _write_row(trace, prv.with_suffix(".row"))
+    return prv
+
+
+def _write_pcf(trace: Trace, path: Path) -> None:
+    meta = {
+        "app": trace.app,
+        "scenario": trace.scenario,
+        "clock_hz": trace.clock_hz,
+        "counter_names": list(trace.counter_names),
+        "nranks": trace.nranks,
+    }
+    lines = [
+        "# repro-paraver configuration",
+        f"# repro-meta: {json.dumps(meta)}",
+        "",
+        "EVENT_TYPE",
+    ]
+    for name in trace.counter_names:
+        lines.append(f"0 {COUNTER_EVENT_TYPES[name]} {name}")
+    lines.append("")
+    lines.append("EVENT_TYPE")
+    lines.append(f"0 {CALLER_EVENT_TYPE} Caller line")
+    lines.append("VALUES")
+    lines.append("0 End")
+    for path_id, callpath in enumerate(trace.callstacks):
+        lines.append(f"{path_id + 1} {callpath}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def _write_row(trace: Trace, path: Path) -> None:
+    lines = [f"LEVEL TASK SIZE {trace.nranks}"]
+    for rank in range(trace.nranks):
+        lines.append(f"TASK 1.{rank + 1}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+_META_RE = re.compile(r"^# repro-meta: (?P<json>.*)$")
+_VALUE_RE = re.compile(r"^(?P<id>\d+) (?P<label>.+)$")
+
+
+def _read_pcf(path: Path) -> tuple[dict, CallstackTable]:
+    if not path.exists():
+        raise TraceFormatError(f"missing Paraver configuration file {path}")
+    meta: dict | None = None
+    values: dict[int, str] = {}
+    in_caller_values = False
+    saw_caller_type = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        match = _META_RE.match(line)
+        if match:
+            try:
+                meta = json.loads(match.group("json"))
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"malformed repro-meta in {path}") from exc
+            continue
+        if line.startswith("EVENT_TYPE"):
+            in_caller_values = False
+            continue
+        if str(CALLER_EVENT_TYPE) in line and "Caller line" in line:
+            saw_caller_type = True
+            continue
+        if line.startswith("VALUES"):
+            in_caller_values = saw_caller_type
+            continue
+        if in_caller_values:
+            match = _VALUE_RE.match(line)
+            if match and int(match.group("id")) > 0:
+                values[int(match.group("id"))] = match.group("label")
+    if meta is None:
+        raise TraceFormatError(f"{path} carries no repro-meta block")
+    paths = [
+        CallPath.parse(values[path_id]) for path_id in sorted(values)
+    ]
+    return meta, CallstackTable(paths)
+
+
+def load_prv(path: str | Path) -> Trace:
+    """Read a Paraver triplet written by :func:`save_prv`.
+
+    Timestamps come back at nanosecond precision; counters as integers.
+    """
+    prv = _prv_path(path)
+    if not prv.exists():
+        raise TraceFormatError(f"missing Paraver trace {prv}")
+    meta, callstacks = _read_pcf(prv.with_suffix(".pcf"))
+
+    counter_names = tuple(meta["counter_names"])
+    type_to_column = {
+        COUNTER_EVENT_TYPES[name]: col for col, name in enumerate(counter_names)
+    }
+    builder = TraceBuilder(
+        nranks=int(meta["nranks"]),
+        counter_names=counter_names,
+        app=str(meta["app"]),
+        scenario=dict(meta.get("scenario", {})),
+        clock_hz=float(meta.get("clock_hz", 1e9)),
+    )
+    paths = list(callstacks)
+
+    # First pass: collect state records, then attach the event records
+    # fired at each burst's end time.  Multiple bursts of one task may
+    # round to the same end nanosecond, so each key holds a FIFO queue.
+    states: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    pending: list[tuple[int, int, dict[int, int]]] = []
+    lines = prv.read_text(encoding="utf-8").splitlines()
+    if not lines or not lines[0].startswith("#Paraver"):
+        raise TraceFormatError(f"{prv} is not a Paraver trace")
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        fields = line.split(":")
+        try:
+            record = int(fields[0])
+            if record == 1:
+                task = int(fields[3]) - 1
+                begin_ns = int(fields[5])
+                end_ns = int(fields[6])
+                states.setdefault((task, end_ns), []).append(
+                    (begin_ns / _NS, (end_ns - begin_ns) / _NS)
+                )
+            elif record == 2:
+                task = int(fields[3]) - 1
+                time_ns = int(fields[5])
+                events = {
+                    int(fields[i]): int(fields[i + 1])
+                    for i in range(6, len(fields) - 1, 2)
+                }
+                pending.append((task, time_ns, events))
+        except (ValueError, IndexError) as exc:
+            raise TraceFormatError(f"malformed Paraver record: {line!r}") from exc
+
+    for task, time_ns, events in pending:
+        queue = states.get((task, time_ns))
+        if not queue:
+            raise TraceFormatError(
+                f"event at t={time_ns} for task {task} has no matching state"
+            )
+        begin, duration = queue.pop(0)
+        caller = events.get(CALLER_EVENT_TYPE)
+        if caller is None or not 1 <= caller <= len(paths):
+            raise TraceFormatError(
+                f"event at t={time_ns} lacks a valid caller reference"
+            )
+        counters = [0.0] * len(counter_names)
+        for event_type, value in events.items():
+            column = type_to_column.get(event_type)
+            if column is not None:
+                counters[column] = float(value)
+        builder.add(
+            rank=task,
+            begin=begin,
+            duration=duration,
+            callpath=paths[caller - 1],
+            counters=counters,
+        )
+    return builder.build()

@@ -1,0 +1,83 @@
+"""Per-trace summary statistics.
+
+These aggregations power the textual reports (Table 3 style) and are
+handy for sanity-checking synthetic traces against their app models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.counters import CYCLES, INSTRUCTIONS
+from repro.trace.trace import Trace
+
+__all__ = ["TraceSummary", "summarize", "per_rank_totals", "per_callpath_totals"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSummary:
+    """Aggregate view of one trace.
+
+    Attributes
+    ----------
+    n_bursts:
+        Burst count.
+    total_duration:
+        Sum of burst durations (CPU seconds across all ranks).
+    makespan:
+        Wall-clock span of the trace.
+    total_instructions, total_cycles:
+        Counter totals across all bursts.
+    mean_ipc:
+        Instruction-weighted mean IPC (total instructions over total
+        cycles), the aggregate the paper's tables report.
+    per_callpath_duration:
+        Mapping of call-path short name to total duration.
+    """
+
+    n_bursts: int
+    total_duration: float
+    makespan: float
+    total_instructions: float
+    total_cycles: float
+    mean_ipc: float
+    per_callpath_duration: dict[str, float] = field(default_factory=dict)
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Compute a :class:`TraceSummary` for *trace*."""
+    instructions = float(trace.counter(INSTRUCTIONS).sum()) if trace.n_bursts else 0.0
+    cycles = float(trace.counter(CYCLES).sum()) if trace.n_bursts else 0.0
+    return TraceSummary(
+        n_bursts=trace.n_bursts,
+        total_duration=trace.total_time,
+        makespan=trace.makespan,
+        total_instructions=instructions,
+        total_cycles=cycles,
+        mean_ipc=instructions / cycles if cycles else 0.0,
+        per_callpath_duration=per_callpath_totals(trace),
+    )
+
+
+def per_rank_totals(trace: Trace, metric: str = "duration") -> np.ndarray:
+    """Sum *metric* per rank; returns an array of length ``trace.nranks``."""
+    values = trace.metric(metric)
+    totals = np.zeros(trace.nranks, dtype=np.float64)
+    np.add.at(totals, trace.rank, values)
+    return totals
+
+
+def per_callpath_totals(trace: Trace, metric: str = "duration") -> dict[str, float]:
+    """Sum *metric* per call path, keyed by the path's short name."""
+    values = trace.metric(metric)
+    totals: dict[str, float] = {}
+    if trace.n_bursts == 0:
+        return totals
+    sums = np.zeros(len(trace.callstacks), dtype=np.float64)
+    np.add.at(sums, trace.callpath_id, values)
+    for path_id, total in enumerate(sums):
+        if total:
+            totals[trace.callstacks.path(path_id).short()] = float(total)
+    return totals

@@ -1,0 +1,64 @@
+"""Object tracking across performance-space frames (the paper's core).
+
+Given a sequence of :class:`~repro.clustering.frames.Frame` objects —
+one per execution scenario — the tracker finds, for every pair of
+consecutive frames A and B, a maximal set of relations
+``P_i == Q_i`` between partitions of A's and B's objects (paper
+section 3), then chains the pairwise relations into *tracked regions*
+spanning the whole sequence.
+
+Four evaluators cooperate:
+
+1. :mod:`~repro.tracking.evaluators.displacement` — nearest-neighbour
+   cross-classification in the scale-normalised performance space;
+2. :mod:`~repro.tracking.evaluators.simultaneity` — SPMD co-occurrence
+   within each frame (recovers objects the displacements missed);
+3. :mod:`~repro.tracking.evaluators.callstack` — source-reference
+   pruning of impossible matches;
+4. :mod:`~repro.tracking.evaluators.sequence` — pivot-based execution
+   sequence alignment, used to split ambiguous wide relations.
+
+:class:`Tracker` orchestrates the pipeline and returns a
+:class:`TrackingResult` with the tracked regions, consistently renamed
+frames, the coverage metric of the paper's Table 2 and per-region trend
+series for arbitrary metrics.
+"""
+
+from __future__ import annotations
+
+from repro.tracking.combine import PairRelations, Relation, combine_pair
+from repro.tracking.correlation import CorrelationMatrix
+from repro.tracking.coverage import coverage_percent
+from repro.tracking.relabel import RelabeledFrame, relabel_frames
+from repro.tracking.report import region_summary, relation_evidence, who_is_who
+from repro.tracking.scaling import NormalizedSpace, normalize_frames
+from repro.tracking.tracker import TrackedRegion, Tracker, TrackerConfig, TrackingResult
+from repro.tracking.trends import (
+    TrendSeries,
+    compute_trends,
+    normalized_to_max,
+    top_variations,
+)
+
+__all__ = [
+    "CorrelationMatrix",
+    "NormalizedSpace",
+    "normalize_frames",
+    "Relation",
+    "PairRelations",
+    "combine_pair",
+    "Tracker",
+    "TrackerConfig",
+    "TrackingResult",
+    "TrackedRegion",
+    "RelabeledFrame",
+    "relabel_frames",
+    "TrendSeries",
+    "compute_trends",
+    "normalized_to_max",
+    "top_variations",
+    "coverage_percent",
+    "who_is_who",
+    "relation_evidence",
+    "region_summary",
+]

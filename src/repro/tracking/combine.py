@@ -1,0 +1,436 @@
+"""Combination of the four evaluators into pairwise relations.
+
+Paper section 3: the evaluators "have to cooperate to complement the
+correspondences that a given one might fail to discern".  For a pair of
+consecutive frames (A, B) the combination proceeds:
+
+1. **Seed** with the displacement evaluator, run reciprocally (A onto B
+   and B onto A) with outlier filtering.
+2. **Prune** candidate edges whose clusters share no call-stack
+   reference — imprecisions of the distance heuristic.
+3. **Widen** with the SPMD evaluator: objects left unmatched get
+   attached to a simultaneous sibling's relation (the paper's
+   ``A5 == B5 u B13`` example).
+4. Connected components of the resulting bipartite graph are the
+   relations ``P_i == Q_i``.
+5. **Refine** wide relations (several objects on both sides) with the
+   execution-sequence evaluator, splitting them when pivot-anchored
+   alignment can tell the members apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.alignment.spmd import consensus_sequence
+from repro.clustering.frames import Frame
+from repro.tracking.correlation import CorrelationMatrix
+from repro.tracking.evaluators.callstack import callstack_matrix
+from repro.tracking.evaluators.displacement import displacement_matrix
+from repro.tracking.evaluators.sequence import sequence_matrix
+from repro.tracking.evaluators.simultaneity import frame_alignment, simultaneity_for_frame
+
+__all__ = ["Relation", "PairRelations", "combine_pair"]
+
+
+@dataclass(frozen=True, slots=True)
+class Relation:
+    """One correspondence ``P_i == Q_i`` between object partitions.
+
+    ``left`` holds cluster ids of the earlier frame, ``right`` of the
+    later frame.  Either side may be empty for objects that could not be
+    related at all (they appear or vanish between the frames).
+    """
+
+    left: frozenset[int]
+    right: frozenset[int]
+
+    @property
+    def is_univocal(self) -> bool:
+        """True when the relation pairs exactly one object with one."""
+        return len(self.left) == 1 and len(self.right) == 1
+
+    @property
+    def is_wide(self) -> bool:
+        """True when both sides hold several objects (ambiguous)."""
+        return len(self.left) > 1 and len(self.right) > 1
+
+    def __repr__(self) -> str:
+        left = "{" + ",".join(map(str, sorted(self.left))) + "}"
+        right = "{" + ",".join(map(str, sorted(self.right))) + "}"
+        return f"{left}=={right}"
+
+
+@dataclass(frozen=True)
+class PairRelations:
+    """Relations between one pair of consecutive frames plus diagnostics.
+
+    Attributes
+    ----------
+    relations:
+        The final relations, including degenerate ones with an empty
+        side.
+    displacement_ab / displacement_ba:
+        Reciprocal displacement matrices (after outlier filtering).
+    callstack_ab:
+        Call-stack overlap matrix A -> B.
+    simultaneity_a / simultaneity_b:
+        Within-frame SPMD co-occurrence matrices.
+    sequence_ab:
+        Sequence-evaluator matrix (pivot-anchored), or ``None`` when no
+        pivots were available.
+    """
+
+    relations: tuple[Relation, ...]
+    displacement_ab: CorrelationMatrix
+    displacement_ba: CorrelationMatrix
+    callstack_ab: CorrelationMatrix
+    simultaneity_a: CorrelationMatrix
+    simultaneity_b: CorrelationMatrix
+    sequence_ab: CorrelationMatrix | None = None
+
+    def mapping(self) -> dict[int, frozenset[int]]:
+        """Map each left cluster id to the right ids of its relation."""
+        out: dict[int, frozenset[int]] = {}
+        for relation in self.relations:
+            for cid in relation.left:
+                out[cid] = relation.right
+        return out
+
+    def _cross_support(self, cid_a: int, cid_b: int) -> float:
+        """Strongest cross-frame evidence for one (A, B) object pair."""
+        values = []
+        for matrix, row, col in (
+            (self.displacement_ab, cid_a, cid_b),
+            (self.displacement_ba, cid_b, cid_a),
+            (self.sequence_ab, cid_a, cid_b),
+        ):
+            if matrix is None:
+                continue
+            try:
+                values.append(matrix.get(row, col))
+            except KeyError:
+                continue
+        return max(values, default=0.0)
+
+    def _spmd_support(self, matrix: CorrelationMatrix, cid: int,
+                      siblings: frozenset[int]) -> float:
+        """Strongest within-frame simultaneity tying *cid* to a sibling."""
+        values = []
+        for other in siblings:
+            if other == cid:
+                continue
+            try:
+                values.append(
+                    min(matrix.get(cid, other), matrix.get(other, cid))
+                )
+            except KeyError:
+                continue
+        return max(values, default=0.0)
+
+    def confidence(self, relation: Relation) -> float:
+        """Evidence strength of one relation in [0, 1].
+
+        Every member object contributes its best support: the strongest
+        cross-frame evidence (displacement in either direction, or the
+        sequence evaluator) towards any counterpart, or — for objects
+        attached purely through SPMD widening — the strongest mutual
+        simultaneity with a sibling.  The relation's confidence is the
+        mean member support, so one weakly-attached object drags an
+        otherwise solid relation down visibly.
+        """
+        if not relation.left or not relation.right:
+            return 0.0
+        supports: list[float] = []
+        for cid_a in relation.left:
+            cross = max(
+                (self._cross_support(cid_a, cid_b) for cid_b in relation.right),
+                default=0.0,
+            )
+            spmd = self._spmd_support(self.simultaneity_a, cid_a, relation.left)
+            supports.append(max(cross, spmd))
+        for cid_b in relation.right:
+            cross = max(
+                (self._cross_support(cid_a, cid_b) for cid_a in relation.left),
+                default=0.0,
+            )
+            spmd = self._spmd_support(self.simultaneity_b, cid_b, relation.right)
+            supports.append(max(cross, spmd))
+        return float(np.mean(supports)) if supports else 0.0
+
+
+def _component_relations(graph: nx.Graph) -> list[Relation]:
+    """Extract relations from the bipartite candidate graph."""
+    relations: list[Relation] = []
+    for component in nx.connected_components(graph):
+        left = frozenset(cid for side, cid in component if side == "A")
+        right = frozenset(cid for side, cid in component if side == "B")
+        relations.append(Relation(left=left, right=right))
+    return relations
+
+
+def _callstacks_compatible(frame_x: Frame, cid_x: int, frame_y: Frame, cid_y: int) -> bool:
+    """Whether two clusters share at least one call-stack reference."""
+    return bool(
+        frame_x.cluster(cid_x).callpaths & frame_y.cluster(cid_y).callpaths
+    )
+
+
+def _callstack_rescue(graph: nx.Graph, frame_a: Frame, frame_b: Frame) -> None:
+    """Pair leftover objects whose call-stack reference is unambiguous.
+
+    When displacements fail completely — the NAS BT case, where growing
+    problem sizes move every cluster two orders of magnitude — an object
+    with no candidate edges can still be matched if exactly one object
+    of the other frame shares its source references.
+    """
+    for side, frame, other_frame, other_side in (
+        ("A", frame_a, frame_b, "B"),
+        ("B", frame_b, frame_a, "A"),
+    ):
+        for cid in frame.cluster_ids:
+            if graph.degree((side, cid)) > 0:
+                continue
+            candidates = [
+                other
+                for other in other_frame.cluster_ids
+                if _callstacks_compatible(frame, cid, other_frame, other)
+            ]
+            if len(candidates) == 1:
+                graph.add_edge((side, cid), (other_side, candidates[0]))
+
+
+def _sequence_rescue(
+    graph: nx.Graph,
+    sequence: CorrelationMatrix,
+    frame_a: Frame,
+    frame_b: Frame,
+) -> bool:
+    """Match remaining orphans through the execution-sequence evidence.
+
+    For each still-unmatched object, adds an edge towards the strongest
+    call-stack-compatible sequence correspondence.  Returns whether any
+    edge was added.
+    """
+    added = False
+    for cid_a in frame_a.cluster_ids:
+        if graph.degree(("A", cid_a)) > 0:
+            continue
+        row = {
+            cid_b: value
+            for cid_b, value in sequence.row(cid_a).items()
+            if _callstacks_compatible(frame_a, cid_a, frame_b, cid_b)
+        }
+        if row:
+            best = max(row, key=row.__getitem__)
+            graph.add_edge(("A", cid_a), ("B", best))
+            added = True
+    transposed = sequence.transpose()
+    for cid_b in frame_b.cluster_ids:
+        if graph.degree(("B", cid_b)) > 0:
+            continue
+        row = {
+            cid_a: value
+            for cid_a, value in transposed.row(cid_b).items()
+            if _callstacks_compatible(frame_a, cid_a, frame_b, cid_b)
+        }
+        if row:
+            best = max(row, key=row.__getitem__)
+            graph.add_edge(("A", best), ("B", cid_b))
+            added = True
+    return added
+
+
+def _attach_orphans(
+    graph: nx.Graph,
+    side: str,
+    frame: Frame,
+    simultaneity: CorrelationMatrix,
+    threshold: float,
+) -> None:
+    """SPMD widening: connect unmatched objects to simultaneous siblings.
+
+    An orphan (no cross-frame edge) is attached to the sibling cluster
+    of its own frame with the strongest mutual simultaneity above
+    *threshold*, provided the sibling is itself matched and both share a
+    call-stack reference.
+    """
+    ids = frame.cluster_ids
+    for cid in ids:
+        node = (side, cid)
+        if graph.degree(node) > 0:
+            continue
+        best_partner = None
+        best_value = threshold
+        for other in ids:
+            if other == cid:
+                continue
+            if graph.degree((side, other)) == 0:
+                continue
+            mutual = min(simultaneity.get(cid, other), simultaneity.get(other, cid))
+            if mutual >= best_value and _callstacks_compatible(
+                frame, cid, frame, other
+            ):
+                best_partner = other
+                best_value = mutual
+        if best_partner is not None:
+            graph.add_edge(node, (side, best_partner))
+
+
+def _split_wide_relations(
+    relations: list[Relation],
+    sequence: CorrelationMatrix,
+    frame_a: Frame,
+    frame_b: Frame,
+) -> list[Relation]:
+    """Use sequence correspondences to break ambiguous wide relations.
+
+    A split is accepted only when the sequence evidence partitions the
+    relation into two or more sub-relations that each keep at least one
+    object per side and remain call-stack compatible; otherwise the
+    original wide relation is preserved (grouping in doubt, as the paper
+    prescribes).
+    """
+    out: list[Relation] = []
+    for relation in relations:
+        if not relation.is_wide:
+            out.append(relation)
+            continue
+        sub = nx.Graph()
+        for cid in relation.left:
+            sub.add_node(("A", cid))
+        for cid in relation.right:
+            sub.add_node(("B", cid))
+        for cid_a in relation.left:
+            for cid_b in relation.right:
+                try:
+                    evidence = sequence.get(cid_a, cid_b)
+                except KeyError:
+                    evidence = 0.0
+                if evidence > 0 and _callstacks_compatible(
+                    frame_a, cid_a, frame_b, cid_b
+                ):
+                    sub.add_edge(("A", cid_a), ("B", cid_b))
+        pieces = _component_relations(sub)
+        valid = (
+            len(pieces) > 1
+            and all(piece.left and piece.right for piece in pieces)
+        )
+        out.extend(pieces if valid else [relation])
+    return out
+
+
+def combine_pair(
+    frame_a: Frame,
+    frame_b: Frame,
+    points_a: np.ndarray,
+    points_b: np.ndarray,
+    *,
+    outlier_threshold: float = 0.05,
+    spmd_threshold: float = 0.5,
+    sequence_threshold: float = 0.3,
+    max_align_ranks: int = 64,
+    use_callstack: bool = True,
+    use_spmd: bool = True,
+    use_sequence: bool = True,
+) -> PairRelations:
+    """Run the full combination algorithm on one pair of frames.
+
+    Parameters
+    ----------
+    frame_a, frame_b:
+        Consecutive frames.
+    points_a, points_b:
+        The frames' points in the shared normalised space.
+    outlier_threshold:
+        Displacement cells below this fraction are neglected (paper: 5 %).
+    spmd_threshold:
+        Minimum mutual co-occurrence for SPMD widening.
+    sequence_threshold:
+        Minimum sequence-alignment correspondence used when splitting
+        wide relations.
+    max_align_ranks:
+        Rank-sampling cap for the in-frame alignments.
+    use_callstack / use_spmd / use_sequence:
+        Ablation switches disabling individual evaluators (the
+        displacement evaluator always runs — it seeds the relations).
+        With everything off, the algorithm degrades to raw reciprocal
+        nearest-neighbour matching, which is what the ablation benches
+        measure the heuristics' contributions against.
+    """
+    disp_ab = displacement_matrix(frame_a, frame_b, points_a, points_b).drop_below(
+        outlier_threshold
+    )
+    disp_ba = displacement_matrix(frame_b, frame_a, points_b, points_a).drop_below(
+        outlier_threshold
+    )
+    cs_ab = callstack_matrix(frame_a, frame_b)
+    spmd_a = simultaneity_for_frame(frame_a, max_ranks=max_align_ranks)
+    spmd_b = simultaneity_for_frame(frame_b, max_ranks=max_align_ranks)
+
+    def compatible(cid_a: int, cid_b: int) -> bool:
+        if not use_callstack:
+            return True
+        return _callstacks_compatible(frame_a, cid_a, frame_b, cid_b)
+
+    graph = nx.Graph()
+    for cid in frame_a.cluster_ids:
+        graph.add_node(("A", cid))
+    for cid in frame_b.cluster_ids:
+        graph.add_node(("B", cid))
+    for cid_a, cid_b, _ in disp_ab.nonzero_pairs():
+        if compatible(cid_a, cid_b):
+            graph.add_edge(("A", cid_a), ("B", cid_b))
+    for cid_b, cid_a, _ in disp_ba.nonzero_pairs():
+        if compatible(cid_a, cid_b):
+            graph.add_edge(("A", cid_a), ("B", cid_b))
+
+    if use_callstack:
+        _callstack_rescue(graph, frame_a, frame_b)
+    if use_spmd:
+        _attach_orphans(graph, "B", frame_b, spmd_b, spmd_threshold)
+        _attach_orphans(graph, "A", frame_a, spmd_a, spmd_threshold)
+
+    relations = _component_relations(graph)
+
+    # Sequence refinement needs pivots: take the univocal relations.
+    pivots = {
+        next(iter(rel.left)): next(iter(rel.right))
+        for rel in relations
+        if rel.is_univocal
+    }
+    has_orphans = any(not rel.left or not rel.right for rel in relations)
+    sequence_ab: CorrelationMatrix | None = None
+    if use_sequence and pivots and (
+        has_orphans or any(rel.is_wide for rel in relations)
+    ):
+        consensus_a = consensus_sequence(
+            frame_alignment(frame_a, max_ranks=max_align_ranks)
+        )
+        consensus_b = consensus_sequence(
+            frame_alignment(frame_b, max_ranks=max_align_ranks)
+        )
+        sequence_ab = sequence_matrix(
+            consensus_a,
+            consensus_b,
+            frame_a.cluster_ids,
+            frame_b.cluster_ids,
+            pivots,
+        ).drop_below(sequence_threshold)
+        if has_orphans and _sequence_rescue(graph, sequence_ab, frame_a, frame_b):
+            relations = _component_relations(graph)
+        relations = _split_wide_relations(relations, sequence_ab, frame_a, frame_b)
+
+    relations.sort(key=lambda rel: (min(rel.left, default=1 << 30), min(rel.right, default=1 << 30)))
+    return PairRelations(
+        relations=tuple(relations),
+        displacement_ab=disp_ab,
+        displacement_ba=disp_ba,
+        callstack_ab=cs_ab,
+        simultaneity_a=spmd_a,
+        simultaneity_b=spmd_b,
+        sequence_ab=sequence_ab,
+    )

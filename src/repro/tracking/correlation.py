@@ -1,0 +1,100 @@
+"""Correlation matrices: the common language of the four evaluators.
+
+Every evaluator produces one or more :class:`CorrelationMatrix` objects
+whose cell (i, j) expresses — with evaluator-specific semantics — the
+evidence that object *i* of one frame corresponds to object *j* of the
+other (or of the same frame, for the SPMD evaluator).  Cells below the
+outlier threshold (5 % by default, paper section 3) are neglected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrackingError
+
+__all__ = ["CorrelationMatrix"]
+
+
+@dataclass(frozen=True, slots=True)
+class CorrelationMatrix:
+    """A labelled non-negative matrix of correspondence evidence.
+
+    Attributes
+    ----------
+    row_ids / col_ids:
+        Object (cluster) ids labelling rows and columns.
+    values:
+        ``(len(row_ids), len(col_ids))`` float array in [0, 1].
+    """
+
+    row_ids: tuple[int, ...]
+    col_ids: tuple[int, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (len(self.row_ids), len(self.col_ids)):
+            raise TrackingError(
+                f"matrix shape {self.values.shape} does not match labels "
+                f"({len(self.row_ids)}, {len(self.col_ids)})"
+            )
+        if self.values.size and (self.values.min() < -1e-9):
+            raise TrackingError("correlation values must be non-negative")
+
+    def get(self, row_id: int, col_id: int) -> float:
+        """Value for the (row object, column object) pair."""
+        try:
+            i = self.row_ids.index(row_id)
+            j = self.col_ids.index(col_id)
+        except ValueError as exc:
+            raise KeyError(f"no cell for pair ({row_id}, {col_id})") from exc
+        return float(self.values[i, j])
+
+    def drop_below(self, threshold: float) -> "CorrelationMatrix":
+        """Zero all cells strictly below *threshold* (outlier removal)."""
+        values = self.values.copy()
+        values[values < threshold] = 0.0
+        return CorrelationMatrix(self.row_ids, self.col_ids, values)
+
+    def nonzero_pairs(self) -> list[tuple[int, int, float]]:
+        """All (row_id, col_id, value) triples with positive value."""
+        rows, cols = np.nonzero(self.values)
+        return [
+            (self.row_ids[i], self.col_ids[j], float(self.values[i, j]))
+            for i, j in zip(rows.tolist(), cols.tolist())
+        ]
+
+    def row(self, row_id: int) -> dict[int, float]:
+        """Column values of one row, keyed by column id, zeros dropped."""
+        i = self.row_ids.index(row_id)
+        return {
+            self.col_ids[j]: float(v)
+            for j, v in enumerate(self.values[i])
+            if v > 0
+        }
+
+    def best_match(self, row_id: int) -> tuple[int, float] | None:
+        """The strongest column for *row_id*, or ``None`` if all zero."""
+        candidates = self.row(row_id)
+        if not candidates:
+            return None
+        col_id = max(candidates, key=candidates.__getitem__)
+        return col_id, candidates[col_id]
+
+    def transpose(self) -> "CorrelationMatrix":
+        """Swap rows and columns."""
+        return CorrelationMatrix(self.col_ids, self.row_ids, self.values.T.copy())
+
+    def to_text(self, *, row_label: str = "A", col_label: str = "B") -> str:
+        """Render like the paper's Figure 3: percentages per cell."""
+        header = [" " * 6] + [f"{col_label}{cid:<4}" for cid in self.col_ids]
+        lines = ["".join(header)]
+        for i, rid in enumerate(self.row_ids):
+            cells = [f"{row_label}{rid:<5}"]
+            for j in range(len(self.col_ids)):
+                value = self.values[i, j]
+                cells.append(f"{value * 100:4.0f}% " if value > 0 else "   - ")
+            lines.append("".join(cells))
+        return "\n".join(lines)

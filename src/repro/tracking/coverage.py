@@ -1,0 +1,39 @@
+"""The coverage metric of the paper's Table 2.
+
+Coverage measures how much of the identifiable structure the tracker
+resolved: the number of regions tracked across the whole sequence over
+the maximum number of identifiable objects in any input frame.  100 %
+means every object found a univocal correspondence chain; lower values
+mean nearby objects had to be grouped into wide relations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.clustering.frames import Frame
+    from repro.tracking.tracker import TrackedRegion
+
+__all__ = ["coverage_percent", "max_identifiable_objects"]
+
+
+def max_identifiable_objects(frames: Sequence["Frame"]) -> int:
+    """Largest number of relevant objects seen in any single frame."""
+    return max((frame.n_clusters for frame in frames), default=0)
+
+
+def coverage_percent(
+    regions: Sequence["TrackedRegion"], frames: Sequence["Frame"]
+) -> int:
+    """Integer coverage percentage (floored, as the paper reports it).
+
+    ``regions`` should be the regions tracked across the full sequence
+    (see :attr:`repro.tracking.tracker.TrackingResult.tracked_regions`).
+    """
+    identifiable = max_identifiable_objects(frames)
+    if identifiable == 0:
+        return 0
+    tracked = sum(1 for region in regions if region.spans_all)
+    return int(math.floor(100.0 * tracked / identifiable))

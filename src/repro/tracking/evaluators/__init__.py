@@ -1,0 +1,22 @@
+"""The four tracking evaluators (paper sections 3.1-3.4).
+
+Each evaluator inspects a different property of the computing regions
+and emits :class:`~repro.tracking.correlation.CorrelationMatrix`
+evidence; the combination algorithm in
+:mod:`repro.tracking.combine` fuses them.
+"""
+
+from __future__ import annotations
+
+from repro.tracking.evaluators.callstack import callstack_matrix
+from repro.tracking.evaluators.displacement import displacement_matrix
+from repro.tracking.evaluators.sequence import sequence_matrix
+from repro.tracking.evaluators.simultaneity import frame_alignment, simultaneity_for_frame
+
+__all__ = [
+    "displacement_matrix",
+    "simultaneity_for_frame",
+    "frame_alignment",
+    "callstack_matrix",
+    "sequence_matrix",
+]

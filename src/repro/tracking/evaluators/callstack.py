@@ -1,0 +1,52 @@
+"""Call-stack reference evaluator.
+
+Paper section 3.3.  Every burst knows the source location it started
+from; two clusters from different experiments that share no source
+reference cannot be the same code region.  Cell (i, j) is the fraction
+of A_i's bursts whose call path also occurs among B_j's bursts — the
+evaluator is primarily a *pruning* device that discards relations the
+noisier heuristics propose between unrelated code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.frames import Frame
+from repro.tracking.correlation import CorrelationMatrix
+
+__all__ = ["callstack_matrix"]
+
+
+def callstack_matrix(frame_a: Frame, frame_b: Frame) -> CorrelationMatrix:
+    """Fraction of A_i bursts whose call path appears in B_j.
+
+    Call paths are compared by their canonical string form, so the
+    comparison is meaningful across traces with independent interning
+    tables.
+    """
+    ids_a = frame_a.cluster_ids
+    ids_b = frame_b.cluster_ids
+    values = np.zeros((len(ids_a), len(ids_b)), dtype=np.float64)
+
+    # Per A-cluster histogram of call-path strings.
+    trace_a = frame_a.trace
+    path_strings_a = [str(path) for path in trace_a.callstacks]
+    for i, cid_a in enumerate(ids_a):
+        indices = frame_a.cluster(cid_a).indices
+        if indices.size == 0:
+            continue
+        path_ids, counts = np.unique(
+            trace_a.callpath_id[indices], return_counts=True
+        )
+        total = indices.size
+        for j, cid_b in enumerate(ids_b):
+            paths_b = frame_b.cluster(cid_b).callpaths
+            shared = sum(
+                int(count)
+                for pid, count in zip(path_ids.tolist(), counts.tolist())
+                if path_strings_a[pid] in paths_b
+            )
+            if shared:
+                values[i, j] = shared / total
+    return CorrelationMatrix(ids_a, ids_b, values)

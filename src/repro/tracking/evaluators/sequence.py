@@ -1,0 +1,109 @@
+"""Execution-sequence evaluator.
+
+Paper section 3.4.  Unless control flow changes, experiments execute
+the same phases in the same chronological order.  The evaluator aligns
+the consensus execution sequences of two experiments and reads
+correspondences off the aligned columns.  Because cluster ids differ
+between experiments, the sequences cannot be compared symbol by symbol
+directly: the matchings discovered by the earlier evaluators act as
+*pivots* — symbols known to correspond score as matches — and the
+alignment then forces the in-between symbols into correspondence by
+position (the paper's Figure 5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.alignment.pairwise import GAP, global_align
+from repro.errors import TrackingError
+from repro.tracking.correlation import CorrelationMatrix
+
+__all__ = ["sequence_matrix", "align_with_pivots"]
+
+
+def align_with_pivots(
+    consensus_a: np.ndarray,
+    consensus_b: np.ndarray,
+    pivots: dict[int, int],
+) -> list[tuple[int, int]]:
+    """Align two consensus sequences treating pivot pairs as matches.
+
+    Both sequences are remapped into one shared token alphabet: a pivot
+    pair ``a -> b`` maps both symbols to a common token so the aligner
+    scores them as equal; non-pivot symbols receive tokens that are
+    unique per (side, symbol), so they align only through position.
+
+    Returns the aligned ``(a_symbol, b_symbol)`` pairs of the non-gap
+    columns, in sequence order.
+    """
+    a = np.asarray(consensus_a, dtype=np.int64)
+    b = np.asarray(consensus_b, dtype=np.int64)
+    if a.ndim != 1 or b.ndim != 1:
+        raise TrackingError("consensus sequences must be 1-D")
+
+    token_of_a: dict[int, int] = {}
+    token_of_b: dict[int, int] = {}
+    next_token = 0
+    for a_sym, b_sym in pivots.items():
+        token_of_a[int(a_sym)] = next_token
+        token_of_b[int(b_sym)] = next_token
+        next_token += 1
+    for sym in np.unique(a):
+        if int(sym) not in token_of_a:
+            token_of_a[int(sym)] = next_token
+            next_token += 1
+    for sym in np.unique(b):
+        if int(sym) not in token_of_b:
+            token_of_b[int(sym)] = next_token
+            next_token += 1
+
+    tokens_a = np.asarray([token_of_a[int(s)] for s in a], dtype=np.int64)
+    tokens_b = np.asarray([token_of_b[int(s)] for s in b], dtype=np.int64)
+    alignment = global_align(tokens_a, tokens_b)
+
+    pairs: list[tuple[int, int]] = []
+    pos_a = 0
+    pos_b = 0
+    for col in range(alignment.length):
+        ta = alignment.aligned_a[col]
+        tb = alignment.aligned_b[col]
+        if ta != GAP and tb != GAP:
+            pairs.append((int(a[pos_a]), int(b[pos_b])))
+        if ta != GAP:
+            pos_a += 1
+        if tb != GAP:
+            pos_b += 1
+    return pairs
+
+
+def sequence_matrix(
+    consensus_a: np.ndarray,
+    consensus_b: np.ndarray,
+    ids_a: tuple[int, ...],
+    ids_b: tuple[int, ...],
+    pivots: dict[int, int],
+) -> CorrelationMatrix:
+    """Correlation matrix from pivot-anchored sequence alignment.
+
+    Cell (i, j) is the fraction of A_i's occurrences in the consensus
+    sequence that align with an occurrence of B_j.
+    """
+    pairs = align_with_pivots(consensus_a, consensus_b, pivots)
+    occurrences: dict[int, int] = defaultdict(int)
+    together: dict[tuple[int, int], int] = defaultdict(int)
+    for a_sym, b_sym in pairs:
+        occurrences[a_sym] += 1
+        together[(a_sym, b_sym)] += 1
+    values = np.zeros((len(ids_a), len(ids_b)), dtype=np.float64)
+    for i, cid_a in enumerate(ids_a):
+        total = occurrences.get(cid_a, 0)
+        if total == 0:
+            continue
+        for j, cid_b in enumerate(ids_b):
+            count = together.get((cid_a, cid_b), 0)
+            if count:
+                values[i, j] = count / total
+    return CorrelationMatrix(ids_a, ids_b, values)

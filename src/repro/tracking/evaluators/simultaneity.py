@@ -1,0 +1,63 @@
+"""SPMD simultaneity evaluator.
+
+Paper section 3.2.  In an SPMD application every process executes the
+same logical phase at the same step; if two *different* clusters appear
+simultaneously on different ranks, they are very likely the same code
+region whose performance diverged across processes (imbalance,
+bimodality).  The evaluator aligns the per-rank cluster sequences of
+one experiment with the star MSA and converts column co-occurrence into
+a within-frame equivalence matrix.
+
+One matrix is produced per frame (it relates a frame's objects to each
+other, not across frames); the combination algorithm uses it to widen
+relations with objects the displacement evaluator left unmatched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alignment.msa import MultipleAlignment, star_align
+from repro.alignment.spmd import simultaneity_matrix
+from repro.clustering.frames import Frame
+from repro.tracking.correlation import CorrelationMatrix
+
+__all__ = ["frame_alignment", "simultaneity_for_frame"]
+
+
+def frame_alignment(frame: Frame, *, max_ranks: int = 64, seed: int = 0) -> MultipleAlignment:
+    """Star-align the per-rank cluster sequences of *frame*.
+
+    For very wide runs, aligning a uniform sample of *max_ranks* ranks
+    is statistically sufficient (SPMD sequences are near-identical) and
+    keeps the evaluator linear in practice.
+    """
+    sequences = {
+        rank: seq for rank, seq in frame.rank_sequences.items() if seq.size > 0
+    }
+    if not sequences:
+        # Degenerate frame: produce an empty single-row alignment.
+        return MultipleAlignment(matrix=np.zeros((1, 0), dtype=np.int64), keys=(0,))
+    ranks = sorted(sequences)
+    if len(ranks) > max_ranks:
+        rng = np.random.default_rng(seed)
+        chosen = np.sort(rng.choice(len(ranks), size=max_ranks, replace=False))
+        ranks = [ranks[i] for i in chosen]
+    return star_align({rank: sequences[rank] for rank in ranks})
+
+
+def simultaneity_for_frame(
+    frame: Frame, *, max_ranks: int = 64, seed: int = 0
+) -> CorrelationMatrix:
+    """Within-frame co-occurrence probabilities of the frame's clusters.
+
+    Cell (i, j) estimates ``P(cluster j executes in some rank | cluster
+    i executes in another rank at the same aligned step)``, conditioned
+    on cluster *i* (so the matrix need not be symmetric).
+    """
+    ids = frame.cluster_ids
+    if not ids:
+        return CorrelationMatrix((), (), np.zeros((0, 0)))
+    alignment = frame_alignment(frame, max_ranks=max_ranks, seed=seed)
+    values = simultaneity_matrix(alignment, ids)
+    return CorrelationMatrix(ids, ids, values)

@@ -1,0 +1,63 @@
+"""Consistent renaming of objects across frames (paper section 3.5).
+
+After tracking, the tool "reconstructs the input images with all object
+identifiers renamed, so that all the equivalent regions keep the same
+numbering and color along the whole sequence of images" — the paper's
+Figure 6.  :func:`relabel_frames` applies each region's global id to
+the member clusters of every frame, yielding per-point label arrays
+that can be rendered or compared directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.frames import Frame
+from repro.tracking.tracker import TrackingResult
+
+__all__ = ["RelabeledFrame", "relabel_frames"]
+
+
+@dataclass(frozen=True)
+class RelabeledFrame:
+    """One frame with tracking-consistent labels.
+
+    Attributes
+    ----------
+    frame:
+        The original frame.
+    labels:
+        Per-point global region ids (0 = noise or untracked cluster).
+    mapping:
+        Original cluster id -> global region id for this frame.
+    """
+
+    frame: Frame
+    labels: np.ndarray
+    mapping: dict[int, int]
+
+    @property
+    def region_ids(self) -> tuple[int, ...]:
+        """Global region ids present in this frame, ascending."""
+        return tuple(sorted(set(self.mapping.values())))
+
+    def points_of_region(self, region_id: int) -> np.ndarray:
+        """Raw metric points of one global region within this frame."""
+        return self.frame.points[self.labels == region_id]
+
+
+def relabel_frames(result: TrackingResult) -> list[RelabeledFrame]:
+    """Rename every frame's clusters with their global region ids."""
+    relabeled: list[RelabeledFrame] = []
+    for frame_index, frame in enumerate(result.frames):
+        mapping: dict[int, int] = {}
+        for region in result.regions:
+            for cid in region.members[frame_index]:
+                mapping[cid] = region.region_id
+        labels = np.zeros_like(frame.labels)
+        for cid, region_id in mapping.items():
+            labels[frame.labels == cid] = region_id
+        relabeled.append(RelabeledFrame(frame=frame, labels=labels, mapping=mapping))
+    return relabeled

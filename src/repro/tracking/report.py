@@ -1,0 +1,139 @@
+"""Human-readable tracking reports ("who-is-who").
+
+The BSC tool's textual output: for every pair of consecutive frames,
+the relations found and the evaluator evidence behind them; for the
+whole sequence, the tracked regions with their per-frame members, time
+shares and source references.  Benches and the CLI print these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import format_pct
+from repro.tracking.combine import PairRelations, Relation
+from repro.tracking.tracker import TrackingResult
+from repro.tracking.trends import compute_trends
+
+__all__ = ["who_is_who", "relation_evidence", "region_summary"]
+
+
+def relation_evidence(pair: PairRelations, relation: Relation) -> list[str]:
+    """Explain one relation with the evaluator values supporting it."""
+    lines: list[str] = []
+    for cid_a in sorted(relation.left):
+        for cid_b in sorted(relation.right):
+            parts: list[str] = []
+            try:
+                disp = pair.displacement_ab.get(cid_a, cid_b)
+            except KeyError:
+                disp = 0.0
+            try:
+                rev = pair.displacement_ba.get(cid_b, cid_a)
+            except KeyError:
+                rev = 0.0
+            if disp > 0:
+                parts.append(f"displacement {disp * 100:.0f}%")
+            if rev > 0:
+                parts.append(f"reciprocal {rev * 100:.0f}%")
+            try:
+                stack = pair.callstack_ab.get(cid_a, cid_b)
+            except KeyError:
+                stack = 0.0
+            if stack > 0:
+                parts.append(f"call stack {stack * 100:.0f}%")
+            if pair.sequence_ab is not None:
+                try:
+                    seq = pair.sequence_ab.get(cid_a, cid_b)
+                except KeyError:
+                    seq = 0.0
+                if seq > 0:
+                    parts.append(f"sequence {seq * 100:.0f}%")
+            if parts:
+                lines.append(f"    A{cid_a} -> B{cid_b}: " + ", ".join(parts))
+    # Within-frame SPMD evidence for grouped sides.
+    for side, ids, matrix in (
+        ("A", sorted(relation.left), pair.simultaneity_a),
+        ("B", sorted(relation.right), pair.simultaneity_b),
+    ):
+        for i, cid in enumerate(ids):
+            for other in ids[i + 1 :]:
+                try:
+                    mutual = min(matrix.get(cid, other), matrix.get(other, cid))
+                except KeyError:
+                    continue
+                if mutual > 0:
+                    lines.append(
+                        f"    {side}{cid} ~ {side}{other}: simultaneous "
+                        f"{mutual * 100:.0f}% of steps"
+                    )
+    return lines
+
+
+def who_is_who(result: TrackingResult, *, evidence: bool = True) -> str:
+    """Full textual report of a tracking result."""
+    lines: list[str] = []
+    lines.append(
+        f"Tracked {len(result.tracked_regions)} regions across "
+        f"{result.n_frames} frames (coverage {result.coverage}%)"
+    )
+    lines.append("")
+    lines.append("Frames:")
+    for index, frame in enumerate(result.frames):
+        lines.append(
+            f"  [{index}] {frame.label}: {frame.n_clusters} objects, "
+            f"{frame.n_points} bursts"
+        )
+    lines.append("")
+    lines.append("Pairwise relations:")
+    for index, pair in enumerate(result.pair_relations):
+        lines.append(
+            f"  frame {index} -> frame {index + 1} "
+            f"({result.frames[index].label} -> {result.frames[index + 1].label}):"
+        )
+        for relation in pair.relations:
+            if not relation.left and not relation.right:
+                continue
+            kind = (
+                "univocal"
+                if relation.is_univocal
+                else "wide" if relation.is_wide else "grouped"
+            )
+            confidence = pair.confidence(relation)
+            lines.append(
+                f"    {relation!r}  [{kind}, confidence {confidence * 100:.0f}%]"
+            )
+            if evidence:
+                lines.extend("  " + line for line in relation_evidence(pair, relation))
+    lines.append("")
+    lines.append("Tracked regions:")
+    lines.extend(region_summary(result))
+    return "\n".join(lines)
+
+
+def region_summary(result: TrackingResult) -> list[str]:
+    """Per-region summary lines: members, time share, code references."""
+    total_time = sum(frame.trace.total_time for frame in result.frames)
+    ipc_series = {s.region_id: s for s in compute_trends(result, "ipc")}
+    lines: list[str] = []
+    for region in result.regions:
+        chain = " -> ".join(
+            "{" + ",".join(map(str, sorted(members))) + "}" if members else "-"
+            for members in region.members
+        )
+        share = region.total_duration / total_time if total_time else 0.0
+        refs: set[str] = set()
+        for frame_index, members in enumerate(region.members):
+            for cid in members:
+                refs |= result.frames[frame_index].cluster(cid).callpaths
+        line = (
+            f"  Region {region.region_id}: {chain}  "
+            f"({share * 100:.1f}% of time)"
+        )
+        series = ipc_series.get(region.region_id)
+        if series is not None and np.isfinite(series.values).sum() >= 2:
+            line += f", IPC {format_pct(series.pct_change_total())}"
+        lines.append(line)
+        for ref in sorted(refs):
+            lines.append(f"      ref: {ref}")
+    return lines

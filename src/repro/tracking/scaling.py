@@ -1,0 +1,123 @@
+"""Cross-frame scale normalisation (paper section 2, Figure 1c).
+
+Frames from different scenarios are not directly comparable: doubling
+the process count roughly halves per-burst instruction counts, and each
+machine spans a different IPC range.  Before tracking, the performance
+scales are transformed so the objects live in one shared space:
+
+- metrics **correlated with the process count** (extensive metrics:
+  instructions, cycles, misses, duration) are weighted by the number of
+  cores relative to a reference frame, cancelling the 1/N division of
+  work;
+- the remaining (intensive) metrics are min-max scaled to the range
+  seen **across all experiments**.
+
+Both axis kinds finally land in a [0, 1]^2 box via a min-max over the
+union of the weighted values, so nearest-neighbour distances treat the
+axes evenly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.frames import Frame
+from repro.clustering.normalize import MinMaxScaler
+from repro.errors import TrackingError
+from repro.trace.counters import is_extensive_metric
+
+__all__ = ["NormalizedSpace", "normalize_frames"]
+
+
+@dataclass(frozen=True, slots=True)
+class NormalizedSpace:
+    """Shared normalised performance space over a frame sequence.
+
+    Attributes
+    ----------
+    points:
+        One ``(n_i, d)`` array per frame with all points mapped into the
+        shared [0, 1]^d box.
+    weights:
+        Per-frame multiplicative weight applied to each axis before the
+        shared min-max (1.0 for intensive axes).
+    scaler:
+        The shared min-max transform (fitted on the union of weighted
+        points) — useful to render frames on common axes.
+    axis_names:
+        The clustering dimension names, (x, y, *extra).
+    """
+
+    points: tuple[np.ndarray, ...]
+    weights: tuple[tuple[float, ...], ...]
+    scaler: MinMaxScaler
+    axis_names: tuple[str, ...]
+
+    def frame_points(self, frame_index: int) -> np.ndarray:
+        """Normalised points of frame *frame_index*."""
+        return self.points[frame_index]
+
+
+def normalize_frames(
+    frames: list[Frame],
+    *,
+    reference: int = 0,
+    log_extensive: bool = False,
+) -> NormalizedSpace:
+    """Build the shared normalised space for a frame sequence.
+
+    Parameters
+    ----------
+    frames:
+        The frame sequence; all frames must share their axis metrics.
+    reference:
+        Index of the frame whose core count anchors the extensive-metric
+        weighting (weight 1.0).
+    log_extensive:
+        Map extensive axes through ``log10`` after weighting — matches
+        clustering frames built with ``log_y`` so distances agree when a
+        single frame spans decades.
+    """
+    if not frames:
+        raise TrackingError("normalize_frames needs at least one frame")
+    if not 0 <= reference < len(frames):
+        raise TrackingError(f"reference index {reference} out of range")
+    axes = frames[0].settings.metric_names
+    for frame in frames:
+        if frame.settings.metric_names != axes:
+            raise TrackingError("all frames must share the same axis metrics")
+
+    ref_ranks = frames[reference].trace.nranks
+    weighted: list[np.ndarray] = []
+    weights: list[tuple[float, ...]] = []
+    for frame in frames:
+        axis_weights = []
+        for name in axes:
+            if is_extensive_metric(name):
+                axis_weights.append(frame.trace.nranks / ref_ranks)
+            else:
+                axis_weights.append(1.0)
+        w = np.asarray(axis_weights, dtype=np.float64)
+        values = frame.points * w
+        if log_extensive:
+            for axis, name in enumerate(axes):
+                if is_extensive_metric(name):
+                    column = values[:, axis]
+                    if np.any(column <= 0):
+                        raise TrackingError(
+                            f"log_extensive requires positive {name!r} values"
+                        )
+                    values[:, axis] = np.log10(column)
+        weighted.append(values)
+        weights.append(tuple(float(value) for value in w))
+
+    scaler = MinMaxScaler.fit_union(weighted)
+    points = tuple(scaler.transform(values) for values in weighted)
+    return NormalizedSpace(
+        points=points,
+        weights=tuple(weights),
+        scaler=scaler,
+        axis_names=axes,
+    )

@@ -1,0 +1,270 @@
+"""The frame-sequence tracker: pairwise relations chained into regions.
+
+:class:`Tracker` runs the combination algorithm over every pair of
+consecutive frames and links the resulting relations into *tracked
+regions* — equivalence classes of objects that persist across the whole
+sequence of experiments.  Regions are numbered by decreasing total
+duration, the same convention clusters use, so "Region 1" is the most
+time-consuming behaviour in the study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.clustering.frames import Frame
+from repro.errors import TrackingError
+from repro.tracking.combine import PairRelations, combine_pair
+from repro.tracking.coverage import coverage_percent
+from repro.tracking.scaling import NormalizedSpace, normalize_frames
+
+__all__ = ["TrackerConfig", "TrackedRegion", "TrackingResult", "Tracker"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrackerConfig:
+    """Tunables of the tracking pipeline.
+
+    Attributes
+    ----------
+    outlier_threshold:
+        Displacement matrix cells below this are neglected (paper: 5 %).
+    spmd_threshold:
+        Minimum mutual SPMD co-occurrence for widening relations.
+    sequence_threshold:
+        Minimum sequence correspondence used to split wide relations.
+    max_align_ranks:
+        Rank sampling cap for in-frame sequence alignments.
+    reference:
+        Frame index anchoring the extensive-metric weighting.
+    log_extensive:
+        Normalise extensive axes in log space (match frames built with
+        ``log_y=True``).
+    use_callstack / use_spmd / use_sequence:
+        Ablation switches for the corresponding evaluators; the
+        displacement evaluator always runs.  Defaults follow the paper
+        (everything on).
+    """
+
+    outlier_threshold: float = 0.05
+    spmd_threshold: float = 0.5
+    sequence_threshold: float = 0.3
+    max_align_ranks: int = 64
+    reference: int = 0
+    log_extensive: bool = False
+    use_callstack: bool = True
+    use_spmd: bool = True
+    use_sequence: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.outlier_threshold < 1.0:
+            raise TrackingError("outlier_threshold must be in [0, 1)")
+        if not 0.0 <= self.spmd_threshold <= 1.0:
+            raise TrackingError("spmd_threshold must be in [0, 1]")
+        if not 0.0 <= self.sequence_threshold <= 1.0:
+            raise TrackingError("sequence_threshold must be in [0, 1]")
+        if self.max_align_ranks < 1:
+            raise TrackingError("max_align_ranks must be >= 1")
+
+
+@dataclass(frozen=True)
+class TrackedRegion:
+    """One behaviour tracked along the frame sequence.
+
+    Attributes
+    ----------
+    region_id:
+        Duration-ranked id (1 = most time-consuming region).
+    members:
+        Per-frame sets of cluster ids belonging to this region; an empty
+        set means the region is absent from that frame.
+    total_duration:
+        Summed duration of all member clusters across all frames.
+    """
+
+    region_id: int
+    members: tuple[frozenset[int], ...]
+    total_duration: float
+
+    @property
+    def spans_all(self) -> bool:
+        """Whether the region is present in every frame."""
+        return all(self.members)
+
+    @property
+    def n_frames_present(self) -> int:
+        """Number of frames in which the region appears."""
+        return sum(1 for m in self.members if m)
+
+    def clusters_in(self, frame_index: int) -> frozenset[int]:
+        """Cluster ids of the region within one frame."""
+        return self.members[frame_index]
+
+    def __repr__(self) -> str:
+        parts = [
+            "{" + ",".join(map(str, sorted(m))) + "}" if m else "-"
+            for m in self.members
+        ]
+        return f"TrackedRegion(id={self.region_id}, {' -> '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class TrackingResult:
+    """Everything the tracker produced for one frame sequence.
+
+    Attributes
+    ----------
+    frames:
+        The input frames.
+    space:
+        The shared normalised performance space.
+    pair_relations:
+        Per consecutive pair: relations plus evaluator diagnostics.
+    regions:
+        All tracked regions (including partial ones), duration-ranked.
+    coverage:
+        Integer coverage percentage (paper Table 2 semantics).
+    """
+
+    frames: tuple[Frame, ...]
+    space: NormalizedSpace
+    pair_relations: tuple[PairRelations, ...]
+    regions: tuple[TrackedRegion, ...]
+    coverage: int
+
+    @property
+    def tracked_regions(self) -> tuple[TrackedRegion, ...]:
+        """Regions present in every frame of the sequence."""
+        return tuple(region for region in self.regions if region.spans_all)
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames in the study."""
+        return len(self.frames)
+
+    def region(self, region_id: int) -> TrackedRegion:
+        """Look up one region by id."""
+        for region in self.regions:
+            if region.region_id == region_id:
+                return region
+        raise KeyError(f"no tracked region with id {region_id}")
+
+    def region_of_cluster(self, frame_index: int, cluster_id: int) -> TrackedRegion | None:
+        """The region that contains one frame's cluster, if any."""
+        for region in self.regions:
+            if cluster_id in region.members[frame_index]:
+                return region
+        return None
+
+    def summary_row(self) -> dict[str, object]:
+        """The paper's Table 2 row for this study."""
+        return {
+            "input_images": self.n_frames,
+            "tracked_regions": len(self.tracked_regions),
+            "coverage_pct": self.coverage,
+        }
+
+
+class Tracker:
+    """Tracks objects across a sequence of frames.
+
+    Parameters
+    ----------
+    frames:
+        Two or more frames built with shared settings.
+    config:
+        Pipeline tunables; defaults follow the paper.
+    """
+
+    def __init__(self, frames: list[Frame], config: TrackerConfig | None = None) -> None:
+        if len(frames) < 2:
+            raise TrackingError("tracking needs at least two frames")
+        self.frames = list(frames)
+        self.config = config or TrackerConfig()
+
+    def run(self) -> TrackingResult:
+        """Execute the full pipeline and return the result."""
+        config = self.config
+        space = normalize_frames(
+            self.frames,
+            reference=config.reference,
+            log_extensive=config.log_extensive,
+        )
+        pair_relations: list[PairRelations] = []
+        for index in range(len(self.frames) - 1):
+            pair_relations.append(
+                combine_pair(
+                    self.frames[index],
+                    self.frames[index + 1],
+                    space.points[index],
+                    space.points[index + 1],
+                    outlier_threshold=config.outlier_threshold,
+                    spmd_threshold=config.spmd_threshold,
+                    sequence_threshold=config.sequence_threshold,
+                    max_align_ranks=config.max_align_ranks,
+                    use_callstack=config.use_callstack,
+                    use_spmd=config.use_spmd,
+                    use_sequence=config.use_sequence,
+                )
+            )
+        regions = self._chain(pair_relations)
+        coverage = coverage_percent(regions, self.frames)
+        return TrackingResult(
+            frames=tuple(self.frames),
+            space=space,
+            pair_relations=tuple(pair_relations),
+            regions=tuple(regions),
+            coverage=coverage,
+        )
+
+    def _chain(self, pair_relations: list[PairRelations]) -> list[TrackedRegion]:
+        """Chain the pairwise relations into whole-sequence regions."""
+        graph = nx.Graph()
+        for frame_index, frame in enumerate(self.frames):
+            for cid in frame.cluster_ids:
+                graph.add_node((frame_index, cid))
+        for pair_index, pair in enumerate(pair_relations):
+            for relation in pair.relations:
+                members = [("L", cid) for cid in relation.left] + [
+                    ("R", cid) for cid in relation.right
+                ]
+                # Connect every member of a relation to the first member:
+                # a star keeps the component identical to the full clique.
+                if len(members) < 2:
+                    continue
+                anchor_side, anchor_cid = members[0]
+                anchor = (
+                    pair_index if anchor_side == "L" else pair_index + 1,
+                    anchor_cid,
+                )
+                for side, cid in members[1:]:
+                    node = (pair_index if side == "L" else pair_index + 1, cid)
+                    graph.add_edge(anchor, node)
+
+        regions: list[TrackedRegion] = []
+        for component in nx.connected_components(graph):
+            members: list[set[int]] = [set() for _ in self.frames]
+            for frame_index, cid in component:
+                members[frame_index].add(cid)
+            total = sum(
+                self.frames[frame_index].cluster(cid).total_duration
+                for frame_index, cid in component
+            )
+            regions.append(
+                TrackedRegion(
+                    region_id=0,  # assigned below after ranking
+                    members=tuple(frozenset(m) for m in members),
+                    total_duration=total,
+                )
+            )
+        regions.sort(key=lambda region: -region.total_duration)
+        return [
+            TrackedRegion(
+                region_id=index + 1,
+                members=region.members,
+                total_duration=region.total_duration,
+            )
+            for index, region in enumerate(regions)
+        ]

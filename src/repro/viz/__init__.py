@@ -1,0 +1,32 @@
+"""Dependency-free visualisation of frames, trends and timelines.
+
+matplotlib is not available in this environment, so the package renders
+the paper's figures in two forms:
+
+- **ASCII** (:mod:`~repro.viz.ascii_plot`): scatter plots and trend
+  charts printed straight to the terminal — what the benches show;
+- **SVG** (:mod:`~repro.viz.svg`): a minimal hand-rolled SVG writer and
+  renderers producing standalone vector images of frames (Fig. 1/6/8/9
+  style), trend lines (Fig. 7/10/11/12) and cluster timelines (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from repro.viz.animate import render_animation_html
+from repro.viz.ascii_plot import ascii_scatter, ascii_trend
+from repro.viz.frames_plot import render_frame_svg, render_sequence_svg
+from repro.viz.svg import SVGCanvas
+from repro.viz.timeline import ascii_timeline, render_timeline_svg
+from repro.viz.trend_plot import render_trends_svg
+
+__all__ = [
+    "ascii_scatter",
+    "ascii_trend",
+    "ascii_timeline",
+    "SVGCanvas",
+    "render_frame_svg",
+    "render_sequence_svg",
+    "render_trends_svg",
+    "render_timeline_svg",
+    "render_animation_html",
+]

@@ -1,0 +1,136 @@
+"""Animated view of a tracked frame sequence.
+
+The paper: "these scatter plots can be displayed in a simple animation,
+so that it is very easy to identify variations in the performance
+space".  This module writes a single self-contained HTML file embedding
+every tracked frame as an inline SVG with play/pause/step controls —
+no server, no JavaScript dependencies, opens in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from repro.tracking.relabel import RelabeledFrame
+from repro.viz.frames_plot import _scatter
+from repro.viz.svg import Axes, SVGCanvas
+
+__all__ = ["render_animation_html"]
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2em; background: #fafafa; }}
+ #stage svg {{ border: 1px solid #ccc; background: white; }}
+ .frame {{ display: none; }}
+ .frame.active {{ display: block; }}
+ #controls {{ margin: 1em 0; }}
+ button {{ font-size: 1em; padding: 0.3em 1em; margin-right: 0.5em; }}
+ #label {{ font-weight: bold; margin-left: 1em; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<div id="controls">
+ <button id="prev">&#9664;</button>
+ <button id="play">Play</button>
+ <button id="next">&#9654;</button>
+ <span id="label"></span>
+</div>
+<div id="stage">
+{frames}
+</div>
+<script>
+const frames = Array.from(document.querySelectorAll('.frame'));
+const labels = {labels};
+let current = 0;
+let timer = null;
+function show(index) {{
+  frames[current].classList.remove('active');
+  current = (index + frames.length) % frames.length;
+  frames[current].classList.add('active');
+  document.getElementById('label').textContent =
+    (current + 1) + ' / ' + frames.length + ': ' + labels[current];
+}}
+document.getElementById('prev').onclick = () => show(current - 1);
+document.getElementById('next').onclick = () => show(current + 1);
+document.getElementById('play').onclick = function () {{
+  if (timer) {{ clearInterval(timer); timer = null; this.textContent = 'Play'; }}
+  else {{ timer = setInterval(() => show(current + 1), {interval_ms});
+         this.textContent = 'Pause'; }}
+}};
+show(0);
+</script>
+</body>
+</html>
+"""
+
+
+def _frame_svg(item: RelabeledFrame, axes: Axes, *, width: int, height: int) -> str:
+    canvas = SVGCanvas(width=width, height=height)
+    axes.draw_frame(
+        canvas,
+        x_label=item.frame.settings.x_metric,
+        y_label=item.frame.settings.y_metric,
+    )
+    _scatter(canvas, axes, item.frame.plot_points, item.labels)
+    return canvas.to_string()
+
+
+def render_animation_html(
+    relabeled: list[RelabeledFrame],
+    path: str | Path,
+    *,
+    title: str = "Tracked performance space",
+    width: int = 640,
+    height: int = 460,
+    interval_ms: int = 900,
+    shared_axes: bool = True,
+) -> Path:
+    """Write the animated HTML page; returns the path written.
+
+    With *shared_axes* (default) all frames are drawn on the union of
+    the raw metric ranges, so motion between frames is the real
+    displacement of the objects; otherwise each frame auto-scales.
+    """
+    if not relabeled:
+        raise ValueError("render_animation_html needs at least one frame")
+    if interval_ms <= 0:
+        raise ValueError("interval_ms must be positive")
+
+    if shared_axes:
+        stacked = np.vstack([item.frame.plot_points for item in relabeled])
+        template = SVGCanvas(width=width, height=height)
+        axes = Axes.fit(template, stacked[:, 0], stacked[:, 1])
+
+    parts: list[str] = []
+    labels: list[str] = []
+    for index, item in enumerate(relabeled):
+        if not shared_axes:
+            template = SVGCanvas(width=width, height=height)
+            axes = Axes.fit(
+                template, item.frame.plot_points[:, 0], item.frame.plot_points[:, 1]
+            )
+        svg = _frame_svg(item, axes, width=width, height=height)
+        active = " active" if index == 0 else ""
+        parts.append(f'<div class="frame{active}">{svg}</div>')
+        labels.append(item.frame.label)
+
+    import json
+
+    page = _PAGE_TEMPLATE.format(
+        title=escape(title),
+        frames="\n".join(parts),
+        labels=json.dumps(labels),
+        interval_ms=interval_ms,
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(page, encoding="utf-8")
+    return path

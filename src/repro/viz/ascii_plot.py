@@ -1,0 +1,141 @@
+"""ASCII renderings of scatter plots and trend charts.
+
+These are what the benchmark harnesses print: a terminal-sized view of
+the performance-space frames (clusters as digit/letter glyphs) and of
+per-region trend lines, faithful enough to eyeball the same structure
+the paper's figures show.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "ascii_trend", "glyph_for"]
+
+_GLYPHS = "123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def glyph_for(cluster_id: int) -> str:
+    """Single-character glyph of a cluster/region id (0 = noise dot)."""
+    if cluster_id <= 0:
+        return "."
+    if cluster_id <= len(_GLYPHS):
+        return _GLYPHS[cluster_id - 1]
+    return "#"
+
+
+def ascii_scatter(
+    points: np.ndarray,
+    labels: np.ndarray,
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    show_noise: bool = False,
+) -> str:
+    """Render labelled 2-D points as a character grid.
+
+    Each grid cell shows the most frequent cluster among the points that
+    fall in it; noise points are hidden unless *show_noise*.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"points must be (n, 2), got {points.shape}")
+    if points.shape[0] != labels.shape[0]:
+        raise ValueError("points and labels must have equal length")
+
+    keep = np.ones(points.shape[0], dtype=bool) if show_noise else labels != 0
+    pts = points[keep]
+    labs = labels[keep]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if pts.shape[0] == 0:
+        lines.append("(no points)")
+        return "\n".join(lines)
+
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    span = np.where(hi - lo > 0, hi - lo, 1.0)
+    cols = np.minimum(((pts[:, 0] - lo[0]) / span[0] * (width - 1)).astype(int), width - 1)
+    rows = np.minimum(((pts[:, 1] - lo[1]) / span[1] * (height - 1)).astype(int), height - 1)
+
+    # Majority label per cell.
+    grid = np.zeros((height, width), dtype=np.int64)
+    counts: dict[tuple[int, int], dict[int, int]] = {}
+    for r, c, lab in zip(rows.tolist(), cols.tolist(), labs.tolist()):
+        cell = counts.setdefault((r, c), {})
+        cell[lab] = cell.get(lab, 0) + 1
+    for (r, c), cell in counts.items():
+        grid[r, c] = max(cell, key=cell.__getitem__)
+
+    for r in range(height - 1, -1, -1):
+        row = "".join(glyph_for(int(v)) if v else " " for v in grid[r])
+        lines.append("|" + row)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: [{lo[0]:.3g} .. {hi[0]:.3g}]   "
+                 f"{y_label}: [{lo[1]:.3g} .. {hi[1]:.3g}]")
+    return "\n".join(lines)
+
+
+def ascii_trend(
+    series: list[tuple[str, np.ndarray]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    x_labels: tuple[str, ...] | None = None,
+    title: str = "",
+) -> str:
+    """Render several named series over a shared x (frame index) axis.
+
+    Parameters
+    ----------
+    series:
+        ``(name, values)`` pairs; all values arrays share their length.
+        The first character of each name is used as the line glyph.
+    """
+    if not series:
+        return title or "(no series)"
+    n = len(series[0][1])
+    for name, values in series:
+        if len(values) != n:
+            raise ValueError(f"series {name!r} length differs")
+    stacked = np.asarray([values for _, values in series], dtype=np.float64)
+    finite = stacked[np.isfinite(stacked)]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if finite.size == 0 or n == 0:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo if hi > lo else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    xs = (
+        np.linspace(0, width - 1, n).astype(int)
+        if n > 1
+        else np.asarray([width // 2])
+    )
+    for index, (name, values) in enumerate(series):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for i, value in enumerate(values):
+            if not np.isfinite(value):
+                continue
+            row = int((value - lo) / span * (height - 1))
+            grid[row][xs[i]] = glyph
+    for r in range(height - 1, -1, -1):
+        lines.append("|" + "".join(grid[r]))
+    lines.append("+" + "-" * width)
+    if x_labels:
+        shown = ", ".join(x_labels)
+        lines.append(f" x: {shown}" if len(shown) < width else f" x: {len(x_labels)} frames")
+    lines.append(f" y: [{lo:.4g} .. {hi:.4g}]")
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, (name, _) in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

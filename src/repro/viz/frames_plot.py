@@ -1,0 +1,130 @@
+"""SVG renderers for performance-space frames (paper Figures 1, 6, 8, 9).
+
+:func:`render_frame_svg` draws one frame's scatter; the sequence
+variant lays several frames out side by side on shared axes with
+tracking-consistent colours — the "animation" the paper describes,
+flattened into one document.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.clustering.frames import Frame
+from repro.tracking.relabel import RelabeledFrame
+from repro.viz.svg import Axes, SVGCanvas, color_for
+
+__all__ = ["render_frame_svg", "render_sequence_svg"]
+
+
+def _scatter(
+    canvas: SVGCanvas,
+    axes: Axes,
+    points: np.ndarray,
+    labels: np.ndarray,
+    *,
+    max_points: int = 4000,
+    seed: int = 0,
+) -> None:
+    """Draw labelled points, subsampling very large frames."""
+    keep = labels != 0
+    pts = points[keep]
+    labs = labels[keep]
+    if pts.shape[0] > max_points:
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(pts.shape[0], size=max_points, replace=False)
+        pts = pts[chosen]
+        labs = labs[chosen]
+    for (x, y), lab in zip(pts.tolist(), labs.tolist()):
+        canvas.circle(axes.px(x), axes.py(y), 1.8, fill=color_for(int(lab)), opacity=0.7)
+
+
+def render_frame_svg(
+    frame: Frame,
+    path: str | Path,
+    *,
+    labels: np.ndarray | None = None,
+    title: str | None = None,
+    width: int = 640,
+    height: int = 440,
+) -> Path:
+    """Render one frame's scatter plot to an SVG file.
+
+    Passing *labels* overrides the frame's own cluster labels — used to
+    render tracked (renamed) frames.
+    """
+    canvas = SVGCanvas(width=width, height=height)
+    labs = frame.labels if labels is None else labels
+    axes = Axes.fit(canvas, frame.plot_points[:, 0], frame.plot_points[:, 1])
+    axes.draw_frame(
+        canvas,
+        x_label=frame.settings.x_metric,
+        y_label=frame.settings.y_metric,
+    )
+    _scatter(canvas, axes, frame.plot_points, labs)
+    canvas.text(width / 2, 14, title or frame.label, anchor="middle", size=13)
+    # Legend: cluster centroids labelled by id.
+    for cluster_id in sorted(set(labs.tolist()) - {0}):
+        member = frame.plot_points[labs == cluster_id]
+        cx, cy = member.mean(axis=0)
+        canvas.text(
+            axes.px(float(cx)),
+            axes.py(float(cy)) - 6,
+            str(cluster_id),
+            anchor="middle",
+            size=11,
+            fill="#000000",
+        )
+    return canvas.save(path)
+
+
+def render_sequence_svg(
+    relabeled: list[RelabeledFrame],
+    path: str | Path,
+    *,
+    panel_width: int = 420,
+    panel_height: int = 380,
+    columns: int = 2,
+) -> Path:
+    """Render a tracked frame sequence as a grid of scatter panels.
+
+    All panels share the global region colouring, so a region keeps its
+    colour across the whole sequence (the paper's Figure 6).
+    """
+    if not relabeled:
+        raise ValueError("render_sequence_svg needs at least one frame")
+    n = len(relabeled)
+    columns = max(1, min(columns, n))
+    rows = (n + columns - 1) // columns
+    canvas = SVGCanvas(width=columns * panel_width, height=rows * panel_height)
+    for index, item in enumerate(relabeled):
+        col = index % columns
+        row = index // columns
+        x_offset = col * panel_width
+        y_offset = row * panel_height
+        axes = Axes(
+            x0=x_offset + 50,
+            y0=y_offset + 28,
+            width=panel_width - 75,
+            height=panel_height - 80,
+            x_lo=float(item.frame.plot_points[:, 0].min()),
+            x_hi=float(item.frame.plot_points[:, 0].max()),
+            y_lo=float(item.frame.plot_points[:, 1].min()),
+            y_hi=float(item.frame.plot_points[:, 1].max()),
+        )
+        axes.draw_frame(
+            canvas,
+            x_label=item.frame.settings.x_metric,
+            y_label=item.frame.settings.y_metric,
+        )
+        _scatter(canvas, axes, item.frame.plot_points, item.labels, seed=index)
+        canvas.text(
+            x_offset + panel_width / 2,
+            y_offset + 16,
+            item.frame.label,
+            anchor="middle",
+            size=12,
+        )
+    return canvas.save(path)

@@ -1,0 +1,208 @@
+"""A minimal SVG canvas — no third-party plotting libraries needed.
+
+Provides just enough vector primitives (circles, lines, polylines,
+rectangles, text) plus a data-to-pixel axis mapper for the frame, trend
+and timeline renderers to produce standalone ``.svg`` files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+__all__ = ["SVGCanvas", "Axes", "CATEGORICAL_COLORS", "color_for"]
+
+#: A colourblind-friendlier categorical cycle (Paraver-like ordering:
+#: cluster 1 gets green, 2 yellow, 3 red... matching the paper's plots
+#: loosely).
+CATEGORICAL_COLORS: tuple[str, ...] = (
+    "#2ca02c",  # green
+    "#ffbf00",  # amber
+    "#d62728",  # red
+    "#1f77b4",  # blue
+    "#9467bd",  # purple
+    "#8c564b",  # brown
+    "#e377c2",  # pink
+    "#17becf",  # cyan
+    "#bcbd22",  # olive
+    "#ff7f0e",  # orange
+    "#7f7f7f",  # grey
+    "#aec7e8",  # light blue
+    "#98df8a",  # light green
+    "#ff9896",  # light red
+    "#c5b0d5",  # light purple
+)
+
+
+def color_for(cluster_id: int) -> str:
+    """Stable colour for a cluster/region id (0 = noise grey)."""
+    if cluster_id <= 0:
+        return "#cccccc"
+    return CATEGORICAL_COLORS[(cluster_id - 1) % len(CATEGORICAL_COLORS)]
+
+
+@dataclass
+class SVGCanvas:
+    """Accumulates SVG elements and serialises them to a document."""
+
+    width: int = 640
+    height: int = 420
+    elements: list[str] = field(default_factory=list)
+
+    def rect(self, x: float, y: float, w: float, h: float, *, fill: str = "none",
+             stroke: str = "black", stroke_width: float = 1.0) -> None:
+        """Add a rectangle."""
+        self.elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{stroke_width}"/>'
+        )
+
+    def circle(self, cx: float, cy: float, r: float, *, fill: str = "black",
+               opacity: float = 1.0) -> None:
+        """Add a filled circle."""
+        self.elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" fill="{fill}" '
+            f'fill-opacity="{opacity:.2f}"/>'
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, *,
+             stroke: str = "black", stroke_width: float = 1.0,
+             dash: str | None = None) -> None:
+        """Add a line segment."""
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}"{dash_attr}/>'
+        )
+
+    def polyline(self, points: list[tuple[float, float]], *, stroke: str = "black",
+                 stroke_width: float = 1.5) -> None:
+        """Add an open polyline."""
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self.elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, *, size: int = 12,
+             anchor: str = "start", fill: str = "#222222") -> None:
+        """Add a text label."""
+        self.elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{fill}" '
+            f'font-family="sans-serif">{escape(content)}</text>'
+        )
+
+    def to_string(self) -> str:
+        """Serialise the canvas to an SVG document."""
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the document to *path* and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string(), encoding="utf-8")
+        return path
+
+
+@dataclass(frozen=True)
+class Axes:
+    """Maps data coordinates onto a pixel viewport (y grows upward)."""
+
+    x0: float
+    y0: float
+    width: float
+    height: float
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+
+    @property
+    def x_span(self) -> float:
+        """Data-space width (>= tiny epsilon)."""
+        return max(self.x_hi - self.x_lo, 1e-300)
+
+    @property
+    def y_span(self) -> float:
+        """Data-space height (>= tiny epsilon)."""
+        return max(self.y_hi - self.y_lo, 1e-300)
+
+    def px(self, x: float) -> float:
+        """Data x -> pixel x."""
+        return self.x0 + (x - self.x_lo) / self.x_span * self.width
+
+    def py(self, y: float) -> float:
+        """Data y -> pixel y (flipped: larger y is higher)."""
+        return self.y0 + self.height - (y - self.y_lo) / self.y_span * self.height
+
+    def draw_frame(self, canvas: SVGCanvas, *, x_label: str = "", y_label: str = "",
+                   ticks: int = 5) -> None:
+        """Draw the axes box, tick labels and axis titles."""
+        canvas.rect(self.x0, self.y0, self.width, self.height, stroke="#444444")
+        for i in range(ticks + 1):
+            frac = i / ticks
+            x_val = self.x_lo + frac * (self.x_hi - self.x_lo)
+            y_val = self.y_lo + frac * (self.y_hi - self.y_lo)
+            canvas.text(
+                self.x0 + frac * self.width,
+                self.y0 + self.height + 14,
+                f"{x_val:.3g}",
+                size=9,
+                anchor="middle",
+            )
+            canvas.text(
+                self.x0 - 4,
+                self.y0 + self.height - frac * self.height + 3,
+                f"{y_val:.3g}",
+                size=9,
+                anchor="end",
+            )
+        if x_label:
+            canvas.text(self.x0 + self.width / 2, self.y0 + self.height + 30,
+                        x_label, anchor="middle", size=11)
+        if y_label:
+            canvas.text(self.x0 + 4, self.y0 - 8, y_label, size=11)
+
+    @classmethod
+    def fit(
+        cls,
+        canvas: SVGCanvas,
+        x_values: np.ndarray,
+        y_values: np.ndarray,
+        *,
+        margin: tuple[float, float, float, float] = (50.0, 20.0, 45.0, 25.0),
+        pad_fraction: float = 0.05,
+    ) -> "Axes":
+        """Build axes covering the data with a small padding.
+
+        *margin* is (left, right, bottom, top) in pixels.
+        """
+        left, right, bottom, top = margin
+        x = np.asarray(x_values, dtype=np.float64)
+        y = np.asarray(y_values, dtype=np.float64)
+        x = x[np.isfinite(x)]
+        y = y[np.isfinite(y)]
+        x_lo, x_hi = (float(x.min()), float(x.max())) if x.size else (0.0, 1.0)
+        y_lo, y_hi = (float(y.min()), float(y.max())) if y.size else (0.0, 1.0)
+        x_pad = (x_hi - x_lo or 1.0) * pad_fraction
+        y_pad = (y_hi - y_lo or 1.0) * pad_fraction
+        return cls(
+            x0=left,
+            y0=top,
+            width=canvas.width - left - right,
+            height=canvas.height - top - bottom,
+            x_lo=x_lo - x_pad,
+            x_hi=x_hi + x_pad,
+            y_lo=y_lo - y_pad,
+            y_hi=y_hi + y_pad,
+        )

@@ -1,0 +1,119 @@
+"""Cluster timelines: processes x time, coloured by cluster (Figure 4).
+
+The paper's Figure 4 shows the temporal sequence of clusters at the
+start of one iteration — all ranks marching through the same phases
+simultaneously, with occasional divergence where behaviour is bimodal.
+These renderers reproduce that view from a frame.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.clustering.frames import Frame
+from repro.viz.ascii_plot import glyph_for
+from repro.viz.svg import SVGCanvas, color_for
+
+__all__ = ["ascii_timeline", "render_timeline_svg"]
+
+
+def _window(frame: Frame, t_start: float | None, t_end: float | None):
+    trace = frame.trace
+    begin = trace.begin
+    end = trace.end
+    lo = float(begin.min()) if t_start is None else t_start
+    hi = float(end.max()) if t_end is None else t_end
+    return lo, hi
+
+
+def ascii_timeline(
+    frame: Frame,
+    *,
+    width: int = 96,
+    max_ranks: int = 32,
+    t_start: float | None = None,
+    t_end: float | None = None,
+    labels: np.ndarray | None = None,
+) -> str:
+    """Render the cluster timeline of a frame as text.
+
+    One row per rank (subsampled beyond *max_ranks*), one column per
+    time slot; each cell shows the cluster whose burst covers the slot.
+    """
+    trace = frame.trace
+    labs = frame.labels if labels is None else labels
+    lo, hi = _window(frame, t_start, t_end)
+    span = max(hi - lo, 1e-12)
+    ranks = np.unique(trace.rank)
+    if ranks.size > max_ranks:
+        ranks = ranks[np.linspace(0, ranks.size - 1, max_ranks).astype(int)]
+    lines = [f"timeline {frame.label}  [{lo:.4g}s .. {hi:.4g}s]"]
+    for rank in ranks.tolist():
+        mask = trace.rank == rank
+        row = [" "] * width
+        for b, e, lab in zip(
+            trace.begin[mask].tolist(),
+            trace.end[mask].tolist(),
+            labs[mask].tolist(),
+        ):
+            if e < lo or b > hi or lab == 0:
+                continue
+            c0 = int(max((b - lo) / span, 0.0) * (width - 1))
+            c1 = int(min((e - lo) / span, 1.0) * (width - 1))
+            for c in range(c0, c1 + 1):
+                row[c] = glyph_for(int(lab))
+        lines.append(f"{rank:>5} |" + "".join(row))
+    return "\n".join(lines)
+
+
+def render_timeline_svg(
+    frame: Frame,
+    path: str | Path,
+    *,
+    width: int = 900,
+    row_height: int = 8,
+    max_ranks: int = 64,
+    t_start: float | None = None,
+    t_end: float | None = None,
+    labels: np.ndarray | None = None,
+) -> Path:
+    """Render the cluster timeline of a frame as an SVG Gantt strip."""
+    trace = frame.trace
+    labs = frame.labels if labels is None else labels
+    lo, hi = _window(frame, t_start, t_end)
+    span = max(hi - lo, 1e-12)
+    ranks = np.unique(trace.rank)
+    if ranks.size > max_ranks:
+        ranks = ranks[np.linspace(0, ranks.size - 1, max_ranks).astype(int)]
+    left, top = 50, 30
+    height = top + row_height * ranks.size + 30
+    canvas = SVGCanvas(width=width, height=height)
+    plot_width = width - left - 20
+    canvas.text(width / 2, 16, f"{frame.label} cluster timeline", anchor="middle", size=12)
+    for row_index, rank in enumerate(ranks.tolist()):
+        y = top + row_index * row_height
+        mask = trace.rank == rank
+        for b, e, lab in zip(
+            trace.begin[mask].tolist(),
+            trace.end[mask].tolist(),
+            labs[mask].tolist(),
+        ):
+            if e < lo or b > hi or lab == 0:
+                continue
+            x0 = left + max((b - lo) / span, 0.0) * plot_width
+            x1 = left + min((e - lo) / span, 1.0) * plot_width
+            canvas.rect(
+                x0,
+                y,
+                max(x1 - x0, 0.5),
+                row_height - 1,
+                fill=color_for(int(lab)),
+                stroke="none",
+            )
+        if row_index % max(1, ranks.size // 8) == 0:
+            canvas.text(left - 6, y + row_height, str(rank), size=8, anchor="end")
+    canvas.text(left, height - 8, f"{lo:.4g}s", size=9)
+    canvas.text(width - 20, height - 8, f"{hi:.4g}s", size=9, anchor="end")
+    return canvas.save(path)

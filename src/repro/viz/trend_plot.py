@@ -1,0 +1,70 @@
+"""SVG trend-line charts (paper Figures 7, 10, 11, 12).
+
+One polyline per tracked region over the frame sequence, coloured by
+region id, with the frame labels along the x axis.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.tracking.trends import TrendSeries
+from repro.viz.svg import Axes, SVGCanvas, color_for
+
+__all__ = ["render_trends_svg"]
+
+
+def render_trends_svg(
+    series: list[TrendSeries],
+    path: str | Path,
+    *,
+    title: str = "",
+    width: int = 680,
+    height: int = 420,
+) -> Path:
+    """Render trend series to an SVG line chart."""
+    if not series:
+        raise ValueError("render_trends_svg needs at least one series")
+    n_frames = series[0].n_frames
+    canvas = SVGCanvas(width=width, height=height)
+    stacked = np.concatenate([s.values for s in series])
+    axes = Axes.fit(
+        canvas,
+        np.arange(n_frames, dtype=np.float64),
+        stacked,
+        margin=(55.0, 120.0, 50.0, 30.0),
+    )
+    axes.draw_frame(canvas, y_label=series[0].metric)
+
+    for s in series:
+        color = color_for(s.region_id)
+        points = [
+            (axes.px(float(i)), axes.py(float(v)))
+            for i, v in enumerate(s.values)
+            if np.isfinite(v)
+        ]
+        if len(points) >= 2:
+            canvas.polyline(points, stroke=color, stroke_width=2.0)
+        for x, y in points:
+            canvas.circle(x, y, 2.5, fill=color)
+
+    # Legend on the right margin.
+    legend_x = width - 112
+    for index, s in enumerate(series):
+        y = 40 + index * 16
+        canvas.line(legend_x, y - 4, legend_x + 18, y - 4,
+                    stroke=color_for(s.region_id), stroke_width=2.5)
+        canvas.text(legend_x + 24, y, f"Region {s.region_id}", size=10)
+
+    # Frame labels along x, abbreviated when crowded.
+    step = max(1, n_frames // 8)
+    for i in range(0, n_frames, step):
+        label = series[0].frame_labels[i]
+        short = label if len(label) <= 18 else label[:17] + "…"
+        canvas.text(axes.px(float(i)), height - 8, short, size=8, anchor="middle")
+
+    if title:
+        canvas.text(width / 2, 16, title, anchor="middle", size=13)
+    return canvas.save(path)

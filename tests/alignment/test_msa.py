@@ -1,0 +1,113 @@
+"""Unit tests for star multiple sequence alignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alignment.msa import MultipleAlignment, star_align
+from repro.alignment.pairwise import GAP
+from repro.errors import AlignmentError
+
+
+def seqs(**kwargs):
+    return {k: np.asarray(v, dtype=np.int64) for k, v in
+            ((int(key), val) for key, val in kwargs.items())}
+
+
+class TestStarAlign:
+    def test_identical_sequences(self):
+        alignment = star_align({r: np.asarray([1, 2, 3]) for r in range(4)})
+        assert alignment.n_sequences == 4
+        assert alignment.n_columns == 3
+        assert (alignment.matrix != GAP).all()
+        for col in range(3):
+            assert len(set(alignment.matrix[:, col])) == 1
+
+    def test_one_sequence(self):
+        alignment = star_align({0: np.asarray([5, 6])})
+        assert alignment.n_sequences == 1
+        np.testing.assert_array_equal(alignment.matrix[0], [5, 6])
+
+    def test_missing_symbol_becomes_gap(self):
+        alignment = star_align({
+            0: np.asarray([1, 2, 3]),
+            1: np.asarray([1, 3]),
+        })
+        row1 = alignment.row(1)
+        assert (row1 == GAP).sum() == 1
+        assert alignment.n_columns == 3
+
+    def test_extra_symbol_grows_center(self):
+        alignment = star_align({
+            0: np.asarray([1, 3]),
+            1: np.asarray([1, 2, 3]),
+            2: np.asarray([1, 3]),
+        })
+        # Centre is the longest sequence (key 1); rows 0 and 2 get gaps.
+        assert alignment.n_columns == 3
+        assert (alignment.row(0) == GAP).sum() == 1
+        assert (alignment.row(2) == GAP).sum() == 1
+
+    def test_regrow_with_multiple_sequences(self):
+        # Sequences of equal length force the first as centre; later
+        # sequences introduce new columns.
+        alignment = star_align({
+            0: np.asarray([1, 2, 3, 4]),
+            1: np.asarray([1, 2, 9, 3, 4]),
+            2: np.asarray([1, 2, 3, 4]),
+        })
+        assert alignment.n_columns >= 4
+        # Every original symbol is preserved per row.
+        for key, original in ((0, [1, 2, 3, 4]), (1, [1, 2, 9, 3, 4]), (2, [1, 2, 3, 4])):
+            row = alignment.row(key)
+            assert [int(v) for v in row[row != GAP]] == original
+
+    def test_column_symbols(self):
+        alignment = star_align({
+            0: np.asarray([1, 2]),
+            1: np.asarray([1, 5]),
+        })
+        assert set(alignment.column_symbols(0).tolist()) == {1}
+        assert set(alignment.column_symbols(1).tolist()) == {2, 5}
+
+    def test_keys_preserved_sorted(self):
+        alignment = star_align({
+            7: np.asarray([1]),
+            3: np.asarray([1]),
+        })
+        assert alignment.keys == (3, 7)
+
+    def test_row_unknown_key(self):
+        alignment = star_align({0: np.asarray([1])})
+        with pytest.raises(KeyError):
+            alignment.row(5)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AlignmentError):
+            star_align({})
+
+    def test_2d_sequence_rejected(self):
+        with pytest.raises(AlignmentError):
+            star_align({0: np.zeros((2, 2), dtype=np.int64)})
+
+    def test_spmd_like_input(self):
+        # 8 ranks, iterative pattern, one rank diverges in one slot.
+        base = [1, 2, 3] * 5
+        sequences = {r: np.asarray(base) for r in range(8)}
+        divergent = list(base)
+        divergent[4] = 9
+        sequences[3] = np.asarray(divergent)
+        alignment = star_align(sequences)
+        # Alignment should not explode in columns.
+        assert alignment.n_columns <= len(base) + 2
+
+
+class TestMultipleAlignmentValidation:
+    def test_matrix_must_be_2d(self):
+        with pytest.raises(AlignmentError):
+            MultipleAlignment(matrix=np.zeros(3, dtype=np.int64), keys=(0,))
+
+    def test_keys_match_rows(self):
+        with pytest.raises(AlignmentError):
+            MultipleAlignment(matrix=np.zeros((2, 3), dtype=np.int64), keys=(0,))

@@ -1,0 +1,99 @@
+"""Unit tests for Needleman-Wunsch pairwise alignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alignment.pairwise import GAP, Alignment, global_align
+from repro.errors import AlignmentError
+
+
+def seq(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+class TestGlobalAlign:
+    def test_identical_sequences(self):
+        a = seq(1, 2, 3, 4)
+        result = global_align(a, a)
+        assert result.identity() == 1.0
+        np.testing.assert_array_equal(result.aligned_a, a)
+        np.testing.assert_array_equal(result.aligned_b, a)
+        assert result.score == pytest.approx(8.0)
+
+    def test_single_insertion(self):
+        result = global_align(seq(1, 2, 3), seq(1, 2, 9, 3))
+        assert result.length == 4
+        assert result.matches() == 3
+        # The gap sits opposite symbol 9.
+        gap_col = int(np.flatnonzero(result.aligned_a == GAP)[0])
+        assert result.aligned_b[gap_col] == 9
+
+    def test_single_deletion(self):
+        result = global_align(seq(1, 2, 9, 3), seq(1, 2, 3))
+        assert result.matches() == 3
+        assert (result.aligned_b == GAP).sum() == 1
+
+    def test_completely_different(self):
+        result = global_align(seq(1, 1, 1), seq(2, 2, 2))
+        assert result.matches() == 0
+
+    def test_empty_sequences(self):
+        result = global_align(seq(), seq())
+        assert result.length == 0
+        assert result.identity() == 0.0
+
+    def test_empty_versus_full(self):
+        result = global_align(seq(), seq(1, 2))
+        assert result.length == 2
+        assert (result.aligned_a == GAP).all()
+
+    def test_pairs(self):
+        result = global_align(seq(1, 2, 3), seq(1, 5, 3))
+        assert (1, 1) in result.pairs()
+        assert (3, 3) in result.pairs()
+
+    def test_score_optimality_simple(self):
+        # match=2, mismatch=-1, gap=-2: aligning (1,2) with (1,3)
+        # diagonal (match + mismatch = 1) beats gaps (2 - 4 = -2).
+        result = global_align(seq(1, 2), seq(1, 3))
+        assert result.score == pytest.approx(1.0)
+        assert result.length == 2
+
+    def test_repetitive_spmd_sequences(self):
+        a = seq(*([1, 2, 3] * 10))
+        b = seq(*([1, 2, 3] * 10 + [1, 2, 3]))
+        result = global_align(a, b)
+        assert result.matches() == 30
+
+    def test_custom_scoring(self):
+        strict = global_align(seq(1, 2), seq(2, 1), match=1.0, mismatch=-10.0, gap=-1.0)
+        assert strict.matches() <= 1  # prefers gaps over mismatches
+
+    def test_input_validation(self):
+        with pytest.raises(AlignmentError):
+            global_align(seq(1, GAP), seq(1))
+        with pytest.raises(AlignmentError):
+            global_align(np.zeros((2, 2), dtype=np.int64), seq(1))
+        with pytest.raises(AlignmentError):
+            global_align(seq(1), seq(1), gap=0.0)
+
+    def test_alignment_shape_validation(self):
+        with pytest.raises(AlignmentError):
+            Alignment(aligned_a=seq(1, 2), aligned_b=seq(1), score=0.0)
+
+    def test_score_matches_column_sum(self):
+        a = seq(1, 2, 3, 5, 5)
+        b = seq(1, 3, 5, 5, 7)
+        result = global_align(a, b)
+        total = 0.0
+        for col in range(result.length):
+            sa, sb = result.aligned_a[col], result.aligned_b[col]
+            if sa == GAP or sb == GAP:
+                total += -2.0
+            elif sa == sb:
+                total += 2.0
+            else:
+                total += -1.0
+        assert result.score == pytest.approx(total)

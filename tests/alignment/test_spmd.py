@@ -1,0 +1,90 @@
+"""Unit tests for SPMD measures on alignments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alignment.msa import MultipleAlignment, star_align
+from repro.alignment.pairwise import GAP
+from repro.alignment.spmd import consensus_sequence, simultaneity_matrix, spmdiness_score
+from repro.errors import AlignmentError
+
+
+def alignment_from(rows):
+    matrix = np.asarray(rows, dtype=np.int64)
+    return MultipleAlignment(matrix=matrix, keys=tuple(range(matrix.shape[0])))
+
+
+class TestSpmdiness:
+    def test_perfect_spmd(self):
+        alignment = alignment_from([[1, 2, 3]] * 4)
+        assert spmdiness_score(alignment) == 1.0
+
+    def test_fully_divergent(self):
+        alignment = alignment_from([[1, 1], [2, 2], [3, 3], [4, 4]])
+        assert spmdiness_score(alignment) == pytest.approx(0.25)
+
+    def test_partial(self):
+        alignment = alignment_from([[1, 2], [1, 2], [1, 9], [1, 2]])
+        assert spmdiness_score(alignment) == pytest.approx(7 / 8)
+
+    def test_gaps_ignored(self):
+        alignment = alignment_from([[1, GAP], [1, GAP]])
+        assert spmdiness_score(alignment) == 1.0
+
+    def test_empty(self):
+        alignment = MultipleAlignment(
+            matrix=np.zeros((1, 0), dtype=np.int64), keys=(0,)
+        )
+        assert spmdiness_score(alignment) == 0.0
+
+
+class TestSimultaneity:
+    def test_bimodal_co_occurrence(self):
+        # Clusters 2 and 3 always share a column: the bimodal case.
+        alignment = alignment_from([[1, 2], [1, 3], [1, 2], [1, 3]])
+        matrix = simultaneity_matrix(alignment, (1, 2, 3))
+        assert matrix[1, 2] == pytest.approx(1.0)  # P(3 | 2)
+        assert matrix[2, 1] == pytest.approx(1.0)
+        assert matrix[0, 1] == 0.0  # 1 never co-occurs with 2
+
+    def test_diagonal_one_when_present(self):
+        alignment = alignment_from([[1, 2], [1, 2]])
+        matrix = simultaneity_matrix(alignment, (1, 2))
+        assert matrix[0, 0] == 1.0
+        assert matrix[1, 1] == 1.0
+
+    def test_absent_cluster_zero_row(self):
+        alignment = alignment_from([[1, 1], [1, 1]])
+        matrix = simultaneity_matrix(alignment, (1, 7))
+        assert (matrix[1, :] == 0).all()
+
+    def test_asymmetric_conditioning(self):
+        # 5 appears in two columns, 6 in one of them only.
+        alignment = alignment_from([[5, 5], [6, 5]])
+        matrix = simultaneity_matrix(alignment, (5, 6))
+        assert matrix[1, 0] == pytest.approx(1.0)  # P(5 | 6) = 1
+        assert matrix[0, 1] == pytest.approx(0.5)  # P(6 | 5) = 1/2
+
+    def test_empty_ids_rejected(self):
+        alignment = alignment_from([[1]])
+        with pytest.raises(AlignmentError):
+            simultaneity_matrix(alignment, ())
+
+
+class TestConsensus:
+    def test_majority_vote(self):
+        alignment = alignment_from([[1, 2], [1, 2], [1, 9]])
+        np.testing.assert_array_equal(consensus_sequence(alignment), [1, 2])
+
+    def test_gap_columns_dropped(self):
+        alignment = alignment_from([[1, GAP, 2], [1, GAP, 2]])
+        np.testing.assert_array_equal(consensus_sequence(alignment), [1, 2])
+
+    def test_end_to_end_with_star(self):
+        sequences = {r: np.asarray([1, 2, 3, 1, 2, 3]) for r in range(5)}
+        alignment = star_align(sequences)
+        np.testing.assert_array_equal(
+            consensus_sequence(alignment), [1, 2, 3, 1, 2, 3]
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for iterative-structure detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alignment.structure import (
+    detect_period,
+    iteration_boundaries,
+    phase_structure,
+)
+from repro.errors import AlignmentError
+
+
+class TestDetectPeriod:
+    def test_clean_period(self):
+        assert detect_period([1, 2, 3] * 6) == 3
+
+    def test_smallest_period_wins(self):
+        # Period 2 also tiles a period-4 candidate sequence.
+        assert detect_period([1, 2] * 8) == 2
+
+    def test_constant_sequence(self):
+        assert detect_period([5] * 10) == 1
+
+    def test_aperiodic(self):
+        assert detect_period([1, 2, 3, 4, 5, 6, 7, 8]) is None
+
+    def test_noise_tolerance(self):
+        sequence = [1, 2, 3] * 10
+        sequence[7] = 9  # one divergent symbol
+        assert detect_period(sequence, threshold=0.9) == 3
+
+    def test_strict_threshold_rejects_noise(self):
+        sequence = [1, 2, 3] * 4
+        sequence[4] = 9
+        assert detect_period(sequence, threshold=1.0) is None
+
+    def test_too_short(self):
+        assert detect_period([1]) is None
+        assert detect_period([]) is None
+
+    def test_min_repeats(self):
+        sequence = [1, 2, 3, 4, 1, 2, 3, 4]  # exactly two repeats
+        assert detect_period(sequence, min_repeats=2) == 4
+        assert detect_period(sequence, min_repeats=3) is None
+
+    def test_2d_rejected(self):
+        with pytest.raises(AlignmentError):
+            detect_period(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestBoundaries:
+    def test_boundaries(self):
+        assert iteration_boundaries([1, 2, 3] * 4) == [0, 3, 6, 9]
+
+    def test_aperiodic_empty(self):
+        assert iteration_boundaries([1, 2, 3, 4, 5, 6, 7]) == []
+
+
+class TestPhaseStructure:
+    def test_full_report(self):
+        structure = phase_structure([1, 2, 3] * 5)
+        assert structure is not None
+        assert structure.period == 3
+        assert structure.phases == (1, 2, 3)
+        assert structure.n_iterations == 5
+        assert structure.regularity == 1.0
+
+    def test_majority_pattern_with_noise(self):
+        sequence = [1, 2, 3] * 10
+        sequence[4] = 9
+        structure = phase_structure(sequence)
+        assert structure is not None
+        assert structure.phases == (1, 2, 3)
+        assert structure.regularity == pytest.approx(29 / 30)
+
+    def test_aperiodic_none(self):
+        assert phase_structure(list(range(12))) is None
+
+    def test_on_real_frame_consensus(self, wrf_small_result):
+        from repro.alignment.spmd import consensus_sequence
+        from repro.tracking.evaluators.simultaneity import frame_alignment
+
+        frame = wrf_small_result.frames[0]
+        consensus = consensus_sequence(frame_alignment(frame))
+        structure = phase_structure(consensus)
+        assert structure is not None
+        assert structure.period == 12  # WRF's twelve phases
+        assert structure.n_iterations == 4
+        assert structure.regularity > 0.95

@@ -1,0 +1,61 @@
+"""Tests for the canned case-study registry (fast structural checks).
+
+The full paper-scale case-study runs live in the benchmarks; here we
+verify the registry structure and run the two cheapest studies end to
+end to guard the wiring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import CASE_STUDIES, get_case_study, run_case_study
+
+
+class TestRegistry:
+    def test_ten_case_studies(self):
+        assert len(CASE_STUDIES) == 10
+
+    def test_table2_order(self):
+        names = [case.name for case in CASE_STUDIES]
+        assert names == [
+            "Gadget",
+            "QuantumE",
+            "WRF",
+            "Gromacs",
+            "CGPOP",
+            "NAS BT",
+            "HydroC",
+            "MR-Genesis",
+            "NAS FT",
+            "Gromacs (20)",
+        ]
+
+    def test_expected_images_match_scenarios(self):
+        for case in CASE_STUDIES:
+            if case.study.trace_hook is None:
+                assert len(case.study.scenarios) == case.expected_images
+
+    def test_average_expected_coverage_is_90(self):
+        mean = sum(case.expected_coverage for case in CASE_STUDIES) / len(CASE_STUDIES)
+        assert mean == pytest.approx(90.0)
+
+    def test_lookup_case_insensitive(self):
+        assert get_case_study("cgpop").name == "CGPOP"
+        with pytest.raises(KeyError):
+            get_case_study("LAMMPS")
+
+
+class TestSmallRuns:
+    def test_cgpop_targets(self):
+        result = run_case_study("CGPOP")
+        case = get_case_study("CGPOP")
+        assert result.result.n_frames == case.expected_images
+        assert result.n_tracked == case.expected_regions
+        assert result.coverage == case.expected_coverage
+
+    def test_nas_bt_targets(self):
+        result = run_case_study("NAS BT")
+        case = get_case_study("NAS BT")
+        assert result.n_tracked == case.expected_regions
+        assert result.coverage == case.expected_coverage

@@ -1,0 +1,101 @@
+"""Unit tests for the automated diagnosis rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.insights import diagnose, format_insights
+from repro.api import quick_track
+from repro.apps import cgpop, hydroc, mrgenesis, nasbt, wrf
+from repro.clustering.frames import FrameSettings
+
+
+def kinds_for(insights, region_id=None):
+    return {
+        i.kind
+        for i in insights
+        if region_id is None or i.region_id == region_id
+    }
+
+
+class TestCacheCapacityRule:
+    def test_nasbt_diagnosed_as_cache_bound(self):
+        traces = [
+            nasbt.build(c, iterations=6).run(seed=i) for i, c in enumerate("WA")
+        ]
+        result = quick_track(
+            traces, settings=FrameSettings(log_y=True, relevance=0.97)
+        )
+        insights = diagnose(result)
+        assert "cache-capacity" in kinds_for(insights)
+        worst = insights[0]
+        assert worst.kind == "cache-capacity"
+        assert worst.severity > 0.3
+        assert "misses per kilo-instruction" in worst.message
+
+
+class TestContentionKneeRule:
+    def test_mrgenesis_knee_found(self):
+        traces = [
+            mrgenesis.build(k, iterations=6).run(seed=k) for k in range(1, 13)
+        ]
+        result = quick_track(traces)
+        insights = diagnose(result)
+        knees = [i for i in insights if i.kind == "contention-knee"]
+        assert len(knees) == 2  # both regions hit the same knee
+        for insight in knees:
+            # The sharp step happens moving to 9 tasks/node (frame 9/12).
+            assert insight.evidence["knee_frame"] == 8
+            assert "saturation knee" in insight.message
+
+
+class TestEncodingChangeRule:
+    def test_compiler_change_detected(self):
+        traces = [
+            cgpop.build("MareNostrum", comp, ranks=16, iterations=4).run(seed=i)
+            for i, comp in enumerate(("gfortran", "xlf"))
+        ]
+        result = quick_track(traces)
+        insights = diagnose(result)
+        assert kinds_for(insights) == {"encoding-change"}
+        for insight in insights:
+            assert insight.evidence["instructions_change"] == pytest.approx(
+                -0.36, abs=0.03
+            )
+
+
+class TestReplicationRule:
+    def test_wrf_replicating_region_flagged(self, wrf_small_result):
+        insights = diagnose(wrf_small_result)
+        replicated = [i for i in insights if i.kind == "work-replication"]
+        assert len(replicated) == 1
+        assert replicated[0].evidence["total_instructions_change"] == (
+            pytest.approx(0.05, abs=0.02)
+        )
+
+
+class TestStableRule:
+    def test_flat_study_is_stable(self):
+        from tests.conftest import build_two_region_trace
+
+        traces = [
+            build_two_region_trace(seed=i, scenario={"run": i}) for i in range(2)
+        ]
+        insights = diagnose(quick_track(traces))
+        assert kinds_for(insights) == {"stable"}
+
+
+class TestFormat:
+    def test_format_renders_all(self):
+        traces = [
+            hydroc.build(b, ranks=8, iterations=4).run(seed=i)
+            for i, b in enumerate((32, 64))
+        ]
+        insights = diagnose(quick_track(traces))
+        text = format_insights(insights)
+        assert text.startswith("Automated diagnosis:")
+        assert all(f"[{i.kind}]" in text for i in insights)
+
+    def test_format_empty(self):
+        assert "No insights" in format_insights([])

@@ -1,0 +1,74 @@
+"""Targeted tests for individual insight rules on engineered traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.insights import diagnose
+from repro.api import quick_track
+from repro.trace.callstack import CallPath
+from repro.trace.trace import TraceBuilder
+
+
+def gradient_trace(*, imbalance: float, scenario: dict, seed: int = 0):
+    """Two regions; region b's work carries a linear rank gradient."""
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(nranks=8, app="grad", scenario=scenario)
+    path_a = CallPath.single("a", "m.c", 1)
+    path_b = CallPath.single("b", "m.c", 2)
+    t = np.zeros(8)
+    for _ in range(8):
+        for path, base, ipc, tilt in (
+            (path_a, 1e6, 1.0, 0.0),
+            (path_b, 4e6, 0.5, imbalance),
+        ):
+            for rank in range(8):
+                gradient = 1.0 + tilt * (rank / 7 - 0.5)
+                instr = base * gradient * (1 + 0.005 * rng.standard_normal())
+                cycles = instr / ipc
+                duration = cycles / 1e9
+                builder.add(rank=rank, begin=float(t[rank]), duration=duration,
+                            callpath=path,
+                            counters=[instr, cycles, instr * 0.01,
+                                      instr * 0.001, instr * 1e-4])
+                t[rank] += duration
+            t[:] = t.max()
+    return builder.build()
+
+
+class TestImbalanceGrowthRule:
+    def test_growing_gradient_flagged(self):
+        traces = [
+            gradient_trace(imbalance=0.05, scenario={"run": 0}, seed=0),
+            gradient_trace(imbalance=0.6, scenario={"run": 1}, seed=1),
+        ]
+        insights = diagnose(quick_track(traces))
+        flagged = [i for i in insights if i.kind == "imbalance-growth"]
+        assert len(flagged) == 1
+        evidence = flagged[0].evidence
+        assert evidence["cv_last"] > 2 * evidence["cv_first"]
+        assert "load imbalance" in flagged[0].message
+
+    def test_constant_gradient_not_flagged(self):
+        traces = [
+            gradient_trace(imbalance=0.3, scenario={"run": 0}, seed=0),
+            gradient_trace(imbalance=0.3, scenario={"run": 1}, seed=1),
+        ]
+        insights = diagnose(quick_track(traces))
+        assert not any(i.kind == "imbalance-growth" for i in insights)
+
+
+class TestSeverityOrdering:
+    def test_most_severe_first(self):
+        from repro.apps import nasbt
+        from repro.clustering.frames import FrameSettings
+
+        traces = [
+            nasbt.build(c, iterations=6).run(seed=i) for i, c in enumerate("WA")
+        ]
+        insights = diagnose(
+            quick_track(traces, settings=FrameSettings(log_y=True, relevance=0.97))
+        )
+        severities = [i.severity for i in insights]
+        assert severities == sorted(severities, reverse=True)

@@ -1,0 +1,72 @@
+"""Unit tests for report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table, format_table2, table2_rows, table3_report
+from repro.analysis.study import ParametricStudy
+
+
+@pytest.fixture(scope="module")
+def small_study_result():
+    study = ParametricStudy(
+        app="hydroc",
+        scenarios=(
+            {"block_size": 32, "ranks": 8, "iterations": 4},
+            {"block_size": 64, "ranks": 8, "iterations": 4},
+        ),
+    )
+    return study.run(seed=0)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        text = format_table(["h"], [["v"]], title="My table")
+        assert text.startswith("My table")
+
+
+class TestTable2:
+    def test_rows(self, small_study_result):
+        rows = table2_rows({"HydroC": small_study_result})
+        assert rows == [
+            {
+                "application": "HydroC",
+                "input_images": 2,
+                "tracked_regions": 2,
+                "coverage_pct": 100,
+            }
+        ]
+
+    def test_format_includes_average(self, small_study_result):
+        text = format_table2({"HydroC": small_study_result})
+        assert "Table 2" in text
+        assert "Average coverage: 100.0%" in text
+
+
+class TestTable3:
+    def test_report_structure(self, small_study_result):
+        text, rows = table3_report(small_study_result)
+        assert "Table 3" in text
+        assert len(rows) == 2
+        for row in rows:
+            assert len(row["ipc"]) == 2
+            assert len(row["duration_per_process"]) == 2
+
+    def test_per_process_duration_scaling(self, small_study_result):
+        _, rows = table3_report(small_study_result)
+        result = small_study_result.result
+        region = result.tracked_regions[0]
+        frame = result.frames[0]
+        total = sum(
+            frame.cluster_total(cid, "duration") for cid in region.clusters_in(0)
+        )
+        assert rows[0]["duration_per_process"][0] == pytest.approx(
+            total / frame.trace.nranks
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for the parametric study driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.study import ParametricStudy, StudyResult
+from repro.clustering.frames import FrameSettings
+from repro.errors import StudyError
+
+
+def hydroc_study(blocks=(32, 64)):
+    return ParametricStudy(
+        app="hydroc",
+        scenarios=tuple({"block_size": b, "ranks": 8, "iterations": 4} for b in blocks),
+    )
+
+
+class TestParametricStudy:
+    def test_needs_scenarios(self):
+        with pytest.raises(StudyError):
+            ParametricStudy(app="hydroc", scenarios=())
+
+    def test_build_models(self):
+        models = hydroc_study().build_models()
+        assert [m.scenario["block_size"] for m in models] == [32, 64]
+
+    def test_run_produces_result(self):
+        result = hydroc_study().run(seed=0)
+        assert isinstance(result, StudyResult)
+        assert len(result.traces) == 2
+        assert result.n_tracked == 2
+        assert result.coverage == 100
+
+    def test_seed_derivation_reproducible(self):
+        a = hydroc_study().run(seed=7)
+        b = hydroc_study().run(seed=7)
+        assert a.traces[0] == b.traces[0]
+        assert a.traces[1] == b.traces[1]
+
+    def test_scenarios_get_distinct_seeds(self):
+        result = hydroc_study(blocks=(32, 32)).run(seed=0)
+        assert result.traces[0] != result.traces[1]
+
+    def test_trends_accessor(self):
+        result = hydroc_study().run()
+        series = result.trends("ipc")
+        assert len(series) == 2
+
+    def test_single_scenario_rejected_without_hook(self):
+        study = ParametricStudy(
+            app="hydroc", scenarios=({"block_size": 32, "ranks": 4, "iterations": 2},)
+        )
+        with pytest.raises(StudyError, match="two frames"):
+            study.run()
+
+    def test_trace_hook(self):
+        from repro.apps import nasft
+
+        study = ParametricStudy(
+            app="nas-ft",
+            scenarios=({"ranks": 4, "iterations": 9},),
+            trace_hook=lambda traces: nasft.window_traces(traces[0], 3),
+        )
+        result = study.run()
+        assert len(result.traces) == 3
+        assert result.result.n_frames == 3
+
+    def test_log_y_settings_propagate_to_tracker(self):
+        study = ParametricStudy(
+            app="nas-bt",
+            scenarios=(
+                {"problem_class": "W", "ranks": 4, "iterations": 4},
+                {"problem_class": "A", "ranks": 4, "iterations": 4},
+            ),
+            settings=FrameSettings(log_y=True, relevance=0.97),
+        )
+        result = study.run()
+        assert result.result.space is not None
+        assert result.coverage > 0

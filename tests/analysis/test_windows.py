@@ -1,0 +1,82 @@
+"""Unit tests for iteration-aligned windowing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.windows import iteration_start_times, iteration_windows
+from repro.errors import StudyError
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture
+def trace():
+    # 12 iterations of the 2-phase toy app on 8 ranks.
+    return build_two_region_trace(nranks=8, iterations=12)
+
+
+class TestStartTimes:
+    def test_one_start_per_iteration(self, trace):
+        starts = iteration_start_times(trace)
+        assert len(starts) == 12
+        assert starts == sorted(starts)
+
+    def test_starts_align_with_phase_one(self, trace):
+        starts = iteration_start_times(trace)
+        # The first iteration starts at the very beginning of the run.
+        assert starts[0] == pytest.approx(float(trace.begin.min()))
+
+    def test_aperiodic_rejected(self):
+        rng = np.random.default_rng(0)
+        from repro.trace.callstack import CallPath
+        from repro.trace.trace import TraceBuilder
+
+        builder = TraceBuilder(nranks=2, app="chaos")
+        # Random phases: many clusters, no repeating order.
+        for i in range(80):
+            ipc = float(rng.choice([0.25, 0.5, 1.0, 1.5, 2.0]))
+            instr = float(rng.choice([1e6, 3e6, 6e6, 9e6, 2e7]))
+            builder.add(
+                rank=i % 2, begin=float(i), duration=instr / ipc / 1e9,
+                callpath=CallPath.single("f", "a.c", 1),
+                counters=[instr, instr / ipc, 1.0, 1.0, 1.0],
+            )
+        with pytest.raises(StudyError, match="no iterative structure"):
+            iteration_start_times(builder.build())
+
+
+class TestWindows:
+    def test_even_split(self, trace):
+        windows = iteration_windows(trace, 4)
+        assert len(windows) == 4
+        assert sum(w.n_bursts for w in windows) == trace.n_bursts
+        # 12 iterations / 4 windows: every window holds 3 whole
+        # iterations = 3 x 2 phases x 8 ranks bursts.
+        assert [w.n_bursts for w in windows] == [48, 48, 48, 48]
+
+    def test_uneven_split_distributes_remainder(self, trace):
+        windows = iteration_windows(trace, 5)
+        counts = [w.n_bursts for w in windows]
+        assert sum(counts) == trace.n_bursts
+        assert max(counts) - min(counts) == 16  # 3 vs 2 iterations
+
+    def test_window_metadata(self, trace):
+        windows = iteration_windows(trace, 3)
+        assert [w.scenario["window"] for w in windows] == [0, 1, 2]
+
+    def test_too_many_windows(self, trace):
+        with pytest.raises(StudyError, match="iterations"):
+            iteration_windows(trace, 50)
+
+    def test_bad_n_windows(self, trace):
+        with pytest.raises(StudyError):
+            iteration_windows(trace, 0)
+
+    def test_windows_track_cleanly(self, trace):
+        from repro import quick_track
+
+        windows = iteration_windows(trace, 4)
+        result = quick_track(windows)
+        assert result.coverage == 100
+        assert len(result.tracked_regions) == 2

@@ -1,0 +1,216 @@
+"""Behavioural tests for the paper's application models.
+
+These check the *calibrated shapes* each model must produce — the
+regressions that matter for reproducing the paper's evaluation.  They
+run on reduced scales where possible to stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import cgpop, gadget, gromacs, hydroc, mrgenesis, nasbt, nasft, wrf
+from repro.apps import quantum_espresso as qe
+from repro.errors import ModelError
+from repro.machine.machine import MARENOSTRUM, MINOTAURO
+from repro.trace.counters import INSTRUCTIONS
+
+
+class TestWRF:
+    def test_twelve_regions(self):
+        model = wrf.build(ranks=8)
+        assert len(model.regions) == 12
+
+    def test_strong_scaling_halves_work(self):
+        t64 = wrf.build(ranks=64, iterations=1).run(seed=0)
+        t128 = wrf.build(ranks=128, iterations=1).run(seed=0)
+        per_rank_64 = t64.counter(INSTRUCTIONS).sum() / 64
+        per_rank_128 = t128.counter(INSTRUCTIONS).sum() / 128
+        # Not exactly half due to region 1's replication term.
+        assert per_rank_128 == pytest.approx(per_rank_64 / 2, rel=0.05)
+
+    def test_shared_callpaths_match_table1(self):
+        model = wrf.build(ranks=8)
+        lines = [r.callpath.leaf.line for r in model.regions]
+        assert lines.count(6474) == 2  # regions 2 and 5
+        assert lines.count(5734) == 2  # regions 7 and 12
+
+    def test_region_table_has_paper_structure(self):
+        names = [row[0] for row in wrf.REGION_TABLE]
+        assert len(names) == len(set(names)) == 12
+
+
+class TestCGPOP:
+    def test_string_arguments(self):
+        model = cgpop.build("MinoTauro", "ifort", ranks=4, iterations=1)
+        assert model.machine is MINOTAURO
+        assert model.compiler.name == "ifort"
+
+    def test_minotauro_region2_bimodal(self):
+        mt = cgpop.build(MINOTAURO, "gfortran", ranks=4)
+        mn = cgpop.build(MARENOSTRUM, "gfortran", ranks=4)
+        assert len(mt.regions[1].modes) == 2
+        assert len(mn.regions[1].modes) == 1
+
+    def test_region1_repeats(self):
+        model = cgpop.build(ranks=4)
+        assert model.regions[0].repeats == 4
+
+    def test_isa_factor_on_marenostrum(self):
+        mn = cgpop.build(MARENOSTRUM, ranks=2, iterations=1).run(seed=0)
+        mt = cgpop.build(MINOTAURO, ranks=2, iterations=1).run(seed=0)
+        ratio = (
+            mn.counter(INSTRUCTIONS).mean() / mt.counter(INSTRUCTIONS).mean()
+        )
+        assert ratio == pytest.approx(1.36, rel=0.05)
+
+
+class TestNASBT:
+    def test_class_grid_sizes(self):
+        assert nasbt.CLASS_GRID == {"W": 24, "A": 64, "B": 102, "C": 162}
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ModelError, match="class"):
+            nasbt.build("D")
+
+    def test_six_regions(self):
+        assert len(nasbt.build("W").regions) == 6
+
+    def test_work_scales_with_volume(self):
+        w = nasbt.build("W", iterations=1).run(seed=0)
+        a = nasbt.build("A", iterations=1).run(seed=0)
+        ratio = a.counter(INSTRUCTIONS).sum() / w.counter(INSTRUCTIONS).sum()
+        assert ratio == pytest.approx((64 / 24) ** 3, rel=0.05)
+
+    def test_class_w_noisier(self):
+        w_jitter = nasbt.build("W").regions[0].cycle_jitter
+        a_jitter = nasbt.build("A").regions[0].cycle_jitter
+        assert w_jitter > 2 * a_jitter
+
+
+class TestMRGenesis:
+    def test_tasks_per_node_bounds(self):
+        with pytest.raises(ModelError):
+            mrgenesis.build(0)
+        with pytest.raises(ModelError):
+            mrgenesis.build(13)
+
+    def test_instructions_constant_across_mappings(self):
+        t1 = mrgenesis.build(1, iterations=2).run(seed=0)
+        t12 = mrgenesis.build(12, iterations=2).run(seed=0)
+        assert t1.counter(INSTRUCTIONS).sum() == pytest.approx(
+            t12.counter(INSTRUCTIONS).sum(), rel=0.01
+        )
+
+    def test_full_node_slower(self):
+        t1 = mrgenesis.build(1, iterations=2).run(seed=0)
+        t12 = mrgenesis.build(12, iterations=2).run(seed=0)
+        ipc1 = t1.counter(INSTRUCTIONS).sum() / t1.counter("PAPI_TOT_CYC").sum()
+        ipc12 = t12.counter(INSTRUCTIONS).sum() / t12.counter("PAPI_TOT_CYC").sum()
+        assert ipc12 == pytest.approx(0.825 * ipc1, rel=0.05)  # ~-17.5%
+
+
+class TestHydroC:
+    def test_block_sweep_has_12_sizes(self):
+        assert len(hydroc.BLOCK_SIZES) == 12
+
+    def test_bad_block_size(self):
+        with pytest.raises(ModelError):
+            hydroc.build(0)
+
+    def test_single_bimodal_phase(self):
+        model = hydroc.build(64)
+        assert len(model.regions) == 1
+        assert len(model.regions[0].modes) == 2
+
+    def test_l1_dip_at_64_to_128(self):
+        t64 = hydroc.build(64, ranks=2, iterations=2).run(seed=0)
+        t128 = hydroc.build(128, ranks=2, iterations=2).run(seed=0)
+        ratio = t128.counter("PAPI_L1_DCM").mean() / t64.counter("PAPI_L1_DCM").mean()
+        assert 1.25 <= ratio <= 1.55
+
+    def test_instructions_shrink_with_block_size(self):
+        small = hydroc.build(4, ranks=1, iterations=1).run(seed=0)
+        large = hydroc.build(64, ranks=1, iterations=1).run(seed=0)
+        assert large.counter(INSTRUCTIONS).sum() < small.counter(INSTRUCTIONS).sum()
+
+
+class TestGenericApps:
+    def test_gadget_snapshots(self):
+        with pytest.raises(ModelError):
+            gadget.build(2)
+        assert len(gadget.build(0, ranks=4).regions) == 8  # 7 stable + 1 bimodal
+
+    def test_gadget_bimodality_only_in_snapshot0(self):
+        def tree_walk(model):
+            return next(r for r in model.regions if r.name == "tree_walk")
+
+        early = tree_walk(gadget.build(0, ranks=4))
+        late = tree_walk(gadget.build(1, ranks=4))
+        assert early.modes[0].cpi_scale != early.modes[1].cpi_scale
+        assert late.modes[0].cpi_scale == pytest.approx(late.modes[1].cpi_scale)
+
+    def test_qe_configurations(self):
+        with pytest.raises(ModelError):
+            qe.build(5)
+        assert len(qe.build(0, ranks=4).regions) == 6
+
+    def test_gromacs_scaling(self):
+        t24 = gromacs.build(24, iterations=1).run(seed=0)
+        t48 = gromacs.build(48, iterations=1).run(seed=0)
+        per24 = t24.counter(INSTRUCTIONS).sum() / 24
+        per48 = t48.counter(INSTRUCTIONS).sum() / 48
+        assert per48 == pytest.approx(per24 / 2, rel=0.02)
+
+    def test_gromacs_window_bounds(self):
+        with pytest.raises(ModelError):
+            gromacs.build_window(20)
+
+    def test_gromacs_window_region_count(self):
+        assert len(gromacs.build_window(0, ranks=4).regions) == 4
+
+    def test_nasft_window_traces(self):
+        trace = nasft.build(ranks=2, iterations=6).run(seed=0)
+        windows = nasft.window_traces(trace, 3)
+        assert len(windows) == 3
+        assert sum(w.n_bursts for w in windows) == trace.n_bursts
+        assert [w.scenario["window"] for w in windows] == [0, 1, 2]
+
+    def test_nasft_window_validation(self):
+        trace = nasft.build(ranks=2, iterations=2).run(seed=0)
+        with pytest.raises(ModelError):
+            nasft.window_traces(trace, 0)
+
+
+class TestRegistry:
+    def test_build_by_name(self):
+        from repro.apps.registry import build_app
+
+        model = build_app("hydroc", block_size=32, ranks=2)
+        assert model.name == "HydroC"
+
+    def test_unknown_app(self):
+        from repro.apps.registry import build_app
+
+        with pytest.raises(KeyError, match="registered"):
+            build_app("lammps")
+
+    def test_all_builders_produce_models(self):
+        from repro.apps.registry import APP_BUILDERS, build_app
+
+        defaults = {
+            "wrf": {"ranks": 8, "base_ranks": 8},
+            "cgpop": {"ranks": 4},
+            "nas-bt": {"ranks": 4},
+            "nas-ft": {"ranks": 2},
+            "mr-genesis": {},
+            "hydroc": {"ranks": 2},
+            "gadget": {"ranks": 4},
+            "quantum-espresso": {"ranks": 4},
+            "gromacs": {"ranks": 4, "base_ranks": 4},
+            "gromacs-window": {"window": 0, "ranks": 4},
+        }
+        for name in APP_BUILDERS:
+            model = build_app(name, **defaults[name])
+            assert model.nranks >= 1

@@ -1,0 +1,102 @@
+"""Unit tests for cluster containers and duration ranking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.cluster import Cluster, ClusterSet, rank_labels_by_duration
+from repro.errors import ClusteringError
+
+
+def make_cluster(cid: int, size: int = 3, duration: float = 1.0) -> Cluster:
+    return Cluster(
+        cluster_id=cid,
+        indices=np.arange(size),
+        centroid=np.asarray([0.0, 0.0]),
+        total_duration=duration,
+        callpaths=frozenset({"f@a.c:1"}),
+        ranks=frozenset({0}),
+    )
+
+
+class TestRankByDuration:
+    def test_largest_becomes_one(self):
+        labels = np.asarray([1, 1, 2, 2, 2])
+        durations = np.asarray([1.0, 1.0, 5.0, 5.0, 5.0])
+        ranked = rank_labels_by_duration(labels, durations)
+        np.testing.assert_array_equal(ranked, [2, 2, 1, 1, 1])
+
+    def test_noise_preserved(self):
+        labels = np.asarray([0, 1, 0, 2])
+        durations = np.asarray([9.0, 1.0, 9.0, 5.0])
+        ranked = rank_labels_by_duration(labels, durations)
+        assert ranked[0] == 0 and ranked[2] == 0
+        assert ranked[3] == 1  # larger duration
+
+    def test_all_noise(self):
+        labels = np.zeros(4, dtype=int)
+        ranked = rank_labels_by_duration(labels, np.ones(4))
+        np.testing.assert_array_equal(ranked, labels)
+
+    def test_already_ranked_unchanged(self):
+        labels = np.asarray([1, 2, 3])
+        durations = np.asarray([3.0, 2.0, 1.0])
+        np.testing.assert_array_equal(
+            rank_labels_by_duration(labels, durations), labels
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ClusteringError):
+            rank_labels_by_duration(np.zeros(3, dtype=int), np.zeros(2))
+
+    def test_sparse_input_ids_renumbered_densely(self):
+        labels = np.asarray([5, 5, 9])
+        durations = np.asarray([1.0, 1.0, 10.0])
+        ranked = rank_labels_by_duration(labels, durations)
+        assert set(ranked) == {1, 2}
+
+
+class TestClusterSet:
+    def test_lookup(self):
+        cs = ClusterSet(
+            labels=np.asarray([1, 2]),
+            clusters=(make_cluster(1), make_cluster(2)),
+        )
+        assert cs.cluster(2).cluster_id == 2
+        with pytest.raises(KeyError):
+            cs.cluster(3)
+
+    def test_ids_must_be_sorted_unique(self):
+        with pytest.raises(ClusteringError):
+            ClusterSet(labels=np.asarray([2, 1]),
+                       clusters=(make_cluster(2), make_cluster(1)))
+        with pytest.raises(ClusteringError):
+            ClusterSet(labels=np.asarray([1, 1]),
+                       clusters=(make_cluster(1), make_cluster(1)))
+
+    def test_ids_start_at_one(self):
+        with pytest.raises(ClusteringError):
+            ClusterSet(labels=np.asarray([0]), clusters=(make_cluster(0),))
+
+    def test_duration_coverage(self):
+        cs = ClusterSet(
+            labels=np.asarray([1, 2]),
+            clusters=(make_cluster(1, duration=3.0), make_cluster(2, duration=1.0)),
+        )
+        assert cs.duration_coverage(8.0) == pytest.approx(0.5)
+        assert cs.duration_coverage(0.0) == 0.0
+
+    def test_noise_indices(self):
+        cs = ClusterSet(labels=np.asarray([0, 1, 0]), clusters=(make_cluster(1),))
+        np.testing.assert_array_equal(cs.noise_indices, [0, 2])
+
+    def test_iteration_and_len(self):
+        clusters = (make_cluster(1), make_cluster(2))
+        cs = ClusterSet(labels=np.asarray([1, 2]), clusters=clusters)
+        assert len(cs) == 2
+        assert tuple(cs) == clusters
+        assert cs.cluster_ids == (1, 2)
+
+    def test_cluster_size_property(self):
+        assert make_cluster(1, size=7).size == 7

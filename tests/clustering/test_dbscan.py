@@ -1,0 +1,110 @@
+"""Unit tests for the from-scratch DBSCAN implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import DBSCAN, NOISE
+from repro.errors import ClusteringError
+
+
+def blobs(centers, n=50, scale=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    parts = [
+        center + scale * rng.standard_normal((n, len(center)))
+        for center in centers
+    ]
+    return np.vstack(parts)
+
+
+class TestDBSCAN:
+    def test_two_blobs(self):
+        points = blobs([(0.0, 0.0), (1.0, 1.0)])
+        result = DBSCAN(eps=0.1, min_pts=5).fit(points)
+        assert result.n_clusters == 2
+        # The first 50 points share one label, the rest the other.
+        assert len(set(result.labels[:50])) == 1
+        assert len(set(result.labels[50:])) == 1
+        assert result.labels[0] != result.labels[50]
+
+    def test_noise_detection(self):
+        points = np.vstack([blobs([(0.0, 0.0)]), [[5.0, 5.0]]])
+        result = DBSCAN(eps=0.1, min_pts=5).fit(points)
+        assert result.labels[-1] == NOISE
+        assert result.noise_indices.tolist() == [100 - 50]  # the lone point
+
+    def test_all_noise_when_sparse(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 100, size=(30, 2))
+        result = DBSCAN(eps=0.01, min_pts=5).fit(points)
+        assert result.n_clusters == 0
+        assert (result.labels == NOISE).all()
+
+    def test_single_cluster_when_eps_huge(self):
+        points = blobs([(0, 0), (1, 1), (2, 2)])
+        result = DBSCAN(eps=10.0, min_pts=3).fit(points)
+        assert result.n_clusters == 1
+
+    def test_core_mask(self):
+        points = blobs([(0.0, 0.0)], n=20)
+        result = DBSCAN(eps=0.5, min_pts=3).fit(points)
+        assert result.core_mask.all()
+
+    def test_border_points_claimed(self):
+        # A dense line of points plus one outlier within eps of the
+        # line's endpoint: the outlier joins the cluster as a border
+        # point (reached by a core point) without being core itself.
+        line = np.column_stack([np.arange(21) * 0.001, np.zeros(21)])
+        border = np.asarray([[0.03, 0.0]])
+        points = np.vstack([line, border])
+        result = DBSCAN(eps=0.0105, min_pts=10).fit(points)
+        assert result.labels[-1] == result.labels[0]
+        assert not result.core_mask[-1]
+
+    def test_empty_input(self):
+        result = DBSCAN(eps=0.1, min_pts=3).fit(np.empty((0, 2)))
+        assert result.n_clusters == 0
+        assert result.labels.shape == (0,)
+
+    def test_labels_start_at_one(self):
+        points = blobs([(0, 0)])
+        result = DBSCAN(eps=0.5, min_pts=3).fit(points)
+        assert set(result.labels) == {1}
+
+    def test_cluster_indices(self):
+        points = blobs([(0, 0), (3, 3)])
+        result = DBSCAN(eps=0.1, min_pts=5).fit(points)
+        for label in (1, 2):
+            indices = result.cluster_indices(label)
+            assert (result.labels[indices] == label).all()
+
+    def test_three_dimensional_points(self):
+        points = blobs([(0, 0, 0), (1, 1, 1)])
+        result = DBSCAN(eps=0.1, min_pts=5).fit(points)
+        assert result.n_clusters == 2
+
+    def test_deterministic(self):
+        points = blobs([(0, 0), (0.5, 0.5), (1, 1)], seed=3)
+        r1 = DBSCAN(eps=0.08, min_pts=4).fit(points)
+        r2 = DBSCAN(eps=0.08, min_pts=4).fit(points)
+        np.testing.assert_array_equal(r1.labels, r2.labels)
+
+
+class TestValidation:
+    def test_bad_eps(self):
+        with pytest.raises(ClusteringError):
+            DBSCAN(eps=0.0, min_pts=3)
+
+    def test_bad_min_pts(self):
+        with pytest.raises(ClusteringError):
+            DBSCAN(eps=0.1, min_pts=0)
+
+    def test_one_dimensional_input_rejected(self):
+        with pytest.raises(ClusteringError):
+            DBSCAN(eps=0.1, min_pts=3).fit(np.zeros(5))
+
+    def test_nan_rejected(self):
+        points = np.asarray([[0.0, 0.0], [np.nan, 1.0]])
+        with pytest.raises(ClusteringError, match="NaN"):
+            DBSCAN(eps=0.1, min_pts=1).fit(points)

@@ -1,0 +1,130 @@
+"""Unit tests for frame construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import Frame, FrameSettings, make_frame, make_frames
+from repro.errors import ClusteringError
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture
+def trace():
+    return build_two_region_trace(nranks=6, iterations=6)
+
+
+class TestFrameSettings:
+    def test_defaults_are_paper_axes(self):
+        settings = FrameSettings()
+        assert settings.x_metric == "ipc"
+        assert settings.y_metric == "instructions"
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            FrameSettings(eps=0.0)
+        with pytest.raises(ClusteringError):
+            FrameSettings(min_pts=0)
+        with pytest.raises(ClusteringError):
+            FrameSettings(relevance=0.0)
+        with pytest.raises(ClusteringError):
+            FrameSettings(min_duration=-1.0)
+
+
+class TestMakeFrame:
+    def test_finds_two_regions(self, trace):
+        frame = make_frame(trace)
+        assert frame.n_clusters == 2
+
+    def test_cluster_one_is_longest(self, trace):
+        frame = make_frame(trace)
+        durations = [frame.cluster(cid).total_duration for cid in frame.cluster_ids]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_points_are_raw_metrics(self, trace):
+        frame = make_frame(trace)
+        np.testing.assert_allclose(frame.points[:, 0], trace.metric("ipc"))
+        np.testing.assert_allclose(frame.points[:, 1], trace.metric("instructions"))
+
+    def test_custom_axes(self, trace):
+        frame = make_frame(trace, FrameSettings(x_metric="ipc", y_metric="duration"))
+        np.testing.assert_allclose(frame.points[:, 1], trace.duration)
+
+    def test_callpaths_attached(self, trace):
+        frame = make_frame(trace)
+        paths = set()
+        for cid in frame.cluster_ids:
+            paths |= frame.cluster(cid).callpaths
+        assert paths == {"region_a@main.c:10", "region_b@main.c:20"}
+
+    def test_ranks_attached(self, trace):
+        frame = make_frame(trace)
+        for cid in frame.cluster_ids:
+            assert frame.cluster(cid).ranks == frozenset(range(6))
+
+    def test_rank_sequences_alternate(self, trace):
+        frame = make_frame(trace)
+        sequences = frame.rank_sequences
+        assert set(sequences) == set(range(6))
+        for seq in sequences.values():
+            assert len(seq) == 12  # 6 iterations x 2 regions
+            assert len(set(seq.tolist())) == 2
+
+    def test_min_duration_filters(self, trace):
+        cutoff = float(np.median(trace.duration))
+        frame = make_frame(trace, FrameSettings(min_duration=cutoff))
+        assert frame.n_points < trace.n_bursts
+
+    def test_empty_trace_rejected(self):
+        from repro.trace.trace import TraceBuilder
+
+        with pytest.raises(ClusteringError, match="no bursts"):
+            make_frame(TraceBuilder(nranks=1).build())
+
+    def test_log_y_requires_positive(self, trace):
+        frame = make_frame(trace, FrameSettings(log_y=True))
+        assert frame.n_clusters == 2
+
+    def test_relevance_filter_drops_small_cluster(self):
+        # Region a is ~1/9 of total time; a 0.85 relevance keeps only b.
+        trace = build_two_region_trace(nranks=6, iterations=6)
+        frame = make_frame(trace, FrameSettings(relevance=0.85))
+        assert frame.n_clusters == 1
+
+    def test_relevance_relabels_dropped_to_zero(self):
+        trace = build_two_region_trace(nranks=6, iterations=6)
+        frame = make_frame(trace, FrameSettings(relevance=0.85))
+        # Dense renumbering: the surviving cluster is id 1.
+        assert frame.cluster_ids == (1,)
+        assert (frame.labels <= 1).all()
+
+    def test_cluster_metric_weighted_ipc(self, trace):
+        frame = make_frame(trace)
+        indices = frame.cluster(1).indices
+        expected = (
+            trace.metric("instructions")[indices].sum()
+            / trace.metric("cycles")[indices].sum()
+        )
+        assert frame.cluster_metric(1, "ipc") == pytest.approx(expected)
+
+    def test_cluster_metric_unweighted(self, trace):
+        frame = make_frame(trace)
+        weighted = frame.cluster_metric(1, "ipc", weighted=True)
+        unweighted = frame.cluster_metric(1, "ipc", weighted=False)
+        assert weighted == pytest.approx(unweighted, rel=0.05)
+
+    def test_cluster_total(self, trace):
+        frame = make_frame(trace)
+        total = sum(frame.cluster_total(cid, "duration") for cid in frame.cluster_ids)
+        noise_total = trace.duration[frame.cluster_set.noise_indices].sum()
+        assert total + noise_total == pytest.approx(trace.total_time)
+
+    def test_make_frames_shares_settings(self, trace):
+        other = build_two_region_trace(seed=5, nranks=6, iterations=6)
+        frames = make_frames([trace, other], FrameSettings(eps=0.05))
+        assert all(f.settings.eps == 0.05 for f in frames)
+        assert len(frames) == 2
+
+    def test_repr(self, trace):
+        assert "n_clusters=2" in repr(make_frame(trace))

@@ -1,0 +1,74 @@
+"""Unit tests for clustering quality measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.quality import cluster_quality, silhouette_samples, silhouette_score
+from repro.errors import ClusteringError
+
+
+def blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    a = 0.05 * rng.standard_normal((40, 2))
+    b = [4.0, 4.0] + 0.05 * rng.standard_normal((40, 2))
+    points = np.vstack([a, b])
+    labels = np.asarray([1] * 40 + [2] * 40)
+    return points, labels
+
+
+class TestSilhouette:
+    def test_well_separated_high_score(self):
+        points, labels = blobs()
+        assert silhouette_score(points, labels) > 0.9
+
+    def test_shuffled_labels_low_score(self):
+        points, labels = blobs()
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(labels)
+        assert silhouette_score(points, shuffled) < 0.2
+
+    def test_single_cluster_zero(self):
+        points, _ = blobs()
+        labels = np.ones(points.shape[0], dtype=int)
+        assert silhouette_score(points, labels) == 0.0
+
+    def test_noise_excluded(self):
+        points, labels = blobs()
+        labels = labels.copy()
+        labels[:5] = 0
+        samples = silhouette_samples(points, labels)
+        assert samples.shape[0] == 75
+
+    def test_empty_after_noise(self):
+        points = np.zeros((3, 2))
+        labels = np.zeros(3, dtype=int)
+        assert silhouette_samples(points, labels).size == 0
+
+    def test_subsampling_cap(self):
+        points, labels = blobs()
+        samples = silhouette_samples(points, labels, max_points=10)
+        assert samples.shape[0] == 10
+
+    def test_length_mismatch(self):
+        with pytest.raises(ClusteringError):
+            silhouette_samples(np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+
+class TestQualityReport:
+    def test_report_fields(self):
+        points, labels = blobs()
+        labels = labels.copy()
+        labels[0] = 0
+        report = cluster_quality(points, labels)
+        assert report.n_clusters == 2
+        assert report.noise_fraction == pytest.approx(1 / 80)
+        assert report.smallest == 39
+        assert report.largest == 40
+        assert report.silhouette > 0.8
+
+    def test_empty_labels(self):
+        report = cluster_quality(np.zeros((0, 2)), np.zeros(0, dtype=int))
+        assert report.n_clusters == 0
+        assert report.noise_fraction == 0.0

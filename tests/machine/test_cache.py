@@ -1,0 +1,101 @@
+"""Unit tests for the cache miss-rate model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.machine.cache import CacheHierarchy, CacheLevel
+
+L1 = CacheLevel(name="L1", size_bytes=32 * 1024, floor_miss_rate=0.01,
+                ceiling_miss_rate=0.30, sharpness=3.0, miss_penalty_cycles=10.0)
+L2 = CacheLevel(name="L2", size_bytes=256 * 1024, floor_miss_rate=0.02,
+                ceiling_miss_rate=0.40, sharpness=2.0, miss_penalty_cycles=35.0)
+HIER = CacheHierarchy(levels=(L1, L2), memory_latency_cycles=200.0)
+
+
+class TestCacheLevel:
+    def test_small_ws_near_floor(self):
+        assert L1.miss_rate(1024) == pytest.approx(L1.floor_miss_rate, abs=0.002)
+
+    def test_huge_ws_near_ceiling(self):
+        assert L1.miss_rate(64 * 1024 * 1024) == pytest.approx(
+            L1.ceiling_miss_rate, abs=0.002
+        )
+
+    def test_midpoint_at_capacity(self):
+        expected = (L1.floor_miss_rate + L1.ceiling_miss_rate) / 2
+        assert L1.miss_rate(L1.size_bytes) == pytest.approx(expected)
+
+    def test_monotone_in_working_set(self):
+        ws = np.geomspace(1024, 1e9, 64)
+        rates = L1.miss_rate(ws)
+        assert (np.diff(rates) >= 0).all()
+
+    def test_vectorised_matches_scalar(self):
+        ws = np.asarray([1e3, 1e5, 1e7])
+        vector = L1.miss_rate(ws)
+        scalar = [L1.miss_rate(float(w)) for w in ws]
+        np.testing.assert_allclose(vector, scalar)
+
+    def test_zero_ws_fits(self):
+        assert L1.miss_rate(0.0) <= L1.miss_rate(1.0) + 1e-12
+
+    def test_negative_ws_rejected(self):
+        with pytest.raises(ModelError):
+            L1.miss_rate(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            CacheLevel(name="bad", size_bytes=0)
+        with pytest.raises(ModelError):
+            CacheLevel(name="bad", size_bytes=1, floor_miss_rate=0.5,
+                       ceiling_miss_rate=0.1)
+        with pytest.raises(ModelError):
+            CacheLevel(name="bad", size_bytes=1, sharpness=0.0)
+
+
+class TestHierarchy:
+    def test_levels_must_grow(self):
+        with pytest.raises(ModelError, match="grow"):
+            CacheHierarchy(levels=(L2, L1))
+
+    def test_needs_levels(self):
+        with pytest.raises(ModelError):
+            CacheHierarchy(levels=())
+
+    def test_global_rates_decrease_outwards(self):
+        rates = HIER.misses_per_access(1e6)
+        assert rates[1] <= rates[0]
+
+    def test_global_l2_is_product_of_locals(self):
+        ws = 1e6
+        rates = HIER.misses_per_access(ws)
+        assert rates[1] == pytest.approx(
+            float(L1.miss_rate(ws)) * float(L2.miss_rate(ws))
+        )
+
+    def test_outer_ws_drives_outer_levels(self):
+        inner_only = HIER.misses_per_access(1024)
+        split = HIER.misses_per_access(1024, outer_working_set_bytes=1e9)
+        assert split[0] == pytest.approx(inner_only[0])
+        assert split[1] > inner_only[1]
+
+    def test_stall_monotone_in_ws(self):
+        stalls = [HIER.stall_cycles_per_access(ws) for ws in (1e3, 1e5, 1e7, 1e9)]
+        assert stalls == sorted(stalls)
+
+    def test_stall_includes_memory_latency(self):
+        # With a saturated hierarchy, the memory term dominates.
+        stall = HIER.stall_cycles_per_access(1e9)
+        l2_global = HIER.misses_per_access(1e9)[1]
+        assert stall > l2_global * HIER.memory_latency_cycles
+
+    def test_level_lookup(self):
+        assert HIER.level("L2") is L2
+        with pytest.raises(KeyError):
+            HIER.level("L3")
+
+    def test_n_levels(self):
+        assert HIER.n_levels == 2

@@ -1,0 +1,128 @@
+"""Unit tests for machine-model calibration from traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.machine.calibration import calibrate, stall_breakdown
+from repro.trace.callstack import CallPath
+from repro.trace.trace import TraceBuilder
+
+
+def synthetic_trace(
+    *, core_cpi=0.7, l1_pen=10.0, l2_pen=200.0, tlb_pen=30.0, n=80, seed=0
+):
+    """Bursts whose cycles follow an exact known stall model."""
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(nranks=4, app="calib")
+    path = CallPath.single("f", "a.c", 1)
+    for i in range(n):
+        instr = float(rng.uniform(1e6, 5e7))
+        l1 = instr * float(rng.uniform(0.001, 0.05))
+        l2 = l1 * float(rng.uniform(0.05, 0.6))
+        tlb = instr * float(rng.uniform(1e-5, 1e-3))
+        cycles = core_cpi * instr + l1_pen * l1 + l2_pen * l2 + tlb_pen * tlb
+        builder.add(
+            rank=i % 4, begin=float(i), duration=cycles / 1e9,
+            callpath=path, counters=[instr, cycles, l1, l2, tlb],
+        )
+    return builder.build()
+
+
+class TestCalibrate:
+    def test_recovers_exact_parameters(self):
+        trace = synthetic_trace()
+        fit = calibrate(trace)
+        assert fit.core_cpi == pytest.approx(0.7, rel=1e-6)
+        assert fit.l1_penalty == pytest.approx(10.0, rel=1e-5)
+        assert fit.l2_penalty == pytest.approx(200.0, rel=1e-6)
+        assert fit.tlb_penalty == pytest.approx(30.0, rel=1e-4)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_nonnegative_parameters(self):
+        # Even with noisy cycles the estimates stay physical.
+        trace = synthetic_trace()
+        noisy_counters = trace.counters_matrix.copy()
+        rng = np.random.default_rng(1)
+        noisy_counters[:, 1] *= rng.lognormal(0, 0.05, trace.n_bursts)
+        from repro.trace.trace import Trace
+
+        noisy = Trace(
+            rank=trace.rank.copy(), begin=trace.begin.copy(),
+            duration=trace.duration.copy(),
+            callpath_id=trace.callpath_id.copy(),
+            counters=noisy_counters, counter_names=trace.counter_names,
+            callstacks=trace.callstacks, nranks=trace.nranks,
+        )
+        fit = calibrate(noisy)
+        for value in (fit.core_cpi, fit.l1_penalty, fit.l2_penalty, fit.tlb_penalty):
+            assert value >= 0.0
+        assert fit.r_squared > 0.9
+
+    def test_predict_cycles_matches_training(self):
+        trace = synthetic_trace()
+        fit = calibrate(trace)
+        np.testing.assert_allclose(
+            fit.predict_cycles(trace), trace.counter("PAPI_TOT_CYC"), rtol=1e-6
+        )
+
+    def test_generalises_to_new_bursts(self):
+        fit = calibrate(synthetic_trace(seed=0))
+        unseen = synthetic_trace(seed=99)
+        np.testing.assert_allclose(
+            fit.predict_cycles(unseen), unseen.counter("PAPI_TOT_CYC"), rtol=1e-5
+        )
+
+    def test_calibrates_simulated_app_traces(self):
+        """On a perfmodel-generated trace the fit explains nearly all
+        cycle variance (the generator is itself linear in the counters,
+        up to jitter)."""
+        from repro.apps import nasbt
+
+        trace = nasbt.build("A", ranks=8, iterations=4).run(seed=0)
+        fit = calibrate(trace)
+        assert fit.r_squared > 0.95
+        # Individual parameters may be unidentifiable (collinear miss
+        # mixes) but the fitted model still predicts cycles well.
+        np.testing.assert_allclose(
+            fit.predict_cycles(trace).sum(),
+            trace.counter("PAPI_TOT_CYC").sum(),
+            rtol=0.05,
+        )
+
+    def test_too_few_bursts(self):
+        trace = synthetic_trace(n=3)
+        with pytest.raises(ModelError):
+            calibrate(trace)
+
+    def test_missing_counters(self):
+        builder = TraceBuilder(nranks=1, counter_names=("PAPI_TOT_INS",))
+        builder.add(rank=0, begin=0, duration=1,
+                    callpath=CallPath.single("f", "a.c", 1), counters=[1.0])
+        with pytest.raises(ModelError, match="lacks"):
+            calibrate(builder.build())
+
+
+class TestStallBreakdown:
+    def test_fractions_sum_to_one(self):
+        trace = synthetic_trace()
+        breakdown = stall_breakdown(trace)
+        assert sum(breakdown.values()) == pytest.approx(1.0, abs=1e-9)
+        assert abs(breakdown["unexplained"]) < 1e-6
+
+    def test_memory_bound_trace_detected(self):
+        heavy = synthetic_trace(core_cpi=0.3, l2_pen=500.0)
+        breakdown = stall_breakdown(heavy)
+        assert breakdown["l2"] > breakdown["core"]
+
+    def test_core_bound_trace_detected(self):
+        light = synthetic_trace(core_cpi=2.0, l1_pen=1.0, l2_pen=5.0, tlb_pen=1.0)
+        breakdown = stall_breakdown(light)
+        assert breakdown["core"] > 0.8
+
+    def test_explicit_calibration_reused(self):
+        trace = synthetic_trace()
+        fit = calibrate(trace)
+        assert stall_breakdown(trace, fit) == stall_breakdown(trace)

@@ -1,0 +1,46 @@
+"""Unit tests for compiler models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.machine.compiler import COMPILERS, GFORTRAN, IFORT, XLF, CompilerModel, get_compiler
+
+
+class TestPresets:
+    def test_baseline_neutral(self):
+        assert GFORTRAN.instruction_factor == 1.0
+        assert GFORTRAN.core_cpi_factor == 1.0
+        assert not GFORTRAN.vendor
+
+    def test_vendor_flags(self):
+        assert XLF.vendor and IFORT.vendor
+
+    def test_vendor_reduce_instructions(self):
+        assert XLF.instruction_factor == pytest.approx(0.64)
+        assert IFORT.instruction_factor == pytest.approx(0.70)
+
+    def test_core_cycles_preserved(self):
+        # The paper's key observation: execution time stays flat because
+        # core cycles per work unit are invariant under the compiler.
+        for model in (XLF, IFORT):
+            assert model.instruction_factor * model.core_cpi_factor == pytest.approx(1.0)
+
+    def test_lookup(self):
+        assert get_compiler("xlf") is XLF
+        with pytest.raises(KeyError, match="presets"):
+            get_compiler("pgf90")
+
+    def test_registry_complete(self):
+        assert set(COMPILERS) == {"gfortran", "xlf", "ifort"}
+
+
+class TestValidation:
+    def test_bad_instruction_factor(self):
+        with pytest.raises(ModelError):
+            CompilerModel(name="x", instruction_factor=0.0)
+
+    def test_bad_cpi_factor(self):
+        with pytest.raises(ModelError):
+            CompilerModel(name="x", core_cpi_factor=-1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for the node-contention model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.machine.contention import NodeContentionModel
+
+MODEL = NodeContentionModel(
+    node_bandwidth_gbs=20.0,
+    interference_per_process=0.01,
+    overload_exponent=1.0,
+    saturation_jump=0.2,
+    cache_pressure_per_process=0.05,
+)
+
+
+class TestStallFactor:
+    def test_alone_within_capacity_is_one(self):
+        assert MODEL.memory_stall_factor(1, 1.0) == pytest.approx(1.0)
+
+    def test_interference_grows_with_neighbours(self):
+        factors = [MODEL.memory_stall_factor(k, 0.5) for k in range(1, 9)]
+        assert factors == sorted(factors)
+        # Below the knee only interference applies: linear 1% per process.
+        assert factors[3] == pytest.approx(1.03)
+
+    def test_saturation_jump_applies_above_capacity(self):
+        below = MODEL.memory_stall_factor(4, 4.9)  # 19.6 < 20
+        above = MODEL.memory_stall_factor(4, 5.2)  # 20.8 > 20
+        assert above > below * 1.2  # the jump dominates the step
+
+    def test_overload_growth(self):
+        f8 = MODEL.memory_stall_factor(8, 5.0)  # overload 2.0
+        f4 = MODEL.memory_stall_factor(4, 5.5)  # overload 1.1
+        assert f8 > f4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            MODEL.memory_stall_factor(0, 1.0)
+        with pytest.raises(ModelError):
+            MODEL.memory_stall_factor(1, -1.0)
+
+    def test_effective_bandwidth_below_demand_under_contention(self):
+        effective = MODEL.effective_bandwidth_gbs(8, 5.0)
+        assert effective < 5.0
+
+
+class TestCachePressure:
+    def test_alone_no_inflation(self):
+        assert MODEL.effective_working_set(1000.0, 1) == pytest.approx(1000.0)
+
+    def test_inflation_linear_in_neighbours(self):
+        assert MODEL.effective_working_set(1000.0, 3) == pytest.approx(1100.0)
+
+    def test_zero_pressure(self):
+        model = NodeContentionModel()
+        assert model.effective_working_set(1000.0, 12) == pytest.approx(1000.0)
+
+    def test_invalid_ppn(self):
+        with pytest.raises(ModelError):
+            MODEL.effective_working_set(1000.0, 0)
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(ModelError):
+            NodeContentionModel(node_bandwidth_gbs=0.0)
+
+    def test_bad_interference(self):
+        with pytest.raises(ModelError):
+            NodeContentionModel(interference_per_process=-0.1)
+
+    def test_bad_exponent(self):
+        with pytest.raises(ModelError):
+            NodeContentionModel(overload_exponent=0.0)
+
+    def test_bad_jump(self):
+        with pytest.raises(ModelError):
+            NodeContentionModel(saturation_jump=-0.1)

@@ -1,0 +1,60 @@
+"""Unit tests for machine presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.machine import MACHINES, MARENOSTRUM, MINOTAURO, Machine, get_machine
+
+
+class TestPresets:
+    def test_both_registered(self):
+        assert set(MACHINES) == {"MareNostrum", "MinoTauro"}
+
+    def test_lookup(self):
+        assert get_machine("MinoTauro") is MINOTAURO
+        with pytest.raises(KeyError):
+            get_machine("Summit")
+
+    def test_minotauro_faster_core(self):
+        # Westmere achieves roughly twice the IPC of the PPC 970MP.
+        assert MINOTAURO.peak_ipc > 1.4 * MARENOSTRUM.peak_ipc
+
+    def test_clocks_match_paper(self):
+        assert MARENOSTRUM.clock_hz == pytest.approx(2.3e9)
+        assert MINOTAURO.clock_hz == pytest.approx(2.53e9)
+
+    def test_cores_per_node_match_paper(self):
+        # 2x dual-core PPC 970MP vs 2x 6-core Xeon E5649.
+        assert MARENOSTRUM.cores_per_node == 4
+        assert MINOTAURO.cores_per_node == 12
+
+    def test_both_have_32k_l1(self):
+        # Shared property the HydroC study relies on.
+        for machine in MACHINES.values():
+            assert machine.caches.levels[0].size_bytes == 32 * 1024
+
+
+class TestValidation:
+    def test_bad_clock(self):
+        with pytest.raises(ModelError):
+            Machine(
+                name="x", clock_hz=0.0, cores_per_node=1, base_cpi=1.0,
+                caches=CacheHierarchy(levels=(CacheLevel(name="L1", size_bytes=1024),)),
+            )
+
+    def test_bad_cores(self):
+        with pytest.raises(ModelError):
+            Machine(
+                name="x", clock_hz=1e9, cores_per_node=0, base_cpi=1.0,
+                caches=CacheHierarchy(levels=(CacheLevel(name="L1", size_bytes=1024),)),
+            )
+
+    def test_bad_cpi(self):
+        with pytest.raises(ModelError):
+            Machine(
+                name="x", clock_hz=1e9, cores_per_node=1, base_cpi=0.0,
+                caches=CacheHierarchy(levels=(CacheLevel(name="L1", size_bytes=1024),)),
+            )

@@ -1,0 +1,172 @@
+"""Unit tests for the combined performance model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.machine.compiler import GFORTRAN, XLF
+from repro.machine.machine import MARENOSTRUM, MINOTAURO
+from repro.machine.perfmodel import BurstCounters, PerformanceModel, WorkloadPoint
+
+
+def point(**overrides) -> WorkloadPoint:
+    base = dict(
+        work_units=1e6,
+        instructions_per_unit=50.0,
+        memory_accesses_per_unit=1.0,
+        working_set_bytes=64 * 1024,
+        bandwidth_demand_gbs=0.5,
+    )
+    base.update(overrides)
+    return WorkloadPoint(**base)
+
+
+class TestBasics:
+    def test_instruction_count(self):
+        counters = PerformanceModel(MINOTAURO).evaluate(point())
+        assert counters.instructions == pytest.approx(5e7)
+
+    def test_ipc_consistency(self):
+        counters = PerformanceModel(MINOTAURO).evaluate(point())
+        assert counters.ipc == pytest.approx(
+            counters.instructions / counters.cycles
+        )
+
+    def test_duration_from_clock(self):
+        counters = PerformanceModel(MINOTAURO).evaluate(point())
+        assert counters.duration == pytest.approx(
+            counters.cycles / MINOTAURO.clock_hz
+        )
+
+    def test_linearity_in_work(self):
+        model = PerformanceModel(MINOTAURO)
+        one = model.evaluate(point(work_units=1e6))
+        two = model.evaluate(point(work_units=2e6))
+        assert two.cycles == pytest.approx(2 * one.cycles)
+        assert two.l1_misses == pytest.approx(2 * one.l1_misses)
+
+    def test_batch_matches_scalar(self):
+        model = PerformanceModel(MINOTAURO)
+        work = np.asarray([1e5, 5e5, 2e6])
+        batch = model.evaluate_batch(point(), work)
+        for i, w in enumerate(work):
+            single = model.evaluate(point(work_units=float(w)))
+            assert np.asarray(batch.cycles)[i] == pytest.approx(single.cycles)
+            assert np.asarray(batch.tlb_misses)[i] == pytest.approx(single.tlb_misses)
+
+    def test_zero_work(self):
+        counters = PerformanceModel(MINOTAURO).evaluate(point(work_units=0.0))
+        assert counters.instructions == 0.0
+        assert counters.ipc == 0.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ModelError):
+            PerformanceModel(MINOTAURO).evaluate_batch(point(), np.asarray([-1.0]))
+
+
+class TestMemoryEffects:
+    def test_larger_ws_lower_ipc(self):
+        model = PerformanceModel(MARENOSTRUM)
+        small = model.predicted_ipc(point(working_set_bytes=8 * 1024))
+        large = model.predicted_ipc(point(working_set_bytes=64 * 1024 * 1024))
+        assert large < small
+
+    def test_larger_ws_more_misses(self):
+        model = PerformanceModel(MARENOSTRUM)
+        small = model.evaluate(point(working_set_bytes=8 * 1024))
+        large = model.evaluate(point(working_set_bytes=64 * 1024 * 1024))
+        assert large.l1_misses > small.l1_misses
+        assert large.l2_misses > small.l2_misses
+        assert large.tlb_misses > small.tlb_misses
+
+    def test_streaming_misses_independent_of_inner_ws(self):
+        model = PerformanceModel(MINOTAURO)
+        streaming = dict(
+            memory_accesses_per_unit=0.0,
+            streaming_accesses_per_unit=1.0,
+            outer_working_set_bytes=1e9,
+        )
+        small = model.evaluate(point(working_set_bytes=1024, **streaming))
+        large = model.evaluate(point(working_set_bytes=1e8, **streaming))
+        assert small.l1_misses == pytest.approx(large.l1_misses)
+
+    def test_streaming_l1_rate_is_per_line(self):
+        model = PerformanceModel(MINOTAURO)
+        counters = model.evaluate(
+            point(
+                memory_accesses_per_unit=0.0,
+                streaming_accesses_per_unit=1.0,
+                outer_working_set_bytes=1e9,
+            )
+        )
+        line = MINOTAURO.caches.levels[0].line_bytes
+        assert counters.l1_misses == pytest.approx(1e6 * 8.0 / line)
+
+    def test_core_cpi_scale(self):
+        model = PerformanceModel(MINOTAURO)
+        slow = model.predicted_ipc(point(core_cpi_scale=2.0))
+        fast = model.predicted_ipc(point(core_cpi_scale=1.0))
+        assert slow < fast
+
+
+class TestCompilerEffects:
+    def test_vendor_fewer_instructions_same_time(self):
+        generic = PerformanceModel(MARENOSTRUM, compiler=GFORTRAN).evaluate(point())
+        vendor = PerformanceModel(MARENOSTRUM, compiler=XLF).evaluate(point())
+        assert vendor.instructions == pytest.approx(0.64 * generic.instructions)
+        assert vendor.duration == pytest.approx(generic.duration, rel=1e-9)
+        assert vendor.ipc == pytest.approx(0.64 * generic.ipc, rel=1e-9)
+
+    def test_memory_traffic_compiler_invariant(self):
+        generic = PerformanceModel(MARENOSTRUM, compiler=GFORTRAN).evaluate(point())
+        vendor = PerformanceModel(MARENOSTRUM, compiler=XLF).evaluate(point())
+        assert vendor.l1_misses == pytest.approx(generic.l1_misses)
+        assert vendor.l2_misses == pytest.approx(generic.l2_misses)
+
+
+class TestContentionEffects:
+    def test_full_node_slower(self):
+        alone = PerformanceModel(MINOTAURO, processes_per_node=1)
+        full = PerformanceModel(MINOTAURO, processes_per_node=12)
+        heavy = point(bandwidth_demand_gbs=2.5)
+        assert full.predicted_ipc(heavy) < alone.predicted_ipc(heavy)
+
+    def test_ppn_cannot_exceed_cores(self):
+        with pytest.raises(ModelError):
+            PerformanceModel(MARENOSTRUM, processes_per_node=5)
+
+    def test_ppn_must_be_positive(self):
+        with pytest.raises(ModelError):
+            PerformanceModel(MARENOSTRUM, processes_per_node=0)
+
+
+class TestWorkloadPointValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ModelError):
+            point(work_units=-1.0)
+        with pytest.raises(ModelError):
+            point(instructions_per_unit=0.0)
+        with pytest.raises(ModelError):
+            point(memory_accesses_per_unit=-1.0)
+        with pytest.raises(ModelError):
+            point(working_set_bytes=-1.0)
+        with pytest.raises(ModelError):
+            point(core_cpi_scale=0.0)
+        with pytest.raises(ModelError):
+            point(streaming_accesses_per_unit=-0.5)
+        with pytest.raises(ModelError):
+            point(element_bytes=0.0)
+
+    def test_with_work(self):
+        p = point().with_work(123.0)
+        assert p.work_units == 123.0
+        assert p.instructions_per_unit == point().instructions_per_unit
+
+    def test_counters_dataclass_ipc_scalar(self):
+        counters = BurstCounters(
+            instructions=100.0, cycles=200.0, l1_misses=0.0,
+            l2_misses=0.0, tlb_misses=0.0, duration=1.0,
+        )
+        assert counters.ipc == pytest.approx(0.5)

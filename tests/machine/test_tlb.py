@@ -1,0 +1,46 @@
+"""Unit tests for the TLB model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.machine.tlb import TLBModel
+
+TLB = TLBModel(entries=64, page_bytes=4096)
+
+
+class TestTLB:
+    def test_reach(self):
+        assert TLB.reach_bytes == 64 * 4096
+
+    def test_small_ws_floor(self):
+        assert TLB.miss_rate(4096) == pytest.approx(TLB.floor_miss_rate, abs=1e-4)
+
+    def test_large_ws_ceiling(self):
+        assert TLB.miss_rate(1e9) == pytest.approx(TLB.ceiling_miss_rate, abs=1e-4)
+
+    def test_midpoint_at_reach(self):
+        expected = (TLB.floor_miss_rate + TLB.ceiling_miss_rate) / 2
+        assert TLB.miss_rate(TLB.reach_bytes) == pytest.approx(expected)
+
+    def test_monotone(self):
+        rates = TLB.miss_rate(np.geomspace(1e3, 1e9, 32))
+        assert (np.diff(rates) >= 0).all()
+
+    def test_stall_scales_with_penalty(self):
+        heavy = TLBModel(entries=64, page_bytes=4096, miss_penalty_cycles=100.0)
+        assert heavy.stall_cycles_per_access(1e9) > TLB.stall_cycles_per_access(1e9)
+
+    def test_negative_ws_rejected(self):
+        with pytest.raises(ModelError):
+            TLB.miss_rate(-5.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TLBModel(entries=0)
+        with pytest.raises(ModelError):
+            TLBModel(page_bytes=0)
+        with pytest.raises(ModelError):
+            TLBModel(floor_miss_rate=0.5, ceiling_miss_rate=0.1)

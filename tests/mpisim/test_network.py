@@ -1,0 +1,55 @@
+"""Unit tests for the alpha-beta network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mpisim.network import NetworkModel
+
+NET = NetworkModel(latency_s=1e-6, bandwidth_bps=1e9, barrier_cost_s=2e-6)
+
+
+class TestP2P:
+    def test_zero_bytes_costs_latency(self):
+        assert NET.p2p_cost(0) == pytest.approx(1e-6)
+
+    def test_bandwidth_term(self):
+        assert NET.p2p_cost(10**9) == pytest.approx(1.000001)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ModelError):
+            NET.p2p_cost(-1)
+
+
+class TestAllReduce:
+    def test_single_rank_free(self):
+        assert NET.allreduce_cost(64, 1) == 0.0
+
+    def test_logarithmic_rounds(self):
+        two = NET.allreduce_cost(64, 2)
+        four = NET.allreduce_cost(64, 4)
+        eight = NET.allreduce_cost(64, 8)
+        assert four == pytest.approx(2 * two)
+        assert eight == pytest.approx(3 * two)
+
+    def test_non_power_of_two_ceils(self):
+        assert NET.allreduce_cost(64, 5) == NET.allreduce_cost(64, 8)
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ModelError):
+            NET.allreduce_cost(64, 0)
+
+
+class TestValidation:
+    def test_bad_latency(self):
+        with pytest.raises(ModelError):
+            NetworkModel(latency_s=-1e-6)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ModelError):
+            NetworkModel(bandwidth_bps=0)
+
+    def test_bad_barrier(self):
+        with pytest.raises(ModelError):
+            NetworkModel(barrier_cost_s=-1.0)

@@ -1,0 +1,230 @@
+"""Unit tests for the discrete-event MPI simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.machine.perfmodel import WorkloadPoint
+from repro.mpisim import (
+    DeadlockError,
+    MPISimulator,
+    NetworkModel,
+    imbalanced_master_worker,
+    ring_exchange,
+    stencil_1d,
+)
+
+POINT = WorkloadPoint(
+    work_units=1e4,
+    instructions_per_unit=50.0,
+    memory_accesses_per_unit=0.5,
+    working_set_bytes=32 * 1024,
+)
+
+
+def compute_only(iterations=3):
+    def program(rank, mpi):
+        for _ in range(iterations):
+            yield mpi.compute("work", POINT)
+
+    return program
+
+
+class TestComputeAndTrace:
+    def test_burst_count(self):
+        trace = MPISimulator(nranks=4).run(compute_only(3))
+        assert trace.n_bursts == 12
+
+    def test_metadata(self):
+        sim = MPISimulator(nranks=2, app="myapp", scenario={"x": 1})
+        trace = sim.run(compute_only())
+        assert trace.app == "myapp"
+        assert trace.scenario == {"x": 1}
+        assert trace.nranks == 2
+
+    def test_deterministic(self):
+        sim = MPISimulator(nranks=3)
+        assert sim.run(compute_only(), seed=7) == sim.run(compute_only(), seed=7)
+
+    def test_seed_changes_noise(self):
+        sim = MPISimulator(nranks=3)
+        assert sim.run(compute_only(), seed=1) != sim.run(compute_only(), seed=2)
+
+    def test_counters_consistent(self):
+        trace = MPISimulator(nranks=2).run(compute_only())
+        np.testing.assert_allclose(
+            trace.duration,
+            trace.counter("PAPI_TOT_CYC") / trace.clock_hz,
+        )
+
+    def test_sequential_bursts_per_rank(self):
+        trace = MPISimulator(nranks=2).run(compute_only(4))
+        sub = trace.bursts_of_rank(0)
+        assert (sub.begin[1:] >= sub.end[:-1] - 1e-12).all()
+
+    def test_callpath_from_region(self):
+        trace = MPISimulator(nranks=1).run(compute_only(1))
+        assert str(trace.callstacks.path(0)) == "work@work.c:1"
+
+
+class TestCollectives:
+    def test_barrier_synchronises_clocks(self):
+        slow = WorkloadPoint(
+            work_units=5e4, instructions_per_unit=50.0,
+            memory_accesses_per_unit=0.5, working_set_bytes=32 * 1024,
+        )
+
+        def program(rank, mpi):
+            yield mpi.compute("work", slow if rank == 0 else POINT, jitter=0.0)
+            yield mpi.barrier()
+            yield mpi.compute("after", POINT, jitter=0.0)
+
+        trace = MPISimulator(nranks=3).run(program)
+        after = trace.select(trace.callpath_id == 1)
+        # Every rank starts the post-barrier burst at the same instant.
+        assert np.allclose(after.begin, after.begin[0])
+
+    def test_allreduce_costs_more_than_barrier(self):
+        def with_op(op_name):
+            def program(rank, mpi):
+                yield mpi.compute("work", POINT, jitter=0.0)
+                yield getattr(mpi, op_name)() if op_name == "barrier" else mpi.allreduce(1 << 20)
+                yield mpi.compute("after", POINT, jitter=0.0)
+
+            return program
+
+        barrier_trace = MPISimulator(nranks=4).run(with_op("barrier"))
+        reduce_trace = MPISimulator(nranks=4).run(with_op("allreduce"))
+        after_barrier = barrier_trace.select(barrier_trace.callpath_id == 1).begin[0]
+        after_reduce = reduce_trace.select(reduce_trace.callpath_id == 1).begin[0]
+        assert after_reduce > after_barrier
+
+    def test_collective_mismatch_detected(self):
+        def program(rank, mpi):
+            yield mpi.barrier() if rank == 0 else mpi.allreduce(8)
+
+        with pytest.raises(DeadlockError, match="mismatch"):
+            MPISimulator(nranks=2).run(program)
+
+    def test_missing_rank_at_barrier_deadlocks(self):
+        def program(rank, mpi):
+            if rank == 0:
+                yield mpi.barrier()
+            else:
+                yield mpi.compute("work", POINT)
+
+        with pytest.raises(DeadlockError):
+            MPISimulator(nranks=2).run(program)
+
+
+class TestPointToPoint:
+    def test_message_delays_receiver(self):
+        big = 10 * 1024 * 1024  # 10 MB at 1.2 GB/s ~ 8.3 ms
+
+        def program(rank, mpi):
+            if rank == 0:
+                yield mpi.compute("work", POINT, jitter=0.0)
+                yield mpi.send(1, big)
+            else:
+                yield mpi.recv(0)
+                yield mpi.compute("after", POINT, jitter=0.0)
+
+        trace = MPISimulator(nranks=2).run(program)
+        after = trace.select(trace.callpath_id == 1)
+        sender_burst = trace.select(trace.callpath_id == 0)
+        transfer = NetworkModel().p2p_cost(big)
+        assert after.begin[0] == pytest.approx(
+            sender_burst.end[0] + transfer, rel=1e-6
+        )
+
+    def test_fifo_matching(self):
+        def program(rank, mpi):
+            if rank == 0:
+                yield mpi.send(1, 100)
+                yield mpi.send(1, 200)
+            else:
+                yield mpi.recv(0)
+                yield mpi.recv(0)
+
+        # Completes without deadlock: FIFO pairs both messages.
+        MPISimulator(nranks=2).run(program)
+
+    def test_recv_without_send_deadlocks(self):
+        def program(rank, mpi):
+            if rank == 0:
+                yield mpi.recv(1)
+            else:
+                yield mpi.compute("work", POINT)
+
+        with pytest.raises(DeadlockError):
+            MPISimulator(nranks=2).run(program)
+
+    def test_sendrecv_ring_completes(self):
+        def program(rank, mpi):
+            yield mpi.sendrecv(
+                dest=(rank + 1) % mpi.nranks,
+                src=(rank - 1) % mpi.nranks,
+                nbytes=1024,
+            )
+            yield mpi.compute("after", POINT)
+
+        trace = MPISimulator(nranks=5).run(program)
+        assert trace.n_bursts == 5
+
+    def test_invalid_peer(self):
+        def program(rank, mpi):
+            yield mpi.send(99, 8)
+
+        with pytest.raises(ReproError, match="peer"):
+            MPISimulator(nranks=2).run(program)
+
+
+class TestBuiltinPrograms:
+    def test_stencil_runs(self):
+        trace = MPISimulator(nranks=4).run(stencil_1d(iterations=3))
+        assert trace.n_bursts == 4 * 3 * 2  # update + residual per iter
+
+    def test_ring_runs(self):
+        trace = MPISimulator(nranks=4).run(ring_exchange(iterations=2))
+        assert trace.n_bursts == 8
+
+    def test_master_worker_imbalance(self):
+        trace = MPISimulator(nranks=5).run(imbalanced_master_worker(rounds=3))
+        worker_instr = [
+            trace.bursts_of_rank(r).counter("PAPI_TOT_INS").mean()
+            for r in range(1, 5)
+        ]
+        assert worker_instr[-1] > 1.2 * worker_instr[0]
+
+    def test_single_rank_programs(self):
+        for factory in (stencil_1d, ring_exchange):
+            trace = MPISimulator(nranks=1).run(factory(iterations=2))
+            assert trace.n_bursts > 0
+
+
+class TestPipelineIntegration:
+    def test_tracking_across_simulated_scenarios(self):
+        """The simulator's traces feed the ordinary pipeline: a stencil
+        whose working set doubles between scenarios is tracked with its
+        IPC drop."""
+        from repro import quick_track
+        from repro.tracking.trends import compute_trends
+
+        traces = []
+        for index, ws in enumerate((128 * 1024, 4 * 1024 * 1024)):
+            sim = MPISimulator(
+                nranks=8, app="stencil", scenario={"ws_kib": ws // 1024}
+            )
+            traces.append(
+                sim.run(stencil_1d(iterations=6, working_set_bytes=ws),
+                        seed=index)
+            )
+        result = quick_track(traces)
+        assert result.coverage == 100
+        assert len(result.tracked_regions) == 2
+        update = max(
+            compute_trends(result, "ipc"), key=lambda s: -abs(s.pct_change_total())
+        )
+        assert update.pct_change_total() < -0.1

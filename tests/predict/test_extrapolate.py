@@ -1,0 +1,72 @@
+"""Unit tests for trend extrapolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.predict.extrapolate import extrapolate_trends, fit_trend
+from repro.tracking.trends import TrendSeries
+
+
+def series(values, region_id=1, metric="ipc"):
+    values = np.asarray(values, dtype=np.float64)
+    return TrendSeries(
+        region_id=region_id,
+        metric=metric,
+        aggregate="mean",
+        frame_labels=tuple(str(i) for i in range(len(values))),
+        values=values,
+    )
+
+
+class TestFitTrend:
+    def test_default_x_is_frame_index(self):
+        model = fit_trend(series([1.0, 2.0, 3.0, 4.0]))
+        assert float(model.predict(np.asarray([4.0]))[0]) == pytest.approx(5.0, rel=0.05)
+
+    def test_explicit_x(self):
+        model = fit_trend(series([10.0, 20.0, 40.0]), x=np.asarray([1.0, 2.0, 4.0]))
+        assert float(model.predict(np.asarray([8.0]))[0]) == pytest.approx(80.0, rel=0.1)
+
+    def test_x_length_mismatch(self):
+        with pytest.raises(ModelError):
+            fit_trend(series([1.0, 2.0]), x=np.asarray([1.0]))
+
+
+class TestExtrapolateTrends:
+    def test_multiple_regions(self):
+        forecasts = extrapolate_trends(
+            [series([1.0, 2.0, 3.0], region_id=1), series([5.0, 5.0, 5.0], region_id=2)],
+            None,
+            [5.0],
+        )
+        assert [f.region_id for f in forecasts] == [1, 2]
+        assert forecasts[0].y_predicted[0] == pytest.approx(6.0, rel=0.1)
+        assert forecasts[1].y_predicted[0] == pytest.approx(5.0, rel=0.01)
+
+    def test_scaling_study_extrapolation(self):
+        """Strong-scaling instructions-per-process: predict 512 ranks
+        from 64..256 — the paper's 'foresee the performance of future
+        experiments' use case."""
+        ranks = [64.0, 128.0, 256.0]
+        instr = [1e9 / r for r in ranks]
+        forecasts = extrapolate_trends(
+            [series(instr, metric="instructions")], ranks, [512.0]
+        )
+        assert forecasts[0].y_predicted[0] == pytest.approx(1e9 / 512, rel=0.05)
+
+    def test_nan_frames_skipped(self):
+        forecasts = extrapolate_trends(
+            [series([1.0, np.nan, 3.0, 4.0])], None, [4.0]
+        )
+        assert np.isfinite(forecasts[0].y_predicted).all()
+
+    def test_training_rmse_accessor(self):
+        forecast = extrapolate_trends([series([1.0, 2.0, 3.0])], None, [3.0])[0]
+        assert forecast.training_rmse < 0.1
+
+    def test_repr(self):
+        forecast = extrapolate_trends([series([1.0, 2.0, 3.0])], None, [3.0])[0]
+        assert "region=1" in repr(forecast)

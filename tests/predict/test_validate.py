@@ -1,0 +1,104 @@
+"""Unit tests for walk-forward trend validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.predict.validate import backtest_trend, backtest_trends
+from repro.tracking.trends import TrendSeries
+
+
+def series(values, region_id=1, metric="ipc"):
+    values = np.asarray(values, dtype=np.float64)
+    return TrendSeries(
+        region_id=region_id,
+        metric=metric,
+        aggregate="mean",
+        frame_labels=tuple(str(i) for i in range(len(values))),
+        values=values,
+    )
+
+
+class TestBacktestTrend:
+    def test_perfect_line_perfect_predictions(self):
+        report = backtest_trend(series([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]))
+        assert report.n_steps == 3
+        np.testing.assert_allclose(report.predicted, report.actual, rtol=1e-6)
+        assert report.mape < 1e-6
+        assert report.hit_rate() == 1.0
+
+    def test_power_law_predictions(self):
+        x = [16.0, 32.0, 64.0, 128.0, 256.0, 512.0]
+        values = [1e9 / v for v in x]
+        report = backtest_trend(series(values), x)
+        assert report.mape < 0.05
+
+    def test_noise_raises_error(self):
+        rng = np.random.default_rng(0)
+        noisy = 1.0 + 0.5 * rng.standard_normal(8)
+        report = backtest_trend(series(noisy))
+        assert report.mape > 0.05
+
+    def test_nan_frames_skipped(self):
+        report = backtest_trend(series([1.0, 2.0, np.nan, 4.0, 5.0, 6.0]))
+        assert report.n_steps == 2  # five finite points, min_train 3
+
+    def test_too_few_points(self):
+        with pytest.raises(ModelError):
+            backtest_trend(series([1.0, 2.0, 3.0]))
+
+    def test_min_train_validation(self):
+        with pytest.raises(ModelError):
+            backtest_trend(series([1.0, 2.0, 3.0, 4.0]), min_train=1)
+
+    def test_x_length_mismatch(self):
+        with pytest.raises(ModelError):
+            backtest_trend(series([1.0, 2.0, 3.0, 4.0]), [1.0, 2.0])
+
+    def test_repr(self):
+        report = backtest_trend(series([1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert "region=1" in repr(report)
+
+    def test_hit_rate_tolerance(self):
+        report = backtest_trend(series([1.0, 2.0, 3.0, 4.0, 8.0]))
+        # The last jump breaks the linear trend: the final prediction
+        # misses badly at tight tolerance.
+        assert report.hit_rate(tolerance=0.01) < 1.0
+
+
+class TestBacktestTrends:
+    def test_skips_short_series(self):
+        reports = backtest_trends(
+            [series([1.0, 2.0]), series([1.0, 2.0, 3.0, 4.0, 5.0], region_id=2)]
+        )
+        assert [r.region_id for r in reports] == [2]
+
+    def test_integration_with_tracking(self, wrf_small_result):
+        from repro.tracking.trends import compute_trends
+
+        # Two frames only: not enough for a backtest; verifies the
+        # graceful-skip path end to end.
+        reports = backtest_trends(compute_trends(wrf_small_result, "ipc"))
+        assert reports == []
+
+    def test_mrgenesis_backtest(self):
+        """Walk-forward over the 12-point MR-Genesis IPC series: the
+        pre-knee points predict each other well; the knee step is the
+        hard one."""
+        from repro import apps, quick_track
+        from repro.tracking.trends import compute_trends
+
+        traces = [
+            apps.mrgenesis.build(k, iterations=4).run(seed=k) for k in range(1, 13)
+        ]
+        result = quick_track(traces)
+        series_list = compute_trends(result, "ipc")
+        reports = backtest_trends(series_list, list(range(1, 13)), min_train=4)
+        assert len(reports) == 2
+        for report in reports:
+            worst = int(np.argmax(report.absolute_relative_errors))
+            # The hardest prediction is the saturation knee at 9/node.
+            assert report.x[worst] == 9.0
+            assert report.mape < 0.06

@@ -1,0 +1,106 @@
+"""Property-based tests for the sequence-alignment substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alignment.msa import star_align
+from repro.alignment.pairwise import GAP, global_align
+from repro.alignment.spmd import consensus_sequence, simultaneity_matrix, spmdiness_score
+
+sequences = st.lists(st.integers(min_value=1, max_value=6), min_size=0, max_size=30)
+nonempty_sequences = st.lists(
+    st.integers(min_value=1, max_value=6), min_size=1, max_size=30
+)
+
+
+@given(sequences, sequences)
+@settings(max_examples=60, deadline=None)
+def test_alignment_preserves_sequences(a, b):
+    """Removing gaps from either aligned side recovers the input."""
+    result = global_align(np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
+    recovered_a = [int(v) for v in result.aligned_a if v != GAP]
+    recovered_b = [int(v) for v in result.aligned_b if v != GAP]
+    assert recovered_a == a
+    assert recovered_b == b
+
+
+@given(sequences, sequences)
+@settings(max_examples=60, deadline=None)
+def test_alignment_no_double_gap_columns(a, b):
+    result = global_align(np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
+    both_gap = (result.aligned_a == GAP) & (result.aligned_b == GAP)
+    assert not both_gap.any()
+
+
+@given(sequences, sequences)
+@settings(max_examples=60, deadline=None)
+def test_alignment_length_bounds(a, b):
+    result = global_align(np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
+    assert max(len(a), len(b)) <= result.length <= len(a) + len(b)
+
+
+@given(nonempty_sequences)
+@settings(max_examples=40, deadline=None)
+def test_self_alignment_is_identity(a):
+    arr = np.asarray(a, dtype=np.int64)
+    result = global_align(arr, arr)
+    assert result.identity() == 1.0
+    assert result.score == 2.0 * len(a)
+
+
+@given(sequences, sequences)
+@settings(max_examples=40, deadline=None)
+def test_alignment_score_symmetry(a, b):
+    arr_a = np.asarray(a, dtype=np.int64)
+    arr_b = np.asarray(b, dtype=np.int64)
+    forward = global_align(arr_a, arr_b)
+    backward = global_align(arr_b, arr_a)
+    assert forward.score == backward.score
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=10),
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=12),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_star_align_preserves_rows(seqs):
+    arrays = {k: np.asarray(v, dtype=np.int64) for k, v in seqs.items()}
+    alignment = star_align(arrays)
+    assert alignment.keys == tuple(sorted(seqs))
+    for key, original in arrays.items():
+        row = alignment.row(key)
+        assert [int(v) for v in row[row != GAP]] == original.tolist()
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=10),
+    st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_identical_rank_sequences_perfectly_spmd(base, n_ranks):
+    sequences = {r: np.asarray(base, dtype=np.int64) for r in range(n_ranks)}
+    alignment = star_align(sequences)
+    assert spmdiness_score(alignment) == 1.0
+    np.testing.assert_array_equal(consensus_sequence(alignment), base)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=8),
+    st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_simultaneity_diagonal_and_bounds(base, n_ranks):
+    sequences = {r: np.asarray(base, dtype=np.int64) for r in range(n_ranks)}
+    alignment = star_align(sequences)
+    ids = tuple(sorted(set(base)))
+    matrix = simultaneity_matrix(alignment, ids)
+    assert (matrix >= 0).all() and (matrix <= 1).all()
+    for i in range(len(ids)):
+        assert matrix[i, i] == 1.0

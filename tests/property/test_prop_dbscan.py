@@ -1,0 +1,85 @@
+"""Property-based tests for DBSCAN invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.clustering.dbscan import DBSCAN, NOISE
+from scipy.spatial import cKDTree
+
+points_strategy = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(min_value=0, max_value=60), st.just(2)),
+    elements=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+)
+eps_strategy = st.floats(min_value=0.05, max_value=3.0)
+min_pts_strategy = st.integers(min_value=1, max_value=8)
+
+
+@given(points_strategy, eps_strategy, min_pts_strategy)
+@settings(max_examples=50, deadline=None)
+def test_labels_shape_and_range(points, eps, min_pts):
+    result = DBSCAN(eps=eps, min_pts=min_pts).fit(points)
+    assert result.labels.shape == (points.shape[0],)
+    assert result.labels.min(initial=0) >= 0
+    assert result.labels.max(initial=0) == result.n_clusters
+
+
+@given(points_strategy, eps_strategy, min_pts_strategy)
+@settings(max_examples=50, deadline=None)
+def test_cluster_ids_dense(points, eps, min_pts):
+    result = DBSCAN(eps=eps, min_pts=min_pts).fit(points)
+    present = set(result.labels.tolist()) - {NOISE}
+    assert present == set(range(1, result.n_clusters + 1))
+
+
+@given(points_strategy, eps_strategy, min_pts_strategy)
+@settings(max_examples=50, deadline=None)
+def test_core_points_never_noise(points, eps, min_pts):
+    result = DBSCAN(eps=eps, min_pts=min_pts).fit(points)
+    assert (result.labels[result.core_mask] != NOISE).all()
+
+
+@given(points_strategy, eps_strategy, min_pts_strategy)
+@settings(max_examples=50, deadline=None)
+def test_core_definition_matches_neighbourhoods(points, eps, min_pts):
+    result = DBSCAN(eps=eps, min_pts=min_pts).fit(points)
+    if points.shape[0] == 0:
+        return
+    tree = cKDTree(points)
+    counts = np.asarray([len(nb) for nb in tree.query_ball_point(points, eps)])
+    np.testing.assert_array_equal(result.core_mask, counts >= min_pts)
+
+
+@given(points_strategy, eps_strategy, min_pts_strategy)
+@settings(max_examples=30, deadline=None)
+def test_min_pts_one_means_no_noise(points, eps, min_pts):
+    result = DBSCAN(eps=eps, min_pts=1).fit(points)
+    # With min_pts=1 every point is core, so nothing stays noise.
+    if points.shape[0]:
+        assert (result.labels != NOISE).all()
+
+
+@given(points_strategy, eps_strategy, min_pts_strategy)
+@settings(max_examples=30, deadline=None)
+def test_permutation_invariance_of_partition(points, eps, min_pts):
+    """Relabelled cluster ids may differ, but the partition may not."""
+    if points.shape[0] == 0:
+        return
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(points.shape[0])
+    original = DBSCAN(eps=eps, min_pts=min_pts).fit(points).labels
+    shuffled = DBSCAN(eps=eps, min_pts=min_pts).fit(points[perm]).labels
+    # Noise sets must coincide.
+    np.testing.assert_array_equal(original[perm] == NOISE, shuffled == NOISE)
+    # Same-cluster relations must be preserved for clustered points.
+    clustered = shuffled != NOISE
+    idx = np.flatnonzero(clustered)
+    for i in idx[: min(len(idx), 12)]:
+        for j in idx[: min(len(idx), 12)]:
+            same_original = original[perm][i] == original[perm][j]
+            same_shuffled = shuffled[i] == shuffled[j]
+            assert same_original == same_shuffled

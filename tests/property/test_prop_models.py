@@ -1,0 +1,103 @@
+"""Property-based tests for machine-model invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.compiler import CompilerModel
+from repro.machine.machine import MARENOSTRUM, MINOTAURO
+from repro.machine.perfmodel import PerformanceModel, WorkloadPoint
+
+ws_strategy = st.floats(min_value=1.0, max_value=1e10)
+work_strategy = st.floats(min_value=0.0, max_value=1e8)
+
+
+@given(ws_strategy, ws_strategy)
+@settings(max_examples=60, deadline=None)
+def test_cache_miss_rate_monotone(ws_a, ws_b):
+    level = CacheLevel(name="L", size_bytes=128 * 1024)
+    lo, hi = min(ws_a, ws_b), max(ws_a, ws_b)
+    assert level.miss_rate(lo) <= level.miss_rate(hi) + 1e-12
+
+
+@given(ws_strategy)
+@settings(max_examples=60, deadline=None)
+def test_cache_rates_within_bounds(ws):
+    for machine in (MARENOSTRUM, MINOTAURO):
+        for level, rate in zip(
+            machine.caches.levels, machine.caches.misses_per_access(ws)
+        ):
+            assert 0.0 <= rate <= level.ceiling_miss_rate + 1e-12
+
+
+@given(work_strategy, ws_strategy)
+@settings(max_examples=60, deadline=None)
+def test_counters_nonnegative_and_consistent(work, ws):
+    point = WorkloadPoint(
+        work_units=work,
+        instructions_per_unit=40.0,
+        memory_accesses_per_unit=1.0,
+        working_set_bytes=ws,
+    )
+    counters = PerformanceModel(MINOTAURO).evaluate(point)
+    assert counters.instructions >= 0
+    assert counters.cycles >= counters.instructions * 0  # non-negative
+    assert counters.l1_misses >= counters.l2_misses - 1e-9
+    assert counters.duration * MINOTAURO.clock_hz == (
+        __import__("pytest").approx(counters.cycles)
+    )
+
+
+@given(
+    st.floats(min_value=0.3, max_value=1.0),
+    work_strategy.filter(lambda w: w > 1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_vendor_compiler_invariants(instruction_factor, work):
+    """For any 'core-cycle-preserving' vendor compiler, IPC scales with
+    the instruction factor and time is invariant."""
+    vendor = CompilerModel(
+        name="v",
+        instruction_factor=instruction_factor,
+        core_cpi_factor=1.0 / instruction_factor,
+        vendor=True,
+    )
+    point = WorkloadPoint(
+        work_units=work,
+        instructions_per_unit=50.0,
+        memory_accesses_per_unit=1.0,
+        working_set_bytes=1e6,
+    )
+    baseline = PerformanceModel(MARENOSTRUM).evaluate(point)
+    compiled = PerformanceModel(MARENOSTRUM, compiler=vendor).evaluate(point)
+    assert compiled.duration == __import__("pytest").approx(baseline.duration, rel=1e-9)
+    assert compiled.ipc == __import__("pytest").approx(
+        instruction_factor * baseline.ipc, rel=1e-9
+    )
+
+
+@given(st.integers(min_value=1, max_value=12), st.floats(min_value=0.0, max_value=5.0))
+@settings(max_examples=60, deadline=None)
+def test_contention_factor_at_least_one(ppn, demand):
+    factor = MINOTAURO.contention.memory_stall_factor(ppn, demand)
+    assert factor >= 1.0
+
+
+@given(st.floats(min_value=0.1, max_value=4.0))
+@settings(max_examples=40, deadline=None)
+def test_ipc_monotone_in_node_occupation(demand):
+    point = WorkloadPoint(
+        work_units=1e6,
+        instructions_per_unit=40.0,
+        memory_accesses_per_unit=1.0,
+        working_set_bytes=512 * 1024,
+        bandwidth_demand_gbs=demand,
+    )
+    ipcs = [
+        PerformanceModel(MINOTAURO, processes_per_node=k).predicted_ipc(point)
+        for k in range(1, 13)
+    ]
+    assert all(b <= a + 1e-12 for a, b in zip(ipcs, ipcs[1:]))

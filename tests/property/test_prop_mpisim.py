@@ -1,0 +1,79 @@
+"""Property-based tests for the MPI simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.perfmodel import WorkloadPoint
+from repro.mpisim import MPISimulator
+
+POINT = WorkloadPoint(
+    work_units=1e4,
+    instructions_per_unit=50.0,
+    memory_accesses_per_unit=0.5,
+    working_set_bytes=32 * 1024,
+)
+
+# A random but *valid* SPMD program: a shared schedule of operations all
+# ranks execute identically (compute, barrier, allreduce, ring shift).
+op_codes = st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=12)
+
+
+def program_from_codes(codes):
+    def program(rank, mpi):
+        for code in codes:
+            if code == 0:
+                yield mpi.compute("work", POINT)
+            elif code == 1:
+                yield mpi.barrier()
+            elif code == 2:
+                yield mpi.allreduce(64)
+            else:
+                if mpi.nranks > 1:
+                    yield mpi.sendrecv(
+                        dest=(rank + 1) % mpi.nranks,
+                        src=(rank - 1) % mpi.nranks,
+                        nbytes=512,
+                    )
+
+    return program
+
+
+@given(op_codes, st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=99))
+@settings(max_examples=40, deadline=None)
+def test_valid_spmd_programs_never_deadlock(codes, nranks, seed):
+    trace = MPISimulator(nranks=nranks).run(program_from_codes(codes), seed=seed)
+    expected_bursts = nranks * codes.count(0)
+    assert trace.n_bursts == expected_bursts
+
+
+@given(op_codes, st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=99))
+@settings(max_examples=25, deadline=None)
+def test_simulation_deterministic(codes, nranks, seed):
+    sim = MPISimulator(nranks=nranks)
+    first = sim.run(program_from_codes(codes), seed=seed)
+    second = sim.run(program_from_codes(codes), seed=seed)
+    assert first == second
+
+
+@given(op_codes, st.integers(min_value=2, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_clocks_monotone_per_rank(codes, nranks):
+    trace = MPISimulator(nranks=nranks).run(program_from_codes(codes))
+    for rank in range(nranks):
+        sub = trace.bursts_of_rank(rank)
+        if sub.n_bursts > 1:
+            assert (sub.begin[1:] >= sub.end[:-1] - 1e-12).all()
+
+
+@given(op_codes, st.integers(min_value=2, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_counters_always_consistent(codes, nranks):
+    trace = MPISimulator(nranks=nranks).run(program_from_codes(codes))
+    if trace.n_bursts:
+        np.testing.assert_allclose(
+            trace.duration, trace.counter("PAPI_TOT_CYC") / trace.clock_hz
+        )
+        assert (trace.counter("PAPI_TOT_INS") > 0).all()

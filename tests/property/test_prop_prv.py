@@ -1,0 +1,53 @@
+"""Property-based round-trip tests for the Paraver format."""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.prv import load_prv, save_prv
+from tests.property.test_prop_trace import build, burst_record
+
+
+@given(st.lists(burst_record, max_size=25))
+@settings(max_examples=30, deadline=None)
+def test_prv_roundtrip_preserves_structure(records):
+    trace = build(records)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.prv"
+        loaded = load_prv(save_prv(trace, path))
+
+    assert loaded.n_bursts == trace.n_bursts
+    assert loaded.nranks == trace.nranks
+    assert loaded.app == trace.app
+
+    def ns_order(t):
+        # Order by the format-representable keys only (nanosecond-
+        # quantised times, integer instructions): sub-quantum
+        # differences cannot round-trip and must not affect the order.
+        return t.select(
+            np.lexsort((
+                np.rint(t.counters_matrix[:, 0]),
+                np.rint(t.duration * 1e9),
+                t.rank,
+                np.rint(t.begin * 1e9),
+            ))
+        )
+
+    original = ns_order(trace)
+    reloaded = ns_order(loaded)
+    np.testing.assert_array_equal(original.rank, reloaded.rank)
+    # Nanosecond quantisation of timestamps, integer counters.
+    np.testing.assert_allclose(original.begin, reloaded.begin, atol=1e-9)
+    np.testing.assert_allclose(original.duration, reloaded.duration, atol=2e-9)
+    np.testing.assert_allclose(
+        original.counters_matrix, reloaded.counters_matrix, atol=0.51
+    )
+    for i in range(original.n_bursts):
+        assert str(
+            original.callstacks.path(int(original.callpath_id[i]))
+        ) == str(reloaded.callstacks.path(int(reloaded.callpath_id[i])))

@@ -1,0 +1,82 @@
+"""Property-based tests for trace invariants and persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.callstack import CallPath
+from repro.trace.filters import filter_top_duration_fraction
+from repro.trace.io import trace_from_json, trace_to_json
+from repro.trace.trace import TraceBuilder
+
+burst_record = st.tuples(
+    st.integers(min_value=0, max_value=3),                       # rank
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),  # begin
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),   # duration
+    st.integers(min_value=0, max_value=2),                       # region
+    st.floats(min_value=1.0, max_value=1e9, allow_nan=False),    # instructions
+)
+
+PATHS = [CallPath.single(f"f{i}", "a.c", i * 10) for i in range(3)]
+
+
+def build(records):
+    builder = TraceBuilder(nranks=4, app="prop")
+    for rank, begin, duration, region, instr in records:
+        builder.add(
+            rank=rank,
+            begin=begin,
+            duration=duration,
+            callpath=PATHS[region],
+            counters=[instr, instr * 2.0, instr * 0.01, instr * 0.001, 1.0],
+        )
+    return builder.build()
+
+
+@given(st.lists(burst_record, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_json_roundtrip(records):
+    trace = build(records)
+    assert trace_from_json(trace_to_json(trace)) == trace
+
+
+@given(st.lists(burst_record, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_total_time_is_duration_sum(records):
+    trace = build(records)
+    assert trace.total_time == float(np.sum(trace.duration))
+
+
+@given(st.lists(burst_record, min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_rank_partition_is_complete(records):
+    trace = build(records)
+    total = sum(trace.bursts_of_rank(r).n_bursts for r in range(4))
+    assert total == trace.n_bursts
+
+
+@given(
+    st.lists(burst_record, min_size=1, max_size=40),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_top_duration_filter_coverage(records, fraction):
+    trace = build(records)
+    kept = filter_top_duration_fraction(trace, fraction)
+    assert kept.n_bursts <= trace.n_bursts
+    if trace.total_time > 0:
+        assert kept.total_time >= fraction * trace.total_time - 1e-12
+
+
+@given(st.lists(burst_record, min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_sorted_by_time_is_permutation(records):
+    trace = build(records)
+    ordered = trace.sorted_by_time()
+    assert ordered.n_bursts == trace.n_bursts
+    np.testing.assert_allclose(
+        np.sort(ordered.duration), np.sort(trace.duration)
+    )
+    assert (np.diff(ordered.begin) >= 0).all()

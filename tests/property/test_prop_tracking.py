@@ -1,0 +1,76 @@
+"""Property-based tests for tracking invariants on synthetic frames."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.frames import make_frames
+from repro.clustering.normalize import MinMaxScaler
+from repro.tracking.scaling import normalize_frames
+from repro.tracking.tracker import Tracker
+from tests.conftest import build_two_region_trace
+
+
+@given(
+    st.floats(min_value=0.6, max_value=1.4),
+    st.floats(min_value=0.3, max_value=0.55),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_two_region_tracking_always_resolves(ipc_a, ipc_b, seed):
+    """Whatever mild IPC shift the second scenario applies, the two
+    well-separated regions are tracked univocally."""
+    traces = [
+        build_two_region_trace(seed=seed, scenario={"run": 0}),
+        build_two_region_trace(
+            seed=seed + 1, scenario={"run": 1}, ipc_a=ipc_a, ipc_b=ipc_b
+        ),
+    ]
+    result = Tracker(make_frames(traces)).run()
+    assert result.coverage == 100
+    assert len(result.tracked_regions) == 2
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_region_partition_invariants(seed):
+    """Every cluster belongs to exactly one tracked region."""
+    traces = [
+        build_two_region_trace(seed=seed, scenario={"run": 0}),
+        build_two_region_trace(seed=seed + 1, scenario={"run": 1}),
+    ]
+    result = Tracker(make_frames(traces)).run()
+    for frame_index, frame in enumerate(result.frames):
+        seen: set[int] = set()
+        for region in result.regions:
+            members = region.clusters_in(frame_index)
+            assert not (members & seen)
+            seen |= members
+        assert seen == set(frame.cluster_ids)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-5.0, max_value=5.0),
+            st.floats(min_value=-5.0, max_value=5.0),
+        ),
+        min_size=2,
+        max_size=50,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_minmax_scaler_bounds(points):
+    values = np.asarray(points, dtype=np.float64)
+    scaler = MinMaxScaler.fit(values)
+    scaled = scaler.transform(values)
+    assert scaled.min() >= -1e-12
+    assert scaled.max() <= 1 + 1e-12
+    # Degenerate (constant) columns intentionally collapse to 0.5 and
+    # cannot round-trip; check the inverse on the informative columns.
+    informative = scaler.hi > scaler.lo
+    np.testing.assert_allclose(
+        scaler.inverse(scaled)[:, informative], values[:, informative], atol=1e-9
+    )

@@ -1,0 +1,58 @@
+"""Unit tests for the top-level convenience API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.api import cluster_trace, quick_track, track_frames
+from repro.clustering.frames import Frame, FrameSettings, make_frames
+from tests.conftest import build_two_region_trace
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestClusterTrace:
+    def test_returns_frame(self, toy_trace):
+        frame = cluster_trace(toy_trace)
+        assert isinstance(frame, Frame)
+        assert frame.n_clusters == 2
+
+
+class TestQuickTrack:
+    def test_pipeline(self, toy_trace_pair):
+        result = quick_track(list(toy_trace_pair))
+        assert result.coverage == 100
+        assert len(result.tracked_regions) == 2
+
+    def test_custom_settings(self, toy_trace_pair):
+        result = quick_track(
+            list(toy_trace_pair), settings=FrameSettings(eps=0.05)
+        )
+        assert result.frames[0].settings.eps == 0.05
+
+    def test_log_y_forces_log_extensive(self, toy_trace_pair):
+        result = quick_track(
+            list(toy_trace_pair), settings=FrameSettings(log_y=True)
+        )
+        # All normalised points finite implies the log path ran safely.
+        import numpy as np
+
+        for points in result.space.points:
+            assert np.isfinite(points).all()
+
+
+class TestTrackFrames:
+    def test_equivalent_to_quick_track(self, toy_trace_pair):
+        frames = make_frames(list(toy_trace_pair))
+        direct = track_frames(frames)
+        convenient = quick_track(list(toy_trace_pair))
+        assert direct.coverage == convenient.coverage
+        assert len(direct.regions) == len(convenient.regions)

@@ -1,0 +1,100 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace.io import load_trace
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestInfo:
+    def test_lists_everything(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "wrf" in out
+        assert "MareNostrum" in out
+        assert "CGPOP: 4 images" in out
+
+
+class TestSimulate:
+    def test_writes_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        code = main([
+            "simulate", "hydroc", "block_size=32", "ranks=4", "iterations=2",
+            "-o", str(out_file),
+        ])
+        assert code == 0
+        trace = load_trace(out_file)
+        assert trace.app == "HydroC"
+        assert trace.scenario["block_size"] == 32
+
+    def test_bad_scenario_argument(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", "hydroc", "blocksize", "-o", str(tmp_path / "t.json")])
+
+    def test_scenario_type_coercion(self, tmp_path):
+        out_file = tmp_path / "t.json"
+        main(["simulate", "cgpop", "machine=MinoTauro", "ranks=4",
+              "iterations=2", "-o", str(out_file)])
+        trace = load_trace(out_file)
+        assert trace.scenario["machine"] == "MinoTauro"
+
+
+class TestTrack:
+    def test_end_to_end(self, tmp_path, capsys):
+        for index, block in enumerate((32, 64)):
+            main([
+                "simulate", "hydroc", f"block_size={block}", "ranks=8",
+                "iterations=4", "--seed", str(index),
+                "-o", str(tmp_path / f"t{index}.json"),
+            ])
+        capsys.readouterr()
+        code = main([
+            "track", str(tmp_path / "t0.json"), str(tmp_path / "t1.json"),
+            "--render", str(tmp_path / "render"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage: 100%" in out
+        assert "ipc evolution" in out
+        assert (tmp_path / "render" / "frames.svg").exists()
+        assert (tmp_path / "render" / "trend_ipc.svg").exists()
+
+    def test_trend_metric_selection(self, tmp_path, capsys):
+        for index, block in enumerate((32, 64)):
+            main([
+                "simulate", "hydroc", f"block_size={block}", "ranks=4",
+                "iterations=3", "--seed", str(index),
+                "-o", str(tmp_path / f"t{index}.json"),
+            ])
+        capsys.readouterr()
+        main([
+            "track", str(tmp_path / "t0.json"), str(tmp_path / "t1.json"),
+            "--trend-metric", "l1_misses",
+        ])
+        out = capsys.readouterr().out
+        assert "l1_misses evolution" in out
+
+
+class TestStudy:
+    def test_runs_cgpop(self, capsys):
+        assert main(["study", "cgpop"]) == 0
+        out = capsys.readouterr().out
+        assert "case study: CGPOP" in out
+        assert "coverage: 66%" in out
+
+    def test_unknown_study(self):
+        with pytest.raises(KeyError):
+            main(["study", "nope"])

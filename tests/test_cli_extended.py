@@ -1,0 +1,76 @@
+"""Tests for the report/animate CLI subcommands and .prv CLI flow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def trace_files(tmp_path):
+    paths = []
+    for index, block in enumerate((32, 64)):
+        path = tmp_path / f"t{index}.json"
+        main([
+            "simulate", "hydroc", f"block_size={block}", "ranks=8",
+            "iterations=4", "--seed", str(index), "-o", str(path),
+        ])
+        paths.append(str(path))
+    return paths
+
+
+class TestReportCommand:
+    def test_prints_who_is_who(self, trace_files, capsys):
+        capsys.readouterr()
+        assert main(["report", *trace_files]) == 0
+        out = capsys.readouterr().out
+        assert "Tracked 2 regions" in out
+        assert "Pairwise relations" in out
+        assert "displacement" in out
+
+    def test_no_evidence_flag(self, trace_files, capsys):
+        capsys.readouterr()
+        main(["report", *trace_files, "--no-evidence"])
+        out = capsys.readouterr().out
+        assert "Tracked 2 regions" in out
+        assert "displacement" not in out
+
+
+class TestAnimateCommand:
+    def test_writes_html(self, trace_files, tmp_path, capsys):
+        out_file = tmp_path / "anim.html"
+        capsys.readouterr()
+        assert main([
+            "animate", *trace_files, "-o", str(out_file), "--interval", "500",
+        ]) == 0
+        content = out_file.read_text()
+        assert content.startswith("<!DOCTYPE html>")
+        assert "500" in content
+
+
+class TestTuneCommand:
+    def test_suggests_eps(self, trace_files, capsys):
+        capsys.readouterr()
+        assert main(["tune", trace_files[0]]) == 0
+        out = capsys.readouterr().out
+        assert "suggested eps:" in out
+        assert "<- selected" in out
+        assert "2 clusters" in out
+
+
+class TestPrvCliFlow:
+    def test_simulate_to_prv_and_track(self, tmp_path, capsys):
+        paths = []
+        for index, block in enumerate((32, 64)):
+            path = tmp_path / f"t{index}.prv"
+            main([
+                "simulate", "hydroc", f"block_size={block}", "ranks=8",
+                "iterations=4", "--seed", str(index), "-o", str(path),
+            ])
+            paths.append(str(path))
+        assert (tmp_path / "t0.pcf").exists()
+        capsys.readouterr()
+        assert main(["track", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "coverage: 100%" in out

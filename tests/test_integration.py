@@ -1,0 +1,114 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Small-scale versions of the paper's studies driven through the public
+API, exercising trace generation -> persistence -> clustering ->
+tracking -> trends -> prediction -> rendering in one flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import apps, quick_track
+from repro.clustering.frames import FrameSettings
+from repro.predict import extrapolate_trends
+from repro.tracking.relabel import relabel_frames
+from repro.tracking.trends import compute_trends, top_variations
+from repro.trace.io import load_trace, save_trace
+from repro.viz.frames_plot import render_sequence_svg
+
+
+class TestScalingPipeline:
+    def test_wrf_small_tracks_all_regions(self, wrf_small_result):
+        result = wrf_small_result
+        assert result.coverage == 100
+        assert len(result.tracked_regions) == 12
+
+    def test_wrf_ipc_trends_match_paper_shape(self, wrf_small_result):
+        series = compute_trends(wrf_small_result, "ipc")
+        changes = [s.pct_change_total() for s in series]
+        # Two regions degrade ~20 %, three improve ~5 % (paper Fig. 7a).
+        assert sum(1 for c in changes if c < -0.15) == 2
+        assert sum(1 for c in changes if 0.02 < c < 0.09) == 3
+
+    def test_wrf_total_instructions_flat_except_replication(self, wrf_small_result):
+        series = compute_trends(wrf_small_result, "instructions", aggregate="total")
+        changes = [s.pct_change_total() for s in series]
+        growing = [c for c in changes if c > 0.03]
+        assert len(growing) == 1  # region 1's code replication
+        assert growing[0] == pytest.approx(0.05, abs=0.02)
+
+    def test_top_variations_filter(self, wrf_small_result):
+        series = compute_trends(wrf_small_result, "ipc")
+        selected = top_variations(series, min_variation=0.03)
+        assert 0 < len(selected) < len(series)
+
+
+class TestPersistenceThroughPipeline:
+    def test_saved_traces_track_identically(self, tmp_path, hydroc_traces):
+        paths = [
+            save_trace(trace, tmp_path / f"h{i}.json")
+            for i, trace in enumerate(hydroc_traces)
+        ]
+        reloaded = [load_trace(p) for p in paths]
+        direct = quick_track(list(hydroc_traces))
+        via_disk = quick_track(reloaded)
+        assert direct.coverage == via_disk.coverage
+        assert [r.members for r in direct.regions] == [
+            r.members for r in via_disk.regions
+        ]
+
+
+class TestEvolutionaryPipeline:
+    def test_time_window_tracking(self):
+        trace = apps.nasft.build(ranks=16, iterations=12).run(seed=0)
+        windows = apps.nasft.window_traces(trace, 4)
+        result = quick_track(windows)
+        assert result.coverage == 100
+        # IPC degrades over the run (allocator-fragmentation drift).
+        series = compute_trends(result, "ipc")
+        assert all(s.pct_change_total() < -0.01 for s in series)
+
+
+class TestPredictionPipeline:
+    def test_forecast_from_tracked_trends(self):
+        ranks = [8, 16, 32]
+        traces = [
+            apps.gromacs.build(n, iterations=4, base_ranks=8).run(seed=n)
+            for n in ranks
+        ]
+        result = quick_track(traces, settings=FrameSettings(relevance=0.98))
+        series = compute_trends(result, "instructions")
+        forecasts = extrapolate_trends(series, ranks, [64.0])
+        for forecast, observed in zip(forecasts, series):
+            # Strong scaling: predicted per-burst work at 64 ranks is
+            # about half the 32-rank value.
+            assert forecast.y_predicted[0] == pytest.approx(
+                observed.values[-1] / 2, rel=0.15
+            )
+
+
+class TestRenderingPipeline:
+    def test_sequence_render_from_tracking(self, tmp_path, hydroc_traces):
+        result = quick_track(list(hydroc_traces))
+        relabeled = relabel_frames(result)
+        path = render_sequence_svg(relabeled, tmp_path / "seq.svg")
+        content = path.read_text()
+        assert content.startswith("<svg")
+        assert "circle" in content
+
+
+class TestCrossMachinePipeline:
+    def test_platform_change_study(self):
+        """MareNostrum -> MinoTauro: same code tracked across machines."""
+        traces = [
+            apps.cgpop.build("MareNostrum", "gfortran", ranks=16, iterations=4).run(seed=0),
+            apps.cgpop.build("MinoTauro", "gfortran", ranks=16, iterations=4).run(seed=1),
+        ]
+        result = quick_track(traces)
+        # MinoTauro splits region 2 -> grouped relation, coverage 2/3.
+        assert result.coverage == 66
+        series = compute_trends(result, "ipc")
+        for s in series:
+            assert s.values[1] > s.values[0]  # newer machine is faster

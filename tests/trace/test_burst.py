@@ -1,0 +1,62 @@
+"""Unit tests for the CPUBurst record."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.burst import CPUBurst
+from repro.trace.callstack import CallPath
+from repro.trace.counters import CYCLES, INSTRUCTIONS
+
+PATH = CallPath.single("f", "a.c", 1)
+
+
+def make_burst(**overrides):
+    base = dict(
+        rank=0,
+        begin=1.0,
+        duration=0.5,
+        callpath=PATH,
+        counters={INSTRUCTIONS: 100.0, CYCLES: 200.0},
+    )
+    base.update(overrides)
+    return CPUBurst(**base)
+
+
+class TestCPUBurst:
+    def test_end(self):
+        assert make_burst().end == 1.5
+
+    def test_ipc(self):
+        assert make_burst().ipc == pytest.approx(0.5)
+
+    def test_ipc_zero_cycles(self):
+        assert make_burst(counters={INSTRUCTIONS: 5.0}).ipc == 0.0
+
+    def test_counter_access(self):
+        assert make_burst().counter(INSTRUCTIONS) == 100.0
+
+    def test_missing_counter_raises_with_context(self):
+        with pytest.raises(KeyError, match="available"):
+            make_burst().counter("PAPI_BR_MSP")
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            make_burst(rank=-1)
+
+    def test_negative_begin_rejected(self):
+        with pytest.raises(ValueError):
+            make_burst(begin=-0.1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_burst(duration=-0.1)
+
+    def test_counters_are_immutable(self):
+        burst = make_burst()
+        with pytest.raises(TypeError):
+            burst.counters[INSTRUCTIONS] = 0.0  # type: ignore[index]
+
+    def test_repr_contains_key_fields(self):
+        text = repr(make_burst())
+        assert "rank=0" in text and "ipc=0.500" in text

@@ -1,0 +1,123 @@
+"""Unit tests for the call-path model and interning table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.callstack import CallPath, CallstackTable, StackFrame
+
+
+class TestStackFrame:
+    def test_str_roundtrip(self):
+        frame = StackFrame("solve", "solver.f90", 128)
+        assert StackFrame.parse(str(frame)) == frame
+
+    def test_str_format(self):
+        assert str(StackFrame("f", "a.c", 3)) == "f@a.c:3"
+
+    def test_parse_with_colons_in_file(self):
+        frame = StackFrame.parse("fn@C:/path/file.c:12")
+        assert frame.file == "C:/path/file.c"
+        assert frame.line == 12
+
+    def test_negative_line_rejected(self):
+        with pytest.raises(ValueError):
+            StackFrame("f", "a.c", -1)
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            StackFrame.parse("not-a-frame")
+
+    def test_frozen(self):
+        frame = StackFrame("f", "a.c", 1)
+        with pytest.raises(AttributeError):
+            frame.line = 2  # type: ignore[misc]
+
+
+class TestCallPath:
+    def test_single(self):
+        path = CallPath.single("main", "main.c", 5)
+        assert path.depth == 1
+        assert path.leaf.function == "main"
+
+    def test_leaf_is_innermost(self):
+        path = CallPath.of(
+            StackFrame("main", "main.c", 1),
+            StackFrame("solve", "solve.c", 2),
+        )
+        assert path.leaf.function == "solve"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CallPath(frames=())
+
+    def test_str_roundtrip_multiframe(self):
+        path = CallPath.of(
+            StackFrame("main", "main.c", 1),
+            StackFrame("solve", "solve.c", 22),
+            StackFrame("kernel", "kernel.c", 333),
+        )
+        assert CallPath.parse(str(path)) == path
+
+    def test_short_form(self):
+        path = CallPath.single("f", "module_comm_dm.f90", 6474)
+        assert path.short() == "6474 (module_comm_dm.f90)"
+
+    def test_iteration_order(self):
+        frames = (StackFrame("a", "a.c", 1), StackFrame("b", "b.c", 2))
+        assert tuple(CallPath(frames)) == frames
+
+    def test_hashable_and_equal(self):
+        p1 = CallPath.single("f", "a.c", 1)
+        p2 = CallPath.single("f", "a.c", 1)
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+
+class TestCallstackTable:
+    def test_intern_dedupes(self):
+        table = CallstackTable()
+        p = CallPath.single("f", "a.c", 1)
+        assert table.intern(p) == table.intern(CallPath.single("f", "a.c", 1))
+        assert len(table) == 1
+
+    def test_ids_are_dense(self):
+        table = CallstackTable()
+        ids = [table.intern(CallPath.single("f", "a.c", i)) for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_path_lookup(self):
+        table = CallstackTable()
+        p = CallPath.single("f", "a.c", 9)
+        pid = table.intern(p)
+        assert table.path(pid) == p
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            CallstackTable().path(0)
+
+    def test_id_of_uninterned_raises(self):
+        with pytest.raises(KeyError):
+            CallstackTable().id_of(CallPath.single("f", "a.c", 1))
+
+    def test_contains(self):
+        table = CallstackTable()
+        p = CallPath.single("f", "a.c", 1)
+        assert p not in table
+        table.intern(p)
+        assert p in table
+
+    def test_string_roundtrip(self):
+        table = CallstackTable(
+            [
+                CallPath.single("f", "a.c", 1),
+                CallPath.of(StackFrame("m", "m.c", 2), StackFrame("g", "g.c", 3)),
+            ]
+        )
+        rebuilt = CallstackTable.from_strings(table.to_strings())
+        assert rebuilt == table
+
+    def test_constructor_interns_iterable(self):
+        paths = [CallPath.single("f", "a.c", i) for i in range(3)]
+        table = CallstackTable(paths)
+        assert list(table) == paths

@@ -1,0 +1,87 @@
+"""Unit tests for burst selection filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.filters import (
+    filter_min_duration,
+    filter_ranks,
+    filter_time_window,
+    filter_top_duration_fraction,
+)
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture
+def trace():
+    return build_two_region_trace()
+
+
+class TestMinDuration:
+    def test_removes_short_bursts(self, trace):
+        threshold = float(np.median(trace.duration))
+        filtered = filter_min_duration(trace, threshold)
+        assert filtered.n_bursts < trace.n_bursts
+        assert (filtered.duration >= threshold).all()
+
+    def test_zero_threshold_keeps_all(self, trace):
+        assert filter_min_duration(trace, 0.0).n_bursts == trace.n_bursts
+
+    def test_negative_threshold_rejected(self, trace):
+        with pytest.raises(ValueError):
+            filter_min_duration(trace, -1.0)
+
+
+class TestTopDurationFraction:
+    def test_full_fraction_keeps_all(self, trace):
+        assert filter_top_duration_fraction(trace, 1.0).n_bursts == trace.n_bursts
+
+    def test_coverage_at_least_requested(self, trace):
+        for fraction in (0.2, 0.5, 0.9):
+            kept = filter_top_duration_fraction(trace, fraction)
+            assert kept.total_time >= fraction * trace.total_time
+
+    def test_keeps_longest_bursts(self, trace):
+        kept = filter_top_duration_fraction(trace, 0.3)
+        # The filter takes bursts from the top of the duration ranking,
+        # so the shortest kept burst must be at least as long as the
+        # (n_kept)-th longest burst overall.
+        ranked = np.sort(trace.duration)[::-1]
+        assert kept.duration.min() >= ranked[kept.n_bursts - 1] - 1e-15
+
+    def test_bad_fraction_rejected(self, trace):
+        with pytest.raises(ValueError):
+            filter_top_duration_fraction(trace, 0.0)
+        with pytest.raises(ValueError):
+            filter_top_duration_fraction(trace, 1.5)
+
+    def test_empty_trace(self):
+        from repro.trace.trace import TraceBuilder
+
+        empty = TraceBuilder(nranks=1).build()
+        assert filter_top_duration_fraction(empty, 0.5).n_bursts == 0
+
+
+class TestRankFilter:
+    def test_keeps_only_requested(self, trace):
+        filtered = filter_ranks(trace, [0, 2])
+        assert set(filtered.rank.tolist()) == {0, 2}
+
+    def test_empty_selection(self, trace):
+        assert filter_ranks(trace, []).n_bursts == 0
+
+
+class TestTimeWindow:
+    def test_window_bounds(self, trace):
+        mid = trace.makespan / 2
+        first = filter_time_window(trace, 0.0, mid)
+        second = filter_time_window(trace, mid, trace.makespan + 1)
+        assert first.n_bursts + second.n_bursts == trace.n_bursts
+        assert (first.begin < mid).all()
+        assert (second.begin >= mid).all()
+
+    def test_empty_window_rejected(self, trace):
+        with pytest.raises(ValueError):
+            filter_time_window(trace, 1.0, 1.0)

@@ -1,0 +1,106 @@
+"""Unit tests for trace persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.io import load_trace, save_trace, trace_from_json, trace_to_json
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture
+def trace():
+    return build_two_region_trace(nranks=2, iterations=3, scenario={"tasks": 2})
+
+
+class TestJsonRoundtrip:
+    def test_dict_roundtrip(self, trace):
+        assert trace_from_json(trace_to_json(trace)) == trace
+
+    def test_file_roundtrip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.json")
+        assert load_trace(path) == trace
+
+    def test_gzip_roundtrip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.json.gz")
+        assert path.name.endswith(".json.gz")
+        assert load_trace(path) == trace
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        from repro.trace.trace import TraceBuilder
+
+        trace = TraceBuilder(nranks=1).build()
+        path = save_trace(trace, tmp_path / "empty.json")
+        assert load_trace(path).n_bursts == 0
+
+    def test_scenario_preserved(self, trace, tmp_path):
+        loaded = load_trace(save_trace(trace, tmp_path / "t.json"))
+        assert loaded.scenario == {"tasks": 2}
+
+
+class TestCsvRoundtrip:
+    def test_file_roundtrip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.csv")
+        assert load_trace(path) == trace
+
+    def test_gzip_roundtrip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.csv.gz")
+        assert load_trace(path) == trace
+
+    def test_csv_is_humanly_structured(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("# repro-trace-csv")
+        assert lines[2].split(",")[:4] == ["rank", "begin", "duration", "callpath_id"]
+
+
+class TestErrors:
+    def test_unknown_extension(self, trace, tmp_path):
+        with pytest.raises(TraceFormatError, match="extension"):
+            save_trace(trace, tmp_path / "t.bin")
+        with pytest.raises(TraceFormatError, match="extension"):
+            load_trace(tmp_path / "t.bin")
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(TraceFormatError, match="format"):
+            load_trace(path)
+
+    def test_wrong_version(self, trace, tmp_path):
+        doc = trace_to_json(trace)
+        doc["version"] = 99
+        with pytest.raises(TraceFormatError, match="version"):
+            trace_from_json(doc)
+
+    def test_missing_columns(self, trace):
+        doc = trace_to_json(trace)
+        del doc["columns"]
+        with pytest.raises(TraceFormatError, match="malformed"):
+            trace_from_json(doc)
+
+    def test_csv_missing_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("rank,begin\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_csv_bad_row(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.csv")
+        content = path.read_text() + "not,a,valid,row\n"
+        path.write_text(content)
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_creates_parent_directories(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "deep" / "dir" / "t.json")
+        assert path.exists()

@@ -1,0 +1,149 @@
+"""Unit tests for Paraver trace interoperability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.io import load_trace, save_trace
+from repro.trace.prv import CALLER_EVENT_TYPE, COUNTER_EVENT_TYPES, load_prv, save_prv
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture
+def trace():
+    return build_two_region_trace(nranks=3, iterations=3, scenario={"tasks": 3})
+
+
+def assert_traces_close(a, b):
+    """Equality up to Paraver's nanosecond/integer quantisation."""
+    assert a.app == b.app
+    assert a.scenario == b.scenario
+    assert a.nranks == b.nranks
+    assert a.n_bursts == b.n_bursts
+    # Align both by (rank, begin) before comparing columns.
+    a = a.sorted_by_time()
+    b = b.sorted_by_time()
+    np.testing.assert_array_equal(a.rank, b.rank)
+    np.testing.assert_allclose(a.begin, b.begin, atol=2e-9)
+    np.testing.assert_allclose(a.duration, b.duration, atol=2e-9)
+    np.testing.assert_allclose(a.counters_matrix, b.counters_matrix, atol=0.51)
+    paths_a = [str(a.callstacks.path(int(p))) for p in a.callpath_id]
+    paths_b = [str(b.callstacks.path(int(p))) for p in b.callpath_id]
+    assert paths_a == paths_b
+
+
+class TestRoundTrip:
+    def test_triplet_written(self, trace, tmp_path):
+        prv = save_prv(trace, tmp_path / "run.prv")
+        assert prv.exists()
+        assert prv.with_suffix(".pcf").exists()
+        assert prv.with_suffix(".row").exists()
+
+    def test_roundtrip(self, trace, tmp_path):
+        prv = save_prv(trace, tmp_path / "run.prv")
+        assert_traces_close(load_prv(prv), trace)
+
+    def test_extension_added(self, trace, tmp_path):
+        prv = save_prv(trace, tmp_path / "run")
+        assert prv.suffix == ".prv"
+
+    def test_io_dispatch(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "run.prv")
+        assert_traces_close(load_trace(path), trace)
+
+    def test_header_format(self, trace, tmp_path):
+        prv = save_prv(trace, tmp_path / "run.prv")
+        header = prv.read_text().splitlines()[0]
+        assert header.startswith("#Paraver")
+        assert f":{trace.nranks}(" in header
+
+    def test_record_structure(self, trace, tmp_path):
+        prv = save_prv(trace, tmp_path / "run.prv")
+        lines = prv.read_text().splitlines()[1:]
+        states = [l for l in lines if l.startswith("1:")]
+        events = [l for l in lines if l.startswith("2:")]
+        assert len(states) == trace.n_bursts
+        assert len(events) == trace.n_bursts
+        # Every event carries the caller reference plus all counters.
+        first_event = events[0].split(":")
+        types = {int(first_event[i]) for i in range(6, len(first_event) - 1, 2)}
+        assert CALLER_EVENT_TYPE in types
+        assert set(COUNTER_EVENT_TYPES.values()) <= types
+
+    def test_pcf_names_callpaths(self, trace, tmp_path):
+        prv = save_prv(trace, tmp_path / "run.prv")
+        pcf = prv.with_suffix(".pcf").read_text()
+        assert "region_a@main.c:10" in pcf
+        assert "PAPI_TOT_INS" in pcf
+
+    def test_empty_trace(self, tmp_path):
+        from repro.trace.trace import TraceBuilder
+
+        empty = TraceBuilder(nranks=2, app="e").build()
+        prv = save_prv(empty, tmp_path / "empty.prv")
+        loaded = load_prv(prv)
+        assert loaded.n_bursts == 0
+        assert loaded.nranks == 2
+
+
+class TestErrors:
+    def test_missing_prv(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="missing"):
+            load_prv(tmp_path / "nope.prv")
+
+    def test_missing_pcf(self, trace, tmp_path):
+        prv = save_prv(trace, tmp_path / "run.prv")
+        prv.with_suffix(".pcf").unlink()
+        with pytest.raises(TraceFormatError, match="configuration"):
+            load_prv(prv)
+
+    def test_not_a_paraver_file(self, trace, tmp_path):
+        prv = save_prv(trace, tmp_path / "run.prv")
+        prv.write_text("garbage\n")
+        with pytest.raises(TraceFormatError, match="not a Paraver"):
+            load_prv(prv)
+
+    def test_malformed_record(self, trace, tmp_path):
+        prv = save_prv(trace, tmp_path / "run.prv")
+        content = prv.read_text() + "1:x:y\n"
+        prv.write_text(content)
+        with pytest.raises(TraceFormatError, match="malformed"):
+            load_prv(prv)
+
+    def test_event_without_state(self, trace, tmp_path):
+        prv = save_prv(trace, tmp_path / "run.prv")
+        content = prv.read_text() + f"2:1:1:1:1:999999999:{CALLER_EVENT_TYPE}:1\n"
+        prv.write_text(content)
+        with pytest.raises(TraceFormatError, match="no matching state"):
+            load_prv(prv)
+
+    def test_missing_meta(self, trace, tmp_path):
+        prv = save_prv(trace, tmp_path / "run.prv")
+        pcf = prv.with_suffix(".pcf")
+        text = "\n".join(
+            line for line in pcf.read_text().splitlines()
+            if "repro-meta" not in line
+        )
+        pcf.write_text(text)
+        with pytest.raises(TraceFormatError, match="repro-meta"):
+            load_prv(prv)
+
+
+class TestPipelineCompatibility:
+    def test_prv_traces_track_identically(self, tmp_path):
+        from repro import quick_track
+
+        traces = [
+            build_two_region_trace(seed=0, scenario={"run": 0}),
+            build_two_region_trace(seed=1, scenario={"run": 1}),
+        ]
+        reloaded = [
+            load_prv(save_prv(trace, tmp_path / f"t{i}.prv"))
+            for i, trace in enumerate(traces)
+        ]
+        direct = quick_track(traces)
+        via_prv = quick_track(reloaded)
+        assert direct.coverage == via_prv.coverage
+        assert len(direct.regions) == len(via_prv.regions)

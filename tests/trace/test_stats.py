@@ -1,0 +1,66 @@
+"""Unit tests for trace summary statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.counters import CYCLES, INSTRUCTIONS
+from repro.trace.stats import per_callpath_totals, per_rank_totals, summarize
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture
+def trace():
+    return build_two_region_trace(nranks=3, iterations=4)
+
+
+class TestSummarize:
+    def test_totals(self, trace):
+        summary = summarize(trace)
+        assert summary.n_bursts == trace.n_bursts
+        assert summary.total_duration == pytest.approx(trace.total_time)
+        assert summary.total_instructions == pytest.approx(
+            float(trace.counter(INSTRUCTIONS).sum())
+        )
+
+    def test_mean_ipc_is_weighted(self, trace):
+        summary = summarize(trace)
+        expected = trace.counter(INSTRUCTIONS).sum() / trace.counter(CYCLES).sum()
+        assert summary.mean_ipc == pytest.approx(expected)
+
+    def test_empty_trace(self):
+        from repro.trace.trace import TraceBuilder
+
+        summary = summarize(TraceBuilder(nranks=1).build())
+        assert summary.n_bursts == 0
+        assert summary.mean_ipc == 0.0
+
+    def test_per_callpath_keys(self, trace):
+        summary = summarize(trace)
+        assert set(summary.per_callpath_duration) == {"10 (main.c)", "20 (main.c)"}
+
+
+class TestPerRank:
+    def test_shape_covers_all_ranks(self, trace):
+        totals = per_rank_totals(trace)
+        assert totals.shape == (trace.nranks,)
+
+    def test_sums_match(self, trace):
+        totals = per_rank_totals(trace, "duration")
+        assert totals.sum() == pytest.approx(trace.total_time)
+
+    def test_metric_choice(self, trace):
+        instr = per_rank_totals(trace, "instructions")
+        assert instr.sum() == pytest.approx(float(trace.counter(INSTRUCTIONS).sum()))
+
+
+class TestPerCallpath:
+    def test_sums_match(self, trace):
+        totals = per_callpath_totals(trace)
+        assert sum(totals.values()) == pytest.approx(trace.total_time)
+
+    def test_region_b_dominates(self, trace):
+        # Region b has 4x the instructions at half the IPC: 8x duration.
+        totals = per_callpath_totals(trace)
+        assert totals["20 (main.c)"] > 4 * totals["10 (main.c)"]

@@ -1,0 +1,79 @@
+"""Tests for the evaluator ablation switches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.frames import make_frames
+from repro.tracking.tracker import Tracker, TrackerConfig
+from tests.conftest import build_two_region_trace
+
+
+def small_nasbt_traces():
+    from repro.apps import nasbt
+
+    return [
+        nasbt.build("W", ranks=16, iterations=6).run(seed=0),
+        nasbt.build("A", ranks=16, iterations=6).run(seed=1),
+    ]
+
+
+class TestAblationSwitches:
+    def test_defaults_all_on(self):
+        config = TrackerConfig()
+        assert config.use_callstack and config.use_spmd and config.use_sequence
+
+    def test_callstack_off_breaks_long_jumps(self):
+        """NAS BT's W->A jump is only recoverable through call stacks;
+        disabling that evaluator loses regions."""
+        from repro.clustering.frames import FrameSettings
+
+        traces = small_nasbt_traces()
+        settings = FrameSettings(log_y=True, relevance=0.97)
+        frames = make_frames(traces, settings)
+        full = Tracker(frames, TrackerConfig(log_extensive=True)).run()
+        ablated = Tracker(
+            frames, TrackerConfig(log_extensive=True, use_callstack=False)
+        ).run()
+        assert full.coverage == 100
+        assert ablated.coverage < full.coverage
+
+    def test_spmd_off_orphans_split_clusters(self):
+        """CGPOP's MinoTauro split is attached by the SPMD evaluator
+        when displacements miss it; with displacement already finding
+        the reciprocal edge, results may match — but disabling SPMD
+        must never *improve* coverage."""
+        from repro.apps import cgpop
+
+        traces = [
+            cgpop.build("MareNostrum", "gfortran", ranks=16, iterations=4).run(seed=0),
+            cgpop.build("MinoTauro", "gfortran", ranks=16, iterations=4).run(seed=1),
+        ]
+        frames = make_frames(traces)
+        full = Tracker(frames).run()
+        ablated = Tracker(frames, TrackerConfig(use_spmd=False)).run()
+        assert ablated.coverage <= full.coverage
+
+    def test_easy_case_unaffected_by_ablation(self, toy_trace_pair):
+        """Well-separated, short-displacement scenarios are resolved by
+        displacements alone."""
+        frames = make_frames(list(toy_trace_pair))
+        full = Tracker(frames).run()
+        bare = Tracker(
+            frames,
+            TrackerConfig(use_callstack=False, use_spmd=False, use_sequence=False),
+        ).run()
+        assert bare.coverage == full.coverage == 100
+
+    def test_sequence_off_keeps_wide_relations(self):
+        """Disabling the sequence evaluator must never split less...
+        i.e. region counts can only stay equal or drop."""
+        traces = small_nasbt_traces()
+        from repro.clustering.frames import FrameSettings
+
+        frames = make_frames(traces, FrameSettings(log_y=True, relevance=0.97))
+        full = Tracker(frames, TrackerConfig(log_extensive=True)).run()
+        ablated = Tracker(
+            frames, TrackerConfig(log_extensive=True, use_sequence=False)
+        ).run()
+        assert len(ablated.tracked_regions) <= len(full.tracked_regions)

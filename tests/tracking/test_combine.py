@@ -1,0 +1,89 @@
+"""Unit tests for the evaluator-combination algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import make_frame
+from repro.tracking.combine import Relation, combine_pair
+from repro.tracking.scaling import normalize_frames
+from tests.conftest import build_two_region_trace
+
+
+def combined(trace_a, trace_b, **kwargs):
+    frame_a = make_frame(trace_a)
+    frame_b = make_frame(trace_b)
+    space = normalize_frames([frame_a, frame_b])
+    return combine_pair(
+        frame_a, frame_b, space.points[0], space.points[1], **kwargs
+    )
+
+
+class TestRelation:
+    def test_univocal(self):
+        rel = Relation(left=frozenset({1}), right=frozenset({2}))
+        assert rel.is_univocal and not rel.is_wide
+
+    def test_wide(self):
+        rel = Relation(left=frozenset({1, 2}), right=frozenset({3, 4}))
+        assert rel.is_wide and not rel.is_univocal
+
+    def test_grouped_not_wide(self):
+        rel = Relation(left=frozenset({1, 2}), right=frozenset({3}))
+        assert not rel.is_wide
+
+    def test_repr(self):
+        rel = Relation(left=frozenset({2, 1}), right=frozenset({3}))
+        assert repr(rel) == "{1,2}=={3}"
+
+
+class TestCombinePair:
+    def test_clean_case_univocal(self, toy_trace_pair):
+        pair = combined(*toy_trace_pair)
+        assert len(pair.relations) == 2
+        assert all(rel.is_univocal for rel in pair.relations)
+        mapping = pair.mapping()
+        assert mapping[1] == frozenset({1})
+        assert mapping[2] == frozenset({2})
+
+    def test_diagnostics_exposed(self, toy_trace_pair):
+        pair = combined(*toy_trace_pair)
+        assert pair.displacement_ab.row_ids == (1, 2)
+        assert pair.callstack_ab.get(1, 1) > 0
+        assert pair.simultaneity_a.get(1, 1) == pytest.approx(1.0)
+
+    def test_long_jump_recovered_by_callstack(self):
+        """A 10x shift in instructions breaks the displacement evaluator
+        but the unique call-stack references still pair the regions."""
+        a = build_two_region_trace(seed=1)
+        b = build_two_region_trace(seed=2, instr_a=10e6, instr_b=40e6)
+        pair = combined(a, b)
+        mapping = pair.mapping()
+        assert mapping[1] == frozenset({1})
+        assert mapping[2] == frozenset({2})
+
+    def test_bimodal_merge_grouped(self, hydroc_traces):
+        """HydroC's two modes share a call path; tracking them from the
+        64 to the 128 block-size scenario must keep them separate (they
+        are well separated in the space)."""
+        pair = combined(*hydroc_traces)
+        assert len([rel for rel in pair.relations if rel.left and rel.right]) == 2
+
+    def test_outlier_threshold_effect(self, toy_trace_pair):
+        strict = combined(*toy_trace_pair, outlier_threshold=0.4)
+        assert all(rel.is_univocal for rel in strict.relations)
+
+    def test_spmd_widening_recovers_orphans(self):
+        """A cluster appearing only in frame B (new behaviour), SPMD-
+        simultaneous with a matched sibling and sharing its call path,
+        joins the sibling's relation — the paper's A5 == B5 u B13."""
+        from repro.apps import cgpop
+        from repro.machine.machine import MARENOSTRUM, MINOTAURO
+
+        a = cgpop.build(MARENOSTRUM, "gfortran", ranks=16, iterations=4).run(seed=1)
+        b = cgpop.build(MINOTAURO, "gfortran", ranks=16, iterations=4).run(seed=2)
+        pair = combined(a, b)
+        grouped = [rel for rel in pair.relations if len(rel.right) == 2]
+        assert len(grouped) == 1
+        assert len(grouped[0].left) == 1

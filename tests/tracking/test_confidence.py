@@ -1,0 +1,63 @@
+"""Unit tests for relation confidence scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.frames import make_frames
+from repro.tracking.combine import Relation
+from repro.tracking.tracker import Tracker
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture(scope="module")
+def pair():
+    traces = [
+        build_two_region_trace(seed=0, scenario={"run": 0}),
+        build_two_region_trace(seed=1, scenario={"run": 1}),
+    ]
+    result = Tracker(make_frames(traces)).run()
+    return result.pair_relations[0]
+
+
+class TestConfidence:
+    def test_clean_relations_high_confidence(self, pair):
+        for relation in pair.relations:
+            assert pair.confidence(relation) > 0.9
+
+    def test_empty_side_zero(self, pair):
+        assert pair.confidence(Relation(frozenset(), frozenset({1}))) == 0.0
+        assert pair.confidence(Relation(frozenset({1}), frozenset())) == 0.0
+
+    def test_unsupported_pairing_low(self, pair):
+        # Crossing the two regions has no evidence behind it.
+        crossed = Relation(left=frozenset({1}), right=frozenset({2}))
+        assert pair.confidence(crossed) < 0.1
+
+    def test_bounded(self, pair):
+        for relation in pair.relations:
+            assert 0.0 <= pair.confidence(relation) <= 1.0
+
+    def test_grouped_relation_includes_spmd_support(self, hydroc_traces):
+        """An artificial grouping of HydroC's two simultaneous modes:
+        the SPMD support keeps member confidence above zero even for
+        the member lacking direct displacement evidence."""
+        frames = make_frames(list(hydroc_traces))
+        result = Tracker(frames).run()
+        pair = result.pair_relations[0]
+        grouped = Relation(left=frozenset({1, 2}), right=frozenset({1}))
+        lone = Relation(left=frozenset({2}), right=frozenset({1}))
+        assert pair.confidence(grouped) > pair.confidence(lone)
+
+    def test_report_shows_confidence(self, pair):
+        from repro.tracking.report import who_is_who
+        from repro.clustering.frames import make_frames as _mf  # noqa: F401
+
+        # Rebuild a result to render the full report.
+        traces = [
+            build_two_region_trace(seed=0, scenario={"run": 0}),
+            build_two_region_trace(seed=1, scenario={"run": 1}),
+        ]
+        result = Tracker(make_frames(traces)).run()
+        text = who_is_who(result)
+        assert "confidence" in text

@@ -1,0 +1,68 @@
+"""Unit tests for correlation matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrackingError
+from repro.tracking.correlation import CorrelationMatrix
+
+
+@pytest.fixture
+def matrix():
+    return CorrelationMatrix(
+        row_ids=(1, 2),
+        col_ids=(1, 2, 3),
+        values=np.asarray([[0.9, 0.1, 0.0], [0.0, 0.04, 0.96]]),
+    )
+
+
+class TestCorrelationMatrix:
+    def test_get(self, matrix):
+        assert matrix.get(1, 1) == pytest.approx(0.9)
+        assert matrix.get(2, 3) == pytest.approx(0.96)
+
+    def test_get_unknown_pair(self, matrix):
+        with pytest.raises(KeyError):
+            matrix.get(9, 1)
+
+    def test_drop_below(self, matrix):
+        filtered = matrix.drop_below(0.05)
+        assert filtered.get(2, 2) == 0.0
+        assert filtered.get(1, 1) == pytest.approx(0.9)
+        # Original untouched.
+        assert matrix.get(2, 2) == pytest.approx(0.04)
+
+    def test_nonzero_pairs(self, matrix):
+        pairs = matrix.drop_below(0.05).nonzero_pairs()
+        assert (1, 1, pytest.approx(0.9)) in pairs
+        assert all(v >= 0.05 for _, _, v in pairs)
+
+    def test_row(self, matrix):
+        assert matrix.row(1) == {1: pytest.approx(0.9), 2: pytest.approx(0.1)}
+
+    def test_best_match(self, matrix):
+        assert matrix.best_match(1) == (1, pytest.approx(0.9))
+        empty = matrix.drop_below(2.0)
+        assert empty.best_match(1) is None
+
+    def test_transpose(self, matrix):
+        transposed = matrix.transpose()
+        assert transposed.get(3, 2) == pytest.approx(0.96)
+        assert transposed.row_ids == (1, 2, 3)
+
+    def test_shape_validation(self):
+        with pytest.raises(TrackingError):
+            CorrelationMatrix(row_ids=(1,), col_ids=(1,), values=np.zeros((2, 2)))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(TrackingError):
+            CorrelationMatrix(row_ids=(1,), col_ids=(1,),
+                              values=np.asarray([[-0.5]]))
+
+    def test_to_text_format(self, matrix):
+        text = matrix.to_text()
+        assert "A1" in text and "B3" in text
+        assert "90%" in text
+        assert "-" in text  # zero cells rendered as dashes

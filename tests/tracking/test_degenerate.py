@@ -1,0 +1,125 @@
+"""Robustness tests: degenerate and adversarial tracking inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import FrameSettings, make_frame, make_frames
+from repro.tracking.tracker import Tracker
+from repro.trace.callstack import CallPath
+from repro.trace.trace import TraceBuilder
+from tests.conftest import build_two_region_trace
+
+
+def single_region_trace(seed=0, scenario=None):
+    # Both "regions" collapse onto one position: min-max normalisation
+    # stretches the residual jitter across the unit box, so the point
+    # population must be dense enough to stay one DBSCAN cluster.
+    return build_two_region_trace(
+        seed=seed, scenario=scenario or {}, instr_a=1e6, instr_b=1e6,
+        ipc_a=1.0, ipc_b=1.0, nranks=16, iterations=10,
+    )
+
+
+def all_noise_trace(seed=0):
+    """Uniformly scattered bursts: DBSCAN finds nothing."""
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(nranks=4, app="noise")
+    path = CallPath.single("f", "a.c", 1)
+    for i in range(60):
+        instr = float(rng.uniform(1e5, 1e8))
+        ipc = float(rng.uniform(0.1, 2.0))
+        cycles = instr / ipc
+        builder.add(
+            rank=int(rng.integers(0, 4)), begin=float(i), duration=cycles / 1e9,
+            callpath=path, counters=[instr, cycles, 1.0, 1.0, 1.0],
+        )
+    return builder.build()
+
+
+class TestDegenerateFrames:
+    def test_single_cluster_pair(self):
+        traces = [
+            single_region_trace(seed=0, scenario={"run": 0}),
+            single_region_trace(seed=1, scenario={"run": 1}),
+        ]
+        result = Tracker(make_frames(traces)).run()
+        assert len(result.tracked_regions) == 1
+        assert result.coverage == 100
+
+    def test_all_noise_frames(self):
+        frames = [make_frame(all_noise_trace(seed)) for seed in (0, 1)]
+        # No objects at all: tracking must degrade gracefully.
+        result = Tracker(frames).run()
+        assert result.coverage == 0
+        assert result.regions == ()
+
+    def test_one_empty_one_structured(self):
+        frames = [
+            make_frame(all_noise_trace(0)),
+            make_frame(build_two_region_trace(seed=1)),
+        ]
+        result = Tracker(frames).run()
+        # Objects exist only in the second frame: nothing spans both.
+        assert result.tracked_regions == ()
+        assert len(result.regions) == 2
+
+    def test_disjoint_callpaths_never_matched(self):
+        """Same positions, completely different code: the call-stack
+        evaluator must veto every correspondence."""
+        a = build_two_region_trace(seed=0, scenario={"run": 0})
+        rng_path_trace = build_two_region_trace(seed=1, scenario={"run": 1})
+        # Rebuild the second trace with renamed call paths.
+        builder = TraceBuilder(nranks=rng_path_trace.nranks, app="other",
+                               scenario={"run": 1})
+        for burst in rng_path_trace.bursts():
+            leaf = burst.callpath.leaf
+            builder.add(
+                rank=burst.rank, begin=burst.begin, duration=burst.duration,
+                callpath=CallPath.single(leaf.function + "_x", "other.c",
+                                         leaf.line + 1000),
+                counters=[burst.counters[name] for name in
+                          rng_path_trace.counter_names],
+            )
+        b = builder.build()
+        result = Tracker(make_frames([a, b])).run()
+        assert result.tracked_regions == ()
+
+    def test_identical_frames(self):
+        trace = build_two_region_trace(seed=0)
+        result = Tracker(make_frames([trace, trace])).run()
+        assert result.coverage == 100
+        for region in result.tracked_regions:
+            assert region.members[0] == region.members[1]
+
+    def test_many_identical_frames_chain(self):
+        trace = build_two_region_trace(seed=0)
+        result = Tracker(make_frames([trace] * 5)).run()
+        assert result.coverage == 100
+        assert len(result.pair_relations) == 4
+
+    def test_single_rank_trace(self):
+        traces = [
+            build_two_region_trace(nranks=1, iterations=30, seed=0,
+                                   scenario={"run": 0}),
+            build_two_region_trace(nranks=1, iterations=30, seed=1,
+                                   scenario={"run": 1}),
+        ]
+        result = Tracker(make_frames(traces)).run()
+        assert result.coverage == 100
+
+    def test_tiny_min_pts_many_microclusters_still_tracks(self):
+        settings = FrameSettings(min_pts=2, eps=0.02)
+        traces = [
+            build_two_region_trace(seed=0, scenario={"run": 0}),
+            build_two_region_trace(seed=1, scenario={"run": 1}),
+        ]
+        result = Tracker(make_frames(traces, settings)).run()
+        # Whatever fragmentation happens, the pipeline completes and
+        # relations partition the clusters.
+        for frame_index, frame in enumerate(result.frames):
+            tracked_members: set[int] = set()
+            for region in result.regions:
+                tracked_members |= region.clusters_in(frame_index)
+            assert tracked_members == set(frame.cluster_ids)

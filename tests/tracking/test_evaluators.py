@@ -1,0 +1,133 @@
+"""Unit tests for the four tracking evaluators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import make_frame
+from repro.tracking.evaluators.callstack import callstack_matrix
+from repro.tracking.evaluators.displacement import displacement_matrix
+from repro.tracking.evaluators.sequence import align_with_pivots, sequence_matrix
+from repro.tracking.evaluators.simultaneity import frame_alignment, simultaneity_for_frame
+from repro.tracking.scaling import normalize_frames
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture
+def frame_pair():
+    a = make_frame(build_two_region_trace(seed=1, nranks=6, iterations=5))
+    b = make_frame(
+        build_two_region_trace(seed=2, nranks=6, iterations=5, ipc_a=1.05, ipc_b=0.45)
+    )
+    return a, b
+
+
+class TestDisplacement:
+    def test_clean_diagonal(self, frame_pair):
+        a, b = frame_pair
+        space = normalize_frames([a, b])
+        matrix = displacement_matrix(a, b, space.points[0], space.points[1])
+        # Each region of A maps overwhelmingly onto its counterpart.
+        for cid in a.cluster_ids:
+            best, value = matrix.best_match(cid)
+            assert best == cid
+            assert value > 0.95
+
+    def test_rows_sum_to_at_most_one(self, frame_pair):
+        a, b = frame_pair
+        space = normalize_frames([a, b])
+        matrix = displacement_matrix(a, b, space.points[0], space.points[1])
+        sums = matrix.values.sum(axis=1)
+        assert (sums <= 1 + 1e-9).all()
+        # All of A's clustered points land somewhere in B.
+        assert (sums > 0.99).all()
+
+    def test_point_count_validation(self, frame_pair):
+        a, b = frame_pair
+        with pytest.raises(Exception):
+            displacement_matrix(a, b, np.zeros((3, 2)), np.zeros((b.n_points, 2)))
+
+    def test_reciprocal_direction(self, frame_pair):
+        a, b = frame_pair
+        space = normalize_frames([a, b])
+        forward = displacement_matrix(a, b, space.points[0], space.points[1])
+        backward = displacement_matrix(b, a, space.points[1], space.points[0])
+        assert forward.row_ids == a.cluster_ids
+        assert backward.row_ids == b.cluster_ids
+
+
+class TestSimultaneity:
+    def test_unimodal_regions_not_simultaneous(self, frame_pair):
+        a, _ = frame_pair
+        matrix = simultaneity_for_frame(a)
+        # The two phases never share an alignment column.
+        assert matrix.get(1, 2) < 0.2
+        assert matrix.get(1, 1) == pytest.approx(1.0)
+
+    def test_bimodal_region_simultaneous(self):
+        from repro.apps import hydroc
+
+        trace = hydroc.build(block_size=64, ranks=8, iterations=4).run(seed=0)
+        frame = make_frame(trace)
+        matrix = simultaneity_for_frame(frame)
+        # HydroC's two modes execute at the same logical step (some
+        # alignment columns lose a side to DBSCAN noise, so the
+        # estimate sits below 1.0 but far above the 0.5 threshold the
+        # combiner applies).
+        assert matrix.get(1, 2) > 0.6
+        assert matrix.get(2, 1) > 0.6
+
+    def test_rank_sampling_cap(self, frame_pair):
+        a, _ = frame_pair
+        alignment = frame_alignment(a, max_ranks=3)
+        assert alignment.n_sequences == 3
+
+
+class TestCallstack:
+    def test_same_code_full_overlap(self, frame_pair):
+        a, b = frame_pair
+        matrix = callstack_matrix(a, b)
+        for cid in a.cluster_ids:
+            assert matrix.get(cid, cid) == pytest.approx(1.0)
+
+    def test_different_code_zero(self, frame_pair):
+        a, b = frame_pair
+        matrix = callstack_matrix(a, b)
+        assert matrix.get(1, 2) == 0.0
+        assert matrix.get(2, 1) == 0.0
+
+
+class TestSequence:
+    def test_pivot_propagation(self):
+        # Paper Figure 5: knowing 1 -> 2 aligns the rest positionally.
+        consensus_a = np.asarray([1, 2, 3] * 4)
+        consensus_b = np.asarray([2, 3, 4] * 4)
+        pairs = align_with_pivots(consensus_a, consensus_b, {1: 2})
+        assert (1, 2) in pairs
+        assert (2, 3) in pairs
+        assert (3, 4) in pairs
+
+    def test_matrix_values(self):
+        consensus_a = np.asarray([1, 2] * 5)
+        consensus_b = np.asarray([7, 8] * 5)
+        matrix = sequence_matrix(consensus_a, consensus_b, (1, 2), (7, 8), {1: 7})
+        assert matrix.get(1, 7) == pytest.approx(1.0)
+        assert matrix.get(2, 8) == pytest.approx(1.0)
+        assert matrix.get(1, 8) == 0.0
+
+    def test_no_pivots_still_aligns_by_position(self):
+        consensus_a = np.asarray([1, 2, 3])
+        consensus_b = np.asarray([4, 5, 6])
+        pairs = align_with_pivots(consensus_a, consensus_b, {})
+        # Without pivots everything mismatches, but global alignment
+        # still prefers the diagonal over gap-gap pairs when mismatch
+        # beats double gaps.
+        assert len(pairs) == 3
+
+    def test_shifted_sequences(self):
+        consensus_a = np.asarray([1, 2, 3, 1, 2, 3])
+        consensus_b = np.asarray([9, 1, 2, 3, 1, 2, 3])  # extra prefix phase
+        pairs = align_with_pivots(consensus_a, consensus_b, {1: 1, 2: 2, 3: 3})
+        assert pairs.count((1, 1)) == 2
+        assert pairs.count((2, 2)) == 2

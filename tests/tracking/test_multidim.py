@@ -1,0 +1,111 @@
+"""Tests for n-dimensional clustering/tracking spaces.
+
+The paper: "While the experiments described hereafter define these two
+dimensions [IPC x instructions], the whole process can be likewise
+applied to any arbitrary number of dimensions."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import FrameSettings, make_frame, make_frames
+from repro.errors import ClusteringError
+from repro.tracking.scaling import normalize_frames
+from repro.tracking.tracker import Tracker
+from tests.conftest import build_two_region_trace
+
+SETTINGS_3D = FrameSettings(extra_metrics=("l1_mpki",))
+
+
+class TestSettings:
+    def test_metric_names(self):
+        assert SETTINGS_3D.metric_names == ("ipc", "instructions", "l1_mpki")
+        assert SETTINGS_3D.n_dimensions == 3
+
+    def test_duplicate_metrics_rejected(self):
+        with pytest.raises(ClusteringError, match="distinct"):
+            FrameSettings(extra_metrics=("ipc",))
+
+    def test_default_is_2d(self):
+        assert FrameSettings().n_dimensions == 2
+
+
+class TestFrames3D:
+    def test_points_shape(self, toy_trace):
+        frame = make_frame(toy_trace, SETTINGS_3D)
+        assert frame.points.shape == (toy_trace.n_bursts, 3)
+        assert frame.plot_points.shape == (toy_trace.n_bursts, 2)
+
+    def test_extra_column_is_metric(self, toy_trace):
+        frame = make_frame(toy_trace, SETTINGS_3D)
+        np.testing.assert_allclose(frame.points[:, 2], toy_trace.metric("l1_mpki"))
+
+    def test_clusters_found_in_3d(self, toy_trace):
+        frame = make_frame(toy_trace, SETTINGS_3D)
+        assert frame.n_clusters == 2
+
+    def test_extra_dimension_separates_hidden_modes(self):
+        """Two behaviours identical in (IPC, instructions) but different
+        in L1 MPKI are only separable with the third dimension."""
+        from repro.trace.callstack import CallPath
+        from repro.trace.trace import TraceBuilder
+
+        rng = np.random.default_rng(0)
+        builder = TraceBuilder(nranks=16, app="hidden")
+        path = CallPath.single("f", "a.c", 1)
+        for it in range(20):
+            for rank in range(16):
+                instr = 1e6 * (1 + 0.01 * rng.standard_normal())
+                cycles = instr / 1.0
+                # Same IPC and instructions; MPKI differs by rank group.
+                l1 = instr * (0.002 if rank < 8 else 0.03)
+                builder.add(rank=rank, begin=float(it), duration=cycles / 1e9,
+                            callpath=path,
+                            counters=[instr, cycles, l1, l1 / 10, 1.0])
+        trace = builder.build()
+        flat = make_frame(trace)
+        rich = make_frame(trace, SETTINGS_3D)
+        assert flat.n_clusters == 1
+        assert rich.n_clusters == 2
+
+
+class TestTracking3D:
+    def make_pair(self):
+        traces = [
+            build_two_region_trace(seed=0, scenario={"run": 0}),
+            build_two_region_trace(seed=1, scenario={"run": 1}, ipc_b=0.45),
+        ]
+        return make_frames(traces, SETTINGS_3D)
+
+    def test_normalized_space_is_3d(self):
+        frames = self.make_pair()
+        space = normalize_frames(frames)
+        assert space.axis_names == ("ipc", "instructions", "l1_mpki")
+        for points, weights in zip(space.points, space.weights):
+            assert points.shape[1] == 3
+            assert len(weights) == 3
+
+    def test_tracking_works_in_3d(self):
+        frames = self.make_pair()
+        result = Tracker(frames).run()
+        assert result.coverage == 100
+        assert len(result.tracked_regions) == 2
+
+    def test_mixed_dimensionality_rejected(self):
+        frames = [
+            make_frame(build_two_region_trace(seed=0)),
+            make_frame(build_two_region_trace(seed=1), SETTINGS_3D),
+        ]
+        with pytest.raises(Exception, match="axis"):
+            normalize_frames(frames)
+
+    def test_rendering_uses_projection(self, tmp_path):
+        from repro.tracking.relabel import relabel_frames
+        from repro.viz.frames_plot import render_frame_svg, render_sequence_svg
+
+        frames = self.make_pair()
+        result = Tracker(frames).run()
+        render_frame_svg(frames[0], tmp_path / "f.svg")
+        render_sequence_svg(relabel_frames(result), tmp_path / "seq.svg")

@@ -1,0 +1,76 @@
+"""Unit tests for relabeling and the coverage metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import make_frames
+from repro.tracking.coverage import coverage_percent, max_identifiable_objects
+from repro.tracking.relabel import relabel_frames
+from repro.tracking.tracker import TrackedRegion, Tracker
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture
+def result():
+    traces = [
+        build_two_region_trace(seed=0, scenario={"run": 0}),
+        build_two_region_trace(seed=1, scenario={"run": 1}),
+    ]
+    return Tracker(make_frames(traces)).run()
+
+
+class TestRelabel:
+    def test_labels_consistent_across_frames(self, result):
+        relabeled = relabel_frames(result)
+        assert len(relabeled) == 2
+        # Region ids present in both frames are identical sets.
+        assert relabeled[0].region_ids == relabeled[1].region_ids
+
+    def test_mapping_matches_regions(self, result):
+        relabeled = relabel_frames(result)
+        for frame_index, item in enumerate(relabeled):
+            for cid, rid in item.mapping.items():
+                assert cid in result.region(rid).clusters_in(frame_index)
+
+    def test_points_of_region(self, result):
+        relabeled = relabel_frames(result)
+        region_id = relabeled[0].region_ids[0]
+        points = relabeled[0].points_of_region(region_id)
+        assert points.shape[0] == int((relabeled[0].labels == region_id).sum())
+
+    def test_noise_stays_zero(self, result):
+        relabeled = relabel_frames(result)
+        for item in relabeled:
+            noise_original = item.frame.labels == 0
+            assert (item.labels[noise_original] == 0).all()
+
+
+class TestCoverage:
+    def region(self, members):
+        return TrackedRegion(
+            region_id=1,
+            members=tuple(frozenset(m) for m in members),
+            total_duration=1.0,
+        )
+
+    def test_max_identifiable(self, result):
+        assert max_identifiable_objects(result.frames) == 2
+
+    def test_full_coverage(self, result):
+        assert coverage_percent(result.regions, result.frames) == 100
+
+    def test_partial_region_not_counted(self, result):
+        partial = self.region([{1}, set()])
+        full = self.region([{1}, {1}])
+        assert coverage_percent([partial, full], result.frames) == 50
+
+    def test_floor_semantics(self, result):
+        # 8 tracked of 9 identifiable floors to 88 (as the paper rounds).
+        import math
+
+        assert math.floor(100 * 8 / 9) == 88
+
+    def test_empty(self):
+        assert coverage_percent([], []) == 0

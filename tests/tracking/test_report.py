@@ -1,0 +1,79 @@
+"""Unit tests for the who-is-who report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.frames import make_frames
+from repro.tracking.report import region_summary, relation_evidence, who_is_who
+from repro.tracking.tracker import Tracker
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    traces = [
+        build_two_region_trace(seed=0, scenario={"run": 0}),
+        build_two_region_trace(seed=1, scenario={"run": 1}),
+    ]
+    return Tracker(make_frames(traces)).run()
+
+
+class TestWhoIsWho:
+    def test_header(self, result):
+        text = who_is_who(result)
+        assert "Tracked 2 regions across 2 frames (coverage 100%)" in text
+
+    def test_lists_frames(self, result):
+        text = who_is_who(result)
+        assert "[0] toy(run=0)" in text
+        assert "[1] toy(run=1)" in text
+
+    def test_lists_relations_with_kind(self, result):
+        text = who_is_who(result)
+        assert "{1}=={1}  [univocal, confidence" in text
+        assert "{2}=={2}  [univocal, confidence" in text
+
+    def test_evidence_included(self, result):
+        text = who_is_who(result, evidence=True)
+        assert "displacement" in text
+        assert "call stack" in text
+
+    def test_evidence_can_be_omitted(self, result):
+        text = who_is_who(result, evidence=False)
+        assert "displacement" not in text
+
+    def test_region_section(self, result):
+        text = who_is_who(result)
+        assert "Region 1: {1} -> {1}" in text
+        assert "% of time" in text
+        assert "ref: region_" in text
+
+
+class TestRelationEvidence:
+    def test_values_rendered_as_percentages(self, result):
+        pair = result.pair_relations[0]
+        lines = relation_evidence(pair, pair.relations[0])
+        assert lines
+        assert any("displacement 100%" in line for line in lines)
+
+    def test_grouped_relation_shows_simultaneity(self, hydroc_traces):
+        """A bimodal pair's SPMD evidence appears for grouped sides."""
+        from repro import quick_track
+        from repro.tracking.combine import Relation
+
+        result = quick_track(list(hydroc_traces))
+        pair = result.pair_relations[0]
+        synthetic = Relation(left=frozenset({1, 2}), right=frozenset({1}))
+        lines = relation_evidence(pair, synthetic)
+        assert any("simultaneous" in line for line in lines)
+
+
+class TestRegionSummary:
+    def test_share_sums_to_clustered_fraction(self, result):
+        lines = region_summary(result)
+        shares = []
+        for line in lines:
+            if "% of time" in line:
+                shares.append(float(line.split("(")[1].split("%")[0]))
+        assert 90.0 < sum(shares) <= 100.0

@@ -1,0 +1,115 @@
+"""Unit tests for trend extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import make_frames
+from repro.errors import TrackingError
+from repro.tracking.tracker import Tracker
+from repro.tracking.trends import (
+    TrendSeries,
+    compute_trends,
+    normalized_to_max,
+    top_variations,
+)
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture
+def result():
+    traces = [
+        build_two_region_trace(seed=0, scenario={"run": 0}),
+        build_two_region_trace(seed=1, scenario={"run": 1}, ipc_b=0.4),
+        build_two_region_trace(seed=2, scenario={"run": 2}, ipc_b=0.3),
+    ]
+    return Tracker(make_frames(traces)).run()
+
+
+class TestComputeTrends:
+    def test_one_series_per_region(self, result):
+        series = compute_trends(result, "ipc")
+        assert {s.region_id for s in series} == {1, 2}
+        assert all(s.n_frames == 3 for s in series)
+
+    def test_ipc_decline_detected(self, result):
+        series = {s.region_id: s for s in compute_trends(result, "ipc")}
+        # Region b (id 1: the longest) declines 0.5 -> 0.3.
+        declining = series[1]
+        assert declining.values[0] == pytest.approx(0.5, rel=0.02)
+        assert declining.pct_change_total() == pytest.approx(-0.4, abs=0.03)
+
+    def test_flat_region_flat(self, result):
+        series = {s.region_id: s for s in compute_trends(result, "ipc")}
+        stable = series[2]
+        assert abs(stable.pct_change_total()) < 0.02
+
+    def test_total_aggregate(self, result):
+        series = compute_trends(result, "instructions", aggregate="total")
+        frame0 = result.frames[0]
+        region1 = result.region(1)
+        expected = sum(
+            frame0.cluster_total(cid, "instructions")
+            for cid in region1.clusters_in(0)
+        )
+        values = {s.region_id: s.values[0] for s in series}
+        assert values[1] == pytest.approx(expected)
+
+    def test_bad_aggregate(self, result):
+        with pytest.raises(TrackingError):
+            compute_trends(result, "ipc", aggregate="median")
+
+    def test_frame_labels(self, result):
+        series = compute_trends(result, "ipc")[0]
+        assert series.frame_labels == ("toy(run=0)", "toy(run=1)", "toy(run=2)")
+
+    def test_step_changes(self, result):
+        series = {s.region_id: s for s in compute_trends(result, "ipc")}
+        steps = series[1].step_changes()
+        assert steps.shape == (2,)
+        assert (steps < 0).all()
+
+
+class TestSeriesHelpers:
+    def make(self, values, region_id=1):
+        values = np.asarray(values, dtype=np.float64)
+        return TrendSeries(
+            region_id=region_id,
+            metric="ipc",
+            aggregate="mean",
+            frame_labels=tuple(str(i) for i in range(len(values))),
+            values=values,
+        )
+
+    def test_pct_change_with_nan(self):
+        series = self.make([1.0, np.nan, 1.5])
+        assert series.pct_change_total() == pytest.approx(0.5)
+
+    def test_pct_change_degenerate(self):
+        assert self.make([0.0, 1.0]).pct_change_total() == 0.0
+        assert self.make([1.0]).pct_change_total() == 0.0
+
+    def test_max_abs_variation(self):
+        series = self.make([1.0, 0.7, 0.9])
+        assert series.max_abs_variation() == pytest.approx(0.3)
+
+    def test_top_variations_filters_and_sorts(self):
+        flat = self.make([1.0, 1.001], region_id=1)
+        mild = self.make([1.0, 1.05], region_id=2)
+        strong = self.make([1.0, 0.5], region_id=3)
+        selected = top_variations([flat, mild, strong], min_variation=0.03)
+        assert [s.region_id for s in selected] == [3, 2]
+
+    def test_normalized_to_max(self):
+        series = self.make([2.0, 4.0, 3.0])
+        (normed,) = normalized_to_max([series])
+        np.testing.assert_allclose(normed.values, [50.0, 100.0, 75.0])
+
+    def test_normalized_handles_all_nan(self):
+        series = self.make([np.nan, np.nan])
+        (normed,) = normalized_to_max([series])
+        assert (normed.values == 0).all()
+
+    def test_repr(self):
+        assert "region=1" in repr(self.make([1.0, np.nan]))

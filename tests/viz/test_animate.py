@@ -1,0 +1,59 @@
+"""Unit tests for the HTML animation writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.frames import make_frames
+from repro.tracking.relabel import relabel_frames
+from repro.tracking.tracker import Tracker
+from repro.viz.animate import render_animation_html
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture(scope="module")
+def relabeled():
+    traces = [
+        build_two_region_trace(seed=0, scenario={"run": 0}),
+        build_two_region_trace(seed=1, scenario={"run": 1}),
+        build_two_region_trace(seed=2, scenario={"run": 2}),
+    ]
+    result = Tracker(make_frames(traces)).run()
+    return relabel_frames(result)
+
+
+class TestAnimation:
+    def test_writes_self_contained_html(self, relabeled, tmp_path):
+        path = render_animation_html(relabeled, tmp_path / "anim.html")
+        content = path.read_text()
+        assert content.startswith("<!DOCTYPE html>")
+        assert content.count('<div class="frame') == 3
+        assert content.count("<svg") == 3
+        assert "toy(run=1)" in content
+
+    def test_interval_embedded(self, relabeled, tmp_path):
+        path = render_animation_html(
+            relabeled, tmp_path / "anim.html", interval_ms=1234
+        )
+        assert "1234" in path.read_text()
+
+    def test_title_escaped(self, relabeled, tmp_path):
+        path = render_animation_html(
+            relabeled, tmp_path / "anim.html", title="a < b & c"
+        )
+        assert "a &lt; b &amp; c" in path.read_text()
+
+    def test_independent_axes_mode(self, relabeled, tmp_path):
+        shared = render_animation_html(
+            relabeled, tmp_path / "shared.html", shared_axes=True
+        ).read_text()
+        free = render_animation_html(
+            relabeled, tmp_path / "free.html", shared_axes=False
+        ).read_text()
+        assert shared != free
+
+    def test_validation(self, relabeled, tmp_path):
+        with pytest.raises(ValueError):
+            render_animation_html([], tmp_path / "x.html")
+        with pytest.raises(ValueError):
+            render_animation_html(relabeled, tmp_path / "x.html", interval_ms=0)

@@ -1,0 +1,86 @@
+"""Unit tests for ASCII renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii_plot import ascii_scatter, ascii_trend, glyph_for
+
+
+class TestGlyph:
+    def test_noise_dot(self):
+        assert glyph_for(0) == "."
+        assert glyph_for(-1) == "."
+
+    def test_digits_then_letters(self):
+        assert glyph_for(1) == "1"
+        assert glyph_for(9) == "9"
+        assert glyph_for(10) == "A"
+
+    def test_overflow(self):
+        assert glyph_for(1000) == "#"
+
+
+class TestScatter:
+    def test_renders_clusters(self):
+        points = np.asarray([[0.0, 0.0], [1.0, 1.0], [1.0, 0.9]])
+        labels = np.asarray([1, 2, 2])
+        text = ascii_scatter(points, labels, width=20, height=5, title="t")
+        assert text.startswith("t")
+        assert "1" in text and "2" in text
+
+    def test_axis_ranges_reported(self):
+        points = np.asarray([[0.5, 10.0], [1.5, 30.0]])
+        labels = np.asarray([1, 1])
+        text = ascii_scatter(points, labels, x_label="ipc", y_label="instr")
+        assert "ipc: [0.5 .. 1.5]" in text
+        assert "instr: [10 .. 30]" in text
+
+    def test_noise_hidden_by_default(self):
+        points = np.asarray([[0.0, 0.0], [1.0, 1.0]])
+        labels = np.asarray([0, 1])
+        hidden = ascii_scatter(points, labels, width=10, height=3)
+        shown = ascii_scatter(points, labels, width=10, height=3, show_noise=True)
+        assert "." not in hidden.split("\n")[0]
+        assert "." in shown
+
+    def test_empty(self):
+        text = ascii_scatter(np.zeros((0, 2)), np.zeros(0, dtype=int))
+        assert "(no points)" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros((2, 3)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros((2, 2)), np.zeros(3, dtype=int))
+
+
+class TestTrend:
+    def test_renders_series(self):
+        text = ascii_trend(
+            [("a", np.asarray([1.0, 2.0, 3.0])), ("b", np.asarray([3.0, 2.0, 1.0]))],
+            width=24,
+            height=6,
+            title="trends",
+        )
+        assert text.startswith("trends")
+        assert "1=a" in text and "2=b" in text
+        assert "y: [1 .. 3]" in text
+
+    def test_nan_skipped(self):
+        text = ascii_trend([("a", np.asarray([1.0, np.nan, 3.0]))])
+        assert "y: [1 .. 3]" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_trend([("a", np.ones(2)), ("b", np.ones(3))])
+
+    def test_empty(self):
+        assert "(no series)" in ascii_trend([], title="(no series)")
+
+    def test_x_labels(self):
+        text = ascii_trend(
+            [("a", np.asarray([1.0, 2.0]))], x_labels=("W", "A")
+        )
+        assert "x: W, A" in text

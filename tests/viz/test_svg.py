@@ -1,0 +1,119 @@
+"""Unit tests for the SVG canvas and renderers."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import make_frame, make_frames
+from repro.tracking.relabel import relabel_frames
+from repro.tracking.tracker import Tracker
+from repro.tracking.trends import compute_trends
+from repro.viz.frames_plot import render_frame_svg, render_sequence_svg
+from repro.viz.svg import Axes, SVGCanvas, color_for
+from repro.viz.timeline import ascii_timeline, render_timeline_svg
+from repro.viz.trend_plot import render_trends_svg
+from tests.conftest import build_two_region_trace
+
+
+def parse(path):
+    return ET.parse(path).getroot()
+
+
+@pytest.fixture
+def result():
+    traces = [
+        build_two_region_trace(seed=0, scenario={"run": 0}),
+        build_two_region_trace(seed=1, scenario={"run": 1}),
+    ]
+    return Tracker(make_frames(traces)).run()
+
+
+class TestCanvas:
+    def test_valid_xml(self, tmp_path):
+        canvas = SVGCanvas(width=100, height=50)
+        canvas.rect(0, 0, 10, 10)
+        canvas.circle(5, 5, 2)
+        canvas.line(0, 0, 10, 10)
+        canvas.polyline([(0, 0), (5, 5), (10, 0)])
+        canvas.text(1, 1, "hello <&> world")
+        root = ET.fromstring(canvas.to_string())
+        assert root.tag.endswith("svg")
+
+    def test_save(self, tmp_path):
+        canvas = SVGCanvas()
+        path = canvas.save(tmp_path / "out" / "x.svg")
+        assert path.exists()
+        parse(path)
+
+    def test_color_cycle(self):
+        assert color_for(0) == "#cccccc"
+        assert color_for(1) != color_for(2)
+        assert color_for(1) == color_for(1 + 15)  # cycle length
+
+
+class TestAxes:
+    def test_px_py_mapping(self):
+        canvas = SVGCanvas(width=200, height=100)
+        axes = Axes(x0=0, y0=0, width=200, height=100,
+                    x_lo=0, x_hi=10, y_lo=0, y_hi=5)
+        assert axes.px(0) == pytest.approx(0)
+        assert axes.px(10) == pytest.approx(200)
+        assert axes.py(0) == pytest.approx(100)  # y flipped
+        assert axes.py(5) == pytest.approx(0)
+
+    def test_fit_covers_data(self):
+        canvas = SVGCanvas()
+        axes = Axes.fit(canvas, np.asarray([1.0, 3.0]), np.asarray([10.0, 20.0]))
+        assert axes.x_lo < 1.0 < 3.0 < axes.x_hi
+        assert axes.y_lo < 10.0 < 20.0 < axes.y_hi
+
+    def test_fit_handles_empty(self):
+        canvas = SVGCanvas()
+        axes = Axes.fit(canvas, np.asarray([]), np.asarray([]))
+        assert axes.x_hi > axes.x_lo
+
+
+class TestRenderers:
+    def test_frame_svg(self, tmp_path, result):
+        path = render_frame_svg(result.frames[0], tmp_path / "frame.svg")
+        root = parse(path)
+        assert len(root.findall(".//{http://www.w3.org/2000/svg}circle")) > 10
+
+    def test_sequence_svg(self, tmp_path, result):
+        relabeled = relabel_frames(result)
+        path = render_sequence_svg(relabeled, tmp_path / "seq.svg")
+        parse(path)
+
+    def test_sequence_needs_frames(self, tmp_path):
+        with pytest.raises(ValueError):
+            render_sequence_svg([], tmp_path / "x.svg")
+
+    def test_trends_svg(self, tmp_path, result):
+        series = compute_trends(result, "ipc")
+        path = render_trends_svg(series, tmp_path / "trend.svg", title="IPC")
+        root = parse(path)
+        assert len(root.findall(".//{http://www.w3.org/2000/svg}polyline")) >= 2
+
+    def test_trends_needs_series(self, tmp_path):
+        with pytest.raises(ValueError):
+            render_trends_svg([], tmp_path / "x.svg")
+
+    def test_timeline_svg(self, tmp_path, result):
+        path = render_timeline_svg(result.frames[0], tmp_path / "tl.svg")
+        root = parse(path)
+        assert len(root.findall(".//{http://www.w3.org/2000/svg}rect")) > 10
+
+    def test_ascii_timeline(self, result):
+        text = ascii_timeline(result.frames[0], width=40, max_ranks=2)
+        lines = text.split("\n")
+        assert len(lines) == 3  # header + 2 ranks
+        assert "1" in text and "2" in text
+
+    def test_ascii_timeline_window(self, result):
+        frame = result.frames[0]
+        full = ascii_timeline(frame, width=40)
+        half = ascii_timeline(frame, width=40, t_end=frame.trace.makespan / 2)
+        assert full != half

@@ -1,0 +1,100 @@
+"""Edge-case tests for the visualisation layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import make_frames
+from repro.tracking.tracker import Tracker
+from repro.tracking.trends import TrendSeries
+from repro.viz.ascii_plot import ascii_trend
+from repro.viz.trend_plot import render_trends_svg
+from tests.conftest import build_two_region_trace
+
+
+def make_series(values, region_id=1):
+    values = np.asarray(values, dtype=np.float64)
+    return TrendSeries(
+        region_id=region_id,
+        metric="ipc",
+        aggregate="mean",
+        frame_labels=tuple(f"frame-{i}" for i in range(len(values))),
+        values=values,
+    )
+
+
+class TestTrendPlotEdges:
+    def test_nan_series_rendered(self, tmp_path):
+        series = [make_series([1.0, np.nan, 3.0]), make_series([np.nan] * 3, 2)]
+        path = render_trends_svg(series, tmp_path / "t.svg")
+        content = path.read_text()
+        assert "<polyline" in content  # the finite series still draws
+
+    def test_single_frame_series(self, tmp_path):
+        path = render_trends_svg([make_series([1.0])], tmp_path / "t.svg")
+        # One point: no polyline, but the marker circle is there.
+        assert "<circle" in path.read_text()
+
+    def test_many_frames_abbreviate_labels(self, tmp_path):
+        series = [make_series(np.linspace(1, 2, 40))]
+        path = render_trends_svg(series, tmp_path / "t.svg")
+        content = path.read_text()
+        # Only a subset of the 40 labels is printed.
+        assert content.count("frame-") < 40
+
+
+class TestAsciiTrendEdges:
+    def test_long_x_labels_summarised(self):
+        values = np.linspace(0, 1, 30)
+        labels = tuple(f"scenario-number-{i}" for i in range(30))
+        text = ascii_trend([("a", values)], x_labels=labels, width=40)
+        assert "30 frames" in text
+
+    def test_single_point_series(self):
+        text = ascii_trend([("a", np.asarray([2.0]))])
+        assert "y: [2 .. 2]" in text
+
+    def test_constant_series(self):
+        text = ascii_trend([("a", np.full(5, 3.0))])
+        assert "y: [3 .. 3]" in text
+
+
+class TestReportEdges:
+    def test_partial_region_summary(self):
+        """Regions absent from some frame render a '-' chain entry and
+        skip the IPC annotation gracefully."""
+        from repro.tracking.report import region_summary
+        from repro.trace.callstack import CallPath
+        from repro.trace.trace import TraceBuilder
+
+        # Frame 2's bursts use different code: nothing is tracked.
+        a = build_two_region_trace(seed=0, scenario={"run": 0})
+        builder = TraceBuilder(nranks=4, app="toy", scenario={"run": 1})
+        for burst in build_two_region_trace(seed=1).bursts():
+            builder.add(
+                rank=burst.rank, begin=burst.begin, duration=burst.duration,
+                callpath=CallPath.single("other", "z.c", 9),
+                counters=[burst.counters[n] for n in a.counter_names],
+            )
+        b = builder.build()
+        result = Tracker(make_frames([a, b])).run()
+        lines = region_summary(result)
+        assert any("-" in line for line in lines)
+
+    def test_insights_empty_when_nothing_spans(self):
+        from repro.analysis.insights import diagnose
+
+        a = build_two_region_trace(seed=0, scenario={"run": 0})
+        from repro.trace.callstack import CallPath
+        from repro.trace.trace import TraceBuilder
+
+        builder = TraceBuilder(nranks=4, app="toy", scenario={"run": 1})
+        for burst in build_two_region_trace(seed=1).bursts():
+            builder.add(
+                rank=burst.rank, begin=burst.begin, duration=burst.duration,
+                callpath=CallPath.single("other", "z.c", 9),
+                counters=[burst.counters[n] for n in a.counter_names],
+            )
+        result = Tracker(make_frames([a, builder.build()])).run()
+        assert diagnose(result) == []
