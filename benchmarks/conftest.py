@@ -12,6 +12,8 @@ Rendered artefacts (SVGs, text reports) are written to
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
@@ -19,12 +21,17 @@ import pytest
 from repro.analysis.experiments import CASE_STUDIES, CaseStudy
 from repro.analysis.study import StudyResult
 from repro.clustering.frames import FrameSettings, make_frames
+from repro.obs.metrics import MetricsRegistry
 from repro.tracking.tracker import Tracker, TrackingResult
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 #: Seed used by every benchmark run, so the printed numbers are stable.
 BENCH_SEED = 0
+
+#: Dedicated (always-on) registry recording per-benchmark wall-times, so
+#: successive PRs accumulate a perf trajectory in bench_timings.json.
+BENCH_REGISTRY = MetricsRegistry()
 
 
 @pytest.fixture(scope="session")
@@ -82,6 +89,35 @@ def wrf_frames(wrf_traces, wrf_settings):
 @pytest.fixture(scope="session")
 def wrf_result(wrf_frames) -> TrackingResult:
     return Tracker(wrf_frames).run()
+
+
+@pytest.fixture(autouse=True)
+def _record_wall_time(request):
+    """Record every benchmark's wall-time into :data:`BENCH_REGISTRY`."""
+    start = time.perf_counter()
+    yield
+    BENCH_REGISTRY.gauge(
+        "bench.wall_time_s", test=request.node.nodeid
+    ).set(time.perf_counter() - start)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump the recorded wall-times to ``output/bench_timings.json``."""
+    snapshot = BENCH_REGISTRY.snapshot()
+    if not snapshot["gauges"]:
+        return
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    timings = {
+        entry["labels"]["test"]: entry["value"] for entry in snapshot["gauges"]
+    }
+    payload = {
+        "unit": "seconds",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "timings": dict(sorted(timings.items())),
+    }
+    with open(OUTPUT_DIR / "bench_timings.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 def run_once(benchmark, fn):

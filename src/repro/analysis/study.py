@@ -11,15 +11,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro import obs
 from repro.apps.base import AppModel
 from repro.apps.registry import build_app
 from repro.clustering.frames import FrameSettings, make_frames
 from repro.errors import StudyError
+from repro.obs.log import get_logger
 from repro.tracking.tracker import Tracker, TrackerConfig, TrackingResult
 from repro.tracking.trends import TrendSeries, compute_trends
 from repro.trace.trace import Trace
 
 __all__ = ["ParametricStudy", "StudyResult"]
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -94,22 +98,31 @@ class ParametricStudy:
         Each scenario gets a derived seed so experiments are independent
         but the whole study is reproducible from one integer.
         """
-        traces = [
-            model.run(seed=seed + index)
-            for index, model in enumerate(self.build_models())
-        ]
-        if self.trace_hook is not None:
-            traces = self.trace_hook(traces)
-        if len(traces) < 2:
-            raise StudyError(
-                "tracking needs at least two frames; add scenarios or a "
-                "trace hook producing several time windows"
-            )
-        from dataclasses import replace
+        with obs.span(
+            "study.run", app=self.app, n_scenarios=len(self.scenarios)
+        ):
+            with obs.span("study.simulate"):
+                traces = [
+                    model.run(seed=seed + index)
+                    for index, model in enumerate(self.build_models())
+                ]
+                if self.trace_hook is not None:
+                    traces = self.trace_hook(traces)
+            if len(traces) < 2:
+                raise StudyError(
+                    "tracking needs at least two frames; add scenarios or a "
+                    "trace hook producing several time windows"
+                )
+            from dataclasses import replace
 
-        config = self.config
-        if self.settings.log_y and not config.log_extensive:
-            config = replace(config, log_extensive=True)
-        frames = make_frames(traces, self.settings)
-        result = Tracker(frames, config).run()
-        return StudyResult(study=self, traces=tuple(traces), result=result)
+            config = self.config
+            if self.settings.log_y and not config.log_extensive:
+                log.info(
+                    "settings.log_y=True overrides config.log_extensive=False "
+                    "for study %r: tracking will normalise extensive axes in "
+                    "log space", self.app,
+                )
+                config = replace(config, log_extensive=True)
+            frames = make_frames(traces, self.settings)
+            result = Tracker(frames, config).run()
+            return StudyResult(study=self, traces=tuple(traces), result=result)

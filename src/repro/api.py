@@ -7,11 +7,15 @@ stages directly (:mod:`repro.clustering`, :mod:`repro.tracking`).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.clustering.frames import Frame, FrameSettings, make_frame, make_frames
+from repro.obs.log import get_logger
 from repro.tracking.tracker import Tracker, TrackerConfig, TrackingResult
 from repro.trace.trace import Trace
 
 __all__ = ["cluster_trace", "make_frames", "track_frames", "quick_track"]
+
+log = get_logger(__name__)
 
 
 def cluster_trace(trace: Trace, settings: FrameSettings | None = None) -> Frame:
@@ -57,6 +61,12 @@ def quick_track(
     config = config or TrackerConfig()
     if settings.log_y and not config.log_extensive:
         # Keep the tracking space consistent with the clustering space.
+        log.info(
+            "settings.log_y=True overrides config.log_extensive=False: "
+            "extensive axes will be normalised in log space to match the "
+            "clustering space"
+        )
         config = replace(config, log_extensive=True)
-    frames = make_frames(traces, settings)
-    return Tracker(frames, config).run()
+    with obs.span("api.quick_track", n_traces=len(traces)):
+        frames = make_frames(traces, settings)
+        return Tracker(frames, config).run()

@@ -17,6 +17,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro import obs
 from repro._util import as_rng
 from repro.apps.base import AppModel, RegionSpec
 from repro.machine.perfmodel import PerformanceModel
@@ -65,6 +66,16 @@ def run_app(model: AppModel, seed: int = 0) -> Trace:
         Seed for all stochastic perturbations; identical seeds produce
         identical traces.
     """
+    with obs.span(
+        "apps.run_app",
+        app=model.name,
+        nranks=model.nranks,
+        iterations=model.iterations,
+    ):
+        return _run_app(model, seed)
+
+
+def _run_app(model: AppModel, seed: int) -> Trace:
     rng = as_rng(seed)
     nranks = model.nranks
     perf = PerformanceModel(
@@ -154,4 +165,6 @@ def run_app(model: AppModel, seed: int = 0) -> Trace:
                 # then synchronise at the barrier closing the phase.
                 clocks += durations * (1.0 + model.comm_fraction)
                 clocks[:] = clocks.max()
-    return builder.build()
+    trace = builder.build()
+    obs.count("apps.bursts_total", trace.n_bursts)
+    return trace

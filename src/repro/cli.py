@@ -47,23 +47,65 @@ def _parse_scenario(pairs: list[str]) -> dict[str, object]:
     return scenario
 
 
+#: ``--profile`` with no PATH: print the stage tree, write no file.
+_PROFILE_STDERR = ""
+
+
+def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
+    """``--profile [PATH]``: stage-time tree to stderr, Chrome trace to PATH."""
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=_PROFILE_STDERR,
+        default=None,
+        metavar="PATH",
+        help="enable observability; print a stage-time breakdown and "
+        "evaluator decision counts to stderr, and write a Chrome-trace "
+        "JSON (chrome://tracing) to PATH when given",
+    )
+
+
+def _verbosity_parent(default: object) -> argparse.ArgumentParser:
+    """Parent parser carrying ``-v``/``-q``.
+
+    Subparsers get ``argparse.SUPPRESS`` defaults: a subparser parses
+    into a fresh namespace and copies every attribute over, so a plain
+    ``default=0`` would clobber a ``-v`` given before the subcommand.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "-v", "--verbose", action="count", default=default,
+        help="increase log verbosity (-v: info, -vv: debug)",
+    )
+    parent.add_argument(
+        "-q", "--quiet", action="count", default=default,
+        help="decrease log verbosity (errors only)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser."""
+    common = _verbosity_parent(argparse.SUPPRESS)
     parser = argparse.ArgumentParser(
         prog="repro-track",
         description="Object tracking techniques applied to performance analysis "
         "(SC 2013 reproduction)",
+        parents=[_verbosity_parent(0)],
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sim = sub.add_parser("simulate", help="generate a synthetic application trace")
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    sim = add_parser("simulate", help="generate a synthetic application trace")
     sim.add_argument("app", help="registered application name (see `info`)")
     sim.add_argument("scenario", nargs="*", help="scenario parameters key=value")
     sim.add_argument("-o", "--output", required=True, help="trace file (.json/.csv[.gz])")
     sim.add_argument("--seed", type=int, default=0)
 
-    track = sub.add_parser("track", help="track objects across saved traces")
+    track = add_parser("track", help="track objects across saved traces")
     track.add_argument("traces", nargs="+", help="trace files, in sequence order")
     track.add_argument("--x-metric", default="ipc")
     track.add_argument("--y-metric", default="instructions")
@@ -75,15 +117,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="metric(s) to report trends for (default: ipc)")
     track.add_argument("--render", metavar="DIR", default=None,
                        help="write SVG renderings into DIR")
+    _add_profile_flag(track)
 
-    study = sub.add_parser("study", help="run a canned paper case study")
+    study = add_parser("study", help="run a canned paper case study")
     study.add_argument("name", help="case study name (see `info`)")
     study.add_argument("--seed", type=int, default=0)
     study.add_argument("--render", metavar="DIR", default=None)
+    _add_profile_flag(study)
 
-    sub.add_parser("table2", help="run all case studies; print Table 2")
+    table2 = add_parser("table2", help="run all case studies; print Table 2")
+    _add_profile_flag(table2)
 
-    report = sub.add_parser(
+    report = add_parser(
         "report", help="who-is-who report with evaluator evidence"
     )
     report.add_argument("traces", nargs="+", help="trace files, in sequence order")
@@ -91,7 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="omit the per-relation evaluator evidence")
     report.add_argument("--relevance", type=float, default=0.95)
 
-    animate = sub.add_parser(
+    animate = add_parser(
         "animate", help="write an animated HTML view of the tracked frames"
     )
     animate.add_argument("traces", nargs="+", help="trace files, in sequence order")
@@ -100,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="frame interval in milliseconds")
     animate.add_argument("--relevance", type=float, default=0.95)
 
-    tune = sub.add_parser(
+    tune = add_parser(
         "tune", help="suggest a DBSCAN eps for a trace (plateau search)"
     )
     tune.add_argument("trace", help="trace file to tune against")
@@ -108,7 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--y-metric", default="instructions")
     tune.add_argument("--log-y", action="store_true")
 
-    sub.add_parser("info", help="list applications, machines and case studies")
+    add_parser("info", help="list applications, machines and case studies")
     return parser
 
 
@@ -297,9 +342,31 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    from repro import obs
+
     args = build_parser().parse_args(argv)
+    obs.configure_logging(
+        getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
+    )
+    profile = getattr(args, "profile", None)
+    enabled_here = False
+    if profile is not None and not obs.enabled():
+        obs.enable()
+        enabled_here = True
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
+        if profile is not None or (obs.enabled() and obs.finished_spans()):
+            obs.summary()
+            if profile:  # a PATH was given, not the bare flag
+                try:
+                    path = obs.write_chrome_trace(profile)
+                except OSError as error:
+                    print(f"error: cannot write profile to {profile!r}: "
+                          f"{error.strerror or error}", file=sys.stderr)
+                    return 1
+                print(f"wrote Chrome trace to {path} "
+                      "(load in chrome://tracing)", file=sys.stderr)
+        return code
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         try:
@@ -307,6 +374,9 @@ def main(argv: list[str] | None = None) -> int:
         except Exception:
             pass
         return 0
+    finally:
+        if enabled_here:
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

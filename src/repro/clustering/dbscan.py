@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.spatial import cKDTree
 
+from repro import obs
 from repro.errors import ClusteringError
 
 __all__ = ["DBSCAN", "DBSCANResult", "NOISE"]
@@ -104,37 +105,42 @@ class DBSCAN:
         if not np.isfinite(points).all():
             raise ClusteringError("points contain NaN or infinite values")
 
-        tree = cKDTree(points)
-        neighborhoods = tree.query_ball_point(points, self.eps, workers=-1)
-        neighbor_counts = np.fromiter(
-            (len(nb) for nb in neighborhoods), count=n, dtype=np.int64
-        )
-        core_mask = neighbor_counts >= self.min_pts
+        with obs.span(
+            "clustering.dbscan", n_points=n, eps=self.eps, min_pts=self.min_pts
+        ) as fit_span:
+            tree = cKDTree(points)
+            neighborhoods = tree.query_ball_point(points, self.eps, workers=-1)
+            neighbor_counts = np.fromiter(
+                (len(nb) for nb in neighborhoods), count=n, dtype=np.int64
+            )
+            core_mask = neighbor_counts >= self.min_pts
 
-        labels = np.full(n, NOISE, dtype=np.int32)
-        visited = np.zeros(n, dtype=bool)
-        current_label = 0
+            labels = np.full(n, NOISE, dtype=np.int32)
+            visited = np.zeros(n, dtype=bool)
+            current_label = 0
 
-        for seed in range(n):
-            if visited[seed] or not core_mask[seed]:
-                continue
-            current_label += 1
-            # Breadth-first expansion from this core point.
-            queue = [seed]
-            visited[seed] = True
-            labels[seed] = current_label
-            while queue:
-                point = queue.pop()
-                # Only core points expand the cluster; border points are
-                # claimed but not traversed.
-                if not core_mask[point]:
+            for seed in range(n):
+                if visited[seed] or not core_mask[seed]:
                     continue
-                for neighbor in neighborhoods[point]:
-                    if labels[neighbor] == NOISE and not visited[neighbor]:
-                        labels[neighbor] = current_label
-                        visited[neighbor] = True
-                        if core_mask[neighbor]:
-                            queue.append(neighbor)
-        return DBSCANResult(
-            labels=labels, n_clusters=current_label, core_mask=core_mask
-        )
+                current_label += 1
+                # Breadth-first expansion from this core point.
+                queue = [seed]
+                visited[seed] = True
+                labels[seed] = current_label
+                while queue:
+                    point = queue.pop()
+                    # Only core points expand the cluster; border points are
+                    # claimed but not traversed.
+                    if not core_mask[point]:
+                        continue
+                    for neighbor in neighborhoods[point]:
+                        if labels[neighbor] == NOISE and not visited[neighbor]:
+                            labels[neighbor] = current_label
+                            visited[neighbor] = True
+                            if core_mask[neighbor]:
+                                queue.append(neighbor)
+            if obs.enabled():
+                fit_span.set(n_clusters=current_label, n_core=int(core_mask.sum()))
+            return DBSCANResult(
+                labels=labels, n_clusters=current_label, core_mask=core_mask
+            )

@@ -14,14 +14,18 @@ from functools import cached_property
 
 import numpy as np
 
+from repro import obs
 from repro.clustering.cluster import Cluster, ClusterSet, rank_labels_by_duration
 from repro.clustering.dbscan import DBSCAN
 from repro.clustering.normalize import MinMaxScaler
 from repro.errors import ClusteringError
+from repro.obs.log import get_logger
 from repro.trace.filters import filter_min_duration
 from repro.trace.trace import Trace
 
 __all__ = ["FrameSettings", "Frame", "make_frame", "make_frames"]
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -231,54 +235,71 @@ def make_frame(trace: Trace, settings: FrameSettings | None = None) -> Frame:
     if trace.n_bursts == 0:
         raise ClusteringError(f"trace {trace.label()!r} has no bursts to cluster")
 
-    columns = [trace.metric(name) for name in settings.metric_names]
-    points = np.column_stack(columns)
-    clustering_columns = list(columns)
-    if settings.log_y:
-        if np.any(clustering_columns[1] <= 0):
-            raise ClusteringError("log_y requires strictly positive y values")
-        clustering_columns[1] = np.log10(clustering_columns[1])
-    clustering_space = np.column_stack(clustering_columns)
+    with obs.span(
+        "clustering.make_frame",
+        label=trace.label(),
+        n_bursts=trace.n_bursts,
+        eps=settings.eps,
+    ) as frame_span:
+        columns = [trace.metric(name) for name in settings.metric_names]
+        points = np.column_stack(columns)
+        clustering_columns = list(columns)
+        if settings.log_y:
+            if np.any(clustering_columns[1] <= 0):
+                raise ClusteringError("log_y requires strictly positive y values")
+            clustering_columns[1] = np.log10(clustering_columns[1])
+        clustering_space = np.column_stack(clustering_columns)
 
-    scaler = MinMaxScaler.fit(clustering_space)
-    scaled = scaler.transform(clustering_space)
-    min_pts = settings.min_pts if settings.min_pts is not None else _auto_min_pts(
-        points.shape[0]
-    )
-    result = DBSCAN(eps=settings.eps, min_pts=min_pts).fit(scaled)
-
-    durations = trace.duration
-    ranked = rank_labels_by_duration(result.labels, durations)
-    ranked = _relevance_filter(ranked, durations, settings.relevance)
-    # Renumber after the relevance filter so ids stay dense from 1.
-    ranked = rank_labels_by_duration(ranked, durations)
-
-    clusters: list[Cluster] = []
-    for cluster_id in np.unique(ranked):
-        if cluster_id == 0:
-            continue
-        indices = np.flatnonzero(ranked == cluster_id)
-        callpaths = frozenset(
-            str(trace.callstacks.path(int(pid)))
-            for pid in np.unique(trace.callpath_id[indices])
+        scaler = MinMaxScaler.fit(clustering_space)
+        scaled = scaler.transform(clustering_space)
+        min_pts = settings.min_pts if settings.min_pts is not None else _auto_min_pts(
+            points.shape[0]
         )
-        clusters.append(
-            Cluster(
-                cluster_id=int(cluster_id),
-                indices=indices,
-                centroid=points[indices].mean(axis=0),
-                total_duration=float(durations[indices].sum()),
-                callpaths=callpaths,
-                ranks=frozenset(int(r) for r in np.unique(trace.rank[indices])),
+        result = DBSCAN(eps=settings.eps, min_pts=min_pts).fit(scaled)
+
+        durations = trace.duration
+        with obs.span("clustering.rank_and_filter", relevance=settings.relevance):
+            ranked = rank_labels_by_duration(result.labels, durations)
+            ranked = _relevance_filter(ranked, durations, settings.relevance)
+            # Renumber after the relevance filter so ids stay dense from 1.
+            ranked = rank_labels_by_duration(ranked, durations)
+
+        clusters: list[Cluster] = []
+        for cluster_id in np.unique(ranked):
+            if cluster_id == 0:
+                continue
+            indices = np.flatnonzero(ranked == cluster_id)
+            callpaths = frozenset(
+                str(trace.callstacks.path(int(pid)))
+                for pid in np.unique(trace.callpath_id[indices])
             )
+            clusters.append(
+                Cluster(
+                    cluster_id=int(cluster_id),
+                    indices=indices,
+                    centroid=points[indices].mean(axis=0),
+                    total_duration=float(durations[indices].sum()),
+                    callpaths=callpaths,
+                    ranks=frozenset(int(r) for r in np.unique(trace.rank[indices])),
+                )
+            )
+        clusters.sort(key=lambda c: c.cluster_id)
+        if obs.enabled():
+            noise = int((ranked == 0).sum())
+            frame_span.set(n_clusters=len(clusters), min_pts=min_pts, n_noise=noise)
+            obs.count("clustering.points_total", trace.n_bursts)
+            obs.count("clustering.noise_points_total", noise)
+            obs.count("clustering.clusters_total", len(clusters))
+            log.debug(
+                "frame %s: %d bursts -> %d clusters (%d noise/filtered)",
+                trace.label(), trace.n_bursts, len(clusters), noise,
+            )
+        return Frame(
+            trace=trace,
+            settings=settings,
+            points=points,
+            cluster_set=ClusterSet(labels=ranked, clusters=tuple(clusters)),
         )
-    clusters.sort(key=lambda c: c.cluster_id)
-    return Frame(
-        trace=trace,
-        settings=settings,
-        points=points,
-        cluster_set=ClusterSet(labels=ranked, clusters=tuple(clusters)),
-    )
 
 
 def make_frames(
@@ -286,4 +307,9 @@ def make_frames(
 ) -> list[Frame]:
     """Build one frame per trace with shared settings."""
     settings = settings or FrameSettings()
-    return [make_frame(trace, settings) for trace in traces]
+    with obs.span("clustering.make_frames", n_traces=len(traces)):
+        frames = []
+        for index, trace in enumerate(traces):
+            with obs.span("clustering.frame", frame=index):
+                frames.append(make_frame(trace, settings))
+        return frames

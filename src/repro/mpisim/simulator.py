@@ -31,6 +31,7 @@ from typing import Callable, Generator
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ReproError
 from repro.machine.compiler import CompilerModel, GFORTRAN
 from repro.machine.machine import MINOTAURO, Machine
@@ -159,6 +160,11 @@ class MPISimulator:
         operation records.  *max_steps* bounds the total number of
         executed operations (runaway-guard, not a scheduling knob).
         """
+        with obs.span("mpisim.run", app=self.app, nranks=self.nranks) as sim_span:
+            trace = self._run(program, seed=seed, max_steps=max_steps, span=sim_span)
+        return trace
+
+    def _run(self, program: Program, *, seed: int, max_steps: int, span) -> Trace:
         builder = TraceBuilder(
             nranks=self.nranks,
             counter_names=STANDARD_COUNTERS,
@@ -216,7 +222,12 @@ class MPISimulator:
                 raise DeadlockError(
                     f"no rank can make progress; blocked: {blocked}"
                 )
-        return builder.build()
+        trace = builder.build()
+        if obs.enabled():
+            span.set(n_ops=steps, n_bursts=trace.n_bursts)
+            obs.count("mpisim.ops_total", steps)
+            obs.count("mpisim.bursts_total", trace.n_bursts)
+        return trace
 
     # ------------------------------------------------------------------
     # operation execution

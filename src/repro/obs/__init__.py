@@ -1,0 +1,88 @@
+"""repro.obs — observability for the tracking pipeline.
+
+Span tracing, a process-local metrics registry, and exporters
+(stage-time tree, JSON-lines, Chrome Trace Event format) behind one
+near-zero-overhead switch:
+
+- set ``REPRO_OBS=1`` in the environment, or call :func:`enable`;
+- instrument with :func:`span` / :func:`traced` and the metric helpers
+  :func:`count`, :func:`set_gauge`, :func:`observe`;
+- render with :func:`summary` (stderr tree) or write files with
+  :func:`write_chrome_trace` / :func:`write_jsonl`.
+
+While disabled (the default) every entry point returns after a single
+module-attribute check and allocates nothing, so instrumentation can
+stay in hot paths permanently.  See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.core import STATE, disable, enable, enabled, is_env_enabled
+from repro.obs.export import (
+    chrome_trace_events,
+    install_atexit_summary,
+    render_metrics,
+    render_tree,
+    summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    count,
+    metrics_snapshot,
+    observe,
+    set_gauge,
+)
+from repro.obs.spans import Span, current_span, finished_spans, span, traced
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "is_env_enabled",
+    "reset",
+    "span",
+    "traced",
+    "Span",
+    "current_span",
+    "finished_spans",
+    "count",
+    "set_gauge",
+    "observe",
+    "metrics_snapshot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "render_tree",
+    "render_metrics",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "summary",
+    "install_atexit_summary",
+    "get_logger",
+    "configure_logging",
+]
+
+
+def reset() -> None:
+    """Clear all recorded spans and metrics (the enabled flag is kept)."""
+    STATE.reset()
+    REGISTRY.reset()
+
+
+# Library consumers running with REPRO_OBS=1 get a stderr report even if
+# they never flush; explicit summary()/CLI --profile suppresses it.
+if is_env_enabled():  # pragma: no cover - exercised via subprocess tests
+    install_atexit_summary()

@@ -1,0 +1,103 @@
+"""Process-local observability state and the enabled flag.
+
+The whole :mod:`repro.obs` subsystem hinges on one module-level switch:
+when disabled (the default) every instrumentation entry point returns a
+shared no-op object after a single attribute check, so the instrumented
+hot paths pay essentially nothing.  Enable it with the ``REPRO_OBS=1``
+environment variable or :func:`enable` before running the pipeline.
+
+The state is deliberately process-local (no files, no sockets): spans
+and metrics accumulate in memory and are rendered or written out by
+:mod:`repro.obs.export` on explicit flush or at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+__all__ = ["ObsState", "STATE", "enabled", "enable", "disable", "is_env_enabled"]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: Environment variable toggling observability at import time.
+ENV_VAR = "REPRO_OBS"
+
+
+def is_env_enabled() -> bool:
+    """Whether the ``REPRO_OBS`` environment variable requests tracing."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+class ObsState:
+    """Mutable container for one process's observability context.
+
+    Attributes
+    ----------
+    enabled:
+        The master switch; instrumentation checks it before allocating
+        anything.
+    spans:
+        Finished :class:`~repro.obs.spans.Span` objects, in completion
+        order (children therefore precede their parents).
+    epoch:
+        ``perf_counter`` origin all span timestamps are relative to.
+    flushed:
+        Set by explicit flushes so the atexit fallback stays silent.
+    """
+
+    __slots__ = ("enabled", "spans", "epoch", "flushed", "_lock", "_next_id", "_local")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.spans: list = []
+        self.epoch = time.perf_counter()
+        self.flushed = False
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._local = threading.local()
+
+    def next_id(self) -> int:
+        """Allocate the next span id (thread-safe, ids start at 1)."""
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    @property
+    def stack(self) -> list:
+        """The calling thread's stack of open spans."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def reset(self) -> None:
+        """Drop all recorded spans and restart the id sequence/clock."""
+        with self._lock:
+            self.spans.clear()
+            self._next_id = 0
+            self.epoch = time.perf_counter()
+            self.flushed = False
+        self._local = threading.local()
+
+
+#: The one process-wide observability context.
+STATE = ObsState(enabled=is_env_enabled())
+
+
+def enabled() -> bool:
+    """Whether span tracing and metric recording are active."""
+    return STATE.enabled
+
+
+def enable() -> None:
+    """Turn observability on for the rest of the process (or until
+    :func:`disable`)."""
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn observability off; already-recorded spans are kept."""
+    STATE.enabled = False

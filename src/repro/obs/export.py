@@ -1,0 +1,233 @@
+"""Exporters: stage-time tree, JSON-lines dump, Chrome Trace Event file.
+
+Three views of the same recorded spans + metrics:
+
+- :func:`render_tree` — a human-readable aggregated stage tree (spans
+  with the same name under the same parent collapse into one line with
+  a call count), followed by the counter/gauge listing; this is what
+  the CLI's ``--profile`` prints to stderr.
+- :func:`write_jsonl` — one JSON object per span plus one trailing
+  ``{"metrics": ...}`` record; trivially greppable/jq-able.
+- :func:`write_chrome_trace` — the Chrome Trace Event format (complete
+  ``"X"`` events), loadable in ``chrome://tracing`` / Perfetto.
+
+All exporters take an explicit span list so tests can feed synthetic
+data; by default they read the process-wide recorder.  An interpreter
+``atexit`` fallback prints the tree when ``REPRO_OBS`` was set but the
+program never flushed explicitly.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import sys
+import threading
+from typing import Any, Sequence, TextIO
+
+from repro.obs.core import STATE
+from repro.obs.metrics import REGISTRY, Counter, Gauge, format_labels
+from repro.obs.spans import Span
+
+__all__ = [
+    "render_tree",
+    "render_metrics",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "summary",
+    "install_atexit_summary",
+]
+
+
+def _format_seconds(seconds: float) -> str:
+    """Adaptive duration formatting: µs under 1ms, ms under 1s, else s."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _attr_summary(attrs: dict[str, Any], limit: int = 6) -> str:
+    """Compact ``k=v`` rendering of span attributes."""
+    items = []
+    for key, value in list(attrs.items())[:limit]:
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        items.append(f"{key}={value}")
+    return " ".join(items)
+
+
+def _children_index(spans: Sequence[Span]) -> dict[int, list[Span]]:
+    """Map parent span id (0 = root) to its child spans, start-ordered."""
+    children: dict[int, list[Span]] = {}
+    for sp in spans:
+        children.setdefault(sp.parent_id, []).append(sp)
+    for members in children.values():
+        members.sort(key=lambda sp: sp.start)
+    return children
+
+
+def render_tree(spans: Sequence[Span] | None = None) -> str:
+    """Aggregated stage-time tree of the recorded spans.
+
+    Sibling spans sharing a name collapse into one line carrying the
+    call count, total/mean time, and — for single calls — the span's
+    attributes.  Children are aggregated within their name group, so
+    repeated stages (one span per frame, per pair...) stay readable.
+    """
+    spans = list(STATE.spans) if spans is None else list(spans)
+    if not spans:
+        return "(no spans recorded — is REPRO_OBS enabled?)"
+    children = _children_index(spans)
+    lines: list[str] = ["stage-time tree"]
+
+    def walk(members: list[Span], depth: int) -> None:
+        # Group same-name siblings, keep first-start order of groups.
+        groups: dict[str, list[Span]] = {}
+        for sp in members:
+            groups.setdefault(sp.name, []).append(sp)
+        for name, group in groups.items():
+            total = sum(sp.duration for sp in group)
+            indent = "  " * (depth + 1)
+            if len(group) == 1:
+                attrs = _attr_summary(group[0].attrs)
+                suffix = f"  [{attrs}]" if attrs else ""
+                lines.append(f"{indent}{name}  {_format_seconds(total)}{suffix}")
+            else:
+                mean = total / len(group)
+                lines.append(
+                    f"{indent}{name}  x{len(group)}  total={_format_seconds(total)}"
+                    f"  mean={_format_seconds(mean)}"
+                )
+            grandchildren: list[Span] = []
+            for sp in group:
+                grandchildren.extend(children.get(sp.span_id, ()))
+            if grandchildren:
+                walk(grandchildren, depth + 1)
+
+    walk(children.get(0, []), 0)
+    return "\n".join(lines)
+
+
+def render_metrics() -> str:
+    """Counters and gauges as one ``name{labels} = value`` line each."""
+    lines: list[str] = []
+    for metric in REGISTRY.all_metrics():
+        label = f"{metric.name}{format_labels(metric.labels)}"
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"  {label} = {metric.value:g}")
+        else:
+            lines.append(
+                f"  {label} count={metric.count} mean={metric.mean:g} "
+                f"sum={metric.sum:g}"
+            )
+    if not lines:
+        return ""
+    return "\n".join(["metrics", *lines])
+
+
+def chrome_trace_events(spans: Sequence[Span] | None = None) -> list[dict[str, Any]]:
+    """Recorded spans as Chrome Trace Event ``"X"`` (complete) events.
+
+    Timestamps/durations are microseconds relative to the observability
+    epoch, as the format requires.
+    """
+    spans = list(STATE.spans) if spans is None else list(spans)
+    pid = os.getpid()
+    events = []
+    for sp in sorted(spans, key=lambda s: s.start):
+        events.append(
+            {
+                "name": sp.name,
+                "ph": "X",
+                "ts": sp.start * 1e6,
+                "dur": sp.duration * 1e6,
+                "pid": pid,
+                "tid": threading.get_ident() & 0xFFFF,
+                "args": {k: _jsonable(v) for k, v in sp.attrs.items()},
+            }
+        )
+    return events
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars and other odd attribute values for JSON."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except Exception:
+            pass
+    return str(value)
+
+
+def write_chrome_trace(path: str | os.PathLike, spans: Sequence[Span] | None = None) -> str:
+    """Write a ``chrome://tracing``-loadable JSON file; returns the path."""
+    document = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs"},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return str(path)
+
+
+def write_jsonl(path: str | os.PathLike, spans: Sequence[Span] | None = None) -> str:
+    """Write one JSON object per span plus a final metrics record."""
+    spans = list(STATE.spans) if spans is None else list(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        for sp in spans:
+            handle.write(
+                json.dumps(
+                    {
+                        "span_id": sp.span_id,
+                        "parent_id": sp.parent_id,
+                        "name": sp.name,
+                        "start": sp.start,
+                        "end": sp.end,
+                        "duration": sp.duration,
+                        "attrs": {k: _jsonable(v) for k, v in sp.attrs.items()},
+                    }
+                )
+                + "\n"
+            )
+        handle.write(json.dumps({"metrics": REGISTRY.snapshot()}) + "\n")
+    return str(path)
+
+
+def summary(stream: TextIO | None = None) -> None:
+    """Print the stage tree and metrics to *stream* (default stderr)."""
+    stream = stream if stream is not None else sys.stderr
+    print(render_tree(), file=stream)
+    metrics = render_metrics()
+    if metrics:
+        print(metrics, file=stream)
+    STATE.flushed = True
+
+
+_ATEXIT_INSTALLED = False
+
+
+def install_atexit_summary() -> None:
+    """Print the summary at interpreter exit unless flushed explicitly.
+
+    Installed automatically on first enablement through ``REPRO_OBS``
+    so library consumers get a report without any code change; explicit
+    :func:`summary`/CLI flushes suppress it.
+    """
+    global _ATEXIT_INSTALLED
+    if _ATEXIT_INSTALLED:
+        return
+    _ATEXIT_INSTALLED = True
+
+    def _flush_at_exit() -> None:
+        if STATE.spans and not STATE.flushed:
+            summary()
+
+    atexit.register(_flush_at_exit)

@@ -1,0 +1,91 @@
+"""Stdlib-logging integration for the ``repro`` package.
+
+Library modules obtain a namespaced logger with::
+
+    from repro.obs.log import get_logger
+    log = get_logger(__name__)
+
+and log through it instead of printing.  Nothing is emitted unless the
+application configures handlers; the CLI calls :func:`configure` from
+its ``-v/--verbose`` / ``-q/--quiet`` flags, which attaches a single
+stderr handler to the ``repro`` root logger and sets its level.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+__all__ = ["ROOT_LOGGER", "get_logger", "configure", "verbosity_level"]
+
+#: The package root every module logger hangs off.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+class _LiveStreamHandler(logging.StreamHandler):
+    """Stream handler that follows ``sys.stderr`` unless pinned.
+
+    Resolving the stream at emit time keeps the handler valid when
+    ``sys.stderr`` is swapped out (pytest capture, IDE consoles) — a
+    pinned handler would hold a closed file across test boundaries.
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+        self.pinned: TextIO | None = None
+
+    @property
+    def stream(self) -> TextIO:
+        return self.pinned if self.pinned is not None else sys.stderr
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    Pass ``__name__`` from package modules (already ``repro.*``); bare
+    names are prefixed so external callers land in the hierarchy too.
+    """
+    if not name or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-v``/``-q`` count to a logging level.
+
+    ``<= -1`` -> ERROR, ``0`` -> WARNING (default), ``1`` -> INFO,
+    ``>= 2`` -> DEBUG.
+    """
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(verbosity: int = 0, stream: TextIO | None = None) -> logging.Logger:
+    """Set the ``repro`` root logger level and attach one stderr handler.
+
+    With *stream* ``None`` (the default) the handler follows the live
+    ``sys.stderr``; pass an explicit stream to pin it.  Idempotent:
+    repeated calls reconfigure the one handler this module installed
+    rather than stacking duplicates.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(verbosity_level(verbosity))
+    for handler in root.handlers:
+        if isinstance(handler, _LiveStreamHandler):
+            break
+    else:
+        handler = _LiveStreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    handler.pinned = stream
+    return root

@@ -1,0 +1,253 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Metrics are named with the same ``layer.metric`` dotted convention
+spans use, and carry optional string labels, e.g.::
+
+    obs.count("tracking.links_pruned", 3, evaluator="callstack")
+    obs.set_gauge("tracking.coverage_pct", 100)
+    obs.observe("bench.wall_time_s", 0.42)
+
+The module-level helpers (:func:`count`, :func:`set_gauge`,
+:func:`observe`) are gated on the enabled flag, so library hot paths
+can call them unconditionally; the :class:`MetricsRegistry` itself is
+ungated and can be instantiated separately for always-on consumers
+(the benchmark harness records wall-times that way).
+
+Histograms use fixed bucket boundaries (no dynamic resizing) so that
+aggregation is branch-cheap and the exported shape is stable.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable
+
+from repro.obs.core import STATE
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "count",
+    "set_gauge",
+    "observe",
+    "metrics_snapshot",
+]
+
+#: Default histogram boundaries: log-spaced seconds from 1µs to 100s.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0
+)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelItems:
+    """Canonical, hashable form of a label mapping."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_labels(labels: LabelItems) -> str:
+    """Render labels Prometheus-style: ``{evaluator=callstack}``."""
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add *n* (must be >= 0) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{format_labels(self.labels)}={self.value:g})"
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{format_labels(self.labels)}={self.value:g})"
+
+
+class Histogram:
+    """Fixed-bucket distribution with running sum and count.
+
+    ``counts[i]`` tallies observations ``<= bounds[i]``; the final
+    slot is the overflow bucket (``> bounds[-1]``).
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, labels: LabelItems, bounds: Iterable[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds or list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(
+                f"histogram {name} bounds must be non-empty and strictly "
+                f"increasing, got {bounds!r}"
+            )
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}{format_labels(self.labels)}, "
+            f"count={self.count}, mean={self.mean:g})"
+        )
+
+
+class MetricsRegistry:
+    """Keyed store of metrics; one instance per consumer context.
+
+    Metric identity is ``(kind, name, labels)`` — the same name may
+    exist with different label sets (one time series per combination),
+    but not as two different kinds.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, str, LabelItems], Any] = {}
+
+    def _get(self, kind: str, name: str, labels: dict[str, Any], factory):
+        key = (kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    for other_kind, other_name, other_labels in self._metrics:
+                        if other_name == name and other_kind != kind:
+                            raise ValueError(
+                                f"metric {name!r} already registered as "
+                                f"{other_kind}, cannot reuse as {kind}"
+                            )
+                    metric = factory(key[2])
+                    self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for ``name`` + *labels*, created on first use."""
+        return self._get("counter", name, labels, lambda lk: Counter(name, lk))
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge for ``name`` + *labels*, created on first use."""
+        return self._get("gauge", name, labels, lambda lk: Gauge(name, lk))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram for ``name`` + *labels*, created on first use."""
+        return self._get(
+            "histogram", name, labels, lambda lk: Histogram(name, lk, buckets)
+        )
+
+    def all_metrics(self) -> list[Any]:
+        """Every registered metric, sorted by (name, labels)."""
+        return sorted(self._metrics.values(), key=lambda m: (m.name, m.labels))
+
+    def snapshot(self) -> dict[str, list[dict[str, Any]]]:
+        """JSON-serialisable dump: ``{"counters": [...], "gauges": [...],
+        "histograms": [...]}``, each entry carrying name/labels/values."""
+        out: dict[str, list[dict[str, Any]]] = {
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+        }
+        for metric in self.all_metrics():
+            entry: dict[str, Any] = {
+                "name": metric.name,
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Counter):
+                entry["value"] = metric.value
+                out["counters"].append(entry)
+            elif isinstance(metric, Gauge):
+                entry["value"] = metric.value
+                out["gauges"].append(entry)
+            else:
+                entry.update(
+                    buckets=list(metric.bounds),
+                    counts=list(metric.counts),
+                    sum=metric.sum,
+                    count=metric.count,
+                )
+                out["histograms"].append(entry)
+        return out
+
+    def reset(self) -> None:
+        """Drop every registered metric."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The registry backing the gated module-level helpers.
+REGISTRY = MetricsRegistry()
+
+
+def count(name: str, n: float = 1.0, **labels: Any) -> None:
+    """Increment a counter — no-op while observability is disabled."""
+    if STATE.enabled:
+        REGISTRY.counter(name, **labels).inc(n)
+
+
+def set_gauge(name: str, value: float, **labels: Any) -> None:
+    """Set a gauge — no-op while observability is disabled."""
+    if STATE.enabled:
+        REGISTRY.gauge(name, **labels).set(value)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Record a histogram observation — no-op while disabled."""
+    if STATE.enabled:
+        REGISTRY.histogram(name, **labels).observe(value)
+
+
+def metrics_snapshot() -> dict[str, list[dict[str, Any]]]:
+    """Snapshot of the process-wide registry."""
+    return REGISTRY.snapshot()

@@ -1,0 +1,162 @@
+"""Span tracing: nested, monotonic-clocked stages with attributes.
+
+A *span* covers one pipeline stage — clustering one frame, running one
+evaluator, simulating one application — with a monotonic start/end
+timestamp and arbitrary key/value attributes (burst counts, eps, frame
+index...).  Spans nest through a per-thread stack, so the exporters can
+rebuild the stage tree of a whole run.
+
+Usage::
+
+    with obs.span("clustering.dbscan", n_points=n, eps=eps) as sp:
+        ...
+        sp.set(n_clusters=result.n_clusters)
+
+    @obs.traced("tracking.trends")
+    def compute_trends(...): ...
+
+When observability is disabled, :func:`span` returns a shared no-op
+object after one flag check — the disabled path allocates nothing.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, TypeVar
+
+from repro.obs.core import STATE
+
+__all__ = ["Span", "span", "traced", "current_span", "finished_spans"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class Span:
+    """One timed stage.  Use as a context manager; never instantiate a
+    :class:`Span` for a disabled run (that is :func:`span`'s job).
+
+    Attributes
+    ----------
+    span_id / parent_id:
+        Process-unique ids; ``parent_id`` is ``0`` for root spans.
+    name:
+        Dotted stage name (``layer.stage`` convention).
+    attrs:
+        Mutable attribute mapping; extend with :meth:`set`.
+    start / end:
+        Seconds since the observability epoch (monotonic clock);
+        ``end`` is ``0.0`` while the span is open.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "start", "end")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id = 0
+        self.start = 0.0
+        self.end = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return max(0.0, self.end - self.start)
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach or overwrite attributes; returns the span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = STATE.stack
+        self.span_id = STATE.next_id()
+        self.parent_id = stack[-1].span_id if stack else 0
+        stack.append(self)
+        self.start = time.perf_counter() - STATE.epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter() - STATE.epoch
+        stack = STATE.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # unbalanced exit (generator teardown etc.)
+            stack.remove(self)
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        STATE.spans.append(self)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(name={self.name!r}, duration={self.duration:.6f}, "
+            f"attrs={self.attrs!r})"
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in used whenever observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span named *name* with initial attributes.
+
+    Returns a context manager; the real :class:`Span` only when
+    observability is enabled, else the shared no-op singleton.
+    """
+    if not STATE.enabled:
+        return NULL_SPAN
+    return Span(name, attrs)
+
+
+def traced(name: str | None = None, **attrs: Any) -> Callable[[F], F]:
+    """Decorator tracing every call of the wrapped function as a span.
+
+    *name* defaults to the function's qualified name.  The disabled
+    path is a single flag check before delegating.
+    """
+
+    def decorate(fn: F) -> F:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            if not STATE.enabled:
+                return fn(*args, **kwargs)
+            with Span(span_name, dict(attrs)):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def current_span() -> Span | None:
+    """The innermost open span of the calling thread, if any."""
+    stack = STATE.stack
+    return stack[-1] if stack else None
+
+
+def finished_spans() -> tuple[Span, ...]:
+    """All completed spans recorded so far, in completion order."""
+    return tuple(STATE.spans)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+from repro import obs
 from repro.alignment.spmd import consensus_sequence
 from repro.clustering.frames import Frame
 from repro.tracking.correlation import CorrelationMatrix
@@ -179,14 +180,16 @@ def _callstacks_compatible(frame_x: Frame, cid_x: int, frame_y: Frame, cid_y: in
     )
 
 
-def _callstack_rescue(graph: nx.Graph, frame_a: Frame, frame_b: Frame) -> None:
+def _callstack_rescue(graph: nx.Graph, frame_a: Frame, frame_b: Frame) -> int:
     """Pair leftover objects whose call-stack reference is unambiguous.
 
     When displacements fail completely — the NAS BT case, where growing
     problem sizes move every cluster two orders of magnitude — an object
     with no candidate edges can still be matched if exactly one object
-    of the other frame shares its source references.
+    of the other frame shares its source references.  Returns the number
+    of edges added.
     """
+    added = 0
     for side, frame, other_frame, other_side in (
         ("A", frame_a, frame_b, "B"),
         ("B", frame_b, frame_a, "A"),
@@ -201,6 +204,8 @@ def _callstack_rescue(graph: nx.Graph, frame_a: Frame, frame_b: Frame) -> None:
             ]
             if len(candidates) == 1:
                 graph.add_edge((side, cid), (other_side, candidates[0]))
+                added += 1
+    return added
 
 
 def _sequence_rescue(
@@ -208,14 +213,14 @@ def _sequence_rescue(
     sequence: CorrelationMatrix,
     frame_a: Frame,
     frame_b: Frame,
-) -> bool:
+) -> int:
     """Match remaining orphans through the execution-sequence evidence.
 
     For each still-unmatched object, adds an edge towards the strongest
-    call-stack-compatible sequence correspondence.  Returns whether any
-    edge was added.
+    call-stack-compatible sequence correspondence.  Returns the number
+    of edges added.
     """
-    added = False
+    added = 0
     for cid_a in frame_a.cluster_ids:
         if graph.degree(("A", cid_a)) > 0:
             continue
@@ -227,7 +232,7 @@ def _sequence_rescue(
         if row:
             best = max(row, key=row.__getitem__)
             graph.add_edge(("A", cid_a), ("B", best))
-            added = True
+            added += 1
     transposed = sequence.transpose()
     for cid_b in frame_b.cluster_ids:
         if graph.degree(("B", cid_b)) > 0:
@@ -240,7 +245,7 @@ def _sequence_rescue(
         if row:
             best = max(row, key=row.__getitem__)
             graph.add_edge(("A", best), ("B", cid_b))
-            added = True
+            added += 1
     return added
 
 
@@ -250,14 +255,15 @@ def _attach_orphans(
     frame: Frame,
     simultaneity: CorrelationMatrix,
     threshold: float,
-) -> None:
+) -> int:
     """SPMD widening: connect unmatched objects to simultaneous siblings.
 
     An orphan (no cross-frame edge) is attached to the sibling cluster
     of its own frame with the strongest mutual simultaneity above
     *threshold*, provided the sibling is itself matched and both share a
-    call-stack reference.
+    call-stack reference.  Returns the number of orphans attached.
     """
+    attached = 0
     ids = frame.cluster_ids
     for cid in ids:
         node = (side, cid)
@@ -278,6 +284,8 @@ def _attach_orphans(
                 best_value = mutual
         if best_partner is not None:
             graph.add_edge(node, (side, best_partner))
+            attached += 1
+    return attached
 
 
 def _split_wide_relations(
@@ -295,6 +303,7 @@ def _split_wide_relations(
     prescribes).
     """
     out: list[Relation] = []
+    splits = 0
     for relation in relations:
         if not relation.is_wide:
             out.append(relation)
@@ -319,7 +328,10 @@ def _split_wide_relations(
             len(pieces) > 1
             and all(piece.left and piece.right for piece in pieces)
         )
+        if valid:
+            splits += 1
         out.extend(pieces if valid else [relation])
+    obs.count("tracking.relations_split", splits, evaluator="sequence")
     return out
 
 
@@ -361,15 +373,18 @@ def combine_pair(
         nearest-neighbour matching, which is what the ablation benches
         measure the heuristics' contributions against.
     """
-    disp_ab = displacement_matrix(frame_a, frame_b, points_a, points_b).drop_below(
-        outlier_threshold
-    )
-    disp_ba = displacement_matrix(frame_b, frame_a, points_b, points_a).drop_below(
-        outlier_threshold
-    )
-    cs_ab = callstack_matrix(frame_a, frame_b)
-    spmd_a = simultaneity_for_frame(frame_a, max_ranks=max_align_ranks)
-    spmd_b = simultaneity_for_frame(frame_b, max_ranks=max_align_ranks)
+    with obs.span("tracking.evaluator.displacement"):
+        disp_ab = displacement_matrix(frame_a, frame_b, points_a, points_b).drop_below(
+            outlier_threshold
+        )
+        disp_ba = displacement_matrix(frame_b, frame_a, points_b, points_a).drop_below(
+            outlier_threshold
+        )
+    with obs.span("tracking.evaluator.callstack"):
+        cs_ab = callstack_matrix(frame_a, frame_b)
+    with obs.span("tracking.evaluator.simultaneity"):
+        spmd_a = simultaneity_for_frame(frame_a, max_ranks=max_align_ranks)
+        spmd_b = simultaneity_for_frame(frame_b, max_ranks=max_align_ranks)
 
     def compatible(cid_a: int, cid_b: int) -> bool:
         if not use_callstack:
@@ -381,18 +396,36 @@ def combine_pair(
         graph.add_node(("A", cid))
     for cid in frame_b.cluster_ids:
         graph.add_node(("B", cid))
+    proposed = 0
+    pruned = 0
     for cid_a, cid_b, _ in disp_ab.nonzero_pairs():
+        proposed += 1
         if compatible(cid_a, cid_b):
             graph.add_edge(("A", cid_a), ("B", cid_b))
+        else:
+            pruned += 1
     for cid_b, cid_a, _ in disp_ba.nonzero_pairs():
+        proposed += 1
         if compatible(cid_a, cid_b):
             graph.add_edge(("A", cid_a), ("B", cid_b))
+        else:
+            pruned += 1
+    if obs.enabled():
+        obs.count("tracking.links_proposed", proposed, evaluator="displacement")
+        obs.count("tracking.links_pruned", pruned, evaluator="callstack")
+        obs.count(
+            "tracking.links_confirmed",
+            graph.number_of_edges(),
+            evaluator="displacement",
+        )
 
     if use_callstack:
-        _callstack_rescue(graph, frame_a, frame_b)
+        rescued = _callstack_rescue(graph, frame_a, frame_b)
+        obs.count("tracking.links_rescued", rescued, evaluator="callstack")
     if use_spmd:
-        _attach_orphans(graph, "B", frame_b, spmd_b, spmd_threshold)
-        _attach_orphans(graph, "A", frame_a, spmd_a, spmd_threshold)
+        widened = _attach_orphans(graph, "B", frame_b, spmd_b, spmd_threshold)
+        widened += _attach_orphans(graph, "A", frame_a, spmd_a, spmd_threshold)
+        obs.count("tracking.links_widened", widened, evaluator="simultaneity")
 
     relations = _component_relations(graph)
 
@@ -407,22 +440,28 @@ def combine_pair(
     if use_sequence and pivots and (
         has_orphans or any(rel.is_wide for rel in relations)
     ):
-        consensus_a = consensus_sequence(
-            frame_alignment(frame_a, max_ranks=max_align_ranks)
-        )
-        consensus_b = consensus_sequence(
-            frame_alignment(frame_b, max_ranks=max_align_ranks)
-        )
-        sequence_ab = sequence_matrix(
-            consensus_a,
-            consensus_b,
-            frame_a.cluster_ids,
-            frame_b.cluster_ids,
-            pivots,
-        ).drop_below(sequence_threshold)
-        if has_orphans and _sequence_rescue(graph, sequence_ab, frame_a, frame_b):
-            relations = _component_relations(graph)
-        relations = _split_wide_relations(relations, sequence_ab, frame_a, frame_b)
+        with obs.span("tracking.evaluator.sequence", n_pivots=len(pivots)):
+            consensus_a = consensus_sequence(
+                frame_alignment(frame_a, max_ranks=max_align_ranks)
+            )
+            consensus_b = consensus_sequence(
+                frame_alignment(frame_b, max_ranks=max_align_ranks)
+            )
+            sequence_ab = sequence_matrix(
+                consensus_a,
+                consensus_b,
+                frame_a.cluster_ids,
+                frame_b.cluster_ids,
+                pivots,
+            ).drop_below(sequence_threshold)
+            if has_orphans:
+                rescued = _sequence_rescue(graph, sequence_ab, frame_a, frame_b)
+                obs.count("tracking.links_rescued", rescued, evaluator="sequence")
+                if rescued:
+                    relations = _component_relations(graph)
+            relations = _split_wide_relations(
+                relations, sequence_ab, frame_a, frame_b
+            )
 
     relations.sort(key=lambda rel: (min(rel.left, default=1 << 30), min(rel.right, default=1 << 30)))
     return PairRelations(

@@ -14,13 +14,17 @@ from dataclasses import dataclass
 
 import networkx as nx
 
+from repro import obs
 from repro.clustering.frames import Frame
 from repro.errors import TrackingError
+from repro.obs.log import get_logger
 from repro.tracking.combine import PairRelations, combine_pair
 from repro.tracking.coverage import coverage_percent
 from repro.tracking.scaling import NormalizedSpace, normalize_frames
 
 __all__ = ["TrackerConfig", "TrackedRegion", "TrackingResult", "Tracker"]
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -187,37 +191,53 @@ class Tracker:
     def run(self) -> TrackingResult:
         """Execute the full pipeline and return the result."""
         config = self.config
-        space = normalize_frames(
-            self.frames,
-            reference=config.reference,
-            log_extensive=config.log_extensive,
-        )
-        pair_relations: list[PairRelations] = []
-        for index in range(len(self.frames) - 1):
-            pair_relations.append(
-                combine_pair(
-                    self.frames[index],
-                    self.frames[index + 1],
-                    space.points[index],
-                    space.points[index + 1],
-                    outlier_threshold=config.outlier_threshold,
-                    spmd_threshold=config.spmd_threshold,
-                    sequence_threshold=config.sequence_threshold,
-                    max_align_ranks=config.max_align_ranks,
-                    use_callstack=config.use_callstack,
-                    use_spmd=config.use_spmd,
-                    use_sequence=config.use_sequence,
+        with obs.span("tracking.run", n_frames=len(self.frames)) as run_span:
+            with obs.span("tracking.normalize"):
+                space = normalize_frames(
+                    self.frames,
+                    reference=config.reference,
+                    log_extensive=config.log_extensive,
                 )
+            pair_relations: list[PairRelations] = []
+            for index in range(len(self.frames) - 1):
+                with obs.span("tracking.pair", pair=index):
+                    pair_relations.append(
+                        combine_pair(
+                            self.frames[index],
+                            self.frames[index + 1],
+                            space.points[index],
+                            space.points[index + 1],
+                            outlier_threshold=config.outlier_threshold,
+                            spmd_threshold=config.spmd_threshold,
+                            sequence_threshold=config.sequence_threshold,
+                            max_align_ranks=config.max_align_ranks,
+                            use_callstack=config.use_callstack,
+                            use_spmd=config.use_spmd,
+                            use_sequence=config.use_sequence,
+                        )
+                    )
+            with obs.span("tracking.chain"):
+                regions = self._chain(pair_relations)
+            coverage = coverage_percent(regions, self.frames)
+            if obs.enabled():
+                run_span.set(n_regions=len(regions), coverage=coverage)
+                obs.count(
+                    "tracking.relations_total",
+                    sum(len(pair.relations) for pair in pair_relations),
+                )
+                obs.count("tracking.regions_total", len(regions))
+                obs.set_gauge("tracking.coverage_pct", coverage)
+                log.debug(
+                    "tracked %d frames into %d regions (%d%% coverage)",
+                    len(self.frames), len(regions), coverage,
+                )
+            return TrackingResult(
+                frames=tuple(self.frames),
+                space=space,
+                pair_relations=tuple(pair_relations),
+                regions=tuple(regions),
+                coverage=coverage,
             )
-        regions = self._chain(pair_relations)
-        coverage = coverage_percent(regions, self.frames)
-        return TrackingResult(
-            frames=tuple(self.frames),
-            space=space,
-            pair_relations=tuple(pair_relations),
-            regions=tuple(regions),
-            coverage=coverage,
-        )
 
     def _chain(self, pair_relations: list[PairRelations]) -> list[TrackedRegion]:
         """Chain the pairwise relations into whole-sequence regions."""

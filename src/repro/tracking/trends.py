@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import TrackingError
 from repro.tracking.tracker import TrackedRegion, TrackingResult
 
@@ -130,26 +131,30 @@ def compute_trends(
     """
     if aggregate not in _AGGREGATES:
         raise TrackingError(f"aggregate must be one of {_AGGREGATES}, got {aggregate!r}")
-    labels = tuple(frame.label for frame in result.frames)
-    regions = result.tracked_regions if only_spanning else result.regions
-    series: list[TrendSeries] = []
-    for region in regions:
-        values = np.asarray(
-            [
-                _region_metric(result, region, index, metric, aggregate)
-                for index in range(result.n_frames)
-            ]
-        )
-        series.append(
-            TrendSeries(
-                region_id=region.region_id,
-                metric=metric,
-                aggregate=aggregate,
-                frame_labels=labels,
-                values=values,
+    with obs.span("tracking.trends", metric=metric, aggregate=aggregate) as trend_span:
+        labels = tuple(frame.label for frame in result.frames)
+        regions = result.tracked_regions if only_spanning else result.regions
+        series: list[TrendSeries] = []
+        for region in regions:
+            values = np.asarray(
+                [
+                    _region_metric(result, region, index, metric, aggregate)
+                    for index in range(result.n_frames)
+                ]
             )
-        )
-    return series
+            series.append(
+                TrendSeries(
+                    region_id=region.region_id,
+                    metric=metric,
+                    aggregate=aggregate,
+                    frame_labels=labels,
+                    values=values,
+                )
+            )
+        if obs.enabled():
+            trend_span.set(n_series=len(series))
+            obs.count("trends.series_total", len(series))
+        return series
 
 
 def top_variations(

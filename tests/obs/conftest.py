@@ -1,0 +1,16 @@
+"""Fixtures for the observability tests: every test gets clean state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Reset spans/metrics and restore the disabled default afterwards."""
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

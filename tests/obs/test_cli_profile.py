@@ -1,0 +1,134 @@
+"""CLI observability: ``--profile``, ``-v/-q``, and the REPRO_OBS env var.
+
+Includes the smoke check required by CI: ``python -m repro track
+--profile`` over two small simulated traces must exit 0 and emit a
+parseable profile.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.cli import build_parser, main
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def trace_pair(tmp_path):
+    """Two small simulated HydroC traces saved to disk."""
+    paths = []
+    for index, block in enumerate((32, 64)):
+        path = tmp_path / f"trace{index}.json"
+        assert main([
+            "simulate", "hydroc", f"block_size={block}", "ranks=4",
+            "iterations=3", "--seed", str(index), "-o", str(path),
+        ]) == 0
+        paths.append(str(path))
+    return paths
+
+
+class TestParser:
+    def test_profile_flag_forms(self):
+        parser = build_parser()
+        args = parser.parse_args(["track", "a", "b"])
+        assert args.profile is None
+        args = parser.parse_args(["track", "a", "b", "--profile"])
+        assert args.profile == ""
+        args = parser.parse_args(["track", "a", "b", "--profile", "out.json"])
+        assert args.profile == "out.json"
+        for command in ("study", "table2"):
+            names = ["x"] if command == "study" else []
+            assert parser.parse_args([command, *names, "--profile"]).profile == ""
+
+    def test_verbosity_before_or_after_subcommand(self):
+        parser = build_parser()
+        assert parser.parse_args(["-v", "info"]).verbose == 1
+        assert parser.parse_args(["info", "-v"]).verbose == 1
+        assert parser.parse_args(["info", "-vv"]).verbose == 2
+        assert parser.parse_args(["-q", "info"]).quiet == 1
+
+
+class TestTrackProfile:
+    def test_profile_prints_tree_and_counters(self, trace_pair, capsys):
+        assert main(["track", *trace_pair, "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "stage-time tree" in err
+        assert "clustering.make_frame" in err
+        assert "tracking.evaluator.displacement" in err
+        assert "tracking.links_proposed{evaluator=displacement}" in err
+        # --profile must not leave observability enabled behind.
+        assert not obs.enabled()
+
+    def test_profile_writes_chrome_trace(self, trace_pair, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        assert main(["track", *trace_pair, "--profile", str(out)]) == 0
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        assert events, "chrome trace must contain events"
+        assert all(event["ph"] == "X" for event in events)
+        names = {event["name"] for event in events}
+        assert "tracking.run" in names
+
+    def test_no_profile_no_tree(self, trace_pair, capsys):
+        assert main(["track", *trace_pair]) == 0
+        assert "stage-time tree" not in capsys.readouterr().err
+
+
+class TestStudyProfile:
+    def test_study_profile_covers_pipeline(self, capsys):
+        assert main(["study", "WRF", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "study.run" in err
+        assert "clustering.dbscan" in err
+        assert "tracking.evaluator.simultaneity" in err
+        assert "tracking.trends" in err
+        assert "tracking.links_confirmed{evaluator=displacement}" in err
+
+
+class TestVerboseLogging:
+    def test_verbose_shows_override_log(self, trace_pair, capsys):
+        code = main(["track", *trace_pair, "--log-y", "-v"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "log_extensive" in err
+
+    def test_quiet_by_default(self, trace_pair, capsys):
+        assert main(["track", *trace_pair, "--log-y"]) == 0
+        assert "log_extensive" not in capsys.readouterr().err
+
+
+class TestSmokeSubprocess:
+    """The CI smoke check: a real interpreter, REPRO_OBS from env."""
+
+    def test_track_profile_subprocess(self, trace_pair, tmp_path):
+        out = tmp_path / "chrome.json"
+        env = dict(os.environ, REPRO_OBS="1", PYTHONPATH=REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "track", *trace_pair,
+             "--profile", str(out)],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "stage-time tree" in proc.stderr
+        assert "tracking.links_proposed" in proc.stderr
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+
+    def test_env_var_alone_emits_summary_at_exit(self, trace_pair):
+        env = dict(os.environ, REPRO_OBS="1", PYTHONPATH=REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "track", *trace_pair],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        # No --profile given: the CLI flushes because REPRO_OBS enabled
+        # tracing, so the atexit fallback stays silent (no double print).
+        assert proc.stderr.count("stage-time tree") == 1

@@ -1,0 +1,120 @@
+"""Exporters: stage tree, Chrome Trace Event format, JSON-lines."""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+from repro import obs
+
+
+def _record_sample_run():
+    obs.enable()
+    with obs.span("pipeline", n_traces=2):
+        for index in range(2):
+            with obs.span("clustering.frame", frame=index):
+                time.sleep(0.001)
+        with obs.span("tracking.run"):
+            time.sleep(0.001)
+    obs.count("tracking.links_pruned", 4, evaluator="callstack")
+
+
+class TestTree:
+    def test_aggregates_repeated_stages(self):
+        _record_sample_run()
+        tree = obs.render_tree()
+        assert "pipeline" in tree
+        assert "clustering.frame  x2" in tree
+        assert "tracking.run" in tree
+
+    def test_empty_tree_message(self):
+        assert "no spans" in obs.render_tree()
+
+    def test_metrics_rendering(self):
+        _record_sample_run()
+        text = obs.render_metrics()
+        assert "tracking.links_pruned{evaluator=callstack} = 4" in text
+
+    def test_summary_writes_stream_and_marks_flushed(self):
+        _record_sample_run()
+        stream = io.StringIO()
+        obs.summary(stream)
+        output = stream.getvalue()
+        assert "stage-time tree" in output
+        assert "tracking.links_pruned" in output
+        from repro.obs.core import STATE
+
+        assert STATE.flushed
+
+
+class TestChromeTrace:
+    def test_valid_document(self, tmp_path):
+        _record_sample_run()
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path)
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert len(events) == 4
+        assert all(event["ph"] == "X" for event in events)
+        assert all(event["dur"] >= 0 for event in events)
+        assert all(isinstance(event["ts"], float) for event in events)
+        names = {event["name"] for event in events}
+        assert names == {"pipeline", "clustering.frame", "tracking.run"}
+
+    def test_args_carry_attributes(self, tmp_path):
+        _record_sample_run()
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path)
+        document = json.loads(path.read_text())
+        frames = [
+            event for event in document["traceEvents"]
+            if event["name"] == "clustering.frame"
+        ]
+        assert sorted(event["args"]["frame"] for event in frames) == [0, 1]
+
+    def test_numpy_attrs_serialised(self, tmp_path):
+        import numpy as np
+
+        obs.enable()
+        with obs.span("s", count=np.int64(3), ratio=np.float64(0.5)):
+            pass
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path)
+        (event,) = json.loads(path.read_text())["traceEvents"]
+        assert event["args"] == {"count": 3, "ratio": 0.5}
+
+    def test_events_sorted_by_start(self, tmp_path):
+        _record_sample_run()
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path)
+        timestamps = [e["ts"] for e in json.loads(path.read_text())["traceEvents"]]
+        assert timestamps == sorted(timestamps)
+
+
+class TestJsonl:
+    def test_one_record_per_span_plus_metrics(self, tmp_path):
+        _record_sample_run()
+        path = tmp_path / "spans.jsonl"
+        obs.write_jsonl(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        span_lines, metric_lines = lines[:-1], lines[-1]
+        assert len(span_lines) == 4
+        assert {"span_id", "parent_id", "name", "start", "end", "duration"} <= set(
+            span_lines[0]
+        )
+        assert "metrics" in metric_lines
+        pruned = [
+            counter for counter in metric_lines["metrics"]["counters"]
+            if counter["name"] == "tracking.links_pruned"
+        ]
+        assert pruned and pruned[0]["value"] == 4
+
+    def test_parent_ids_resolve(self, tmp_path):
+        _record_sample_run()
+        path = tmp_path / "spans.jsonl"
+        obs.write_jsonl(path)
+        records = [json.loads(line) for line in path.read_text().splitlines()][:-1]
+        ids = {record["span_id"] for record in records}
+        for record in records:
+            assert record["parent_id"] == 0 or record["parent_id"] in ids

@@ -1,0 +1,109 @@
+"""Metrics registry: counters, gauges, histograms, labels, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounters:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("clustering.points_total")
+        counter.inc()
+        counter.inc(41)
+        assert registry.counter("clustering.points_total").value == 42
+
+    def test_labels_partition_series(self):
+        registry = MetricsRegistry()
+        registry.counter("links_pruned", evaluator="callstack").inc(3)
+        registry.counter("links_pruned", evaluator="sequence").inc(5)
+        assert registry.counter("links_pruned", evaluator="callstack").value == 3
+        assert registry.counter("links_pruned", evaluator="sequence").value == 5
+
+    def test_cannot_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("coverage_pct")
+        gauge.set(66)
+        gauge.set(100)
+        assert registry.gauge("coverage_pct").value == 100
+
+
+class TestHistograms:
+    def test_bucket_assignment(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        # <=1, <=10, <=100, overflow
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(556.5)
+        assert hist.mean == pytest.approx(556.5 / 5)
+
+    def test_rejects_bad_bounds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(3.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("empty", buckets=())
+
+
+class TestGatedHelpers:
+    def test_disabled_records_nothing(self):
+        assert not obs.enabled()
+        obs.count("a", 5)
+        obs.set_gauge("b", 1.0)
+        obs.observe("c", 0.1)
+        snapshot = obs.metrics_snapshot()
+        assert snapshot == {"counters": [], "gauges": [], "histograms": []}
+
+    def test_enabled_records(self):
+        obs.enable()
+        obs.count("tracking.links_pruned", 2, evaluator="callstack")
+        obs.count("tracking.links_pruned", 3, evaluator="callstack")
+        obs.set_gauge("tracking.coverage_pct", 88)
+        obs.observe("stage.seconds", 0.25)
+        snapshot = obs.metrics_snapshot()
+        (counter,) = snapshot["counters"]
+        assert counter["name"] == "tracking.links_pruned"
+        assert counter["labels"] == {"evaluator": "callstack"}
+        assert counter["value"] == 5
+        (gauge,) = snapshot["gauges"]
+        assert gauge["value"] == 88
+        (hist,) = snapshot["histograms"]
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(0.25)
+
+    def test_reset_clears(self):
+        obs.enable()
+        obs.count("a")
+        obs.reset()
+        assert obs.metrics_snapshot()["counters"] == []
+
+
+class TestSnapshotShape:
+    def test_json_serialisable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c", k="v").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.01)
+        text = json.dumps(registry.snapshot())
+        assert "counters" in json.loads(text)

@@ -1,0 +1,144 @@
+"""Span tracing: nesting, timing, attributes, and the disabled path."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import NULL_SPAN
+
+
+class TestNesting:
+    def test_parent_child_ids(self):
+        obs.enable()
+        with obs.span("parent") as parent:
+            with obs.span("child") as child:
+                with obs.span("grandchild") as grandchild:
+                    pass
+        assert parent.parent_id == 0
+        assert child.parent_id == parent.span_id
+        assert grandchild.parent_id == child.span_id
+
+    def test_siblings_share_parent(self):
+        obs.enable()
+        with obs.span("parent") as parent:
+            with obs.span("a") as a:
+                pass
+            with obs.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+        assert a.span_id != b.span_id
+
+    def test_completion_order_children_first(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        names = [sp.name for sp in obs.finished_spans()]
+        assert names == ["inner", "outer"]
+
+    def test_child_time_within_parent(self):
+        obs.enable()
+        with obs.span("outer") as outer:
+            time.sleep(0.001)
+            with obs.span("inner") as inner:
+                time.sleep(0.002)
+            time.sleep(0.001)
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert inner.duration <= outer.duration
+        assert inner.duration >= 0.002
+
+    def test_current_span(self):
+        obs.enable()
+        assert obs.current_span() is None
+        with obs.span("a") as a:
+            assert obs.current_span() is a
+        assert obs.current_span() is None
+
+
+class TestAttributes:
+    def test_initial_and_set(self):
+        obs.enable()
+        with obs.span("stage", n_bursts=100, eps=0.03) as sp:
+            sp.set(n_clusters=7)
+        assert sp.attrs == {"n_bursts": 100, "eps": 0.03, "n_clusters": 7}
+
+    def test_exception_marks_error_and_records(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("failing"):
+                raise ValueError("boom")
+        (sp,) = obs.finished_spans()
+        assert sp.attrs["error"] == "ValueError"
+        assert obs.current_span() is None  # stack unwound
+
+    def test_traced_decorator(self):
+        obs.enable()
+
+        @obs.traced("my.stage", kind="unit-test")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        (sp,) = obs.finished_spans()
+        assert sp.name == "my.stage"
+        assert sp.attrs == {"kind": "unit-test"}
+
+    def test_traced_default_name(self):
+        obs.enable()
+
+        @obs.traced()
+        def some_function():
+            return 1
+
+        some_function()
+        (sp,) = obs.finished_spans()
+        assert "some_function" in sp.name
+
+
+class TestDisabledPath:
+    def test_no_spans_recorded(self):
+        assert not obs.enabled()
+        with obs.span("stage", n=1) as sp:
+            sp.set(more=2)
+        assert obs.finished_spans() == ()
+
+    def test_null_span_singleton(self):
+        assert obs.span("a") is obs.span("b") is NULL_SPAN
+
+    def test_traced_passthrough(self):
+        @obs.traced("x")
+        def fn():
+            return "value"
+
+        assert fn() == "value"
+        assert obs.finished_spans() == ()
+
+    def test_disabled_span_cost_sanity_bound(self):
+        """The disabled path must stay well under a microsecond per call.
+
+        Sanity bound (5µs), not a tight benchmark — a regression that
+        starts allocating spans or touching thread-locals while disabled
+        blows far past this.
+        """
+        n = 50_000
+        span = obs.span
+        start = time.perf_counter()
+        for _ in range(n):
+            span("hot.stage", a=1)
+        per_call = (time.perf_counter() - start) / n
+        assert per_call < 5e-6
+
+    def test_enable_disable_toggle(self):
+        obs.enable()
+        with obs.span("on"):
+            pass
+        obs.disable()
+        with obs.span("off"):
+            pass
+        names = [sp.name for sp in obs.finished_spans()]
+        assert names == ["on"]
