@@ -6,21 +6,45 @@ an adopter cares about when sizing the tool for real traces:
 
 - DBSCAN + frame construction throughput on a mid-sized frame;
 - one full tracking pass (pair of frames);
-- the displacement evaluator alone (the hot nearest-neighbour path).
+- the displacement evaluator alone (the hot nearest-neighbour path);
+- the parallel execution layer (``jobs=N`` vs ``jobs=1``) and the
+  content-addressed cache (warm vs cold) on a four-scenario study.
 """
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
-from benchmarks.conftest import BENCH_SEED
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.analysis.study import ParametricStudy
 from repro.apps import wrf
 from repro.clustering.frames import FrameSettings, make_frame, make_frames
+from repro.parallel.cache import PipelineCache
 from repro.tracking.evaluators.displacement import displacement_matrix
 from repro.tracking.scaling import normalize_frames
 from repro.tracking.tracker import Tracker
 
 SETTINGS = FrameSettings(relevance=0.995)
+
+#: Four heavy scenarios: enough per-task work that worker processes can
+#: amortise their startup and the cache has something real to save.
+HEAVY_STUDY = ParametricStudy(
+    app="wrf",
+    scenarios=tuple(
+        {"ranks": ranks, "iterations": 6, "base_ranks": 64}
+        for ranks in (64, 96, 128, 160)
+    ),
+    settings=SETTINGS,
+)
+
+
+def _assert_study_results_equal(first, second) -> None:
+    assert first.traces == second.traces
+    assert first.result.coverage == second.result.coverage
+    assert first.result.regions == second.result.regions
 
 
 @pytest.fixture(scope="module")
@@ -59,3 +83,67 @@ def test_perf_full_tracking(benchmark, mid_frames):
         lambda: Tracker(list(mid_frames)).run(), rounds=3, iterations=1
     )
     assert result.coverage == 100
+
+
+def test_perf_study_parallel_vs_serial(benchmark):
+    """Four scenarios with ``jobs=1`` vs one worker per CPU.
+
+    On a multi-core host the parallel run must be strictly faster; on a
+    single core the comparison is recorded but not enforced (there is
+    nothing to win — the executor itself degrades to serial).  Either
+    way the results must be bit-identical.
+    """
+    cpus = os.cpu_count() or 1
+
+    start = time.perf_counter()
+    serial = HEAVY_STUDY.run(seed=BENCH_SEED, jobs=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_once(
+        benchmark, lambda: HEAVY_STUDY.run(seed=BENCH_SEED, jobs=cpus)
+    )
+    parallel_s = time.perf_counter() - start
+
+    _assert_study_results_equal(serial, parallel)
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["jobs"] = cpus
+    print(
+        f"\nstudy (4 scenarios): jobs=1 {serial_s:.2f}s, "
+        f"jobs={cpus} {parallel_s:.2f}s "
+        f"(speedup x{serial_s / parallel_s:.2f})"
+    )
+    if cpus >= 2:
+        assert parallel_s < serial_s
+
+
+def test_perf_cache_warm_vs_cold(benchmark, tmp_path):
+    """A warm-cache rerun must cost < 25% of the cold run.
+
+    The cold run pays simulation + DBSCAN for all four scenarios; the
+    warm run replays traces and labels from the content-addressed cache
+    and only re-runs the (cheap, order-sensitive) tracking stage.
+    """
+    cache = PipelineCache(tmp_path / "cache")
+
+    start = time.perf_counter()
+    cold = HEAVY_STUDY.run(seed=BENCH_SEED, cache=cache)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_once(
+        benchmark, lambda: HEAVY_STUDY.run(seed=BENCH_SEED, cache=cache)
+    )
+    warm_s = time.perf_counter() - start
+
+    _assert_study_results_equal(cold, warm)
+    info = cache.info()
+    assert info.by_kind == {"frame": 4, "trace": 4}
+    benchmark.extra_info["cold_s"] = round(cold_s, 3)
+    benchmark.extra_info["warm_s"] = round(warm_s, 3)
+    print(
+        f"\nstudy (4 scenarios): cold {cold_s:.2f}s, warm {warm_s:.2f}s "
+        f"(ratio {warm_s / cold_s:.3f})"
+    )
+    assert warm_s < 0.25 * cold_s

@@ -40,6 +40,7 @@ from repro.api import (
     track_frames,
 )
 from repro.clustering import ClusterSet, DBSCAN, Frame
+from repro.parallel import PipelineCache, pmap, resolve_cache, resolve_jobs
 from repro.tracking import TrackedRegion, Tracker, TrackingResult
 from repro.trace import CPUBurst, Trace
 
@@ -50,11 +51,15 @@ __all__ = [
     "DBSCAN",
     "ClusterSet",
     "Frame",
+    "PipelineCache",
     "Tracker",
     "TrackingResult",
     "TrackedRegion",
     "cluster_trace",
     "make_frames",
+    "pmap",
     "quick_track",
+    "resolve_cache",
+    "resolve_jobs",
     "track_frames",
 ]

@@ -10,6 +10,7 @@ microseconds, keeping the per-rank alignments of large frames cheap.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +18,17 @@ import numpy as np
 from repro.errors import AlignmentError
 
 __all__ = ["GAP", "Alignment", "global_align"]
+
+
+def _close(a: float, b: float) -> bool:
+    """Float equality with a small tolerance for the DP backtrack.
+
+    The score table is filled with a vectorised max-plus scan while the
+    backtrack recomputes candidate scores scalar-by-scalar; with exact
+    ``==`` a pathological scoring scheme (e.g. irrational penalties)
+    can disagree in the last ulp and dead-end the walk.
+    """
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
 
 #: Sentinel stored in aligned sequences where a gap was inserted.
 GAP = -1
@@ -111,7 +123,10 @@ def global_align(
         score[i, 1:] = (np.maximum.accumulate(c - j_gap) + j_gap)[1:]
 
     # Backtrack, recomputing directions from the score table with the
-    # preference order diag > up > left.
+    # preference order diag > up > left.  Score comparisons use a small
+    # tolerance, and each border forces the only legal move, so the
+    # walk always terminates: every iteration decrements i or j and
+    # neither goes negative.
     out_a: list[int] = []
     out_b: list[int] = []
     i, j = n, m
@@ -119,13 +134,13 @@ def global_align(
         current = score[i, j]
         if i > 0 and j > 0:
             sub = match if a[i - 1] == b[j - 1] else mismatch
-            if current == score[i - 1, j - 1] + sub:
+            if _close(current, score[i - 1, j - 1] + sub):
                 out_a.append(int(a[i - 1]))
                 out_b.append(int(b[j - 1]))
                 i -= 1
                 j -= 1
                 continue
-        if i > 0 and current == score[i - 1, j] + gap:
+        if i > 0 and (j == 0 or _close(current, score[i - 1, j] + gap)):
             out_a.append(int(a[i - 1]))
             out_b.append(GAP)
             i -= 1

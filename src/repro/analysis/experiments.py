@@ -27,8 +27,12 @@ Average coverage ~90 %.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.study import ParametricStudy, StudyResult
+
+if TYPE_CHECKING:
+    from repro.parallel.cache import PipelineCache
 from repro.apps import nasft
 from repro.apps.hydroc import BLOCK_SIZES
 from repro.clustering.frames import FrameSettings
@@ -56,9 +60,15 @@ class CaseStudy:
     expected_regions: int
     expected_coverage: int
 
-    def run(self, *, seed: int = 0) -> StudyResult:
-        """Execute the study."""
-        return self.study.run(seed=seed)
+    def run(
+        self,
+        *,
+        seed: int = 0,
+        jobs: int | None = None,
+        cache: "PipelineCache | None" = None,
+    ) -> StudyResult:
+        """Execute the study (``jobs``/``cache`` as in :meth:`ParametricStudy.run`)."""
+        return self.study.run(seed=seed, jobs=jobs, cache=cache)
 
 
 def _nasft_windows(traces):

@@ -9,7 +9,7 @@ a trend cache — everything the benches and examples consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro import obs
 from repro.apps.base import AppModel
@@ -17,13 +17,23 @@ from repro.apps.registry import build_app
 from repro.clustering.frames import FrameSettings, make_frames
 from repro.errors import StudyError
 from repro.obs.log import get_logger
+from repro.parallel.executor import pmap
 from repro.tracking.tracker import Tracker, TrackerConfig, TrackingResult
 from repro.tracking.trends import TrendSeries, compute_trends
 from repro.trace.trace import Trace
 
+if TYPE_CHECKING:
+    from repro.parallel.cache import PipelineCache
+
 __all__ = ["ParametricStudy", "StudyResult"]
 
 log = get_logger(__name__)
+
+
+def _simulate_task(task: tuple[str, dict[str, Any], int]) -> Trace:
+    """Worker-side task: simulate one scenario (module-level for pickling)."""
+    app, scenario, seed = task
+    return build_app(app, **scenario).run(seed=seed)
 
 
 @dataclass(frozen=True)
@@ -92,20 +102,79 @@ class ParametricStudy:
         """Instantiate the application model of every scenario."""
         return [build_app(self.app, **dict(scenario)) for scenario in self.scenarios]
 
-    def run(self, *, seed: int = 0) -> StudyResult:
+    def _simulate(
+        self,
+        *,
+        seed: int,
+        jobs: int | None,
+        cache: "PipelineCache | None",
+    ) -> list[Trace]:
+        """Simulate every scenario, using the trace cache when given.
+
+        Cache hits are resolved up front; only the misses are fanned
+        out through :func:`repro.parallel.executor.pmap`, then stored.
+        Output order always matches the scenario order.
+        """
+        from repro.parallel.cache import trace_key
+
+        tasks = [
+            (self.app, dict(scenario), seed + index)
+            for index, scenario in enumerate(self.scenarios)
+        ]
+        traces: list[Trace | None] = [None] * len(tasks)
+        keys: list[dict | None] = [None] * len(tasks)
+        pending: list[int] = []
+        for index, task in enumerate(tasks):
+            if cache is not None:
+                keys[index] = trace_key(*task)
+                cached = cache.get_trace(keys[index])
+                if cached is not None:
+                    traces[index] = cached
+                    continue
+            pending.append(index)
+        if pending:
+            simulated = pmap(
+                _simulate_task,
+                [tasks[index] for index in pending],
+                jobs=jobs,
+                label="study.simulate.pmap",
+            )
+            for index, trace in zip(pending, simulated):
+                traces[index] = trace
+                if cache is not None:
+                    cache.put_trace(keys[index], trace)
+        return traces  # type: ignore[return-value]
+
+    def run(
+        self,
+        *,
+        seed: int = 0,
+        jobs: int | None = None,
+        cache: "PipelineCache | None" = None,
+    ) -> StudyResult:
         """Execute the sweep: simulate, cluster, track.
 
         Each scenario gets a derived seed so experiments are independent
         but the whole study is reproducible from one integer.
+
+        Parameters
+        ----------
+        seed:
+            Base seed; scenario *i* runs with ``seed + i``.
+        jobs:
+            Worker count for the parallel stages (scenario simulation,
+            per-trace frame construction, per-pair combination).
+            ``None`` defers to ``REPRO_JOBS``; results are bit-identical
+            to a serial run.
+        cache:
+            Optional :class:`repro.parallel.cache.PipelineCache` making
+            the simulate and cluster stages incremental across runs.
         """
         with obs.span(
             "study.run", app=self.app, n_scenarios=len(self.scenarios)
         ):
             with obs.span("study.simulate"):
-                traces = [
-                    model.run(seed=seed + index)
-                    for index, model in enumerate(self.build_models())
-                ]
+                traces = self._simulate(seed=seed, jobs=jobs, cache=cache)
                 if self.trace_hook is not None:
                     traces = self.trace_hook(traces)
             if len(traces) < 2:
@@ -123,6 +192,6 @@ class ParametricStudy:
                     "log space", self.app,
                 )
                 config = replace(config, log_extensive=True)
-            frames = make_frames(traces, self.settings)
-            result = Tracker(frames, config).run()
+            frames = make_frames(traces, self.settings, jobs=jobs, cache=cache)
+            result = Tracker(frames, config).run(jobs=jobs)
             return StudyResult(study=self, traces=tuple(traces), result=result)

@@ -7,11 +7,16 @@ stages directly (:mod:`repro.clustering`, :mod:`repro.tracking`).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro import obs
 from repro.clustering.frames import Frame, FrameSettings, make_frame, make_frames
 from repro.obs.log import get_logger
 from repro.tracking.tracker import Tracker, TrackerConfig, TrackingResult
 from repro.trace.trace import Trace
+
+if TYPE_CHECKING:
+    from repro.parallel.cache import PipelineCache
 
 __all__ = ["cluster_trace", "make_frames", "track_frames", "quick_track"]
 
@@ -24,10 +29,13 @@ def cluster_trace(trace: Trace, settings: FrameSettings | None = None) -> Frame:
 
 
 def track_frames(
-    frames: list[Frame], config: TrackerConfig | None = None
+    frames: list[Frame],
+    config: TrackerConfig | None = None,
+    *,
+    jobs: int | None = None,
 ) -> TrackingResult:
     """Track objects across already-built frames."""
-    return Tracker(frames, config).run()
+    return Tracker(frames, config).run(jobs=jobs)
 
 
 def quick_track(
@@ -35,6 +43,8 @@ def quick_track(
     *,
     settings: FrameSettings | None = None,
     config: TrackerConfig | None = None,
+    jobs: int | None = None,
+    cache: "PipelineCache | None" = None,
 ) -> TrackingResult:
     """One-call pipeline: traces -> frames -> tracking result.
 
@@ -46,6 +56,13 @@ def quick_track(
         Frame-construction settings shared by all scenarios.
     config:
         Tracker configuration.
+    jobs:
+        Worker count for the parallel stages (per-trace frame
+        construction and per-pair combination); ``None`` defers to
+        ``REPRO_JOBS``.  Results are bit-identical to a serial run.
+    cache:
+        Optional :class:`repro.parallel.cache.PipelineCache` reusing
+        frame labellings across runs (see ``docs/performance.md``).
 
     Examples
     --------
@@ -68,5 +85,5 @@ def quick_track(
         )
         config = replace(config, log_extensive=True)
     with obs.span("api.quick_track", n_traces=len(traces)):
-        frames = make_frames(traces, settings)
-        return Tracker(frames, config).run()
+        frames = make_frames(traces, settings, jobs=jobs, cache=cache)
+        return Tracker(frames, config).run(jobs=jobs)

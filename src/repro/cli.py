@@ -11,8 +11,14 @@ Sub-commands
     Run one of the paper's canned case studies by name.
 ``table2``
     Run all ten case studies and print the Table 2 reproduction.
+``cache``
+    Inspect (``info``) or empty (``clear``) the on-disk pipeline cache.
 ``info``
     List registered applications, machines and case studies.
+
+``track``, ``study`` and ``table2`` accept ``--jobs/-j`` (parallel
+pipeline stages) and ``--cache-dir`` (incremental trace/frame cache);
+see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -49,6 +55,32 @@ def _parse_scenario(pairs: list[str]) -> dict[str, object]:
 
 #: ``--profile`` with no PATH: print the stage tree, write no file.
 _PROFILE_STDERR = ""
+
+
+def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
+    """``--jobs/-j`` and ``--cache-dir``: the parallel/caching knobs."""
+    parser.add_argument(
+        "-j", "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the parallel pipeline stages "
+        "(default: REPRO_JOBS or 1; 0 = one per CPU); results are "
+        "identical to a serial run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed cache of simulated traces and frame "
+        "labellings (default: REPRO_CACHE; unset = no caching)",
+    )
+
+
+def _resolve_cache(args: argparse.Namespace):
+    from repro.parallel.cache import resolve_cache
+
+    return resolve_cache(getattr(args, "cache_dir", None))
 
 
 def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
@@ -118,15 +150,27 @@ def build_parser() -> argparse.ArgumentParser:
     track.add_argument("--render", metavar="DIR", default=None,
                        help="write SVG renderings into DIR")
     _add_profile_flag(track)
+    _add_perf_flags(track)
 
     study = add_parser("study", help="run a canned paper case study")
     study.add_argument("name", help="case study name (see `info`)")
     study.add_argument("--seed", type=int, default=0)
     study.add_argument("--render", metavar="DIR", default=None)
     _add_profile_flag(study)
+    _add_perf_flags(study)
 
     table2 = add_parser("table2", help="run all case studies; print Table 2")
     _add_profile_flag(table2)
+    _add_perf_flags(table2)
+
+    cache = add_parser(
+        "cache", help="inspect or clear the on-disk pipeline cache"
+    )
+    cache.add_argument("action", choices=("info", "clear"),
+                       help="'info' prints entry counts and sizes; "
+                       "'clear' deletes every entry")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: REPRO_CACHE)")
 
     report = add_parser(
         "report", help="who-is-who report with evaluator evidence"
@@ -220,7 +264,9 @@ def _cmd_track(args: argparse.Namespace) -> int:
         relevance=args.relevance,
         log_y=args.log_y,
     )
-    result = quick_track(traces, settings=settings)
+    result = quick_track(
+        traces, settings=settings, jobs=args.jobs, cache=_resolve_cache(args)
+    )
     _print_result(result, args.trend_metric or ["ipc"])
     if args.render:
         _render(result, args.render)
@@ -231,7 +277,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import get_case_study
 
     case = get_case_study(args.name)
-    study_result = case.run(seed=args.seed)
+    study_result = case.run(
+        seed=args.seed, jobs=args.jobs, cache=_resolve_cache(args)
+    )
     print(f"case study: {case.name} "
           f"(expected: {case.expected_regions} regions, "
           f"{case.expected_coverage}% coverage)")
@@ -271,15 +319,47 @@ def _cmd_animate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_table2(_: argparse.Namespace) -> int:
+def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import CASE_STUDIES
     from repro.analysis.report import format_table2
 
+    cache = _resolve_cache(args)
     results = {}
     for case in CASE_STUDIES:
         print(f"running {case.name}...", file=sys.stderr)
-        results[case.name] = case.run()
+        results[case.name] = case.run(jobs=args.jobs, cache=cache)
     print(format_table2(results))
+    return 0
+
+
+def _format_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(n)} B"  # pragma: no cover - unreachable
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = _resolve_cache(args)
+    if cache is None:
+        print(
+            "error: no cache directory configured "
+            "(pass --cache-dir or set REPRO_CACHE)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+        return 0
+    info = cache.info()
+    print(f"cache directory: {info.root}")
+    print(f"entries: {info.n_entries}   size: {_format_bytes(info.total_bytes)}")
+    for kind, count in info.by_kind.items():
+        print(f"  {kind}: {count}")
     return 0
 
 
@@ -336,6 +416,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "animate": _cmd_animate,
     "tune": _cmd_tune,
+    "cache": _cmd_cache,
     "info": _cmd_info,
 }
 

@@ -17,6 +17,7 @@ original Ester et al. (1996) formulation.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -109,7 +110,11 @@ class DBSCAN:
             "clustering.dbscan", n_points=n, eps=self.eps, min_pts=self.min_pts
         ) as fit_span:
             tree = cKDTree(points)
-            neighborhoods = tree.query_ball_point(points, self.eps, workers=-1)
+            # Expansion never needs sorted neighbourhoods; skipping the
+            # sort saves time on dense frames.
+            neighborhoods = tree.query_ball_point(
+                points, self.eps, workers=-1, return_sorted=False
+            )
             neighbor_counts = np.fromiter(
                 (len(nb) for nb in neighborhoods), count=n, dtype=np.int64
             )
@@ -123,12 +128,16 @@ class DBSCAN:
                 if visited[seed] or not core_mask[seed]:
                     continue
                 current_label += 1
-                # Breadth-first expansion from this core point.
-                queue = [seed]
+                # Breadth-first expansion from this core point.  Each
+                # cluster's core-connected component is exhausted before
+                # the next seed starts, so the traversal discipline
+                # (FIFO here, LIFO, any order) cannot change the
+                # labelling — only which points are *visited* first.
+                queue = deque([seed])
                 visited[seed] = True
                 labels[seed] = current_label
                 while queue:
-                    point = queue.pop()
+                    point = queue.popleft()
                     # Only core points expand the cluster; border points are
                     # claimed but not traversed.
                     if not core_mask[point]:

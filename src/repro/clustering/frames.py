@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,7 +24,16 @@ from repro.obs.log import get_logger
 from repro.trace.filters import filter_min_duration
 from repro.trace.trace import Trace
 
-__all__ = ["FrameSettings", "Frame", "make_frame", "make_frames"]
+if TYPE_CHECKING:  # runtime import stays inside make_frames (cycle)
+    from repro.parallel.cache import PipelineCache
+
+__all__ = [
+    "FrameSettings",
+    "Frame",
+    "make_frame",
+    "make_frames",
+    "frame_from_labels",
+]
 
 log = get_logger(__name__)
 
@@ -222,6 +232,92 @@ def _relevance_filter(
     return out
 
 
+def _filtered_trace(trace: Trace, settings: FrameSettings) -> Trace:
+    """Apply the minimum-duration filter and reject empty traces."""
+    if settings.min_duration > 0:
+        trace = filter_min_duration(trace, settings.min_duration)
+    if trace.n_bursts == 0:
+        raise ClusteringError(f"trace {trace.label()!r} has no bursts to cluster")
+    return trace
+
+
+def _metric_points(trace: Trace, settings: FrameSettings) -> np.ndarray:
+    """Raw ``(n, d)`` metric matrix, one column per clustering dimension."""
+    return np.column_stack([trace.metric(name) for name in settings.metric_names])
+
+
+def _cluster_labels(
+    trace: Trace, points: np.ndarray, settings: FrameSettings
+) -> np.ndarray:
+    """Run the expensive clustering stages: normalise, DBSCAN, rank, filter."""
+    clustering_columns = [points[:, i] for i in range(points.shape[1])]
+    if settings.log_y:
+        if np.any(clustering_columns[1] <= 0):
+            raise ClusteringError("log_y requires strictly positive y values")
+        clustering_columns[1] = np.log10(clustering_columns[1])
+    clustering_space = np.column_stack(clustering_columns)
+
+    scaler = MinMaxScaler.fit(clustering_space)
+    scaled = scaler.transform(clustering_space)
+    min_pts = settings.min_pts if settings.min_pts is not None else _auto_min_pts(
+        points.shape[0]
+    )
+    result = DBSCAN(eps=settings.eps, min_pts=min_pts).fit(scaled)
+
+    durations = trace.duration
+    with obs.span("clustering.rank_and_filter", relevance=settings.relevance):
+        ranked = rank_labels_by_duration(result.labels, durations)
+        ranked = _relevance_filter(ranked, durations, settings.relevance)
+        # Renumber after the relevance filter so ids stay dense from 1.
+        ranked = rank_labels_by_duration(ranked, durations)
+    return ranked
+
+
+def _assemble_frame(
+    trace: Trace,
+    settings: FrameSettings,
+    points: np.ndarray,
+    ranked: np.ndarray,
+) -> Frame:
+    """Build the cluster objects of a labelling and wrap them in a frame."""
+    durations = trace.duration
+    clusters: list[Cluster] = []
+    for cluster_id in np.unique(ranked):
+        if cluster_id == 0:
+            continue
+        indices = np.flatnonzero(ranked == cluster_id)
+        callpaths = frozenset(
+            str(trace.callstacks.path(int(pid)))
+            for pid in np.unique(trace.callpath_id[indices])
+        )
+        clusters.append(
+            Cluster(
+                cluster_id=int(cluster_id),
+                indices=indices,
+                centroid=points[indices].mean(axis=0),
+                total_duration=float(durations[indices].sum()),
+                callpaths=callpaths,
+                ranks=frozenset(int(r) for r in np.unique(trace.rank[indices])),
+            )
+        )
+    clusters.sort(key=lambda c: c.cluster_id)
+    if obs.enabled():
+        noise = int((ranked == 0).sum())
+        obs.count("clustering.points_total", trace.n_bursts)
+        obs.count("clustering.noise_points_total", noise)
+        obs.count("clustering.clusters_total", len(clusters))
+        log.debug(
+            "frame %s: %d bursts -> %d clusters (%d noise/filtered)",
+            trace.label(), trace.n_bursts, len(clusters), noise,
+        )
+    return Frame(
+        trace=trace,
+        settings=settings,
+        points=points,
+        cluster_set=ClusterSet(labels=ranked, clusters=tuple(clusters)),
+    )
+
+
 def make_frame(trace: Trace, settings: FrameSettings | None = None) -> Frame:
     """Build a :class:`Frame` from a trace.
 
@@ -230,86 +326,116 @@ def make_frame(trace: Trace, settings: FrameSettings | None = None) -> Frame:
     cluster object construction.
     """
     settings = settings or FrameSettings()
-    if settings.min_duration > 0:
-        trace = filter_min_duration(trace, settings.min_duration)
-    if trace.n_bursts == 0:
-        raise ClusteringError(f"trace {trace.label()!r} has no bursts to cluster")
-
+    trace = _filtered_trace(trace, settings)
     with obs.span(
         "clustering.make_frame",
         label=trace.label(),
         n_bursts=trace.n_bursts,
         eps=settings.eps,
     ) as frame_span:
-        columns = [trace.metric(name) for name in settings.metric_names]
-        points = np.column_stack(columns)
-        clustering_columns = list(columns)
-        if settings.log_y:
-            if np.any(clustering_columns[1] <= 0):
-                raise ClusteringError("log_y requires strictly positive y values")
-            clustering_columns[1] = np.log10(clustering_columns[1])
-        clustering_space = np.column_stack(clustering_columns)
-
-        scaler = MinMaxScaler.fit(clustering_space)
-        scaled = scaler.transform(clustering_space)
-        min_pts = settings.min_pts if settings.min_pts is not None else _auto_min_pts(
-            points.shape[0]
-        )
-        result = DBSCAN(eps=settings.eps, min_pts=min_pts).fit(scaled)
-
-        durations = trace.duration
-        with obs.span("clustering.rank_and_filter", relevance=settings.relevance):
-            ranked = rank_labels_by_duration(result.labels, durations)
-            ranked = _relevance_filter(ranked, durations, settings.relevance)
-            # Renumber after the relevance filter so ids stay dense from 1.
-            ranked = rank_labels_by_duration(ranked, durations)
-
-        clusters: list[Cluster] = []
-        for cluster_id in np.unique(ranked):
-            if cluster_id == 0:
-                continue
-            indices = np.flatnonzero(ranked == cluster_id)
-            callpaths = frozenset(
-                str(trace.callstacks.path(int(pid)))
-                for pid in np.unique(trace.callpath_id[indices])
-            )
-            clusters.append(
-                Cluster(
-                    cluster_id=int(cluster_id),
-                    indices=indices,
-                    centroid=points[indices].mean(axis=0),
-                    total_duration=float(durations[indices].sum()),
-                    callpaths=callpaths,
-                    ranks=frozenset(int(r) for r in np.unique(trace.rank[indices])),
-                )
-            )
-        clusters.sort(key=lambda c: c.cluster_id)
+        points = _metric_points(trace, settings)
+        ranked = _cluster_labels(trace, points, settings)
+        frame = _assemble_frame(trace, settings, points, ranked)
         if obs.enabled():
-            noise = int((ranked == 0).sum())
-            frame_span.set(n_clusters=len(clusters), min_pts=min_pts, n_noise=noise)
-            obs.count("clustering.points_total", trace.n_bursts)
-            obs.count("clustering.noise_points_total", noise)
-            obs.count("clustering.clusters_total", len(clusters))
-            log.debug(
-                "frame %s: %d bursts -> %d clusters (%d noise/filtered)",
-                trace.label(), trace.n_bursts, len(clusters), noise,
+            frame_span.set(
+                n_clusters=frame.n_clusters, n_noise=int((ranked == 0).sum())
             )
-        return Frame(
-            trace=trace,
-            settings=settings,
-            points=points,
-            cluster_set=ClusterSet(labels=ranked, clusters=tuple(clusters)),
+        return frame
+
+
+def frame_from_labels(
+    trace: Trace, settings: FrameSettings | None, labels: np.ndarray
+) -> Frame:
+    """Rebuild a frame from a previously computed labelling.
+
+    The labelling fully determines a frame given the trace and
+    settings: points are recomputed (cheap, vectorised) and only the
+    DBSCAN/ranking stages are skipped.  This is the warm path of the
+    frame cache.  Raises :class:`ClusteringError` when *labels* cannot
+    belong to the (filtered) trace, so callers can treat the entry as
+    corrupt and recompute.
+    """
+    settings = settings or FrameSettings()
+    trace = _filtered_trace(trace, settings)
+    labels = np.asarray(labels, dtype=np.int32)
+    if labels.shape != (trace.n_bursts,):
+        raise ClusteringError(
+            f"labelling of shape {labels.shape} does not match the "
+            f"{trace.n_bursts}-burst trace {trace.label()!r}"
         )
+    with obs.span(
+        "clustering.frame_from_labels",
+        label=trace.label(),
+        n_bursts=trace.n_bursts,
+    ):
+        points = _metric_points(trace, settings)
+        return _assemble_frame(trace, settings, points, labels)
+
+
+def _frame_task(task: tuple[int, Trace, FrameSettings]) -> Frame:
+    """Worker-side task: build one frame (module-level for pickling).
+
+    The ``clustering.frame`` span is recorded in-process on the serial
+    backend; worker-process spans are not collected by the parent.
+    """
+    index, trace, settings = task
+    with obs.span("clustering.frame", frame=index):
+        return make_frame(trace, settings)
 
 
 def make_frames(
-    traces: list[Trace], settings: FrameSettings | None = None
+    traces: list[Trace],
+    settings: FrameSettings | None = None,
+    *,
+    jobs: int | None = None,
+    cache: "PipelineCache | None" = None,
 ) -> list[Frame]:
-    """Build one frame per trace with shared settings."""
+    """Build one frame per trace with shared settings.
+
+    Parameters
+    ----------
+    traces:
+        Input traces, one frame each; output order matches.
+    settings:
+        Shared frame-construction settings.
+    jobs:
+        Worker count for per-trace parallel construction (``None``
+        defers to ``REPRO_JOBS``; 1 = serial).  Results are identical
+        to the serial path.
+    cache:
+        Optional :class:`repro.parallel.cache.PipelineCache`; hits skip
+        the DBSCAN/ranking stages, misses are computed and stored.
+    """
+    from repro.parallel.cache import frame_key
+    from repro.parallel.executor import pmap
+
     settings = settings or FrameSettings()
-    with obs.span("clustering.make_frames", n_traces=len(traces)):
-        frames = []
+    with obs.span("clustering.make_frames", n_traces=len(traces)) as frames_span:
+        frames: list[Frame | None] = [None] * len(traces)
+        keys: list[dict | None] = [None] * len(traces)
+        pending: list[int] = []
         for index, trace in enumerate(traces):
-            with obs.span("clustering.frame", frame=index):
-                frames.append(make_frame(trace, settings))
-        return frames
+            if cache is not None:
+                keys[index] = frame_key(trace, settings)
+                labels = cache.get_labels(keys[index])
+                if labels is not None:
+                    try:
+                        frames[index] = frame_from_labels(trace, settings, labels)
+                        continue
+                    except ClusteringError:
+                        cache.invalidate(keys[index])
+            pending.append(index)
+        if pending:
+            built = pmap(
+                _frame_task,
+                [(index, traces[index], settings) for index in pending],
+                jobs=jobs,
+                label="clustering.make_frames.pmap",
+            )
+            for index, frame in zip(pending, built):
+                frames[index] = frame
+                if cache is not None:
+                    cache.put_labels(keys[index], frame.labels)
+        if obs.enabled():
+            frames_span.set(n_cached=len(traces) - len(pending))
+        return frames  # type: ignore[return-value]

@@ -1,0 +1,52 @@
+"""repro.parallel — parallel execution and incremental caching.
+
+Two orthogonal levers for making the pipeline fast on real workloads:
+
+- :mod:`repro.parallel.executor` — a deterministic ordered :func:`pmap`
+  over ``serial``/``process`` backends, driven by ``--jobs/-j`` or
+  ``REPRO_JOBS``.  Parallel results are bit-identical to serial.
+- :mod:`repro.parallel.cache` — an opt-in content-addressed on-disk
+  cache of simulated traces and frame labellings, driven by
+  ``--cache-dir`` or ``REPRO_CACHE``.
+
+See ``docs/performance.md`` for usage, expected speedups and when the
+serial path wins.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.cache import (
+    CACHE_ENV,
+    CacheInfo,
+    PipelineCache,
+    frame_key,
+    resolve_cache,
+    stable_hash,
+    trace_digest,
+    trace_key,
+)
+from repro.parallel.executor import (
+    JOBS_ENV,
+    ProcessExecutor,
+    SerialExecutor,
+    get_executor,
+    pmap,
+    resolve_jobs,
+)
+
+__all__ = [
+    "CACHE_ENV",
+    "CacheInfo",
+    "JOBS_ENV",
+    "PipelineCache",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "frame_key",
+    "get_executor",
+    "pmap",
+    "resolve_cache",
+    "resolve_jobs",
+    "stable_hash",
+    "trace_digest",
+    "trace_key",
+]

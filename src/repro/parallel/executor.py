@@ -1,0 +1,227 @@
+"""Executor abstraction: deterministic, ordered parallel mapping.
+
+The pipeline's three dominant stages are embarrassingly parallel —
+per scenario (simulation), per trace (frame construction) and per
+consecutive pair (the combination algorithm).  This module provides the
+one primitive they all share: :func:`pmap`, an *ordered* map that runs
+tasks either in-process (``serial`` backend) or across worker processes
+(``process`` backend over :mod:`concurrent.futures`).
+
+Guarantees:
+
+- **Determinism** — results come back in input order regardless of
+  completion order, so parallel runs are bit-identical to serial ones.
+- **Graceful degradation** — if the pool cannot be created or breaks
+  mid-flight (fork failure, unpicklable task, killed worker), the whole
+  batch is re-run serially instead of crashing.  Exceptions raised *by
+  the task itself* are not swallowed; they propagate as in a serial run.
+- **Auto-selection** — the process backend is only engaged when it can
+  pay for itself: more than one job requested and at least
+  ``min_tasks`` items to spread.
+
+Worker count resolution order: explicit ``jobs`` argument, then the
+``REPRO_JOBS`` environment variable, then 1 (serial).  ``0``, negative
+values or ``auto`` mean "one job per CPU".
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro import obs
+from repro.obs.log import get_logger
+
+__all__ = [
+    "JOBS_ENV",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "pmap",
+    "resolve_jobs",
+]
+
+log = get_logger(__name__)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+#: Below this many tasks a process pool cannot amortise its startup.
+DEFAULT_MIN_TASKS = 2
+
+#: Errors that mean "the pool is unusable", as opposed to errors raised
+#: by the mapped function itself (which must propagate unchanged).
+#: AttributeError/TypeError cover unpicklable callables and arguments
+#: (CPython reports those instead of PicklingError); if the task itself
+#: raised one of these, the serial re-run reproduces it faithfully.
+_POOL_ERRORS = (
+    BrokenProcessPool,
+    pickle.PicklingError,
+    OSError,
+    AttributeError,
+    TypeError,
+)
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve the worker count from the argument or ``REPRO_JOBS``.
+
+    ``None`` defers to the environment; an unset/empty variable means 1
+    (serial).  ``0``, negatives and ``auto`` map to the CPU count.  A
+    malformed environment value logs a warning and falls back to 1, so
+    a stray export never breaks a run.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        if raw.lower() == "auto":
+            return os.cpu_count() or 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            log.warning(
+                "ignoring malformed %s=%r (expected an integer or 'auto')",
+                JOBS_ENV, raw,
+            )
+            return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return int(jobs)
+
+
+class SerialExecutor:
+    """In-process backend: a plain ordered loop."""
+
+    name = "serial"
+    jobs = 1
+
+    def pmap(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply *fn* to every item, in order."""
+        return [fn(item) for item in items]
+
+
+class ProcessExecutor:
+    """Worker-process backend over :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Results are gathered future-by-future in submission order, so the
+    output list matches the input order exactly.  Pool-level failures
+    fall back to a serial re-run of the whole batch.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 2:
+            raise ValueError(f"process backend needs >= 2 jobs, got {jobs}")
+        self.jobs = int(jobs)
+
+    def pmap(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply *fn* to every item across the pool, preserving order."""
+        workers = min(self.jobs, len(items)) or 1
+        try:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_timed_call, fn, item) for item in items]
+                timed = [future.result() for future in futures]
+        except _POOL_ERRORS as error:
+            log.warning(
+                "process pool failed (%s: %s); falling back to serial "
+                "execution of %d task(s)",
+                type(error).__name__, error, len(items),
+            )
+            obs.count("parallel.fallbacks_total", backend=self.name)
+            return SerialExecutor().pmap(fn, items)
+        if obs.enabled():
+            busy = sum(duration for _, duration in timed)
+            obs.observe("parallel.task_seconds", busy)
+            span = obs.current_span()
+            if span is not None:
+                span.set(busy_s=round(busy, 6), workers=workers)
+        return [result for result, _ in timed]
+
+
+def _timed_call(fn: Callable[[T], R], item: T) -> tuple[R, float]:
+    """Run one task in a worker, returning (result, in-worker seconds).
+
+    Timing inside the worker lets the parent compute true utilisation
+    (busy seconds over ``workers x wall``) without a shared clock.
+    """
+    start = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - start
+
+
+Executor = SerialExecutor | ProcessExecutor
+
+
+def get_executor(
+    jobs: int | None = None,
+    *,
+    n_tasks: int | None = None,
+    min_tasks: int = DEFAULT_MIN_TASKS,
+) -> Executor:
+    """Pick a backend for *n_tasks* tasks at the resolved job count.
+
+    Serial is chosen whenever it is at least as good: one job, or fewer
+    tasks than *min_tasks* (a pool cannot amortise its startup on a
+    single task).
+    """
+    resolved = resolve_jobs(jobs)
+    if resolved <= 1 or (n_tasks is not None and n_tasks < min_tasks):
+        return SerialExecutor()
+    return ProcessExecutor(resolved)
+
+
+def pmap(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    jobs: int | None = None,
+    min_tasks: int = DEFAULT_MIN_TASKS,
+    label: str = "parallel.pmap",
+) -> list[R]:
+    """Ordered map over *items*, parallel when it pays off.
+
+    Parameters
+    ----------
+    fn:
+        Task function.  For the process backend it must be picklable
+        (module-level); closures silently degrade to a serial re-run
+        via the pool-failure fallback.
+    items:
+        Task inputs; materialised once, results match their order.
+    jobs:
+        Worker count; ``None`` defers to ``REPRO_JOBS`` (default 1).
+    min_tasks:
+        Minimum batch size before a pool is considered.
+    label:
+        Span name recorded for the batch (dispatch observability).
+    """
+    batch = list(items)
+    executor = get_executor(jobs, n_tasks=len(batch), min_tasks=min_tasks)
+    if not batch:
+        return []
+    with obs.span(
+        label, n_tasks=len(batch), jobs=executor.jobs, backend=executor.name
+    ) as span:
+        start = time.perf_counter()
+        results = executor.pmap(fn, batch)
+        if obs.enabled():
+            wall = time.perf_counter() - start
+            obs.count("parallel.tasks_total", len(batch), backend=executor.name)
+            obs.count("parallel.batches_total", backend=executor.name)
+            busy = span.attrs.get("busy_s") if hasattr(span, "attrs") else None
+            if busy is not None and wall > 0 and executor.jobs > 0:
+                span.set(
+                    utilisation=round(
+                        min(1.0, busy / (wall * executor.jobs)), 4
+                    )
+                )
+        return results

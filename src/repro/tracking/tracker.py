@@ -14,10 +14,13 @@ from dataclasses import dataclass
 
 import networkx as nx
 
+import numpy as np
+
 from repro import obs
 from repro.clustering.frames import Frame
 from repro.errors import TrackingError
 from repro.obs.log import get_logger
+from repro.parallel.executor import pmap
 from repro.tracking.combine import PairRelations, combine_pair
 from repro.tracking.coverage import coverage_percent
 from repro.tracking.scaling import NormalizedSpace, normalize_frames
@@ -25,6 +28,31 @@ from repro.tracking.scaling import NormalizedSpace, normalize_frames
 __all__ = ["TrackerConfig", "TrackedRegion", "TrackingResult", "Tracker"]
 
 log = get_logger(__name__)
+
+
+def _combine_task(
+    task: tuple[int, Frame, Frame, np.ndarray, np.ndarray, "TrackerConfig"],
+) -> PairRelations:
+    """Worker-side task: combine one frame pair (module-level for pickling).
+
+    The ``tracking.pair`` span is recorded in-process on the serial
+    backend; worker-process spans are not collected by the parent.
+    """
+    index, frame_a, frame_b, points_a, points_b, config = task
+    with obs.span("tracking.pair", pair=index):
+        return combine_pair(
+            frame_a,
+            frame_b,
+            points_a,
+            points_b,
+            outlier_threshold=config.outlier_threshold,
+            spmd_threshold=config.spmd_threshold,
+            sequence_threshold=config.sequence_threshold,
+            max_align_ranks=config.max_align_ranks,
+            use_callstack=config.use_callstack,
+            use_spmd=config.use_spmd,
+            use_sequence=config.use_sequence,
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -188,8 +216,17 @@ class Tracker:
         self.frames = list(frames)
         self.config = config or TrackerConfig()
 
-    def run(self) -> TrackingResult:
-        """Execute the full pipeline and return the result."""
+    def run(self, *, jobs: int | None = None) -> TrackingResult:
+        """Execute the full pipeline and return the result.
+
+        Parameters
+        ----------
+        jobs:
+            Worker count for the per-pair combination fan-out (pairs
+            are independent).  ``None`` defers to ``REPRO_JOBS``; 1 is
+            serial.  The equivalence-region merge stays a serial
+            reduce, so results are bit-identical to a serial run.
+        """
         config = self.config
         with obs.span("tracking.run", n_frames=len(self.frames)) as run_span:
             with obs.span("tracking.normalize"):
@@ -198,24 +235,22 @@ class Tracker:
                     reference=config.reference,
                     log_extensive=config.log_extensive,
                 )
-            pair_relations: list[PairRelations] = []
-            for index in range(len(self.frames) - 1):
-                with obs.span("tracking.pair", pair=index):
-                    pair_relations.append(
-                        combine_pair(
-                            self.frames[index],
-                            self.frames[index + 1],
-                            space.points[index],
-                            space.points[index + 1],
-                            outlier_threshold=config.outlier_threshold,
-                            spmd_threshold=config.spmd_threshold,
-                            sequence_threshold=config.sequence_threshold,
-                            max_align_ranks=config.max_align_ranks,
-                            use_callstack=config.use_callstack,
-                            use_spmd=config.use_spmd,
-                            use_sequence=config.use_sequence,
-                        )
+            pair_relations = pmap(
+                _combine_task,
+                [
+                    (
+                        index,
+                        self.frames[index],
+                        self.frames[index + 1],
+                        space.points[index],
+                        space.points[index + 1],
+                        config,
                     )
+                    for index in range(len(self.frames) - 1)
+                ],
+                jobs=jobs,
+                label="tracking.pairs.pmap",
+            )
             with obs.span("tracking.chain"):
                 regions = self._chain(pair_relations)
             coverage = coverage_percent(regions, self.frames)

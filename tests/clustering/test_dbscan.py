@@ -108,3 +108,66 @@ class TestValidation:
         points = np.asarray([[0.0, 0.0], [np.nan, 1.0]])
         with pytest.raises(ClusteringError, match="NaN"):
             DBSCAN(eps=0.1, min_pts=1).fit(points)
+
+
+def _reference_dfs_labels(points: np.ndarray, eps: float, min_pts: int) -> np.ndarray:
+    """Depth-first reference expansion (the pre-deque `queue.pop()` form).
+
+    DBSCAN grows each core-connected component to exhaustion before the
+    next seed starts, so the traversal discipline inside one expansion
+    (FIFO vs LIFO) must not change the labelling.  This mirrors the
+    production loop with only the queue discipline flipped.
+    """
+    from scipy.spatial import cKDTree
+
+    n = points.shape[0]
+    tree = cKDTree(points)
+    neighborhoods = tree.query_ball_point(points, eps, workers=-1)
+    core_mask = np.fromiter(
+        (len(nb) >= min_pts for nb in neighborhoods), count=n, dtype=bool
+    )
+    labels = np.full(n, NOISE, dtype=np.int32)
+    visited = np.zeros(n, dtype=bool)
+    current_label = 0
+    for seed in range(n):
+        if visited[seed] or not core_mask[seed]:
+            continue
+        current_label += 1
+        stack = [seed]
+        visited[seed] = True
+        labels[seed] = current_label
+        while stack:
+            point = stack.pop()  # LIFO: depth-first
+            if not core_mask[point]:
+                continue
+            for neighbor in neighborhoods[point]:
+                if labels[neighbor] == NOISE and not visited[neighbor]:
+                    labels[neighbor] = current_label
+                    visited[neighbor] = True
+                    if core_mask[neighbor]:
+                        stack.append(neighbor)
+    return labels
+
+
+class TestTraversalOrderInvariance:
+    """Regression for the breadth-first/depth-first comment mismatch."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bfs_labels_match_dfs_reference(self, seed):
+        points = blobs([(0, 0), (0.06, 0.06), (1, 1), (2, 0)], n=80, seed=seed)
+        eps, min_pts = 0.08, 4
+        result = DBSCAN(eps=eps, min_pts=min_pts).fit(points)
+        np.testing.assert_array_equal(
+            result.labels, _reference_dfs_labels(points, eps, min_pts)
+        )
+
+    def test_overlapping_chain_same_membership(self):
+        # A dense chain where border points are reachable from several
+        # cores of the same cluster: order-dependent claims must agree.
+        line = np.column_stack([np.arange(40) * 0.004, np.zeros(40)])
+        points = np.vstack([line, [[0.2, 0.5]]])
+        eps, min_pts = 0.01, 3
+        result = DBSCAN(eps=eps, min_pts=min_pts).fit(points)
+        np.testing.assert_array_equal(
+            result.labels, _reference_dfs_labels(points, eps, min_pts)
+        )

@@ -1,0 +1,26 @@
+"""Tests of the repro.parallel execution and caching layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def assert_clusters_equal(first, second) -> None:
+    """Field-wise equality of two cluster tuples (ndarray-safe)."""
+    assert len(first) == len(second)
+    for cluster_a, cluster_b in zip(first, second):
+        assert cluster_a.cluster_id == cluster_b.cluster_id
+        np.testing.assert_array_equal(cluster_a.indices, cluster_b.indices)
+        np.testing.assert_array_equal(cluster_a.centroid, cluster_b.centroid)
+        assert cluster_a.total_duration == cluster_b.total_duration
+        assert cluster_a.callpaths == cluster_b.callpaths
+        assert cluster_a.ranks == cluster_b.ranks
+
+
+def assert_frames_equal(first, second) -> None:
+    """Bit-identical frame comparison: labels, points and clusters."""
+    np.testing.assert_array_equal(first.labels, second.labels)
+    np.testing.assert_array_equal(first.points, second.points)
+    assert_clusters_equal(
+        first.cluster_set.clusters, second.cluster_set.clusters
+    )

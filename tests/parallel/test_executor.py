@@ -1,0 +1,96 @@
+"""Tests of the executor abstraction (ordered pmap, backends, fallback)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel.executor import (
+    JOBS_ENV,
+    ProcessExecutor,
+    SerialExecutor,
+    get_executor,
+    pmap,
+    resolve_jobs,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _raise_value_error(x: int) -> int:
+    raise ValueError(f"boom on {x}")
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs() == 5
+
+    def test_env_auto_is_cpu_count(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "auto")
+        assert resolve_jobs() == (os.cpu_count() or 1)
+
+    def test_zero_and_negative_mean_cpu_count(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_malformed_env_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        assert resolve_jobs() == 1
+
+
+class TestBackendSelection:
+    def test_one_job_is_serial(self):
+        assert isinstance(get_executor(1, n_tasks=100), SerialExecutor)
+
+    def test_many_jobs_is_process(self):
+        executor = get_executor(4, n_tasks=100)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.jobs == 4
+
+    def test_tiny_batch_stays_serial(self):
+        assert isinstance(get_executor(4, n_tasks=1), SerialExecutor)
+
+    def test_process_backend_needs_two_jobs(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(1)
+
+
+class TestPmap:
+    def test_empty(self):
+        assert pmap(_square, [], jobs=4) == []
+
+    def test_serial_order(self):
+        assert pmap(_square, range(10), jobs=1) == [x * x for x in range(10)]
+
+    def test_process_order_matches_serial(self):
+        items = list(range(20))
+        assert pmap(_square, items, jobs=4) == [x * x for x in items]
+
+    def test_task_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="boom"):
+            pmap(_raise_value_error, [1, 2], jobs=1)
+
+    def test_task_exception_propagates_process(self):
+        with pytest.raises(ValueError, match="boom"):
+            pmap(_raise_value_error, [1, 2], jobs=2)
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        # Lambdas cannot cross the process boundary; the pool failure
+        # must degrade to a correct serial run instead of crashing.
+        assert pmap(lambda x: x + 1, [1, 2, 3], jobs=2) == [2, 3, 4]
+
+    def test_env_drives_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "2")
+        assert pmap(_square, [1, 2, 3]) == [1, 4, 9]

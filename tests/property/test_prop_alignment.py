@@ -104,3 +104,63 @@ def test_simultaneity_diagonal_and_bounds(base, n_ranks):
     assert (matrix >= 0).all() and (matrix <= 1).all()
     for i in range(len(ids)):
         assert matrix[i, i] == 1.0
+
+
+score_schemes = st.tuples(
+    st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+    st.floats(min_value=-5.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=-5.0, max_value=-0.01, allow_nan=False),
+)
+
+
+def _recomputed_score(result, match: float, mismatch: float, gap: float) -> float:
+    """Score of the alignment summed column by column."""
+    total = 0.0
+    for left, right in zip(result.aligned_a, result.aligned_b):
+        if left == GAP or right == GAP:
+            total += gap
+        elif left == right:
+            total += match
+        else:
+            total += mismatch
+    return total
+
+
+@given(sequences, sequences, score_schemes)
+@settings(max_examples=80, deadline=None)
+def test_backtrack_terminates_and_reproduces_score(a, b, scheme):
+    """The tolerant backtrack must always finish, even for pathological
+    scoring schemes whose vectorised-fill scores disagree with the
+    scalar recomputation in the last ulp, and the alignment it emits
+    must be worth exactly the optimal DP score."""
+    match, mismatch, gap = scheme
+    result = global_align(
+        np.asarray(a, dtype=np.int64),
+        np.asarray(b, dtype=np.int64),
+        match=match,
+        mismatch=mismatch,
+        gap=gap,
+    )
+    recovered_a = [int(v) for v in result.aligned_a if v != GAP]
+    recovered_b = [int(v) for v in result.aligned_b if v != GAP]
+    assert recovered_a == a
+    assert recovered_b == b
+    recomputed = _recomputed_score(result, match, mismatch, gap)
+    assert np.isclose(recomputed, result.score, rtol=1e-6, atol=1e-6)
+
+
+@given(sequences, sequences)
+@settings(max_examples=40, deadline=None)
+def test_backtrack_score_with_irrational_scheme(a, b):
+    """A fixed ugly scheme (irrational penalties) exercises the exact
+    float-mismatch path the tolerance guards against."""
+    match, mismatch, gap = 2 * np.pi / 3, -np.e / 7, -np.sqrt(2) / 3
+    result = global_align(
+        np.asarray(a, dtype=np.int64),
+        np.asarray(b, dtype=np.int64),
+        match=match,
+        mismatch=mismatch,
+        gap=gap,
+    )
+    recomputed = _recomputed_score(result, match, mismatch, gap)
+    assert np.isclose(recomputed, result.score, rtol=1e-6, atol=1e-6)

@@ -98,3 +98,34 @@ class TestStudy:
     def test_unknown_study(self):
         with pytest.raises(KeyError):
             main(["study", "nope"])
+
+
+class TestCache:
+    def test_no_dir_is_an_error(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert main(["cache", "info"]) == 2
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_info_and_clear(self, tmp_path, capsys):
+        for index, ranks in enumerate((8, 16)):
+            main([
+                "simulate", "wrf", f"ranks={ranks}", "iterations=2",
+                "base_ranks=8", "--seed", str(index),
+                "-o", str(tmp_path / f"t{index}.json"),
+            ])
+        main([
+            "track", str(tmp_path / "t0.json"), str(tmp_path / "t1.json"),
+            "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+        ])
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        assert "frame: 2" in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_env_variable_configures_cache(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "envcache"))
+        assert main(["cache", "info"]) == 0
+        assert "entries: 0" in capsys.readouterr().out
