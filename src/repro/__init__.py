@@ -41,6 +41,15 @@ from repro.api import (
 )
 from repro.clustering import ClusterSet, DBSCAN, Frame
 from repro.parallel import PipelineCache, pmap, resolve_cache, resolve_jobs
+from repro.robust import (
+    ItemFailure,
+    PartialResult,
+    ValidationIssue,
+    check_trace,
+    validate_frame,
+    validate_study,
+    validate_trace,
+)
 from repro.tracking import TrackedRegion, Tracker, TrackingResult
 from repro.trace import CPUBurst, Trace
 
@@ -51,10 +60,14 @@ __all__ = [
     "DBSCAN",
     "ClusterSet",
     "Frame",
+    "ItemFailure",
+    "PartialResult",
     "PipelineCache",
     "Tracker",
     "TrackingResult",
     "TrackedRegion",
+    "ValidationIssue",
+    "check_trace",
     "cluster_trace",
     "make_frames",
     "pmap",
@@ -62,4 +75,7 @@ __all__ = [
     "resolve_cache",
     "resolve_jobs",
     "track_frames",
+    "validate_frame",
+    "validate_study",
+    "validate_trace",
 ]

@@ -66,9 +66,15 @@ class CaseStudy:
         seed: int = 0,
         jobs: int | None = None,
         cache: "PipelineCache | None" = None,
-    ) -> StudyResult:
-        """Execute the study (``jobs``/``cache`` as in :meth:`ParametricStudy.run`)."""
-        return self.study.run(seed=seed, jobs=jobs, cache=cache)
+        strict: bool = True,
+    ):
+        """Execute the study (parameters as in :meth:`ParametricStudy.run`).
+
+        With ``strict=False`` the return value is a
+        :class:`repro.robust.PartialResult` wrapping the
+        :class:`StudyResult`, as for :meth:`ParametricStudy.run`.
+        """
+        return self.study.run(seed=seed, jobs=jobs, cache=cache, strict=strict)
 
 
 def _nasft_windows(traces):
@@ -199,11 +205,17 @@ CASE_STUDIES: tuple[CaseStudy, ...] = (
 
 
 def get_case_study(name: str) -> CaseStudy:
-    """Look up one case study by its Table 2 name (case-insensitive)."""
+    """Look up one case study by its Table 2 name (case-insensitive).
+
+    Raises :class:`~repro.errors.StudyError` for unknown names so the
+    CLI reports a diagnosable error (exit 2) instead of a traceback.
+    """
+    from repro.errors import StudyError
+
     for case in CASE_STUDIES:
         if case.name.lower() == name.lower():
             return case
-    raise KeyError(
+    raise StudyError(
         f"unknown case study {name!r}; available: {[c.name for c in CASE_STUDIES]}"
     )
 

@@ -14,10 +14,11 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping
 from repro import obs
 from repro.apps.base import AppModel
 from repro.apps.registry import build_app
-from repro.clustering.frames import FrameSettings, make_frames
-from repro.errors import StudyError
+from repro.clustering.frames import FrameSettings, make_frames, make_frames_partial
+from repro.errors import ReproError, StudyError
 from repro.obs.log import get_logger
 from repro.parallel.executor import pmap
+from repro.robust.partial import ItemFailure, PartialResult
 from repro.tracking.tracker import Tracker, TrackerConfig, TrackingResult
 from repro.tracking.trends import TrendSeries, compute_trends
 from repro.trace.trace import Trace
@@ -34,6 +35,17 @@ def _simulate_task(task: tuple[str, dict[str, Any], int]) -> Trace:
     """Worker-side task: simulate one scenario (module-level for pickling)."""
     app, scenario, seed = task
     return build_app(app, **scenario).run(seed=seed)
+
+
+def _simulate_task_quarantine(
+    task: tuple[str, dict[str, Any], int]
+) -> Trace | ItemFailure:
+    """Non-strict variant: pipeline errors become quarantine records."""
+    app, scenario, seed = task
+    try:
+        return _simulate_task(task)
+    except ReproError as exc:
+        return ItemFailure.from_exception(f"{app} {scenario!r}", "simulate", exc)
 
 
 @dataclass(frozen=True)
@@ -108,12 +120,17 @@ class ParametricStudy:
         seed: int,
         jobs: int | None,
         cache: "PipelineCache | None",
-    ) -> list[Trace]:
+        strict: bool = True,
+    ) -> tuple[list[Trace | None], list[ItemFailure]]:
         """Simulate every scenario, using the trace cache when given.
 
         Cache hits are resolved up front; only the misses are fanned
         out through :func:`repro.parallel.executor.pmap`, then stored.
-        Output order always matches the scenario order.
+        Output order always matches the scenario order.  Under
+        ``strict=False`` a scenario whose simulation raises a
+        :class:`~repro.errors.ReproError` is quarantined: its slot in
+        the trace list is ``None`` and an :class:`ItemFailure` records
+        what happened.
         """
         from repro.parallel.cache import trace_key
 
@@ -123,6 +140,7 @@ class ParametricStudy:
         ]
         traces: list[Trace | None] = [None] * len(tasks)
         keys: list[dict | None] = [None] * len(tasks)
+        failures: list[ItemFailure] = []
         pending: list[int] = []
         for index, task in enumerate(tasks):
             if cache is not None:
@@ -134,16 +152,21 @@ class ParametricStudy:
             pending.append(index)
         if pending:
             simulated = pmap(
-                _simulate_task,
+                _simulate_task if strict else _simulate_task_quarantine,
                 [tasks[index] for index in pending],
                 jobs=jobs,
                 label="study.simulate.pmap",
             )
             for index, trace in zip(pending, simulated):
+                if isinstance(trace, ItemFailure):
+                    failures.append(trace)
+                    obs.count("robust.quarantined_total", stage="simulate")
+                    log.warning("quarantined scenario: %s", trace)
+                    continue
                 traces[index] = trace
                 if cache is not None:
                     cache.put_trace(keys[index], trace)
-        return traces  # type: ignore[return-value]
+        return traces, failures
 
     def run(
         self,
@@ -151,7 +174,8 @@ class ParametricStudy:
         seed: int = 0,
         jobs: int | None = None,
         cache: "PipelineCache | None" = None,
-    ) -> StudyResult:
+        strict: bool = True,
+    ) -> StudyResult | PartialResult[StudyResult]:
         """Execute the sweep: simulate, cluster, track.
 
         Each scenario gets a derived seed so experiments are independent
@@ -169,19 +193,45 @@ class ParametricStudy:
         cache:
             Optional :class:`repro.parallel.cache.PipelineCache` making
             the simulate and cluster stages incremental across runs.
+        strict:
+            When true (the default), the first pipeline error aborts the
+            whole sweep.  When false, failing scenarios / frames / pairs
+            are quarantined and the run continues with the survivors;
+            the return value is a :class:`PartialResult` listing every
+            quarantined item (possibly none).  A study where fewer than
+            two frames survive still raises :class:`StudyError`.
         """
+        from repro.robust.validate import validate_study, validate_trace
+
+        validate_study(self)
         with obs.span(
             "study.run", app=self.app, n_scenarios=len(self.scenarios)
         ):
+            failures: list[ItemFailure] = []
             with obs.span("study.simulate"):
-                traces = self._simulate(seed=seed, jobs=jobs, cache=cache)
+                slots, sim_failures = self._simulate(
+                    seed=seed, jobs=jobs, cache=cache, strict=strict
+                )
+                failures.extend(sim_failures)
+                traces = [trace for trace in slots if trace is not None]
                 if self.trace_hook is not None:
                     traces = self.trace_hook(traces)
-            if len(traces) < 2:
-                raise StudyError(
-                    "tracking needs at least two frames; add scenarios or a "
-                    "trace hook producing several time windows"
-                )
+            checked: list[Trace] = []
+            for trace in traces:
+                if strict:
+                    checked.append(validate_trace(trace, strict=True))
+                    continue
+                try:
+                    checked.append(validate_trace(trace, strict=False))
+                except ReproError as exc:
+                    failure = ItemFailure.from_exception(
+                        trace.label(), "validate", exc
+                    )
+                    failures.append(failure)
+                    obs.count("robust.quarantined_total", stage="validate")
+                    log.warning("quarantined trace: %s", failure)
+            traces = checked
+            self._require_two(len(traces), failures)
             from dataclasses import replace
 
             config = self.config
@@ -192,6 +242,46 @@ class ParametricStudy:
                     "log space", self.app,
                 )
                 config = replace(config, log_extensive=True)
-            frames = make_frames(traces, self.settings, jobs=jobs, cache=cache)
-            result = Tracker(frames, config).run(jobs=jobs)
-            return StudyResult(study=self, traces=tuple(traces), result=result)
+            if strict:
+                frames = make_frames(
+                    traces, self.settings, jobs=jobs, cache=cache
+                )
+                result = Tracker(frames, config).run(jobs=jobs)
+                return StudyResult(
+                    study=self, traces=tuple(traces), result=result
+                )
+            frame_slots, frame_failures = make_frames_partial(
+                traces, self.settings, jobs=jobs, cache=cache
+            )
+            failures.extend(frame_failures)
+            survivors = [
+                (trace, frame)
+                for trace, frame in zip(traces, frame_slots)
+                if frame is not None
+            ]
+            self._require_two(len(survivors), failures)
+            traces = [trace for trace, _ in survivors]
+            frames = [frame for _, frame in survivors]
+            tracked = Tracker(frames, config).run(jobs=jobs, strict=False)
+            failures.extend(tracked.failures)
+            result = StudyResult(
+                study=self, traces=tuple(traces), result=tracked.value
+            )
+            return PartialResult(value=result, failures=tuple(failures))
+
+    @staticmethod
+    def _require_two(n_alive: int, failures: list[ItemFailure]) -> None:
+        """Tracking needs two frames; fewer is a total failure even non-strict."""
+        if n_alive >= 2:
+            return
+        detail = (
+            f" ({len(failures)} item(s) quarantined: "
+            + "; ".join(str(f) for f in failures)
+            + ")"
+            if failures
+            else ""
+        )
+        raise StudyError(
+            "tracking needs at least two frames; add scenarios or a "
+            f"trace hook producing several time windows{detail}"
+        )

@@ -10,13 +10,20 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro import obs
-from repro.clustering.frames import Frame, FrameSettings, make_frame, make_frames
+from repro.clustering.frames import (
+    Frame,
+    FrameSettings,
+    make_frame,
+    make_frames,
+    make_frames_partial,
+)
 from repro.obs.log import get_logger
 from repro.tracking.tracker import Tracker, TrackerConfig, TrackingResult
 from repro.trace.trace import Trace
 
 if TYPE_CHECKING:
     from repro.parallel.cache import PipelineCache
+    from repro.robust.partial import PartialResult
 
 __all__ = ["cluster_trace", "make_frames", "track_frames", "quick_track"]
 
@@ -45,7 +52,8 @@ def quick_track(
     config: TrackerConfig | None = None,
     jobs: int | None = None,
     cache: "PipelineCache | None" = None,
-) -> TrackingResult:
+    strict: bool = True,
+) -> "TrackingResult | PartialResult[TrackingResult]":
     """One-call pipeline: traces -> frames -> tracking result.
 
     Parameters
@@ -63,6 +71,13 @@ def quick_track(
     cache:
         Optional :class:`repro.parallel.cache.PipelineCache` reusing
         frame labellings across runs (see ``docs/performance.md``).
+    strict:
+        When true (the default), the first malformed trace or failing
+        stage raises.  When false, repairably bad bursts are dropped,
+        failing traces / frames / pairs are quarantined, and the result
+        is a :class:`repro.robust.PartialResult` listing every
+        quarantined item.  Fewer than two surviving frames raises
+        :class:`~repro.errors.TrackingError` either way.
 
     Examples
     --------
@@ -73,6 +88,10 @@ def quick_track(
     True
     """
     from dataclasses import replace
+
+    from repro.errors import ReproError, TrackingError
+    from repro.robust.partial import ItemFailure, PartialResult
+    from repro.robust.validate import validate_trace
 
     settings = settings or FrameSettings()
     config = config or TrackerConfig()
@@ -85,5 +104,35 @@ def quick_track(
         )
         config = replace(config, log_extensive=True)
     with obs.span("api.quick_track", n_traces=len(traces)):
-        frames = make_frames(traces, settings, jobs=jobs, cache=cache)
-        return Tracker(frames, config).run(jobs=jobs)
+        if strict:
+            checked = [validate_trace(trace, strict=True) for trace in traces]
+            frames = make_frames(checked, settings, jobs=jobs, cache=cache)
+            return Tracker(frames, config).run(jobs=jobs)
+        failures: list[ItemFailure] = []
+        checked = []
+        for trace in traces:
+            try:
+                checked.append(validate_trace(trace, strict=False))
+            except ReproError as exc:
+                failure = ItemFailure.from_exception(
+                    trace.label(), "validate", exc
+                )
+                failures.append(failure)
+                obs.count("robust.quarantined_total", stage="validate")
+                log.warning("quarantined trace: %s", failure)
+        frame_slots, frame_failures = make_frames_partial(
+            checked, settings, jobs=jobs, cache=cache
+        )
+        failures.extend(frame_failures)
+        frames = [frame for frame in frame_slots if frame is not None]
+        if len(frames) < 2:
+            detail = (
+                "; ".join(str(f) for f in failures) if failures else "none"
+            )
+            raise TrackingError(
+                f"fewer than two frames survived quarantine "
+                f"({len(frames)} alive); failures: {detail}"
+            )
+        tracked = Tracker(frames, config).run(jobs=jobs, strict=False)
+        failures.extend(tracked.failures)
+        return PartialResult(value=tracked.value, failures=tuple(failures))

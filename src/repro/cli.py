@@ -17,8 +17,13 @@ Sub-commands
     List registered applications, machines and case studies.
 
 ``track``, ``study`` and ``table2`` accept ``--jobs/-j`` (parallel
-pipeline stages) and ``--cache-dir`` (incremental trace/frame cache);
-see ``docs/performance.md``.
+pipeline stages), ``--cache-dir`` (incremental trace/frame cache) and
+``--strict/--no-strict`` (fail fast vs quarantine-and-continue; see
+``docs/robustness.md``).
+
+Exit codes: 0 on success, 2 when the pipeline fails outright (a
+:class:`~repro.errors.ReproError`), 3 when ``--no-strict`` completed
+with quarantined items (a partial result).
 """
 
 from __future__ import annotations
@@ -74,6 +79,19 @@ def _add_perf_flags(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="content-addressed cache of simulated traces and frame "
         "labellings (default: REPRO_CACHE; unset = no caching)",
+    )
+
+
+def _add_strict_flag(parser: argparse.ArgumentParser) -> None:
+    """``--strict/--no-strict``: fail fast vs quarantine-and-continue."""
+    parser.add_argument(
+        "--strict",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="--strict (default) aborts on the first malformed input or "
+        "failing stage; --no-strict drops repairably bad bursts, "
+        "quarantines failing items and continues with the survivors "
+        "(exit code 3 when anything was quarantined)",
     )
 
 
@@ -151,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write SVG renderings into DIR")
     _add_profile_flag(track)
     _add_perf_flags(track)
+    _add_strict_flag(track)
 
     study = add_parser("study", help="run a canned paper case study")
     study.add_argument("name", help="case study name (see `info`)")
@@ -158,10 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--render", metavar="DIR", default=None)
     _add_profile_flag(study)
     _add_perf_flags(study)
+    _add_strict_flag(study)
 
     table2 = add_parser("table2", help="run all case studies; print Table 2")
     _add_profile_flag(table2)
     _add_perf_flags(table2)
+    _add_strict_flag(table2)
 
     cache = add_parser(
         "cache", help="inspect or clear the on-disk pipeline cache"
@@ -250,12 +271,45 @@ def _render(result, out_dir: str) -> None:
     print(f"rendered {seq_path} and {trend_path}")
 
 
+def _load_traces(paths: list[str], *, strict: bool):
+    """Load every trace; under non-strict, quarantine unloadable files."""
+    from repro.errors import ReproError
+    from repro.robust.partial import ItemFailure
+    from repro.trace.io import load_trace
+
+    failures = []
+    traces = []
+    for path in paths:
+        if strict:
+            traces.append(load_trace(path))
+            continue
+        try:
+            traces.append(load_trace(path, strict=False))
+        except ReproError as exc:
+            failure = ItemFailure.from_exception(path, "load", exc)
+            failures.append(failure)
+            print(f"warning: quarantined {failure}", file=sys.stderr)
+    return traces, failures
+
+
+def _report_partial(partial, extra_failures=()) -> int:
+    """Print the quarantine summary; return the exit code."""
+    from repro.robust.partial import PartialResult
+
+    combined = PartialResult(
+        value=partial.value,
+        failures=tuple(extra_failures) + partial.failures,
+    )
+    if not combined.ok:
+        print(combined.summary(), file=sys.stderr)
+    return combined.exit_code
+
+
 def _cmd_track(args: argparse.Namespace) -> int:
     from repro.api import quick_track
     from repro.clustering.frames import FrameSettings
-    from repro.trace.io import load_trace
 
-    traces = [load_trace(path) for path in args.traces]
+    traces, load_failures = _load_traces(args.traces, strict=args.strict)
     settings = FrameSettings(
         x_metric=args.x_metric,
         y_metric=args.y_metric,
@@ -265,12 +319,20 @@ def _cmd_track(args: argparse.Namespace) -> int:
         log_y=args.log_y,
     )
     result = quick_track(
-        traces, settings=settings, jobs=args.jobs, cache=_resolve_cache(args)
+        traces,
+        settings=settings,
+        jobs=args.jobs,
+        cache=_resolve_cache(args),
+        strict=args.strict,
     )
+    code = 0
+    if not args.strict:
+        code = _report_partial(result, load_failures)
+        result = result.value
     _print_result(result, args.trend_metric or ["ipc"])
     if args.render:
         _render(result, args.render)
-    return 0
+    return code
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -278,15 +340,22 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
     case = get_case_study(args.name)
     study_result = case.run(
-        seed=args.seed, jobs=args.jobs, cache=_resolve_cache(args)
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=_resolve_cache(args),
+        strict=args.strict,
     )
+    code = 0
+    if not args.strict:
+        code = _report_partial(study_result)
+        study_result = study_result.value
     print(f"case study: {case.name} "
           f"(expected: {case.expected_regions} regions, "
           f"{case.expected_coverage}% coverage)")
     _print_result(study_result.result, ["ipc"])
     if args.render:
         _render(study_result.result, args.render)
-    return 0
+    return code
 
 
 def _load_and_track(trace_paths: list[str], relevance: float):
@@ -325,10 +394,23 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
     cache = _resolve_cache(args)
     results = {}
+    failures = []
     for case in CASE_STUDIES:
         print(f"running {case.name}...", file=sys.stderr)
-        results[case.name] = case.run(jobs=args.jobs, cache=cache)
+        outcome = case.run(jobs=args.jobs, cache=cache, strict=args.strict)
+        if not args.strict:
+            failures.extend(outcome.failures)
+            outcome = outcome.value
+        results[case.name] = outcome
     print(format_table2(results))
+    if failures:
+        from repro.robust.partial import EXIT_PARTIAL
+
+        print(f"quarantine: {len(failures)} item(s) failed and were "
+              "skipped:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return EXIT_PARTIAL
     return 0
 
 
@@ -422,8 +504,15 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Returns 0 on success, ``EXIT_TOTAL`` (2) when the pipeline fails
+    with a :class:`~repro.errors.ReproError`, and ``EXIT_PARTIAL`` (3)
+    when a ``--no-strict`` run finished with quarantined items.
+    """
     from repro import obs
+    from repro.errors import ReproError
+    from repro.robust.partial import EXIT_TOTAL
 
     args = build_parser().parse_args(argv)
     obs.configure_logging(
@@ -448,6 +537,10 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"wrote Chrome trace to {path} "
                       "(load in chrome://tracing)", file=sys.stderr)
         return code
+    except ReproError as error:
+        # The whole pipeline failed: diagnosable, deliberate, exit 2.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_TOTAL
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         try:

@@ -24,14 +24,16 @@ from repro.obs.log import get_logger
 from repro.trace.filters import filter_min_duration
 from repro.trace.trace import Trace
 
-if TYPE_CHECKING:  # runtime import stays inside make_frames (cycle)
+if TYPE_CHECKING:  # runtime imports stay inside make_frames (cycle)
     from repro.parallel.cache import PipelineCache
+    from repro.robust.partial import ItemFailure
 
 __all__ = [
     "FrameSettings",
     "Frame",
     "make_frame",
     "make_frames",
+    "make_frames_partial",
     "frame_from_labels",
 ]
 
@@ -233,17 +235,55 @@ def _relevance_filter(
 
 
 def _filtered_trace(trace: Trace, settings: FrameSettings) -> Trace:
-    """Apply the minimum-duration filter and reject empty traces."""
+    """Apply the minimum-duration filter and reject degenerate traces."""
+    n_before = trace.n_bursts
     if settings.min_duration > 0:
         trace = filter_min_duration(trace, settings.min_duration)
     if trace.n_bursts == 0:
+        if n_before:
+            raise ClusteringError(
+                f"trace {trace.label()!r}: the min_duration="
+                f"{settings.min_duration:g}s filter removed all {n_before} "
+                "bursts; lower min_duration or check the trace's time unit"
+            )
         raise ClusteringError(f"trace {trace.label()!r} has no bursts to cluster")
+    if trace.n_bursts == 1:
+        raise ClusteringError(
+            f"trace {trace.label()!r} has a single burst "
+            f"{'after the min_duration filter ' if n_before > 1 else ''}"
+            "— density clustering needs at least two points"
+        )
     return trace
 
 
 def _metric_points(trace: Trace, settings: FrameSettings) -> np.ndarray:
-    """Raw ``(n, d)`` metric matrix, one column per clustering dimension."""
-    return np.column_stack([trace.metric(name) for name in settings.metric_names])
+    """Raw ``(n, d)`` metric matrix, one column per clustering dimension.
+
+    Metric evaluation is the last place non-finite values can enter the
+    clustering space (a derived ratio such as IPC turns finite counters
+    into NaN/inf when the denominator is zero), so each column is
+    checked here and reported by name instead of surfacing later as an
+    anonymous scaler failure.
+    """
+    columns = []
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for name in settings.metric_names:
+            try:
+                column = np.asarray(trace.metric(name), dtype=np.float64)
+            except KeyError as exc:
+                raise ClusteringError(
+                    f"trace {trace.label()!r} cannot provide clustering "
+                    f"metric {name!r}: {exc}"
+                ) from exc
+            if not np.isfinite(column).all():
+                n_bad = int((~np.isfinite(column)).sum())
+                raise ClusteringError(
+                    f"metric {name!r} of trace {trace.label()!r} is NaN or "
+                    f"infinite for {n_bad} burst(s) (zero denominator in a "
+                    "derived ratio?)"
+                )
+            columns.append(column)
+    return np.column_stack(columns)
 
 
 def _cluster_labels(
@@ -253,9 +293,19 @@ def _cluster_labels(
     clustering_columns = [points[:, i] for i in range(points.shape[1])]
     if settings.log_y:
         if np.any(clustering_columns[1] <= 0):
-            raise ClusteringError("log_y requires strictly positive y values")
+            raise ClusteringError(
+                f"log_y requires strictly positive {settings.y_metric!r} "
+                f"values; trace {trace.label()!r} has "
+                f"{int((clustering_columns[1] <= 0).sum())} non-positive one(s)"
+            )
         clustering_columns[1] = np.log10(clustering_columns[1])
     clustering_space = np.column_stack(clustering_columns)
+    if np.all(clustering_space == clustering_space[0]):
+        raise ClusteringError(
+            f"all {points.shape[0]} bursts of trace {trace.label()!r} are "
+            "identical in every clustering dimension "
+            f"{settings.metric_names}; there is no structure to cluster"
+        )
 
     scaler = MinMaxScaler.fit(clustering_space)
     scaled = scaler.transform(clustering_space)
@@ -321,11 +371,21 @@ def _assemble_frame(
 def make_frame(trace: Trace, settings: FrameSettings | None = None) -> Frame:
     """Build a :class:`Frame` from a trace.
 
-    Pipeline: duration filter -> metric extraction -> per-frame min-max
-    normalisation -> DBSCAN -> duration ranking -> relevance filter ->
-    cluster object construction.
+    Pipeline: structural validation -> duration filter -> metric
+    extraction -> per-frame min-max normalisation -> DBSCAN -> duration
+    ranking -> relevance filter -> cluster object construction.
+
+    Degenerate inputs (no/one burst, all points identical, a
+    ``min_duration`` filter that removes everything) raise
+    :class:`~repro.errors.ClusteringError`; structurally invalid traces
+    raise :class:`~repro.errors.TraceError`.  Non-strict pipelines
+    repair traces with :func:`repro.robust.validate_trace` *before*
+    calling this.
     """
+    from repro.robust.validate import validate_trace
+
     settings = settings or FrameSettings()
+    trace = validate_trace(trace, strict=True)
     trace = _filtered_trace(trace, settings)
     with obs.span(
         "clustering.make_frame",
@@ -368,8 +428,10 @@ def frame_from_labels(
         label=trace.label(),
         n_bursts=trace.n_bursts,
     ):
+        from repro.robust.validate import validate_frame
+
         points = _metric_points(trace, settings)
-        return _assemble_frame(trace, settings, points, labels)
+        return validate_frame(_assemble_frame(trace, settings, points, labels))
 
 
 def _frame_task(task: tuple[int, Trace, FrameSettings]) -> Frame:
@@ -381,6 +443,23 @@ def _frame_task(task: tuple[int, Trace, FrameSettings]) -> Frame:
     index, trace, settings = task
     with obs.span("clustering.frame", frame=index):
         return make_frame(trace, settings)
+
+
+def _frame_task_quarantine(task: tuple[int, Trace, FrameSettings]):
+    """Worker-side task for non-strict runs: never raises a ReproError.
+
+    Returns the built :class:`Frame`, or an
+    :class:`~repro.robust.partial.ItemFailure` when the trace cannot be
+    clustered (so one bad trace does not abort the whole batch).
+    """
+    from repro.errors import ReproError
+    from repro.robust.partial import ItemFailure
+
+    index, trace, settings = task
+    try:
+        return _frame_task(task)
+    except ReproError as exc:
+        return ItemFailure.from_exception(trace.label(), "frame", exc)
 
 
 def make_frames(
@@ -406,12 +485,49 @@ def make_frames(
         Optional :class:`repro.parallel.cache.PipelineCache`; hits skip
         the DBSCAN/ranking stages, misses are computed and stored.
     """
+    frames, failures = _make_frames_impl(
+        traces, settings, jobs=jobs, cache=cache, strict=True
+    )
+    assert not failures  # strict mode propagates instead of quarantining
+    return frames  # type: ignore[return-value]
+
+
+def make_frames_partial(
+    traces: list[Trace],
+    settings: FrameSettings | None = None,
+    *,
+    jobs: int | None = None,
+    cache: "PipelineCache | None" = None,
+) -> tuple[list["Frame | None"], tuple["ItemFailure", ...]]:
+    """Build frames with per-trace quarantine instead of aborting.
+
+    Like :func:`make_frames`, but a trace whose frame construction fails
+    with a :class:`~repro.errors.ReproError` yields ``None`` in the
+    output list (positions match the input) plus an
+    :class:`~repro.robust.partial.ItemFailure` record; the
+    ``robust.quarantined_total`` obs counter tracks the drops.  This is
+    the non-strict path of :func:`repro.api.quick_track` and
+    :meth:`repro.analysis.study.ParametricStudy.run`.
+    """
+    return _make_frames_impl(traces, settings, jobs=jobs, cache=cache, strict=False)
+
+
+def _make_frames_impl(
+    traces: list[Trace],
+    settings: FrameSettings | None,
+    *,
+    jobs: int | None,
+    cache: "PipelineCache | None",
+    strict: bool,
+) -> tuple[list["Frame | None"], tuple["ItemFailure", ...]]:
     from repro.parallel.cache import frame_key
     from repro.parallel.executor import pmap
+    from repro.robust.partial import ItemFailure
 
     settings = settings or FrameSettings()
     with obs.span("clustering.make_frames", n_traces=len(traces)) as frames_span:
         frames: list[Frame | None] = [None] * len(traces)
+        failures: list[ItemFailure] = []
         keys: list[dict | None] = [None] * len(traces)
         pending: list[int] = []
         for index, trace in enumerate(traces):
@@ -427,15 +543,22 @@ def make_frames(
             pending.append(index)
         if pending:
             built = pmap(
-                _frame_task,
+                _frame_task if strict else _frame_task_quarantine,
                 [(index, traces[index], settings) for index in pending],
                 jobs=jobs,
                 label="clustering.make_frames.pmap",
             )
             for index, frame in zip(pending, built):
+                if isinstance(frame, ItemFailure):
+                    failures.append(frame)
+                    obs.count("robust.quarantined_total", stage="frame")
+                    log.warning("quarantined frame: %s", frame)
+                    continue
                 frames[index] = frame
                 if cache is not None:
                     cache.put_labels(keys[index], frame.labels)
         if obs.enabled():
-            frames_span.set(n_cached=len(traces) - len(pending))
-        return frames  # type: ignore[return-value]
+            frames_span.set(
+                n_cached=len(traces) - len(pending), n_quarantined=len(failures)
+            )
+        return frames, tuple(failures)

@@ -60,7 +60,8 @@ log = get_logger(__name__)
 CACHE_ENV = "REPRO_CACHE"
 
 #: On-disk entry format; bump to invalidate every existing entry.
-_CACHE_FORMAT = 1
+#: v2 added the payload content digest (bit-flip detection).
+_CACHE_FORMAT = 2
 
 
 def _canonical(value: Any) -> Any:
@@ -86,6 +87,17 @@ def stable_hash(value: Any) -> str:
     """
     payload = json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _payload_digest(payload: Any) -> str:
+    """SHA-256 over the canonical JSON bytes of a stored payload.
+
+    Written into every entry and re-checked on read, so silent on-disk
+    corruption (a flipped bit inside an otherwise well-formed document)
+    is caught and the entry recomputed instead of poisoning results.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def trace_digest(trace: Trace) -> str:
@@ -213,6 +225,11 @@ class PipelineCache:
                 obs.count("cache.misses_total", kind=kind)
                 span.set(outcome="corrupt")
                 return None
+            if document.get("digest") != _payload_digest(document["payload"]):
+                self._discard(path, key, "payload digest mismatch")
+                obs.count("cache.misses_total", kind=kind)
+                span.set(outcome="corrupt")
+                return None
             obs.count("cache.hits_total", kind=kind)
             span.set(outcome="hit")
             return document["payload"]
@@ -222,7 +239,12 @@ class PipelineCache:
         kind = str(key.get("kind", "misc"))
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        document = {"format": _CACHE_FORMAT, "key": _canonical(key), "payload": payload}
+        document = {
+            "format": _CACHE_FORMAT,
+            "key": _canonical(key),
+            "digest": _payload_digest(payload),
+            "payload": payload,
+        }
         with obs.span("cache.put", kind=kind):
             descriptor, tmp_name = tempfile.mkstemp(
                 dir=path.parent, prefix=".tmp-", suffix=".json"
@@ -246,15 +268,28 @@ class PipelineCache:
 
     # -- typed helpers -------------------------------------------------
     def get_trace(self, key: Mapping[str, Any]) -> Trace | None:
-        """Fetch a cached trace, or ``None`` on miss/corruption."""
+        """Fetch a cached trace, or ``None`` on miss/corruption.
+
+        The rebuilt trace is checked against the structural invariants
+        (:func:`repro.robust.check_trace`); an entry decoding to an
+        invalid trace is dropped like any other corruption.
+        """
+        from repro.robust.validate import check_trace
+
         payload = self.get(key)
         if payload is None:
             return None
         try:
-            return trace_from_json(payload)
+            trace = trace_from_json(payload)
         except TraceFormatError as error:
             self._discard(self._path(key), key, f"trace payload: {error}")
             return None
+        issues = check_trace(trace)
+        if issues:
+            summary = "; ".join(str(issue) for issue in issues)
+            self._discard(self._path(key), key, f"invalid trace: {summary}")
+            return None
+        return trace
 
     def put_trace(self, key: Mapping[str, Any], trace: Trace) -> Path:
         """Store a simulated trace."""
@@ -269,6 +304,10 @@ class PipelineCache:
             labels = np.asarray(payload["labels"], dtype=np.int32)
             if labels.ndim != 1:
                 raise ValueError(f"labels have shape {labels.shape}")
+            if labels.size and int(labels.min()) < 0:
+                raise ValueError(
+                    f"labels contain negative ids (min {int(labels.min())})"
+                )
         except (KeyError, TypeError, ValueError, OverflowError) as error:
             self._discard(self._path(key), key, f"labels payload: {error}")
             return None

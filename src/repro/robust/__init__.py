@@ -1,0 +1,49 @@
+"""repro.robust — input validation and graceful degradation.
+
+The pipeline ingests external artifacts (Paraver ``.prv`` traces,
+cached JSON entries, user-supplied scenario configurations) that can be
+arbitrarily malformed.  This package is the hardening layer:
+
+- :mod:`repro.robust.validate` checks structural invariants of traces,
+  frames and study definitions at every pipeline entry point and raises
+  the :mod:`repro.errors` taxonomy with actionable messages — never a
+  raw ``ValueError`` from deep inside NumPy;
+- :mod:`repro.robust.partial` models graceful degradation: multi-item
+  stages quarantine failing items into a :class:`PartialResult` instead
+  of aborting the whole run, and the CLI maps total vs partial failure
+  to distinct exit codes.
+
+See ``docs/robustness.md`` for the invariant catalogue, the strict vs
+non-strict semantics and the fault-injection harness under
+``tests/faults/``.
+"""
+
+from __future__ import annotations
+
+from repro.robust.partial import (
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_TOTAL,
+    ItemFailure,
+    PartialResult,
+)
+from repro.robust.validate import (
+    ValidationIssue,
+    check_trace,
+    validate_frame,
+    validate_study,
+    validate_trace,
+)
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_PARTIAL",
+    "EXIT_TOTAL",
+    "ItemFailure",
+    "PartialResult",
+    "ValidationIssue",
+    "check_trace",
+    "validate_frame",
+    "validate_study",
+    "validate_trace",
+]

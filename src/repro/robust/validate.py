@@ -1,0 +1,363 @@
+"""Structural validation of traces, frames and study definitions.
+
+Every pipeline entry point that ingests external data (``load_prv``,
+``load_trace``, the cache load paths, ``make_frame``, ``Tracker.run``,
+``ParametricStudy.run``) funnels through these checks so that malformed
+input surfaces as a diagnosable :mod:`repro.errors` exception at the
+boundary instead of a raw ``ValueError`` or a NumPy warning deep inside
+clustering.
+
+Trace invariants checked
+------------------------
+- the trace has at least one metric column;
+- ``begin`` and ``duration`` are finite and durations non-negative;
+- hardware counters are finite and non-negative;
+- burst times are monotone per rank: a rank's bursts, ordered by begin
+  time, must not overlap (duplicated bursts are a special case);
+- rank and call-path ids are consistent with ``nranks`` and the
+  call-stack table.
+
+``validate_trace(strict=True)`` raises :class:`~repro.errors.TraceError`
+on the first batch of violations; ``strict=False`` *repairs* what can
+be repaired by dropping the offending bursts (with a warning and the
+``robust.recovered_total`` obs counter) and only raises for
+unrepairable structure (no metric columns at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ClusteringError, StudyError, TraceError
+from repro.obs.log import get_logger
+from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # import kept lazy: clustering.frames must stay importable first
+    from repro.analysis.study import ParametricStudy
+    from repro.clustering.frames import Frame
+
+__all__ = [
+    "ValidationIssue",
+    "check_trace",
+    "validate_frame",
+    "validate_study",
+    "validate_trace",
+]
+
+log = get_logger(__name__)
+
+#: Sub-nanosecond tolerance for per-rank overlap checks: Paraver times
+#: are integer nanoseconds, so anything below this is rounding fuzz.
+_OVERLAP_TOL = 1e-10
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    """One violated invariant.
+
+    Attributes
+    ----------
+    check:
+        Stable identifier of the invariant (``"finite-counters"``...).
+    message:
+        Human-readable description with concrete numbers.
+    n_affected:
+        Number of bursts involved (0 for trace-level issues).
+    repairable:
+        Whether dropping the affected bursts restores the invariant.
+    """
+
+    check: str
+    message: str
+    n_affected: int = 0
+    repairable: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.check}: {self.message}"
+
+
+def _bad_burst_mask(trace: Trace) -> tuple[np.ndarray, list[ValidationIssue]]:
+    """Mask of bursts violating repairable invariants, plus the issues."""
+    issues: list[ValidationIssue] = []
+    bad = np.zeros(trace.n_bursts, dtype=bool)
+    if trace.n_bursts == 0:
+        return bad, issues
+
+    finite_times = np.isfinite(trace.begin) & np.isfinite(trace.duration)
+    if not finite_times.all():
+        n = int((~finite_times).sum())
+        issues.append(
+            ValidationIssue(
+                check="finite-times",
+                message=f"{n} burst(s) have NaN or infinite begin/duration",
+                n_affected=n,
+                repairable=True,
+            )
+        )
+        bad |= ~finite_times
+
+    negative = finite_times & (trace.duration < 0)
+    if negative.any():
+        n = int(negative.sum())
+        issues.append(
+            ValidationIssue(
+                check="non-negative-durations",
+                message=f"{n} burst(s) have negative durations",
+                n_affected=n,
+                repairable=True,
+            )
+        )
+        bad |= negative
+
+    counters = trace.counters_matrix
+    finite_counters = np.isfinite(counters).all(axis=1)
+    if not finite_counters.all():
+        n = int((~finite_counters).sum())
+        issues.append(
+            ValidationIssue(
+                check="finite-counters",
+                message=(
+                    f"{n} burst(s) carry NaN or infinite hardware counters "
+                    f"(columns: {list(trace.counter_names)})"
+                ),
+                n_affected=n,
+                repairable=True,
+            )
+        )
+        bad |= ~finite_counters
+
+    with np.errstate(invalid="ignore"):
+        negative_counters = (counters < 0).any(axis=1) & finite_counters
+    if negative_counters.any():
+        n = int(negative_counters.sum())
+        issues.append(
+            ValidationIssue(
+                check="non-negative-counters",
+                message=f"{n} burst(s) carry negative hardware counters",
+                n_affected=n,
+                repairable=True,
+            )
+        )
+        bad |= negative_counters
+
+    # Monotone burst times per rank: order by (rank, begin) and flag the
+    # later burst of every overlapping same-rank pair.  Exact duplicates
+    # are the common corruption and fall out of the same check.
+    usable = ~bad
+    if usable.sum() >= 2:
+        idx = np.flatnonzero(usable)
+        order = np.lexsort((trace.end[idx], trace.begin[idx], trace.rank[idx]))
+        idx = idx[order]
+        same_rank = trace.rank[idx][1:] == trace.rank[idx][:-1]
+        overlap = same_rank & (
+            trace.begin[idx][1:] < trace.end[idx][:-1] - _OVERLAP_TOL
+        )
+        if overlap.any():
+            n = int(overlap.sum())
+            dup = overlap & (
+                np.abs(trace.begin[idx][1:] - trace.begin[idx][:-1]) <= _OVERLAP_TOL
+            ) & (
+                np.abs(trace.end[idx][1:] - trace.end[idx][:-1]) <= _OVERLAP_TOL
+            )
+            detail = (
+                f" ({int(dup.sum())} exact duplicate(s))" if dup.any() else ""
+            )
+            issues.append(
+                ValidationIssue(
+                    check="monotone-burst-times",
+                    message=(
+                        f"{n} burst(s) overlap an earlier burst of the same "
+                        f"rank{detail}; per-rank burst times must be monotone"
+                    ),
+                    n_affected=n,
+                    repairable=True,
+                )
+            )
+            bad[idx[1:][overlap]] = True
+    return bad, issues
+
+
+def _structural_issues(trace: Trace) -> list[ValidationIssue]:
+    """Trace-level invariants that dropping bursts cannot repair."""
+    issues: list[ValidationIssue] = []
+    if len(trace.counter_names) == 0:
+        issues.append(
+            ValidationIssue(
+                check="metric-columns",
+                message="trace has no counter columns; nothing to cluster on",
+            )
+        )
+    # Rank / call-path consistency is enforced by the Trace constructor,
+    # but re-check here: validation also guards objects rebuilt from
+    # adversarial payloads through paths that bypass it.
+    if trace.n_bursts:
+        if trace.rank.size and (
+            int(trace.rank.min()) < 0 or int(trace.rank.max()) >= trace.nranks
+        ):
+            issues.append(
+                ValidationIssue(
+                    check="consistent-ranks",
+                    message=(
+                        f"burst ranks span [{int(trace.rank.min())}, "
+                        f"{int(trace.rank.max())}] outside [0, {trace.nranks})"
+                    ),
+                )
+            )
+        if trace.callpath_id.size and (
+            int(trace.callpath_id.min()) < 0
+            or int(trace.callpath_id.max()) >= len(trace.callstacks)
+        ):
+            issues.append(
+                ValidationIssue(
+                    check="consistent-callpaths",
+                    message=(
+                        f"call-path ids span [{int(trace.callpath_id.min())}, "
+                        f"{int(trace.callpath_id.max())}] outside the "
+                        f"{len(trace.callstacks)}-entry callstack table"
+                    ),
+                )
+            )
+    return issues
+
+
+def check_trace(trace: Trace) -> list[ValidationIssue]:
+    """Inspect *trace* and return every violated invariant (no raising)."""
+    _, burst_issues = _bad_burst_mask(trace)
+    return _structural_issues(trace) + burst_issues
+
+
+def _raise_trace_error(trace: Trace, issues: list[ValidationIssue], where: str | None) -> None:
+    origin = where or trace.label()
+    details = "\n".join(f"  - {issue}" for issue in issues)
+    raise TraceError(
+        f"trace {origin!r} failed validation "
+        f"({len(issues)} invariant(s) violated):\n{details}\n"
+        "Rerun with strict=False (CLI: --no-strict) to drop the offending "
+        "bursts and continue."
+    )
+
+
+def validate_trace(
+    trace: Trace, *, strict: bool = True, where: str | None = None
+) -> Trace:
+    """Check *trace* against the structural invariants.
+
+    Parameters
+    ----------
+    trace:
+        The trace to validate.
+    strict:
+        When true (the default), raise :class:`~repro.errors.TraceError`
+        describing every violated invariant.  When false, repair what
+        can be repaired by dropping the offending bursts — logged with a
+        warning and counted on ``robust.recovered_total`` — and raise
+        only for unrepairable structure.
+    where:
+        Origin shown in messages (a file path); defaults to the trace
+        label.
+
+    Returns
+    -------
+    Trace
+        The input trace (strict) or the repaired trace (non-strict).
+    """
+    structural = _structural_issues(trace)
+    bad, burst_issues = _bad_burst_mask(trace)
+    if strict:
+        issues = structural + burst_issues
+        if issues:
+            _raise_trace_error(trace, issues, where)
+        return trace
+    if structural:
+        _raise_trace_error(trace, structural, where)
+    if burst_issues:
+        n_dropped = int(bad.sum())
+        origin = where or trace.label()
+        for issue in burst_issues:
+            log.warning("trace %s: %s (non-strict: dropping)", origin, issue)
+        obs.count("robust.recovered_total", n_dropped, check="trace")
+        return trace.select(~bad)
+    return trace
+
+
+def validate_frame(frame: "Frame", *, where: str | None = None) -> "Frame":
+    """Check the internal consistency of a built frame.
+
+    Raises :class:`~repro.errors.ClusteringError` when the labelling,
+    points and cluster objects disagree — the symptom of a corrupt cache
+    entry or a hand-assembled frame.
+    """
+    origin = where or frame.label
+    labels = frame.labels
+    if labels.shape != (frame.n_points,):
+        raise ClusteringError(
+            f"frame {origin!r}: labelling of shape {labels.shape} does not "
+            f"match the {frame.n_points}-point frame"
+        )
+    if frame.points.ndim != 2 or frame.points.shape[1] < 2:
+        raise ClusteringError(
+            f"frame {origin!r}: points matrix of shape {frame.points.shape} "
+            "needs at least the two plot axes"
+        )
+    if not np.isfinite(frame.points).all():
+        raise ClusteringError(
+            f"frame {origin!r}: points contain NaN or infinite metric values"
+        )
+    if labels.size and int(labels.min()) < 0:
+        raise ClusteringError(
+            f"frame {origin!r}: labels must be >= 0 (0 = noise), "
+            f"got minimum {int(labels.min())}"
+        )
+    label_ids = set(int(l) for l in np.unique(labels)) - {0}
+    cluster_ids = set(frame.cluster_ids)
+    if label_ids != cluster_ids:
+        raise ClusteringError(
+            f"frame {origin!r}: label ids {sorted(label_ids)} disagree with "
+            f"cluster objects {sorted(cluster_ids)}"
+        )
+    for cluster in frame.cluster_set.clusters:
+        if cluster.indices.size == 0:
+            raise ClusteringError(
+                f"frame {origin!r}: cluster {cluster.cluster_id} has no points"
+            )
+        if int(cluster.indices.max()) >= frame.n_points:
+            raise ClusteringError(
+                f"frame {origin!r}: cluster {cluster.cluster_id} references "
+                f"point {int(cluster.indices.max())} outside the frame"
+            )
+    return frame
+
+
+def validate_study(study: "ParametricStudy") -> "ParametricStudy":
+    """Check a study definition before running it.
+
+    Raises :class:`~repro.errors.StudyError` for unknown applications or
+    malformed scenario mappings, so a typo in a config fails in
+    milliseconds instead of after the first simulation.
+    """
+    from repro.apps.registry import APP_BUILDERS
+
+    if not isinstance(study.app, str) or not study.app:
+        raise StudyError(f"study application name must be a string, got {study.app!r}")
+    if study.app not in APP_BUILDERS:
+        known = ", ".join(sorted(APP_BUILDERS))
+        raise StudyError(
+            f"unknown application {study.app!r}; registered applications: {known}"
+        )
+    for index, scenario in enumerate(study.scenarios):
+        if not isinstance(scenario, Mapping):
+            raise StudyError(
+                f"scenario #{index} of study {study.app!r} must be a mapping "
+                f"of keyword arguments, got {type(scenario).__name__}"
+            )
+        for key in scenario:
+            if not isinstance(key, str):
+                raise StudyError(
+                    f"scenario #{index} of study {study.app!r} has a "
+                    f"non-string parameter name {key!r}"
+                )
+    return study

@@ -192,24 +192,37 @@ def save_trace(trace: Trace, path: str | Path) -> Path:
     return path
 
 
-def load_trace(path: str | Path) -> Trace:
-    """Load a trace written by :func:`save_trace`."""
+def load_trace(path: str | Path, *, strict: bool = True) -> Trace:
+    """Load a trace written by :func:`save_trace`.
+
+    The loaded trace is validated against the structural invariants
+    (:func:`repro.robust.validate_trace`): malformed content raises
+    :class:`~repro.errors.TraceError` when *strict* (the default), while
+    ``strict=False`` drops repairably bad bursts with a warning.
+    """
+    from repro.robust.validate import validate_trace
+
     path = Path(path)
     suffix = _base_suffix(path)
     if suffix == ".prv":
         from repro.trace.prv import load_prv
 
-        return load_prv(path)
-    with _open_text(path, "r") as stream:
-        if suffix == ".json":
-            try:
-                doc = json.load(stream)
-            except json.JSONDecodeError as exc:
-                raise TraceFormatError(f"malformed JSON trace: {exc}") from exc
-            return trace_from_json(doc)
-        if suffix == ".csv":
-            return _read_csv(stream)
-        raise TraceFormatError(
-            f"unsupported trace extension {suffix!r} "
-            "(use .json, .csv or .prv)"
-        )
+        return load_prv(path, strict=strict)
+    try:
+        with _open_text(path, "r") as stream:
+            if suffix == ".json":
+                try:
+                    doc = json.load(stream)
+                except json.JSONDecodeError as exc:
+                    raise TraceFormatError(f"malformed JSON trace: {exc}") from exc
+                trace = trace_from_json(doc)
+            elif suffix == ".csv":
+                trace = _read_csv(stream)
+            else:
+                raise TraceFormatError(
+                    f"unsupported trace extension {suffix!r} "
+                    "(use .json, .csv or .prv)"
+                )
+    except (OSError, UnicodeDecodeError, EOFError, gzip.BadGzipFile) as exc:
+        raise TraceFormatError(f"cannot read trace {path}: {exc}") from exc
+    return validate_trace(trace, strict=strict, where=str(path))

@@ -30,6 +30,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import TraceFormatError
+from repro.obs.log import get_logger
 from repro.trace.callstack import CallPath, CallstackTable
 from repro.trace.counters import CYCLES, INSTRUCTIONS, L1_DCM, L2_DCM, TLB_DM
 from repro.trace.trace import Trace, TraceBuilder
@@ -51,6 +52,8 @@ CALLER_EVENT_TYPE = 30000100
 #: Running state id in Paraver's default semantic.
 _RUNNING_STATE = 1
 
+log = get_logger(__name__)
+
 _NS = 1e9
 
 
@@ -61,17 +64,31 @@ def _prv_path(path: str | Path) -> Path:
     return path
 
 
+def _round_ns(seconds: np.ndarray) -> np.ndarray:
+    """Quantise second-unit timestamps to integer nanoseconds.
+
+    One rounding mode (round-half-even via :func:`numpy.rint`) is used
+    for *every* emitted time — burst records and the header total alike
+    — so no record can disagree with the header about the last
+    nanosecond.
+    """
+    return np.rint(np.asarray(seconds, dtype=np.float64) * _NS).astype(np.int64)
+
+
 def save_prv(trace: Trace, path: str | Path) -> Path:
     """Write *trace* as a Paraver triplet; returns the ``.prv`` path.
 
     ``path`` may omit the extension; ``.pcf`` and ``.row`` siblings are
-    written next to the ``.prv``.
+    written next to the ``.prv``.  The header duration is the maximum of
+    the emitted burst end times (same rounding pass), so every record
+    time is guaranteed ``<=`` the header total.
     """
     prv = _prv_path(path)
     prv.parent.mkdir(parents=True, exist_ok=True)
 
     counter_types = [COUNTER_EVENT_TYPES[name] for name in trace.counter_names]
-    end_ns_all = np.rint((trace.begin + trace.duration) * _NS).astype(np.int64)
+    begin_ns_all = _round_ns(trace.begin)
+    end_ns_all = _round_ns(trace.end)
     total_ns = int(end_ns_all.max()) if trace.n_bursts else 0
 
     # Header: #Paraver (d/m/y at h:m):total:nNodes(cpus):nAppl:tasks(...)
@@ -86,8 +103,8 @@ def save_prv(trace: Trace, path: str | Path) -> Path:
     lines = [header]
     for index in order.tolist():
         rank = int(trace.rank[index]) + 1  # Paraver tasks are 1-based
-        begin_ns = int(round(float(trace.begin[index]) * _NS))
-        end_ns = int(round(float(trace.end[index]) * _NS))
+        begin_ns = int(begin_ns_all[index])
+        end_ns = int(end_ns_all[index])
         lines.append(
             f"1:{rank}:1:{rank}:1:{begin_ns}:{end_ns}:{_RUNNING_STATE}"
         )
@@ -149,7 +166,7 @@ def _read_pcf(path: Path) -> tuple[dict, CallstackTable]:
     values: dict[int, str] = {}
     in_caller_values = False
     saw_caller_type = False
-    for line in path.read_text(encoding="utf-8").splitlines():
+    for line in path.read_text(encoding="utf-8", errors="replace").splitlines():
         match = _META_RE.match(line)
         if match:
             try:
@@ -172,32 +189,74 @@ def _read_pcf(path: Path) -> tuple[dict, CallstackTable]:
                 values[int(match.group("id"))] = match.group("label")
     if meta is None:
         raise TraceFormatError(f"{path} carries no repro-meta block")
-    paths = [
-        CallPath.parse(values[path_id]) for path_id in sorted(values)
-    ]
+    try:
+        paths = [
+            CallPath.parse(values[path_id]) for path_id in sorted(values)
+        ]
+    except ValueError as exc:
+        raise TraceFormatError(
+            f"{path}: malformed caller value: {exc}"
+        ) from exc
     return meta, CallstackTable(paths)
 
 
-def load_prv(path: str | Path) -> Trace:
+_HEADER_TOTAL_RE = re.compile(r"^#Paraver \([^)]*\):(?P<total>\d+)(?:_ns)?:")
+
+
+def _parse_header_total(header: str, prv: Path) -> int | None:
+    """Extract the total duration (ns) from a ``#Paraver`` header."""
+    match = _HEADER_TOTAL_RE.match(header)
+    if match is None:
+        raise TraceFormatError(
+            f"{prv}: malformed Paraver header (no total duration): {header!r}"
+        )
+    return int(match.group("total"))
+
+
+def load_prv(path: str | Path, *, strict: bool = True) -> Trace:
     """Read a Paraver triplet written by :func:`save_prv`.
 
     Timestamps come back at nanosecond precision; counters as integers.
+    The built trace is validated against the structural invariants
+    (:func:`repro.robust.validate_trace`): with ``strict=True`` (the
+    default) a malformed trace raises
+    :class:`~repro.errors.TraceError` / :class:`TraceFormatError`; with
+    ``strict=False`` repairable defects (NaN counters, duplicated
+    bursts, record times past the header duration) are dropped with a
+    warning instead.
     """
+    from repro.robust.validate import validate_trace
+
     prv = _prv_path(path)
     if not prv.exists():
         raise TraceFormatError(f"missing Paraver trace {prv}")
     meta, callstacks = _read_pcf(prv.with_suffix(".pcf"))
 
-    counter_names = tuple(meta["counter_names"])
+    try:
+        counter_names = tuple(str(name) for name in meta["counter_names"])
+        nranks = int(meta["nranks"])
+        app = str(meta["app"])
+        scenario = dict(meta.get("scenario", {}))
+        clock_hz = float(meta.get("clock_hz", 1e9))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(
+            f"{prv}: malformed repro-meta block: {exc}"
+        ) from exc
+    unknown = [name for name in counter_names if name not in COUNTER_EVENT_TYPES]
+    if unknown:
+        raise TraceFormatError(
+            f"{prv}: repro-meta names unknown counter(s) {unknown}; "
+            f"supported: {sorted(COUNTER_EVENT_TYPES)}"
+        )
     type_to_column = {
         COUNTER_EVENT_TYPES[name]: col for col, name in enumerate(counter_names)
     }
     builder = TraceBuilder(
-        nranks=int(meta["nranks"]),
+        nranks=nranks,
         counter_names=counter_names,
-        app=str(meta["app"]),
-        scenario=dict(meta.get("scenario", {})),
-        clock_hz=float(meta.get("clock_hz", 1e9)),
+        app=app,
+        scenario=scenario,
+        clock_hz=clock_hz,
     )
     paths = list(callstacks)
 
@@ -206,9 +265,12 @@ def load_prv(path: str | Path) -> Trace:
     # round to the same end nanosecond, so each key holds a FIFO queue.
     states: dict[tuple[int, int], list[tuple[float, float]]] = {}
     pending: list[tuple[int, int, dict[int, int]]] = []
-    lines = prv.read_text(encoding="utf-8").splitlines()
+    lines = prv.read_text(encoding="utf-8", errors="replace").splitlines()
     if not lines or not lines[0].startswith("#Paraver"):
         raise TraceFormatError(f"{prv} is not a Paraver trace")
+    total_ns = _parse_header_total(lines[0], prv)
+    overran: int = 0
+    malformed: int = 0
     for line in lines[1:]:
         if not line.strip():
             continue
@@ -219,32 +281,70 @@ def load_prv(path: str | Path) -> Trace:
                 task = int(fields[3]) - 1
                 begin_ns = int(fields[5])
                 end_ns = int(fields[6])
+                if not 0 <= task < nranks:
+                    raise ValueError(f"task {task + 1} outside 1..{nranks}")
+                if end_ns < begin_ns:
+                    raise ValueError("state record ends before it begins")
+                if end_ns > total_ns:
+                    overran += 1
+                    if strict:
+                        raise TraceFormatError(
+                            f"{prv}: state record ends at {end_ns} ns, past "
+                            f"the header duration of {total_ns} ns: {line!r}"
+                        )
+                    continue  # non-strict: drop the overrunning burst
                 states.setdefault((task, end_ns), []).append(
                     (begin_ns / _NS, (end_ns - begin_ns) / _NS)
                 )
             elif record == 2:
                 task = int(fields[3]) - 1
                 time_ns = int(fields[5])
+                if len(fields) < 8 or len(fields) % 2 != 0:
+                    raise ValueError("event record carries a dangling field")
                 events = {
                     int(fields[i]): int(fields[i + 1])
                     for i in range(6, len(fields) - 1, 2)
                 }
                 pending.append((task, time_ns, events))
+        except TraceFormatError:
+            raise
         except (ValueError, IndexError) as exc:
-            raise TraceFormatError(f"malformed Paraver record: {line!r}") from exc
+            if strict:
+                raise TraceFormatError(
+                    f"{prv}: malformed Paraver record: {line!r} ({exc})"
+                ) from exc
+            malformed += 1  # non-strict: truncated/garbled line, drop it
+    if malformed:
+        log.warning(
+            "%s: dropped %d unparseable record line(s) (non-strict)",
+            prv, malformed,
+        )
+    if overran:
+        log.warning(
+            "%s: dropped %d state record(s) past the header duration "
+            "(non-strict)", prv, overran,
+        )
 
+    orphaned = 0
     for task, time_ns, events in pending:
         queue = states.get((task, time_ns))
         if not queue:
-            raise TraceFormatError(
-                f"event at t={time_ns} for task {task} has no matching state"
-            )
+            if strict:
+                raise TraceFormatError(
+                    f"{prv}: event at t={time_ns} for task {task + 1} has "
+                    "no matching state record"
+                )
+            orphaned += 1
+            continue
         begin, duration = queue.pop(0)
         caller = events.get(CALLER_EVENT_TYPE)
         if caller is None or not 1 <= caller <= len(paths):
-            raise TraceFormatError(
-                f"event at t={time_ns} lacks a valid caller reference"
-            )
+            if strict:
+                raise TraceFormatError(
+                    f"{prv}: event at t={time_ns} lacks a valid caller reference"
+                )
+            orphaned += 1  # non-strict: drop the burst with the broken caller
+            continue
         counters = [0.0] * len(counter_names)
         for event_type, value in events.items():
             column = type_to_column.get(event_type)
@@ -257,4 +357,9 @@ def load_prv(path: str | Path) -> Trace:
             callpath=paths[caller - 1],
             counters=counters,
         )
-    return builder.build()
+    if orphaned:
+        log.warning(
+            "%s: dropped %d event record(s) without a matching state "
+            "(non-strict)", prv, orphaned,
+        )
+    return validate_trace(builder.build(), strict=strict, where=str(prv))

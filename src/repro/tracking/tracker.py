@@ -11,6 +11,7 @@ time-consuming behaviour in the study.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import networkx as nx
 
@@ -24,6 +25,9 @@ from repro.parallel.executor import pmap
 from repro.tracking.combine import PairRelations, combine_pair
 from repro.tracking.coverage import coverage_percent
 from repro.tracking.scaling import NormalizedSpace, normalize_frames
+
+if TYPE_CHECKING:  # runtime import stays inside run (cycle avoidance)
+    from repro.robust.partial import PartialResult
 
 __all__ = ["TrackerConfig", "TrackedRegion", "TrackingResult", "Tracker"]
 
@@ -52,6 +56,51 @@ def _combine_task(
             use_callstack=config.use_callstack,
             use_spmd=config.use_spmd,
             use_sequence=config.use_sequence,
+        )
+
+
+def _empty_pair_relations(frame_a: Frame, frame_b: Frame) -> PairRelations:
+    """Evidence-free relations for a quarantined pair.
+
+    Every matrix is all-zero over the real cluster ids and the relation
+    list is empty, so downstream chaining simply sees no correspondence
+    across this pair (regions end on its left side and new ones start on
+    its right) and reporting code keeps working.
+    """
+    from repro.tracking.correlation import CorrelationMatrix
+
+    ids_a, ids_b = frame_a.cluster_ids, frame_b.cluster_ids
+
+    def zeros(rows: tuple[int, ...], cols: tuple[int, ...]) -> CorrelationMatrix:
+        return CorrelationMatrix(
+            row_ids=rows, col_ids=cols, values=np.zeros((len(rows), len(cols)))
+        )
+
+    return PairRelations(
+        relations=(),
+        displacement_ab=zeros(ids_a, ids_b),
+        displacement_ba=zeros(ids_b, ids_a),
+        callstack_ab=zeros(ids_a, ids_b),
+        simultaneity_a=zeros(ids_a, ids_a),
+        simultaneity_b=zeros(ids_b, ids_b),
+        sequence_ab=None,
+    )
+
+
+def _combine_task_quarantine(
+    task: tuple[int, Frame, Frame, np.ndarray, np.ndarray, "TrackerConfig"],
+):
+    """Non-strict worker-side task: returns a failure record, never raises
+    a :class:`~repro.errors.ReproError`."""
+    from repro.errors import ReproError
+    from repro.robust.partial import ItemFailure
+
+    index, frame_a, frame_b, _, _, _ = task
+    try:
+        return _combine_task(task)
+    except ReproError as exc:
+        return ItemFailure.from_exception(
+            f"{frame_a.label} -> {frame_b.label} (pair {index})", "pair", exc
         )
 
 
@@ -211,12 +260,24 @@ class Tracker:
     """
 
     def __init__(self, frames: list[Frame], config: TrackerConfig | None = None) -> None:
+        from repro.robust.validate import validate_frame
+
         if len(frames) < 2:
             raise TrackingError("tracking needs at least two frames")
         self.frames = list(frames)
         self.config = config or TrackerConfig()
+        for frame in self.frames:
+            validate_frame(frame)
+        spaces = {frame.settings.metric_names for frame in self.frames}
+        if len(spaces) > 1:
+            raise TrackingError(
+                "frames were built in different metric spaces "
+                f"{sorted(spaces)}; rebuild them with shared FrameSettings"
+            )
 
-    def run(self, *, jobs: int | None = None) -> TrackingResult:
+    def run(
+        self, *, jobs: int | None = None, strict: bool = True
+    ) -> "TrackingResult | PartialResult[TrackingResult]":
         """Execute the full pipeline and return the result.
 
         Parameters
@@ -226,7 +287,17 @@ class Tracker:
             are independent).  ``None`` defers to ``REPRO_JOBS``; 1 is
             serial.  The equivalence-region merge stays a serial
             reduce, so results are bit-identical to a serial run.
+        strict:
+            When true (the default), a failing pair combination aborts
+            the run with its :class:`~repro.errors.ReproError`.  When
+            false, the failing pair is quarantined — it contributes no
+            relations, so regions simply do not connect across it — and
+            the run returns a
+            :class:`~repro.robust.partial.PartialResult` wrapping the
+            :class:`TrackingResult` plus the failure records.
         """
+        from repro.robust.partial import ItemFailure, PartialResult
+
         config = self.config
         with obs.span("tracking.run", n_frames=len(self.frames)) as run_span:
             with obs.span("tracking.normalize"):
@@ -235,22 +306,34 @@ class Tracker:
                     reference=config.reference,
                     log_extensive=config.log_extensive,
                 )
-            pair_relations = pmap(
-                _combine_task,
-                [
-                    (
-                        index,
-                        self.frames[index],
-                        self.frames[index + 1],
-                        space.points[index],
-                        space.points[index + 1],
-                        config,
-                    )
-                    for index in range(len(self.frames) - 1)
-                ],
+            tasks = [
+                (
+                    index,
+                    self.frames[index],
+                    self.frames[index + 1],
+                    space.points[index],
+                    space.points[index + 1],
+                    config,
+                )
+                for index in range(len(self.frames) - 1)
+            ]
+            raw = pmap(
+                _combine_task if strict else _combine_task_quarantine,
+                tasks,
                 jobs=jobs,
                 label="tracking.pairs.pmap",
             )
+            failures: list[ItemFailure] = []
+            pair_relations: list[PairRelations] = []
+            for index, item in enumerate(raw):
+                if isinstance(item, ItemFailure):
+                    failures.append(item)
+                    obs.count("robust.quarantined_total", stage="pair")
+                    log.warning("quarantined pair: %s", item)
+                    item = _empty_pair_relations(
+                        self.frames[index], self.frames[index + 1]
+                    )
+                pair_relations.append(item)
             with obs.span("tracking.chain"):
                 regions = self._chain(pair_relations)
             coverage = coverage_percent(regions, self.frames)
@@ -266,13 +349,16 @@ class Tracker:
                     "tracked %d frames into %d regions (%d%% coverage)",
                     len(self.frames), len(regions), coverage,
                 )
-            return TrackingResult(
+            result = TrackingResult(
                 frames=tuple(self.frames),
                 space=space,
                 pair_relations=tuple(pair_relations),
                 regions=tuple(regions),
                 coverage=coverage,
             )
+            if strict:
+                return result
+            return PartialResult(value=result, failures=tuple(failures))
 
     def _chain(self, pair_relations: list[PairRelations]) -> list[TrackedRegion]:
         """Chain the pairwise relations into whole-sequence regions."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.experiments import CASE_STUDIES, get_case_study, run_case_study
+from repro.errors import StudyError
 
 
 class TestRegistry:
@@ -42,7 +43,7 @@ class TestRegistry:
 
     def test_lookup_case_insensitive(self):
         assert get_case_study("cgpop").name == "CGPOP"
-        with pytest.raises(KeyError):
+        with pytest.raises(StudyError, match="unknown case study"):
             get_case_study("LAMMPS")
 
 

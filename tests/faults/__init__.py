@@ -1,0 +1,10 @@
+"""Fault-injection suite: corrupt every input surface, assert grace.
+
+The contract under test is simple: whatever we feed the pipeline —
+truncated or garbled ``.prv`` files, NaN/inf/negative hardware
+counters, duplicated bursts, bit-flipped cache entries, killed pool
+workers — the only exception that may ever escape a pipeline entry
+point is a :class:`repro.errors.ReproError` subclass with an
+actionable message, and non-strict mode must degrade gracefully
+(repair or quarantine) instead of aborting.
+"""

@@ -1,0 +1,171 @@
+"""Corruption helpers shared by the fault-injection tests.
+
+Two families:
+
+- **file corrupters** mutate a file in place (truncation, garbled
+  lines, single-bit flips) — the on-disk faults a real trace archive
+  or cache directory can suffer;
+- **trace mutators** rebuild a :class:`~repro.trace.trace.Trace` with
+  one invariant deliberately broken (NaN counters, duplicated
+  bursts...) — the in-memory faults a buggy translator or collector
+  can produce.
+
+Everything here is module-level so the pool fault tests can pickle it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.trace.trace import Trace
+
+__all__ = [
+    "drop_random_fields",
+    "flip_bit",
+    "garble_lines",
+    "kill_if_worker",
+    "only_repro_errors",
+    "rebuild_trace",
+    "truncate_file",
+    "with_duplicated_bursts",
+    "with_nan_counters",
+    "with_negative_counters",
+]
+
+
+# -- verdict helper -----------------------------------------------------
+def only_repro_errors(fn, *args, **kwargs):
+    """Run *fn*; success and :class:`ReproError` are the only outcomes.
+
+    Returns ``("ok", result)`` or ``("error", exception)``.  Any other
+    exception type is the bug this suite exists to catch and fails the
+    test with a clear message.
+    """
+    try:
+        return "ok", fn(*args, **kwargs)
+    except ReproError as exc:
+        assert str(exc), "ReproError escaped with an empty message"
+        return "error", exc
+    except Exception as exc:  # noqa: BLE001 - the whole point
+        raise AssertionError(
+            f"non-ReproError escaped the pipeline: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+# -- file corrupters ----------------------------------------------------
+def truncate_file(path: str | Path, keep_fraction: float) -> Path:
+    """Chop the tail off *path* (mid-line, like a dropped transfer)."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep_fraction)])
+    return path
+
+
+def garble_lines(path: str | Path, *, seed: int = 0, n_lines: int = 3) -> Path:
+    """Overwrite random spans of random non-header lines with junk."""
+    path = Path(path)
+    rng = np.random.default_rng(seed)
+    lines = path.read_text().splitlines()
+    candidates = [i for i, line in enumerate(lines) if i > 0 and line.strip()]
+    for index in rng.choice(candidates, size=min(n_lines, len(candidates)),
+                            replace=False):
+        line = lines[index]
+        start = int(rng.integers(0, max(len(line) - 1, 1)))
+        lines[index] = line[:start] + "@#garbage#@" + line[start + 1 :]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def drop_random_fields(path: str | Path, *, seed: int = 0, n_lines: int = 3) -> Path:
+    """Delete the trailing colon-field of random record lines."""
+    path = Path(path)
+    rng = np.random.default_rng(seed)
+    lines = path.read_text().splitlines()
+    candidates = [i for i, line in enumerate(lines) if i > 0 and ":" in line]
+    for index in rng.choice(candidates, size=min(n_lines, len(candidates)),
+                            replace=False):
+        lines[index] = lines[index].rsplit(":", 1)[0]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def flip_bit(path: str | Path, *, seed: int = 0) -> Path:
+    """Flip one pseudo-random bit of *path* (cosmic-ray simulation)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    rng = np.random.default_rng(seed)
+    offset = int(rng.integers(0, len(data)))
+    data[offset] ^= 1 << int(rng.integers(0, 8))
+    path.write_bytes(bytes(data))
+    return path
+
+
+# -- trace mutators -----------------------------------------------------
+def rebuild_trace(trace: Trace, **overrides) -> Trace:
+    """Reconstruct *trace* with selected columns replaced."""
+    kwargs = dict(
+        rank=trace.rank,
+        begin=trace.begin,
+        duration=trace.duration,
+        callpath_id=trace.callpath_id,
+        counters=trace.counters_matrix,
+        counter_names=trace.counter_names,
+        callstacks=trace.callstacks,
+        nranks=trace.nranks,
+        app=trace.app,
+        scenario=trace.scenario,
+        clock_hz=trace.clock_hz,
+    )
+    kwargs.update(overrides)
+    return Trace(**kwargs)
+
+
+def with_nan_counters(trace: Trace, *, n: int = 3, value: float = np.nan) -> Trace:
+    """Poison the first counter column of the first *n* bursts."""
+    counters = np.array(trace.counters_matrix)
+    counters[:n, 0] = value
+    return rebuild_trace(trace, counters=counters)
+
+
+def with_negative_counters(trace: Trace, *, n: int = 3) -> Trace:
+    """Make the first counter column of the first *n* bursts negative."""
+    counters = np.array(trace.counters_matrix)
+    counters[:n, 0] = -np.abs(counters[:n, 0]) - 1.0
+    return rebuild_trace(trace, counters=counters)
+
+
+def with_duplicated_bursts(trace: Trace, *, n: int = 4) -> Trace:
+    """Append exact copies of the first *n* bursts (overlap corruption)."""
+    def dup(column):
+        return np.concatenate([column, column[:n]])
+
+    return rebuild_trace(
+        trace,
+        rank=dup(trace.rank),
+        begin=dup(trace.begin),
+        duration=dup(trace.duration),
+        callpath_id=dup(trace.callpath_id),
+        counters=np.concatenate(
+            [trace.counters_matrix, trace.counters_matrix[:n]]
+        ),
+    )
+
+
+# -- pool fault task ----------------------------------------------------
+def kill_if_worker(task: tuple[int, int]) -> int:
+    """Kill the process unless it is the parent: a dying pool worker.
+
+    With process pools the SIGKILL lands on the worker and the executor
+    must fall back to a serial (in-parent) rerun; the serial rerun sees
+    ``os.getpid() == parent_pid`` and computes the real value.
+    """
+    parent_pid, value = task
+    if os.getpid() != parent_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2

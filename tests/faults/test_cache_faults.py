@@ -1,0 +1,151 @@
+"""Cache fault injection: bit flips, truncation, stale formats.
+
+The cache contract under fault: a damaged entry is *discarded and
+recomputed* — never trusted, never crashed on — and the recomputed
+result is bit-identical to an uncached run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.clustering.frames import FrameSettings, make_frame, make_frames
+from repro.parallel.cache import PipelineCache, frame_key, trace_key
+from tests.conftest import build_two_region_trace
+from tests.faults.corrupters import flip_bit, truncate_file
+from tests.parallel import assert_frames_equal
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return PipelineCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def trace():
+    return build_two_region_trace(nranks=4, iterations=3)
+
+
+@pytest.fixture
+def observed():
+    obs.enable()
+    obs.reset()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+def counter_value(name: str, **labels) -> int:
+    for counter in obs.metrics_snapshot()["counters"]:
+        if counter["name"] == name and counter["labels"] == labels:
+            return counter["value"]
+    return 0
+
+
+class TestBitFlips:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_flipped_trace_entry_discarded(self, cache, trace, seed):
+        key = trace_key("toy", {"case": "flip"}, 0)
+        path = cache.put_trace(key, trace)
+        flip_bit(path, seed=seed)
+        # Either the flip broke the JSON (unreadable) or it survived
+        # parsing and the payload digest catches it: always a miss.
+        assert cache.get_trace(key) is None
+        assert not path.exists()
+        cache.put_trace(key, trace)
+        assert cache.get_trace(key) == trace
+
+    def test_payload_mutation_caught_by_digest(self, cache, trace):
+        """A well-formed document with altered payload must not verify."""
+        key = trace_key("toy", {"case": "digest"}, 0)
+        path = cache.put_trace(key, trace)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["payload"]["columns"]["duration"][0] += 1.0
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert cache.get_trace(key) is None
+
+    def test_flipped_labels_entry_discarded(self, cache, trace):
+        settings = FrameSettings()
+        frame = make_frame(trace, settings)
+        key = frame_key(trace, settings)
+        path = cache.put_labels(key, frame.labels)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["payload"]["labels"][0] += 1  # silent off-by-one flip
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert cache.get_labels(key) is None
+
+    def test_negative_labels_payload_discarded(self, cache, trace):
+        key = frame_key(trace, FrameSettings())
+        cache.put(key, {"labels": [-2, 1, 0]})
+        assert cache.get_labels(key) is None
+
+
+class TestTruncation:
+    def test_truncated_entry_discarded(self, cache, trace):
+        key = trace_key("toy", {"case": "trunc"}, 0)
+        path = cache.put_trace(key, trace)
+        truncate_file(path, 0.5)
+        assert cache.get_trace(key) is None
+        assert not path.exists()
+
+    def test_empty_entry_discarded(self, cache, trace):
+        key = trace_key("toy", {"case": "empty"}, 0)
+        path = cache.put_trace(key, trace)
+        path.write_text("", encoding="utf-8")
+        assert cache.get_trace(key) is None
+
+
+class TestFormatDrift:
+    def test_v1_entry_without_digest_invalidated(self, cache, trace):
+        """Entries from before the digest field read as corrupt, not hits."""
+        from repro.trace.io import trace_to_json
+
+        key = trace_key("toy", {"case": "v1"}, 0)
+        path = cache.put_trace(key, trace)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["format"] = 1
+        document.pop("digest")
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert cache.get_trace(key) is None
+        assert json.dumps(trace_to_json(trace))  # sanity: payload serializable
+
+
+class TestMetricsAndIdentity:
+    def test_corruption_counted(self, cache, trace, observed):
+        key = trace_key("toy", {"case": "metrics"}, 0)
+        path = cache.put_trace(key, trace)
+        flip_bit(path, seed=1)
+        assert cache.get_trace(key) is None
+        assert counter_value("cache.corrupt_total", kind="trace") >= 1
+        assert counter_value("cache.misses_total", kind="trace") >= 1
+        cache.put_trace(key, trace)
+        assert cache.get_trace(key) is not None
+        assert counter_value("cache.hits_total", kind="trace") == 1
+
+    def test_recompute_after_corruption_is_bit_identical(self, cache, tmp_path):
+        traces = [
+            build_two_region_trace(scenario={"run": 0}, seed=1),
+            build_two_region_trace(scenario={"run": 1}, seed=2),
+        ]
+        settings = FrameSettings()
+        uncached = make_frames(traces, settings)
+        primed = make_frames(traces, settings, cache=cache)
+        for frame_a, frame_b in zip(uncached, primed):
+            assert_frames_equal(frame_a, frame_b)
+        # Corrupt every cache entry on disk, then run through the cache
+        # again: each entry is discarded, recomputed and re-stored.
+        entries = list(cache.root.glob("*/*.json"))
+        assert entries
+        for index, path in enumerate(entries):
+            flip_bit(path, seed=index)
+        recovered = make_frames(traces, settings, cache=cache)
+        for frame_a, frame_b in zip(uncached, recovered):
+            assert_frames_equal(frame_a, frame_b)
+        # The re-stored entries serve clean hits afterwards.
+        hits = make_frames(traces, settings, cache=cache)
+        for frame_a, frame_b in zip(uncached, hits):
+            assert_frames_equal(frame_a, frame_b)

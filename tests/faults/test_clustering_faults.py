@@ -1,0 +1,103 @@
+"""Degenerate clustering inputs: strict raises, non-strict quarantines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import (
+    FrameSettings,
+    make_frame,
+    make_frames,
+    make_frames_partial,
+)
+from repro.errors import ClusteringError
+from repro.trace.callstack import CallPath
+from repro.trace.trace import TraceBuilder
+from tests.conftest import build_two_region_trace
+from tests.faults.corrupters import only_repro_errors
+
+PATH = CallPath.single("main", "main.c", 1)
+
+
+def single_burst_trace():
+    builder = TraceBuilder(nranks=1, app="degenerate")
+    builder.add(rank=0, begin=0.0, duration=1.0, callpath=PATH,
+                counters=[1e6, 2e6, 1e4, 1e3, 100.0])
+    return builder.build()
+
+
+def identical_points_trace(n: int = 20):
+    builder = TraceBuilder(nranks=2, app="flat")
+    for i in range(n):
+        builder.add(rank=i % 2, begin=float(i // 2), duration=1.0,
+                    callpath=PATH, counters=[1e6, 2e6, 1e4, 1e3, 100.0])
+    return builder.build()
+
+
+def test_single_burst_raises_clustering_error():
+    with pytest.raises(ClusteringError, match="at least two points"):
+        make_frame(single_burst_trace())
+
+
+def test_all_identical_points_raise_clustering_error():
+    with pytest.raises(ClusteringError, match="no structure to cluster"):
+        make_frame(identical_points_trace())
+
+
+def test_eps_zero_rejected_at_settings():
+    with pytest.raises(ClusteringError, match="eps must be > 0"):
+        FrameSettings(eps=0.0)
+    with pytest.raises(ClusteringError, match="eps must be > 0"):
+        FrameSettings(eps=-0.5)
+
+
+def test_min_duration_removing_everything():
+    trace = build_two_region_trace(iterations=2)
+    settings = FrameSettings(min_duration=1e6)  # removes every burst
+    with pytest.raises(ClusteringError, match="min_duration"):
+        make_frame(trace, settings)
+
+
+def test_degenerate_inputs_never_leak_raw_exceptions():
+    settings = FrameSettings(eps=0.05)
+    for trace in (single_burst_trace(), identical_points_trace()):
+        outcome, value = only_repro_errors(make_frame, trace, settings)
+        assert outcome == "error"
+        assert isinstance(value, ClusteringError)
+
+
+def test_mid_study_degenerate_trace_quarantined():
+    """Non-strict multi-trace frame construction drops only the bad one."""
+    good_a = build_two_region_trace(scenario={"run": 0}, seed=1)
+    good_b = build_two_region_trace(scenario={"run": 1}, seed=2)
+    bad = single_burst_trace()
+    frames, failures = make_frames_partial([good_a, bad, good_b])
+    assert [frame is not None for frame in frames] == [True, False, True]
+    assert len(failures) == 1
+    assert failures[0].stage == "frame"
+    assert failures[0].error == "ClusteringError"
+    assert "degenerate" in failures[0].item
+
+
+def test_mid_study_degenerate_trace_aborts_strict():
+    good = build_two_region_trace(seed=1)
+    with pytest.raises(ClusteringError):
+        make_frames([good, single_burst_trace()])
+
+
+def test_min_duration_removes_all_mid_study_quarantined():
+    """The ISSUE scenario: min_duration kills one scenario of a sweep."""
+    # Scale one trace's durations down so the shared filter removes it.
+    short = build_two_region_trace(
+        scenario={"run": "short"}, ipc_a=1000.0, ipc_b=500.0, seed=3
+    )
+    long_a = build_two_region_trace(scenario={"run": 0}, seed=1)
+    long_b = build_two_region_trace(scenario={"run": 1}, seed=2)
+    threshold = float(np.max(short.duration)) * 1.01
+    assert threshold < float(np.min(long_a.duration))
+    settings = FrameSettings(min_duration=threshold)
+    frames, failures = make_frames_partial([long_a, short, long_b], settings)
+    assert [frame is not None for frame in frames] == [True, False, True]
+    assert len(failures) == 1
+    assert "min_duration" in failures[0].message

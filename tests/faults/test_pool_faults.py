@@ -1,0 +1,52 @@
+"""Killed pool workers: the executor must fall back, not crash."""
+
+from __future__ import annotations
+
+import os
+
+from repro import obs
+from repro.parallel.executor import pmap
+from tests.faults.corrupters import kill_if_worker
+
+
+def test_killed_worker_falls_back_to_serial():
+    """SIGKILLing a worker breaks the pool; the batch reruns serially."""
+    parent = os.getpid()
+    tasks = [(parent, value) for value in range(6)]
+    results = pmap(kill_if_worker, tasks, jobs=2, label="faults.kill")
+    assert results == [value * 2 for value in range(6)]
+
+
+def test_killed_worker_fallback_is_counted():
+    obs.enable()
+    obs.reset()
+    try:
+        parent = os.getpid()
+        pmap(kill_if_worker, [(parent, 1), (parent, 2)], jobs=2)
+        counters = {
+            (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+            for c in obs.metrics_snapshot()["counters"]
+        }
+        fallbacks = sum(
+            value for (name, _), value in counters.items()
+            if name == "parallel.fallbacks_total"
+        )
+        assert fallbacks >= 1
+    finally:
+        obs.reset()
+        obs.disable()
+
+
+def test_killed_worker_inside_frame_stage(toy_trace_pair):
+    """End to end: a worker dying mid-make_frames still yields frames.
+
+    The pool failure path re-runs the whole batch serially, so the
+    result must equal the plain serial result.
+    """
+    from repro.clustering.frames import make_frames
+
+    first, second = toy_trace_pair
+    serial = make_frames([first, second])
+    parallel = make_frames([first, second], jobs=2)
+    for frame_a, frame_b in zip(serial, parallel):
+        assert (frame_a.labels == frame_b.labels).all()

@@ -1,0 +1,95 @@
+"""Fault injection at study level: failing scenarios, poisoned hooks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.study import ParametricStudy
+from repro.errors import ModelError, StudyError, TraceError
+from repro.robust.partial import PartialResult
+from repro.robust.validate import validate_study
+from tests.faults.corrupters import with_nan_counters
+
+GOOD = {"block_size": 64, "ranks": 8, "iterations": 3}
+ALSO_GOOD = {"block_size": 128, "ranks": 8, "iterations": 3}
+BAD = {"block_size": 0, "ranks": 8, "iterations": 3}  # ModelError at build
+
+
+def study(*scenarios, **kwargs) -> ParametricStudy:
+    return ParametricStudy(app="hydroc", scenarios=tuple(scenarios), **kwargs)
+
+
+class TestValidateStudy:
+    def test_unknown_app_rejected(self):
+        bad = ParametricStudy(app="no-such-app", scenarios=({},))
+        with pytest.raises(StudyError, match="unknown application"):
+            validate_study(bad)
+
+    def test_non_mapping_scenario_rejected(self):
+        bad = ParametricStudy(app="hydroc", scenarios=(["block_size", 64],))
+        with pytest.raises(StudyError, match="must be a mapping"):
+            bad.run()
+
+    def test_non_string_keys_rejected(self):
+        bad = ParametricStudy(app="hydroc", scenarios=({64: "block_size"},))
+        with pytest.raises(StudyError, match="non-string parameter name"):
+            validate_study(bad)
+
+    def test_unknown_app_fails_before_simulating(self):
+        bad = ParametricStudy(app="no-such-app", scenarios=(GOOD, ALSO_GOOD))
+        with pytest.raises(StudyError, match="registered applications"):
+            bad.run()
+
+
+class TestScenarioQuarantine:
+    def test_strict_aborts_on_failing_scenario(self):
+        with pytest.raises(ModelError):
+            study(GOOD, BAD, ALSO_GOOD).run()
+
+    def test_nonstrict_quarantines_failing_scenario(self):
+        partial = study(GOOD, BAD, ALSO_GOOD).run(strict=False)
+        assert isinstance(partial, PartialResult)
+        assert not partial.ok
+        assert partial.n_quarantined == 1
+        assert partial.failures[0].stage == "simulate"
+        assert partial.failures[0].error == "ModelError"
+        result = partial.value
+        assert result.result.n_frames == 2
+        assert result.coverage > 0
+
+    def test_nonstrict_clean_run_reports_ok(self):
+        partial = study(GOOD, ALSO_GOOD).run(strict=False)
+        assert isinstance(partial, PartialResult)
+        assert partial.ok
+        assert partial.exit_code == 0
+        assert partial.unwrap().result.n_frames == 2
+
+    def test_too_few_survivors_is_total_failure(self):
+        with pytest.raises(StudyError, match="at least two frames"):
+            study(GOOD, BAD).run(strict=False)
+
+    def test_exit_code_partial(self):
+        partial = study(GOOD, BAD, ALSO_GOOD).run(strict=False)
+        assert partial.exit_code == 3
+        with pytest.raises(Exception, match="quarantine"):
+            partial.unwrap()
+
+
+class TestPoisonedHook:
+    @staticmethod
+    def _poison(traces):
+        return [with_nan_counters(traces[0], n=4), *traces[1:]]
+
+    def test_strict_rejects_nan_from_hook(self):
+        poisoned = study(GOOD, ALSO_GOOD, trace_hook=self._poison)
+        with pytest.raises(TraceError, match="NaN or infinite"):
+            poisoned.run()
+
+    def test_nonstrict_repairs_nan_from_hook(self):
+        poisoned = study(GOOD, ALSO_GOOD, trace_hook=self._poison)
+        partial = poisoned.run(strict=False)
+        # Repair (dropping bursts) is recovery, not quarantine.
+        assert partial.ok
+        for trace in partial.value.traces:
+            assert np.isfinite(trace.counters_matrix).all()

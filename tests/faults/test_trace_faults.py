@@ -1,0 +1,87 @@
+"""Fault injection on in-memory traces: NaN/inf/negative counters,
+duplicated bursts — and the regression that NaN never reaches DBSCAN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.frames import FrameSettings, make_frame
+from repro.errors import TraceError
+from repro.robust.validate import check_trace, validate_trace
+from repro.trace.io import load_trace, save_trace
+from tests.conftest import build_two_region_trace
+from tests.faults.corrupters import (
+    with_duplicated_bursts,
+    with_nan_counters,
+    with_negative_counters,
+)
+
+
+@pytest.fixture
+def trace():
+    return build_two_region_trace(nranks=4, iterations=4)
+
+
+@pytest.mark.parametrize("value", [np.nan, np.inf, -np.inf])
+def test_nonfinite_counters_rejected_strict(trace, value):
+    broken = with_nan_counters(trace, n=5, value=value)
+    with pytest.raises(TraceError) as excinfo:
+        validate_trace(broken)
+    assert "NaN or infinite hardware counters" in str(excinfo.value)
+    assert "--no-strict" in str(excinfo.value)  # actionable hint
+
+
+def test_nonfinite_counters_filtered_nonstrict(trace, caplog):
+    broken = with_nan_counters(trace, n=5)
+    with caplog.at_level("WARNING"):
+        repaired = validate_trace(broken, strict=False)
+    assert repaired.n_bursts == trace.n_bursts - 5
+    assert np.isfinite(repaired.counters_matrix).all()
+    assert any("dropping" in message for message in caplog.messages)
+
+
+def test_negative_counters_rejected(trace):
+    broken = with_negative_counters(trace, n=2)
+    with pytest.raises(TraceError, match="negative hardware counters"):
+        validate_trace(broken)
+    repaired = validate_trace(broken, strict=False)
+    assert repaired.n_bursts == trace.n_bursts - 2
+
+
+def test_duplicated_bursts_detected(trace):
+    broken = with_duplicated_bursts(trace, n=4)
+    with pytest.raises(TraceError, match="monotone"):
+        validate_trace(broken)
+    repaired = validate_trace(broken, strict=False)
+    # The duplicates (and only the duplicates) are dropped.
+    assert repaired.n_bursts == trace.n_bursts
+    assert check_trace(repaired) == []
+
+
+def test_nan_never_reaches_dbscan(trace):
+    """Regression: the clustering stage must never see non-finite input.
+
+    ``make_frame`` validates strictly, so a NaN-poisoned trace raises
+    before DBSCAN; the non-strict repair path feeds DBSCAN a finite
+    matrix and the resulting frame carries only finite points.
+    """
+    broken = with_nan_counters(trace, n=6)
+    settings = FrameSettings(eps=0.05, relevance=0.9)
+    with pytest.raises(TraceError):
+        make_frame(broken, settings)
+    repaired = validate_trace(broken, strict=False)
+    frame = make_frame(repaired, settings)
+    assert np.isfinite(frame.points).all()
+    assert frame.n_points == repaired.n_bursts
+
+
+def test_nan_poisoned_trace_roundtrips_through_files(trace, tmp_path):
+    """Saving a poisoned trace and loading it back still trips validation."""
+    broken = with_nan_counters(trace, n=3)
+    path = save_trace(broken, tmp_path / "broken.json")
+    with pytest.raises(TraceError):
+        load_trace(path)
+    recovered = load_trace(path, strict=False)
+    assert np.isfinite(recovered.counters_matrix).all()
+    assert recovered.n_bursts == trace.n_bursts - 3

@@ -9,14 +9,47 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.trace.prv import load_prv, save_prv
-from tests.property.test_prop_trace import build, burst_record
+from repro.trace.prv import _parse_header_total, load_prv, save_prv
+from repro.trace.trace import TraceBuilder
+from tests.property.test_prop_trace import PATHS
+
+# One physically valid burst: a (gap-before, duration) pair keeps the
+# bursts of one rank strictly sequential — a CPU runs one burst at a
+# time, and `load_prv` validates exactly that invariant.
+sequential_burst = st.tuples(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),    # gap before
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),   # duration
+    st.integers(min_value=0, max_value=2),                       # region
+    st.floats(min_value=1.0, max_value=1e9, allow_nan=False),    # instructions
+)
+
+rank_schedules = st.lists(
+    st.lists(sequential_burst, max_size=8), min_size=1, max_size=4
+)
 
 
-@given(st.lists(burst_record, max_size=25))
+def build_sequential(schedules):
+    """Build a valid trace: each rank's bursts laid out back to back."""
+    builder = TraceBuilder(nranks=max(len(schedules), 1), app="prop")
+    for rank, schedule in enumerate(schedules):
+        clock = 0.0
+        for gap, duration, region, instr in schedule:
+            clock += gap
+            builder.add(
+                rank=rank,
+                begin=clock,
+                duration=duration,
+                callpath=PATHS[region],
+                counters=[instr, instr * 2.0, instr * 0.01, instr * 0.001, 1.0],
+            )
+            clock += duration
+    return builder.build()
+
+
+@given(rank_schedules)
 @settings(max_examples=30, deadline=None)
-def test_prv_roundtrip_preserves_structure(records):
-    trace = build(records)
+def test_prv_roundtrip_preserves_structure(schedules):
+    trace = build_sequential(schedules)
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "t.prv"
         loaded = load_prv(save_prv(trace, path))
@@ -51,3 +84,35 @@ def test_prv_roundtrip_preserves_structure(records):
         assert str(
             original.callstacks.path(int(original.callpath_id[i]))
         ) == str(reloaded.callstacks.path(int(reloaded.callpath_id[i])))
+
+
+@given(rank_schedules)
+@settings(max_examples=50, deadline=None)
+def test_prv_burst_ends_never_exceed_header_total(schedules):
+    """The rounding-unification invariant: one ``np.rint`` pass produces
+    both the record times and the header total, so no state record can
+    end after the duration the header declares."""
+    trace = build_sequential(schedules)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.prv"
+        prv = save_prv(trace, path)
+        lines = prv.read_text().splitlines()
+        total_ns = _parse_header_total(lines[0], prv)
+        end_ns = [
+            int(line.split(":")[6])
+            for line in lines[1:]
+            if line.startswith("1:")
+        ]
+        event_ns = [
+            int(line.split(":")[5])
+            for line in lines[1:]
+            if line.startswith("2:")
+        ]
+        # Strict reload succeeds because every record respects the header.
+        loaded = load_prv(prv)
+    assert loaded.n_bursts == trace.n_bursts
+    if end_ns:
+        assert max(end_ns) <= total_ns
+        assert max(end_ns) == total_ns  # header is exactly the last end
+    if event_ns:
+        assert max(event_ns) <= total_ns

@@ -95,9 +95,9 @@ class TestStudy:
         assert "case study: CGPOP" in out
         assert "coverage: 66%" in out
 
-    def test_unknown_study(self):
-        with pytest.raises(KeyError):
-            main(["study", "nope"])
+    def test_unknown_study(self, capsys):
+        assert main(["study", "nope"]) == 2
+        assert "unknown case study" in capsys.readouterr().err
 
 
 class TestCache:
