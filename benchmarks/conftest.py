@@ -93,22 +93,42 @@ def wrf_result(wrf_frames) -> TrackingResult:
 
 @pytest.fixture(autouse=True)
 def _record_wall_time(request):
-    """Record every benchmark's wall-time into :data:`BENCH_REGISTRY`."""
+    """Record every benchmark's wall-time and RSS peak."""
+    from repro.obs.bench import rss_peak_kib
+
     start = time.perf_counter()
     yield
     BENCH_REGISTRY.gauge(
         "bench.wall_time_s", test=request.node.nodeid
     ).set(time.perf_counter() - start)
+    BENCH_REGISTRY.gauge(
+        "bench.rss_peak_kib", test=request.node.nodeid
+    ).set(rss_peak_kib())
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Dump the recorded wall-times to ``output/bench_timings.json``."""
+    """Dump the recorded measurements.
+
+    ``output/bench_timings.json`` keeps the historical wall-time-only
+    format; ``output/BENCH_RESULTS.json`` is the schema-versioned
+    payload consumed by ``repro-track bench-compare``.
+    """
+    from repro.obs.bench import bench_results_payload
+
     snapshot = BENCH_REGISTRY.snapshot()
     if not snapshot["gauges"]:
         return
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    benches: dict[str, dict[str, float]] = {}
+    for entry in snapshot["gauges"]:
+        measurements = benches.setdefault(entry["labels"]["test"], {})
+        if entry["name"] == "bench.wall_time_s":
+            measurements["wall_time_s"] = entry["value"]
+        elif entry["name"] == "bench.rss_peak_kib":
+            measurements["rss_peak_kib"] = entry["value"]
     timings = {
-        entry["labels"]["test"]: entry["value"] for entry in snapshot["gauges"]
+        name: m["wall_time_s"] for name, m in benches.items()
+        if "wall_time_s" in m
     }
     payload = {
         "unit": "seconds",
@@ -117,6 +137,9 @@ def pytest_sessionfinish(session, exitstatus):
     }
     with open(OUTPUT_DIR / "bench_timings.json", "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    with open(OUTPUT_DIR / "BENCH_RESULTS.json", "w", encoding="utf-8") as handle:
+        json.dump(bench_results_payload(benches), handle, indent=2)
         handle.write("\n")
 
 

@@ -17,13 +17,18 @@ Sub-commands
     List registered applications, machines and case studies.
 
 ``track``, ``study`` and ``table2`` accept ``--jobs/-j`` (parallel
-pipeline stages), ``--cache-dir`` (incremental trace/frame cache) and
+pipeline stages), ``--cache-dir`` (incremental trace/frame cache),
 ``--strict/--no-strict`` (fail fast vs quarantine-and-continue; see
-``docs/robustness.md``).
+``docs/robustness.md``) and ``--report PATH`` (self-contained HTML/JSON
+run report; see ``docs/reports.md``).  ``report`` honours
+``--no-strict`` too and can write the HTML report via ``--html``.
+``bench-compare OLD NEW`` diffs two ``BENCH_RESULTS.json`` files and
+exits 1 on perf regressions beyond the noise threshold.
 
 Exit codes: 0 on success, 2 when the pipeline fails outright (a
 :class:`~repro.errors.ReproError`), 3 when ``--no-strict`` completed
-with quarantined items (a partial result).
+with quarantined items (a partial result); ``bench-compare`` exits 1
+on regression, 2 on unreadable input.
 """
 
 from __future__ import annotations
@@ -92,6 +97,19 @@ def _add_strict_flag(parser: argparse.ArgumentParser) -> None:
         "failing stage; --no-strict drops repairably bad bursts, "
         "quarantines failing items and continues with the survivors "
         "(exit code 3 when anything was quarantined)",
+    )
+
+
+def _add_report_flag(parser: argparse.ArgumentParser) -> None:
+    """``--report PATH``: write the self-contained run report."""
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write a self-contained run report to PATH — HTML with "
+        "embedded plots, attribution tables and the quarantine summary, "
+        "or the machine-readable JSON payload when PATH ends in .json "
+        "(see docs/reports.md)",
     )
 
 
@@ -170,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_flag(track)
     _add_perf_flags(track)
     _add_strict_flag(track)
+    _add_report_flag(track)
 
     study = add_parser("study", help="run a canned paper case study")
     study.add_argument("name", help="case study name (see `info`)")
@@ -178,11 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_flag(study)
     _add_perf_flags(study)
     _add_strict_flag(study)
+    _add_report_flag(study)
 
     table2 = add_parser("table2", help="run all case studies; print Table 2")
     _add_profile_flag(table2)
     _add_perf_flags(table2)
     _add_strict_flag(table2)
+    _add_report_flag(table2)
 
     cache = add_parser(
         "cache", help="inspect or clear the on-disk pipeline cache"
@@ -200,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--no-evidence", action="store_true",
                         help="omit the per-relation evaluator evidence")
     report.add_argument("--relevance", type=float, default=0.95)
+    report.add_argument("--html", default=None, metavar="PATH",
+                        help="also write the self-contained HTML run "
+                        "report to PATH")
+    _add_strict_flag(report)
 
     animate = add_parser(
         "animate", help="write an animated HTML view of the tracked frames"
@@ -209,6 +234,23 @@ def build_parser() -> argparse.ArgumentParser:
     animate.add_argument("--interval", type=int, default=900,
                          help="frame interval in milliseconds")
     animate.add_argument("--relevance", type=float, default=0.95)
+
+    bench = add_parser(
+        "bench-compare",
+        help="compare two BENCH_RESULTS.json files for perf regressions",
+    )
+    bench.add_argument("old", help="baseline BENCH_RESULTS.json")
+    bench.add_argument("new", help="candidate BENCH_RESULTS.json")
+    bench.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRACTION",
+        help="relative wall-time growth tolerated before a bench counts "
+        "as regressed (default: 0.25 = 25%%)",
+    )
+    bench.add_argument(
+        "--min-seconds", type=float, default=0.005, metavar="S",
+        help="absolute growth floor — smaller deltas are noise "
+        "(default: 0.005)",
+    )
 
     tune = add_parser(
         "tune", help="suggest a DBSCAN eps for a trace (plateau search)"
@@ -292,8 +334,8 @@ def _load_traces(paths: list[str], *, strict: bool):
     return traces, failures
 
 
-def _report_partial(partial, extra_failures=()) -> int:
-    """Print the quarantine summary; return the exit code."""
+def _report_partial(partial, extra_failures=()):
+    """Print the quarantine summary; return (exit code, all failures)."""
     from repro.robust.partial import PartialResult
 
     combined = PartialResult(
@@ -302,7 +344,17 @@ def _report_partial(partial, extra_failures=()) -> int:
     )
     if not combined.ok:
         print(combined.summary(), file=sys.stderr)
-    return combined.exit_code
+    return combined.exit_code, combined.failures
+
+
+def _write_report(args: argparse.Namespace, runs, *, include_viz=True) -> None:
+    """Write the ``--report`` artefact when the flag was given."""
+    if not getattr(args, "report", None):
+        return
+    from repro.obs.report import write_report
+
+    path = write_report(args.report, runs, include_viz=include_viz)
+    print(f"wrote run report to {path}", file=sys.stderr)
 
 
 def _cmd_track(args: argparse.Namespace) -> int:
@@ -326,12 +378,14 @@ def _cmd_track(args: argparse.Namespace) -> int:
         strict=args.strict,
     )
     code = 0
+    failures = ()
     if not args.strict:
-        code = _report_partial(result, load_failures)
+        code, failures = _report_partial(result, load_failures)
         result = result.value
     _print_result(result, args.trend_metric or ["ipc"])
     if args.render:
         _render(result, args.render)
+    _write_report(args, [("tracking run", result, failures)])
     return code
 
 
@@ -346,8 +400,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
         strict=args.strict,
     )
     code = 0
+    failures = ()
     if not args.strict:
-        code = _report_partial(study_result)
+        code, failures = _report_partial(study_result)
         study_result = study_result.value
     print(f"case study: {case.name} "
           f"(expected: {case.expected_regions} regions, "
@@ -355,31 +410,55 @@ def _cmd_study(args: argparse.Namespace) -> int:
     _print_result(study_result.result, ["ipc"])
     if args.render:
         _render(study_result.result, args.render)
+    _write_report(args, [(case.name, study_result.result, failures)])
     return code
 
 
-def _load_and_track(trace_paths: list[str], relevance: float):
+def _load_and_track(trace_paths: list[str], relevance: float, *, strict: bool = True):
+    """Load + track; returns ``(result, failures)``.
+
+    Under ``strict`` the failure tuple is always empty (errors raise);
+    under ``--no-strict`` unloadable traces and failing pipeline items
+    are quarantined and reported in the tuple.
+    """
     from repro.api import quick_track
     from repro.clustering.frames import FrameSettings
-    from repro.trace.io import load_trace
 
-    traces = [load_trace(path) for path in trace_paths]
-    return quick_track(traces, settings=FrameSettings(relevance=relevance))
+    traces, load_failures = _load_traces(trace_paths, strict=strict)
+    result = quick_track(
+        traces, settings=FrameSettings(relevance=relevance), strict=strict
+    )
+    if strict:
+        return result, ()
+    return result.value, tuple(load_failures) + result.failures
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.robust.partial import EXIT_PARTIAL
     from repro.tracking.report import who_is_who
 
-    result = _load_and_track(args.traces, args.relevance)
+    result, failures = _load_and_track(
+        args.traces, args.relevance, strict=args.strict
+    )
     print(who_is_who(result, evidence=not args.no_evidence))
-    return 0
+    if failures:
+        print(f"quarantine: {len(failures)} item(s) failed and were "
+              "skipped:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+    if args.html:
+        from repro.obs.report import write_report
+
+        path = write_report(args.html, [("who-is-who", result, failures)])
+        print(f"wrote run report to {path}", file=sys.stderr)
+    return EXIT_PARTIAL if failures else 0
 
 
 def _cmd_animate(args: argparse.Namespace) -> int:
     from repro.tracking.relabel import relabel_frames
     from repro.viz.animate import render_animation_html
 
-    result = _load_and_track(args.traces, args.relevance)
+    result, _ = _load_and_track(args.traces, args.relevance)
     relabeled = relabel_frames(result)
     path = render_animation_html(
         relabeled, args.output, interval_ms=args.interval
@@ -395,14 +474,21 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     cache = _resolve_cache(args)
     results = {}
     failures = []
+    runs = []
     for case in CASE_STUDIES:
         print(f"running {case.name}...", file=sys.stderr)
         outcome = case.run(jobs=args.jobs, cache=cache, strict=args.strict)
+        case_failures = ()
         if not args.strict:
-            failures.extend(outcome.failures)
+            case_failures = outcome.failures
+            failures.extend(case_failures)
             outcome = outcome.value
         results[case.name] = outcome
+        runs.append((case.name, outcome.result, tuple(case_failures)))
     print(format_table2(results))
+    # Per-case SVG grids would make the ten-study report enormous;
+    # table2 reports carry the attribution/quality tables only.
+    _write_report(args, runs, include_viz=False)
     if failures:
         from repro.robust.partial import EXIT_PARTIAL
 
@@ -443,6 +529,30 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     for kind, count in info.by_kind.items():
         print(f"  {kind}: {count}")
     return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        compare_bench_results,
+        format_bench_comparison,
+        load_bench_results,
+    )
+
+    try:
+        old = load_bench_results(args.old)
+        new = load_bench_results(args.new)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    deltas = compare_bench_results(
+        old, new, threshold=args.threshold, min_seconds=args.min_seconds
+    )
+    print(format_bench_comparison(
+        deltas,
+        old_only=set(old) - set(new),
+        new_only=set(new) - set(old),
+    ))
+    return 1 if any(delta.regressed for delta in deltas) else 0
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -498,6 +608,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "animate": _cmd_animate,
     "tune": _cmd_tune,
+    "bench-compare": _cmd_bench_compare,
     "cache": _cmd_cache,
     "info": _cmd_info,
 }

@@ -41,7 +41,14 @@ from repro.obs.metrics import (
     observe,
     set_gauge,
 )
-from repro.obs.spans import Span, current_span, finished_spans, span, traced
+from repro.obs.spans import (
+    Span,
+    current_span,
+    finished_spans,
+    record_span,
+    span,
+    traced,
+)
 
 __all__ = [
     "enabled",
@@ -54,6 +61,7 @@ __all__ = [
     "Span",
     "current_span",
     "finished_spans",
+    "record_span",
     "count",
     "set_gauge",
     "observe",

@@ -122,6 +122,7 @@ def render_metrics() -> str:
         else:
             lines.append(
                 f"  {label} count={metric.count} mean={metric.mean:g} "
+                f"p50={metric.p50:g} p90={metric.p90:g} p99={metric.p99:g} "
                 f"sum={metric.sum:g}"
             )
     if not lines:
@@ -130,15 +131,56 @@ def render_metrics() -> str:
 
 
 def chrome_trace_events(spans: Sequence[Span] | None = None) -> list[dict[str, Any]]:
-    """Recorded spans as Chrome Trace Event ``"X"`` (complete) events.
+    """Recorded spans as Chrome Trace Event format events.
 
     Timestamps/durations are microseconds relative to the observability
-    epoch, as the format requires.
+    epoch, as the format requires.  Besides the ``"X"`` (complete)
+    events the export carries:
+
+    - ``"M"`` metadata events naming the main process and every pool
+      worker, so Perfetto shows "repro main" / "repro worker" lanes
+      instead of bare pids;
+    - ``"s"``/``"f"`` flow events linking each ``pmap`` dispatch span
+      to the worker-side task spans it fanned out (spans recorded by
+      the process executor with a ``flow_id`` attribute), rendered as
+      arrows from the dispatching lane into the worker lanes.
     """
     spans = list(STATE.spans) if spans is None else list(spans)
-    pid = os.getpid()
-    events = []
+    main_pid = os.getpid()
+    main_tid = threading.get_ident() & 0xFFFF
+    # Dispatch spans referenced by at least one worker-task span emit
+    # the flow-start arrow tail.
+    dispatch_ids = {
+        int(sp.attrs["flow_id"])
+        for sp in spans
+        if sp.attrs.get("flow_id") and sp.attrs.get("worker_pid")
+    }
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": main_pid,
+            "tid": main_tid,
+            "args": {"name": "repro main"},
+        }
+    ]
+    worker_pids = sorted(
+        {int(sp.attrs["worker_pid"]) for sp in spans if sp.attrs.get("worker_pid")}
+    )
+    for pid in worker_pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "repro worker"},
+            }
+        )
     for sp in sorted(spans, key=lambda s: s.start):
+        worker_pid = sp.attrs.get("worker_pid")
+        pid = int(worker_pid) if worker_pid else main_pid
+        tid = 0 if worker_pid else main_tid
         events.append(
             {
                 "name": sp.name,
@@ -146,10 +188,38 @@ def chrome_trace_events(spans: Sequence[Span] | None = None) -> list[dict[str, A
                 "ts": sp.start * 1e6,
                 "dur": sp.duration * 1e6,
                 "pid": pid,
-                "tid": threading.get_ident() & 0xFFFF,
+                "tid": tid,
                 "args": {k: _jsonable(v) for k, v in sp.attrs.items()},
             }
         )
+        flow_id = sp.attrs.get("flow_id")
+        if worker_pid and flow_id:
+            # Arrow head: the task arriving on the worker's lane.
+            events.append(
+                {
+                    "name": "pmap.dispatch",
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": int(flow_id),
+                    "ts": sp.start * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+        elif sp.span_id in dispatch_ids:
+            # Arrow tail: the dispatching pmap span on the main lane.
+            events.append(
+                {
+                    "name": "pmap.dispatch",
+                    "cat": "flow",
+                    "ph": "s",
+                    "id": sp.span_id,
+                    "ts": sp.start * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
     return events
 
 

@@ -132,6 +132,48 @@ class Histogram:
         """Arithmetic mean of all observations (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated percentile estimate (Prometheus-style).
+
+        *q* is a fraction in [0, 1].  The estimate interpolates
+        linearly within the bucket holding the q-th observation; the
+        overflow bucket clamps to the highest finite bound, so tail
+        percentiles are a lower bound once observations exceed it.
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.bounds):  # overflow bucket
+                    return self.bounds[-1]
+                lo = 0.0 if index == 0 else self.bounds[index - 1]
+                hi = self.bounds[index]
+                fraction = (rank - previous) / bucket_count
+                return lo + (hi - lo) * min(1.0, max(0.0, fraction))
+        return self.bounds[-1]  # pragma: no cover - defensive
+
+    @property
+    def p50(self) -> float:
+        """Median estimate (see :meth:`percentile`)."""
+        return self.percentile(0.50)
+
+    @property
+    def p90(self) -> float:
+        """90th-percentile estimate (see :meth:`percentile`)."""
+        return self.percentile(0.90)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile estimate (see :meth:`percentile`)."""
+        return self.percentile(0.99)
+
     def __repr__(self) -> str:
         return (
             f"Histogram({self.name}{format_labels(self.labels)}, "
@@ -216,6 +258,9 @@ class MetricsRegistry:
                     counts=list(metric.counts),
                     sum=metric.sum,
                     count=metric.count,
+                    p50=metric.p50,
+                    p90=metric.p90,
+                    p99=metric.p99,
                 )
                 out["histograms"].append(entry)
         return out

@@ -1,0 +1,450 @@
+"""Tracking-quality metrics: how trustworthy is a run's result?
+
+The paper's claim is that four cooperating heuristics produce reliable
+cross-experiment object tracks; this module quantifies that claim for a
+concrete run.  :func:`quality_report` distils a
+:class:`~repro.tracking.tracker.TrackingResult` (plus any quarantine
+records of a non-strict run) into a :class:`QualityReport`:
+
+- the **relation confidence distribution** (min/mean/median/p90/max
+  plus a fixed four-bucket histogram),
+- per-relation **heuristic attribution** (which evaluator proposed each
+  relation, with support scores and rescue/attach/split events),
+- per-pair **evaluator activity** (proposed/pruned/rescued/widened/
+  split counts and the mean sequence-alignment score),
+- per-region **persistence and stability** across the frame sequence,
+- the **robustness totals** of graceful-degradation runs (quarantined
+  items by stage, repaired-burst counts when observability recorded
+  them).
+
+Everything is plain data with a versioned, JSON-serialisable
+:meth:`QualityReport.to_dict`, consumed by :mod:`repro.obs.report` and
+the ``--report`` CLI flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+from repro.obs.core import STATE
+from repro.obs.metrics import REGISTRY, Counter
+
+if TYPE_CHECKING:
+    from repro.robust.partial import ItemFailure
+    from repro.tracking.tracker import TrackingResult
+
+__all__ = [
+    "QUALITY_SCHEMA",
+    "CONFIDENCE_BUCKETS",
+    "RelationQuality",
+    "PairQuality",
+    "RegionQuality",
+    "ConfidenceStats",
+    "QualityReport",
+    "quality_report",
+]
+
+#: Version tag of the serialised quality payload.
+QUALITY_SCHEMA = "repro.quality/1"
+
+#: Upper bounds of the fixed confidence histogram buckets.
+CONFIDENCE_BUCKETS: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass(frozen=True)
+class RelationQuality:
+    """One relation's attribution row (the report's who-did-what)."""
+
+    pair_index: int
+    relation: str
+    kind: str
+    confidence: float
+    proposed_by: str
+    events: tuple[str, ...]
+    support: tuple[tuple[str, float], ...]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable form."""
+        return {
+            "pair_index": self.pair_index,
+            "relation": self.relation,
+            "kind": self.kind,
+            "confidence": round(self.confidence, 4),
+            "proposed_by": self.proposed_by,
+            "events": list(self.events),
+            "support": {name: round(v, 4) for name, v in self.support},
+        }
+
+
+@dataclass(frozen=True)
+class PairQuality:
+    """Evaluator activity over one pair of consecutive frames."""
+
+    pair_index: int
+    left_label: str
+    right_label: str
+    quarantined: bool
+    n_relations: int
+    mean_confidence: float
+    proposed: int
+    pruned: int
+    rescued_callstack: int
+    rescued_sequence: int
+    widened: int
+    splits: int
+    contributions: tuple[tuple[str, int], ...]
+    sequence_score: float | None
+    relations: tuple[RelationQuality, ...]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable form."""
+        return {
+            "pair_index": self.pair_index,
+            "left": self.left_label,
+            "right": self.right_label,
+            "quarantined": self.quarantined,
+            "n_relations": self.n_relations,
+            "mean_confidence": round(self.mean_confidence, 4),
+            "proposed": self.proposed,
+            "pruned": self.pruned,
+            "rescued_callstack": self.rescued_callstack,
+            "rescued_sequence": self.rescued_sequence,
+            "widened": self.widened,
+            "splits": self.splits,
+            "contributions": {name: n for name, n in self.contributions},
+            "sequence_score": (
+                None if self.sequence_score is None
+                else round(self.sequence_score, 4)
+            ),
+            "relations": [relation.as_dict() for relation in self.relations],
+        }
+
+
+@dataclass(frozen=True)
+class RegionQuality:
+    """Persistence/stability of one tracked region over the sequence."""
+
+    region_id: int
+    n_frames_present: int
+    persistence: float
+    contiguous: bool
+    time_share: float
+    mean_confidence: float
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable form."""
+        return {
+            "region_id": self.region_id,
+            "n_frames_present": self.n_frames_present,
+            "persistence": round(self.persistence, 4),
+            "contiguous": self.contiguous,
+            "time_share": round(self.time_share, 4),
+            "mean_confidence": round(self.mean_confidence, 4),
+        }
+
+
+@dataclass(frozen=True)
+class ConfidenceStats:
+    """Distribution summary of the run's relation confidences."""
+
+    count: int
+    minimum: float
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+    histogram: tuple[int, ...]
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "ConfidenceStats":
+        """Summarise a confidence sample (all-zero stats when empty)."""
+        sample = np.asarray(list(values), dtype=np.float64)
+        if sample.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                       (0,) * len(CONFIDENCE_BUCKETS))
+        histogram = [0] * len(CONFIDENCE_BUCKETS)
+        for value in sample:
+            for index, bound in enumerate(CONFIDENCE_BUCKETS):
+                if value <= bound:
+                    histogram[index] += 1
+                    break
+        return cls(
+            count=int(sample.size),
+            minimum=float(sample.min()),
+            mean=float(sample.mean()),
+            median=float(np.median(sample)),
+            p90=float(np.percentile(sample, 90)),
+            maximum=float(sample.max()),
+            histogram=tuple(histogram),
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable form."""
+        return {
+            "count": self.count,
+            "min": round(self.minimum, 4),
+            "mean": round(self.mean, 4),
+            "median": round(self.median, 4),
+            "p90": round(self.p90, 4),
+            "max": round(self.maximum, 4),
+            "buckets": list(CONFIDENCE_BUCKETS),
+            "histogram": list(self.histogram),
+        }
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Quantified tracking quality of one run.
+
+    Attributes
+    ----------
+    n_frames / n_regions / n_tracked / coverage:
+        Headline numbers of the tracking result.
+    frame_labels:
+        The frame labels, in sequence order.
+    pairs:
+        Per-pair evaluator activity including the attribution rows.
+    regions:
+        Per-region persistence/stability records, duration-ranked.
+    heuristics:
+        Run totals per evaluator: relations proposed, edges
+        contributed, rescues/attachments performed.
+    confidence:
+        The relation confidence distribution over the whole run.
+    quarantined:
+        Quarantine counts per pipeline stage (non-strict runs).
+    failures:
+        The quarantine records themselves, pipeline-ordered.
+    repaired_bursts:
+        Bursts dropped-and-repaired at ingest, when observability
+        recorded them (``None`` when obs was disabled).
+    """
+
+    n_frames: int
+    n_regions: int
+    n_tracked: int
+    coverage: int
+    frame_labels: tuple[str, ...]
+    pairs: tuple[PairQuality, ...]
+    regions: tuple[RegionQuality, ...]
+    heuristics: tuple[tuple[str, tuple[tuple[str, int], ...]], ...]
+    confidence: ConfidenceStats
+    quarantined: tuple[tuple[str, int], ...]
+    failures: tuple["ItemFailure", ...]
+    repaired_bursts: int | None
+
+    def to_dict(self) -> dict[str, object]:
+        """Versioned, JSON-serialisable payload."""
+        return {
+            "schema": QUALITY_SCHEMA,
+            "n_frames": self.n_frames,
+            "n_regions": self.n_regions,
+            "n_tracked": self.n_tracked,
+            "coverage_pct": self.coverage,
+            "frames": list(self.frame_labels),
+            "confidence": self.confidence.as_dict(),
+            "heuristics": {
+                name: {key: value for key, value in counts}
+                for name, counts in self.heuristics
+            },
+            "pairs": [pair.as_dict() for pair in self.pairs],
+            "regions": [region.as_dict() for region in self.regions],
+            "robust": {
+                "quarantined": {stage: n for stage, n in self.quarantined},
+                "repaired_bursts": self.repaired_bursts,
+                "failures": [
+                    {
+                        "item": failure.item,
+                        "stage": failure.stage,
+                        "error": failure.error,
+                        "message": failure.message,
+                    }
+                    for failure in self.failures
+                ],
+            },
+        }
+
+
+def _relation_kind(relation) -> str:
+    """Classify a relation for the attribution table."""
+    if not relation.left or not relation.right:
+        return "orphan"
+    if relation.is_univocal:
+        return "univocal"
+    if relation.is_wide:
+        return "wide"
+    return "grouped"
+
+
+def _sequence_score(pair) -> float | None:
+    """Mean non-zero sequence-alignment score (None when it never ran)."""
+    if pair.sequence_ab is None:
+        return None
+    values = pair.sequence_ab.values
+    positive = values[values > 0]
+    return float(positive.mean()) if positive.size else 0.0
+
+
+def _repaired_bursts() -> int | None:
+    """Total repaired bursts from the obs registry, if recorded."""
+    if not STATE.enabled:
+        return None
+    total = 0.0
+    for metric in REGISTRY.all_metrics():
+        if isinstance(metric, Counter) and metric.name == "robust.recovered_total":
+            total += metric.value
+    return int(total)
+
+
+def quality_report(
+    result: "TrackingResult",
+    *,
+    failures: Iterable["ItemFailure"] = (),
+) -> QualityReport:
+    """Distil a tracking result into a :class:`QualityReport`.
+
+    Parameters
+    ----------
+    result:
+        The tracking result (unwrap a
+        :class:`~repro.robust.partial.PartialResult` first and pass its
+        records through *failures*).
+    failures:
+        Quarantine records of a non-strict run, if any.
+    """
+    failures = tuple(failures)
+    quarantined_pairs = {
+        int(failure.item.rsplit("(pair ", 1)[1].rstrip(")"))
+        for failure in failures
+        if failure.stage == "pair" and "(pair " in failure.item
+    }
+
+    # (frame_index, cluster_id) -> region_id, for region confidences.
+    region_of: dict[tuple[int, int], int] = {}
+    for region in result.regions:
+        for frame_index, members in enumerate(region.members):
+            for cid in members:
+                region_of[(frame_index, cid)] = region.region_id
+
+    pairs: list[PairQuality] = []
+    all_confidences: list[float] = []
+    region_confidences: dict[int, list[float]] = {}
+    heuristic_totals: dict[str, dict[str, int]] = {}
+
+    for index, pair in enumerate(result.pair_relations):
+        provenance = pair.provenance
+        rows: list[RelationQuality] = []
+        confidences: list[float] = []
+        for relation in pair.relations:
+            record = pair.provenance_of(relation)
+            confidence = pair.confidence(relation)
+            rows.append(
+                RelationQuality(
+                    pair_index=index,
+                    relation=repr(relation),
+                    kind=_relation_kind(relation),
+                    confidence=confidence,
+                    proposed_by=record.proposed_by,
+                    events=record.events,
+                    support=record.support,
+                )
+            )
+            if relation.left and relation.right:
+                confidences.append(confidence)
+                touched = {
+                    region_of.get((index, cid)) for cid in relation.left
+                } | {
+                    region_of.get((index + 1, cid)) for cid in relation.right
+                }
+                for region_id in touched - {None}:
+                    region_confidences.setdefault(region_id, []).append(confidence)
+            totals = heuristic_totals.setdefault(
+                record.proposed_by, {"relations_proposed": 0, "edges": 0}
+            )
+            totals["relations_proposed"] += 1
+            for name, n in record.edge_counts:
+                heuristic_totals.setdefault(
+                    name, {"relations_proposed": 0, "edges": 0}
+                )["edges"] += n
+
+        contributions: Mapping[str, int] = (
+            provenance.contribution_counts() if provenance else {}
+        )
+        pairs.append(
+            PairQuality(
+                pair_index=index,
+                left_label=result.frames[index].label,
+                right_label=result.frames[index + 1].label,
+                quarantined=index in quarantined_pairs,
+                n_relations=len(pair.relations),
+                mean_confidence=(
+                    float(np.mean(confidences)) if confidences else 0.0
+                ),
+                proposed=provenance.proposed if provenance else 0,
+                pruned=provenance.pruned if provenance else 0,
+                rescued_callstack=(
+                    provenance.rescued_callstack if provenance else 0
+                ),
+                rescued_sequence=(
+                    provenance.rescued_sequence if provenance else 0
+                ),
+                widened=provenance.widened if provenance else 0,
+                splits=provenance.splits if provenance else 0,
+                contributions=tuple(sorted(contributions.items())),
+                sequence_score=_sequence_score(pair),
+                relations=tuple(rows),
+            )
+        )
+        all_confidences.extend(confidences)
+
+    total_time = sum(frame.trace.total_time for frame in result.frames)
+    regions = tuple(
+        RegionQuality(
+            region_id=region.region_id,
+            n_frames_present=region.n_frames_present,
+            persistence=region.n_frames_present / result.n_frames,
+            contiguous=_is_contiguous(region.members),
+            time_share=(
+                region.total_duration / total_time if total_time else 0.0
+            ),
+            mean_confidence=float(
+                np.mean(region_confidences.get(region.region_id, [0.0]))
+            ),
+        )
+        for region in result.regions
+    )
+
+    quarantined: dict[str, int] = {}
+    for failure in failures:
+        quarantined[failure.stage] = quarantined.get(failure.stage, 0) + 1
+
+    return QualityReport(
+        n_frames=result.n_frames,
+        n_regions=len(result.regions),
+        n_tracked=len(result.tracked_regions),
+        coverage=result.coverage,
+        frame_labels=tuple(frame.label for frame in result.frames),
+        pairs=tuple(pairs),
+        regions=regions,
+        heuristics=tuple(
+            (name, tuple(sorted(counts.items())))
+            for name, counts in sorted(heuristic_totals.items())
+        ),
+        confidence=ConfidenceStats.from_values(all_confidences),
+        quarantined=tuple(sorted(quarantined.items())),
+        failures=failures,
+        repaired_bursts=_repaired_bursts(),
+    )
+
+
+def _is_contiguous(members: tuple[frozenset[int], ...]) -> bool:
+    """Whether the region's presence is one unbroken run of frames."""
+    present = [bool(m) for m in members]
+    if not any(present):
+        return False
+    first = present.index(True)
+    last = len(present) - 1 - present[::-1].index(True)
+    return all(present[first:last + 1])

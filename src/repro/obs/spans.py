@@ -27,7 +27,10 @@ from typing import Any, Callable, TypeVar
 
 from repro.obs.core import STATE
 
-__all__ = ["Span", "span", "traced", "current_span", "finished_spans"]
+__all__ = [
+    "Span", "span", "traced", "current_span", "finished_spans",
+    "record_span",
+]
 
 F = TypeVar("F", bound=Callable[..., Any])
 
@@ -149,6 +152,34 @@ def traced(name: str | None = None, **attrs: Any) -> Callable[[F], F]:
         return wrapper  # type: ignore[return-value]
 
     return decorate
+
+
+def record_span(
+    name: str,
+    start: float,
+    end: float,
+    *,
+    parent: Span | None = None,
+    **attrs: Any,
+) -> Span | None:
+    """Record an already-finished span from externally measured times.
+
+    Used for work that ran outside the recorder's reach — a pool
+    worker's task timed inside the worker process — and is stitched
+    into the parent's tree afterwards.  *start*/*end* are seconds
+    relative to the observability epoch (clamped to >= 0 so a foreign
+    clock can't produce negative timestamps).  No-op (returns ``None``)
+    while observability is disabled.
+    """
+    if not STATE.enabled:
+        return None
+    sp = Span(name, attrs)
+    sp.span_id = STATE.next_id()
+    sp.parent_id = parent.span_id if parent is not None else 0
+    sp.start = max(0.0, start)
+    sp.end = max(sp.start, end)
+    STATE.spans.append(sp)
+    return sp
 
 
 def current_span() -> Span | None:

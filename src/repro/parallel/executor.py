@@ -31,7 +31,7 @@ import os
 import pickle
 import time
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, NamedTuple, Sequence, TypeVar
 
 from repro import obs
 from repro.obs.log import get_logger
@@ -139,23 +139,64 @@ class ProcessExecutor:
             obs.count("parallel.fallbacks_total", backend=self.name)
             return SerialExecutor().pmap(fn, items)
         if obs.enabled():
-            busy = sum(duration for _, duration in timed)
+            busy = sum(t.end - t.start for _, t in timed)
             obs.observe("parallel.task_seconds", busy)
             span = obs.current_span()
             if span is not None:
                 span.set(busy_s=round(busy, 6), workers=workers)
+            _record_worker_spans(span, [t for _, t in timed])
         return [result for result, _ in timed]
 
 
-def _timed_call(fn: Callable[[T], R], item: T) -> tuple[R, float]:
-    """Run one task in a worker, returning (result, in-worker seconds).
+class _WorkerTiming(NamedTuple):
+    """One task's in-worker measurement: who ran it, and when.
+
+    ``start``/``end`` are the worker's raw ``perf_counter`` readings.
+    On Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which all
+    processes share, so the parent can rebase them onto its own
+    observability epoch and place the task on the worker's timeline.
+    """
+
+    pid: int
+    start: float
+    end: float
+
+
+def _record_worker_spans(parent, timings: Sequence[_WorkerTiming]) -> None:
+    """Stitch the workers' task timings into the parent span tree.
+
+    Each task becomes a finished ``parallel.worker_task`` span tagged
+    with the worker pid and a ``flow_id`` naming the dispatching pmap
+    span — the Chrome-trace exporter turns those into flow arrows from
+    the dispatch to each worker lane (see
+    :func:`repro.obs.export.chrome_trace_events`).
+    """
+    from repro.obs.core import STATE
+    from repro.obs.spans import record_span
+
+    flow_id = getattr(parent, "span_id", 0)
+    for index, timing in enumerate(timings):
+        record_span(
+            "parallel.worker_task",
+            timing.start - STATE.epoch,
+            timing.end - STATE.epoch,
+            parent=parent if flow_id else None,
+            worker_pid=timing.pid,
+            task_index=index,
+            flow_id=flow_id,
+        )
+
+
+def _timed_call(fn: Callable[[T], R], item: T) -> tuple[R, _WorkerTiming]:
+    """Run one task in a worker, returning (result, worker timing).
 
     Timing inside the worker lets the parent compute true utilisation
-    (busy seconds over ``workers x wall``) without a shared clock.
+    (busy seconds over ``workers x wall``) without shipping the
+    recorder state across process boundaries.
     """
     start = time.perf_counter()
     result = fn(item)
-    return result, time.perf_counter() - start
+    return result, _WorkerTiming(os.getpid(), start, time.perf_counter())
 
 
 Executor = SerialExecutor | ProcessExecutor

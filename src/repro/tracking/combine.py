@@ -29,12 +29,139 @@ from repro import obs
 from repro.alignment.spmd import consensus_sequence
 from repro.clustering.frames import Frame
 from repro.tracking.correlation import CorrelationMatrix
+from repro.tracking.evaluators import callstack as _callstack
+from repro.tracking.evaluators import displacement as _displacement
+from repro.tracking.evaluators import sequence as _sequence
+from repro.tracking.evaluators import simultaneity as _simultaneity
 from repro.tracking.evaluators.callstack import callstack_matrix
 from repro.tracking.evaluators.displacement import displacement_matrix
 from repro.tracking.evaluators.sequence import sequence_matrix
 from repro.tracking.evaluators.simultaneity import frame_alignment, simultaneity_for_frame
 
-__all__ = ["Relation", "PairRelations", "combine_pair"]
+__all__ = [
+    "Relation",
+    "RelationProvenance",
+    "PairProvenance",
+    "PairRelations",
+    "combine_pair",
+    "UNMATCHED",
+]
+
+DISPLACEMENT = _displacement.EVALUATOR
+CALLSTACK = _callstack.EVALUATOR
+SEQUENCE = _sequence.EVALUATOR
+SIMULTANEITY = _simultaneity.EVALUATOR
+
+#: Provenance tag of relations no evaluator could propose (an object
+#: that appears or vanishes between the frames; one side is empty).
+UNMATCHED = "unmatched"
+
+#: Proposer resolution order: the displacement evaluator seeds, the
+#: call-stack and sequence evaluators rescue orphans, the simultaneity
+#: evaluator only ever widens an existing relation.  A relation's
+#: *proposing* evaluator is the highest-priority evaluator among its
+#: supporting edges, so it is unique by construction.
+_PROPOSER_PRIORITY = (DISPLACEMENT, CALLSTACK, SEQUENCE, SIMULTANEITY)
+
+
+@dataclass(frozen=True)
+class RelationProvenance:
+    """Why one relation exists: the evaluator evidence that built it.
+
+    Attributes
+    ----------
+    proposed_by:
+        The single evaluator that established the relation (highest
+        priority among its edges), or :data:`UNMATCHED` for degenerate
+        relations with an empty side.
+    edge_counts:
+        ``(evaluator, n_edges)`` pairs — how many candidate-graph edges
+        each evaluator contributed inside this relation.
+    events:
+        Audit trail of the non-seed actions that shaped the relation:
+        ``"rescue:callstack"``, ``"rescue:sequence"``,
+        ``"attach:simultaneity"``, ``"split:sequence"``.
+    support:
+        ``(evaluator, score)`` pairs — each evaluator's strongest
+        evidence value inside the relation, in [0, 1].
+    """
+
+    proposed_by: str
+    edge_counts: tuple[tuple[str, int], ...] = ()
+    events: tuple[str, ...] = ()
+    support: tuple[tuple[str, float], ...] = ()
+
+    @property
+    def evaluators(self) -> tuple[str, ...]:
+        """Evaluators that contributed at least one edge."""
+        return tuple(name for name, _ in self.edge_counts)
+
+    def support_of(self, evaluator: str) -> float:
+        """The evaluator's strongest evidence value (0.0 if absent)."""
+        for name, value in self.support:
+            if name == evaluator:
+                return value
+        return 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable form."""
+        return {
+            "proposed_by": self.proposed_by,
+            "edge_counts": {name: n for name, n in self.edge_counts},
+            "events": list(self.events),
+            "support": {name: value for name, value in self.support},
+        }
+
+
+@dataclass(frozen=True)
+class PairProvenance:
+    """Aggregate heuristic activity over one frame pair.
+
+    Attributes
+    ----------
+    relations:
+        One :class:`RelationProvenance` per relation, aligned with
+        :attr:`PairRelations.relations`.
+    proposed:
+        Candidate edges proposed by the displacement evaluator
+        (before call-stack pruning).
+    pruned:
+        Displacement candidates vetoed by the call-stack evaluator.
+    rescued_callstack / rescued_sequence:
+        Orphan objects rescued by the respective evaluator.
+    widened:
+        Orphans attached to a sibling by the simultaneity evaluator.
+    splits:
+        Wide relations split apart by the sequence evaluator.
+    """
+
+    relations: tuple[RelationProvenance, ...] = ()
+    proposed: int = 0
+    pruned: int = 0
+    rescued_callstack: int = 0
+    rescued_sequence: int = 0
+    widened: int = 0
+    splits: int = 0
+
+    def contribution_counts(self) -> dict[str, int]:
+        """Total candidate-graph edges per evaluator over the pair."""
+        totals: dict[str, int] = {}
+        for record in self.relations:
+            for name, n in record.edge_counts:
+                totals[name] = totals.get(name, 0) + n
+        return totals
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable form."""
+        return {
+            "proposed": self.proposed,
+            "pruned": self.pruned,
+            "rescued_callstack": self.rescued_callstack,
+            "rescued_sequence": self.rescued_sequence,
+            "widened": self.widened,
+            "splits": self.splits,
+            "relations": [record.as_dict() for record in self.relations],
+        }
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,6 +210,9 @@ class PairRelations:
     sequence_ab:
         Sequence-evaluator matrix (pivot-anchored), or ``None`` when no
         pivots were available.
+    provenance:
+        Heuristic attribution of the pair (``None`` only for
+        hand-built instances; :func:`combine_pair` always fills it).
     """
 
     relations: tuple[Relation, ...]
@@ -92,6 +222,15 @@ class PairRelations:
     simultaneity_a: CorrelationMatrix
     simultaneity_b: CorrelationMatrix
     sequence_ab: CorrelationMatrix | None = None
+    provenance: PairProvenance | None = None
+
+    def provenance_of(self, relation: Relation) -> RelationProvenance:
+        """The provenance record of one of this pair's relations."""
+        if self.provenance is not None:
+            for candidate, record in zip(self.relations, self.provenance.relations):
+                if candidate == relation:
+                    return record
+        return RelationProvenance(proposed_by=UNMATCHED)
 
     def mapping(self) -> dict[int, frozenset[int]]:
         """Map each left cluster id to the right ids of its relation."""
@@ -203,7 +342,9 @@ def _callstack_rescue(graph: nx.Graph, frame_a: Frame, frame_b: Frame) -> int:
                 if _callstacks_compatible(frame, cid, other_frame, other)
             ]
             if len(candidates) == 1:
-                graph.add_edge((side, cid), (other_side, candidates[0]))
+                graph.add_edge(
+                    (side, cid), (other_side, candidates[0]), evaluator=CALLSTACK
+                )
                 added += 1
     return added
 
@@ -231,7 +372,7 @@ def _sequence_rescue(
         }
         if row:
             best = max(row, key=row.__getitem__)
-            graph.add_edge(("A", cid_a), ("B", best))
+            graph.add_edge(("A", cid_a), ("B", best), evaluator=SEQUENCE)
             added += 1
     transposed = sequence.transpose()
     for cid_b in frame_b.cluster_ids:
@@ -244,7 +385,7 @@ def _sequence_rescue(
         }
         if row:
             best = max(row, key=row.__getitem__)
-            graph.add_edge(("A", best), ("B", cid_b))
+            graph.add_edge(("A", best), ("B", cid_b), evaluator=SEQUENCE)
             added += 1
     return added
 
@@ -283,7 +424,7 @@ def _attach_orphans(
                 best_partner = other
                 best_value = mutual
         if best_partner is not None:
-            graph.add_edge(node, (side, best_partner))
+            graph.add_edge(node, (side, best_partner), evaluator=SIMULTANEITY)
             attached += 1
     return attached
 
@@ -293,16 +434,18 @@ def _split_wide_relations(
     sequence: CorrelationMatrix,
     frame_a: Frame,
     frame_b: Frame,
-) -> list[Relation]:
+) -> tuple[list[Relation], set[Relation], int]:
     """Use sequence correspondences to break ambiguous wide relations.
 
     A split is accepted only when the sequence evidence partitions the
     relation into two or more sub-relations that each keep at least one
     object per side and remain call-stack compatible; otherwise the
     original wide relation is preserved (grouping in doubt, as the paper
-    prescribes).
+    prescribes).  Returns the new relation list, the set of relations
+    produced by a split (for provenance), and the split count.
     """
     out: list[Relation] = []
+    split_pieces: set[Relation] = set()
     splits = 0
     for relation in relations:
         if not relation.is_wide:
@@ -330,9 +473,98 @@ def _split_wide_relations(
         )
         if valid:
             splits += 1
+            split_pieces.update(pieces)
         out.extend(pieces if valid else [relation])
-    obs.count("tracking.relations_split", splits, evaluator="sequence")
-    return out
+    obs.count("tracking.relations_split", splits, evaluator=SEQUENCE)
+    return out, split_pieces, splits
+
+
+def _max_cell(matrix: CorrelationMatrix | None, pairs) -> float:
+    """Strongest matrix value over (row, col) id pairs (0.0 if none)."""
+    best = 0.0
+    if matrix is None:
+        return best
+    for row, col in pairs:
+        try:
+            value = matrix.get(row, col)
+        except KeyError:
+            continue
+        if value > best:
+            best = value
+    return best
+
+
+def _relation_provenance(
+    relation: Relation,
+    graph: nx.Graph,
+    split_pieces: set[Relation],
+    disp_ab: CorrelationMatrix,
+    disp_ba: CorrelationMatrix,
+    cs_ab: CorrelationMatrix | None,
+    spmd_a: CorrelationMatrix | None,
+    spmd_b: CorrelationMatrix | None,
+    sequence_ab: CorrelationMatrix | None,
+) -> RelationProvenance:
+    """Attribute one final relation to the evaluators that built it.
+
+    Matrices of disabled (ablated) evaluators are passed as ``None`` so
+    their evidence is never claimed in the attribution.
+    """
+    nodes = {("A", cid) for cid in relation.left} | {
+        ("B", cid) for cid in relation.right
+    }
+    counts: dict[str, int] = {}
+    for u, v, data in graph.edges(nodes, data=True):
+        if u in nodes and v in nodes:
+            evaluator = data.get("evaluator", DISPLACEMENT)
+            counts[evaluator] = counts.get(evaluator, 0) + 1
+    proposed_by = next(
+        (name for name in _PROPOSER_PRIORITY if counts.get(name)), UNMATCHED
+    )
+
+    events: list[str] = []
+    if counts.get(CALLSTACK):
+        events.append(f"rescue:{CALLSTACK}")
+    if counts.get(SEQUENCE):
+        events.append(f"rescue:{SEQUENCE}")
+    if counts.get(SIMULTANEITY):
+        events.append(f"attach:{SIMULTANEITY}")
+    if relation in split_pieces:
+        events.append(f"split:{SEQUENCE}")
+
+    cross = [(a, b) for a in relation.left for b in relation.right]
+    support: list[tuple[str, float]] = []
+    disp = max(
+        _max_cell(disp_ab, cross),
+        _max_cell(disp_ba, [(b, a) for a, b in cross]),
+    )
+    if disp > 0:
+        support.append((DISPLACEMENT, disp))
+    stack = _max_cell(cs_ab, cross)
+    if stack > 0:
+        support.append((CALLSTACK, stack))
+    seq = _max_cell(sequence_ab, cross)
+    if seq > 0:
+        support.append((SEQUENCE, seq))
+    spmd = max(
+        _max_cell(
+            spmd_a,
+            [(a, b) for a in relation.left for b in relation.left if a != b],
+        ),
+        _max_cell(
+            spmd_b,
+            [(a, b) for a in relation.right for b in relation.right if a != b],
+        ),
+    )
+    if spmd > 0:
+        support.append((SIMULTANEITY, spmd))
+
+    return RelationProvenance(
+        proposed_by=proposed_by,
+        edge_counts=tuple(sorted(counts.items())),
+        events=tuple(events),
+        support=tuple(support),
+    )
 
 
 def combine_pair(
@@ -401,31 +633,35 @@ def combine_pair(
     for cid_a, cid_b, _ in disp_ab.nonzero_pairs():
         proposed += 1
         if compatible(cid_a, cid_b):
-            graph.add_edge(("A", cid_a), ("B", cid_b))
+            graph.add_edge(("A", cid_a), ("B", cid_b), evaluator=DISPLACEMENT)
         else:
             pruned += 1
     for cid_b, cid_a, _ in disp_ba.nonzero_pairs():
         proposed += 1
         if compatible(cid_a, cid_b):
-            graph.add_edge(("A", cid_a), ("B", cid_b))
+            graph.add_edge(("A", cid_a), ("B", cid_b), evaluator=DISPLACEMENT)
         else:
             pruned += 1
     if obs.enabled():
-        obs.count("tracking.links_proposed", proposed, evaluator="displacement")
-        obs.count("tracking.links_pruned", pruned, evaluator="callstack")
+        obs.count("tracking.links_proposed", proposed, evaluator=DISPLACEMENT)
+        obs.count("tracking.links_pruned", pruned, evaluator=CALLSTACK)
         obs.count(
             "tracking.links_confirmed",
             graph.number_of_edges(),
-            evaluator="displacement",
+            evaluator=DISPLACEMENT,
         )
 
+    rescued_callstack = 0
+    rescued_sequence = 0
+    widened = 0
+    splits = 0
     if use_callstack:
-        rescued = _callstack_rescue(graph, frame_a, frame_b)
-        obs.count("tracking.links_rescued", rescued, evaluator="callstack")
+        rescued_callstack = _callstack_rescue(graph, frame_a, frame_b)
+        obs.count("tracking.links_rescued", rescued_callstack, evaluator=CALLSTACK)
     if use_spmd:
         widened = _attach_orphans(graph, "B", frame_b, spmd_b, spmd_threshold)
         widened += _attach_orphans(graph, "A", frame_a, spmd_a, spmd_threshold)
-        obs.count("tracking.links_widened", widened, evaluator="simultaneity")
+        obs.count("tracking.links_widened", widened, evaluator=SIMULTANEITY)
 
     relations = _component_relations(graph)
 
@@ -437,6 +673,7 @@ def combine_pair(
     }
     has_orphans = any(not rel.left or not rel.right for rel in relations)
     sequence_ab: CorrelationMatrix | None = None
+    split_pieces: set[Relation] = set()
     if use_sequence and pivots and (
         has_orphans or any(rel.is_wide for rel in relations)
     ):
@@ -455,15 +692,38 @@ def combine_pair(
                 pivots,
             ).drop_below(sequence_threshold)
             if has_orphans:
-                rescued = _sequence_rescue(graph, sequence_ab, frame_a, frame_b)
-                obs.count("tracking.links_rescued", rescued, evaluator="sequence")
-                if rescued:
+                rescued_sequence = _sequence_rescue(
+                    graph, sequence_ab, frame_a, frame_b
+                )
+                obs.count(
+                    "tracking.links_rescued", rescued_sequence, evaluator=SEQUENCE
+                )
+                if rescued_sequence:
                     relations = _component_relations(graph)
-            relations = _split_wide_relations(
+            relations, split_pieces, splits = _split_wide_relations(
                 relations, sequence_ab, frame_a, frame_b
             )
 
     relations.sort(key=lambda rel: (min(rel.left, default=1 << 30), min(rel.right, default=1 << 30)))
+    provenance = PairProvenance(
+        relations=tuple(
+            _relation_provenance(
+                relation, graph, split_pieces,
+                disp_ab, disp_ba,
+                cs_ab if use_callstack else None,
+                spmd_a if use_spmd else None,
+                spmd_b if use_spmd else None,
+                sequence_ab,
+            )
+            for relation in relations
+        ),
+        proposed=proposed,
+        pruned=pruned,
+        rescued_callstack=rescued_callstack,
+        rescued_sequence=rescued_sequence,
+        widened=widened,
+        splits=splits,
+    )
     return PairRelations(
         relations=tuple(relations),
         displacement_ab=disp_ab,
@@ -472,4 +732,5 @@ def combine_pair(
         simultaneity_a=spmd_a,
         simultaneity_b=spmd_b,
         sequence_ab=sequence_ab,
+        provenance=provenance,
     )

@@ -8,12 +8,24 @@ evidence; the combination algorithm in
 
 from __future__ import annotations
 
+from repro.tracking.evaluators import callstack, displacement, sequence, simultaneity
 from repro.tracking.evaluators.callstack import callstack_matrix
 from repro.tracking.evaluators.displacement import displacement_matrix
 from repro.tracking.evaluators.sequence import sequence_matrix
 from repro.tracking.evaluators.simultaneity import frame_alignment, simultaneity_for_frame
 
+#: Provenance tags of the four evaluators, in combination (priority)
+#: order: displacement seeds, callstack prunes/rescues, sequence
+#: rescues/splits, simultaneity widens.
+EVALUATORS: tuple[str, ...] = (
+    displacement.EVALUATOR,
+    callstack.EVALUATOR,
+    sequence.EVALUATOR,
+    simultaneity.EVALUATOR,
+)
+
 __all__ = [
+    "EVALUATORS",
     "displacement_matrix",
     "simultaneity_for_frame",
     "frame_alignment",

@@ -15,7 +15,10 @@ import numpy as np
 from repro.clustering.frames import Frame
 from repro.tracking.correlation import CorrelationMatrix
 
-__all__ = ["callstack_matrix"]
+__all__ = ["EVALUATOR", "callstack_matrix"]
+
+#: Provenance tag of this evaluator (see ``repro.tracking.combine``).
+EVALUATOR = "callstack"
 
 
 def callstack_matrix(frame_a: Frame, frame_b: Frame) -> CorrelationMatrix:

@@ -21,7 +21,10 @@ from repro.clustering.frames import Frame
 from repro.errors import TrackingError
 from repro.tracking.correlation import CorrelationMatrix
 
-__all__ = ["displacement_matrix"]
+__all__ = ["EVALUATOR", "displacement_matrix"]
+
+#: Provenance tag of this evaluator (see ``repro.tracking.combine``).
+EVALUATOR = "displacement"
 
 
 def displacement_matrix(

@@ -21,7 +21,10 @@ from repro.alignment.pairwise import GAP, global_align
 from repro.errors import TrackingError
 from repro.tracking.correlation import CorrelationMatrix
 
-__all__ = ["sequence_matrix", "align_with_pivots"]
+__all__ = ["EVALUATOR", "sequence_matrix", "align_with_pivots"]
+
+#: Provenance tag of this evaluator (see ``repro.tracking.combine``).
+EVALUATOR = "sequence"
 
 
 def align_with_pivots(

@@ -22,7 +22,10 @@ from repro.alignment.spmd import simultaneity_matrix
 from repro.clustering.frames import Frame
 from repro.tracking.correlation import CorrelationMatrix
 
-__all__ = ["frame_alignment", "simultaneity_for_frame"]
+__all__ = ["EVALUATOR", "frame_alignment", "simultaneity_for_frame"]
+
+#: Provenance tag of this evaluator (see ``repro.tracking.combine``).
+EVALUATOR = "simultaneity"
 
 
 def frame_alignment(frame: Frame, *, max_ranks: int = 64, seed: int = 0) -> MultipleAlignment:

@@ -100,8 +100,10 @@ def who_is_who(result: TrackingResult, *, evidence: bool = True) -> str:
                 else "wide" if relation.is_wide else "grouped"
             )
             confidence = pair.confidence(relation)
+            record = pair.provenance_of(relation)
             lines.append(
-                f"    {relation!r}  [{kind}, confidence {confidence * 100:.0f}%]"
+                f"    {relation!r}  [{kind}, confidence {confidence * 100:.0f}%, "
+                f"by {record.proposed_by}]"
             )
             if evidence:
                 lines.extend("  " + line for line in relation_evidence(pair, relation))

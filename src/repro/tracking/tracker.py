@@ -67,6 +67,7 @@ def _empty_pair_relations(frame_a: Frame, frame_b: Frame) -> PairRelations:
     across this pair (regions end on its left side and new ones start on
     its right) and reporting code keeps working.
     """
+    from repro.tracking.combine import PairProvenance
     from repro.tracking.correlation import CorrelationMatrix
 
     ids_a, ids_b = frame_a.cluster_ids, frame_b.cluster_ids
@@ -84,6 +85,7 @@ def _empty_pair_relations(frame_a: Frame, frame_b: Frame) -> PairRelations:
         simultaneity_a=zeros(ids_a, ids_a),
         simultaneity_b=zeros(ids_b, ids_b),
         sequence_ab=None,
+        provenance=PairProvenance(),
     )
 
 

@@ -16,7 +16,7 @@ from repro.clustering.frames import Frame
 from repro.tracking.relabel import RelabeledFrame
 from repro.viz.svg import Axes, SVGCanvas, color_for
 
-__all__ = ["render_frame_svg", "render_sequence_svg"]
+__all__ = ["render_frame_svg", "render_sequence_svg", "sequence_canvas"]
 
 
 def _scatter(
@@ -93,8 +93,30 @@ def render_sequence_svg(
     All panels share the global region colouring, so a region keeps its
     colour across the whole sequence (the paper's Figure 6).
     """
+    canvas = sequence_canvas(
+        relabeled,
+        panel_width=panel_width,
+        panel_height=panel_height,
+        columns=columns,
+    )
+    return canvas.save(path)
+
+
+def sequence_canvas(
+    relabeled: list[RelabeledFrame],
+    *,
+    panel_width: int = 420,
+    panel_height: int = 380,
+    columns: int = 2,
+) -> SVGCanvas:
+    """Build the frame-sequence grid as an in-memory canvas.
+
+    The run report embeds the result inline
+    (:meth:`~repro.viz.svg.SVGCanvas.to_string`);
+    :func:`render_sequence_svg` saves it to a file.
+    """
     if not relabeled:
-        raise ValueError("render_sequence_svg needs at least one frame")
+        raise ValueError("sequence_canvas needs at least one frame")
     n = len(relabeled)
     columns = max(1, min(columns, n))
     rows = (n + columns - 1) // columns
@@ -127,4 +149,4 @@ def render_sequence_svg(
             anchor="middle",
             size=12,
         )
-    return canvas.save(path)
+    return canvas

@@ -13,7 +13,7 @@ import numpy as np
 from repro.tracking.trends import TrendSeries
 from repro.viz.svg import Axes, SVGCanvas, color_for
 
-__all__ = ["render_trends_svg"]
+__all__ = ["render_trends_svg", "trends_canvas"]
 
 
 def render_trends_svg(
@@ -24,9 +24,25 @@ def render_trends_svg(
     width: int = 680,
     height: int = 420,
 ) -> Path:
-    """Render trend series to an SVG line chart."""
+    """Render trend series to an SVG line chart file."""
+    return trends_canvas(series, title=title, width=width, height=height).save(path)
+
+
+def trends_canvas(
+    series: list[TrendSeries],
+    *,
+    title: str = "",
+    width: int = 680,
+    height: int = 420,
+) -> SVGCanvas:
+    """Build the trend line chart as an in-memory canvas.
+
+    The run report embeds the result inline
+    (:meth:`~repro.viz.svg.SVGCanvas.to_string`);
+    :func:`render_trends_svg` saves it to a file.
+    """
     if not series:
-        raise ValueError("render_trends_svg needs at least one series")
+        raise ValueError("trends_canvas needs at least one series")
     n_frames = series[0].n_frames
     canvas = SVGCanvas(width=width, height=height)
     stacked = np.concatenate([s.values for s in series])
@@ -67,4 +83,4 @@ def render_trends_svg(
 
     if title:
         canvas.text(width / 2, 16, title, anchor="middle", size=13)
-    return canvas.save(path)
+    return canvas

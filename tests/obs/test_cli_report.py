@@ -1,0 +1,136 @@
+"""CLI run reports: ``--report``, ``report --html``, ``bench-compare``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import bench_results_payload
+from repro.obs.report import REPORT_SCHEMA
+from repro.robust.partial import EXIT_PARTIAL
+
+
+@pytest.fixture
+def trace_pair(tmp_path):
+    """Two small simulated HydroC traces saved to disk."""
+    paths = []
+    for index, block in enumerate((32, 64)):
+        path = tmp_path / f"trace{index}.json"
+        assert main([
+            "simulate", "hydroc", f"block_size={block}", "ranks=4",
+            "iterations=3", "--seed", str(index), "-o", str(path),
+        ]) == 0
+        paths.append(str(path))
+    return paths
+
+
+class TestTrackReport:
+    def test_html_report_written(self, trace_pair, tmp_path, capsys):
+        out = tmp_path / "run.html"
+        assert main(["track", *trace_pair, "--report", str(out)]) == 0
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "Heuristic attribution" in html
+        assert "wrote run report" in capsys.readouterr().err
+
+    def test_json_report_versioned(self, trace_pair, tmp_path):
+        out = tmp_path / "run.json"
+        assert main(["track", *trace_pair, "--report", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == REPORT_SCHEMA
+        quality = payload["runs"][0]["quality"]
+        assert quality["schema"] == "repro.quality/1"
+        for pair in quality["pairs"]:
+            for relation in pair["relations"]:
+                assert relation["proposed_by"]
+                assert "confidence" in relation
+
+    def test_report_with_profile_embeds_span_tree(
+        self, trace_pair, tmp_path, capsys
+    ):
+        out = tmp_path / "run.html"
+        assert main(
+            ["track", *trace_pair, "--report", str(out), "--profile"]
+        ) == 0
+        assert "stage-time tree" in out.read_text()
+
+    def test_no_strict_report_lists_quarantine(self, trace_pair, tmp_path):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json", encoding="utf-8")
+        out = tmp_path / "run.html"
+        code = main([
+            "track", *trace_pair, str(corrupt),
+            "--no-strict", "--report", str(out),
+        ])
+        assert code == EXIT_PARTIAL
+        html = out.read_text()
+        assert "item(s) failed" in html
+        assert "corrupt.json" in html
+
+
+class TestWhoIsWhoReport:
+    def test_strict_default_unchanged(self, trace_pair, capsys):
+        assert main(["report", *trace_pair]) == 0
+        assert "Pairwise relations" in capsys.readouterr().out
+
+    def test_no_strict_renders_survivors_and_exits_3(
+        self, trace_pair, tmp_path, capsys
+    ):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("]", encoding="utf-8")
+        html_out = tmp_path / "whois.html"
+        code = main([
+            "report", trace_pair[0], str(corrupt), trace_pair[1],
+            "--no-strict", "--html", str(html_out),
+        ])
+        assert code == EXIT_PARTIAL
+        captured = capsys.readouterr()
+        # Survivors still tracked and reported...
+        assert "Tracked" in captured.out
+        # ...and the quarantined file is called out, on stderr and in
+        # the HTML report.
+        assert "corrupt.json" in captured.err
+        assert "corrupt.json" in html_out.read_text()
+
+    def test_html_without_no_strict(self, trace_pair, tmp_path):
+        html_out = tmp_path / "whois.html"
+        assert main(["report", *trace_pair, "--html", str(html_out)]) == 0
+        assert "Heuristic attribution" in html_out.read_text()
+
+
+class TestBenchCompare:
+    def _write(self, path, benches):
+        path.write_text(
+            json.dumps(bench_results_payload(benches)), encoding="utf-8"
+        )
+        return str(path)
+
+    def test_regression_exits_1(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", {"b": {"wall_time_s": 0.5}})
+        new = self._write(tmp_path / "new.json", {"b": {"wall_time_s": 1.0}})
+        assert main(["bench-compare", old, new]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_self_comparison_exits_0(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path / "r.json",
+            {"a": {"wall_time_s": 0.5}, "b": {"wall_time_s": 1.0}},
+        )
+        assert main(["bench-compare", path, path]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_unreadable_input_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{", encoding="utf-8")
+        good = self._write(tmp_path / "ok.json", {"b": {"wall_time_s": 0.5}})
+        assert main(["bench-compare", str(bad), good]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_threshold_flag_respected(self, tmp_path):
+        old = self._write(tmp_path / "old.json", {"b": {"wall_time_s": 1.0}})
+        new = self._write(tmp_path / "new.json", {"b": {"wall_time_s": 1.4}})
+        assert main(["bench-compare", old, new]) == 1
+        assert main(["bench-compare", old, new, "--threshold", "0.5"]) == 0

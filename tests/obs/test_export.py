@@ -55,11 +55,13 @@ class TestChromeTrace:
         obs.write_chrome_trace(path)
         document = json.loads(path.read_text())
         events = document["traceEvents"]
-        assert len(events) == 4
-        assert all(event["ph"] == "X" for event in events)
-        assert all(event["dur"] >= 0 for event in events)
-        assert all(isinstance(event["ts"], float) for event in events)
-        names = {event["name"] for event in events}
+        complete = [event for event in events if event["ph"] == "X"]
+        metadata = [event for event in events if event["ph"] == "M"]
+        assert len(complete) == 4
+        assert metadata[0]["args"]["name"] == "repro main"
+        assert all(event["dur"] >= 0 for event in complete)
+        assert all(isinstance(event["ts"], float) for event in complete)
+        names = {event["name"] for event in complete}
         assert names == {"pipeline", "clustering.frame", "tracking.run"}
 
     def test_args_carry_attributes(self, tmp_path):
@@ -81,14 +83,20 @@ class TestChromeTrace:
             pass
         path = tmp_path / "trace.json"
         obs.write_chrome_trace(path)
-        (event,) = json.loads(path.read_text())["traceEvents"]
+        (event,) = [
+            e for e in json.loads(path.read_text())["traceEvents"]
+            if e["ph"] == "X"
+        ]
         assert event["args"] == {"count": 3, "ratio": 0.5}
 
     def test_events_sorted_by_start(self, tmp_path):
         _record_sample_run()
         path = tmp_path / "trace.json"
         obs.write_chrome_trace(path)
-        timestamps = [e["ts"] for e in json.loads(path.read_text())["traceEvents"]]
+        timestamps = [
+            e["ts"] for e in json.loads(path.read_text())["traceEvents"]
+            if e["ph"] == "X"
+        ]
         assert timestamps == sorted(timestamps)
 
 

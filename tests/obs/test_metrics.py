@@ -63,6 +63,45 @@ class TestHistograms:
         with pytest.raises(ValueError):
             registry.histogram("empty", buckets=())
 
+    def test_percentiles_interpolate_within_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=(1.0, 2.0, 4.0))
+        # 100 observations, uniformly in the (1, 2] bucket.
+        for _ in range(100):
+            hist.observe(1.5)
+        # All mass sits in one bucket; interpolation walks its width.
+        assert hist.p50 == pytest.approx(1.5)
+        assert hist.p90 == pytest.approx(1.9)
+        assert hist.p99 == pytest.approx(1.99)
+
+    def test_percentiles_across_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 0.6, 5.0, 50.0):
+            hist.observe(value)
+        # rank 2 of 4 lands at the top of the first bucket.
+        assert hist.p50 == pytest.approx(1.0)
+        assert 10.0 < hist.p99 <= 100.0
+
+    def test_percentile_overflow_clamps_to_top_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=(1.0,))
+        hist.observe(50.0)
+        assert hist.p99 == 1.0
+
+    def test_percentile_empty_and_bad_fraction(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t", buckets=(1.0,))
+        assert hist.p50 == 0.0
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_snapshot_carries_percentiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("t", buckets=(1.0, 2.0)).observe(0.5)
+        (entry,) = registry.snapshot()["histograms"]
+        assert {"p50", "p90", "p99"} <= set(entry)
+
 
 class TestGatedHelpers:
     def test_disabled_records_nothing(self):

@@ -1,0 +1,115 @@
+"""Unit tests for repro.obs.quality: tracking-quality metrics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.clustering.frames import make_frames
+from repro.obs.quality import (
+    CONFIDENCE_BUCKETS,
+    QUALITY_SCHEMA,
+    ConfidenceStats,
+    quality_report,
+)
+from repro.robust.partial import ItemFailure
+from repro.tracking.evaluators import EVALUATORS
+from repro.tracking.tracker import Tracker
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture(scope="module")
+def toy_result():
+    traces = [
+        build_two_region_trace(seed=1, scenario={"run": 0}),
+        build_two_region_trace(
+            seed=2, scenario={"run": 1}, ipc_a=1.1, ipc_b=0.4
+        ),
+        build_two_region_trace(
+            seed=3, scenario={"run": 2}, ipc_a=1.2, ipc_b=0.45
+        ),
+    ]
+    return Tracker(make_frames(traces)).run()
+
+
+class TestQualityReport:
+    def test_headline_numbers(self, toy_result):
+        report = quality_report(toy_result)
+        assert report.n_frames == 3
+        assert report.n_regions == 2
+        assert report.coverage == 100
+        assert len(report.pairs) == 2
+        assert len(report.frame_labels) == 3
+
+    def test_every_relation_attributed(self, toy_result):
+        report = quality_report(toy_result)
+        for pair in report.pairs:
+            assert pair.n_relations == len(pair.relations)
+            for relation in pair.relations:
+                assert relation.proposed_by in (*EVALUATORS, "unmatched")
+                assert 0.0 <= relation.confidence <= 1.0
+
+    def test_confidence_distribution(self, toy_result):
+        report = quality_report(toy_result)
+        stats = report.confidence
+        assert stats.count == 4  # two univocal relations per pair
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert sum(stats.histogram) == stats.count
+
+    def test_region_persistence(self, toy_result):
+        report = quality_report(toy_result)
+        assert len(report.regions) == 2
+        for region in report.regions:
+            assert region.persistence == 1.0
+            assert region.contiguous
+            assert 0.0 < region.time_share <= 1.0
+
+    def test_heuristic_totals_cover_relations(self, toy_result):
+        report = quality_report(toy_result)
+        proposed = sum(
+            dict(counts).get("relations_proposed", 0)
+            for _, counts in report.heuristics
+        )
+        assert proposed == sum(pair.n_relations for pair in report.pairs)
+
+    def test_to_dict_is_versioned_and_serialisable(self, toy_result):
+        payload = quality_report(toy_result).to_dict()
+        assert payload["schema"] == QUALITY_SCHEMA
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["n_frames"] == 3
+        assert encoded["robust"]["quarantined"] == {}
+
+    def test_failures_counted_by_stage(self, toy_result):
+        failures = (
+            ItemFailure("bad.json", "load", "TraceFormatError", "nope"),
+            ItemFailure("x -> y (pair 1)", "pair", "ValueError", "boom"),
+        )
+        report = quality_report(toy_result, failures=failures)
+        assert dict(report.quarantined) == {"load": 1, "pair": 1}
+        quarantined_pairs = [p for p in report.pairs if p.quarantined]
+        assert [p.pair_index for p in quarantined_pairs] == [1]
+
+    def test_repaired_bursts_none_when_obs_disabled(self, toy_result):
+        assert quality_report(toy_result).repaired_bursts is None
+
+    def test_repaired_bursts_read_from_registry(self, toy_result):
+        obs.enable()
+        obs.count("robust.recovered_total", 3, stage="ingest")
+        report = quality_report(toy_result)
+        assert report.repaired_bursts == 3
+
+
+class TestConfidenceStats:
+    def test_empty(self):
+        stats = ConfidenceStats.from_values([])
+        assert stats.count == 0
+        assert stats.histogram == (0,) * len(CONFIDENCE_BUCKETS)
+
+    def test_bucketing(self):
+        stats = ConfidenceStats.from_values([0.1, 0.3, 0.6, 0.9, 1.0])
+        assert stats.count == 5
+        assert stats.histogram == (1, 1, 1, 2)
+        assert stats.minimum == 0.1
+        assert stats.maximum == 1.0

@@ -1,0 +1,127 @@
+"""Unit tests for repro.obs.report: single-file run reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.api import quick_track
+from repro.obs.report import REPORT_SCHEMA, report_html, report_payload, write_report
+from repro.robust.partial import ItemFailure
+from tests.conftest import build_two_region_trace
+
+
+@pytest.fixture(scope="module")
+def toy_result():
+    traces = [
+        build_two_region_trace(seed=1, scenario={"run": 0}),
+        build_two_region_trace(
+            seed=2, scenario={"run": 1}, ipc_a=1.1, ipc_b=0.4
+        ),
+    ]
+    return quick_track(traces)
+
+
+class TestPayload:
+    def test_versioned_schema(self, toy_result):
+        payload = report_payload([("run", toy_result, ())])
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["runs"][0]["quality"]["schema"] == "repro.quality/1"
+        json.dumps(payload)  # must be serialisable
+
+    def test_observability_disabled_marker(self, toy_result):
+        payload = report_payload([("run", toy_result, ())])
+        assert payload["observability"] == {
+            "enabled": False, "spans": [], "metrics": None,
+        }
+
+    def test_observability_spans_included(self, toy_result):
+        obs.enable()
+        with obs.span("stage.one"):
+            pass
+        payload = report_payload([("run", toy_result, ())])
+        assert payload["observability"]["enabled"]
+        names = [sp["name"] for sp in payload["observability"]["spans"]]
+        assert "stage.one" in names
+        assert payload["observability"]["metrics"] is not None
+
+
+class TestHtml:
+    def test_self_contained_document(self, toy_result):
+        html = report_html([("my run", toy_result, ())])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html  # embedded frame/trend plots
+        assert "Heuristic attribution" in html
+        assert "my run" in html
+        # Self-contained: no external scripts, styles or images (the
+        # only URLs are SVG xmlns declarations, which fetch nothing).
+        assert "src=" not in html
+        assert "href=" not in html
+        assert "<link" not in html
+        assert "@import" not in html
+
+    def test_attribution_rows_name_evaluator_and_confidence(self, toy_result):
+        html = report_html([("run", toy_result, ())])
+        assert "<b>displacement</b>" in html
+        assert "100%" in html
+
+    def test_quarantine_summary(self, toy_result):
+        failures = (
+            ItemFailure("bad.json", "load", "TraceFormatError", "broken"),
+        )
+        html = report_html([("run", toy_result, failures)])
+        assert "1 item(s) failed" in html
+        assert "bad.json" in html
+        assert "TraceFormatError" in html
+
+    def test_span_tree_when_obs_enabled(self, toy_result):
+        obs.enable()
+        with obs.span("tracking.run"):
+            pass
+        html = report_html([("run", toy_result, ())])
+        assert "stage-time tree" in html
+
+    def test_include_viz_false_drops_svgs(self, toy_result):
+        html = report_html([("run", toy_result, ())], include_viz=False)
+        assert "<svg" not in html
+        assert "Heuristic attribution" in html
+
+    def test_html_escapes_labels(self, toy_result):
+        html = report_html([("<script>alert(1)</script>", toy_result, ())])
+        assert "<script>alert(1)</script>" not in html
+
+
+class TestWriteReport:
+    def test_suffix_dispatch(self, toy_result, tmp_path):
+        html_path = write_report(tmp_path / "out.html", toy_result)
+        json_path = write_report(tmp_path / "out.json", toy_result)
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == REPORT_SCHEMA
+
+    def test_json_has_no_svg_markup(self, toy_result, tmp_path):
+        path = write_report(tmp_path / "out.json", toy_result)
+        assert "<svg" not in path.read_text()
+
+    def test_bare_result_wraps_with_failures(self, toy_result, tmp_path):
+        failures = [ItemFailure("f.json", "load", "OSError", "gone")]
+        path = write_report(
+            tmp_path / "out.json", toy_result, failures=failures
+        )
+        payload = json.loads(path.read_text())
+        robust = payload["runs"][0]["quality"]["robust"]
+        assert robust["quarantined"] == {"load": 1}
+
+    def test_multi_run_entries(self, toy_result, tmp_path):
+        path = write_report(
+            tmp_path / "out.json",
+            [("case A", toy_result, ()), ("case B", toy_result, ())],
+        )
+        payload = json.loads(path.read_text())
+        assert [run["name"] for run in payload["runs"]] == ["case A", "case B"]
+
+    def test_creates_parent_directories(self, toy_result, tmp_path):
+        path = write_report(tmp_path / "deep" / "dir" / "out.html", toy_result)
+        assert path.exists()

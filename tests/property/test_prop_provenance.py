@@ -1,0 +1,118 @@
+"""Property-based tests for relation provenance (heuristic attribution).
+
+The run report's attribution table rests on two invariants:
+
+- **uniqueness** — every relation names exactly one proposing
+  evaluator (or the ``unmatched`` sentinel for empty-sided orphans);
+- **ablation consistency** — a relation can only be attributed to an
+  evaluator that actually ran, and support scores never cite evidence
+  from an ablated evaluator.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.frames import make_frame, make_frames
+from repro.tracking.combine import (
+    CALLSTACK,
+    SEQUENCE,
+    SIMULTANEITY,
+    UNMATCHED,
+    combine_pair,
+)
+from repro.tracking.evaluators import EVALUATORS
+from repro.tracking.scaling import normalize_frames
+from repro.tracking.tracker import Tracker
+from tests.conftest import build_two_region_trace
+
+
+def _combined(trace_a, trace_b, **kwargs):
+    frame_a = make_frame(trace_a)
+    frame_b = make_frame(trace_b)
+    space = normalize_frames([frame_a, frame_b])
+    return combine_pair(
+        frame_a, frame_b, space.points[0], space.points[1], **kwargs
+    )
+
+
+@given(
+    st.floats(min_value=0.6, max_value=1.4),
+    st.floats(min_value=0.3, max_value=0.55),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_every_relation_has_exactly_one_proposer(ipc_a, ipc_b, seed):
+    """Each relation is attributed to exactly one known evaluator."""
+    traces = [
+        build_two_region_trace(seed=seed, scenario={"run": 0}),
+        build_two_region_trace(
+            seed=seed + 1, scenario={"run": 1}, ipc_a=ipc_a, ipc_b=ipc_b
+        ),
+    ]
+    result = Tracker(make_frames(traces)).run()
+    for pair in result.pair_relations:
+        assert pair.provenance is not None
+        assert len(pair.provenance.relations) == len(pair.relations)
+        for relation in pair.relations:
+            record = pair.provenance_of(relation)
+            if relation.left and relation.right:
+                assert record.proposed_by in EVALUATORS
+            else:
+                assert record.proposed_by == UNMATCHED
+            # proposed_by is a single name, never a composite.
+            assert (record.proposed_by in EVALUATORS) != (
+                record.proposed_by == UNMATCHED
+            )
+
+
+@given(
+    st.booleans(),
+    st.booleans(),
+    st.booleans(),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=12, deadline=None)
+def test_ablation_consistent_attribution(
+    use_callstack, use_spmd, use_sequence, seed
+):
+    """Attribution never names or cites an ablated evaluator."""
+    trace_a = build_two_region_trace(seed=seed, scenario={"run": 0})
+    trace_b = build_two_region_trace(seed=seed + 1, scenario={"run": 1})
+    pair = _combined(
+        trace_a,
+        trace_b,
+        use_callstack=use_callstack,
+        use_spmd=use_spmd,
+        use_sequence=use_sequence,
+    )
+    disabled = set()
+    if not use_callstack:
+        disabled.add(CALLSTACK)
+    if not use_spmd:
+        disabled.add(SIMULTANEITY)
+    if not use_sequence:
+        disabled.add(SEQUENCE)
+    for relation in pair.relations:
+        record = pair.provenance_of(relation)
+        assert record.proposed_by not in disabled
+        assert not (set(record.evaluators) & disabled)
+        assert not ({name for name, _ in record.support} & disabled)
+
+
+def test_full_ablation_still_attributes_to_displacement():
+    """With every optional evaluator off, displacement owns all links."""
+    trace_a = build_two_region_trace(seed=3, scenario={"run": 0})
+    trace_b = build_two_region_trace(seed=4, scenario={"run": 1})
+    pair = _combined(
+        trace_a,
+        trace_b,
+        use_callstack=False,
+        use_spmd=False,
+        use_sequence=False,
+    )
+    matched = [r for r in pair.relations if r.left and r.right]
+    assert matched
+    for relation in matched:
+        assert pair.provenance_of(relation).proposed_by == "displacement"

@@ -34,7 +34,11 @@ class TestReportCommand:
         main(["report", *trace_files, "--no-evidence"])
         out = capsys.readouterr().out
         assert "Tracked 2 regions" in out
-        assert "displacement" not in out
+        # The per-link evidence lines are omitted; the relation lines
+        # (with their "by <evaluator>" attribution) remain.
+        assert "displacement 10" not in out
+        assert "reciprocal" not in out
+        assert "by displacement" in out
 
 
 class TestAnimateCommand:

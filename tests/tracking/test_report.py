@@ -41,7 +41,11 @@ class TestWhoIsWho:
 
     def test_evidence_can_be_omitted(self, result):
         text = who_is_who(result, evidence=False)
-        assert "displacement" not in text
+        # Evidence lines are gone; the "by <evaluator>" attribution on
+        # the relation line itself remains.
+        assert "reciprocal" not in text
+        assert "displacement 10" not in text
+        assert "by displacement" in text
 
     def test_region_section(self, result):
         text = who_is_who(result)
