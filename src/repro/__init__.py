@@ -38,6 +38,7 @@ from repro.api import (
     make_frames,
     quick_track,
     track_frames,
+    track_stream,
 )
 from repro.clustering import ClusterSet, DBSCAN, Frame
 from repro.parallel import PipelineCache, pmap, resolve_cache, resolve_jobs
@@ -50,6 +51,15 @@ from repro.robust import (
     validate_study,
     validate_trace,
 )
+from repro.stream import (
+    IncrementalTracker,
+    SpaceBounds,
+    TrackUpdate,
+    WindowSpec,
+    concat_windows,
+    slice_trace,
+    track_windows,
+)
 from repro.tracking import TrackedRegion, Tracker, TrackingResult
 from repro.trace import CPUBurst, Trace
 
@@ -60,21 +70,29 @@ __all__ = [
     "DBSCAN",
     "ClusterSet",
     "Frame",
+    "IncrementalTracker",
     "ItemFailure",
     "PartialResult",
     "PipelineCache",
+    "SpaceBounds",
+    "TrackUpdate",
     "Tracker",
     "TrackingResult",
     "TrackedRegion",
     "ValidationIssue",
+    "WindowSpec",
     "check_trace",
     "cluster_trace",
+    "concat_windows",
     "make_frames",
     "pmap",
     "quick_track",
     "resolve_cache",
     "resolve_jobs",
+    "slice_trace",
     "track_frames",
+    "track_stream",
+    "track_windows",
     "validate_frame",
     "validate_study",
     "validate_trace",

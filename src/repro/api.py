@@ -25,7 +25,13 @@ if TYPE_CHECKING:
     from repro.parallel.cache import PipelineCache
     from repro.robust.partial import PartialResult
 
-__all__ = ["cluster_trace", "make_frames", "track_frames", "quick_track"]
+__all__ = [
+    "cluster_trace",
+    "make_frames",
+    "track_frames",
+    "track_stream",
+    "quick_track",
+]
 
 log = get_logger(__name__)
 
@@ -45,6 +51,41 @@ def track_frames(
     return Tracker(frames, config).run(jobs=jobs)
 
 
+def track_stream(
+    frames: list[Frame],
+    config: TrackerConfig | None = None,
+    *,
+    strict: bool = True,
+) -> "TrackingResult | PartialResult[TrackingResult]":
+    """Track already-built frames through the incremental tracker.
+
+    A :func:`track_frames`-compatible shim over
+    :class:`repro.stream.IncrementalTracker`: the frame list is known up
+    front, so fixed :class:`repro.stream.SpaceBounds` are derived from
+    it and the result is bit-identical to ``Tracker(frames).run()`` —
+    but each (previous, new) pair is evaluated as its frame is pushed,
+    never the whole sequence at once.  Non-strict runs quarantine
+    failing pairs and return a :class:`~repro.robust.PartialResult`.
+    """
+    from repro.stream.incremental import IncrementalTracker, SpaceBounds
+
+    config = config or TrackerConfig()
+    bounds = SpaceBounds.from_frames(
+        frames,
+        reference=config.reference,
+        log_extensive=config.log_extensive,
+    )
+    tracker = IncrementalTracker(config, bounds=bounds, strict=strict)
+    for frame in frames:
+        tracker.push(frame)
+    result = tracker.result()
+    if strict:
+        return result
+    from repro.robust.partial import PartialResult
+
+    return PartialResult(value=result, failures=tracker.failures)
+
+
 def quick_track(
     traces: list[Trace],
     *,
@@ -53,6 +94,8 @@ def quick_track(
     jobs: int | None = None,
     cache: "PipelineCache | None" = None,
     strict: bool = True,
+    windows: int | None = None,
+    window_ns: float | None = None,
 ) -> "TrackingResult | PartialResult[TrackingResult]":
     """One-call pipeline: traces -> frames -> tracking result.
 
@@ -78,6 +121,14 @@ def quick_track(
         is a :class:`repro.robust.PartialResult` listing every
         quarantined item.  Fewer than two surviving frames raises
         :class:`~repro.errors.TrackingError` either way.
+    windows / window_ns:
+        When given (at most one), each trace is first sliced into
+        contiguous time windows (:func:`repro.stream.slice_trace`) and
+        the non-empty window sub-traces become the frame sequence —
+        the paper's "each experiment (or time interval)" reading.  For
+        a single trace this matches :func:`repro.stream.track_windows`
+        output exactly (that entry point additionally streams updates
+        and checkpoints for resume).
 
     Examples
     --------
@@ -95,6 +146,12 @@ def quick_track(
 
     settings = settings or FrameSettings()
     config = config or TrackerConfig()
+    if windows is not None or window_ns is not None:
+        from repro.stream.pipeline import windowed_traces
+
+        traces = windowed_traces(
+            traces, n_windows=windows, window_ns=window_ns
+        )
     if settings.log_y and not config.log_extensive:
         # Keep the tracking space consistent with the clustering space.
         log.info(

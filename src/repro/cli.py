@@ -7,6 +7,11 @@ Sub-commands
 ``track``
     Cluster + track a set of saved traces; print the relations, trends
     and optionally render SVGs.
+``watch``
+    Slice one trace into time windows and track them incrementally,
+    streaming an update line as each window's frame closes; with
+    ``--cache-dir`` a restarted watch resumes from the last completed
+    window (see ``docs/streaming.md``).
 ``study``
     Run one of the paper's canned case studies by name.
 ``table2``
@@ -189,6 +194,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_flags(track)
     _add_strict_flag(track)
     _add_report_flag(track)
+
+    watch = add_parser(
+        "watch",
+        help="stream one trace through time windows, tracking incrementally",
+    )
+    watch.add_argument("trace", help="trace file to window and stream")
+    watch_mode = watch.add_mutually_exclusive_group(required=True)
+    watch_mode.add_argument(
+        "--windows", type=int, default=None, metavar="N",
+        help="split the trace's time span into N equal windows",
+    )
+    watch_mode.add_argument(
+        "--window-ns", type=float, default=None, metavar="NS",
+        help="fixed window duration in nanoseconds (last window may be "
+        "shorter)",
+    )
+    watch.add_argument("--x-metric", default="ipc")
+    watch.add_argument("--y-metric", default="instructions")
+    watch.add_argument("--eps", type=float, default=0.03)
+    watch.add_argument("--min-pts", type=int, default=None)
+    watch.add_argument("--relevance", type=float, default=0.95)
+    watch.add_argument("--log-y", action="store_true")
+    watch.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="pipeline cache enabling per-window frame reuse and "
+        "checkpointed resume (default: REPRO_CACHE; unset = no resume)",
+    )
+    _add_profile_flag(watch)
+    _add_strict_flag(watch)
+    _add_report_flag(watch)
 
     study = add_parser("study", help="run a canned paper case study")
     study.add_argument("name", help="case study name (see `info`)")
@@ -386,6 +421,54 @@ def _cmd_track(args: argparse.Namespace) -> int:
     if args.render:
         _render(result, args.render)
     _write_report(args, [("tracking run", result, failures)])
+    return code
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.clustering.frames import FrameSettings
+    from repro.stream import WINDOW_KEY, track_windows
+    from repro.trace.io import load_trace
+
+    trace = load_trace(args.trace, strict=args.strict)
+    settings = FrameSettings(
+        x_metric=args.x_metric,
+        y_metric=args.y_metric,
+        eps=args.eps,
+        min_pts=args.min_pts,
+        relevance=args.relevance,
+        log_y=args.log_y,
+    )
+
+    def on_update(update) -> None:
+        window = update.frame.trace.scenario.get(WINDOW_KEY, update.step)
+        if update.pair is None:
+            print(f"window {window}: stream opened, "
+                  f"{update.frame.n_clusters} clusters")
+        elif update.failure is not None:
+            print(f"window {window}: pair quarantined "
+                  f"({update.failure.error}); {len(update.regions)} regions")
+        else:
+            print(f"window {window}: {len(update.pair.relations)} relations, "
+                  f"{len(update.regions)} regions, "
+                  f"coverage {update.coverage}%")
+
+    result = track_windows(
+        trace,
+        n_windows=args.windows,
+        window_ns=args.window_ns,
+        settings=settings,
+        strict=args.strict,
+        cache=_resolve_cache(args),
+        on_update=on_update,
+    )
+    code = 0
+    failures = ()
+    if not args.strict:
+        code, failures = _report_partial(result)
+        result = result.value
+    print()
+    _print_result(result, ["ipc"])
+    _write_report(args, [("watch", result, failures)])
     return code
 
 
@@ -603,6 +686,7 @@ def _cmd_info(_: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "track": _cmd_track,
+    "watch": _cmd_watch,
     "study": _cmd_study,
     "table2": _cmd_table2,
     "report": _cmd_report,

@@ -35,6 +35,7 @@ __all__ = [
     "make_frames",
     "make_frames_partial",
     "frame_from_labels",
+    "precheck_frame_input",
 ]
 
 log = get_logger(__name__)
@@ -286,10 +287,16 @@ def _metric_points(trace: Trace, settings: FrameSettings) -> np.ndarray:
     return np.column_stack(columns)
 
 
-def _cluster_labels(
+def _clustering_space(
     trace: Trace, points: np.ndarray, settings: FrameSettings
 ) -> np.ndarray:
-    """Run the expensive clustering stages: normalise, DBSCAN, rank, filter."""
+    """The space DBSCAN runs in, with the degenerate-input checks applied.
+
+    Raises :class:`ClusteringError` for the inputs the clustering stage
+    cannot handle (non-positive values under ``log_y``, all points
+    identical).  Factored out of :func:`_cluster_labels` so the stream
+    pipeline can pre-check windows without paying for DBSCAN.
+    """
     clustering_columns = [points[:, i] for i in range(points.shape[1])]
     if settings.log_y:
         if np.any(clustering_columns[1] <= 0):
@@ -306,6 +313,37 @@ def _cluster_labels(
             "identical in every clustering dimension "
             f"{settings.metric_names}; there is no structure to cluster"
         )
+    return clustering_space
+
+
+def precheck_frame_input(
+    trace: Trace, settings: FrameSettings | None = None
+) -> tuple[Trace, np.ndarray]:
+    """Run the cheap stages that decide whether a trace can become a frame.
+
+    Validation, the duration filter, metric extraction and the
+    degenerate-space checks — everything :func:`make_frame` does except
+    DBSCAN and cluster assembly (which cannot fail on a pre-checked
+    input).  Returns ``(filtered_trace, raw_points)``; raises exactly
+    the errors :func:`make_frame` would raise for the same input.  The
+    stream pipeline uses this to decide which time windows survive
+    before spending DBSCAN time on any of them.
+    """
+    from repro.robust.validate import validate_trace
+
+    settings = settings or FrameSettings()
+    trace = validate_trace(trace, strict=True)
+    trace = _filtered_trace(trace, settings)
+    points = _metric_points(trace, settings)
+    _clustering_space(trace, points, settings)
+    return trace, points
+
+
+def _cluster_labels(
+    trace: Trace, points: np.ndarray, settings: FrameSettings
+) -> np.ndarray:
+    """Run the expensive clustering stages: normalise, DBSCAN, rank, filter."""
+    clustering_space = _clustering_space(trace, points, settings)
 
     scaler = MinMaxScaler.fit(clustering_space)
     scaled = scaler.transform(clustering_space)

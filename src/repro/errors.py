@@ -16,6 +16,7 @@ __all__ = [
     "AlignmentError",
     "ModelError",
     "StudyError",
+    "StreamError",
 ]
 
 
@@ -49,3 +50,7 @@ class ModelError(ReproError):
 
 class StudyError(ReproError):
     """A parametric study configuration is invalid."""
+
+
+class StreamError(ReproError):
+    """A windowing or incremental-tracking request is invalid."""

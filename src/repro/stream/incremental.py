@@ -1,0 +1,403 @@
+"""Incremental (online) tracking: consume frames one at a time.
+
+The batch :class:`~repro.tracking.tracker.Tracker` holds every frame at
+once; its cross-frame normalisation fits the shared [0, 1] box over the
+union of *all* frames' weighted points, so a streaming tracker that has
+only seen a prefix would scale differently and diverge.  The fix is
+:class:`SpaceBounds`: the per-axis min/max of the weighted points,
+precomputed from the raw metric points of every frame that will arrive
+(cheap — no clustering needed).  With fixed bounds the incremental
+normalisation is bit-identical to the batch one, every (previous, new)
+pair is evaluated by exactly the same :func:`combine_pair` inputs, and
+chaining through the shared :func:`~repro.tracking.tracker.chain_regions`
+yields identical regions — the equality the differential test suite in
+``tests/stream`` asserts on every bundled application.
+
+Without bounds the tracker runs in *adaptive* mode: bounds grow as
+frames arrive and each pair is evaluated in the space known at that
+step.  That is a genuinely online approximation — useful for unbounded
+streams — and is documented as such; only the fixed-bounds mode carries
+the batch-equality guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.clustering.frames import Frame
+from repro.clustering.normalize import MinMaxScaler
+from repro.errors import StreamError, TrackingError
+from repro.obs.log import get_logger
+from repro.robust.partial import ItemFailure
+from repro.tracking.combine import PairRelations
+from repro.tracking.coverage import coverage_percent
+from repro.tracking.scaling import NormalizedSpace, weighted_frame_points
+from repro.tracking.tracker import (
+    TrackedRegion,
+    TrackerConfig,
+    TrackingResult,
+    _combine_task,
+    _combine_task_quarantine,
+    _empty_pair_relations,
+    chain_regions,
+)
+
+__all__ = ["SpaceBounds", "TrackUpdate", "IncrementalTracker"]
+
+log = get_logger(__name__)
+
+
+@dataclass(frozen=True, slots=True)
+class SpaceBounds:
+    """Fixed per-axis bounds of the shared normalised tracking space.
+
+    Holds exactly what :class:`~repro.clustering.normalize.MinMaxScaler`
+    would fit over the union of all frames' weighted points, plus the
+    weighting anchor, so an incremental tracker can normalise each frame
+    the moment it arrives and still land bit-identically where the batch
+    tracker would put it.
+
+    Attributes
+    ----------
+    axis_names:
+        The clustering dimensions, (x, y, *extra).
+    lo / hi:
+        Per-axis minimum/maximum of the weighted points (exact float64
+        values, stored as Python floats which round-trip binary64).
+    ref_ranks:
+        Core count of the reference frame anchoring the
+        extensive-metric weighting.
+    log_extensive:
+        Whether extensive axes are normalised in log10 space.
+    """
+
+    axis_names: tuple[str, ...]
+    lo: tuple[float, ...]
+    hi: tuple[float, ...]
+    ref_ranks: int
+    log_extensive: bool = False
+
+    @classmethod
+    def from_raw_points(
+        cls,
+        points: list[np.ndarray],
+        nranks: list[int],
+        axes: tuple[str, ...],
+        *,
+        reference: int = 0,
+        log_extensive: bool = False,
+    ) -> "SpaceBounds":
+        """Bounds from raw metric points, before any clustering.
+
+        *points* holds one ``(n_i, d)`` raw metric matrix per future
+        frame and *nranks* the matching core counts.  This is how the
+        stream pipeline derives bounds during its pre-check pass: frame
+        construction (DBSCAN) has not run yet, but the weighted-point
+        extent only depends on the raw values.
+        """
+        if not points:
+            raise TrackingError("SpaceBounds needs at least one frame")
+        if not 0 <= reference < len(points):
+            raise TrackingError(f"reference index {reference} out of range")
+        ref_ranks = int(nranks[reference])
+        lo = np.full(len(axes), np.inf)
+        hi = np.full(len(axes), -np.inf)
+        for values, n in zip(points, nranks):
+            weighted, _ = weighted_frame_points(
+                values, int(n), axes, ref_ranks=ref_ranks,
+                log_extensive=log_extensive,
+            )
+            # min-of-mins == min over the vstacked union, exactly.
+            lo = np.minimum(lo, weighted.min(axis=0))
+            hi = np.maximum(hi, weighted.max(axis=0))
+        return cls(
+            axis_names=tuple(axes),
+            lo=tuple(float(v) for v in lo),
+            hi=tuple(float(v) for v in hi),
+            ref_ranks=ref_ranks,
+            log_extensive=log_extensive,
+        )
+
+    @classmethod
+    def from_frames(
+        cls,
+        frames: list[Frame],
+        *,
+        reference: int = 0,
+        log_extensive: bool = False,
+    ) -> "SpaceBounds":
+        """Bounds over a known frame list (the ``track_stream`` shim)."""
+        return cls.from_raw_points(
+            [frame.points for frame in frames],
+            [frame.trace.nranks for frame in frames],
+            frames[0].settings.metric_names if frames else (),
+            reference=reference,
+            log_extensive=log_extensive,
+        )
+
+    def scaler(self) -> MinMaxScaler:
+        """The shared min-max transform these bounds define."""
+        return MinMaxScaler(
+            lo=np.asarray(self.lo, dtype=np.float64),
+            hi=np.asarray(self.hi, dtype=np.float64),
+        )
+
+    def expanded(self, weighted: np.ndarray) -> "SpaceBounds":
+        """Bounds grown to also cover one more frame's weighted points."""
+        lo = np.minimum(np.asarray(self.lo), weighted.min(axis=0))
+        hi = np.maximum(np.asarray(self.hi), weighted.max(axis=0))
+        return SpaceBounds(
+            axis_names=self.axis_names,
+            lo=tuple(float(v) for v in lo),
+            hi=tuple(float(v) for v in hi),
+            ref_ranks=self.ref_ranks,
+            log_extensive=self.log_extensive,
+        )
+
+
+@dataclass(frozen=True)
+class TrackUpdate:
+    """What one :meth:`IncrementalTracker.push` changed.
+
+    Attributes
+    ----------
+    step:
+        Index of the pushed frame in the stream (0-based).
+    frame:
+        The frame just consumed.
+    pair:
+        Relations between the previous frame and this one (``None`` on
+        the first push — there is no pair yet).
+    regions:
+        The tracked regions over the frames seen so far, duration-ranked
+        exactly as the batch tracker would rank them on the same prefix.
+    coverage:
+        Coverage percentage over the prefix.
+    failure:
+        The quarantine record when a non-strict pair evaluation failed
+        (the pair then carries no relations), else ``None``.
+    """
+
+    step: int
+    frame: Frame
+    pair: PairRelations | None
+    regions: tuple[TrackedRegion, ...]
+    coverage: int
+    failure: ItemFailure | None = None
+
+
+class IncrementalTracker:
+    """Consume frames one at a time, tracking regions online.
+
+    Maintains the region registry (via incremental re-chaining of the
+    accumulated pair relations), the last frame's object inventory and
+    the per-pair pivot state, and evaluates the four evaluators only on
+    the (previous, new) frame pair at each step — the whole sequence is
+    never recomputed.
+
+    Parameters
+    ----------
+    config:
+        Tracker tunables (shared with the batch tracker).
+    bounds:
+        Precomputed :class:`SpaceBounds`.  With bounds the output is
+        bit-identical to ``Tracker(frames).run()`` over the same frames;
+        without, the tracker runs in adaptive (approximate) mode, which
+        requires ``config.reference == 0`` because only the first frame
+        is guaranteed to be known when weighting starts.
+    strict:
+        When true a failing pair evaluation raises; when false the pair
+        is quarantined (no relations) and recorded on :attr:`failures`.
+    """
+
+    def __init__(
+        self,
+        config: TrackerConfig | None = None,
+        *,
+        bounds: SpaceBounds | None = None,
+        strict: bool = True,
+    ) -> None:
+        self.config = config or TrackerConfig()
+        self.strict = strict
+        self.bounds = bounds
+        if bounds is None and self.config.reference != 0:
+            raise StreamError(
+                "adaptive-bounds streaming requires config.reference == 0 "
+                f"(got {self.config.reference}); pass precomputed "
+                "SpaceBounds to anchor on a later frame"
+            )
+        if bounds is not None and bounds.log_extensive != self.config.log_extensive:
+            raise StreamError(
+                "SpaceBounds.log_extensive disagrees with "
+                "config.log_extensive; rebuild the bounds with the "
+                "tracker's configuration"
+            )
+        self._scaler = bounds.scaler() if bounds is not None else None
+        self._frames: list[Frame] = []
+        self._weighted: list[np.ndarray] = []
+        self._weights: list[tuple[float, ...]] = []
+        self._points: list[np.ndarray] = []
+        self._pairs: list[PairRelations] = []
+        self._failures: list[ItemFailure] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_frames(self) -> int:
+        """Number of frames consumed so far."""
+        return len(self._frames)
+
+    @property
+    def failures(self) -> tuple[ItemFailure, ...]:
+        """Quarantine records of failed pair evaluations (non-strict)."""
+        return tuple(self._failures)
+
+    def _axes(self, frame: Frame) -> tuple[str, ...]:
+        axes = frame.settings.metric_names
+        if self.bounds is not None and axes != self.bounds.axis_names:
+            raise TrackingError(
+                f"frame {frame.label!r} lives in metric space {axes}, "
+                f"bounds cover {self.bounds.axis_names}"
+            )
+        if self._frames and self._frames[0].settings.metric_names != axes:
+            raise TrackingError(
+                "frames were built in different metric spaces; rebuild "
+                "them with shared FrameSettings"
+            )
+        return axes
+
+    def push(
+        self,
+        frame: Frame,
+        *,
+        precomputed: tuple[PairRelations, ItemFailure | None] | None = None,
+    ) -> TrackUpdate:
+        """Consume one frame; evaluate only the (previous, new) pair.
+
+        *precomputed* replays a checkpointed pair — the stored
+        :class:`PairRelations` (and its quarantine record, if any) are
+        adopted verbatim instead of re-running the evaluators, which is
+        how a restarted watch resumes without recomputing completed
+        windows.
+        """
+        from repro.robust.validate import validate_frame
+
+        validate_frame(frame)
+        axes = self._axes(frame)
+        ref_ranks = (
+            self.bounds.ref_ranks
+            if self.bounds is not None
+            else (self._frames[0] if self._frames else frame).trace.nranks
+        )
+        weighted, axis_weights = weighted_frame_points(
+            frame.points,
+            frame.trace.nranks,
+            axes,
+            ref_ranks=ref_ranks,
+            log_extensive=self.config.log_extensive,
+        )
+
+        pair: PairRelations | None = None
+        failure: ItemFailure | None = None
+        if self.bounds is not None:
+            points_new = self._scaler.transform(weighted)
+            points_prev = self._points[-1] if self._points else None
+        else:
+            # Adaptive mode: grow the bounds, then evaluate this pair in
+            # the space known right now.  Earlier pairs keep the space
+            # they were evaluated in — an explicit approximation.
+            if self.bounds is None and not self._frames:
+                running = SpaceBounds(
+                    axis_names=axes,
+                    lo=tuple(float(v) for v in weighted.min(axis=0)),
+                    hi=tuple(float(v) for v in weighted.max(axis=0)),
+                    ref_ranks=int(ref_ranks),
+                    log_extensive=self.config.log_extensive,
+                )
+            else:
+                running = self._running.expanded(weighted)
+            self._running = running
+            scaler = running.scaler()
+            points_new = scaler.transform(weighted)
+            points_prev = (
+                scaler.transform(self._weighted[-1]) if self._weighted else None
+            )
+
+        if self._frames:
+            if precomputed is not None:
+                pair, failure = precomputed
+            else:
+                task = (
+                    len(self._pairs),
+                    self._frames[-1],
+                    frame,
+                    points_prev,
+                    points_new,
+                    self.config,
+                )
+                if self.strict:
+                    pair = _combine_task(task)
+                else:
+                    outcome = _combine_task_quarantine(task)
+                    if isinstance(outcome, ItemFailure):
+                        failure = outcome
+                        obs.count("robust.quarantined_total", stage="pair")
+                        log.warning("quarantined pair: %s", failure)
+                        pair = _empty_pair_relations(self._frames[-1], frame)
+                    else:
+                        pair = outcome
+            if failure is not None and precomputed is not None:
+                obs.count("robust.quarantined_total", stage="pair")
+            self._pairs.append(pair)
+            if failure is not None:
+                self._failures.append(failure)
+
+        self._frames.append(frame)
+        self._weighted.append(weighted)
+        self._weights.append(axis_weights)
+        self._points.append(points_new)
+
+        regions = chain_regions(self._frames, self._pairs)
+        coverage = coverage_percent(regions, self._frames)
+        return TrackUpdate(
+            step=len(self._frames) - 1,
+            frame=frame,
+            pair=pair,
+            regions=tuple(regions),
+            coverage=coverage,
+            failure=failure,
+        )
+
+    def result(self) -> TrackingResult:
+        """Final batch-compatible result over every frame consumed.
+
+        With fixed bounds this is exactly what
+        ``Tracker(frames, config).run()`` returns for the same frames
+        (same regions, same pair relations, same normalised space).
+        Requires at least two frames, like the batch tracker.
+        """
+        if len(self._frames) < 2:
+            raise TrackingError("tracking needs at least two frames")
+        if self.bounds is not None:
+            scaler = self._scaler
+            points = tuple(self._points)
+        else:
+            scaler = self._running.scaler()
+            points = tuple(scaler.transform(w) for w in self._weighted)
+        space = NormalizedSpace(
+            points=points,
+            weights=tuple(self._weights),
+            scaler=scaler,
+            axis_names=self._frames[0].settings.metric_names,
+        )
+        regions = chain_regions(self._frames, self._pairs)
+        coverage = coverage_percent(regions, self._frames)
+        return TrackingResult(
+            frames=tuple(self._frames),
+            space=space,
+            pair_relations=tuple(self._pairs),
+            regions=tuple(regions),
+            coverage=coverage,
+        )

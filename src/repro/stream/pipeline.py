@@ -1,0 +1,339 @@
+"""The windowed streaming pipeline: trace -> windows -> incremental track.
+
+:func:`track_windows` is the end-to-end entry point behind
+``repro-track watch`` and ``quick_track(windows=N)``'s streaming shim:
+
+1. validate the trace, slice it into time windows
+   (:func:`repro.stream.window.slice_trace`);
+2. **pre-check pass** — run the cheap frame pre-checks
+   (:func:`repro.clustering.frames.precheck_frame_input`) on every
+   non-empty window.  Windows that cannot become frames raise (strict)
+   or are quarantined with ``stage="window"`` (non-strict); the
+   survivors' raw points feed the fixed
+   :class:`~repro.stream.incremental.SpaceBounds`, which is what makes
+   the incremental result bit-identical to the batch tracker's;
+3. **streaming pass** — build each surviving window's frame (honouring
+   the frame-label cache), push it into an
+   :class:`~repro.stream.incremental.IncrementalTracker`, emit a
+   :class:`~repro.stream.incremental.TrackUpdate` through *on_update*,
+   record per-window metrics (``stream.update_seconds`` histogram,
+   ``stream.updates_total``) and persist a resume checkpoint after
+   every completed window.
+
+A restarted run with the same cache replays completed windows from the
+checkpoint (counted on ``stream.windows_resumed``) without recomputing
+frames or evaluators, then continues live.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable
+
+from repro import obs
+from repro.clustering.frames import (
+    Frame,
+    FrameSettings,
+    frame_from_labels,
+    make_frame,
+    precheck_frame_input,
+)
+from repro.errors import ClusteringError, ReproError, TrackingError
+from repro.obs.log import get_logger
+from repro.parallel.cache import PipelineCache, frame_key
+from repro.robust.partial import ItemFailure, PartialResult
+from repro.robust.validate import validate_trace
+from repro.stream.checkpoint import (
+    WindowRecord,
+    load_checkpoint,
+    save_checkpoint,
+    stream_key,
+)
+from repro.stream.incremental import IncrementalTracker, SpaceBounds, TrackUpdate
+from repro.stream.window import slice_trace
+from repro.tracking.tracker import TrackerConfig, TrackingResult
+from repro.trace.trace import Trace
+
+__all__ = ["track_windows", "windowed_traces"]
+
+log = get_logger(__name__)
+
+
+def windowed_traces(
+    traces: list[Trace],
+    *,
+    n_windows: int | None = None,
+    window_ns: float | None = None,
+) -> list[Trace]:
+    """Slice each trace into time windows; drop the empty ones.
+
+    The batch shim behind ``quick_track(windows=N)``: the returned
+    window sub-traces feed the ordinary frames-then-track pipeline in
+    window order (and trace order, when several traces are given).
+    """
+    out: list[Trace] = []
+    for trace in traces:
+        _, windows = slice_trace(
+            trace, n_windows=n_windows, window_ns=window_ns
+        )
+        obs.count("stream.windows_total", len(windows))
+        for window in windows:
+            if window.n_bursts == 0:
+                obs.count("stream.windows_empty")
+                continue
+            out.append(window)
+    return out
+
+
+def _window_frame(
+    window: Trace,
+    settings: FrameSettings,
+    cache: PipelineCache | None,
+) -> Frame:
+    """Build one window's frame, through the frame-label cache if given."""
+    key = None
+    if cache is not None:
+        key = frame_key(window, settings)
+        labels = cache.get_labels(key)
+        if labels is not None:
+            try:
+                return frame_from_labels(window, settings, labels)
+            except ClusteringError:
+                cache.invalidate(key)
+    frame = make_frame(window, settings)
+    if cache is not None:
+        cache.put_labels(key, frame.labels)
+    return frame
+
+
+def _status_matches(record: WindowRecord, status: str, window_index: int) -> bool:
+    return record.window == window_index and record.status == status
+
+
+def track_windows(
+    trace: Trace,
+    *,
+    n_windows: int | None = None,
+    window_ns: float | None = None,
+    settings: FrameSettings | None = None,
+    config: TrackerConfig | None = None,
+    strict: bool = True,
+    cache: PipelineCache | None = None,
+    on_update: Callable[[TrackUpdate], None] | None = None,
+) -> "TrackingResult | PartialResult[TrackingResult]":
+    """Slice *trace* into time windows and track them incrementally.
+
+    Parameters
+    ----------
+    trace:
+        The trace to stream (validated first; non-strict runs repair
+        repairably bad bursts as usual).
+    n_windows / window_ns:
+        Window specification, exactly one required — see
+        :func:`repro.stream.window.slice_trace`.
+    settings / config:
+        Frame-construction and tracker tunables.  ``settings.log_y``
+        implies ``config.log_extensive`` like in ``quick_track``.
+    strict:
+        Strict runs raise on the first bad window or failing pair and
+        return a plain :class:`TrackingResult`.  Non-strict runs
+        quarantine degenerate windows (``stage="window"``) and failing
+        pairs (``stage="pair"``) and return a
+        :class:`~repro.robust.partial.PartialResult`.  Fewer than two
+        surviving windows raises :class:`TrackingError` either way.
+    cache:
+        Optional pipeline cache.  Enables both the per-window
+        frame-label cache and the stream checkpoint keyed by
+        (trace digest, window spec, settings, config, strict): a
+        restarted run resumes from the last completed window.
+    on_update:
+        Called with a :class:`TrackUpdate` after every *live* frame
+        push (replayed windows do not re-fire it).
+
+    The incremental result is bit-identical to batch tracking of the
+    same surviving window frames — the guarantee the differential suite
+    in ``tests/stream`` enforces.
+    """
+    settings = settings or FrameSettings()
+    config = config or TrackerConfig()
+    if settings.log_y and not config.log_extensive:
+        log.info(
+            "settings.log_y=True overrides config.log_extensive=False for "
+            "the streaming space (matching quick_track)"
+        )
+        config = replace(config, log_extensive=True)
+
+    with obs.span("stream.track_windows") as run_span:
+        trace = validate_trace(trace, strict=strict)
+        spec, windows = slice_trace(
+            trace, n_windows=n_windows, window_ns=window_ns
+        )
+        obs.count("stream.windows_total", len(windows))
+
+        # Pass 1: decide which windows survive, without running DBSCAN.
+        # statuses[i] is ("ok", points) | ("empty", None) |
+        # ("quarantined", failure); survivors keep per-window raw points
+        # for the bounds computation.
+        statuses: list[tuple[str, object]] = []
+        window_failures: list[ItemFailure] = []
+        for window in windows:
+            if window.n_bursts == 0:
+                obs.count("stream.windows_empty")
+                statuses.append(("empty", None))
+                continue
+            try:
+                _, points = precheck_frame_input(window, settings)
+            except ReproError as exc:
+                if strict:
+                    raise
+                failure = ItemFailure.from_exception(
+                    window.label(), "window", exc
+                )
+                obs.count("robust.quarantined_total", stage="window")
+                log.warning("quarantined window: %s", failure)
+                window_failures.append(failure)
+                statuses.append(("quarantined", failure))
+                continue
+            statuses.append(("ok", points))
+
+        survivors = [
+            (index, payload)
+            for index, (status, payload) in enumerate(statuses)
+            if status == "ok"
+        ]
+        if len(survivors) < 2:
+            raise TrackingError(
+                f"fewer than two windows survived "
+                f"({len(survivors)} alive of {len(windows)}); widen the "
+                "windows or relax the frame settings"
+            )
+        bounds = SpaceBounds.from_raw_points(
+            [points for _, points in survivors],
+            [windows[index].nranks for index, _ in survivors],
+            settings.metric_names,
+            reference=config.reference,
+            log_extensive=config.log_extensive,
+        )
+        tracker = IncrementalTracker(config, bounds=bounds, strict=strict)
+
+        # Checkpoint replay: adopt completed windows verbatim.
+        key = None
+        records: list[WindowRecord] = []
+        resume_from = 0
+        if cache is not None:
+            key = stream_key(
+                trace, spec.as_dict(), settings, config, strict=strict
+            )
+            stored = load_checkpoint(cache, key)
+            if stored is not None:
+                try:
+                    resume_from = _replay(
+                        stored, statuses, windows, settings, tracker, records
+                    )
+                except (ReproError, ValueError, IndexError) as error:
+                    log.warning(
+                        "stream checkpoint did not replay cleanly (%s); "
+                        "starting cold", error,
+                    )
+                    cache.invalidate(key)
+                    records = []
+                    resume_from = 0
+                    tracker = IncrementalTracker(
+                        config, bounds=bounds, strict=strict
+                    )
+
+        # Pass 2: stream the remaining windows.
+        for index in range(resume_from, len(windows)):
+            status, payload = statuses[index]
+            window = windows[index]
+            if status == "empty":
+                records.append(WindowRecord(window=index, status="empty"))
+            elif status == "quarantined":
+                records.append(
+                    WindowRecord(
+                        window=index, status="quarantined", failure=payload
+                    )
+                )
+            else:
+                with obs.span("stream.window", window=index):
+                    started = time.perf_counter()
+                    frame = _window_frame(window, settings, cache)
+                    update = tracker.push(frame)
+                    if update.pair is not None:
+                        obs.observe(
+                            "stream.update_seconds",
+                            time.perf_counter() - started,
+                        )
+                        obs.count("stream.updates_total")
+                    records.append(
+                        WindowRecord(
+                            window=index,
+                            status="ok",
+                            labels=frame.labels,
+                            pair=update.pair,
+                            pair_failure=update.failure,
+                        )
+                    )
+                if on_update is not None:
+                    on_update(update)
+            if cache is not None:
+                save_checkpoint(cache, key, records)
+
+        result = tracker.result()
+        if obs.enabled():
+            run_span.set(
+                n_windows=len(windows),
+                n_survivors=len(survivors),
+                n_resumed=resume_from,
+                coverage=result.coverage,
+            )
+        if strict:
+            return result
+        return PartialResult(
+            value=result,
+            failures=tuple(window_failures) + tracker.failures,
+        )
+
+
+def _replay(
+    stored: list[WindowRecord],
+    statuses: list[tuple[str, object]],
+    windows: list[Trace],
+    settings: FrameSettings,
+    tracker: IncrementalTracker,
+    records: list[WindowRecord],
+) -> int:
+    """Feed checkpointed windows back into *tracker*; return the resume index.
+
+    The checkpoint must describe a prefix of this run's windows with the
+    same per-window statuses (the key pins trace digest, spec, settings,
+    config and strictness, so a mismatch means corruption); any
+    disagreement raises and the caller starts cold.
+    """
+    for position, record in enumerate(stored):
+        if record.window != position or position >= len(windows):
+            raise ValueError(
+                f"checkpoint window #{record.window} out of sequence"
+            )
+        status, _ = statuses[position]
+        if record.status != status:
+            raise ValueError(
+                f"checkpoint window #{position} status {record.status!r} "
+                f"disagrees with recomputed status {status!r}"
+            )
+        if record.status == "ok":
+            frame = frame_from_labels(
+                windows[position], settings, record.labels
+            )
+            precomputed = None
+            if tracker.n_frames > 0:
+                if record.pair is None:
+                    raise ValueError(
+                        f"checkpoint window #{position} lacks its pair"
+                    )
+                precomputed = (record.pair, record.pair_failure)
+            tracker.push(frame, precomputed=precomputed)
+            obs.count("stream.windows_resumed")
+        records.append(record)
+    return len(stored)

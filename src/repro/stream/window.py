@@ -1,0 +1,176 @@
+"""Time-interval windowing: slice one trace into a frame sequence.
+
+The paper defines a frame as the bursts of "each experiment *(or time
+interval)*" — this module implements the time-interval half.  A trace is
+partitioned into contiguous windows of its time axis; every burst lands
+in exactly one window (assignment is by *begin* timestamp, so a burst
+straddling an edge is owned by the window it starts in), per-rank burst
+order is preserved (windowing is a mask selection over an already
+ordered trace), and the concatenation of all windows round-trips the
+original trace.  Each window is an ordinary :class:`~repro.trace.Trace`
+whose scenario gains a ``"window"`` key, so the existing frame pipeline,
+cache keys and labels all distinguish windows for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.trace.trace import Trace
+
+__all__ = ["WINDOW_KEY", "WindowSpec", "slice_trace", "concat_windows"]
+
+#: Scenario key carrying the window index of a sliced sub-trace.
+WINDOW_KEY = "window"
+
+
+@dataclass(frozen=True, slots=True)
+class WindowSpec:
+    """How one trace was partitioned along its time axis.
+
+    Attributes
+    ----------
+    mode:
+        ``"count"`` (a fixed number of equal windows) or ``"width"``
+        (fixed window duration, last window possibly shorter).
+    n_windows:
+        Number of windows the trace was split into.
+    width:
+        Window width in seconds (0.0 for a zero-span trace).
+    t0 / t_end:
+        Time extent of the trace: earliest begin and latest end.
+    """
+
+    mode: str
+    n_windows: int
+    width: float
+    t0: float
+    t_end: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON/cache-key form (floats keep their exact binary value)."""
+        return {
+            "mode": self.mode,
+            "n_windows": self.n_windows,
+            "width": self.width,
+            "t0": self.t0,
+            "t_end": self.t_end,
+        }
+
+    def window_of(self, begin: np.ndarray) -> np.ndarray:
+        """Window index of each begin timestamp (vectorised)."""
+        if self.width <= 0:
+            return np.zeros(begin.shape[0], dtype=np.int64)
+        idx = np.floor((begin - self.t0) / self.width).astype(np.int64)
+        return np.clip(idx, 0, self.n_windows - 1)
+
+
+def _window_trace(trace: Trace, mask: np.ndarray, index: int) -> Trace:
+    sub = trace.select(mask)
+    # select() copies the scenario dict, so tagging the copy cannot leak
+    # into the parent trace.
+    sub.scenario[WINDOW_KEY] = index
+    return sub
+
+
+def slice_trace(
+    trace: Trace,
+    *,
+    n_windows: int | None = None,
+    window_ns: float | None = None,
+) -> tuple[WindowSpec, list[Trace]]:
+    """Partition *trace* into contiguous time windows.
+
+    Exactly one of the two arguments selects the mode:
+
+    ``n_windows``
+        Split the span ``[min(begin), max(end)]`` into that many equal
+        windows.
+    ``window_ns``
+        Fixed window duration in **nanoseconds** (trace times are
+        seconds); the number of windows follows from the span and the
+        last window may be shorter.
+
+    Every burst is assigned to exactly one window by its *begin*
+    timestamp; windows may be empty (they still appear in the returned
+    list so indices are stable).  Each window trace carries a
+    ``"window"`` scenario key.  A trace whose bursts all start at the
+    same instant collapses into window 0.
+
+    Returns ``(spec, windows)`` where ``len(windows) == spec.n_windows``.
+    """
+    if (n_windows is None) == (window_ns is None):
+        raise StreamError(
+            "pass exactly one of n_windows= or window_ns= to slice_trace"
+        )
+    if trace.n_bursts == 0:
+        raise StreamError(
+            f"trace {trace.label()!r} has no bursts; nothing to window"
+        )
+    t0 = float(trace.begin.min())
+    t_end = float(trace.end.max())
+    span = t_end - t0
+    if n_windows is not None:
+        n = int(n_windows)
+        if n < 1:
+            raise StreamError(f"n_windows must be >= 1, got {n_windows}")
+        width = span / n
+        mode = "count"
+    else:
+        width = float(window_ns) * 1e-9
+        if width <= 0:
+            raise StreamError(f"window_ns must be > 0, got {window_ns}")
+        n = max(1, int(np.ceil(span / width))) if span > 0 else 1
+        mode = "width"
+
+    spec = WindowSpec(mode=mode, n_windows=n, width=width, t0=t0, t_end=t_end)
+    idx = spec.window_of(trace.begin)
+    windows = [_window_trace(trace, idx == i, i) for i in range(n)]
+    return spec, windows
+
+
+def concat_windows(windows: list[Trace]) -> Trace:
+    """Concatenate window sub-traces back into one trace.
+
+    The inverse of :func:`slice_trace` up to burst order: the windows'
+    columns are concatenated in list order, the ``"window"`` scenario
+    key is stripped, and all shared metadata (app, nranks, counter
+    names, callstack table, clock) must agree.  Comparing against the
+    original trace is order-insensitive via
+    ``concat_windows(ws).sorted_by_time() == trace.sorted_by_time()``.
+    """
+    if not windows:
+        raise StreamError("concat_windows needs at least one window")
+    first = windows[0]
+    scenario = {k: v for k, v in first.scenario.items() if k != WINDOW_KEY}
+    for window in windows[1:]:
+        other = {k: v for k, v in window.scenario.items() if k != WINDOW_KEY}
+        if (
+            window.app != first.app
+            or window.nranks != first.nranks
+            or window.counter_names != first.counter_names
+            or window.clock_hz != first.clock_hz
+            or window.callstacks != first.callstacks
+            or other != scenario
+        ):
+            raise StreamError(
+                "windows disagree on trace metadata; they must come from "
+                "one slice_trace call"
+            )
+    return Trace(
+        rank=np.concatenate([w.rank for w in windows]),
+        begin=np.concatenate([w.begin for w in windows]),
+        duration=np.concatenate([w.duration for w in windows]),
+        callpath_id=np.concatenate([w.callpath_id for w in windows]),
+        counters=np.concatenate([w.counters_matrix for w in windows]),
+        counter_names=first.counter_names,
+        callstacks=first.callstacks,
+        nranks=first.nranks,
+        app=first.app,
+        scenario=scenario,
+        clock_hz=first.clock_hz,
+    )

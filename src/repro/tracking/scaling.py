@@ -28,7 +28,42 @@ from repro.clustering.normalize import MinMaxScaler
 from repro.errors import TrackingError
 from repro.trace.counters import is_extensive_metric
 
-__all__ = ["NormalizedSpace", "normalize_frames"]
+__all__ = ["NormalizedSpace", "normalize_frames", "weighted_frame_points"]
+
+
+def weighted_frame_points(
+    points: np.ndarray,
+    nranks: int,
+    axes: tuple[str, ...],
+    *,
+    ref_ranks: int,
+    log_extensive: bool = False,
+) -> tuple[np.ndarray, tuple[float, ...]]:
+    """Apply the extensive-metric weighting to one frame's raw points.
+
+    Returns ``(weighted_values, axis_weights)``.  This is the per-frame
+    half of :func:`normalize_frames`; the incremental tracker uses it to
+    derive space bounds without holding every frame at once, and both
+    paths share it so their values are bit-identical.
+    """
+    axis_weights = []
+    for name in axes:
+        if is_extensive_metric(name):
+            axis_weights.append(nranks / ref_ranks)
+        else:
+            axis_weights.append(1.0)
+    w = np.asarray(axis_weights, dtype=np.float64)
+    values = points * w
+    if log_extensive:
+        for axis, name in enumerate(axes):
+            if is_extensive_metric(name):
+                column = values[:, axis]
+                if np.any(column <= 0):
+                    raise TrackingError(
+                        f"log_extensive requires positive {name!r} values"
+                    )
+                values[:, axis] = np.log10(column)
+    return values, tuple(float(value) for value in w)
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,25 +128,15 @@ def normalize_frames(
     weighted: list[np.ndarray] = []
     weights: list[tuple[float, ...]] = []
     for frame in frames:
-        axis_weights = []
-        for name in axes:
-            if is_extensive_metric(name):
-                axis_weights.append(frame.trace.nranks / ref_ranks)
-            else:
-                axis_weights.append(1.0)
-        w = np.asarray(axis_weights, dtype=np.float64)
-        values = frame.points * w
-        if log_extensive:
-            for axis, name in enumerate(axes):
-                if is_extensive_metric(name):
-                    column = values[:, axis]
-                    if np.any(column <= 0):
-                        raise TrackingError(
-                            f"log_extensive requires positive {name!r} values"
-                        )
-                    values[:, axis] = np.log10(column)
+        values, w = weighted_frame_points(
+            frame.points,
+            frame.trace.nranks,
+            axes,
+            ref_ranks=ref_ranks,
+            log_extensive=log_extensive,
+        )
         weighted.append(values)
-        weights.append(tuple(float(value) for value in w))
+        weights.append(w)
 
     scaler = MinMaxScaler.fit_union(weighted)
     points = tuple(scaler.transform(values) for values in weighted)

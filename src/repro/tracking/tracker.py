@@ -29,7 +29,13 @@ from repro.tracking.scaling import NormalizedSpace, normalize_frames
 if TYPE_CHECKING:  # runtime import stays inside run (cycle avoidance)
     from repro.robust.partial import PartialResult
 
-__all__ = ["TrackerConfig", "TrackedRegion", "TrackingResult", "Tracker"]
+__all__ = [
+    "TrackerConfig",
+    "TrackedRegion",
+    "TrackingResult",
+    "Tracker",
+    "chain_regions",
+]
 
 log = get_logger(__name__)
 
@@ -364,50 +370,64 @@ class Tracker:
 
     def _chain(self, pair_relations: list[PairRelations]) -> list[TrackedRegion]:
         """Chain the pairwise relations into whole-sequence regions."""
-        graph = nx.Graph()
-        for frame_index, frame in enumerate(self.frames):
-            for cid in frame.cluster_ids:
-                graph.add_node((frame_index, cid))
-        for pair_index, pair in enumerate(pair_relations):
-            for relation in pair.relations:
-                members = [("L", cid) for cid in relation.left] + [
-                    ("R", cid) for cid in relation.right
-                ]
-                # Connect every member of a relation to the first member:
-                # a star keeps the component identical to the full clique.
-                if len(members) < 2:
-                    continue
-                anchor_side, anchor_cid = members[0]
-                anchor = (
-                    pair_index if anchor_side == "L" else pair_index + 1,
-                    anchor_cid,
-                )
-                for side, cid in members[1:]:
-                    node = (pair_index if side == "L" else pair_index + 1, cid)
-                    graph.add_edge(anchor, node)
+        return chain_regions(self.frames, pair_relations)
 
-        regions: list[TrackedRegion] = []
-        for component in nx.connected_components(graph):
-            members: list[set[int]] = [set() for _ in self.frames]
-            for frame_index, cid in component:
-                members[frame_index].add(cid)
-            total = sum(
-                self.frames[frame_index].cluster(cid).total_duration
-                for frame_index, cid in component
+
+def chain_regions(
+    frames: list[Frame], pair_relations: list[PairRelations]
+) -> list[TrackedRegion]:
+    """Chain pairwise relations into duration-ranked whole-sequence regions.
+
+    Shared by the batch :class:`Tracker` and the incremental
+    :class:`repro.stream.IncrementalTracker`: given identical frames and
+    pair relations both produce identical regions (including the
+    tie-breaking order of equal-duration regions, which follows the
+    graph component iteration order).
+    """
+    graph = nx.Graph()
+    for frame_index, frame in enumerate(frames):
+        for cid in frame.cluster_ids:
+            graph.add_node((frame_index, cid))
+    for pair_index, pair in enumerate(pair_relations):
+        for relation in pair.relations:
+            members = [("L", cid) for cid in relation.left] + [
+                ("R", cid) for cid in relation.right
+            ]
+            # Connect every member of a relation to the first member:
+            # a star keeps the component identical to the full clique.
+            if len(members) < 2:
+                continue
+            anchor_side, anchor_cid = members[0]
+            anchor = (
+                pair_index if anchor_side == "L" else pair_index + 1,
+                anchor_cid,
             )
-            regions.append(
-                TrackedRegion(
-                    region_id=0,  # assigned below after ranking
-                    members=tuple(frozenset(m) for m in members),
-                    total_duration=total,
-                )
-            )
-        regions.sort(key=lambda region: -region.total_duration)
-        return [
+            for side, cid in members[1:]:
+                node = (pair_index if side == "L" else pair_index + 1, cid)
+                graph.add_edge(anchor, node)
+
+    regions: list[TrackedRegion] = []
+    for component in nx.connected_components(graph):
+        members: list[set[int]] = [set() for _ in frames]
+        for frame_index, cid in component:
+            members[frame_index].add(cid)
+        total = sum(
+            frames[frame_index].cluster(cid).total_duration
+            for frame_index, cid in component
+        )
+        regions.append(
             TrackedRegion(
-                region_id=index + 1,
-                members=region.members,
-                total_duration=region.total_duration,
+                region_id=0,  # assigned below after ranking
+                members=tuple(frozenset(m) for m in members),
+                total_duration=total,
             )
-            for index, region in enumerate(regions)
-        ]
+        )
+    regions.sort(key=lambda region: -region.total_duration)
+    return [
+        TrackedRegion(
+            region_id=index + 1,
+            members=region.members,
+            total_duration=region.total_duration,
+        )
+        for index, region in enumerate(regions)
+    ]

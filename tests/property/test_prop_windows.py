@@ -1,0 +1,156 @@
+"""Property-based tests for time windowing (:mod:`repro.stream.window`).
+
+The invariant under test: :func:`slice_trace` is a *partition* of the
+trace along its time axis — every burst lands in exactly one window,
+per-rank burst order is preserved, and concatenating the windows
+round-trips the original trace — for random traces, random window
+counts and random widths, including the degenerate corners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StreamError
+from repro.robust.validate import validate_trace
+from repro.stream import WINDOW_KEY, concat_windows, slice_trace
+from repro.trace.callstack import CallPath
+from repro.trace.trace import TraceBuilder
+
+_PATH = CallPath.single("kernel", "main.c", 1)
+
+
+@st.composite
+def traces(draw):
+    """Small random traces with per-rank monotone begin times."""
+    nranks = draw(st.integers(min_value=1, max_value=3))
+    builder = TraceBuilder(nranks=nranks, app="prop")
+    n_per_rank = draw(st.integers(min_value=1, max_value=8))
+    for rank in range(nranks):
+        t = draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        )
+        for _ in range(n_per_rank):
+            gap = draw(
+                st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+            )
+            duration = draw(
+                st.floats(min_value=1e-6, max_value=0.5, allow_nan=False)
+            )
+            t += gap
+            instructions = duration * 1e9
+            builder.add(
+                rank=rank,
+                begin=t,
+                duration=duration,
+                callpath=_PATH,
+                counters=[instructions, instructions,
+                          instructions * 0.01, instructions * 0.001,
+                          instructions * 0.0001],
+            )
+            t += duration
+    return builder.build()
+
+
+window_counts = st.integers(min_value=1, max_value=9)
+
+
+@given(traces(), window_counts)
+@settings(max_examples=40, deadline=None)
+def test_windows_partition_the_trace(trace, n_windows):
+    """Every burst lands in exactly one window."""
+    spec, windows = slice_trace(trace, n_windows=n_windows)
+    assert len(windows) == spec.n_windows == n_windows
+    assert sum(w.n_bursts for w in windows) == trace.n_bursts
+    idx = spec.window_of(trace.begin)
+    assert idx.min() >= 0 and idx.max() < n_windows
+    for i, window in enumerate(windows):
+        assert window.n_bursts == int((idx == i).sum())
+        assert window.scenario[WINDOW_KEY] == i
+
+
+@given(traces(), window_counts)
+@settings(max_examples=40, deadline=None)
+def test_concat_round_trips(trace, n_windows):
+    """concat(slice(trace)) recovers the trace up to burst order."""
+    _, windows = slice_trace(trace, n_windows=n_windows)
+    rebuilt = concat_windows(windows)
+    assert rebuilt.sorted_by_time() == trace.sorted_by_time()
+
+
+@given(traces(), window_counts)
+@settings(max_examples=40, deadline=None)
+def test_per_rank_order_preserved(trace, n_windows):
+    """Windowing a time-sorted trace keeps each rank's begins sorted."""
+    ordered = trace.sorted_by_time()
+    _, windows = slice_trace(ordered, n_windows=n_windows)
+    for window in windows:
+        for rank in range(window.nranks):
+            begins = window.begin[window.rank == rank]
+            assert np.all(np.diff(begins) >= 0)
+
+
+@given(traces(), window_counts)
+@settings(max_examples=30, deadline=None)
+def test_nonempty_windows_stay_valid(trace, n_windows):
+    """A valid trace slices into valid (non-empty) windows."""
+    validate_trace(trace.sorted_by_time(), strict=True)
+    _, windows = slice_trace(trace.sorted_by_time(), n_windows=n_windows)
+    for window in windows:
+        if window.n_bursts:
+            validate_trace(window, strict=True)
+
+
+@given(traces(), st.floats(min_value=1e-3, max_value=10.0, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_width_mode_partitions_too(trace, width_s):
+    """Fixed-width windows are a partition as well."""
+    spec, windows = slice_trace(trace, window_ns=width_s * 1e9)
+    assert spec.mode == "width"
+    assert sum(w.n_bursts for w in windows) == trace.n_bursts
+    span = float(trace.end.max() - trace.begin.min())
+    if span > 0:
+        assert spec.n_windows == max(1, int(np.ceil(span / width_s)))
+
+
+@given(traces())
+@settings(max_examples=30, deadline=None)
+def test_single_window_keeps_everything(trace):
+    _, windows = slice_trace(trace, n_windows=1)
+    assert len(windows) == 1
+    assert windows[0].n_bursts == trace.n_bursts
+    assert concat_windows(windows).sorted_by_time() == trace.sorted_by_time()
+
+
+@given(traces())
+@settings(max_examples=30, deadline=None)
+def test_more_windows_than_bursts(trace):
+    """Over-slicing yields empty windows but loses nothing."""
+    n = trace.n_bursts + 3
+    _, windows = slice_trace(trace, n_windows=n)
+    assert len(windows) == n
+    assert sum(w.n_bursts for w in windows) == trace.n_bursts
+    assert sum(1 for w in windows if w.n_bursts == 0) >= 3
+
+
+@given(traces())
+@settings(max_examples=15, deadline=None)
+def test_mode_argument_validation(trace):
+    with pytest.raises(StreamError):
+        slice_trace(trace)
+    with pytest.raises(StreamError):
+        slice_trace(trace, n_windows=2, window_ns=1e9)
+    with pytest.raises(StreamError):
+        slice_trace(trace, n_windows=0)
+    with pytest.raises(StreamError):
+        slice_trace(trace, window_ns=0.0)
+
+
+def test_empty_trace_raises():
+    builder = TraceBuilder(nranks=1, app="prop")
+    trace = builder.build()
+    with pytest.raises(StreamError):
+        slice_trace(trace, n_windows=2)

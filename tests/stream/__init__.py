@@ -1,0 +1,1 @@
+"""Differential and behavioural tests for :mod:`repro.stream`."""

@@ -1,0 +1,1 @@
+"""Golden regression fixtures for the streaming pipeline."""

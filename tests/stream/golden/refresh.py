@@ -1,0 +1,53 @@
+"""Regenerate the golden windowed-WRF report fixture.
+
+The fixture pins the full ``repro.report/1`` JSON payload of a seeded,
+windowed WRF tracking run.  ``test_golden.py`` rebuilds the payload and
+compares it field by field, so any behavioural drift in windowing,
+clustering, tracking or report assembly shows up as a diff.
+
+To refresh after an *intentional* behaviour change, run from the repo
+root and commit the result:
+
+    PYTHONPATH=src python tests/stream/golden/refresh.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+GOLDEN = Path(__file__).with_name("wrf_windowed_report.json")
+
+SEED = 0
+N_WINDOWS = 4
+
+
+def build_payload() -> dict[str, Any]:
+    """The normalised report payload of the pinned windowed WRF run."""
+    from repro.apps import wrf
+    from repro.obs.report import report_payload
+    from repro.stream import track_windows
+
+    trace = wrf.build(ranks=16, iterations=6, base_ranks=16).run(seed=SEED)
+    result = track_windows(trace, n_windows=N_WINDOWS)
+    payload = report_payload(
+        [("watch", result, ())], title="golden windowed WRF run"
+    )
+    return normalize(payload)
+
+
+def normalize(payload: dict[str, Any]) -> dict[str, Any]:
+    """Pin the volatile fields (timestamp, version, obs state)."""
+    payload = dict(payload)
+    payload["generated_at"] = "GOLDEN"
+    payload["version"] = "GOLDEN"
+    payload["observability"] = "GOLDEN"
+    return payload
+
+
+if __name__ == "__main__":
+    GOLDEN.write_text(
+        json.dumps(build_payload(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN}")

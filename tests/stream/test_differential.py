@@ -1,0 +1,120 @@
+"""Batch-vs-incremental differential suite.
+
+The core guarantee of :mod:`repro.stream`: an
+:class:`~repro.stream.IncrementalTracker` fed frame-by-frame (with
+fixed :class:`~repro.stream.SpaceBounds`) produces *exactly* the batch
+:class:`~repro.tracking.Tracker` output — same region equivalences,
+same pairwise relations, same renamed labels — for every bundled
+application generator, serial and parallel, cold and warm cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import make_frames, track_stream
+from repro.clustering.frames import FrameSettings
+from repro.parallel.cache import PipelineCache
+from repro.stream import slice_trace
+from repro.tracking.relabel import relabel_frames
+from repro.tracking.tracker import Tracker, TrackerConfig
+
+
+def _build_trace(app: str):
+    """One small-but-clusterable trace per bundled app generator."""
+    if app == "wrf":
+        from repro.apps import wrf
+
+        return wrf.build(ranks=16, iterations=6, base_ranks=16).run(seed=5)
+    if app == "nasbt":
+        from repro.apps import nasbt
+
+        return nasbt.build("A", ranks=16, iterations=6).run(seed=5)
+    if app == "cgpop":
+        from repro.apps import cgpop
+
+        return cgpop.build("MareNostrum", ranks=16, iterations=6).run(seed=5)
+    if app == "hydroc":
+        from repro.apps import hydroc
+
+        return hydroc.build(block_size=64, ranks=8, iterations=6).run(seed=5)
+    if app == "mrgenesis":
+        from repro.apps import mrgenesis
+
+        return mrgenesis.build(tasks_per_node=1, ranks=12, iterations=8).run(
+            seed=5
+        )
+    raise AssertionError(app)
+
+
+SETTINGS = FrameSettings(relevance=0.995)
+APPS = ["wrf", "nasbt", "cgpop", "hydroc", "mrgenesis"]
+
+_frame_cache: dict[str, list] = {}
+
+
+def _window_frames(app: str) -> list:
+    """Frames from a 4-window slicing of the app's trace (memoised)."""
+    if app not in _frame_cache:
+        trace = _build_trace(app)
+        _, windows = slice_trace(trace, n_windows=4)
+        alive = [w for w in windows if w.n_bursts > 0]
+        assert len(alive) >= 2, f"{app}: too few non-empty windows"
+        _frame_cache[app] = make_frames(alive, SETTINGS)
+    return _frame_cache[app]
+
+
+def _assert_equal_results(batch, incremental) -> None:
+    """Field-by-field equality of a batch and an incremental result."""
+    # Region equivalences: identical region ids, members and durations.
+    assert batch.regions == incremental.regions
+    assert batch.coverage == incremental.coverage
+    # Pairwise relation sets (including split/merge directions).
+    assert len(batch.pair_relations) == len(incremental.pair_relations)
+    for left, right in zip(batch.pair_relations, incremental.pair_relations):
+        assert left.relations == right.relations
+        assert left.sequence_ab == right.sequence_ab
+    # The normalised tracking space itself is bit-identical.
+    assert len(batch.space.points) == len(incremental.space.points)
+    for pts_a, pts_b in zip(batch.space.points, incremental.space.points):
+        assert np.array_equal(pts_a, pts_b)
+    assert np.array_equal(batch.space.scaler.lo, incremental.space.scaler.lo)
+    assert np.array_equal(batch.space.scaler.hi, incremental.space.scaler.hi)
+    # Renamed labels (the paper's Figure 6 view) agree point-for-point.
+    for re_a, re_b in zip(relabel_frames(batch), relabel_frames(incremental)):
+        assert re_a.mapping == re_b.mapping
+        assert np.array_equal(re_a.labels, re_b.labels)
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_incremental_matches_batch(app):
+    frames = _window_frames(app)
+    batch = Tracker(frames, TrackerConfig()).run()
+    incremental = track_stream(frames, TrackerConfig())
+    _assert_equal_results(batch, incremental)
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_incremental_matches_parallel_batch(app):
+    """jobs>1 batch runs are bit-identical too (pmap determinism)."""
+    frames = _window_frames(app)
+    batch = Tracker(frames, TrackerConfig()).run(jobs=2)
+    incremental = track_stream(frames, TrackerConfig())
+    _assert_equal_results(batch, incremental)
+
+
+@pytest.mark.parametrize("app", ["hydroc", "wrf"])
+def test_incremental_matches_batch_with_warm_cache(app, tmp_path):
+    """Cache-served frame labels do not perturb the equivalence."""
+    trace = _build_trace(app)
+    cache = PipelineCache(tmp_path / "cache")
+    _, windows = slice_trace(trace, n_windows=4)
+    alive = [w for w in windows if w.n_bursts > 0]
+    cold = make_frames(alive, SETTINGS, cache=cache)
+    warm = make_frames(alive, SETTINGS, cache=cache)
+    for frame_a, frame_b in zip(cold, warm):
+        assert np.array_equal(frame_a.labels, frame_b.labels)
+    batch = Tracker(cold, TrackerConfig()).run()
+    incremental = track_stream(warm, TrackerConfig())
+    _assert_equal_results(batch, incremental)

@@ -1,0 +1,52 @@
+"""Golden regression test: seeded windowed WRF run vs committed report.
+
+The committed fixture is ``golden/wrf_windowed_report.json``; refresh it
+with ``PYTHONPATH=src python tests/stream/golden/refresh.py`` after an
+intentional behaviour change (see that script's docstring).
+"""
+
+from __future__ import annotations
+
+import json
+
+from tests.stream.golden.refresh import GOLDEN, build_payload
+
+
+def _diff_paths(expected, actual, path=""):
+    """Every leaf path where the two JSON-like values disagree."""
+    if type(expected) is not type(actual):
+        return [f"{path or '$'}: type {type(expected).__name__} != "
+                f"{type(actual).__name__}"]
+    if isinstance(expected, dict):
+        diffs = []
+        for key in sorted(set(expected) | set(actual)):
+            here = f"{path}.{key}" if path else key
+            if key not in expected:
+                diffs.append(f"{here}: unexpected key")
+            elif key not in actual:
+                diffs.append(f"{here}: missing key")
+            else:
+                diffs.extend(_diff_paths(expected[key], actual[key], here))
+        return diffs
+    if isinstance(expected, list):
+        if len(expected) != len(actual):
+            return [f"{path}: length {len(expected)} != {len(actual)}"]
+        diffs = []
+        for index, (exp, act) in enumerate(zip(expected, actual)):
+            diffs.extend(_diff_paths(exp, act, f"{path}[{index}]"))
+        return diffs
+    if expected != actual:
+        return [f"{path}: {expected!r} != {actual!r}"]
+    return []
+
+
+def test_windowed_wrf_report_matches_golden():
+    expected = json.loads(GOLDEN.read_text())
+    # Round-trip through JSON so tuples/ints normalise like the fixture.
+    actual = json.loads(json.dumps(build_payload(), sort_keys=True))
+    diffs = _diff_paths(expected, actual)
+    assert not diffs, (
+        "golden report drifted (refresh with "
+        "`PYTHONPATH=src python tests/stream/golden/refresh.py` if the "
+        "change is intentional):\n  " + "\n  ".join(diffs[:40])
+    )

@@ -1,0 +1,128 @@
+"""Unit tests for the time-windowing layer (:mod:`repro.stream.window`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.robust.validate import validate_trace
+from repro.stream import WINDOW_KEY, concat_windows, slice_trace
+from tests.conftest import build_two_region_trace
+
+
+class TestSliceTrace:
+    def test_partition_every_burst_exactly_once(self, toy_trace):
+        spec, windows = slice_trace(toy_trace, n_windows=4)
+        assert spec.n_windows == len(windows) == 4
+        assert sum(w.n_bursts for w in windows) == toy_trace.n_bursts
+        # Recomputing the assignment agrees with the split.
+        idx = spec.window_of(toy_trace.begin)
+        for i, window in enumerate(windows):
+            assert window.n_bursts == int((idx == i).sum())
+
+    def test_concat_round_trips(self, toy_trace):
+        _, windows = slice_trace(toy_trace, n_windows=5)
+        rebuilt = concat_windows(windows)
+        assert rebuilt.sorted_by_time() == toy_trace.sorted_by_time()
+
+    def test_window_scenario_key(self, toy_trace):
+        _, windows = slice_trace(toy_trace, n_windows=3)
+        for i, window in enumerate(windows):
+            assert window.scenario[WINDOW_KEY] == i
+        # Tagging the sub-traces does not leak into the parent.
+        assert WINDOW_KEY not in toy_trace.scenario
+
+    def test_per_rank_order_preserved(self, toy_trace):
+        trace = toy_trace.sorted_by_time()
+        _, windows = slice_trace(trace, n_windows=4)
+        for window in windows:
+            for rank in range(window.nranks):
+                begins = window.begin[window.rank == rank]
+                assert np.all(np.diff(begins) >= 0)
+
+    def test_nonempty_windows_validate(self, toy_trace):
+        validate_trace(toy_trace, strict=True)
+        _, windows = slice_trace(toy_trace, n_windows=4)
+        for window in windows:
+            if window.n_bursts:
+                validate_trace(window, strict=True)
+
+    def test_single_window_is_identity(self, toy_trace):
+        spec, windows = slice_trace(toy_trace, n_windows=1)
+        assert spec.n_windows == 1
+        assert len(windows) == 1
+        assert windows[0].n_bursts == toy_trace.n_bursts
+        # concat strips the window scenario key, recovering the original.
+        rebuilt = concat_windows(windows)
+        assert rebuilt.sorted_by_time() == toy_trace.sorted_by_time()
+
+    def test_more_windows_than_bursts_keeps_stable_indices(self):
+        trace = build_two_region_trace(nranks=1, iterations=1)  # 2 bursts
+        spec, windows = slice_trace(trace, n_windows=10)
+        assert len(windows) == 10
+        assert sum(w.n_bursts for w in windows) == trace.n_bursts
+        assert any(w.n_bursts == 0 for w in windows)
+        for i, window in enumerate(windows):
+            assert window.scenario[WINDOW_KEY] == i
+
+    def test_width_mode_window_count(self, toy_trace):
+        span = float(toy_trace.end.max() - toy_trace.begin.min())
+        ns = span / 4 * 1e9
+        spec, windows = slice_trace(toy_trace, window_ns=ns)
+        assert spec.mode == "width"
+        assert spec.n_windows == len(windows)
+        assert spec.n_windows in (4, 5)  # last window may be shorter
+        assert sum(w.n_bursts for w in windows) == toy_trace.n_bursts
+
+    def test_zero_span_collapses_to_window_zero(self):
+        trace = build_two_region_trace(nranks=2, iterations=1)
+        instant = trace.select(trace.begin == trace.begin.min())
+        spec, windows = slice_trace(instant, n_windows=3)
+        assert windows[0].n_bursts == instant.n_bursts
+        assert all(w.n_bursts == 0 for w in windows[1:])
+        assert spec.width == 0.0 or spec.width > 0.0  # well-defined
+
+    def test_spec_as_dict_round_trip_fields(self, toy_trace):
+        spec, _ = slice_trace(toy_trace, n_windows=2)
+        as_dict = spec.as_dict()
+        assert as_dict["mode"] == "count"
+        assert as_dict["n_windows"] == 2
+        assert as_dict["t0"] == spec.t0
+        assert as_dict["t_end"] == spec.t_end
+
+
+class TestSliceErrors:
+    def test_both_modes_rejected(self, toy_trace):
+        with pytest.raises(StreamError, match="exactly one"):
+            slice_trace(toy_trace, n_windows=2, window_ns=1e9)
+
+    def test_neither_mode_rejected(self, toy_trace):
+        with pytest.raises(StreamError, match="exactly one"):
+            slice_trace(toy_trace)
+
+    def test_empty_trace_rejected(self, toy_trace):
+        empty = toy_trace.select(np.zeros(toy_trace.n_bursts, dtype=bool))
+        with pytest.raises(StreamError, match="no bursts"):
+            slice_trace(empty, n_windows=2)
+
+    def test_nonpositive_window_count_rejected(self, toy_trace):
+        with pytest.raises(StreamError, match=">= 1"):
+            slice_trace(toy_trace, n_windows=0)
+
+    def test_nonpositive_width_rejected(self, toy_trace):
+        with pytest.raises(StreamError, match="> 0"):
+            slice_trace(toy_trace, window_ns=0.0)
+
+
+class TestConcatErrors:
+    def test_empty_list_rejected(self):
+        with pytest.raises(StreamError, match="at least one"):
+            concat_windows([])
+
+    def test_mismatched_metadata_rejected(self, toy_trace):
+        other = build_two_region_trace(app="other")
+        _, windows_a = slice_trace(toy_trace, n_windows=2)
+        _, windows_b = slice_trace(other, n_windows=2)
+        with pytest.raises(StreamError, match="metadata"):
+            concat_windows([windows_a[0], windows_b[1]])

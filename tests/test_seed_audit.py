@@ -1,0 +1,62 @@
+"""Repository-wide determinism audit of RNG construction.
+
+Everything under ``src/`` must create random generators with an explicit
+seed — the golden fixtures, the differential stream suite and the
+checkpoint/resume machinery all rely on runs being bit-reproducible.
+An unseeded ``np.random.default_rng()`` / ``random.Random()`` (or any
+use of the global RNG state) silently breaks that, so this test greps
+for the patterns instead of hoping review catches them.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+# Unseeded generator constructions and global-RNG mutations/draws.
+_FORBIDDEN = (
+    re.compile(r"default_rng\(\s*\)"),
+    re.compile(r"\bRandom\(\s*\)"),
+    re.compile(r"np\.random\.seed\("),
+    re.compile(r"\brandom\.seed\("),
+    re.compile(r"np\.random\.(rand|randn|randint|random|choice|shuffle|"
+               r"permutation|uniform|normal)\("),
+)
+
+
+def _violations() -> list[str]:
+    found: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            stripped = line.split("#", 1)[0]
+            for pattern in _FORBIDDEN:
+                if pattern.search(stripped):
+                    found.append(
+                        f"{path.relative_to(SRC)}:{lineno}: {line.strip()}"
+                    )
+    return found
+
+
+def test_source_tree_exists():
+    assert SRC.is_dir()
+    assert any(SRC.rglob("*.py"))
+
+
+def test_all_rngs_are_explicitly_seeded():
+    violations = _violations()
+    assert not violations, (
+        "unseeded or global RNG use in src/ (pass an explicit seed):\n  "
+        + "\n  ".join(violations)
+    )
+
+
+def test_audit_catches_unseeded_rng(tmp_path, monkeypatch):
+    """The audit itself flags an unseeded construction (self-check)."""
+    bad = tmp_path / "bad.py"
+    bad.write_text("rng = np.random.default_rng()\n")
+    import tests.test_seed_audit as audit
+
+    monkeypatch.setattr(audit, "SRC", tmp_path)
+    assert audit._violations() == ["bad.py:1: rng = np.random.default_rng()"]
