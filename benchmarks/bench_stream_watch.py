@@ -88,3 +88,60 @@ def test_perf_watch_resume(benchmark, tmp_path):
         f"resumed {warm_s:.2f}s (speedup x{cold_s / warm_s:.2f})"
     )
     assert warm_s < cold_s
+
+
+def test_perf_watch_alerts_overhead(benchmark):
+    """Forecast/alerting tax: monitored watch vs plain watch.
+
+    The online monitor refits a bounded-history trend per (track,
+    metric) each window; the acceptance bar is <= 15% wall-time
+    overhead (plus a small absolute floor to absorb timer noise), with
+    the tracking output asserted bit-identical.
+    """
+    from repro.obs.alerts import AlertConfig
+    from repro.stream import WatchTelemetry
+
+    trace = _long_trace()
+
+    def plain():
+        return track_windows(trace, n_windows=N_WINDOWS, settings=SETTINGS)
+
+    def monitored():
+        telemetry = WatchTelemetry(alerts=AlertConfig())
+        result = track_windows(
+            trace, n_windows=N_WINDOWS, settings=SETTINGS,
+            telemetry=telemetry,
+        )
+        return result, telemetry
+
+    # Best-of-two on each side damps one-off scheduler hiccups.
+    off_s = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        plain_result = plain()
+        off_s = min(off_s, time.perf_counter() - start)
+
+    on_s = float("inf")
+    start = time.perf_counter()
+    monitored_result, telemetry = run_once(benchmark, monitored)
+    on_s = min(on_s, time.perf_counter() - start)
+    start = time.perf_counter()
+    monitored_result, telemetry = monitored()
+    on_s = min(on_s, time.perf_counter() - start)
+
+    assert monitored_result.regions == plain_result.regions
+    assert monitored_result.coverage == plain_result.coverage
+    assert telemetry.n_updates > 0
+
+    overhead = on_s / off_s - 1.0
+    benchmark.extra_info["alerts_off_s"] = round(off_s, 3)
+    benchmark.extra_info["alerts_on_s"] = round(on_s, 3)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 1)
+    benchmark.extra_info["n_alerts"] = len(telemetry.alerts)
+    print(
+        f"\nwatch alerts ({N_WINDOWS} windows): off {off_s:.2f}s, "
+        f"on {on_s:.2f}s (overhead {overhead * 100:+.1f}%)"
+    )
+    assert on_s <= off_s * 1.15 + 0.25, (
+        f"alerting overhead {overhead * 100:.1f}% exceeds the 15% budget"
+    )

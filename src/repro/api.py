@@ -24,6 +24,7 @@ from repro.trace.trace import Trace
 if TYPE_CHECKING:
     from repro.parallel.cache import PipelineCache
     from repro.robust.partial import PartialResult
+    from repro.stream.forecast import WatchTelemetry
 
 __all__ = [
     "cluster_trace",
@@ -56,6 +57,7 @@ def track_stream(
     config: TrackerConfig | None = None,
     *,
     strict: bool = True,
+    telemetry: "WatchTelemetry | None" = None,
 ) -> "TrackingResult | PartialResult[TrackingResult]":
     """Track already-built frames through the incremental tracker.
 
@@ -66,7 +68,12 @@ def track_stream(
     but each (previous, new) pair is evaluated as its frame is pushed,
     never the whole sequence at once.  Non-strict runs quarantine
     failing pairs and return a :class:`~repro.robust.PartialResult`.
+    Pass a :class:`repro.stream.WatchTelemetry` (optionally carrying an
+    alert monitor) as *telemetry* to collect the health surface and
+    per-push alerts; monitoring never changes the tracking result.
     """
+    import time
+
     from repro.stream.incremental import IncrementalTracker, SpaceBounds
 
     config = config or TrackerConfig()
@@ -75,9 +82,19 @@ def track_stream(
         reference=config.reference,
         log_extensive=config.log_extensive,
     )
-    tracker = IncrementalTracker(config, bounds=bounds, strict=strict)
+    monitor = telemetry.monitor if telemetry is not None else None
+    tracker = IncrementalTracker(
+        config, bounds=bounds, strict=strict, monitor=monitor
+    )
+    if telemetry is not None:
+        telemetry.n_windows = len(frames)
     for frame in frames:
-        tracker.push(frame)
+        started = time.perf_counter()
+        update = tracker.push(frame)
+        if telemetry is not None:
+            telemetry.record_update(
+                update, seconds=time.perf_counter() - started
+            )
     result = tracker.result()
     if strict:
         return result

@@ -11,7 +11,11 @@ Sub-commands
     Slice one trace into time windows and track them incrementally,
     streaming an update line as each window's frame closes; with
     ``--cache-dir`` a restarted watch resumes from the last completed
-    window (see ``docs/streaming.md``).
+    window (see ``docs/streaming.md``).  ``--alerts`` attaches the
+    online monitor — per-region one-step-ahead forecasts with typed
+    divergence/regression/death/split/plateau alerts on stderr and,
+    with ``--alerts-jsonl PATH``, as JSON lines (see
+    ``docs/observability.md``).
 ``study``
     Run one of the paper's canned case studies by name.
 ``table2``
@@ -32,8 +36,10 @@ exits 1 on perf regressions beyond the noise threshold.
 
 Exit codes: 0 on success, 2 when the pipeline fails outright (a
 :class:`~repro.errors.ReproError`), 3 when ``--no-strict`` completed
-with quarantined items (a partial result); ``bench-compare`` exits 1
-on regression, 2 on unreadable input.
+with quarantined items (a partial result), 4 when a ``watch --alerts``
+run completed cleanly but raised alerts (quarantine wins over alerts
+when both apply); ``bench-compare`` exits 1 on regression, 2 on
+unreadable input.
 """
 
 from __future__ import annotations
@@ -221,6 +227,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="pipeline cache enabling per-window frame reuse and "
         "checkpointed resume (default: REPRO_CACHE; unset = no resume)",
     )
+    watch.add_argument(
+        "--alerts", action="store_true",
+        help="monitor every tracked region online: forecast each "
+        "window's metrics one step ahead and raise typed alerts on "
+        "divergence, IPC regression, region death/split and stalled "
+        "trends (exit code 4 when an otherwise-clean run alerted)",
+    )
+    watch.add_argument(
+        "--alert-threshold", type=float, default=0.15, metavar="FRACTION",
+        help="relative forecast deviation tolerated before a divergence "
+        "alert fires (default: 0.15; the residual-scaled sigma band "
+        "still applies)",
+    )
+    watch.add_argument(
+        "--alerts-jsonl", default=None, metavar="PATH",
+        help="write every alert record as JSON lines to PATH (implies "
+        "--alerts)",
+    )
     _add_profile_flag(watch)
     _add_strict_flag(watch)
     _add_report_flag(watch)
@@ -382,13 +406,17 @@ def _report_partial(partial, extra_failures=()):
     return combined.exit_code, combined.failures
 
 
-def _write_report(args: argparse.Namespace, runs, *, include_viz=True) -> None:
+def _write_report(
+    args: argparse.Namespace, runs, *, include_viz=True, stream=None
+) -> None:
     """Write the ``--report`` artefact when the flag was given."""
     if not getattr(args, "report", None):
         return
     from repro.obs.report import write_report
 
-    path = write_report(args.report, runs, include_viz=include_viz)
+    path = write_report(
+        args.report, runs, include_viz=include_viz, stream=stream
+    )
     print(f"wrote run report to {path}", file=sys.stderr)
 
 
@@ -426,7 +454,8 @@ def _cmd_track(args: argparse.Namespace) -> int:
 
 def _cmd_watch(args: argparse.Namespace) -> int:
     from repro.clustering.frames import FrameSettings
-    from repro.stream import WINDOW_KEY, track_windows
+    from repro.obs.alerts import EXIT_ALERTS, AlertConfig, format_alert
+    from repro.stream import WINDOW_KEY, WatchTelemetry, track_windows
     from repro.trace.io import load_trace
 
     trace = load_trace(args.trace, strict=args.strict)
@@ -438,6 +467,10 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         relevance=args.relevance,
         log_y=args.log_y,
     )
+    alert_config = None
+    if args.alerts or args.alerts_jsonl:
+        alert_config = AlertConfig(threshold=args.alert_threshold)
+    telemetry = WatchTelemetry(alerts=alert_config)
 
     def on_update(update) -> None:
         window = update.frame.trace.scenario.get(WINDOW_KEY, update.step)
@@ -451,6 +484,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             print(f"window {window}: {len(update.pair.relations)} relations, "
                   f"{len(update.regions)} regions, "
                   f"coverage {update.coverage}%")
+        for alert in update.alerts:
+            print(format_alert(alert), file=sys.stderr)
 
     result = track_windows(
         trace,
@@ -460,6 +495,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         strict=args.strict,
         cache=_resolve_cache(args),
         on_update=on_update,
+        telemetry=telemetry,
     )
     code = 0
     failures = ()
@@ -468,7 +504,14 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         result = result.value
     print()
     _print_result(result, ["ipc"])
-    _write_report(args, [("watch", result, failures)])
+    if args.alerts_jsonl:
+        path = telemetry.write_jsonl(args.alerts_jsonl)
+        print(f"wrote {len(telemetry.alerts)} alert(s) to {path}",
+              file=sys.stderr)
+    print(telemetry.summary_line(), file=sys.stderr)
+    _write_report(args, [("watch", result, failures)], stream=telemetry)
+    if code == 0 and telemetry.alerts_enabled and telemetry.alerts:
+        code = EXIT_ALERTS
     return code
 
 

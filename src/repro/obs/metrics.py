@@ -139,12 +139,17 @@ class Histogram:
         linearly within the bucket holding the q-th observation; the
         overflow bucket clamps to the highest finite bound, so tail
         percentiles are a lower bound once observations exceed it.
-        Returns 0.0 for an empty histogram.
+        The degenerate cases are exact: 0.0 for an empty histogram, and
+        the observation itself (``sum``) for a single-sample histogram —
+        bucket interpolation would otherwise report an arbitrary point
+        of the containing bucket.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
         if not self.count:
             return 0.0
+        if self.count == 1:
+            return self.sum
         rank = q * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):

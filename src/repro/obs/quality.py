@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
+from repro.obs.alerts import AlertTotals
 from repro.obs.core import STATE
 from repro.obs.metrics import REGISTRY, Counter
 
@@ -221,6 +222,11 @@ class QualityReport:
     repaired_bursts:
         Bursts dropped-and-repaired at ingest, when observability
         recorded them (``None`` when obs was disabled).
+    alerts:
+        Live-watch alert totals (:class:`~repro.obs.alerts.AlertTotals`)
+        when the run monitored with alerting enabled; ``None``
+        otherwise.  Serialisation omits the key entirely when ``None``
+        so pre-alerting payloads are byte-identical.
     """
 
     n_frames: int
@@ -235,10 +241,16 @@ class QualityReport:
     quarantined: tuple[tuple[str, int], ...]
     failures: tuple["ItemFailure", ...]
     repaired_bursts: int | None
+    alerts: AlertTotals | None = None
 
     def to_dict(self) -> dict[str, object]:
-        """Versioned, JSON-serialisable payload."""
-        return {
+        """Versioned, JSON-serialisable payload.
+
+        The ``"alerts"`` key appears only when alert totals were
+        attached, keeping alert-free payloads identical to what older
+        versions emitted (the golden-report fixtures rely on this).
+        """
+        payload = {
             "schema": QUALITY_SCHEMA,
             "n_frames": self.n_frames,
             "n_regions": self.n_regions,
@@ -266,6 +278,9 @@ class QualityReport:
                 ],
             },
         }
+        if self.alerts is not None:
+            payload["alerts"] = self.alerts.to_dict()
+        return payload
 
 
 def _relation_kind(relation) -> str:
@@ -303,6 +318,7 @@ def quality_report(
     result: "TrackingResult",
     *,
     failures: Iterable["ItemFailure"] = (),
+    alerts: AlertTotals | None = None,
 ) -> QualityReport:
     """Distil a tracking result into a :class:`QualityReport`.
 
@@ -314,6 +330,10 @@ def quality_report(
         records through *failures*).
     failures:
         Quarantine records of a non-strict run, if any.
+    alerts:
+        Alert totals of an alert-enabled watch run
+        (:func:`repro.obs.alerts.summarize_alerts`); omit for offline
+        runs.
     """
     failures = tuple(failures)
     quarantined_pairs = {
@@ -437,6 +457,7 @@ def quality_report(
         quarantined=tuple(sorted(quarantined.items())),
         failures=failures,
         repaired_bursts=_repaired_bursts(),
+        alerts=alerts,
     )
 
 

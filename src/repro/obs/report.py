@@ -23,11 +23,13 @@ from __future__ import annotations
 
 import html
 import json
+import math
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro._version import __version__
+from repro.obs.alerts import AlertTotals, summarize_alerts
 from repro.obs.core import STATE
 from repro.obs.export import render_tree
 from repro.obs.metrics import metrics_snapshot
@@ -35,6 +37,7 @@ from repro.obs.quality import QualityReport, quality_report
 
 if TYPE_CHECKING:
     from repro.robust.partial import ItemFailure
+    from repro.stream.forecast import WatchTelemetry
     from repro.tracking.tracker import TrackingResult
 
 __all__ = [
@@ -69,17 +72,51 @@ def _observability_payload() -> dict[str, Any]:
     return {"enabled": True, "spans": spans, "metrics": metrics_snapshot()}
 
 
+def _stream_payload(stream: "WatchTelemetry") -> dict[str, Any]:
+    """Serialised health surface of a windowed watch run."""
+    hist = stream.update_seconds
+    payload: dict[str, Any] = {
+        "windows": stream.n_windows,
+        "empty": stream.n_empty,
+        "quarantined": stream.n_quarantined,
+        "resumed": stream.n_resumed,
+        "live_updates": stream.n_updates,
+        "update_seconds": {
+            "count": hist.count,
+            "mean": hist.mean,
+            "p50": hist.p50,
+            "p90": hist.p90,
+            "p99": hist.p99,
+        },
+        "alerts_enabled": stream.alerts_enabled,
+        "alerts": [alert.to_dict() for alert in stream.alerts],
+    }
+    if stream.monitor is not None:
+        payload["series"] = stream.monitor.series()
+    return payload
+
+
 def report_payload(
     runs: Sequence[RunEntry],
     *,
     title: str | None = None,
+    stream: "WatchTelemetry | None" = None,
 ) -> dict[str, Any]:
     """The machine-readable report: versioned, JSON-serialisable.
 
     Carries the same data as the HTML report except the rendered SVG
-    markup (the underlying numbers are all present).
+    markup (the underlying numbers are all present).  When *stream* is
+    given (a :class:`~repro.stream.forecast.WatchTelemetry` from a
+    windowed watch), the payload gains a ``"stream"`` section and the
+    run quality reports carry the alert totals; without it the payload
+    shape is unchanged.
     """
-    return {
+    run_alerts = (
+        summarize_alerts(stream.alerts)
+        if stream is not None and stream.alerts_enabled
+        else None
+    )
+    payload = {
         "schema": REPORT_SCHEMA,
         "title": title or "repro-track run report",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -87,12 +124,17 @@ def report_payload(
         "runs": [
             {
                 "name": name,
-                "quality": quality_report(result, failures=failures).to_dict(),
+                "quality": quality_report(
+                    result, failures=failures, alerts=run_alerts
+                ).to_dict(),
             }
             for name, result, failures in runs
         ],
         "observability": _observability_payload(),
     }
+    if stream is not None:
+        payload["stream"] = _stream_payload(stream)
+    return payload
 
 
 # --------------------------------------------------------------------------
@@ -321,8 +363,9 @@ def _run_section(
     index: int,
     *,
     include_viz: bool,
+    alerts: AlertTotals | None = None,
 ) -> str:
-    quality = quality_report(result, failures=failures)
+    quality = quality_report(result, failures=failures, alerts=alerts)
     parts = [f"<h2>{_esc(name)}</h2>"]
     parts.append('<div class="tiles">')
     parts.append(_tile(quality.n_frames, "frames"))
@@ -333,6 +376,8 @@ def _run_section(
         _tile(f"{quality.confidence.mean * 100:.0f}%", "mean confidence")
     )
     parts.append(_tile(len(quality.failures), "quarantined"))
+    if quality.alerts is not None:
+        parts.append(_tile(quality.alerts.total, "alerts"))
     parts.append("</div>")
     parts.append(_quarantine_block(quality))
     if include_viz:
@@ -348,6 +393,146 @@ def _run_section(
     parts.append(_regions_table(quality))
     parts.append("<h3>Heuristic contribution totals</h3>")
     parts.append(_heuristics_table(quality))
+    return "\n".join(parts)
+
+
+#: Cap on the number of forecast sparkline figures in one report.
+_MAX_SPARKLINES = 16
+
+
+def _sparkline_svg(
+    observed: Sequence[tuple[float, float]],
+    forecast: Sequence[tuple[float, float]],
+    *,
+    width: int = 280,
+    height: int = 64,
+) -> str:
+    """Inline SVG sparkline: observed solid, forecast dashed.
+
+    Both series share one (x, y) scale so divergence is visible as the
+    gap between the lines.  Returns "" when nothing finite to draw.
+    """
+    finite = [
+        (float(x), float(y))
+        for x, y in [*observed, *forecast]
+        if math.isfinite(float(y))
+    ]
+    if not finite:
+        return ""
+    x_lo = min(p[0] for p in finite)
+    x_hi = max(p[0] for p in finite)
+    y_lo = min(p[1] for p in finite)
+    y_hi = max(p[1] for p in finite)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    pad = 6.0
+
+    def scaled(series: Sequence[tuple[float, float]]) -> str:
+        return " ".join(
+            f"{pad + (float(x) - x_lo) / x_span * (width - 2 * pad):.1f},"
+            f"{height - pad - (float(y) - y_lo) / y_span * (height - 2 * pad):.1f}"
+            for x, y in series
+            if math.isfinite(float(y))
+        )
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'role="img">'
+    ]
+    forecast_points = scaled(forecast)
+    if forecast_points:
+        parts.append(
+            f'<polyline points="{forecast_points}" fill="none" '
+            'stroke="#c0392b" stroke-width="1.2" stroke-dasharray="4 3"/>'
+        )
+    observed_points = scaled(observed)
+    if observed_points:
+        parts.append(
+            f'<polyline points="{observed_points}" fill="none" '
+            'stroke="#2a6fb0" stroke-width="1.6"/>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _alerts_table(alerts: Sequence[Any], table_id: str) -> str:
+    rows = []
+    for alert in alerts:
+        rows.append(
+            "<tr>"
+            f'<td class="num">{alert.window}</td>'
+            f"<td><b>{_esc(alert.kind)}</b></td>"
+            f'<td class="num">{alert.region_id}</td>'
+            f"<td><code>{_esc(alert.track)}</code></td>"
+            f"<td>{_esc(alert.metric or '—')}</td>"
+            f"<td>{_esc(alert.message)}</td></tr>"
+        )
+    if not rows:
+        rows.append('<tr><td colspan="6">no alerts</td></tr>')
+    return (
+        f'<input class="filter" placeholder="filter alerts…" '
+        f"oninput=\"filterTable(this, '{table_id}')\">"
+        f'<table id="{table_id}"><thead><tr><th>window</th><th>kind</th>'
+        "<th>region</th><th>track</th><th>metric</th><th>detail</th>"
+        "</tr></thead><tbody>" + "".join(rows) + "</tbody></table>"
+    )
+
+
+def _stream_section(stream: "WatchTelemetry") -> str:
+    """The 'Live watch telemetry' report block (health + drill-down)."""
+    hist = stream.update_seconds
+    parts = ["<h2>Live watch telemetry</h2>", '<div class="tiles">']
+    parts.append(_tile(stream.n_windows, "windows"))
+    parts.append(_tile(stream.n_empty, "empty"))
+    parts.append(_tile(stream.n_quarantined, "quarantined"))
+    parts.append(_tile(stream.n_resumed, "resumed"))
+    parts.append(_tile(stream.n_updates, "live updates"))
+    if stream.alerts_enabled:
+        parts.append(_tile(len(stream.alerts), "alerts"))
+    parts.append("</div>")
+    if hist.count:
+        parts.append(
+            f'<p class="meta">update latency: p50 {hist.p50 * 1e3:.2f} ms '
+            f"· p90 {hist.p90 * 1e3:.2f} ms · p99 {hist.p99 * 1e3:.2f} ms "
+            f"over {hist.count} live update(s)</p>"
+        )
+    if not stream.alerts_enabled:
+        parts.append(
+            "<p class='meta'>alerting disabled — run with "
+            "<code>--alerts</code> to add per-region forecasts and "
+            "divergence alerts.</p>"
+        )
+        return "\n".join(parts)
+    parts.append("<h3>Alerts</h3>")
+    parts.append(_alerts_table(stream.alerts, "stream-alerts"))
+    series = stream.monitor.series() if stream.monitor is not None else []
+    shown = series[:_MAX_SPARKLINES]
+    figures = []
+    for entry in shown:
+        svg = _sparkline_svg(entry["observed"], entry["forecast"])
+        if not svg:
+            continue
+        caption = (
+            f"region {entry['region_id']} (track {entry['track']}) — "
+            f"{entry['metric']}: observed solid, one-step forecast dashed"
+        )
+        figures.append(
+            f"<figure><figcaption>{_esc(caption)}</figcaption>{svg}</figure>"
+        )
+    if figures:
+        parts.append("<h3>Forecast vs observed</h3>")
+        parts.append(
+            '<div style="display:flex;flex-wrap:wrap;gap:8px">'
+            + "".join(figures)
+            + "</div>"
+        )
+        if len(series) > len(shown):
+            parts.append(
+                f"<p class='meta'>{len(series) - len(shown)} further "
+                "series omitted (cap: "
+                f"{_MAX_SPARKLINES}).</p>"
+            )
     return "\n".join(parts)
 
 
@@ -373,14 +558,30 @@ def report_html(
     *,
     title: str | None = None,
     include_viz: bool = True,
+    stream: "WatchTelemetry | None" = None,
 ) -> str:
-    """Render the self-contained HTML report document."""
+    """Render the self-contained HTML report document.
+
+    With *stream* given, the document gains the "Live watch telemetry"
+    section — health tiles, update-latency percentiles, the alert
+    table and forecast-vs-observed sparklines per tracked region.
+    """
     title = title or "repro-track run report"
     generated = time.strftime("%Y-%m-%d %H:%M:%S %Z")
+    run_alerts = (
+        summarize_alerts(stream.alerts)
+        if stream is not None and stream.alerts_enabled
+        else None
+    )
     sections = [
-        _run_section(name, result, failures, index, include_viz=include_viz)
+        _run_section(
+            name, result, failures, index,
+            include_viz=include_viz, alerts=run_alerts,
+        )
         for index, (name, result, failures) in enumerate(runs)
     ]
+    if stream is not None:
+        sections.append(_stream_section(stream))
     return (
         "<!DOCTYPE html>\n"
         '<html lang="en"><head><meta charset="utf-8">\n'
@@ -403,6 +604,7 @@ def write_report(
     failures: Iterable["ItemFailure"] = (),
     title: str | None = None,
     include_viz: bool = True,
+    stream: "WatchTelemetry | None" = None,
 ) -> Path:
     """Write a run report; the suffix picks the format.
 
@@ -410,7 +612,9 @@ def write_report(
     other suffix (conventionally ``.html``) gets the self-contained
     HTML document.  *runs* is either a single
     :class:`~repro.tracking.tracker.TrackingResult` (with *failures*)
-    or an iterable of ``(name, result, failures)`` entries.
+    or an iterable of ``(name, result, failures)`` entries.  *stream*
+    (a :class:`~repro.stream.forecast.WatchTelemetry`) adds the live
+    watch telemetry to either format.
     """
     if hasattr(runs, "pair_relations"):  # a bare TrackingResult
         runs = [("tracking run", runs, tuple(failures))]
@@ -420,13 +624,15 @@ def write_report(
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     if path.suffix.lower() == ".json":
-        payload = report_payload(entries, title=title)
+        payload = report_payload(entries, title=title, stream=stream)
         path.write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
         )
     else:
         path.write_text(
-            report_html(entries, title=title, include_viz=include_viz),
+            report_html(
+                entries, title=title, include_viz=include_viz, stream=stream
+            ),
             encoding="utf-8",
         )
     return path

@@ -7,6 +7,11 @@ per-region trend models fitted to the tracked metric series —
 constant, linear, power-law (log-log linear) and saturating plateau —
 selected by cross-validated error, and an extrapolation API that
 predicts a region's metric for unseen scenario values.
+
+:class:`OnlineTrend` is the incremental (streaming) counterpart: the
+same model zoo refit observation-by-observation with a bounded history
+and a cheap coefficient-refit fast path, feeding the live watch's
+one-step-ahead forecasts (:mod:`repro.stream.forecast`).
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from repro.predict.models import (
     TrendModel,
     fit_best_model,
 )
+from repro.predict.online import ForecastPoint, OnlineTrend
 from repro.predict.validate import BacktestReport, backtest_trend, backtest_trends
 
 __all__ = [
@@ -32,6 +38,8 @@ __all__ = [
     "fit_trend",
     "extrapolate_trends",
     "RegionForecast",
+    "ForecastPoint",
+    "OnlineTrend",
     "BacktestReport",
     "backtest_trend",
     "backtest_trends",

@@ -13,13 +13,19 @@ that consumes such frames as they close:
   :class:`~repro.tracking.Tracker` (enforced by ``tests/stream``);
 - :func:`track_windows` — the end-to-end streaming pipeline behind
   ``repro-track watch``, with per-window obs metrics and
-  cache-checkpointed resume.
+  cache-checkpointed resume;
+- :class:`StreamMonitor` + :class:`WatchTelemetry` — the online
+  monitoring layer: per-region one-step-ahead forecasts, typed
+  divergence/regression/death/split/plateau alerts
+  (:mod:`repro.obs.alerts`) and the watch health surface, all as a pure
+  observer over the stream.
 
 See ``docs/streaming.md``.
 """
 
 from __future__ import annotations
 
+from repro.stream.forecast import StreamMonitor, WatchTelemetry, track_key
 from repro.stream.incremental import IncrementalTracker, SpaceBounds, TrackUpdate
 from repro.stream.pipeline import track_windows, windowed_traces
 from repro.stream.window import WINDOW_KEY, WindowSpec, concat_windows, slice_trace
@@ -34,4 +40,7 @@ __all__ = [
     "IncrementalTracker",
     "track_windows",
     "windowed_traces",
+    "StreamMonitor",
+    "WatchTelemetry",
+    "track_key",
 ]

@@ -26,6 +26,7 @@ import numpy as np
 from repro._version import __version__
 from repro.clustering.frames import FrameSettings
 from repro.errors import ReproError
+from repro.obs.alerts import AlertRecord
 from repro.obs.log import get_logger
 from repro.parallel.cache import PipelineCache, _canonical, trace_digest
 from repro.robust.partial import ItemFailure
@@ -50,8 +51,14 @@ __all__ = [
 
 log = get_logger(__name__)
 
-#: Checkpoint payload schema; bump to invalidate stored checkpoints.
-_CHECKPOINT_FORMAT = 1
+#: Checkpoint payload schema written by this version.  Format 2 added
+#: the optional per-window ``alerts`` list; format-1 checkpoints (no
+#: alert fields) still load — see :data:`_ACCEPTED_FORMATS`.
+_CHECKPOINT_FORMAT = 2
+
+#: Formats :func:`load_checkpoint` accepts.  Older formats simply lack
+#: newer optional fields, which default to empty on load.
+_ACCEPTED_FORMATS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -62,7 +69,9 @@ class WindowRecord:
     ``"empty"`` (no bursts) or ``"quarantined"`` (with the *failure*
     record).  ``pair`` / ``pair_failure`` carry the relations evaluated
     when this window's frame was pushed (``None`` for the first frame
-    and for non-ok windows).
+    and for non-ok windows).  ``alerts`` holds the monitor's alerts for
+    this window when the run had alerting enabled (empty otherwise, and
+    for format-1 checkpoints written before alerting existed).
     """
 
     window: int
@@ -71,6 +80,7 @@ class WindowRecord:
     failure: ItemFailure | None = None
     pair: PairRelations | None = None
     pair_failure: ItemFailure | None = None
+    alerts: tuple[AlertRecord, ...] = ()
 
 
 def stream_key(
@@ -260,6 +270,7 @@ def save_checkpoint(
                     else None
                 ),
                 "pair_failure": _failure_to_json(record.pair_failure),
+                "alerts": [alert.to_dict() for alert in record.alerts],
             }
             for record in records
         ],
@@ -281,7 +292,7 @@ def load_checkpoint(
     if payload is None:
         return None
     try:
-        if payload.get("format") != _CHECKPOINT_FORMAT:
+        if payload.get("format") not in _ACCEPTED_FORMATS:
             raise ValueError(f"checkpoint format {payload.get('format')!r}")
         records: list[WindowRecord] = []
         for entry in payload["windows"]:
@@ -307,6 +318,10 @@ def load_checkpoint(
                         else None
                     ),
                     pair_failure=_failure_from_json(entry.get("pair_failure")),
+                    alerts=tuple(
+                        AlertRecord.from_dict(alert)
+                        for alert in entry.get("alerts") or ()
+                    ),
                 )
             )
         return records

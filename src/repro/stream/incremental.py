@@ -22,7 +22,8 @@ the batch-equality guarantee.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -44,6 +45,10 @@ from repro.tracking.tracker import (
     _empty_pair_relations,
     chain_regions,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.alerts import AlertRecord
+    from repro.stream.forecast import StreamMonitor
 
 __all__ = ["SpaceBounds", "TrackUpdate", "IncrementalTracker"]
 
@@ -179,6 +184,11 @@ class TrackUpdate:
     failure:
         The quarantine record when a non-strict pair evaluation failed
         (the pair then carries no relations), else ``None``.
+    alerts:
+        Alerts the attached :class:`~repro.stream.forecast.StreamMonitor`
+        raised on this push (always empty without a monitor).  Alerts
+        are a pure observer output — they never influence the tracked
+        state.
     """
 
     step: int
@@ -187,6 +197,7 @@ class TrackUpdate:
     regions: tuple[TrackedRegion, ...]
     coverage: int
     failure: ItemFailure | None = None
+    alerts: tuple["AlertRecord", ...] = field(default=())
 
 
 class IncrementalTracker:
@@ -211,6 +222,12 @@ class IncrementalTracker:
     strict:
         When true a failing pair evaluation raises; when false the pair
         is quarantined (no relations) and recorded on :attr:`failures`.
+    monitor:
+        Optional :class:`~repro.stream.forecast.StreamMonitor`.  After
+        each push the monitor inspects the finished
+        :class:`TrackUpdate` and its alerts are attached to
+        :attr:`TrackUpdate.alerts`; the tracked state itself is never
+        affected (the purity guarantee the differential suite enforces).
     """
 
     def __init__(
@@ -219,10 +236,12 @@ class IncrementalTracker:
         *,
         bounds: SpaceBounds | None = None,
         strict: bool = True,
+        monitor: "StreamMonitor | None" = None,
     ) -> None:
         self.config = config or TrackerConfig()
         self.strict = strict
         self.bounds = bounds
+        self.monitor = monitor
         if bounds is None and self.config.reference != 0:
             raise StreamError(
                 "adaptive-bounds streaming requires config.reference == 0 "
@@ -361,7 +380,7 @@ class IncrementalTracker:
 
         regions = chain_regions(self._frames, self._pairs)
         coverage = coverage_percent(regions, self._frames)
-        return TrackUpdate(
+        update = TrackUpdate(
             step=len(self._frames) - 1,
             frame=frame,
             pair=pair,
@@ -369,6 +388,9 @@ class IncrementalTracker:
             coverage=coverage,
             failure=failure,
         )
+        if self.monitor is not None:
+            update = replace(update, alerts=self.monitor.observe(update))
+        return update
 
     def result(self) -> TrackingResult:
         """Final batch-compatible result over every frame consumed.

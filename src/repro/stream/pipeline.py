@@ -50,6 +50,7 @@ from repro.stream.checkpoint import (
     save_checkpoint,
     stream_key,
 )
+from repro.stream.forecast import WatchTelemetry
 from repro.stream.incremental import IncrementalTracker, SpaceBounds, TrackUpdate
 from repro.stream.window import slice_trace
 from repro.tracking.tracker import TrackerConfig, TrackingResult
@@ -121,6 +122,7 @@ def track_windows(
     strict: bool = True,
     cache: PipelineCache | None = None,
     on_update: Callable[[TrackUpdate], None] | None = None,
+    telemetry: WatchTelemetry | None = None,
 ) -> "TrackingResult | PartialResult[TrackingResult]":
     """Slice *trace* into time windows and track them incrementally.
 
@@ -150,6 +152,17 @@ def track_windows(
     on_update:
         Called with a :class:`TrackUpdate` after every *live* frame
         push (replayed windows do not re-fire it).
+    telemetry:
+        Optional :class:`~repro.stream.forecast.WatchTelemetry`
+        collecting the run's health surface (window/update counts,
+        update latency, alerts).  When its
+        :class:`~repro.stream.forecast.StreamMonitor` is attached
+        (``WatchTelemetry(alerts=AlertConfig())``), every pushed frame
+        is also forecast-checked and the resulting alerts ride on
+        :attr:`TrackUpdate.alerts`, the checkpoint, and
+        ``telemetry.alerts``.  Monitoring is a pure observer: the
+        tracked regions/relations/labels are bit-identical with it on
+        or off.
 
     The incremental result is bit-identical to batch tracking of the
     same surviving window frames — the guarantee the differential suite
@@ -215,7 +228,18 @@ def track_windows(
             reference=config.reference,
             log_extensive=config.log_extensive,
         )
-        tracker = IncrementalTracker(config, bounds=bounds, strict=strict)
+        monitor = telemetry.monitor if telemetry is not None else None
+        if telemetry is not None:
+            telemetry.n_windows = len(windows)
+            telemetry.n_empty = sum(
+                1 for status, _ in statuses if status == "empty"
+            )
+            telemetry.n_quarantined = sum(
+                1 for status, _ in statuses if status == "quarantined"
+            )
+        tracker = IncrementalTracker(
+            config, bounds=bounds, strict=strict, monitor=monitor
+        )
 
         # Checkpoint replay: adopt completed windows verbatim.
         key = None
@@ -229,7 +253,8 @@ def track_windows(
             if stored is not None:
                 try:
                     resume_from = _replay(
-                        stored, statuses, windows, settings, tracker, records
+                        stored, statuses, windows, settings, tracker,
+                        records, telemetry,
                     )
                 except (ReproError, ValueError, IndexError) as error:
                     log.warning(
@@ -239,8 +264,11 @@ def track_windows(
                     cache.invalidate(key)
                     records = []
                     resume_from = 0
+                    if telemetry is not None:
+                        telemetry.reset_stream_state()
+                        monitor = telemetry.monitor
                     tracker = IncrementalTracker(
-                        config, bounds=bounds, strict=strict
+                        config, bounds=bounds, strict=strict, monitor=monitor
                     )
 
         # Pass 2: stream the remaining windows.
@@ -260,12 +288,12 @@ def track_windows(
                     started = time.perf_counter()
                     frame = _window_frame(window, settings, cache)
                     update = tracker.push(frame)
+                    elapsed = time.perf_counter() - started
                     if update.pair is not None:
-                        obs.observe(
-                            "stream.update_seconds",
-                            time.perf_counter() - started,
-                        )
+                        obs.observe("stream.update_seconds", elapsed)
                         obs.count("stream.updates_total")
+                    if telemetry is not None:
+                        telemetry.record_update(update, seconds=elapsed)
                     records.append(
                         WindowRecord(
                             window=index,
@@ -273,6 +301,7 @@ def track_windows(
                             labels=frame.labels,
                             pair=update.pair,
                             pair_failure=update.failure,
+                            alerts=update.alerts,
                         )
                     )
                 if on_update is not None:
@@ -288,6 +317,8 @@ def track_windows(
                 n_resumed=resume_from,
                 coverage=result.coverage,
             )
+            if telemetry is not None and telemetry.alerts_enabled:
+                run_span.set(n_alerts=len(telemetry.alerts))
         if strict:
             return result
         return PartialResult(
@@ -303,6 +334,7 @@ def _replay(
     settings: FrameSettings,
     tracker: IncrementalTracker,
     records: list[WindowRecord],
+    telemetry: WatchTelemetry | None = None,
 ) -> int:
     """Feed checkpointed windows back into *tracker*; return the resume index.
 
@@ -310,6 +342,13 @@ def _replay(
     same per-window statuses (the key pins trace digest, spec, settings,
     config and strictness, so a mismatch means corruption); any
     disagreement raises and the caller starts cold.
+
+    When the tracker carries a monitor, replayed pushes rebuild its
+    trend state and alerts are *recomputed* (deterministically — the
+    monitor is a pure function of the pushed frames) rather than
+    trusted from the checkpoint, so a checkpoint written without
+    alerting (or by an older format) resumes into an alerting run
+    seamlessly.
     """
     for position, record in enumerate(stored):
         if record.window != position or position >= len(windows):
@@ -333,7 +372,12 @@ def _replay(
                         f"checkpoint window #{position} lacks its pair"
                     )
                 precomputed = (record.pair, record.pair_failure)
-            tracker.push(frame, precomputed=precomputed)
+            update = tracker.push(frame, precomputed=precomputed)
             obs.count("stream.windows_resumed")
+            if tracker.monitor is not None:
+                record = replace(record, alerts=update.alerts)
+            if telemetry is not None:
+                telemetry.n_resumed += 1
+                telemetry.record_update(update)
         records.append(record)
     return len(stored)

@@ -17,7 +17,13 @@ from repro import obs
 from repro.errors import TrackingError
 from repro.tracking.tracker import TrackedRegion, TrackingResult
 
-__all__ = ["TrendSeries", "compute_trends", "top_variations", "normalized_to_max"]
+__all__ = [
+    "TrendSeries",
+    "frame_region_metric",
+    "compute_trends",
+    "top_variations",
+    "normalized_to_max",
+]
 
 _AGGREGATES = ("mean", "total")
 
@@ -84,16 +90,21 @@ class TrendSeries:
         )
 
 
-def _region_metric(
-    result: TrackingResult,
-    region: TrackedRegion,
-    frame_index: int,
+def frame_region_metric(
+    frame,
+    member_ids: frozenset[int] | set[int],
     metric: str,
-    aggregate: str,
+    aggregate: str = "mean",
 ) -> float:
-    """Aggregate *metric* over the region's bursts in one frame."""
-    frame = result.frames[frame_index]
-    member_ids = region.members[frame_index]
+    """Aggregate *metric* over a region's bursts in one frame.
+
+    *member_ids* holds the region's cluster ids within *frame*; an empty
+    set yields ``NaN`` (the region is absent there).  ``"mean"``
+    averages per burst — IPC is instruction-weighted
+    (``sum(instructions) / sum(cycles)``) so short bursts do not skew
+    it — and ``"total"`` sums over all member bursts.  Shared by the
+    offline trend extraction and the live stream monitor.
+    """
     if not member_ids:
         return float("nan")
     indices = np.concatenate(
@@ -106,6 +117,22 @@ def _region_metric(
         cycles = frame.trace.metric("cycles")[indices].sum()
         return float(instructions / cycles) if cycles else 0.0
     return float(frame.trace.metric(metric)[indices].mean())
+
+
+def _region_metric(
+    result: TrackingResult,
+    region: TrackedRegion,
+    frame_index: int,
+    metric: str,
+    aggregate: str,
+) -> float:
+    """Aggregate *metric* over the region's bursts in one frame."""
+    return frame_region_metric(
+        result.frames[frame_index],
+        region.members[frame_index],
+        metric,
+        aggregate,
+    )
 
 
 def compute_trends(

@@ -86,13 +86,34 @@ class TestHistograms:
     def test_percentile_overflow_clamps_to_top_bound(self):
         registry = MetricsRegistry()
         hist = registry.histogram("t", buckets=(1.0,))
+        # Two overflow observations: the estimate clamps to the highest
+        # finite bound (a documented lower bound for tail percentiles).
         hist.observe(50.0)
+        hist.observe(60.0)
         assert hist.p99 == 1.0
+
+    def test_percentile_single_sample_is_exact(self):
+        # Regression: a single observation used to be interpolated to
+        # an arbitrary point of its bucket (or clamped to the top bound
+        # in the overflow bucket); it is now returned exactly.
+        registry = MetricsRegistry()
+        inside = registry.histogram("inside", buckets=(1.0, 2.0))
+        inside.observe(1.3)
+        assert inside.p50 == 1.3
+        assert inside.p90 == 1.3
+        assert inside.p99 == 1.3
+        overflow = registry.histogram("overflow", buckets=(1.0,))
+        overflow.observe(50.0)
+        assert overflow.p50 == 50.0
+        assert overflow.p99 == 50.0
+        assert overflow.percentile(0.0) == 50.0
+        assert overflow.percentile(1.0) == 50.0
 
     def test_percentile_empty_and_bad_fraction(self):
         registry = MetricsRegistry()
         hist = registry.histogram("t", buckets=(1.0,))
         assert hist.p50 == 0.0
+        assert hist.percentile(1.0) == 0.0
         with pytest.raises(ValueError):
             hist.percentile(1.5)
 

@@ -113,3 +113,28 @@ class TestConfidenceStats:
         assert stats.histogram == (1, 1, 1, 2)
         assert stats.minimum == 0.1
         assert stats.maximum == 1.0
+
+
+class TestAlertTotals:
+    def test_to_dict_omits_alerts_when_not_given(self, toy_result):
+        # Golden-fixture safety: payloads without alert totals keep the
+        # pre-alerting shape bit-for-bit.
+        payload = quality_report(toy_result).to_dict()
+        assert "alerts" not in payload
+
+    def test_to_dict_carries_alert_totals_when_given(self, toy_result):
+        from repro.obs.alerts import AlertRecord, summarize_alerts
+
+        totals = summarize_alerts([
+            AlertRecord(window=1, step=1, region_id=1, track="f0:c1",
+                        kind="divergence", metric="ipc"),
+            AlertRecord(window=2, step=2, region_id=2, track="f0:c2",
+                        kind="death"),
+        ])
+        report = quality_report(toy_result, alerts=totals)
+        assert report.alerts is totals
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["alerts"]["total"] == 2
+        assert payload["alerts"]["by_kind"] == {
+            "death": 1, "divergence": 1,
+        }

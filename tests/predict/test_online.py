@@ -1,0 +1,142 @@
+"""OnlineTrend: incremental refitting, forecasts, bounded history."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.predict import OnlineTrend, fit_best_model
+from repro.predict.models import LinearModel
+
+
+class TestConstruction:
+    def test_rejects_bad_reselect_cadence(self):
+        with pytest.raises(ModelError):
+            OnlineTrend(reselect_every=0)
+
+    def test_rejects_tiny_history(self):
+        with pytest.raises(ModelError):
+            OnlineTrend(max_history=1)
+
+    def test_unbounded_history_allowed(self):
+        trend = OnlineTrend(max_history=None)
+        for k in range(100):
+            trend.observe(k, 1.0 + 0.01 * k)
+        assert trend.n_observations == 100
+
+
+class TestForecast:
+    def test_no_forecast_before_two_observations(self):
+        trend = OnlineTrend()
+        assert trend.forecast(1.0) is None
+        trend.observe(0.0, 1.0)
+        assert trend.forecast(1.0) is None
+
+    def test_linear_series_forecast_is_exact(self):
+        trend = OnlineTrend()
+        for k in range(6):
+            trend.observe(k, 2.0 + 3.0 * k)
+        point = trend.forecast(6.0)
+        assert point is not None
+        assert point.predicted == pytest.approx(20.0, rel=1e-6)
+        assert point.residual_std == pytest.approx(0.0, abs=1e-9)
+        assert point.x == 6.0
+
+    def test_constant_series_selects_constant(self):
+        trend = OnlineTrend()
+        for k in range(5):
+            trend.observe(k, 4.2)
+        assert trend.model_kind == "ConstantModel"
+        assert trend.forecast(10.0).predicted == pytest.approx(4.2)
+
+    def test_forecast_point_reports_model_kind(self):
+        trend = OnlineTrend()
+        for k in range(8):
+            trend.observe(k, 1.0 + 2.0 * k)
+        point = trend.forecast(8.0)
+        assert point.model_kind == type(trend.model).__name__
+
+
+class TestRefitBehaviour:
+    def test_cheap_refit_keeps_family_between_reselections(self):
+        trend = OnlineTrend(reselect_every=100)
+        for k in range(4):
+            trend.observe(k, 1.0 + 2.0 * k)
+        first_kind = trend.model_kind
+        # Observations between reselections refit coefficients only.
+        trend.observe(4.0, 9.5)
+        assert trend.model_kind == first_kind
+
+    def test_reselection_can_change_family(self):
+        # Linear at first, then flat: the reselection pass should
+        # eventually stop calling it linear.
+        trend = OnlineTrend(reselect_every=2, max_history=8)
+        for k in range(4):
+            trend.observe(k, 1.0 + k)
+        for k in range(4, 16):
+            trend.observe(k, 5.0)
+        assert trend.model_kind != "LinearModel"
+
+    def test_matches_offline_fit_on_same_window(self):
+        # With reselect_every=1 the online model is exactly the offline
+        # selection over the current history.
+        rng = np.random.default_rng(3)
+        xs = np.arange(10, dtype=float)
+        ys = 2.0 + 0.5 * xs + 0.01 * rng.standard_normal(10)
+        trend = OnlineTrend(reselect_every=1, max_history=None)
+        for x, y in zip(xs, ys):
+            trend.observe(x, y)
+        offline = fit_best_model(xs, ys)
+        assert type(trend.model) is type(offline)
+        assert trend.model.predict(np.asarray([11.0]))[0] == pytest.approx(
+            offline.predict(np.asarray([11.0]))[0]
+        )
+
+
+class TestHistoryAndRobustness:
+    def test_history_is_bounded(self):
+        trend = OnlineTrend(max_history=4)
+        for k in range(10):
+            trend.observe(k, float(k))
+        assert trend.n_observations == 4
+        assert list(trend.x) == [6.0, 7.0, 8.0, 9.0]
+
+    def test_non_finite_observations_dropped(self):
+        trend = OnlineTrend()
+        trend.observe(0.0, 1.0)
+        trend.observe(1.0, float("nan"))
+        trend.observe(float("inf"), 2.0)
+        assert trend.n_observations == 1
+        assert trend.forecast(2.0) is None
+
+    def test_determinism_supports_replay(self):
+        # Two trends fed the same series are in identical states — the
+        # property checkpoint replay relies on.
+        series = [(k, 1.0 + 0.3 * k + (0.01 if k % 2 else -0.01))
+                  for k in range(12)]
+        a, b = OnlineTrend(), OnlineTrend()
+        for x, y in series:
+            a.observe(x, y)
+            b.observe(x, y)
+        pa, pb = a.forecast(12.0), b.forecast(12.0)
+        assert pa.predicted == pb.predicted
+        assert pa.residual_std == pb.residual_std
+        assert a.model_kind == b.model_kind
+
+
+class TestRegionForecastBridge:
+    def test_requires_a_model(self):
+        with pytest.raises(ModelError):
+            OnlineTrend().as_region_forecast(1, "ipc", [5.0])
+
+    def test_bridges_to_offline_shape(self):
+        trend = OnlineTrend()
+        for k in range(6):
+            trend.observe(k, 1.0 + k)
+        forecast = trend.as_region_forecast(3, "ipc", [6.0, 7.0])
+        assert forecast.region_id == 3
+        assert forecast.metric == "ipc"
+        assert forecast.y_predicted.shape == (2,)
+        assert forecast.y_predicted[0] == pytest.approx(7.0, rel=1e-6)
+        assert isinstance(forecast.model, LinearModel) or forecast.model

@@ -1,0 +1,129 @@
+"""Checkpoint format compatibility: format-1 payloads keep loading.
+
+Format 2 added the per-window ``alerts`` list.  These tests pin the
+contract: format-1 checkpoints (written before alerting existed) load
+with empty alerts and resume cleanly — including into an alerting run,
+which recomputes alerts from the replayed frames — while unknown
+formats are dropped wholesale.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.frames import FrameSettings
+from repro.obs.alerts import AlertConfig
+from repro.parallel.cache import PipelineCache
+from repro.stream import WatchTelemetry, slice_trace, track_windows
+from repro.stream.checkpoint import (
+    _ACCEPTED_FORMATS,
+    _CHECKPOINT_FORMAT,
+    load_checkpoint,
+    stream_key,
+)
+from repro.tracking.tracker import TrackerConfig
+from tests.stream.test_alerts import DRIFT_WINDOW_NS, build_drift_trace
+
+
+def _checkpointed_run(tmp_path, *, alerts=None):
+    """One full watch over the drift trace; returns (trace, cache, key)."""
+    trace = build_drift_trace(drift=True)
+    cache = PipelineCache(tmp_path / "cache")
+    telemetry = WatchTelemetry(alerts=alerts)
+    track_windows(
+        trace, window_ns=DRIFT_WINDOW_NS, cache=cache, telemetry=telemetry
+    )
+    spec, _ = slice_trace(trace, window_ns=DRIFT_WINDOW_NS)
+    key = stream_key(
+        trace, spec.as_dict(), FrameSettings(), TrackerConfig(), strict=True
+    )
+    return trace, cache, key, telemetry
+
+
+def _downgrade_to_format1(cache, key):
+    """Rewrite the stored checkpoint as a faithful format-1 payload."""
+    payload = cache.get(key)
+    assert payload is not None and payload["format"] == _CHECKPOINT_FORMAT
+    payload["format"] = 1
+    for window in payload["windows"]:
+        window.pop("alerts", None)
+    cache.put(key, payload)
+
+
+class TestFormatConstants:
+    def test_current_format_is_accepted(self):
+        assert _CHECKPOINT_FORMAT in _ACCEPTED_FORMATS
+
+    def test_format_one_still_accepted(self):
+        assert 1 in _ACCEPTED_FORMATS
+
+
+class TestFormatOne:
+    def test_loads_with_empty_alerts(self, tmp_path):
+        _, cache, key, _ = _checkpointed_run(
+            tmp_path, alerts=AlertConfig()
+        )
+        _downgrade_to_format1(cache, key)
+        records = load_checkpoint(cache, key)
+        assert records is not None
+        assert all(record.alerts == () for record in records)
+
+    def test_resumes_a_plain_run(self, tmp_path):
+        trace, cache, key, _ = _checkpointed_run(tmp_path)
+        _downgrade_to_format1(cache, key)
+        reference = track_windows(trace, window_ns=DRIFT_WINDOW_NS)
+        telemetry = WatchTelemetry()
+        resumed = track_windows(
+            trace, window_ns=DRIFT_WINDOW_NS, cache=cache,
+            telemetry=telemetry,
+        )
+        assert telemetry.n_resumed > 0
+        assert resumed.regions == reference.regions
+
+    def test_resumes_into_alerting_run_with_recomputed_alerts(
+        self, tmp_path
+    ):
+        trace, cache, key, _ = _checkpointed_run(tmp_path)
+        _downgrade_to_format1(cache, key)
+        reference = WatchTelemetry(alerts=AlertConfig())
+        track_windows(
+            build_drift_trace(drift=True), window_ns=DRIFT_WINDOW_NS,
+            telemetry=reference,
+        )
+        telemetry = WatchTelemetry(alerts=AlertConfig())
+        track_windows(
+            trace, window_ns=DRIFT_WINDOW_NS, cache=cache,
+            telemetry=telemetry,
+        )
+        assert telemetry.n_resumed > 0
+        assert telemetry.alerts == reference.alerts
+
+
+class TestFormatTwo:
+    def test_alerts_round_trip_through_the_checkpoint(self, tmp_path):
+        _, cache, key, telemetry = _checkpointed_run(
+            tmp_path, alerts=AlertConfig()
+        )
+        assert telemetry.alerts
+        records = load_checkpoint(cache, key)
+        stored = [
+            alert for record in records for alert in record.alerts
+        ]
+        assert stored == telemetry.alerts
+
+    def test_unknown_future_format_is_dropped(self, tmp_path):
+        _, cache, key, _ = _checkpointed_run(tmp_path)
+        payload = cache.get(key)
+        payload["format"] = 99
+        cache.put(key, payload)
+        assert load_checkpoint(cache, key) is None
+
+    def test_malformed_alert_entry_drops_the_checkpoint(self, tmp_path):
+        _, cache, key, _ = _checkpointed_run(
+            tmp_path, alerts=AlertConfig()
+        )
+        payload = cache.get(key)
+        tainted = next(
+            w for w in payload["windows"] if w.get("alerts")
+        )
+        tainted["alerts"][0]["kind"] = "meltdown"
+        cache.put(key, payload)
+        assert load_checkpoint(cache, key) is None

@@ -118,3 +118,40 @@ def test_incremental_matches_batch_with_warm_cache(app, tmp_path):
     batch = Tracker(cold, TrackerConfig()).run()
     incremental = track_stream(warm, TrackerConfig())
     _assert_equal_results(batch, incremental)
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_alerting_monitor_is_a_pure_observer(app):
+    """Alerts on vs off: regions/relations/labels stay bit-identical.
+
+    The hard correctness requirement of the live-alerting layer — the
+    monitor reads every TrackUpdate but never feeds anything back, so
+    an alerting run is indistinguishable from a plain one (and both
+    from the batch tracker) on every bundled app generator.
+    """
+    from repro.obs.alerts import AlertConfig
+    from repro.stream import WatchTelemetry
+
+    frames = _window_frames(app)
+    plain = track_stream(frames, TrackerConfig())
+    telemetry = WatchTelemetry(alerts=AlertConfig())
+    monitored = track_stream(
+        frames, TrackerConfig(), telemetry=telemetry
+    )
+    assert telemetry.n_updates == len(frames) - 1
+    _assert_equal_results(plain, monitored)
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_alerting_track_windows_matches_plain(app):
+    """track_windows with a monitor matches its unmonitored output."""
+    from repro.obs.alerts import AlertConfig
+    from repro.stream import WatchTelemetry, track_windows
+
+    trace = _build_trace(app)
+    plain = track_windows(trace, n_windows=4, settings=SETTINGS)
+    monitored = track_windows(
+        trace, n_windows=4, settings=SETTINGS,
+        telemetry=WatchTelemetry(alerts=AlertConfig()),
+    )
+    _assert_equal_results(plain, monitored)

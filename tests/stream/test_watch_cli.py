@@ -262,3 +262,138 @@ class TestWatchCli:
                 "watch", str(trace_file),
                 "--windows", "4", "--window-ns", "1e6",
             ])
+
+
+class TestWatchAlertsCli:
+    """``watch --alerts``: exit codes, stderr stream, JSONL, summary."""
+
+    def _drift_file(self, tmp_path, *, drift: bool):
+        from tests.stream.test_alerts import build_drift_trace
+
+        trace_file = tmp_path / ("drift.json" if drift else "steady.json")
+        save_trace(build_drift_trace(drift=drift), trace_file)
+        return trace_file
+
+    _WINDOW_NS = "20000000"  # one iteration slot of build_drift_trace
+
+    def test_drifting_run_exits_four_with_alert_lines(
+        self, tmp_path, capsys
+    ):
+        trace_file = self._drift_file(tmp_path, drift=True)
+        code = main([
+            "watch", str(trace_file), "--window-ns", self._WINDOW_NS,
+            "--alerts",
+        ])
+        assert code == 4
+        captured = capsys.readouterr()
+        assert "ALERT [divergence]" in captured.err
+        assert "watch summary:" in captured.err
+        assert "alerts:" in captured.err
+        # Alert lines go to stderr only; stdout keeps the stream lines.
+        assert "ALERT" not in captured.out
+
+    def test_steady_run_exits_zero_with_empty_summary(
+        self, tmp_path, capsys
+    ):
+        trace_file = self._drift_file(tmp_path, drift=False)
+        code = main([
+            "watch", str(trace_file), "--window-ns", self._WINDOW_NS,
+            "--alerts",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "ALERT" not in err
+        assert "alerts: none" in err
+
+    def test_alerts_jsonl_implies_alerts_and_validates(
+        self, tmp_path, capsys
+    ):
+        trace_file = self._drift_file(tmp_path, drift=True)
+        jsonl = tmp_path / "alerts.jsonl"
+        code = main([
+            "watch", str(trace_file), "--window-ns", self._WINDOW_NS,
+            "--alerts-jsonl", str(jsonl),
+        ])
+        assert code == 4
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        from repro.obs.alerts import AlertRecord
+
+        records = [AlertRecord.from_dict(json.loads(line)) for line in lines]
+        assert any(r.kind == "divergence" for r in records)
+        assert all(r.track for r in records)
+
+    def test_alert_threshold_is_honoured(self, tmp_path, capsys):
+        # An absurdly wide tolerance silences the drift's divergences
+        # (the regression check still fires — it has its own knob).
+        trace_file = self._drift_file(tmp_path, drift=True)
+        main([
+            "watch", str(trace_file), "--window-ns", self._WINDOW_NS,
+            "--alerts", "--alert-threshold", "100",
+        ])
+        err = capsys.readouterr().err
+        assert "ALERT [divergence]" not in err
+
+    def test_summary_line_appears_without_alerts_flag(
+        self, tmp_path, capsys
+    ):
+        trace_file = self._drift_file(tmp_path, drift=False)
+        code = main([
+            "watch", str(trace_file), "--window-ns", self._WINDOW_NS,
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "watch summary:" in err
+        assert "alerts: disabled" in err
+
+    def test_quarantine_exit_code_beats_alerts(self, tmp_path, capsys):
+        # Quarantined windows (exit 3) take precedence over exit 4.
+        trace = build_gappy_trace()
+        trace_file = tmp_path / "gappy.json"
+        save_trace(trace, trace_file)
+        code = main([
+            "watch", str(trace_file), "--windows", "4", "--no-strict",
+            "--alerts",
+        ])
+        assert code == 3
+
+    def test_html_report_carries_stream_section(self, tmp_path, capsys):
+        trace_file = self._drift_file(tmp_path, drift=True)
+        report = tmp_path / "report.html"
+        main([
+            "watch", str(trace_file), "--window-ns", self._WINDOW_NS,
+            "--alerts", "--report", str(report),
+        ])
+        html = report.read_text()
+        assert "Live watch telemetry" in html
+        assert "stroke-dasharray" in html  # forecast sparkline
+        assert "ALERT" not in html  # table, not raw stderr lines
+        assert "divergence" in html
+
+    def test_json_report_carries_stream_payload(self, tmp_path, capsys):
+        trace_file = self._drift_file(tmp_path, drift=True)
+        report = tmp_path / "report.json"
+        main([
+            "watch", str(trace_file), "--window-ns", self._WINDOW_NS,
+            "--alerts", "--report", str(report),
+        ])
+        payload = json.loads(report.read_text())
+        stream = payload["stream"]
+        assert stream["alerts_enabled"] is True
+        assert stream["windows"] == 10
+        assert stream["alerts"]
+        assert stream["series"]
+        quality = payload["runs"][0]["quality"]
+        assert quality["alerts"]["total"] == len(stream["alerts"])
+
+    def test_plain_report_payload_has_no_stream_key(self, tmp_path, capsys):
+        # Non-watch reports keep the pre-alerting payload shape.
+        trace_file = self._drift_file(tmp_path, drift=False)
+        report = tmp_path / "report.json"
+        main([
+            "track", str(trace_file), str(trace_file),
+            "--report", str(report),
+        ])
+        payload = json.loads(report.read_text())
+        assert "stream" not in payload
+        assert "alerts" not in payload["runs"][0]["quality"]
