@@ -1,0 +1,125 @@
+"""Hot-path benchmarks: the kernels where the pipeline's wall-time goes.
+
+The figure/table benches regenerate paper artefacts; the stream benches
+measure the watch pipeline.  This file covers the remaining dominant
+costs so every optimisation claim is a measured number in
+``BENCH_RESULTS.json``:
+
+- **DBSCAN** at 10^4 and 10^5 bursts (the clustering stage is the
+  single largest cost of every end-to-end run);
+- **Needleman-Wunsch** pairwise alignment and the **star MSA** the
+  SPMD evaluator builds per frame;
+- **the combination algorithm** (all four evaluators on one frame
+  pair);
+- the **end-to-end five-app Table 2 pipeline** (the differential
+  suite's app set: WRF, NAS BT, CGPOP, HydroC, MR-Genesis).
+
+Every bench asserts the *shape* of its result so a broken optimisation
+cannot post a fast-but-wrong number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.alignment.msa import star_align
+from repro.alignment.pairwise import global_align
+from repro.analysis.experiments import get_case_study
+from repro.clustering.dbscan import DBSCAN
+from repro.tracking.combine import combine_pair
+from repro.tracking.scaling import normalize_frames
+
+#: The five applications the PR 5/6 differential suites track.
+FIVE_APPS = ("WRF", "NAS BT", "CGPOP", "HydroC", "MR-Genesis")
+
+
+def _blob_points(n: int, *, n_blobs: int = 12, spread: float = 0.02) -> np.ndarray:
+    """Synthetic normalised frame: *n* bursts around *n_blobs* behaviours.
+
+    Mimics what DBSCAN sees in production — compact dense blobs in the
+    unit square — at a controlled population.
+    """
+    rng = np.random.default_rng(BENCH_SEED)
+    centers = rng.uniform(0.1, 0.9, size=(n_blobs, 2))
+    which = rng.integers(0, n_blobs, size=n)
+    points = centers[which] + rng.normal(0.0, spread, size=(n, 2))
+    return np.clip(points, 0.0, 1.0)
+
+
+@pytest.mark.parametrize("n", [10_000, 100_000], ids=["10k", "100k"])
+def test_perf_dbscan(benchmark, n):
+    """Cluster a dense synthetic frame (the production regime)."""
+    points = _blob_points(n)
+    result = run_once(
+        benchmark, lambda: DBSCAN(eps=0.03, min_pts=max(5, n // 400)).fit(points)
+    )
+    assert result.labels.shape == (n,)
+    assert 1 <= result.n_clusters <= 14
+    # Dense blobs: almost everything is core, nothing is lost.
+    assert result.core_mask.mean() > 0.9
+
+
+def _rank_sequences(n_ranks: int = 64, length: int = 400):
+    """Near-identical SPMD phase sequences with a few divergent ranks."""
+    rng = np.random.default_rng(BENCH_SEED)
+    base = rng.integers(1, 13, size=length)
+    sequences = {}
+    for rank in range(n_ranks):
+        seq = base.copy()
+        if rank % 16 == 3:  # a handful of ranks diverge slightly
+            drop = rng.integers(0, length, size=4)
+            seq = np.delete(seq, drop)
+        sequences[rank] = seq
+    return sequences
+
+
+def test_perf_nw_pairwise(benchmark):
+    """One long global alignment (consensus-vs-consensus scale)."""
+    rng = np.random.default_rng(BENCH_SEED)
+    a = rng.integers(1, 13, size=3_000)
+    b = a.copy()
+    drop = rng.integers(0, a.size, size=30)
+    b = np.delete(b, drop)
+    alignment = run_once(benchmark, lambda: global_align(a, b))
+    assert alignment.score > 0
+    assert alignment.length >= a.size
+
+
+def test_perf_msa_star(benchmark):
+    """Star MSA over 64 near-identical rank sequences (SPMD evaluator)."""
+    sequences = _rank_sequences()
+    alignment = run_once(benchmark, lambda: star_align(sequences))
+    assert alignment.n_sequences == 64
+    assert alignment.n_columns >= 400
+
+
+def test_perf_combine_pair(benchmark, wrf_frames):
+    """All four evaluators + combination on the WRF 128/256 pair."""
+    space = normalize_frames(wrf_frames)
+    pair = run_once(
+        benchmark,
+        lambda: combine_pair(
+            wrf_frames[0], wrf_frames[1], space.points[0], space.points[1]
+        ),
+    )
+    assert len(pair.relations) >= 10
+
+
+def test_perf_table2_five_apps(benchmark):
+    """End-to-end five-app Table 2 pipeline: simulate, cluster, track.
+
+    Runs fresh (no session cache) so the bench always pays the full
+    pipeline cost; the paper's Table 2 rows anchor correctness.
+    """
+    def run_all():
+        return {name: get_case_study(name).run(seed=BENCH_SEED) for name in FIVE_APPS}
+
+    results = run_once(benchmark, run_all)
+    for name in FIVE_APPS:
+        case = get_case_study(name)
+        study = results[name]
+        assert len(study.traces) == case.expected_images, name
+        assert study.n_tracked == case.expected_regions, name
+        assert study.coverage == case.expected_coverage, name

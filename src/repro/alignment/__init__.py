@@ -18,8 +18,18 @@ them (:mod:`~repro.alignment.spmd`).
 
 from __future__ import annotations
 
+from repro.alignment.memo import (
+    align_memo_info,
+    clear_align_memo,
+    memoised_align,
+)
 from repro.alignment.msa import MultipleAlignment, star_align
-from repro.alignment.pairwise import GAP, Alignment, global_align
+from repro.alignment.pairwise import (
+    GAP,
+    Alignment,
+    global_align,
+    global_align_reference,
+)
 from repro.alignment.spmd import (
     consensus_sequence,
     simultaneity_matrix,
@@ -36,6 +46,10 @@ __all__ = [
     "GAP",
     "Alignment",
     "global_align",
+    "global_align_reference",
+    "memoised_align",
+    "align_memo_info",
+    "clear_align_memo",
     "MultipleAlignment",
     "star_align",
     "consensus_sequence",

@@ -1,0 +1,84 @@
+"""Content-keyed memo for pairwise alignments.
+
+The tracking pipeline aligns the *same* sequences over and over: the
+star MSA aligns its centre against 64 near-identical rank sequences,
+consensus sequences recur across frame pairs, and windowed runs replay
+whole frames.  Since :func:`repro.alignment.pairwise.global_align` is a
+pure function of (sequence bytes, scoring scheme), its results can be
+shared globally through a bounded LRU keyed on content.
+
+Memoised results are returned with read-only arrays — they are shared
+between callers, so an in-place edit by one would corrupt the others.
+All existing consumers only read them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+
+import numpy as np
+
+from repro import obs
+from repro.alignment.pairwise import Alignment, global_align
+
+__all__ = ["memoised_align", "align_memo_info", "clear_align_memo"]
+
+#: Entries kept in the LRU.  Alignments are small (a few KiB each), so
+#: this bounds the memo at a few MiB while covering every sequence a
+#: realistic multi-frame run can produce.
+_MAX_ENTRIES = 1024
+
+_lock = Lock()
+_memo: OrderedDict[tuple, Alignment] = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def memoised_align(
+    seq_a: np.ndarray,
+    seq_b: np.ndarray,
+    *,
+    match: float = 2.0,
+    mismatch: float = -1.0,
+    gap: float = -2.0,
+) -> Alignment:
+    """:func:`global_align`, cached on (content, scoring scheme)."""
+    global _hits, _misses
+    a = np.ascontiguousarray(seq_a, dtype=np.int64)
+    b = np.ascontiguousarray(seq_b, dtype=np.int64)
+    key = (a.tobytes(), b.tobytes(), match, mismatch, gap)
+    with _lock:
+        cached = _memo.get(key)
+        if cached is not None:
+            _memo.move_to_end(key)
+            _hits += 1
+            if obs.enabled():
+                obs.count("alignment.memo.hit")
+            return cached
+        _misses += 1
+    if obs.enabled():
+        obs.count("alignment.memo.miss")
+    alignment = global_align(a, b, match=match, mismatch=mismatch, gap=gap)
+    alignment.aligned_a.setflags(write=False)
+    alignment.aligned_b.setflags(write=False)
+    with _lock:
+        _memo[key] = alignment
+        while len(_memo) > _MAX_ENTRIES:
+            _memo.popitem(last=False)
+    return alignment
+
+
+def align_memo_info() -> dict[str, int]:
+    """Current memo statistics (entries, hits, misses)."""
+    with _lock:
+        return {"entries": len(_memo), "hits": _hits, "misses": _misses}
+
+
+def clear_align_memo() -> None:
+    """Drop all cached alignments and reset the counters."""
+    global _hits, _misses
+    with _lock:
+        _memo.clear()
+        _hits = 0
+        _misses = 0

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.alignment.pairwise import GAP, global_align
+from repro.alignment.memo import memoised_align
+from repro.alignment.pairwise import GAP
 from repro.errors import AlignmentError
 
 __all__ = ["MultipleAlignment", "star_align"]
@@ -121,7 +122,7 @@ def star_align(
         if key == center_key:
             continue
         seq = arrays[key]
-        alignment = global_align(
+        alignment = memoised_align(
             center[center != GAP] if (center == GAP).any() else center,
             seq,
             match=match,

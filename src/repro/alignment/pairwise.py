@@ -1,11 +1,51 @@
 """Global pairwise sequence alignment (Needleman-Wunsch).
 
 Sequences here are integer arrays of cluster ids.  The scoring is the
-classic match / mismatch / linear-gap scheme.  The DP fill is fully
-vectorised: the in-row "gap from the left" dependency is a max-plus
-prefix scan, so each row is computed with ``np.maximum.accumulate``
-instead of a Python inner loop — rows of several thousand symbols cost
-microseconds, keeping the per-rank alignments of large frames cheap.
+classic match / mismatch / linear-gap scheme.  Two engines produce
+bit-identical results:
+
+- :func:`global_align_reference` — the full ``(n+1) x (m+1)`` table.
+  The fill is vectorised (the in-row "gap from the left" dependency is
+  a max-plus prefix scan via ``np.maximum.accumulate``), the backtrack
+  scalar with the preference order diag > up > left.  Kept as the
+  executable specification the property suite checks against.
+- :func:`global_align` — the production engine: a *banded* fill over a
+  verified diagonal corridor with checkpointed linear-memory
+  backtracking, plus an identical-sequence fast path.  Falls back to
+  the full table for tiny problems, non-integral scoring schemes, or
+  bands that grow to cover the whole table.
+
+Banding
+-------
+The trace sequences this package aligns are near-identical phase
+streams, so the optimal path hugs the corridor of diagonal offsets
+``c = j - i`` between 0 and ``m - n``.  The band starts that corridor
+widened by :data:`_MIN_BAND` and doubles until *proved* sufficient: any
+path through offset ``c`` needs at least ``G(c) = |c| + |c - (m - n)|``
+gap moves, so its score is at most
+
+    ``U(c) = max(p_max * s_max + (n + m - 2 p_max) * gap, (n+m) * gap)``
+
+with ``p_max = (n + m - G(c)) // 2`` and ``s_max = max(match,
+mismatch)``.  When ``U`` at both band edges is strictly below the
+banded optimum, **no optimal path touches the band edge**, hence every
+cell the backtrack visits (all on optimal paths) and every predecessor
+it compares against carries exactly the full-table value, and the walk
+reproduces the reference alignment move for move.
+
+That argument needs exact arithmetic, so the banded engine only runs
+for integral scoring schemes (the default ``2 / -1 / -2`` included):
+every DP value is then an exact small integer in float64 and the
+reference's ``(c - j*gap) + j*gap`` round-trips are lossless.
+
+Linear memory
+-------------
+Large fills keep only every ``K ~ sqrt(n)``-th banded row; the
+backtrack regenerates one ``K``-row block at a time (a row depends
+only on its predecessor, so regenerated rows are trivially
+bit-identical).  This is Hirschberg's memory bound without Hirschberg's
+divide-and-conquer, which cannot reproduce the diag > up > left
+tie-break path of the reference backtrack.
 """
 
 from __future__ import annotations
@@ -17,7 +57,7 @@ import numpy as np
 
 from repro.errors import AlignmentError
 
-__all__ = ["GAP", "Alignment", "global_align"]
+__all__ = ["GAP", "Alignment", "global_align", "global_align_reference"]
 
 
 def _close(a: float, b: float) -> bool:
@@ -32,6 +72,17 @@ def _close(a: float, b: float) -> bool:
 
 #: Sentinel stored in aligned sequences where a gap was inserted.
 GAP = -1
+
+#: Problems with at most this many table cells use the full fill — at
+#: that size the banded machinery costs more than it saves.
+_FULL_FILL_CELLS = 16_384
+
+#: Initial band half-width beyond the [0, m - n] diagonal corridor.
+_MIN_BAND = 16
+
+#: Banded fills with at most this many cells keep every row; larger
+#: ones switch to sqrt(n)-spaced checkpoints and block regeneration.
+_CHECKPOINT_CELLS = 4_000_000
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,25 +126,7 @@ class Alignment:
         return list(zip(self.aligned_a[both].tolist(), self.aligned_b[both].tolist()))
 
 
-def global_align(
-    seq_a: np.ndarray,
-    seq_b: np.ndarray,
-    *,
-    match: float = 2.0,
-    mismatch: float = -1.0,
-    gap: float = -2.0,
-) -> Alignment:
-    """Needleman-Wunsch global alignment of two integer sequences.
-
-    Parameters
-    ----------
-    seq_a, seq_b:
-        1-D integer sequences (cluster ids).  :data:`GAP` (-1) must not
-        appear in the inputs.
-    match, mismatch, gap:
-        Scoring scheme.  Defaults favour contiguous matches, which suits
-        the highly repetitive phase sequences of iterative SPMD codes.
-    """
+def _validated(seq_a: np.ndarray, seq_b: np.ndarray, gap: float):
     if gap >= 0:
         raise AlignmentError(f"gap penalty must be negative, got {gap}")
     a = np.asarray(seq_a, dtype=np.int64)
@@ -102,8 +135,45 @@ def global_align(
         raise AlignmentError("sequences must be 1-D")
     if (a == GAP).any() or (b == GAP).any():
         raise AlignmentError(f"sequences must not contain the gap sentinel {GAP}")
-    n, m = a.shape[0], b.shape[0]
+    return a, b
 
+
+def _walk(score_at, a, b, match: float, mismatch: float, gap: float):
+    """Backtrack with the preference order diag > up > left.
+
+    Directions are recomputed from table lookups; each border forces
+    the only legal move, so the walk always terminates: every iteration
+    decrements ``i`` or ``j`` and neither goes negative.
+    """
+    out_a: list[int] = []
+    out_b: list[int] = []
+    i, j = a.shape[0], b.shape[0]
+    while i > 0 or j > 0:
+        current = score_at(i, j)
+        if i > 0 and j > 0:
+            sub = match if a[i - 1] == b[j - 1] else mismatch
+            if _close(current, score_at(i - 1, j - 1) + sub):
+                out_a.append(int(a[i - 1]))
+                out_b.append(int(b[j - 1]))
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and (j == 0 or _close(current, score_at(i - 1, j) + gap)):
+            out_a.append(int(a[i - 1]))
+            out_b.append(GAP)
+            i -= 1
+            continue
+        out_a.append(GAP)
+        out_b.append(int(b[j - 1]))
+        j -= 1
+    return (
+        np.asarray(out_a[::-1], dtype=np.int64),
+        np.asarray(out_b[::-1], dtype=np.int64),
+    )
+
+
+def _align_full(a, b, match: float, mismatch: float, gap: float) -> Alignment:
+    n, m = a.shape[0], b.shape[0]
     score = np.empty((n + 1, m + 1), dtype=np.float64)
     score[0, :] = gap * np.arange(m + 1)
     score[1:, 0] = gap * np.arange(1, n + 1)
@@ -122,34 +192,223 @@ def global_align(
         c[1:] = cand
         score[i, 1:] = (np.maximum.accumulate(c - j_gap) + j_gap)[1:]
 
-    # Backtrack, recomputing directions from the score table with the
-    # preference order diag > up > left.  Score comparisons use a small
-    # tolerance, and each border forces the only legal move, so the
-    # walk always terminates: every iteration decrements i or j and
-    # neither goes negative.
-    out_a: list[int] = []
-    out_b: list[int] = []
-    i, j = n, m
-    while i > 0 or j > 0:
-        current = score[i, j]
-        if i > 0 and j > 0:
-            sub = match if a[i - 1] == b[j - 1] else mismatch
-            if _close(current, score[i - 1, j - 1] + sub):
-                out_a.append(int(a[i - 1]))
-                out_b.append(int(b[j - 1]))
-                i -= 1
-                j -= 1
-                continue
-        if i > 0 and (j == 0 or _close(current, score[i - 1, j] + gap)):
-            out_a.append(int(a[i - 1]))
-            out_b.append(GAP)
-            i -= 1
-            continue
-        out_a.append(GAP)
-        out_b.append(int(b[j - 1]))
-        j -= 1
-    return Alignment(
-        aligned_a=np.asarray(out_a[::-1], dtype=np.int64),
-        aligned_b=np.asarray(out_b[::-1], dtype=np.int64),
-        score=float(score[n, m]),
+    aligned_a, aligned_b = _walk(
+        lambda i, j: score[i, j], a, b, match, mismatch, gap
     )
+    return Alignment(
+        aligned_a=aligned_a, aligned_b=aligned_b, score=float(score[n, m])
+    )
+
+
+def global_align_reference(
+    seq_a: np.ndarray,
+    seq_b: np.ndarray,
+    *,
+    match: float = 2.0,
+    mismatch: float = -1.0,
+    gap: float = -2.0,
+) -> Alignment:
+    """Full-table Needleman-Wunsch: the executable specification.
+
+    :func:`global_align` must agree with this bit-for-bit (score and
+    backtrack path); the property suite enforces that.
+    """
+    a, b = _validated(seq_a, seq_b, gap)
+    return _align_full(a, b, match, mismatch, gap)
+
+
+def _path_bound(c: int, n: int, m: int, s_max: float, gap: float) -> float:
+    """Upper bound on the score of any path through diagonal offset *c*."""
+    gaps = abs(c) + abs(c - (m - n))
+    if gaps > n + m:
+        return -np.inf
+    p_max = (n + m - gaps) // 2
+    return max(p_max * s_max + (n + m - 2 * p_max) * gap, (n + m) * gap)
+
+
+class _BandTable:
+    """Banded DP table over diagonal offsets ``c = j - i in [cmin, cmax]``.
+
+    Rows are stored in *scan space* ``u[k] = score[i, j] - gap*j`` (the
+    accumulate argument of the full fill), which makes the row
+    recurrence three adds and two maxima over the band width.  All
+    values are exact integers (the caller guarantees an integral
+    scheme), so scan-space round-trips are lossless.
+    """
+
+    def __init__(self, a, b, match: float, mismatch: float, gap: float,
+                 margin: int) -> None:
+        n, m = a.shape[0], b.shape[0]
+        self.a, self.b = a, b
+        self.n, self.m = n, m
+        self.match, self.mismatch, self.gap = match, mismatch, gap
+        self.cmin = max(min(0, m - n) - margin, -n)
+        self.cmax = min(max(0, m - n) + margin, m)
+        self.width = self.cmax - self.cmin + 1
+        self.full_cover = self.cmin == -n and self.cmax == m
+
+        # Sliding templates along t = i + k (so j = t + cmin):
+        # bpad[t] = b[j - 1] (sentinel where out of range), vpad[t] = 0
+        # where 0 <= j <= m else -inf.
+        span = n + self.width
+        sentinel = np.int64(min(a.min(initial=0), b.min(initial=0)) - 1)
+        self.bpad = np.full(span, sentinel)
+        lo = max(0, 1 - self.cmin)
+        hi = min(span, m + 1 - self.cmin)
+        if lo < hi:
+            self.bpad[lo:hi] = b[lo + self.cmin - 1:hi + self.cmin - 1]
+        self.vpad = np.where(
+            (np.arange(span) + self.cmin >= 0)
+            & (np.arange(span) + self.cmin <= m),
+            0.0,
+            -np.inf,
+        )
+
+        self.stride = 0
+        if (n + 1) * self.width > _CHECKPOINT_CELLS:
+            self.stride = max(1, math.isqrt(n + 1))
+        self._up = np.full(self.width, -np.inf)
+        self.rows: dict[int, np.ndarray] = {}
+        self.blocks: dict[int, list[np.ndarray]] = {}
+        self._fill()
+
+    def _row0(self) -> np.ndarray:
+        return self.vpad[0:self.width].copy()
+
+    def _advance(self, u: np.ndarray, i0: int, i1: int, collect) -> np.ndarray:
+        """Rows ``i0..i1`` (inclusive) from *u* = row ``i0 - 1``.
+
+        The substitution term is precomputed for the whole block (one
+        vectorised compare over sliding windows of ``bpad``), keeping
+        the sequential part of each row at four array ops.
+        """
+        w = self.width
+        gap = self.gap
+        windows = np.lib.stride_tricks.sliding_window_view(
+            self.bpad, w
+        )[i0:i1 + 1]
+        subg = np.where(
+            windows == self.a[i0 - 1:i1, None],
+            self.match - gap,
+            self.mismatch - gap,
+        )
+        up = self._up
+        for idx, i in enumerate(range(i0, i1 + 1)):
+            t = subg[idx] + u
+            np.add(u[1:], gap, out=up[:-1])
+            np.maximum(t, up, out=t)
+            if i + self.cmin < 0 or i + w - 1 + self.cmin > self.m:
+                t += self.vpad[i:i + w]
+            k0 = -i - self.cmin  # left border column j == 0, if in band
+            if 0 <= k0 < w:
+                t[k0] = gap * i
+            np.maximum.accumulate(t, out=t)
+            u = t
+            if collect is not None:
+                collect(i, u)
+        return u
+
+    def _fill(self) -> None:
+        u = self._row0()
+        self.rows[0] = u
+        if not self.stride:
+            self._advance(u, 1, self.n, self.rows.__setitem__)
+            return
+
+        def keep(i: int, row: np.ndarray) -> None:
+            if i % self.stride == 0 or i == self.n:
+                self.rows[i] = row
+
+        # Chunked so the per-block substitution table never exceeds
+        # stride x width cells — the linear-memory bound.
+        for base in range(1, self.n + 1, self.stride):
+            u = self._advance(u, base, min(base + self.stride - 1, self.n), keep)
+
+    def _urow(self, i: int) -> np.ndarray:
+        row = self.rows.get(i)
+        if row is not None:
+            return row
+        base = (i // self.stride) * self.stride
+        block = self.blocks.get(base)
+        if block is None:
+            block = [self.rows[base]]
+            self._advance(
+                self.rows[base],
+                base + 1,
+                min(base + self.stride - 1, self.n),
+                lambda _, row: block.append(row),
+            )
+            # The backtrack moves monotonically upward; anything below
+            # the current block is dead.
+            self.blocks = {base: block}
+        return block[i - base]
+
+    def score_at(self, i: int, j: int) -> float:
+        k = j - i - self.cmin
+        if not (0 <= k < self.width and 0 <= j <= self.m):
+            return -np.inf
+        return float(self._urow(i)[k] + self.gap * j)
+
+    def proved(self, opt: float) -> bool:
+        """No optimal path can touch either band edge (module docstring)."""
+        s_max = max(self.match, self.mismatch)
+        n, m, gap = self.n, self.m, self.gap
+        return (
+            self.cmin == -n or _path_bound(self.cmin, n, m, s_max, gap) < opt
+        ) and (self.cmax == m or _path_bound(self.cmax, n, m, s_max, gap) < opt)
+
+
+def global_align(
+    seq_a: np.ndarray,
+    seq_b: np.ndarray,
+    *,
+    match: float = 2.0,
+    mismatch: float = -1.0,
+    gap: float = -2.0,
+) -> Alignment:
+    """Needleman-Wunsch global alignment of two integer sequences.
+
+    Parameters
+    ----------
+    seq_a, seq_b:
+        1-D integer sequences (cluster ids).  :data:`GAP` (-1) must not
+        appear in the inputs.
+    match, mismatch, gap:
+        Scoring scheme.  Defaults favour contiguous matches, which suits
+        the highly repetitive phase sequences of iterative SPMD codes.
+
+    Bit-identical to :func:`global_align_reference`; see the module
+    docstring for the banding/fast-path arguments.
+    """
+    a, b = _validated(seq_a, seq_b, gap)
+    n, m = a.shape[0], b.shape[0]
+    integral = all(
+        float(v).is_integer() for v in (match, mismatch, gap)
+    )
+    if (
+        integral
+        and n == m
+        and match >= mismatch
+        and match > 2 * gap
+        and np.array_equal(a, b)
+    ):
+        # Identical sequences: the all-diagonal alignment is the unique
+        # optimum ((n - p) * (match - 2*gap) > 0 for any p < n pairs),
+        # and with exact arithmetic the backtrack follows it.
+        return Alignment(
+            aligned_a=a.copy(), aligned_b=b.copy(), score=float(match * n)
+        )
+    if not integral or (n + 1) * (m + 1) <= _FULL_FILL_CELLS or min(n, m) == 0:
+        return _align_full(a, b, match, mismatch, gap)
+
+    margin = _MIN_BAND
+    while True:
+        table = _BandTable(a, b, match, mismatch, gap, margin)
+        if table.full_cover:
+            return _align_full(a, b, match, mismatch, gap)
+        opt = table.score_at(n, m)
+        if table.proved(opt):
+            break
+        margin *= 2
+    aligned_a, aligned_b = _walk(table.score_at, a, b, match, mismatch, gap)
+    return Alignment(aligned_a=aligned_a, aligned_b=aligned_b, score=opt)

@@ -310,6 +310,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="absolute growth floor — smaller deltas are noise "
         "(default: 0.005)",
     )
+    bench.add_argument(
+        "--rss-threshold", type=float, default=None, metavar="FRACTION",
+        help="also fail when a bench's RSS peak grew by more than this "
+        "fraction (off by default; only meaningful when OLD and NEW ran "
+        "the same bench selection in the same order)",
+    )
+    bench.add_argument(
+        "--min-rss-kib", type=int, default=10_240, metavar="KIB",
+        help="absolute RSS growth floor for --rss-threshold "
+        "(default: 10240 = 10 MiB)",
+    )
 
     tune = add_parser(
         "tune", help="suggest a DBSCAN eps for a trace (plateau search)"
@@ -671,14 +682,19 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     deltas = compare_bench_results(
-        old, new, threshold=args.threshold, min_seconds=args.min_seconds
+        old,
+        new,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+        rss_threshold=args.rss_threshold,
+        min_rss_kib=args.min_rss_kib,
     )
     print(format_bench_comparison(
         deltas,
         old_only=set(old) - set(new),
         new_only=set(new) - set(old),
     ))
-    return 1 if any(delta.regressed for delta in deltas) else 0
+    return 1 if any(delta.failed for delta in deltas) else 0
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:

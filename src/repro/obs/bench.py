@@ -10,9 +10,12 @@ CI keeps the artefacts so any two commits can be compared.
 A bench counts as regressed when its wall-time grew by more than
 *threshold* (relative) **and** more than *min_seconds* (absolute); the
 absolute floor keeps micro-benches in the sub-millisecond noise band
-from tripping the gate.  RSS deltas are reported but never gate: the
-``ru_maxrss`` high-water mark is process-wide and monotonic, so later
-benches inherit earlier peaks.
+from tripping the gate.  RSS can gate too (``rss_threshold``), with the
+same relative-and-absolute shape (*min_rss_kib* floor).  Because the
+``ru_maxrss`` high-water mark is process-wide and monotonic — later
+benches inherit earlier peaks — the RSS gate is only meaningful when
+OLD and NEW ran the same bench selection in the same order, which is
+how the CI perf job invokes it.
 """
 
 from __future__ import annotations
@@ -112,6 +115,7 @@ class BenchDelta:
     regressed: bool
     old_rss_kib: int | None = None
     new_rss_kib: int | None = None
+    rss_regressed: bool = False
 
     @property
     def ratio(self) -> float:
@@ -120,6 +124,11 @@ class BenchDelta:
             return float("inf") if self.new_s > 0.0 else 1.0
         return self.new_s / self.old_s
 
+    @property
+    def failed(self) -> bool:
+        """Whether either gate (wall-time or RSS) tripped."""
+        return self.regressed or self.rss_regressed
+
 
 def compare_bench_results(
     old: Mapping[str, Mapping[str, float]],
@@ -127,11 +136,17 @@ def compare_bench_results(
     *,
     threshold: float = 0.25,
     min_seconds: float = 0.005,
+    rss_threshold: float | None = None,
+    min_rss_kib: int = 10_240,
 ) -> list[BenchDelta]:
     """Compare two bench mappings; one delta per bench present in both.
 
-    A bench regresses when ``new - old`` exceeds both
-    ``threshold * old`` and *min_seconds*.
+    A bench regresses when ``new - old`` wall-time exceeds both
+    ``threshold * old`` and *min_seconds*.  When *rss_threshold* is
+    given, a bench also fails when its RSS peak grew by more than
+    ``rss_threshold * old_rss`` and more than *min_rss_kib* (the floor
+    keeps allocator jitter on small heaps out of the gate).  Benches
+    missing RSS data on either side never RSS-regress.
     """
     deltas: list[BenchDelta] = []
     for name in sorted(set(old) & set(new)):
@@ -141,6 +156,16 @@ def compare_bench_results(
         regressed = grew > max(threshold * old_s, min_seconds)
         old_rss = old[name].get("rss_peak_kib")
         new_rss = new[name].get("rss_peak_kib")
+        rss_regressed = False
+        if (
+            rss_threshold is not None
+            and old_rss is not None
+            and new_rss is not None
+        ):
+            rss_grew = float(new_rss) - float(old_rss)
+            rss_regressed = rss_grew > max(
+                rss_threshold * float(old_rss), float(min_rss_kib)
+            )
         deltas.append(
             BenchDelta(
                 name=name,
@@ -149,6 +174,7 @@ def compare_bench_results(
                 regressed=regressed,
                 old_rss_kib=None if old_rss is None else int(old_rss),
                 new_rss_kib=None if new_rss is None else int(new_rss),
+                rss_regressed=rss_regressed,
             )
         )
     return deltas
@@ -165,7 +191,8 @@ def _format_delta(delta: BenchDelta) -> str:
     if delta.old_rss_kib is not None and delta.new_rss_kib is not None:
         line += (
             f"  [rss {delta.old_rss_kib / 1024:.0f} -> "
-            f"{delta.new_rss_kib / 1024:.0f} MiB]"
+            f"{delta.new_rss_kib / 1024:.0f} MiB"
+            f"{' RSS-REGRESSED' if delta.rss_regressed else ''}]"
         )
     return line
 
@@ -179,7 +206,7 @@ def format_bench_comparison(
     """Human-readable comparison report."""
     lines = [f"compared {len(deltas)} bench(es)"]
     lines.extend(_format_delta(delta) for delta in deltas)
-    regressions = [delta for delta in deltas if delta.regressed]
+    regressions = [delta for delta in deltas if delta.failed]
     if old_only:
         lines.append(
             "only in OLD (skipped): " + ", ".join(sorted(old_only))

@@ -35,6 +35,7 @@ from repro.obs.log import get_logger
 from repro.robust.partial import ItemFailure
 from repro.tracking.combine import PairRelations
 from repro.tracking.coverage import coverage_percent
+from repro.tracking.evalcache import EvalCache
 from repro.tracking.scaling import NormalizedSpace, weighted_frame_points
 from repro.tracking.tracker import (
     TrackedRegion,
@@ -261,6 +262,10 @@ class IncrementalTracker:
         self._points: list[np.ndarray] = []
         self._pairs: list[PairRelations] = []
         self._failures: list[ItemFailure] = []
+        # Per-run evaluator cache: the newest frame's artefacts (k-d
+        # tree, star alignment) are reused when it becomes the next
+        # pair's left side; retain() keeps it O(1) in stream length.
+        self._cache = EvalCache()
 
     # ------------------------------------------------------------------
     @property
@@ -355,6 +360,7 @@ class IncrementalTracker:
                     points_prev,
                     points_new,
                     self.config,
+                    self._cache,
                 )
                 if self.strict:
                     pair = _combine_task(task)
@@ -377,6 +383,7 @@ class IncrementalTracker:
         self._weighted.append(weighted)
         self._weights.append(axis_weights)
         self._points.append(points_new)
+        self._cache.retain([frame])
 
         regions = chain_regions(self._frames, self._pairs)
         coverage = coverage_percent(regions, self._frames)

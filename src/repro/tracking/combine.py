@@ -21,12 +21,12 @@ consecutive frames (A, B) the combination proceeds:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import networkx as nx
 import numpy as np
 
 from repro import obs
-from repro.alignment.spmd import consensus_sequence
 from repro.clustering.frames import Frame
 from repro.tracking.correlation import CorrelationMatrix
 from repro.tracking.evaluators import callstack as _callstack
@@ -36,7 +36,9 @@ from repro.tracking.evaluators import simultaneity as _simultaneity
 from repro.tracking.evaluators.callstack import callstack_matrix
 from repro.tracking.evaluators.displacement import displacement_matrix
 from repro.tracking.evaluators.sequence import sequence_matrix
-from repro.tracking.evaluators.simultaneity import frame_alignment, simultaneity_for_frame
+
+if TYPE_CHECKING:  # runtime import stays inside combine_pair (cycle avoidance)
+    from repro.tracking.evalcache import EvalCache
 
 __all__ = [
     "Relation",
@@ -580,6 +582,7 @@ def combine_pair(
     use_callstack: bool = True,
     use_spmd: bool = True,
     use_sequence: bool = True,
+    cache: "EvalCache | None" = None,
 ) -> PairRelations:
     """Run the full combination algorithm on one pair of frames.
 
@@ -604,19 +607,31 @@ def combine_pair(
         With everything off, the algorithm degrades to raw reciprocal
         nearest-neighbour matching, which is what the ablation benches
         measure the heuristics' contributions against.
+    cache:
+        Optional per-run :class:`~repro.tracking.evalcache.EvalCache`
+        reusing per-frame artefacts (k-d trees, star alignments) across
+        pairs.  Without one, a private per-pair cache still removes the
+        in-pair duplication.  Caching never changes results — every
+        cached value is the return of the identical uncached call.
     """
+    from repro.tracking.evalcache import EvalCache
+
+    if cache is None:
+        cache = EvalCache()
     with obs.span("tracking.evaluator.displacement"):
-        disp_ab = displacement_matrix(frame_a, frame_b, points_a, points_b).drop_below(
-            outlier_threshold
-        )
-        disp_ba = displacement_matrix(frame_b, frame_a, points_b, points_a).drop_below(
-            outlier_threshold
-        )
+        disp_ab = displacement_matrix(
+            frame_a, frame_b, points_a, points_b,
+            tree_b=cache.tree(frame_b, points_b),
+        ).drop_below(outlier_threshold)
+        disp_ba = displacement_matrix(
+            frame_b, frame_a, points_b, points_a,
+            tree_b=cache.tree(frame_a, points_a),
+        ).drop_below(outlier_threshold)
     with obs.span("tracking.evaluator.callstack"):
         cs_ab = callstack_matrix(frame_a, frame_b)
     with obs.span("tracking.evaluator.simultaneity"):
-        spmd_a = simultaneity_for_frame(frame_a, max_ranks=max_align_ranks)
-        spmd_b = simultaneity_for_frame(frame_b, max_ranks=max_align_ranks)
+        spmd_a = cache.simultaneity(frame_a, max_align_ranks)
+        spmd_b = cache.simultaneity(frame_b, max_align_ranks)
 
     def compatible(cid_a: int, cid_b: int) -> bool:
         if not use_callstack:
@@ -678,12 +693,8 @@ def combine_pair(
         has_orphans or any(rel.is_wide for rel in relations)
     ):
         with obs.span("tracking.evaluator.sequence", n_pivots=len(pivots)):
-            consensus_a = consensus_sequence(
-                frame_alignment(frame_a, max_ranks=max_align_ranks)
-            )
-            consensus_b = consensus_sequence(
-                frame_alignment(frame_b, max_ranks=max_align_ranks)
-            )
+            consensus_a = cache.consensus(frame_a, max_align_ranks)
+            consensus_b = cache.consensus(frame_b, max_align_ranks)
             sequence_ab = sequence_matrix(
                 consensus_a,
                 consensus_b,

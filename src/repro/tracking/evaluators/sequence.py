@@ -17,7 +17,8 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.alignment.pairwise import GAP, global_align
+from repro.alignment.memo import memoised_align
+from repro.alignment.pairwise import GAP
 from repro.errors import TrackingError
 from repro.tracking.correlation import CorrelationMatrix
 
@@ -65,7 +66,7 @@ def align_with_pivots(
 
     tokens_a = np.asarray([token_of_a[int(s)] for s in a], dtype=np.int64)
     tokens_b = np.asarray([token_of_b[int(s)] for s in b], dtype=np.int64)
-    alignment = global_align(tokens_a, tokens_b)
+    alignment = memoised_align(tokens_a, tokens_b)
 
     pairs: list[tuple[int, int]] = []
     pos_a = 0

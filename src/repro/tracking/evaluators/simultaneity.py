@@ -50,17 +50,28 @@ def frame_alignment(frame: Frame, *, max_ranks: int = 64, seed: int = 0) -> Mult
 
 
 def simultaneity_for_frame(
-    frame: Frame, *, max_ranks: int = 64, seed: int = 0
+    frame: Frame,
+    *,
+    max_ranks: int = 64,
+    seed: int = 0,
+    alignment: MultipleAlignment | None = None,
 ) -> CorrelationMatrix:
     """Within-frame co-occurrence probabilities of the frame's clusters.
 
     Cell (i, j) estimates ``P(cluster j executes in some rank | cluster
     i executes in another rank at the same aligned step)``, conditioned
     on cluster *i* (so the matrix need not be symmetric).
+
+    *alignment* optionally supplies a precomputed
+    :func:`frame_alignment` of the same frame (with the same *max_ranks*
+    and *seed*) so callers that also need the alignment elsewhere — the
+    per-run :class:`~repro.tracking.evalcache.EvalCache` — build it only
+    once.
     """
     ids = frame.cluster_ids
     if not ids:
         return CorrelationMatrix((), (), np.zeros((0, 0)))
-    alignment = frame_alignment(frame, max_ranks=max_ranks, seed=seed)
+    if alignment is None:
+        alignment = frame_alignment(frame, max_ranks=max_ranks, seed=seed)
     values = simultaneity_matrix(alignment, ids)
     return CorrelationMatrix(ids, ids, values)

@@ -21,8 +21,9 @@ from repro import obs
 from repro.clustering.frames import Frame
 from repro.errors import TrackingError
 from repro.obs.log import get_logger
-from repro.parallel.executor import pmap
+from repro.parallel.executor import SerialExecutor, get_executor, pmap
 from repro.tracking.combine import PairRelations, combine_pair
+from repro.tracking.evalcache import EvalCache
 from repro.tracking.coverage import coverage_percent
 from repro.tracking.scaling import NormalizedSpace, normalize_frames
 
@@ -41,14 +42,19 @@ log = get_logger(__name__)
 
 
 def _combine_task(
-    task: tuple[int, Frame, Frame, np.ndarray, np.ndarray, "TrackerConfig"],
+    task: tuple[int, Frame, Frame, np.ndarray, np.ndarray, "TrackerConfig", "EvalCache | None"],
 ) -> PairRelations:
     """Worker-side task: combine one frame pair (module-level for pickling).
+
+    The last element is an optional shared
+    :class:`~repro.tracking.evalcache.EvalCache`; ``Tracker.run``
+    attaches one only on the serial backend (shipping k-d trees to
+    worker processes would cost more than rebuilding them).
 
     The ``tracking.pair`` span is recorded in-process on the serial
     backend; worker-process spans are not collected by the parent.
     """
-    index, frame_a, frame_b, points_a, points_b, config = task
+    index, frame_a, frame_b, points_a, points_b, config, cache = task
     with obs.span("tracking.pair", pair=index):
         return combine_pair(
             frame_a,
@@ -62,6 +68,7 @@ def _combine_task(
             use_callstack=config.use_callstack,
             use_spmd=config.use_spmd,
             use_sequence=config.use_sequence,
+            cache=cache,
         )
 
 
@@ -96,14 +103,14 @@ def _empty_pair_relations(frame_a: Frame, frame_b: Frame) -> PairRelations:
 
 
 def _combine_task_quarantine(
-    task: tuple[int, Frame, Frame, np.ndarray, np.ndarray, "TrackerConfig"],
+    task: tuple[int, Frame, Frame, np.ndarray, np.ndarray, "TrackerConfig", "EvalCache | None"],
 ):
     """Non-strict worker-side task: returns a failure record, never raises
     a :class:`~repro.errors.ReproError`."""
     from repro.errors import ReproError
     from repro.robust.partial import ItemFailure
 
-    index, frame_a, frame_b, _, _, _ = task
+    index, frame_a, frame_b = task[0], task[1], task[2]
     try:
         return _combine_task(task)
     except ReproError as exc:
@@ -314,6 +321,14 @@ class Tracker:
                     reference=config.reference,
                     log_extensive=config.log_extensive,
                 )
+            # A shared per-run cache pays off only in-process: attach it
+            # exactly when pmap will pick the serial backend for these
+            # tasks, so k-d trees are never pickled to worker processes.
+            n_pairs = len(self.frames) - 1
+            serial = isinstance(
+                get_executor(jobs, n_tasks=n_pairs), SerialExecutor
+            )
+            cache = EvalCache() if serial else None
             tasks = [
                 (
                     index,
@@ -322,8 +337,9 @@ class Tracker:
                     space.points[index],
                     space.points[index + 1],
                     config,
+                    cache,
                 )
-                for index in range(len(self.frames) - 1)
+                for index in range(n_pairs)
             ]
             raw = pmap(
                 _combine_task if strict else _combine_task_quarantine,

@@ -1,0 +1,76 @@
+"""Unit tests for the content-keyed pairwise-alignment memo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alignment.memo import (
+    align_memo_info,
+    clear_align_memo,
+    memoised_align,
+)
+from repro.alignment.pairwise import global_align
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_align_memo()
+    yield
+    clear_align_memo()
+
+
+def _seqs():
+    rng = np.random.default_rng(7)
+    a = rng.integers(1, 5, size=40).astype(np.int64)
+    b = np.delete(a, [3, 17, 29])
+    return a, b
+
+
+class TestMemo:
+    def test_matches_global_align(self):
+        a, b = _seqs()
+        memo = memoised_align(a, b)
+        direct = global_align(a, b)
+        assert memo.score == direct.score
+        np.testing.assert_array_equal(memo.aligned_a, direct.aligned_a)
+        np.testing.assert_array_equal(memo.aligned_b, direct.aligned_b)
+
+    def test_second_call_hits(self):
+        a, b = _seqs()
+        first = memoised_align(a, b)
+        info0 = align_memo_info()
+        second = memoised_align(a.copy(), b.copy())  # content-keyed, not id
+        info1 = align_memo_info()
+        assert info1["hits"] == info0["hits"] + 1
+        assert info1["misses"] == info0["misses"]
+        assert second is first
+
+    def test_scheme_is_part_of_the_key(self):
+        a, b = _seqs()
+        default = memoised_align(a, b)
+        other = memoised_align(a, b, match=1.0, mismatch=0.0, gap=-1.0)
+        assert align_memo_info()["misses"] == 2
+        assert default is not other
+
+    def test_results_are_read_only(self):
+        a, b = _seqs()
+        memo = memoised_align(a, b)
+        with pytest.raises(ValueError):
+            memo.aligned_a[0] = 99
+
+    def test_clear_resets(self):
+        a, b = _seqs()
+        memoised_align(a, b)
+        clear_align_memo()
+        info = align_memo_info()
+        assert info == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_lru_bound(self, monkeypatch):
+        from repro.alignment import memo as memo_mod
+
+        monkeypatch.setattr(memo_mod, "_MAX_ENTRIES", 4)
+        for value in range(10):
+            seq = np.full(3, value, dtype=np.int64)
+            memoised_align(seq, seq)
+        assert align_memo_info()["entries"] <= 4

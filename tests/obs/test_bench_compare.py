@@ -101,3 +101,47 @@ class TestCompare:
         benches = {"b": {"wall_time_s": 0.4}}
         text = format_bench_comparison(compare_bench_results(benches, benches))
         assert "no regressions" in text
+
+
+class TestRssGate:
+    def test_off_by_default(self):
+        old = {"b": {"wall_time_s": 1.0, "rss_peak_kib": 100_000}}
+        new = {"b": {"wall_time_s": 1.0, "rss_peak_kib": 400_000}}
+        (delta,) = compare_bench_results(old, new)
+        assert not delta.rss_regressed
+        assert not delta.failed
+
+    def test_trips_on_large_growth(self):
+        old = {"b": {"wall_time_s": 1.0, "rss_peak_kib": 100_000}}
+        new = {"b": {"wall_time_s": 1.0, "rss_peak_kib": 140_000}}
+        (delta,) = compare_bench_results(old, new, rss_threshold=0.25)
+        assert delta.rss_regressed
+        assert delta.failed
+        assert not delta.regressed  # wall gate untouched
+
+    def test_relative_growth_below_threshold_tolerated(self):
+        old = {"b": {"wall_time_s": 1.0, "rss_peak_kib": 100_000}}
+        new = {"b": {"wall_time_s": 1.0, "rss_peak_kib": 120_000}}
+        (delta,) = compare_bench_results(old, new, rss_threshold=0.25)
+        assert not delta.rss_regressed
+
+    def test_absolute_floor_shields_small_heaps(self):
+        # 3x growth, but only +8 MiB: under the 10 MiB default floor.
+        old = {"b": {"wall_time_s": 1.0, "rss_peak_kib": 4_096}}
+        new = {"b": {"wall_time_s": 1.0, "rss_peak_kib": 12_288}}
+        (delta,) = compare_bench_results(old, new, rss_threshold=0.25)
+        assert not delta.rss_regressed
+
+    def test_missing_rss_never_gates(self):
+        old = {"b": {"wall_time_s": 1.0}}
+        new = {"b": {"wall_time_s": 1.0, "rss_peak_kib": 999_999}}
+        (delta,) = compare_bench_results(old, new, rss_threshold=0.25)
+        assert not delta.rss_regressed
+
+    def test_format_flags_rss_regression(self):
+        old = {"b": {"wall_time_s": 1.0, "rss_peak_kib": 100_000}}
+        new = {"b": {"wall_time_s": 1.0, "rss_peak_kib": 200_000}}
+        deltas = compare_bench_results(old, new, rss_threshold=0.25)
+        text = format_bench_comparison(deltas)
+        assert "RSS-REGRESSED" in text
+        assert "1 regression(s)" in text

@@ -1,13 +1,25 @@
-"""Property-based tests for the sequence-alignment substrate."""
+"""Property-based tests for the sequence-alignment substrate.
+
+Includes the differential suite against
+:func:`~repro.alignment.pairwise.global_align_reference` — the retained
+full-table formulation is the executable specification, and the banded
+and checkpointed (linear-memory) engines must reproduce its score *and*
+its exact backtrack path (both aligned arrays, move for move) on every
+input, including empty/length-1 sequences and extreme length skews
+where the initial band corridor is dominated by the |n - m| offset.
+"""
 
 from __future__ import annotations
+
+import contextlib
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.alignment import pairwise as pw
 from repro.alignment.msa import star_align
-from repro.alignment.pairwise import GAP, global_align
+from repro.alignment.pairwise import GAP, global_align, global_align_reference
 from repro.alignment.spmd import consensus_sequence, simultaneity_matrix, spmdiness_score
 
 sequences = st.lists(st.integers(min_value=1, max_value=6), min_size=0, max_size=30)
@@ -147,6 +159,91 @@ def test_backtrack_terminates_and_reproduces_score(a, b, scheme):
     assert recovered_b == b
     recomputed = _recomputed_score(result, match, mismatch, gap)
     assert np.isclose(recomputed, result.score, rtol=1e-6, atol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Differential suite: banded / checkpointed engines vs the reference.
+
+integral_schemes = st.sampled_from(
+    [(2.0, -1.0, -2.0), (1.0, 0.0, -1.0), (3.0, -2.0, -1.0), (5.0, -4.0, -3.0)]
+)
+
+# Length-skewed pairs keep the initial band corridor dominated by the
+# |n - m| diagonal offset (the band-width == |n - m| edge).
+skewed_pairs = st.tuples(
+    st.lists(st.integers(min_value=1, max_value=4), min_size=0, max_size=3),
+    st.lists(st.integers(min_value=1, max_value=4), min_size=30, max_size=70),
+)
+
+
+@contextlib.contextmanager
+def _forced(full_fill_cells, checkpoint_cells):
+    """Pin the engine thresholds so small inputs take the big-input path."""
+    saved = pw._FULL_FILL_CELLS, pw._CHECKPOINT_CELLS
+    pw._FULL_FILL_CELLS, pw._CHECKPOINT_CELLS = full_fill_cells, checkpoint_cells
+    try:
+        yield
+    finally:
+        pw._FULL_FILL_CELLS, pw._CHECKPOINT_CELLS = saved
+
+
+def _assert_matches_reference(a, b, scheme):
+    match, mismatch, gap = scheme
+    arr_a = np.asarray(a, dtype=np.int64)
+    arr_b = np.asarray(b, dtype=np.int64)
+    fast = global_align(arr_a, arr_b, match=match, mismatch=mismatch, gap=gap)
+    ref = global_align_reference(
+        arr_a, arr_b, match=match, mismatch=mismatch, gap=gap
+    )
+    assert fast.score == ref.score
+    np.testing.assert_array_equal(fast.aligned_a, ref.aligned_a)
+    np.testing.assert_array_equal(fast.aligned_b, ref.aligned_b)
+
+
+@given(sequences, sequences, integral_schemes)
+@settings(max_examples=60, deadline=None)
+def test_banded_matches_reference_exactly(a, b, scheme):
+    with _forced(0, pw._CHECKPOINT_CELLS):
+        _assert_matches_reference(a, b, scheme)
+
+
+@given(sequences, sequences, integral_schemes)
+@settings(max_examples=60, deadline=None)
+def test_checkpointed_matches_reference_exactly(a, b, scheme):
+    with _forced(0, 1):
+        _assert_matches_reference(a, b, scheme)
+
+
+@given(skewed_pairs, integral_schemes)
+@settings(max_examples=40, deadline=None)
+def test_band_offset_edge_matches_reference(pair, scheme):
+    a, b = pair
+    with _forced(0, pw._CHECKPOINT_CELLS):
+        _assert_matches_reference(a, b, scheme)
+        _assert_matches_reference(b, a, scheme)
+
+
+@given(integral_schemes)
+@settings(max_examples=16, deadline=None)
+def test_degenerate_sequences_match_reference(scheme):
+    with _forced(0, 1):
+        for a, b in [([], []), ([], [1]), ([2], []), ([1], [1]), ([1], [2])]:
+            _assert_matches_reference(a, b, scheme)
+
+
+@given(sequences, sequences)
+@settings(max_examples=40, deadline=None)
+def test_default_entry_point_matches_reference(a, b):
+    """No forcing: whatever engine global_align picks must agree."""
+    _assert_matches_reference(a, b, (2.0, -1.0, -2.0))
+
+
+@given(nonempty_sequences)
+@settings(max_examples=30, deadline=None)
+def test_identity_fast_path_matches_reference(a):
+    """Self-alignment takes the all-diagonal shortcut; path must still
+    be exactly the reference's."""
+    _assert_matches_reference(a, a, (2.0, -1.0, -2.0))
 
 
 @given(sequences, sequences)

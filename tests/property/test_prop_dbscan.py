@@ -1,4 +1,12 @@
-"""Property-based tests for DBSCAN invariants."""
+"""Property-based tests for DBSCAN invariants.
+
+Includes the differential suite against :func:`dbscan_reference` — the
+retained pure-Python BFS formulation is the executable specification,
+and the grid-bucketed vectorised engine must reproduce its labels, core
+mask and cluster count **exactly** (not up to relabelling) on every
+input, including all-identical points and eps landing exactly on
+lattice distances (bucket/boundary edges).
+"""
 
 from __future__ import annotations
 
@@ -7,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.clustering.dbscan import DBSCAN, NOISE
+from repro.clustering.dbscan import DBSCAN, NOISE, dbscan_reference
 from scipy.spatial import cKDTree
 
 points_strategy = hnp.arrays(
@@ -83,3 +91,74 @@ def test_permutation_invariance_of_partition(points, eps, min_pts):
             same_original = original[perm][i] == original[perm][j]
             same_shuffled = shuffled[i] == shuffled[j]
             assert same_original == same_shuffled
+
+
+# ----------------------------------------------------------------------
+# Differential suite: vectorised engine vs the reference BFS.
+
+
+def _assert_matches_reference(points, eps, min_pts):
+    fast = DBSCAN(eps=eps, min_pts=min_pts).fit(points)
+    ref = dbscan_reference(points, eps, min_pts)
+    np.testing.assert_array_equal(fast.labels, ref.labels)
+    np.testing.assert_array_equal(fast.core_mask, ref.core_mask)
+    assert fast.n_clusters == ref.n_clusters
+
+
+@given(points_strategy, eps_strategy, min_pts_strategy)
+@settings(max_examples=60, deadline=None)
+def test_matches_reference_random_2d(points, eps, min_pts):
+    _assert_matches_reference(points, eps, min_pts)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_value=0, max_value=40),
+            st.integers(min_value=1, max_value=4),
+        ),
+        elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+    ),
+    eps_strategy,
+    min_pts_strategy,
+)
+@settings(max_examples=40, deadline=None)
+def test_matches_reference_other_dimensions(points, eps, min_pts):
+    _assert_matches_reference(points, eps, min_pts)
+
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+    eps_strategy,
+    min_pts_strategy,
+)
+@settings(max_examples=30, deadline=None)
+def test_matches_reference_all_identical_points(n, value, eps, min_pts):
+    points = np.full((n, 2), value)
+    _assert_matches_reference(points, eps, min_pts)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.int64,
+        shape=st.tuples(st.integers(min_value=0, max_value=40), st.just(2)),
+        elements=st.integers(min_value=-4, max_value=4),
+    ),
+    st.sampled_from([0.5, 1.0, float(np.sqrt(2.0)), 2.0, float(np.sqrt(5.0))]),
+    min_pts_strategy,
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_reference_eps_on_lattice_distances(lattice, eps, min_pts):
+    """Integer-lattice points with eps landing exactly on inter-point
+    distances: every neighbourhood test sits on the <= eps boundary and
+    every bucket edge coincides with point coordinates."""
+    _assert_matches_reference(lattice.astype(np.float64), eps, min_pts)
+
+
+@given(eps_strategy, min_pts_strategy)
+@settings(max_examples=10, deadline=None)
+def test_matches_reference_degenerate_sizes(eps, min_pts):
+    _assert_matches_reference(np.empty((0, 2)), eps, min_pts)
+    _assert_matches_reference(np.asarray([[0.3, -0.7]]), eps, min_pts)

@@ -7,7 +7,11 @@ import pytest
 
 from repro.clustering.frames import make_frame
 from repro.tracking.evaluators.callstack import callstack_matrix
-from repro.tracking.evaluators.displacement import displacement_matrix
+from repro.tracking.evaluators.displacement import (
+    displacement_matrix,
+    displacement_matrix_reference,
+    frame_tree,
+)
 from repro.tracking.evaluators.sequence import align_with_pivots, sequence_matrix
 from repro.tracking.evaluators.simultaneity import frame_alignment, simultaneity_for_frame
 from repro.tracking.scaling import normalize_frames
@@ -55,6 +59,33 @@ class TestDisplacement:
         backward = displacement_matrix(b, a, space.points[1], space.points[0])
         assert forward.row_ids == a.cluster_ids
         assert backward.row_ids == b.cluster_ids
+
+    def test_batched_matches_reference_bitwise(self, frame_pair):
+        """The single-query scatter formulation must reproduce the
+        per-cluster-loop reference exactly, in both directions."""
+        a, b = frame_pair
+        space = normalize_frames([a, b])
+        for fa, fb, pa, pb in [
+            (a, b, space.points[0], space.points[1]),
+            (b, a, space.points[1], space.points[0]),
+        ]:
+            fast = displacement_matrix(fa, fb, pa, pb)
+            ref = displacement_matrix_reference(fa, fb, pa, pb)
+            assert fast.row_ids == ref.row_ids
+            assert fast.col_ids == ref.col_ids
+            np.testing.assert_array_equal(fast.values, ref.values)
+
+    def test_prebuilt_tree_matches_reference_bitwise(self, frame_pair):
+        a, b = frame_pair
+        space = normalize_frames([a, b])
+        tree = frame_tree(b, space.points[1])
+        fast = displacement_matrix(
+            a, b, space.points[0], space.points[1], tree_b=tree
+        )
+        ref = displacement_matrix_reference(
+            a, b, space.points[0], space.points[1]
+        )
+        np.testing.assert_array_equal(fast.values, ref.values)
 
 
 class TestSimultaneity:
