@@ -1,0 +1,160 @@
+"""Scaling curves for the sharded clustering and bounded watch paths.
+
+Two questions an adopter asks before pointing the pipeline at a
+burst-scale trace:
+
+- *shards*: how does cluster-then-merge wall time move with the shard
+  count on a 10^5-burst frame, and are the labels really bit-identical
+  to the whole-frame fit at every point of the curve?
+- *windows*: does ``--max-live-windows`` actually bound peak RSS as the
+  window count grows?  Each configuration runs in its own subprocess
+  because ``ru_maxrss`` is a process-lifetime high-water mark — a
+  single process could only ever report the largest configuration.
+
+Both tests print their curve and stash it in ``extra_info`` so the
+committed ``BENCH_RESULTS.json`` carries the trajectory PR over PR.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.clustering.dbscan import DBSCAN
+from repro.shard import shard_assignment, sharded_dbscan
+
+N_POINTS = 100_000
+EPS = 0.03
+MIN_PTS = 10
+SHARD_COUNTS = (2, 4, 8)
+
+
+def _burst_cloud():
+    """10^5 synthetic bursts: 20 blobs over 64 ranks, rank-correlated
+    so rank-sharding produces the straddling clusters the merge must
+    reunite."""
+    rng = np.random.default_rng(BENCH_SEED)
+    centers = rng.uniform(0.05, 0.95, size=(20, 2))
+    blob = rng.integers(0, len(centers), size=N_POINTS)
+    points = centers[blob] + rng.normal(0.0, 0.008, size=(N_POINTS, 2))
+    # Rank follows the blob index with jitter: shards cut through the
+    # middle of clusters instead of cleanly containing them.
+    ranks = (blob * 3 + rng.integers(0, 4, size=N_POINTS)) % 64
+    return points, ranks
+
+
+def test_perf_shard_scale_100k(benchmark):
+    """Whole-frame DBSCAN vs cluster-then-merge at 2/4/8 shards."""
+    points, ranks = _burst_cloud()
+
+    start = time.perf_counter()
+    whole = DBSCAN(eps=EPS, min_pts=MIN_PTS).fit(points)
+    whole_s = time.perf_counter() - start
+
+    curve: dict[int, float] = {1: whole_s}
+    for shards in SHARD_COUNTS:
+        shard_of = shard_assignment(ranks, shards)
+        run = (
+            (lambda: run_once(
+                benchmark,
+                lambda: sharded_dbscan(points, EPS, MIN_PTS, shard_of),
+            ))
+            if shards == SHARD_COUNTS[-1]
+            else (lambda: sharded_dbscan(points, EPS, MIN_PTS, shard_of))
+        )
+        start = time.perf_counter()
+        result = run()
+        curve[shards] = time.perf_counter() - start
+        np.testing.assert_array_equal(result.labels, whole.labels)
+        assert result.n_clusters == whole.n_clusters
+
+    benchmark.extra_info["n_points"] = N_POINTS
+    for shards, seconds in curve.items():
+        benchmark.extra_info[f"shards_{shards}_s"] = round(seconds, 3)
+    line = ", ".join(f"{s}sh {t:.2f}s" for s, t in curve.items())
+    print(f"\nsharded DBSCAN ({N_POINTS:,} points): {line}")
+
+
+_RSS_CHILD = """\
+import json, resource, sys, time
+from repro.apps import wrf
+from repro.clustering.frames import FrameSettings
+from repro.stream import track_windows
+
+n_windows = int(sys.argv[1])
+max_live = None if sys.argv[2] == "none" else int(sys.argv[2])
+trace = wrf.build(ranks=64, iterations=24, base_ranks=64).run(seed=1)
+start = time.perf_counter()
+result = track_windows(
+    trace, n_windows=n_windows, settings=FrameSettings(relevance=0.995),
+    max_live_windows=max_live,
+)
+print(json.dumps({
+    "wall_s": time.perf_counter() - start,
+    "rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "n_frames": result.n_frames,
+}))
+"""
+
+
+def _measure_watch(n_windows: int, max_live: int | None) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _RSS_CHILD, str(n_windows),
+         "none" if max_live is None else str(max_live)],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_perf_bounded_watch_rss(benchmark):
+    """Peak RSS vs window count, bounded (k=2) against unbounded.
+
+    The acceptance bar is *flatness*: tripling the window count must
+    not grow the bounded run's high-water mark beyond allocator jitter
+    (the generous 20%+16MiB slack absorbs interpreter noise; the
+    committed curve is the real evidence).
+    """
+    window_counts = (4, 12)
+    curves: dict[str, dict[int, dict]] = {"bounded": {}, "unbounded": {}}
+    for n_windows in window_counts:
+        curves["unbounded"][n_windows] = _measure_watch(n_windows, None)
+        if n_windows == window_counts[-1]:
+            curves["bounded"][n_windows] = run_once(
+                benchmark, lambda: _measure_watch(n_windows, 2)
+            )
+        else:
+            curves["bounded"][n_windows] = _measure_watch(n_windows, 2)
+        assert curves["bounded"][n_windows]["n_frames"] == n_windows
+        assert curves["unbounded"][n_windows]["n_frames"] == n_windows
+
+    for mode, curve in curves.items():
+        for n_windows, sample in curve.items():
+            benchmark.extra_info[f"{mode}_{n_windows}w_rss_kib"] = (
+                sample["rss_kib"]
+            )
+            benchmark.extra_info[f"{mode}_{n_windows}w_wall_s"] = round(
+                sample["wall_s"], 3
+            )
+        line = ", ".join(
+            f"{n}w {s['rss_kib'] / 1024:.0f}MiB/{s['wall_s']:.2f}s"
+            for n, s in curve.items()
+        )
+        print(f"\nwatch RSS [{mode}]: {line}")
+
+    small = curves["bounded"][window_counts[0]]["rss_kib"]
+    large = curves["bounded"][window_counts[-1]]["rss_kib"]
+    assert large <= small * 1.20 + 16 * 1024, (
+        f"bounded watch RSS not flat in window count: "
+        f"{small} KiB @ {window_counts[0]}w -> "
+        f"{large} KiB @ {window_counts[-1]}w"
+    )

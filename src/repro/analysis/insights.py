@@ -19,6 +19,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.tracking.digest import FrameDigest
 from repro.tracking.tracker import TrackingResult
 from repro.tracking.trends import TrendSeries, compute_trends
 
@@ -93,6 +94,9 @@ def _imbalance_growth(result: TrackingResult, region_id: int) -> tuple[float, fl
         members = region.members[frame_index]
         if not members:
             return 0.0, 0.0
+        if isinstance(frame, FrameDigest):
+            cvs.append(frame.rank_cv(members))
+            continue
         indices = np.concatenate(
             [frame.cluster(cid).indices for cid in sorted(members)]
         )

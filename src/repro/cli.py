@@ -228,6 +228,24 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpointed resume (default: REPRO_CACHE; unset = no resume)",
     )
     watch.add_argument(
+        "--shards", type=int, default=1, metavar="S",
+        help="partition each window's bursts into S rank-shards and "
+        "cluster them with the cluster-then-merge engine (labels are "
+        "bit-identical to --shards 1; a throughput knob for burst-scale "
+        "windows)",
+    )
+    watch.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="prefetch window cluster labels with N worker processes "
+        "before the serial tracking pass (default: REPRO_JOBS or serial)",
+    )
+    watch.add_argument(
+        "--max-live-windows", type=int, default=None, metavar="K",
+        help="hold at most K full window frames in memory; older windows "
+        "are condensed to per-cluster digests (regions/coverage/relations "
+        "unchanged, trend means up to float summation order)",
+    )
+    watch.add_argument(
         "--alerts", action="store_true",
         help="monitor every tracked region online: forecast each "
         "window's metrics one step ahead and raise typed alerts on "
@@ -507,6 +525,9 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         cache=_resolve_cache(args),
         on_update=on_update,
         telemetry=telemetry,
+        shards=args.shards,
+        jobs=args.jobs,
+        max_live_windows=args.max_live_windows,
     )
     code = 0
     failures = ()
@@ -520,7 +541,13 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         print(f"wrote {len(telemetry.alerts)} alert(s) to {path}",
               file=sys.stderr)
     print(telemetry.summary_line(), file=sys.stderr)
-    _write_report(args, [("watch", result, failures)], stream=telemetry)
+    # Condensed windows no longer carry burst scatter data, so bounded
+    # runs ship the tables-only report.
+    include_viz = args.max_live_windows is None
+    _write_report(
+        args, [("watch", result, failures)],
+        include_viz=include_viz, stream=telemetry,
+    )
     if code == 0 and telemetry.alerts_enabled and telemetry.alerts:
         code = EXIT_ALERTS
     return code

@@ -12,9 +12,11 @@ Guarantees:
 - **Determinism** — results come back in input order regardless of
   completion order, so parallel runs are bit-identical to serial ones.
 - **Graceful degradation** — if the pool cannot be created or breaks
-  mid-flight (fork failure, unpicklable task, killed worker), the whole
-  batch is re-run serially instead of crashing.  Exceptions raised *by
-  the task itself* are not swallowed; they propagate as in a serial run.
+  mid-flight (fork failure, unpicklable task, killed worker), the
+  *unfinished* tasks are re-run serially instead of crashing; tasks
+  that already completed keep their pool results, so side-effecting
+  tasks never double-execute.  Exceptions raised *by the task itself*
+  are not swallowed; they propagate as in a serial run.
 - **Auto-selection** — the process backend is only engaged when it can
   pay for itself: more than one job requested and at least
   ``min_tasks`` items to spread.
@@ -113,7 +115,9 @@ class ProcessExecutor:
 
     Results are gathered future-by-future in submission order, so the
     output list matches the input order exactly.  Pool-level failures
-    fall back to a serial re-run of the whole batch.
+    fall back to a serial re-run of only the unfinished tasks
+    (completed pool results are kept; ``parallel.fallback_tasks_total``
+    counts exactly the re-run items).
     """
 
     name = "process"
@@ -126,18 +130,45 @@ class ProcessExecutor:
     def pmap(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply *fn* to every item across the pool, preserving order."""
         workers = min(self.jobs, len(items)) or 1
+        timed: list[tuple[R, _WorkerTiming] | None] = [None] * len(items)
+        futures: list[concurrent.futures.Future] = []
         try:
             with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [pool.submit(_timed_call, fn, item) for item in items]
-                timed = [future.result() for future in futures]
+                for index, future in enumerate(futures):
+                    timed[index] = future.result()
         except _POOL_ERRORS as error:
+            # Salvage whatever already finished cleanly: tasks can have
+            # side effects (cache writes, counters), so re-running the
+            # whole batch would double-execute completed work.
+            for index, future in enumerate(futures):
+                if (
+                    timed[index] is None
+                    and future.done()
+                    and not future.cancelled()
+                ):
+                    try:
+                        if future.exception() is None:
+                            timed[index] = future.result()
+                    except concurrent.futures.CancelledError:
+                        pass
+            unfinished = [i for i, entry in enumerate(timed) if entry is None]
             log.warning(
                 "process pool failed (%s: %s); falling back to serial "
-                "execution of %d task(s)",
-                type(error).__name__, error, len(items),
+                "execution of %d of %d task(s)",
+                type(error).__name__, error, len(unfinished), len(items),
             )
             obs.count("parallel.fallbacks_total", backend=self.name)
-            return SerialExecutor().pmap(fn, items)
+            obs.count(
+                "parallel.fallback_tasks_total", len(unfinished),
+                backend=self.name,
+            )
+            for index in unfinished:
+                start = time.perf_counter()
+                result = fn(items[index])
+                timed[index] = (
+                    result, _WorkerTiming(os.getpid(), start, time.perf_counter())
+                )
         if obs.enabled():
             busy = sum(t.end - t.start for _, t in timed)
             obs.observe("parallel.task_seconds", busy)

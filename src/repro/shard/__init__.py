@@ -1,0 +1,29 @@
+"""repro.shard — hierarchical cluster-then-merge for burst-scale frames.
+
+At the 10^7–10^8-burst traces the roadmap targets, clustering every
+frame whole is the remaining wall-time bottleneck: the grid-bucketed
+DBSCAN is single-process, so one frame cannot use more than one core.
+This subpackage shards a frame's bursts by rank, clusters each shard
+independently (parallelisable over :func:`repro.parallel.pmap`
+workers), and merges the shard clusterings by cross-shard
+eps-reachability into labels that are **bit-identical** to the
+whole-frame DBSCAN — the property the Hypothesis differential suite in
+``tests/property/test_prop_shard.py`` enforces.
+
+- :func:`shard_assignment` — partition ranks into contiguous
+  near-equal blocks, the sharding a rank-distributed collector would
+  produce naturally;
+- :func:`sharded_dbscan` — the three-stage cluster-then-merge engine
+  (per-shard clusterings, cross-shard core completion, global merge);
+- :class:`ShardClustering` — one shard's intermediate labelling, kept
+  inspectable for the merge edge-case tests.
+
+See ``docs/performance.md`` (sharding section) for the equivalence
+argument and the scaling curves.
+"""
+
+from __future__ import annotations
+
+from repro.shard.cluster import ShardClustering, shard_assignment, sharded_dbscan
+
+__all__ = ["ShardClustering", "shard_assignment", "sharded_dbscan"]

@@ -229,6 +229,18 @@ class IncrementalTracker:
         :class:`TrackUpdate` and its alerts are attached to
         :attr:`TrackUpdate.alerts`; the tracked state itself is never
         affected (the purity guarantee the differential suite enforces).
+    max_live_frames:
+        Memory bound: hold at most this many full frames.  After each
+        push, frames older than the newest *k* are condensed into
+        :class:`~repro.tracking.digest.FrameDigest` aggregates and
+        their burst-level data (trace columns, points) is released, so
+        peak memory is O(k) in the stream length instead of O(n).
+        Regions, coverage and pair relations are unaffected — pairs are
+        always evaluated while both frames are live — but the final
+        result's evicted frames expose aggregates only (trend means may
+        differ in the last float bits; reports skip burst-level
+        visualisations).  Requires fixed *bounds* (adaptive mode must
+        retain every frame's weighted points to re-normalise).
     """
 
     def __init__(
@@ -238,11 +250,24 @@ class IncrementalTracker:
         bounds: SpaceBounds | None = None,
         strict: bool = True,
         monitor: "StreamMonitor | None" = None,
+        max_live_frames: int | None = None,
     ) -> None:
         self.config = config or TrackerConfig()
         self.strict = strict
         self.bounds = bounds
         self.monitor = monitor
+        if max_live_frames is not None:
+            if max_live_frames < 1:
+                raise StreamError(
+                    f"max_live_frames must be >= 1, got {max_live_frames}"
+                )
+            if bounds is None:
+                raise StreamError(
+                    "max_live_frames requires fixed SpaceBounds: adaptive "
+                    "mode re-normalises every frame's weighted points at "
+                    "the end, so it cannot release them"
+                )
+        self.max_live_frames = max_live_frames
         if bounds is None and self.config.reference != 0:
             raise StreamError(
                 "adaptive-bounds streaming requires config.reference == 0 "
@@ -384,6 +409,7 @@ class IncrementalTracker:
         self._weights.append(axis_weights)
         self._points.append(points_new)
         self._cache.retain([frame])
+        self._condense()
 
         regions = chain_regions(self._frames, self._pairs)
         coverage = coverage_percent(regions, self._frames)
@@ -398,6 +424,30 @@ class IncrementalTracker:
         if self.monitor is not None:
             update = replace(update, alerts=self.monitor.observe(update))
         return update
+
+    def _condense(self) -> None:
+        """Evict frames beyond the memory bound, keeping their digests.
+
+        Only frames older than the newest ``max_live_frames`` are
+        touched, so the next pair's left side is always still live.
+        Replacing the list entry drops the last strong reference to the
+        full frame (and its trace columns); the matching weighted and
+        normalised point arrays are released too.
+        """
+        if self.max_live_frames is None:
+            return
+        from repro.tracking.digest import FrameDigest
+
+        cutoff = len(self._frames) - self.max_live_frames
+        for index in range(cutoff):
+            frame = self._frames[index]
+            if isinstance(frame, FrameDigest):
+                continue
+            self._frames[index] = FrameDigest.from_frame(frame)
+            dims = self._points[index].shape[1]
+            self._weighted[index] = np.empty((0, dims))
+            self._points[index] = np.empty((0, dims))
+            obs.count("stream.frames_condensed_total")
 
     def result(self) -> TrackingResult:
         """Final batch-compatible result over every frame consumed.

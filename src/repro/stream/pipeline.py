@@ -42,6 +42,7 @@ from repro.clustering.frames import (
 from repro.errors import ClusteringError, ReproError, TrackingError
 from repro.obs.log import get_logger
 from repro.parallel.cache import PipelineCache, frame_key
+from repro.parallel.executor import pmap, resolve_jobs
 from repro.robust.partial import ItemFailure, PartialResult
 from repro.robust.validate import validate_trace
 from repro.stream.checkpoint import (
@@ -91,21 +92,59 @@ def _window_frame(
     window: Trace,
     settings: FrameSettings,
     cache: PipelineCache | None,
+    *,
+    shards: int = 1,
+    labels=None,
 ) -> Frame:
-    """Build one window's frame, through the frame-label cache if given."""
+    """Build one window's frame, through the frame-label cache if given.
+
+    *labels* short-circuits with a prefetched labelling (the sharded
+    multi-process watch computes window labels ahead of the serial push
+    loop); a labelling that does not fit the window falls through to
+    the normal cache/compute path.
+    """
+    if labels is not None:
+        try:
+            return frame_from_labels(window, settings, labels)
+        except ClusteringError:
+            pass
+    key = None
+    if cache is not None:
+        key = frame_key(window, settings)
+        cached = cache.get_labels(key)
+        if cached is not None:
+            try:
+                return frame_from_labels(window, settings, cached)
+            except ClusteringError:
+                cache.invalidate(key)
+    frame = make_frame(window, settings, shards=shards)
+    if cache is not None:
+        cache.put_labels(key, frame.labels)
+    return frame
+
+
+def _window_labels_task(task):
+    """Worker-side task: compute (or claim) one window's cluster labels.
+
+    Work claiming goes through the shared frame-label cache: the task
+    first checks whether another worker (or an earlier run) already
+    committed this window's labels — ``PipelineCache`` writes are
+    atomic, so concurrent workers race safely and the loser merely
+    recomputes.  Labels are bit-identical at any shard count, so the
+    parent's serial push loop is unaffected by who computed what.
+    """
+    window, settings, shards, cache_root = task
+    cache = PipelineCache(cache_root) if cache_root is not None else None
     key = None
     if cache is not None:
         key = frame_key(window, settings)
         labels = cache.get_labels(key)
         if labels is not None:
-            try:
-                return frame_from_labels(window, settings, labels)
-            except ClusteringError:
-                cache.invalidate(key)
-    frame = make_frame(window, settings)
+            return labels
+    frame = make_frame(window, settings, shards=shards)
     if cache is not None:
         cache.put_labels(key, frame.labels)
-    return frame
+    return frame.labels
 
 
 def _status_matches(record: WindowRecord, status: str, window_index: int) -> bool:
@@ -123,6 +162,9 @@ def track_windows(
     cache: PipelineCache | None = None,
     on_update: Callable[[TrackUpdate], None] | None = None,
     telemetry: WatchTelemetry | None = None,
+    shards: int = 1,
+    jobs: int | None = None,
+    max_live_windows: int | None = None,
 ) -> "TrackingResult | PartialResult[TrackingResult]":
     """Slice *trace* into time windows and track them incrementally.
 
@@ -163,6 +205,25 @@ def track_windows(
         ``telemetry.alerts``.  Monitoring is a pure observer: the
         tracked regions/relations/labels are bit-identical with it on
         or off.
+    shards:
+        Cluster each window's bursts through the sharded
+        cluster-then-merge engine (:mod:`repro.shard`) with this many
+        rank-shards.  Labels are bit-identical at any shard count, so
+        this is purely a throughput knob; it still participates in the
+        stream key so resumed runs stay self-consistent.
+    jobs:
+        Worker count for the multi-process window fan-out.  More than
+        one job prefetches the pending windows' cluster labels across
+        ``pmap`` workers — claiming work through the (atomic) frame
+        label cache when one is given — before the serial push loop
+        consumes them in order.  ``None`` defers to ``REPRO_JOBS``.
+    max_live_windows:
+        Memory bound: the tracker holds at most this many full frames;
+        older windows are condensed to
+        :class:`~repro.tracking.digest.FrameDigest` aggregates (see
+        :class:`~repro.stream.incremental.IncrementalTracker`).
+        Regions, coverage and relations are unaffected; burst-level
+        reads of evicted frames are not available afterwards.
 
     The incremental result is bit-identical to batch tracking of the
     same surviving window frames — the guarantee the differential suite
@@ -238,7 +299,8 @@ def track_windows(
                 1 for status, _ in statuses if status == "quarantined"
             )
         tracker = IncrementalTracker(
-            config, bounds=bounds, strict=strict, monitor=monitor
+            config, bounds=bounds, strict=strict, monitor=monitor,
+            max_live_frames=max_live_windows,
         )
 
         # Checkpoint replay: adopt completed windows verbatim.
@@ -247,7 +309,8 @@ def track_windows(
         resume_from = 0
         if cache is not None:
             key = stream_key(
-                trace, spec.as_dict(), settings, config, strict=strict
+                trace, spec.as_dict(), settings, config, strict=strict,
+                shards=shards, max_live=max_live_windows,
             )
             stored = load_checkpoint(cache, key)
             if stored is not None:
@@ -268,8 +331,32 @@ def track_windows(
                         telemetry.reset_stream_state()
                         monitor = telemetry.monitor
                     tracker = IncrementalTracker(
-                        config, bounds=bounds, strict=strict, monitor=monitor
+                        config, bounds=bounds, strict=strict, monitor=monitor,
+                        max_live_frames=max_live_windows,
                     )
+
+        # Multi-process fan-out: prefetch the pending windows' labels
+        # across workers before the (serial, order-preserving) push
+        # loop.  Labels are bit-identical however they were computed,
+        # so parallel prefetch cannot change the result.
+        prefetched: dict[int, object] = {}
+        pending_ok = [
+            index
+            for index in range(resume_from, len(windows))
+            if statuses[index][0] == "ok"
+        ]
+        if resolve_jobs(jobs) > 1 and len(pending_ok) >= 2:
+            cache_root = str(cache.root) if cache is not None else None
+            label_results = pmap(
+                _window_labels_task,
+                [
+                    (windows[index], settings, shards, cache_root)
+                    for index in pending_ok
+                ],
+                jobs=jobs,
+                label="stream.windows.pmap",
+            )
+            prefetched = dict(zip(pending_ok, label_results))
 
         # Pass 2: stream the remaining windows.
         for index in range(resume_from, len(windows)):
@@ -286,7 +373,10 @@ def track_windows(
             else:
                 with obs.span("stream.window", window=index):
                     started = time.perf_counter()
-                    frame = _window_frame(window, settings, cache)
+                    frame = _window_frame(
+                        window, settings, cache,
+                        shards=shards, labels=prefetched.get(index),
+                    )
                     update = tracker.push(frame)
                     elapsed = time.perf_counter() - started
                     if update.pair is not None:

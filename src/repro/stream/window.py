@@ -118,7 +118,16 @@ def slice_trace(
         n = int(n_windows)
         if n < 1:
             raise StreamError(f"n_windows must be >= 1, got {n_windows}")
-        width = span / n
+        if span > 0:
+            width = span / n
+        else:
+            # Zero-width span (every burst starts at the same instant):
+            # collapse to the explicit single-window degenerate case
+            # instead of emitting n zero-width windows whose float-edge
+            # assignment would be accidental.  window_of() sends every
+            # begin to window 0 when width == 0.
+            n = 1
+            width = 0.0
         mode = "count"
     else:
         width = float(window_ns) * 1e-9

@@ -1,0 +1,229 @@
+"""Condensed frames: what bounded streaming keeps of evicted windows.
+
+Memory-bounded streaming (``IncrementalTracker(max_live_frames=k)``)
+holds at most *k* full :class:`~repro.clustering.frames.Frame` objects;
+older windows are *condensed* into a :class:`FrameDigest` — the few
+kilobytes of per-cluster aggregates that every downstream consumer of a
+finished tracking run actually reads:
+
+- region chaining and coverage: cluster ids, per-cluster total
+  duration, cluster count;
+- trend extraction (:func:`repro.tracking.trends.frame_region_metric`):
+  per-cluster sums of every registered derived metric and raw counter
+  plus burst counts, which reproduce ``total`` exactly and ``mean`` as
+  sum-over-count (the instruction-weighted IPC mean falls out of the
+  instruction and cycle sums);
+- the load-imbalance rule (:func:`repro.analysis.insights.diagnose`):
+  per-cluster, per-rank instruction sums and counts;
+- reporting: the frame label, burst/cluster counts and the trace's
+  total time and rank count.
+
+The derived-metric registry
+(:func:`repro.trace.counters.derived_metric_names`) is finite and
+closed, so the capture is complete: any metric a trend can ask for is
+either in the digest or a raw counter of the trace, also in the digest.
+
+A digest's mean aggregates sum per-cluster sums instead of summing one
+concatenated array, so they may differ from the live-frame value in the
+last float bits (NumPy pairwise summation); the bounded-mode
+differential tests use ``allclose`` for trends while regions, coverage
+and pair relations — which never read burst data of evicted frames —
+stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+import numpy as np
+
+from repro.errors import TrackingError
+from repro.trace.counters import derived_metric_names
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.clustering.frames import Frame, FrameSettings
+
+__all__ = ["DigestCluster", "FrameDigest", "TraceDigestView"]
+
+
+@dataclass(frozen=True, slots=True)
+class DigestCluster:
+    """Per-cluster aggregates surviving a frame's condensation.
+
+    ``metric_sums`` maps every derived metric and raw counter name to
+    the sum of its per-burst values over the cluster; ``rank_instr``
+    maps each participating rank to its (instruction sum, burst count).
+    """
+
+    cluster_id: int
+    total_duration: float
+    n_bursts: int
+    metric_sums: dict[str, float]
+    rank_instr: dict[int, tuple[float, int]]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceDigestView:
+    """The sliver of a trace that reporting reads after condensation."""
+
+    nranks: int
+    total_time: float
+    scenario: dict[str, Any]
+    _label: str
+
+    def label(self) -> str:
+        return self._label
+
+
+class FrameDigest:
+    """A condensed frame: aggregates only, no burst-level data.
+
+    Quacks like a :class:`~repro.clustering.frames.Frame` for every
+    read a *finished* tracking result performs (``label``,
+    ``cluster_ids``, ``cluster(cid).total_duration``, ``n_clusters``,
+    ``n_points``, ``settings``, ``trace.nranks`` / ``trace.total_time``)
+    — but deliberately not for pair evaluation, which always runs on
+    live frames before they are evicted.
+    """
+
+    __slots__ = ("label", "settings", "trace", "n_points", "_clusters")
+
+    def __init__(
+        self,
+        *,
+        label: str,
+        settings: "FrameSettings",
+        trace: TraceDigestView,
+        n_points: int,
+        clusters: Iterable[DigestCluster],
+    ) -> None:
+        self.label = label
+        self.settings = settings
+        self.trace = trace
+        self.n_points = int(n_points)
+        self._clusters = {c.cluster_id: c for c in clusters}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_frame(cls, frame: "Frame") -> "FrameDigest":
+        """Capture everything downstream readers need from *frame*."""
+        trace = frame.trace
+        names = sorted(set(derived_metric_names()) | set(trace.counter_names))
+        columns = {name: trace.metric(name) for name in names}
+        instructions = trace.metric("instructions")
+        ranks = trace.rank
+        clusters = []
+        for cid in frame.cluster_ids:
+            cluster = frame.cluster(cid)
+            idx = cluster.indices
+            cluster_ranks = ranks[idx]
+            cluster_instr = instructions[idx]
+            rank_instr: dict[int, tuple[float, int]] = {}
+            for r in np.unique(cluster_ranks):
+                mask = cluster_ranks == r
+                rank_instr[int(r)] = (
+                    float(cluster_instr[mask].sum()), int(mask.sum())
+                )
+            clusters.append(
+                DigestCluster(
+                    cluster_id=int(cid),
+                    total_duration=float(cluster.total_duration),
+                    n_bursts=int(idx.size),
+                    metric_sums={
+                        name: float(columns[name][idx].sum()) for name in names
+                    },
+                    rank_instr=rank_instr,
+                )
+            )
+        return cls(
+            label=frame.label,
+            settings=frame.settings,
+            trace=TraceDigestView(
+                nranks=int(trace.nranks),
+                total_time=float(trace.total_time),
+                scenario=dict(trace.scenario),
+                _label=trace.label(),
+            ),
+            n_points=int(frame.n_points),
+            clusters=clusters,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def cluster_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._clusters))
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self._clusters)
+
+    def cluster(self, cluster_id: int) -> DigestCluster:
+        try:
+            return self._clusters[cluster_id]
+        except KeyError:
+            raise TrackingError(
+                f"digested frame {self.label!r} has no cluster {cluster_id}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def region_metric(
+        self,
+        member_ids: frozenset[int] | set[int],
+        metric: str,
+        aggregate: str = "mean",
+    ) -> float:
+        """The digest half of :func:`~repro.tracking.trends.frame_region_metric`.
+
+        Same semantics as the live-frame path: ``total`` sums over all
+        member bursts, ``mean`` averages per burst, and the IPC mean is
+        instruction-weighted.
+        """
+        if not member_ids:
+            return float("nan")
+        clusters = [self.cluster(cid) for cid in sorted(member_ids)]
+
+        def summed(name: str) -> float:
+            try:
+                return sum(c.metric_sums[name] for c in clusters)
+            except KeyError:
+                raise TrackingError(
+                    f"metric {name!r} was not captured when frame "
+                    f"{self.label!r} was condensed; available: "
+                    f"{sorted(clusters[0].metric_sums)}"
+                ) from None
+
+        if aggregate == "total":
+            return float(summed(metric))
+        if metric == "ipc":
+            cycles = summed("cycles")
+            return float(summed("instructions") / cycles) if cycles else 0.0
+        n_bursts = sum(c.n_bursts for c in clusters)
+        return float(summed(metric) / n_bursts) if n_bursts else float("nan")
+
+    def rank_cv(self, member_ids: frozenset[int] | set[int]) -> float:
+        """Coefficient of variation of per-rank mean instructions.
+
+        The digest half of the load-imbalance rule: per-rank means are
+        reassembled from the per-cluster (sum, count) pairs, then the
+        CV is taken exactly as the live-frame path takes it.
+        """
+        merged: dict[int, list[float]] = {}
+        for cid in sorted(member_ids):
+            for rank, (total, count) in self.cluster(cid).rank_instr.items():
+                acc = merged.setdefault(rank, [0.0, 0.0])
+                acc[0] += total
+                acc[1] += count
+        if not merged:
+            return 0.0
+        per_rank = np.asarray(
+            [merged[rank][0] / merged[rank][1] for rank in sorted(merged)]
+        )
+        mean = per_rank.mean()
+        return float(per_rank.std() / mean) if mean else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"FrameDigest(label={self.label!r}, "
+            f"n_points={self.n_points}, n_clusters={self.n_clusters})"
+        )

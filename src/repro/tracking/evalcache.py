@@ -21,11 +21,14 @@ exact call the uncached code path would make, reused verbatim — the
 differential suites (batch vs incremental, serial vs ``jobs=2``) hold
 bit-for-bit.
 
-The cache is intentionally **not** sent across process boundaries:
-``Tracker.run`` attaches a shared cache to its tasks only when the
-serial executor will run them (pickling k-d trees to workers would cost
-more than rebuilding), and ``combine_pair`` falls back to a private
-per-pair cache otherwise, which still removes the in-pair duplication.
+The cache is intentionally **not** sent across process boundaries
+(pickling k-d trees to workers would cost more than rebuilding them).
+On the serial backend ``Tracker.run`` attaches one shared cache to all
+tasks; on the process backend it groups consecutive pairs into
+per-worker chunks, and each chunk builds its own cache inside the
+worker — interior frames of a chunk are still evaluated once, and the
+workers report their ``tree_builds`` back so the parent can account
+for the sharing (``tracking.tree_builds_total``).
 """
 
 from __future__ import annotations
@@ -63,6 +66,9 @@ class EvalCache:
         self._pins: dict[int, object] = {}
         self.hits = 0
         self.misses = 0
+        #: k-d tree constructions (the dominant per-frame artefact);
+        #: tracked separately so tests can assert sharing across pairs.
+        self.tree_builds = 0
 
     def _pin(self, obj: object) -> int:
         key = id(obj)
@@ -79,6 +85,7 @@ class EvalCache:
         except KeyError:
             value = self._trees[key] = frame_tree(frame, points)
             self.misses += 1
+            self.tree_builds += 1
         return value
 
     def alignment(self, frame: Frame, max_ranks: int):
@@ -152,6 +159,7 @@ class EvalCache:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "tree_builds": self.tree_builds,
             "entries": (
                 len(self._trees)
                 + len(self._alignments)

@@ -102,6 +102,40 @@ def _empty_pair_relations(frame_a: Frame, frame_b: Frame) -> PairRelations:
     )
 
 
+def _combine_chunk_task(
+    task: tuple[int, list[Frame], list[np.ndarray], "TrackerConfig", bool],
+) -> tuple[list, dict[str, int]]:
+    """Worker-side task: combine a run of consecutive pairs with one cache.
+
+    ``task`` is ``(start_pair_index, frames, points, config, strict)``
+    where *frames*/*points* cover pairs ``start .. start+len(frames)-2``.
+    A chunk-local :class:`EvalCache` is built inside the worker, so the
+    chunk's interior frames are evaluated once instead of once per pair
+    — the sharing the serial backend gets from its run-wide cache,
+    recovered per worker.  Returns the per-pair results in order plus
+    the cache statistics (worker-side obs counters do not propagate to
+    the parent, so tree builds travel in the result).
+    """
+    start, frames, points, config, strict = task
+    cache = EvalCache()
+    worker = _combine_task if strict else _combine_task_quarantine
+    results = [
+        worker(
+            (
+                start + k,
+                frames[k],
+                frames[k + 1],
+                points[k],
+                points[k + 1],
+                config,
+                cache,
+            )
+        )
+        for k in range(len(frames) - 1)
+    ]
+    return results, cache.info()
+
+
 def _combine_task_quarantine(
     task: tuple[int, Frame, Frame, np.ndarray, np.ndarray, "TrackerConfig", "EvalCache | None"],
 ):
@@ -321,32 +355,64 @@ class Tracker:
                     reference=config.reference,
                     log_extensive=config.log_extensive,
                 )
-            # A shared per-run cache pays off only in-process: attach it
-            # exactly when pmap will pick the serial backend for these
-            # tasks, so k-d trees are never pickled to worker processes.
+            # Caches are never pickled across process boundaries.  On
+            # the serial backend a single run-wide cache is shared by
+            # every task; on the process backend consecutive pairs are
+            # grouped into one chunk per worker, each chunk building a
+            # worker-local cache, so interior frames of a chunk are
+            # still evaluated once instead of once per pair.
             n_pairs = len(self.frames) - 1
-            serial = isinstance(
-                get_executor(jobs, n_tasks=n_pairs), SerialExecutor
-            )
-            cache = EvalCache() if serial else None
-            tasks = [
-                (
-                    index,
-                    self.frames[index],
-                    self.frames[index + 1],
-                    space.points[index],
-                    space.points[index + 1],
-                    config,
-                    cache,
+            executor = get_executor(jobs, n_tasks=n_pairs)
+            if isinstance(executor, SerialExecutor):
+                cache = EvalCache()
+                tasks = [
+                    (
+                        index,
+                        self.frames[index],
+                        self.frames[index + 1],
+                        space.points[index],
+                        space.points[index + 1],
+                        config,
+                        cache,
+                    )
+                    for index in range(n_pairs)
+                ]
+                raw = pmap(
+                    _combine_task if strict else _combine_task_quarantine,
+                    tasks,
+                    jobs=jobs,
+                    label="tracking.pairs.pmap",
                 )
-                for index in range(n_pairs)
-            ]
-            raw = pmap(
-                _combine_task if strict else _combine_task_quarantine,
-                tasks,
-                jobs=jobs,
-                label="tracking.pairs.pmap",
-            )
+                obs.count("tracking.tree_builds_total", cache.tree_builds)
+            else:
+                chunk_tasks = []
+                for chunk in np.array_split(
+                    np.arange(n_pairs), min(executor.jobs, n_pairs)
+                ):
+                    if not len(chunk):
+                        continue
+                    start, stop = int(chunk[0]), int(chunk[-1]) + 1
+                    chunk_tasks.append(
+                        (
+                            start,
+                            self.frames[start : stop + 1],
+                            list(space.points[start : stop + 1]),
+                            config,
+                            strict,
+                        )
+                    )
+                chunked = pmap(
+                    _combine_chunk_task,
+                    chunk_tasks,
+                    jobs=jobs,
+                    label="tracking.pairs.pmap",
+                )
+                raw = []
+                tree_builds = 0
+                for results, cache_info in chunked:
+                    raw.extend(results)
+                    tree_builds += cache_info["tree_builds"]
+                obs.count("tracking.tree_builds_total", tree_builds)
             failures: list[ItemFailure] = []
             pair_relations: list[PairRelations] = []
             for index, item in enumerate(raw):

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import TrackingError
+from repro.tracking.digest import FrameDigest
 from repro.tracking.tracker import TrackedRegion, TrackingResult
 
 __all__ = [
@@ -107,6 +108,10 @@ def frame_region_metric(
     """
     if not member_ids:
         return float("nan")
+    if isinstance(frame, FrameDigest):
+        # Condensed frame (memory-bounded streaming): the burst data is
+        # gone, but the per-cluster sums reproduce both aggregates.
+        return frame.region_metric(member_ids, metric, aggregate)
     indices = np.concatenate(
         [frame.cluster(cid).indices for cid in sorted(member_ids)]
     )

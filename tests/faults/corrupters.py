@@ -30,6 +30,7 @@ __all__ = [
     "garble_lines",
     "kill_if_worker",
     "only_repro_errors",
+    "record_then_maybe_kill",
     "rebuild_trace",
     "truncate_file",
     "with_duplicated_bursts",
@@ -157,7 +158,28 @@ def with_duplicated_bursts(trace: Trace, *, n: int = 4) -> Trace:
     )
 
 
-# -- pool fault task ----------------------------------------------------
+# -- pool fault tasks ---------------------------------------------------
+def record_then_maybe_kill(task: tuple[int, int, bool, str]) -> int:
+    """Record an execution marker, then die iff this is the bomb task.
+
+    Every execution (pool worker *or* in-parent fallback) drops one
+    marker file into *log_dir*, so a test can count exactly how many
+    times each task ran.  The bomb sleeps first, giving the other
+    workers time to finish their tasks, then SIGKILLs its worker — the
+    partial-fallback test asserts the finished tasks keep their pool
+    results instead of being re-executed.
+    """
+    import time
+
+    parent_pid, value, bomb, log_dir = task
+    marker = Path(log_dir) / f"{value}-{os.getpid()}-{time.monotonic_ns()}"
+    marker.touch()
+    if bomb and os.getpid() != parent_pid:
+        time.sleep(1.0)
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
 def kill_if_worker(task: tuple[int, int]) -> int:
     """Kill the process unless it is the parent: a dying pool worker.
 

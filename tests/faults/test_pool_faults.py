@@ -6,7 +6,7 @@ import os
 
 from repro import obs
 from repro.parallel.executor import pmap
-from tests.faults.corrupters import kill_if_worker
+from tests.faults.corrupters import kill_if_worker, record_then_maybe_kill
 
 
 def test_killed_worker_falls_back_to_serial():
@@ -32,6 +32,42 @@ def test_killed_worker_fallback_is_counted():
             if name == "parallel.fallbacks_total"
         )
         assert fallbacks >= 1
+    finally:
+        obs.reset()
+        obs.disable()
+
+
+def test_fallback_reruns_only_unfinished_tasks(tmp_path):
+    """Completed tasks keep their pool results across a pool failure.
+
+    Five quick tasks finish while the bomb (submitted last) sleeps;
+    when it kills its worker the pool breaks, and the fallback must
+    re-execute *only* the bomb — one marker per finished task, and
+    ``parallel.fallback_tasks_total`` counting exactly the re-run.
+    """
+    obs.enable()
+    obs.reset()
+    try:
+        parent = os.getpid()
+        tasks = [
+            (parent, value, value == 5, str(tmp_path)) for value in range(6)
+        ]
+        results = pmap(
+            record_then_maybe_kill, tasks, jobs=2, label="faults.partial"
+        )
+        assert results == [value * 2 for value in range(6)]
+        executions = {value: 0 for value in range(6)}
+        for marker in tmp_path.iterdir():
+            executions[int(marker.name.split("-")[0])] += 1
+        # The quick tasks ran exactly once (in the pool); the bomb ran
+        # twice — the killed worker attempt plus the in-parent re-run.
+        assert executions == {0: 1, 1: 1, 2: 1, 3: 1, 4: 1, 5: 2}
+        counters = {
+            c["name"]: c["value"]
+            for c in obs.metrics_snapshot()["counters"]
+        }
+        assert counters.get("parallel.fallback_tasks_total") == 1
+        assert counters.get("parallel.fallbacks_total") == 1
     finally:
         obs.reset()
         obs.disable()

@@ -1,0 +1,134 @@
+"""Property-based differential suite: sharded DBSCAN vs whole-frame.
+
+The tentpole guarantee of ``repro.shard`` is that cluster-then-merge
+produces labels **bit-identical** to the whole-frame grid engine — not
+merely the same partition up to relabelling.  These tests drive
+:func:`sharded_dbscan` against :meth:`DBSCAN.fit` with randomised
+points, shard assignments, eps/min_pts and dimensionalities, including
+the adversarial geometries the merge must get right: duplicated
+points, lattice distances landing exactly on eps, and shardings that
+scatter nearby points across shards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.clustering.dbscan import DBSCAN
+from repro.shard import shard_assignment, sharded_dbscan
+
+points_strategy = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(min_value=0, max_value=60), st.just(2)),
+    elements=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+)
+eps_strategy = st.floats(min_value=0.05, max_value=3.0)
+min_pts_strategy = st.integers(min_value=1, max_value=8)
+shards_strategy = st.integers(min_value=1, max_value=7)
+
+
+def _assert_matches_whole(points, eps, min_pts, shard_of):
+    whole = DBSCAN(eps=eps, min_pts=min_pts).fit(points)
+    sharded = sharded_dbscan(points, eps, min_pts, shard_of)
+    np.testing.assert_array_equal(sharded.labels, whole.labels)
+    np.testing.assert_array_equal(sharded.core_mask, whole.core_mask)
+    assert sharded.n_clusters == whole.n_clusters
+
+
+@given(points_strategy, eps_strategy, min_pts_strategy, shards_strategy, st.randoms())
+@settings(max_examples=60, deadline=None)
+def test_matches_whole_random_sharding(points, eps, min_pts, n_shards, rand):
+    """Arbitrary (spatially blind) shard assignment: worst case for the
+    merge, since every cluster can straddle every shard boundary."""
+    n = points.shape[0]
+    shard_of = np.asarray([rand.randrange(n_shards) for _ in range(n)], dtype=np.int64)
+    _assert_matches_whole(points, eps, min_pts, shard_of)
+
+
+@given(points_strategy, eps_strategy, min_pts_strategy, shards_strategy)
+@settings(max_examples=40, deadline=None)
+def test_matches_whole_rank_block_sharding(points, eps, min_pts, n_shards):
+    """The production sharding: contiguous rank blocks via shard_assignment."""
+    n = points.shape[0]
+    ranks = np.arange(n, dtype=np.int64) % max(1, min(n, 16))
+    shard_of = shard_assignment(ranks, n_shards) if n else np.empty(0, dtype=np.int64)
+    _assert_matches_whole(points, eps, min_pts, shard_of)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_value=0, max_value=40),
+            st.integers(min_value=1, max_value=4),
+        ),
+        elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+    ),
+    eps_strategy,
+    min_pts_strategy,
+    shards_strategy,
+)
+@settings(max_examples=40, deadline=None)
+def test_matches_whole_other_dimensions(points, eps, min_pts, n_shards):
+    n = points.shape[0]
+    shard_of = (np.arange(n, dtype=np.int64) * 2654435761) % n_shards
+    _assert_matches_whole(points, eps, min_pts, shard_of)
+
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+    eps_strategy,
+    min_pts_strategy,
+    shards_strategy,
+)
+@settings(max_examples=30, deadline=None)
+def test_matches_whole_all_identical_points(n, value, eps, min_pts, n_shards):
+    """Every point duplicated: the densest possible cross-shard cluster.
+    Per-shard counts must sum to exactly n for every point."""
+    points = np.full((n, 2), value)
+    shard_of = np.arange(n, dtype=np.int64) % n_shards
+    _assert_matches_whole(points, eps, min_pts, shard_of)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.int64,
+        shape=st.tuples(st.integers(min_value=0, max_value=40), st.just(2)),
+        elements=st.integers(min_value=-4, max_value=4),
+    ),
+    st.sampled_from([0.5, 1.0, float(np.sqrt(2.0)), 2.0, float(np.sqrt(5.0))]),
+    min_pts_strategy,
+    shards_strategy,
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_whole_eps_on_lattice_distances(lattice, eps, min_pts, n_shards):
+    """Distances landing exactly on eps: the inclusive-ball boundary must
+    round identically in the per-shard count pass and the whole-frame
+    core-mask pass, or core status flips across engines."""
+    points = lattice.astype(np.float64)
+    n = points.shape[0]
+    shard_of = np.arange(n, dtype=np.int64) % n_shards
+    _assert_matches_whole(points, eps, min_pts, shard_of)
+
+
+@given(eps_strategy, min_pts_strategy, shards_strategy)
+@settings(max_examples=10, deadline=None)
+def test_matches_whole_degenerate_sizes(eps, min_pts, n_shards):
+    _assert_matches_whole(np.empty((0, 2)), eps, min_pts, np.empty(0, dtype=np.int64))
+    _assert_matches_whole(
+        np.asarray([[0.3, -0.7]]), eps, min_pts, np.zeros(1, dtype=np.int64)
+    )
+
+
+@given(points_strategy, eps_strategy, min_pts_strategy)
+@settings(max_examples=20, deadline=None)
+def test_shard_count_exceeding_points(points, eps, min_pts):
+    """More shards than points (singleton shards everywhere): stage 1
+    produces no cores, stage 2 decides everything."""
+    n = points.shape[0]
+    shard_of = np.arange(n, dtype=np.int64)
+    _assert_matches_whole(points, eps, min_pts, shard_of)

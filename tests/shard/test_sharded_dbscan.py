@@ -1,0 +1,162 @@
+"""Deterministic shard-merge edge cases.
+
+Each test constructs a geometry where a naive shard-label stitch would
+go wrong, and asserts :func:`sharded_dbscan` still matches the
+whole-frame engine bit-for-bit:
+
+- clusters straddling a shard boundary;
+- border points claimable by core points in two different shards;
+- shards containing only noise;
+- ``shards=1`` short-circuiting to the whole-frame engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import DBSCAN, NOISE
+from repro.errors import ClusteringError
+from repro.shard import ShardClustering, shard_assignment, sharded_dbscan
+
+
+def _whole(points, eps, min_pts):
+    return DBSCAN(eps=eps, min_pts=min_pts).fit(points)
+
+
+def _assert_identical(sharded, whole):
+    np.testing.assert_array_equal(sharded.labels, whole.labels)
+    np.testing.assert_array_equal(sharded.core_mask, whole.core_mask)
+    assert sharded.n_clusters == whole.n_clusters
+
+
+class TestShardAssignment:
+    def test_contiguous_rank_blocks(self):
+        ranks = np.asarray([0, 0, 1, 1, 2, 2, 3, 3])
+        shard_of = shard_assignment(ranks, 2)
+        np.testing.assert_array_equal(shard_of, [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_more_shards_than_ranks(self):
+        ranks = np.asarray([5, 5, 9])
+        shard_of = shard_assignment(ranks, 8)
+        # Only two ranks -> only two shards materialise.
+        np.testing.assert_array_equal(shard_of, [0, 0, 1])
+
+    def test_unsorted_ranks(self):
+        ranks = np.asarray([3, 0, 3, 1, 0, 2])
+        shard_of = shard_assignment(ranks, 2)
+        # Ranks {0, 1} -> shard 0, ranks {2, 3} -> shard 1.
+        np.testing.assert_array_equal(shard_of, [1, 0, 1, 0, 0, 1])
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ClusteringError, match="n_shards"):
+            shard_assignment(np.asarray([0, 1]), 0)
+
+
+class TestMergeEdgeCases:
+    def test_cluster_straddling_shard_boundary(self):
+        """One dense chain split down the middle: each half alone is a
+        cluster, and the merge must reunite them into one label."""
+        points = np.column_stack([np.arange(10) * 0.5, np.zeros(10)])
+        shard_of = np.asarray([0] * 5 + [1] * 5)
+        eps, min_pts = 0.6, 2
+        sharded = sharded_dbscan(points, eps, min_pts, shard_of)
+        _assert_identical(sharded, _whole(points, eps, min_pts))
+        assert sharded.n_clusters == 1
+        assert (sharded.labels == 1).all()
+
+    def test_straddling_cluster_core_only_via_merge(self):
+        """Points at the boundary are core globally but not in either
+        shard alone: min_pts=3 with only two same-shard neighbours each.
+        Stage 2's cross-shard count completion must promote them."""
+        #  shard 0: x = 0.0, 0.5, 1.0      shard 1: x = 1.5, 2.0, 2.5
+        points = np.column_stack([np.arange(6) * 0.5, np.zeros(6)])
+        shard_of = np.asarray([0, 0, 0, 1, 1, 1])
+        eps, min_pts = 0.6, 3
+        whole = _whole(points, eps, min_pts)
+        sharded = sharded_dbscan(points, eps, min_pts, shard_of)
+        _assert_identical(sharded, whole)
+        # The interior points (x=1.0 and x=1.5) have two same-shard
+        # neighbours plus one across the boundary -> core only globally.
+        assert whole.core_mask[2] and whole.core_mask[3]
+        assert sharded.n_clusters == 1
+
+    def test_border_point_claimable_by_cores_in_two_shards(self):
+        """A non-core point eps-reachable from core points in two
+        different shards.  Whole-frame DBSCAN gives it the smallest
+        neighbouring label; the merge must reproduce that tie-break."""
+        left = np.asarray([[-1.0, 0.0], [-1.0, 0.1], [-1.0, -0.1], [-0.5, 0.0]])
+        right = np.asarray([[1.0, 0.0], [1.0, 0.1], [1.0, -0.1], [0.5, 0.0]])
+        border = np.asarray([[0.0, 0.0]])
+        points = np.vstack([left, right, border])
+        shard_of = np.asarray([0] * 4 + [1] * 4 + [0])
+        # min_pts=4: the middle point sees only three points (itself and
+        # the two near cores), so it stays border, claimable either way.
+        eps, min_pts = 0.55, 4
+        whole = _whole(points, eps, min_pts)
+        sharded = sharded_dbscan(points, eps, min_pts, shard_of)
+        _assert_identical(sharded, whole)
+        assert whole.n_clusters == 2
+        # The middle point is border (not core) and claimed, not noise.
+        assert not whole.core_mask[8]
+        assert whole.labels[8] != NOISE
+
+    def test_noise_only_shards(self):
+        """Shards whose points are all noise must not disturb the merge,
+        and isolated points must stay noise globally."""
+        cluster = np.asarray([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [0.1, 0.1]])
+        scattered = np.asarray([[50.0, 50.0], [-60.0, 10.0], [30.0, -40.0]])
+        points = np.vstack([cluster, scattered])
+        shard_of = np.asarray([0, 0, 0, 0, 1, 1, 2])
+        eps, min_pts = 0.3, 3
+        sharded = sharded_dbscan(points, eps, min_pts, shard_of)
+        _assert_identical(sharded, _whole(points, eps, min_pts))
+        assert sharded.n_clusters == 1
+        assert (sharded.labels[4:] == NOISE).all()
+
+    def test_single_shard_equals_whole_frame(self):
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(120, 2))
+        shard_of = np.zeros(120, dtype=np.int64)
+        sharded = sharded_dbscan(points, 0.4, 4, shard_of)
+        _assert_identical(sharded, _whole(points, 0.4, 4))
+
+    def test_duplicate_points_split_across_shards(self):
+        """min_pts copies of one point, one copy per shard: no shard
+        sees a core locally, yet globally every copy is core."""
+        points = np.tile(np.asarray([[2.0, -3.0]]), (4, 1))
+        shard_of = np.arange(4, dtype=np.int64)
+        sharded = sharded_dbscan(points, 0.5, 4, shard_of)
+        _assert_identical(sharded, _whole(points, 0.5, 4))
+        assert sharded.core_mask.all()
+        assert sharded.n_clusters == 1
+
+    def test_shard_of_shape_mismatch_rejected(self):
+        with pytest.raises(ClusteringError, match="shard_of"):
+            sharded_dbscan(np.zeros((3, 2)), 0.5, 2, np.zeros(4, dtype=np.int64))
+
+
+class TestShardsOut:
+    def test_intermediates_exposed(self):
+        points = np.column_stack([np.arange(10) * 0.5, np.zeros(10)])
+        shard_of = np.asarray([0] * 5 + [1] * 5)
+        shards: list[ShardClustering] = []
+        sharded_dbscan(points, 0.6, 2, shard_of, shards_out=shards)
+        assert [s.shard for s in shards] == [0, 1]
+        np.testing.assert_array_equal(shards[0].indices, np.arange(5))
+        np.testing.assert_array_equal(shards[1].indices, np.arange(5, 10))
+        # Each half-chain is a complete local cluster before the merge.
+        assert all(s.result.n_clusters == 1 for s in shards)
+        assert "ShardClustering" in repr(shards[0])
+
+    def test_local_labels_are_shard_local(self):
+        """Two far-apart clusters, one per shard: both get local label 1,
+        but the merge assigns distinct global labels."""
+        a = np.asarray([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1]])
+        b = a + 100.0
+        points = np.vstack([a, b])
+        shard_of = np.asarray([0, 0, 0, 1, 1, 1])
+        shards: list[ShardClustering] = []
+        merged = sharded_dbscan(points, 0.3, 3, shard_of, shards_out=shards)
+        assert [s.result.labels.max() for s in shards] == [1, 1]
+        assert merged.n_clusters == 2

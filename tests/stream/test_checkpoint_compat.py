@@ -127,3 +127,37 @@ class TestFormatTwo:
         tainted["alerts"][0]["kind"] = "meltdown"
         cache.put(key, payload)
         assert load_checkpoint(cache, key) is None
+
+
+class TestKeyMismatch:
+    """Sharding / memory-bound knobs participate in the stream key.
+
+    A checkpoint written under one (shards, max_live) configuration
+    must not be adopted by a run under another — the regression test
+    for the key that silently omitted them.
+    """
+
+    def _key(self, trace, **kwargs):
+        spec, _ = slice_trace(trace, window_ns=DRIFT_WINDOW_NS)
+        return stream_key(
+            trace, spec.as_dict(), FrameSettings(), TrackerConfig(),
+            strict=True, **kwargs,
+        )
+
+    def test_default_key_unchanged_by_default_knobs(self, tmp_path):
+        trace, cache, key, _ = _checkpointed_run(tmp_path)
+        explicit = self._key(trace, shards=1, max_live=None)
+        assert explicit == key
+        assert load_checkpoint(cache, explicit) is not None
+
+    def test_shard_count_mismatch_misses(self, tmp_path):
+        trace, cache, _, _ = _checkpointed_run(tmp_path)
+        sharded = self._key(trace, shards=2)
+        assert cache.get(sharded) is None
+        assert load_checkpoint(cache, sharded) is None
+
+    def test_max_live_mismatch_misses(self, tmp_path):
+        trace, cache, _, _ = _checkpointed_run(tmp_path)
+        bounded = self._key(trace, max_live=3)
+        assert cache.get(bounded) is None
+        assert load_checkpoint(cache, bounded) is None

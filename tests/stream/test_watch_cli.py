@@ -250,6 +250,45 @@ class TestWatchCli:
         assert "window 0" not in second
         assert "Tracked regions" in second or "regions" in second
 
+    def test_watch_sharded_output_matches_plain(self, tmp_path, capsys):
+        trace_file = self._simulate(tmp_path)
+        capsys.readouterr()
+        assert main(["watch", str(trace_file), "--windows", "4"]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "watch", str(trace_file), "--windows", "4", "--shards", "3",
+        ]) == 0
+        sharded = capsys.readouterr().out
+        # Sharding is a throughput knob: every window line, region and
+        # trend figure comes out identical.
+        assert sharded == plain
+
+    def test_watch_jobs_prefetch_matches_serial(self, tmp_path, capsys):
+        trace_file = self._simulate(tmp_path)
+        capsys.readouterr()
+        assert main(["watch", str(trace_file), "--windows", "4"]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "watch", str(trace_file), "--windows", "4",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        fanned = capsys.readouterr().out
+        assert fanned == plain
+
+    def test_watch_bounded_writes_tables_only_report(self, tmp_path, capsys):
+        trace_file = self._simulate(tmp_path)
+        report = tmp_path / "bounded.json"
+        code = main([
+            "watch", str(trace_file), "--windows", "4",
+            "--max-live-windows", "2", "--report", str(report),
+        ])
+        assert code == 0
+        payload = json.loads(report.read_text())
+        assert payload["runs"][0]["name"] == "watch"
+        # Condensed windows carry no burst scatter; the report must not
+        # try to render them.
+        assert not payload["runs"][0].get("viz")
+
     def test_watch_rejects_missing_window_mode(self, tmp_path):
         trace_file = self._simulate(tmp_path)
         with pytest.raises(SystemExit):

@@ -8,7 +8,28 @@ import pytest
 from repro.errors import StreamError
 from repro.robust.validate import validate_trace
 from repro.stream import WINDOW_KEY, concat_windows, slice_trace
+from repro.trace.trace import Trace
 from tests.conftest import build_two_region_trace
+
+
+def _instant_trace() -> Trace:
+    """A trace whose time span is exactly zero: every burst begins at
+    the same instant and has zero duration."""
+    base = build_two_region_trace(nranks=2, iterations=1)
+    sel = base.select(base.begin == base.begin.min())
+    return Trace(
+        rank=sel.rank,
+        begin=np.full_like(sel.begin, sel.begin.min()),
+        duration=np.zeros_like(sel.duration),
+        callpath_id=sel.callpath_id,
+        counters=sel.counters_matrix,
+        counter_names=sel.counter_names,
+        callstacks=sel.callstacks,
+        nranks=sel.nranks,
+        app=sel.app,
+        scenario=sel.scenario,
+        clock_hz=sel.clock_hz,
+    )
 
 
 class TestSliceTrace:
@@ -82,6 +103,32 @@ class TestSliceTrace:
         assert windows[0].n_bursts == instant.n_bursts
         assert all(w.n_bursts == 0 for w in windows[1:])
         assert spec.width == 0.0 or spec.width > 0.0  # well-defined
+
+    def test_zero_width_span_collapses_to_single_window(self):
+        """All bursts share one instant (zero durations too): the count
+        mode must collapse to the explicit single-window case instead of
+        emitting n zero-width windows."""
+        trace = _instant_trace()
+        spec, windows = slice_trace(trace, n_windows=4)
+        assert spec.mode == "count"
+        assert spec.n_windows == len(windows) == 1
+        assert spec.width == 0.0
+        assert windows[0].n_bursts == trace.n_bursts
+        rebuilt = concat_windows(windows)
+        assert rebuilt.sorted_by_time() == trace.sorted_by_time()
+
+    def test_zero_width_span_in_width_mode(self):
+        trace = _instant_trace()
+        spec, windows = slice_trace(trace, window_ns=1e6)
+        assert spec.n_windows == len(windows) == 1
+        assert windows[0].n_bursts == trace.n_bursts
+
+    def test_window_of_zero_width_sends_everything_to_window_zero(self):
+        trace = _instant_trace()
+        spec, _ = slice_trace(trace, n_windows=7)
+        idx = spec.window_of(trace.begin)
+        assert idx.dtype == np.int64
+        assert (idx == 0).all()
 
     def test_spec_as_dict_round_trip_fields(self, toy_trace):
         spec, _ = slice_trace(toy_trace, n_windows=2)

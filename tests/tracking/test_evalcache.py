@@ -10,10 +10,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.alignment.spmd import consensus_sequence
 from repro.clustering.frames import make_frame
 from repro.tracking.combine import combine_pair
 from repro.tracking.evalcache import EvalCache
+from repro.tracking.tracker import Tracker
 from repro.tracking.evaluators.simultaneity import (
     frame_alignment,
     simultaneity_for_frame,
@@ -110,3 +112,50 @@ class TestTransparency:
             _assert_matrix_equal(other.simultaneity_b, plain.simultaneity_b)
             _assert_matrix_equal(other.sequence_ab, plain.sequence_ab)
         assert cache.hits > 0
+
+
+class TestWorkerLocalCaches:
+    """Process-backend workers share trees within their pair chunks.
+
+    Regression for the serial-only cache attachment: per-pair private
+    caches cost ``2 * n_pairs`` tree builds, the chunked worker-local
+    caches cost ``n_frames + (n_chunks - 1)`` (chunk-boundary frames
+    are built twice), and the serial run-wide cache costs ``n_frames``.
+    """
+
+    @staticmethod
+    def _frames():
+        return [
+            make_frame(build_two_region_trace(seed=s, nranks=6, iterations=5))
+            for s in (1, 2, 3, 4)
+        ]
+
+    @staticmethod
+    def _run(frames, jobs):
+        obs.enable()
+        obs.reset()
+        try:
+            result = Tracker(frames).run(jobs=jobs)
+            counters = {
+                c["name"]: c["value"]
+                for c in obs.metrics_snapshot()["counters"]
+            }
+            return result, counters.get("tracking.tree_builds_total", 0)
+        finally:
+            obs.reset()
+            obs.disable()
+
+    def test_tree_builds_drop_under_jobs_two(self):
+        frames = self._frames()
+        n_pairs = len(frames) - 1
+        serial_result, serial_builds = self._run(frames, jobs=1)
+        parallel_result, parallel_builds = self._run(frames, jobs=2)
+        # Serial: one run-wide cache -> one tree per frame.
+        assert serial_builds == len(frames)
+        # jobs=2: chunks {0,1} and {2} -> 3 + 2 trees, strictly fewer
+        # than the 2-per-pair cost of cacheless workers.
+        assert parallel_builds == 5
+        assert parallel_builds < 2 * n_pairs
+        # And the sharing never changes the answer.
+        assert parallel_result.regions == serial_result.regions
+        assert parallel_result.coverage == serial_result.coverage
