@@ -1,0 +1,101 @@
+"""Observability-overhead benchmarks: the telemetry tax must stay flat.
+
+The runtime subsystem promises a *pure observer*: ledger appends,
+resource sampling and live exposition may cost a sliver of wall time
+but can never change tracking output.  These benches measure that
+sliver on a windowed WRF run so ``bench-compare`` catches a regression
+where telemetry stops being nearly free:
+
+- ``test_perf_watch_fully_observed`` — a watch run with the ledger
+  recording, the sampler at its default period and a live ``/metrics``
+  server attached, asserted bit-identical to the bare run it times
+  against (the overhead gate in CI holds this bench within 10% of its
+  committed baseline).
+- ``test_perf_sampler_tick`` — the raw cost of one sampler reading,
+  the unit the per-period tax is built from.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro import obs
+from repro.apps import wrf
+from repro.clustering.frames import FrameSettings
+from repro.obs import ledger as obsledger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import ResourceSampler
+from repro.obs.serve import MetricsServer
+from repro.stream import track_windows
+
+SETTINGS = FrameSettings(relevance=0.995)
+N_WINDOWS = 8
+
+
+def _trace():
+    return wrf.build(ranks=64, iterations=16, base_ranks=64).run(
+        seed=BENCH_SEED + 1
+    )
+
+
+def test_perf_watch_fully_observed(benchmark, tmp_path):
+    """Watch with ledger + sampler + /metrics vs the bare run."""
+    trace = _trace()
+
+    def bare():
+        return track_windows(trace, n_windows=N_WINDOWS, settings=SETTINGS)
+
+    start = time.perf_counter()
+    baseline = bare()
+    bare_s = time.perf_counter() - start
+
+    ledger = obsledger.RunLedger(tmp_path / "ledger")
+    obs.enable()
+    sampler = ResourceSampler()
+    server = MetricsServer(0)
+    try:
+
+        def observed():
+            with obsledger.run_record("bench.watch", ledger=ledger):
+                with sampler:
+                    return track_windows(
+                        trace, n_windows=N_WINDOWS, settings=SETTINGS
+                    )
+
+        start = time.perf_counter()
+        result = run_once(benchmark, observed)
+        observed_s = time.perf_counter() - start
+    finally:
+        server.close()
+        obs.disable()
+        obs.reset()
+
+    assert result.coverage == baseline.coverage
+    assert result.regions == baseline.regions
+    assert len(ledger.runs()) == 1 and not ledger.runs()[0].open
+    assert len(sampler.snapshot_samples()) >= 1
+    benchmark.extra_info["bare_s"] = round(bare_s, 3)
+    benchmark.extra_info["observed_s"] = round(observed_s, 3)
+    benchmark.extra_info["n_samples"] = len(sampler.snapshot_samples())
+    print(
+        f"\nwindowed WRF ({N_WINDOWS} windows): bare {bare_s:.2f}s, "
+        f"fully observed {observed_s:.2f}s "
+        f"(tax x{observed_s / bare_s:.2f}, "
+        f"{len(sampler.snapshot_samples())} samples)"
+    )
+
+
+def test_perf_sampler_tick(benchmark):
+    """Cost of a single resource sample (the per-period unit tax)."""
+    sampler = ResourceSampler(registry=MetricsRegistry())
+
+    def ticks():
+        for _ in range(1000):
+            sampler.sample_once()
+        return sampler
+
+    result = run_once(benchmark, ticks)
+    samples = result.snapshot_samples()
+    assert len(samples) >= 1
+    assert samples[-1].rss_kib > 0

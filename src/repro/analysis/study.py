@@ -201,10 +201,17 @@ class ParametricStudy:
             quarantined item (possibly none).  A study where fewer than
             two frames survive still raises :class:`StudyError`.
         """
+        from repro.obs import ledger as obsledger
         from repro.robust.validate import validate_study, validate_trace
 
         validate_study(self)
-        with obs.span(
+        with obsledger.run_record(
+            "study.run",
+            app=self.app,
+            n_scenarios=len(self.scenarios),
+            config_digest=obsledger.config_digest(self.settings, self.config),
+            strict=strict,
+        ) as ledger_rec, obs.span(
             "study.run", app=self.app, n_scenarios=len(self.scenarios)
         ):
             failures: list[ItemFailure] = []
@@ -247,6 +254,11 @@ class ParametricStudy:
                     traces, self.settings, jobs=jobs, cache=cache
                 )
                 result = Tracker(frames, config).run(jobs=jobs)
+                if ledger_rec is not None:
+                    ledger_rec.annotate(
+                        coverage=round(result.coverage, 4),
+                        n_regions=len(result.regions),
+                    )
                 return StudyResult(
                     study=self, traces=tuple(traces), result=result
                 )
@@ -267,6 +279,12 @@ class ParametricStudy:
             result = StudyResult(
                 study=self, traces=tuple(traces), result=tracked.value
             )
+            if ledger_rec is not None:
+                ledger_rec.annotate(
+                    coverage=round(tracked.value.coverage, 4),
+                    n_regions=len(tracked.value.regions),
+                    quarantined={"items": len(failures)},
+                )
             return PartialResult(value=result, failures=tuple(failures))
 
     @staticmethod

@@ -177,11 +177,25 @@ def quick_track(
             "clustering space"
         )
         config = replace(config, log_extensive=True)
-    with obs.span("api.quick_track", n_traces=len(traces)):
+    from repro.obs import ledger as obsledger
+
+    with obsledger.run_record(
+        "api.quick_track",
+        n_traces=len(traces),
+        config_digest=obsledger.config_digest(settings, config),
+        strict=strict,
+        cache_root=str(cache.root) if cache is not None else None,
+    ) as ledger_rec, obs.span("api.quick_track", n_traces=len(traces)):
         if strict:
             checked = [validate_trace(trace, strict=True) for trace in traces]
             frames = make_frames(checked, settings, jobs=jobs, cache=cache)
-            return Tracker(frames, config).run(jobs=jobs)
+            result = Tracker(frames, config).run(jobs=jobs)
+            if ledger_rec is not None:
+                ledger_rec.annotate(
+                    coverage=round(result.coverage, 4),
+                    n_regions=len(result.regions),
+                )
+            return result
         failures: list[ItemFailure] = []
         checked = []
         for trace in traces:
@@ -209,4 +223,10 @@ def quick_track(
             )
         tracked = Tracker(frames, config).run(jobs=jobs, strict=False)
         failures.extend(tracked.failures)
+        if ledger_rec is not None:
+            ledger_rec.annotate(
+                coverage=round(tracked.value.coverage, 4),
+                n_regions=len(tracked.value.regions),
+                quarantined={"items": len(failures)},
+            )
         return PartialResult(value=tracked.value, failures=tuple(failures))

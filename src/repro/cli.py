@@ -140,12 +140,22 @@ def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="enable observability; print a stage-time breakdown and "
         "evaluator decision counts to stderr, and write a Chrome-trace "
-        "JSON (chrome://tracing) to PATH when given",
+        "JSON (chrome://tracing) to PATH when given ('{run_id}' in PATH "
+        "expands to this run's id so concurrent sessions never collide)",
     )
 
 
+def _expand_run_id(path: str) -> str:
+    """Expand a literal ``{run_id}`` placeholder in an artifact path."""
+    if "{run_id}" in path:
+        from repro import obs
+
+        return path.replace("{run_id}", obs.run_id())
+    return path
+
+
 def _verbosity_parent(default: object) -> argparse.ArgumentParser:
-    """Parent parser carrying ``-v``/``-q``.
+    """Parent parser carrying ``-v``/``-q`` and ``--ledger-dir``.
 
     Subparsers get ``argparse.SUPPRESS`` defaults: a subparser parses
     into a fresh namespace and copies every attribute over, so a plain
@@ -159,6 +169,14 @@ def _verbosity_parent(default: object) -> argparse.ArgumentParser:
     parent.add_argument(
         "-q", "--quiet", action="count", default=default,
         help="decrease log verbosity (errors only)",
+    )
+    parent.add_argument(
+        "--ledger-dir",
+        default=None if default == 0 else default,
+        metavar="DIR",
+        help="append schema-versioned run records (start/end, exit code, "
+        "quality and alert totals, wall/RSS) to this ledger directory "
+        "(default: REPRO_LEDGER; unset = no ledger)",
     )
     return parent
 
@@ -261,7 +279,21 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--alerts-jsonl", default=None, metavar="PATH",
         help="write every alert record as JSON lines to PATH (implies "
-        "--alerts)",
+        "--alerts; '{run_id}' in PATH expands to this run's id)",
+    )
+    watch.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve live telemetry over HTTP while the watch runs: "
+        "/metrics (Prometheus text exposition of the metrics registry "
+        "and resource-sampler gauges) and /healthz (window progress, "
+        "last-window lag, alert totals); 0 picks a free port; implies "
+        "observability and the resource sampler",
+    )
+    watch.add_argument(
+        "--serve-grace", type=float, default=0.0, metavar="SECONDS",
+        help="keep /metrics and /healthz up for SECONDS after the run "
+        "completes so external scrapers catch the final state "
+        "(default: 0)",
     )
     _add_profile_flag(watch)
     _add_strict_flag(watch)
@@ -338,6 +370,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-rss-kib", type=int, default=10_240, metavar="KIB",
         help="absolute RSS growth floor for --rss-threshold "
         "(default: 10240 = 10 MiB)",
+    )
+
+    obs_cmd = add_parser(
+        "obs",
+        help="query the run ledger or serve the live telemetry endpoints",
+    )
+    obs_cmd.add_argument(
+        "action", choices=("runs", "tail", "summary", "export", "serve"),
+        help="'runs' lists recorded runs; 'tail' prints the newest ledger "
+        "events; 'summary' drills into one run; 'export' writes a "
+        "bench-compare-able repro.bench/1 payload of per-entry wall/RSS; "
+        "'serve' exposes /metrics and /healthz standalone",
+    )
+    obs_cmd.add_argument(
+        "target", nargs="?", default=None, metavar="RUN_ID",
+        help="run id (or unique prefix) for 'summary' "
+        "(default: the most recent completed run)",
+    )
+    obs_cmd.add_argument(
+        "-n", "--lines", type=int, default=20, metavar="N",
+        help="number of events for 'tail' (default: 20)",
+    )
+    obs_cmd.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="output file for 'export' (default: stdout)",
+    )
+    obs_cmd.add_argument(
+        "--port", type=int, default=9464, metavar="PORT",
+        help="port for 'serve' (default: 9464; 0 picks a free port)",
     )
 
     tune = add_parser(
@@ -483,6 +544,7 @@ def _cmd_track(args: argparse.Namespace) -> int:
 
 def _cmd_watch(args: argparse.Namespace) -> int:
     from repro.clustering.frames import FrameSettings
+    from repro.obs import runtime as obsruntime
     from repro.obs.alerts import EXIT_ALERTS, AlertConfig, format_alert
     from repro.stream import WINDOW_KEY, WatchTelemetry, track_windows
     from repro.trace.io import load_trace
@@ -501,6 +563,28 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         alert_config = AlertConfig(threshold=args.alert_threshold)
     telemetry = WatchTelemetry(alerts=alert_config)
 
+    server = None
+    if args.serve is not None:
+        from repro.obs.serve import start_metrics_server
+
+        try:
+            server = start_metrics_server(
+                args.serve,
+                health_source=telemetry.health,
+                sampler=obsruntime.active_sampler(),
+            )
+        except OSError as error:
+            print(
+                f"error: cannot serve telemetry on port {args.serve}: "
+                f"{error.strerror or error}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"serving /metrics and /healthz on {server.url}",
+            file=sys.stderr,
+        )
+
     def on_update(update) -> None:
         window = update.frame.trace.scenario.get(WINDOW_KEY, update.step)
         if update.pair is None:
@@ -516,41 +600,85 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         for alert in update.alerts:
             print(format_alert(alert), file=sys.stderr)
 
-    result = track_windows(
-        trace,
-        n_windows=args.windows,
-        window_ns=args.window_ns,
-        settings=settings,
-        strict=args.strict,
-        cache=_resolve_cache(args),
-        on_update=on_update,
-        telemetry=telemetry,
-        shards=args.shards,
-        jobs=args.jobs,
-        max_live_windows=args.max_live_windows,
+    try:
+        result = track_windows(
+            trace,
+            n_windows=args.windows,
+            window_ns=args.window_ns,
+            settings=settings,
+            strict=args.strict,
+            cache=_resolve_cache(args),
+            on_update=on_update,
+            telemetry=telemetry,
+            shards=args.shards,
+            jobs=args.jobs,
+            max_live_windows=args.max_live_windows,
+        )
+        code = 0
+        failures = ()
+        if not args.strict:
+            code, failures = _report_partial(result)
+            result = result.value
+        _annotate_watch_quality(result, failures, telemetry)
+        print()
+        _print_result(result, ["ipc"])
+        if args.alerts_jsonl:
+            path = telemetry.write_jsonl(_expand_run_id(args.alerts_jsonl))
+            print(f"wrote {len(telemetry.alerts)} alert(s) to {path}",
+                  file=sys.stderr)
+        print(telemetry.summary_line(), file=sys.stderr)
+        # Condensed windows no longer carry burst scatter data, so bounded
+        # runs ship the tables-only report.
+        include_viz = args.max_live_windows is None
+        _write_report(
+            args, [("watch", result, failures)],
+            include_viz=include_viz, stream=telemetry,
+        )
+        if code == 0 and telemetry.alerts_enabled and telemetry.alerts:
+            code = EXIT_ALERTS
+        return code
+    finally:
+        if server is not None:
+            grace = getattr(args, "serve_grace", 0.0) or 0.0
+            if grace > 0:
+                import time as _time
+
+                print(
+                    f"holding telemetry endpoints open for {grace:g}s",
+                    file=sys.stderr,
+                )
+                _time.sleep(grace)
+            server.close()
+
+
+def _annotate_watch_quality(result, failures, telemetry) -> None:
+    """Mirror the watch run's QualityReport totals into the run ledger.
+
+    A later ``repro-track obs summary`` must show the same headline
+    numbers an offline ``--quality`` report would, so the end event
+    carries them verbatim rather than a re-derivation.
+    """
+    from repro.obs import ledger as obsledger
+    from repro.obs.alerts import summarize_alerts
+    from repro.obs.quality import quality_report
+
+    if obsledger.active_recorder() is None:
+        return
+    totals = (
+        summarize_alerts(telemetry.alerts)
+        if telemetry.alerts_enabled
+        else None
     )
-    code = 0
-    failures = ()
-    if not args.strict:
-        code, failures = _report_partial(result)
-        result = result.value
-    print()
-    _print_result(result, ["ipc"])
-    if args.alerts_jsonl:
-        path = telemetry.write_jsonl(args.alerts_jsonl)
-        print(f"wrote {len(telemetry.alerts)} alert(s) to {path}",
-              file=sys.stderr)
-    print(telemetry.summary_line(), file=sys.stderr)
-    # Condensed windows no longer carry burst scatter data, so bounded
-    # runs ship the tables-only report.
-    include_viz = args.max_live_windows is None
-    _write_report(
-        args, [("watch", result, failures)],
-        include_viz=include_viz, stream=telemetry,
+    report = quality_report(result, failures=failures, alerts=totals)
+    obsledger.annotate(
+        quality={
+            "n_frames": report.n_frames,
+            "n_regions": report.n_regions,
+            "n_tracked": report.n_tracked,
+            "coverage_pct": report.coverage,
+            "quarantined": {stage: n for stage, n in report.quarantined},
+        },
     )
-    if code == 0 and telemetry.alerts_enabled and telemetry.alerts:
-        code = EXIT_ALERTS
-    return code
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -769,6 +897,197 @@ def _cmd_info(_: argparse.Namespace) -> int:
     return 0
 
 
+def _format_ts(ts: float | None) -> str:
+    if not ts:
+        return "-"
+    import time as _time
+
+    return _time.strftime("%Y-%m-%d %H:%M:%S", _time.localtime(ts))
+
+
+def _obs_pick_run(runs, target: str | None):
+    """Resolve a ``summary`` target: run-id prefix match, else latest.
+
+    Without a target the most recently *started* completed run wins,
+    falling back to the most recent open one (a crashed or in-flight
+    run is still worth inspecting).
+    """
+    if target:
+        matches = [
+            run
+            for run in runs
+            if run.run_id == target or run.run_id.startswith(target)
+        ]
+        return matches[-1] if matches else None
+    completed = [run for run in runs if not run.open]
+    pool = completed or runs
+    return max(pool, key=lambda run: run.started_at) if pool else None
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis.report import format_table
+    from repro.obs import ledger as obsledger
+
+    if args.action == "serve":
+        import time as _time
+
+        from repro.obs import runtime as obsruntime
+        from repro.obs.serve import start_metrics_server
+
+        try:
+            server = start_metrics_server(
+                args.port, sampler=obsruntime.active_sampler()
+            )
+        except OSError as error:
+            print(
+                f"error: cannot serve telemetry on port {args.port}: "
+                f"{error.strerror or error}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"serving /metrics and /healthz on {server.url} "
+            "(ctrl-c to stop)",
+            file=sys.stderr,
+        )
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+        return 0
+
+    ledger = obsledger.resolve_ledger(getattr(args, "ledger_dir", None))
+    if ledger is None:
+        print(
+            "error: no ledger directory configured "
+            "(pass --ledger-dir or set REPRO_LEDGER)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.action == "tail":
+        events = ledger.read_events()
+        for event in events[-args.lines:]:
+            print(_json.dumps(event, sort_keys=True, separators=(",", ":")))
+        if ledger.corrupt_lines:
+            print(
+                f"skipped {ledger.corrupt_lines} corrupt line(s)",
+                file=sys.stderr,
+            )
+        return 0
+
+    runs = ledger.runs()
+
+    if args.action == "runs":
+        rows = [
+            [
+                run.run_id,
+                run.entry,
+                _format_ts(run.started_at),
+                "open" if run.open else str(run.exit_code),
+                f"{run.wall_s:.2f}" if not run.open else "-",
+                str(run.rss_peak_kib) if run.rss_peak_kib else "-",
+            ]
+            for run in runs[-args.lines:]
+        ]
+        print(format_table(
+            ["run id", "entry", "started", "exit", "wall s", "rss KiB"],
+            rows,
+            title=f"ledger: {ledger.root} ({len(runs)} run(s))",
+        ))
+        if ledger.corrupt_lines:
+            print(
+                f"skipped {ledger.corrupt_lines} corrupt line(s)",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.action == "summary":
+        run = _obs_pick_run(runs, args.target)
+        if run is None:
+            what = f"run {args.target!r}" if args.target else "any run"
+            print(f"error: no ledger record matches {what}", file=sys.stderr)
+            return 2
+        print(f"run {run.run_id}  entry {run.entry}")
+        print(f"  started: {_format_ts(run.started_at)}")
+        if run.open:
+            print("  status:  open (no end event — crashed or running)")
+        else:
+            print(f"  ended:   {_format_ts(run.ended_at)}")
+            print(f"  exit:    {run.exit_code}"
+                  + (f"  error: {run.error}" if run.error else ""))
+            print(f"  wall:    {run.wall_s:.3f} s")
+            if run.rss_peak_kib:
+                print(f"  rss:     {run.rss_peak_kib} KiB peak")
+        if run.config_digest:
+            print(f"  config:  {run.config_digest}")
+        if run.argv:
+            print(f"  argv:    {' '.join(run.argv)}")
+        for label, payload in (("meta", run.meta), ("result", run.end_meta)):
+            if payload:
+                print(f"  {label}:")
+                for key in sorted(payload):
+                    print(f"    {key}: {payload[key]}")
+        if run.quality:
+            print("  quality:")
+            for key in sorted(run.quality):
+                print(f"    {key}: {run.quality[key]}")
+        if run.alerts:
+            print("  alerts:")
+            for key in sorted(run.alerts):
+                print(f"    {key}: {run.alerts[key]}")
+        if run.sampler:
+            print("  sampler:")
+            for key in ("period_s", "n_samples", "rss_max_kib",
+                        "cpu_s", "open_fds_max"):
+                if key in run.sampler:
+                    print(f"    {key}: {run.sampler[key]}")
+            stages = run.sampler.get("stages") or {}
+            for stage in sorted(stages):
+                info = stages[stage]
+                print(f"    stage {stage}: {info}")
+        return 0
+
+    # export: latest completed run per entry, bench-compare comparable.
+    from repro.obs.bench import bench_results_payload
+
+    latest: dict[str, object] = {}
+    for run in runs:
+        if run.open or run.exit_code not in (0, 3, 4):
+            continue
+        latest[run.entry] = run
+    benches = {
+        f"ledger:{entry}": (
+            {"wall_time_s": run.wall_s, "rss_peak_kib": run.rss_peak_kib}
+            if run.rss_peak_kib
+            else {"wall_time_s": run.wall_s}
+        )
+        for entry, run in latest.items()
+    }
+    if not benches:
+        print("error: no completed runs to export", file=sys.stderr)
+        return 2
+    payload = bench_results_payload(benches)
+    text = _json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(
+            f"wrote {len(benches)} entr{'y' if len(benches) == 1 else 'ies'} "
+            f"to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        print(text, end="")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "track": _cmd_track,
@@ -781,7 +1100,14 @@ _COMMANDS = {
     "bench-compare": _cmd_bench_compare,
     "cache": _cmd_cache,
     "info": _cmd_info,
+    "obs": _cmd_obs,
 }
+
+
+#: Read-only commands that inspect state rather than run the pipeline;
+#: recording them would fill the ledger with noise (and ``obs`` reading
+#: the ledger while recording into it would observe itself).
+_LEDGER_EXEMPT = {"obs", "cache", "info", "bench-compare"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -793,6 +1119,8 @@ def main(argv: list[str] | None = None) -> int:
     """
     from repro import obs
     from repro.errors import ReproError
+    from repro.obs import ledger as obsledger
+    from repro.obs import runtime as obsruntime
     from repro.robust.partial import EXIT_TOTAL
 
     args = build_parser().parse_args(argv)
@@ -800,36 +1128,80 @@ def main(argv: list[str] | None = None) -> int:
         getattr(args, "verbose", 0) - getattr(args, "quiet", 0)
     )
     profile = getattr(args, "profile", None)
+    if isinstance(profile, str) and profile:
+        profile = _expand_run_id(profile)
+    serving = getattr(args, "serve", None) is not None
     enabled_here = False
-    if profile is not None and not obs.enabled():
+    # --serve implies observability: the exposition endpoints read the
+    # metrics registry, which only fills while obs is enabled.
+    if (profile is not None or serving) and not obs.enabled():
         obs.enable()
         enabled_here = True
+    # Continuous resource sampler: REPRO_OBS_SAMPLE opts in anywhere; a
+    # serving watch gets one by default so /metrics carries runtime.*
+    # gauges.  Lifecycle (start/stop, ledger summary) lives here.
+    sampler = obsruntime.resolve_sampler()
+    if sampler is None and serving:
+        sampler = obsruntime.ResourceSampler()
+    if sampler is not None:
+        obsruntime.set_active_sampler(sampler)
+        sampler.start()
+    ledger_rec = None
+    if args.command not in _LEDGER_EXEMPT:
+        ledger_rec = obsledger.begin_run(
+            f"cli.{args.command}",
+            ledger_dir=getattr(args, "ledger_dir", None),
+            argv=list(argv) if argv is not None else sys.argv[1:],
+        )
+    code: int | None = None
+    error_name: str | None = None
     try:
         code = _COMMANDS[args.command](args)
         if profile is not None or (obs.enabled() and obs.finished_spans()):
             obs.summary()
             if profile:  # a PATH was given, not the bare flag
+                samples = (
+                    sampler.snapshot_samples() if sampler is not None else None
+                )
                 try:
-                    path = obs.write_chrome_trace(profile)
+                    path = obs.write_chrome_trace(profile, samples=samples)
                 except OSError as error:
                     print(f"error: cannot write profile to {profile!r}: "
                           f"{error.strerror or error}", file=sys.stderr)
-                    return 1
+                    code = 1
+                    return code
                 print(f"wrote Chrome trace to {path} "
                       "(load in chrome://tracing)", file=sys.stderr)
         return code
     except ReproError as error:
         # The whole pipeline failed: diagnosable, deliberate, exit 2.
         print(f"error: {error}", file=sys.stderr)
-        return EXIT_TOTAL
+        code = EXIT_TOTAL
+        error_name = type(error).__name__
+        return code
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         try:
             sys.stdout.close()
         except Exception:
             pass
-        return 0
+        code = 0
+        return code
+    except BaseException as error:
+        error_name = type(error).__name__
+        raise
     finally:
+        if sampler is not None:
+            sampler.stop()
+            obsruntime.set_active_sampler(None)
+            if ledger_rec is not None:
+                ledger_rec.annotate(sampler=sampler.summary())
+        if ledger_rec is not None:
+            obsledger.end_run(
+                ledger_rec,
+                exit_code=2 if code is None else code,
+                error=error_name,
+            )
         if enabled_here:
             obs.disable()
 

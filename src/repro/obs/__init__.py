@@ -17,7 +17,16 @@ stay in hot paths permanently.  See ``docs/observability.md``.
 
 from __future__ import annotations
 
-from repro.obs.core import STATE, disable, enable, enabled, is_env_enabled
+from repro.obs.core import (
+    STATE,
+    disable,
+    enable,
+    enabled,
+    is_env_enabled,
+    new_run_id,
+    run_id,
+    set_run_id,
+)
 from repro.obs.export import (
     chrome_trace_events,
     install_atexit_summary,
@@ -40,6 +49,23 @@ from repro.obs.metrics import (
     metrics_snapshot,
     observe,
     set_gauge,
+)
+from repro.obs.ledger import (
+    LEDGER_ENV,
+    LEDGER_SCHEMA,
+    RunLedger,
+    RunRecorder,
+    RunSummary,
+    resolve_ledger,
+    run_record,
+)
+from repro.obs.runtime import (
+    SAMPLE_ENV,
+    ResourceSampler,
+    Sample,
+    active_sampler,
+    resolve_sampler,
+    set_active_sampler,
 )
 from repro.obs.spans import (
     Span,
@@ -81,6 +107,22 @@ __all__ = [
     "install_atexit_summary",
     "get_logger",
     "configure_logging",
+    "run_id",
+    "new_run_id",
+    "set_run_id",
+    "LEDGER_SCHEMA",
+    "LEDGER_ENV",
+    "RunLedger",
+    "RunRecorder",
+    "RunSummary",
+    "resolve_ledger",
+    "run_record",
+    "SAMPLE_ENV",
+    "Sample",
+    "ResourceSampler",
+    "resolve_sampler",
+    "active_sampler",
+    "set_active_sampler",
 ]
 
 

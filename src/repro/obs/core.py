@@ -13,11 +13,22 @@ and metrics accumulate in memory and are rendered or written out by
 
 from __future__ import annotations
 
+import binascii
 import os
 import threading
 import time
 
-__all__ = ["ObsState", "STATE", "enabled", "enable", "disable", "is_env_enabled"]
+__all__ = [
+    "ObsState",
+    "STATE",
+    "enabled",
+    "enable",
+    "disable",
+    "is_env_enabled",
+    "run_id",
+    "new_run_id",
+    "set_run_id",
+]
 
 _TRUTHY = {"1", "true", "yes", "on"}
 
@@ -47,13 +58,28 @@ class ObsState:
         Set by explicit flushes so the atexit fallback stays silent.
     """
 
-    __slots__ = ("enabled", "spans", "epoch", "flushed", "_lock", "_next_id", "_local")
+    __slots__ = (
+        "enabled",
+        "spans",
+        "epoch",
+        "flushed",
+        "active_stage",
+        "_lock",
+        "_next_id",
+        "_local",
+    )
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self.spans: list = []
         self.epoch = time.perf_counter()
         self.flushed = False
+        #: Name of the innermost open span on the most recent thread to
+        #: enter/exit one.  Unlike :attr:`stack` this is process-wide, so
+        #: a background sampler thread can attribute resource samples to
+        #: the pipeline stage currently running without touching the
+        #: owning thread's local state.  Best-effort by design.
+        self.active_stage = ""
         self._lock = threading.Lock()
         self._next_id = 0
         self._local = threading.local()
@@ -80,6 +106,7 @@ class ObsState:
             self._next_id = 0
             self.epoch = time.perf_counter()
             self.flushed = False
+            self.active_stage = ""
         self._local = threading.local()
 
 
@@ -101,3 +128,45 @@ def enable() -> None:
 def disable() -> None:
     """Turn observability off; already-recorded spans are kept."""
     STATE.enabled = False
+
+
+_RUN_ID: str | None = None
+_RUN_ID_LOCK = threading.Lock()
+
+
+def new_run_id() -> str:
+    """Mint a fresh run identifier (sortable timestamp + random tail).
+
+    The format is ``r<UTC yyyymmddThhmmss>-<6 hex>``: lexically sortable
+    by start time, unique across concurrent processes thanks to the
+    random tail, and safe to embed in filenames.
+    """
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    tail = binascii.hexlify(os.urandom(3)).decode("ascii")
+    return f"r{stamp}-{tail}"
+
+
+def run_id() -> str:
+    """The stable identifier for this process's current run.
+
+    Minted lazily on first use and then reused, so the ledger, span
+    exports and artifact filenames of one invocation all share the same
+    id while concurrent invocations never collide.
+    """
+    global _RUN_ID
+    if _RUN_ID is None:
+        with _RUN_ID_LOCK:
+            if _RUN_ID is None:
+                _RUN_ID = new_run_id()
+    return _RUN_ID
+
+
+def set_run_id(value: str | None) -> None:
+    """Override the process run id (tests and re-exec'd workers).
+
+    ``None`` (or an empty value) clears it, so the next :func:`run_id`
+    call mints a fresh one.
+    """
+    global _RUN_ID
+    with _RUN_ID_LOCK:
+        _RUN_ID = value or None

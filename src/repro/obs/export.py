@@ -27,6 +27,7 @@ import threading
 from typing import Any, Sequence, TextIO
 
 from repro.obs.core import STATE
+from repro.obs.core import run_id as process_run_id
 from repro.obs.metrics import REGISTRY, Counter, Gauge, format_labels
 from repro.obs.spans import Span
 
@@ -130,7 +131,10 @@ def render_metrics() -> str:
     return "\n".join(["metrics", *lines])
 
 
-def chrome_trace_events(spans: Sequence[Span] | None = None) -> list[dict[str, Any]]:
+def chrome_trace_events(
+    spans: Sequence[Span] | None = None,
+    samples: Sequence[Any] | None = None,
+) -> list[dict[str, Any]]:
     """Recorded spans as Chrome Trace Event format events.
 
     Timestamps/durations are microseconds relative to the observability
@@ -143,7 +147,10 @@ def chrome_trace_events(spans: Sequence[Span] | None = None) -> list[dict[str, A
     - ``"s"``/``"f"`` flow events linking each ``pmap`` dispatch span
       to the worker-side task spans it fanned out (spans recorded by
       the process executor with a ``flow_id`` attribute), rendered as
-      arrows from the dispatching lane into the worker lanes.
+      arrows from the dispatching lane into the worker lanes;
+    - ``"C"`` counter events for each resource *sample* (see
+      :class:`repro.obs.runtime.ResourceSampler`), plotting RSS, CPU,
+      open FDs and pipeline occupancy as counter tracks over the run.
     """
     spans = list(STATE.spans) if spans is None else list(spans)
     main_pid = os.getpid()
@@ -220,6 +227,36 @@ def chrome_trace_events(spans: Sequence[Span] | None = None) -> list[dict[str, A
                     "tid": tid,
                 }
             )
+    for sample in samples or ():
+        events.append(
+            {
+                "name": "runtime.resources",
+                "ph": "C",
+                "ts": sample.t * 1e6,
+                "pid": main_pid,
+                "tid": 0,
+                "args": {
+                    "rss_kib": sample.rss_kib,
+                    "open_fds": sample.open_fds,
+                    "live_windows": sample.live_windows,
+                    "evalcache_entries": sample.evalcache_entries,
+                },
+            }
+        )
+        events.append(
+            {
+                "name": "runtime.gc",
+                "ph": "C",
+                "ts": sample.t * 1e6,
+                "pid": main_pid,
+                "tid": 0,
+                "args": {
+                    "gen0": sample.gc_gen0,
+                    "gen1": sample.gc_gen1,
+                    "gen2": sample.gc_gen2,
+                },
+            }
+        )
     return events
 
 
@@ -236,12 +273,21 @@ def _jsonable(value: Any) -> Any:
     return str(value)
 
 
-def write_chrome_trace(path: str | os.PathLike, spans: Sequence[Span] | None = None) -> str:
-    """Write a ``chrome://tracing``-loadable JSON file; returns the path."""
+def write_chrome_trace(
+    path: str | os.PathLike,
+    spans: Sequence[Span] | None = None,
+    samples: Sequence[Any] | None = None,
+) -> str:
+    """Write a ``chrome://tracing``-loadable JSON file; returns the path.
+
+    *samples* (resource-sampler readings) become counter tracks; the
+    process run id rides in ``otherData`` so concurrent sessions'
+    traces stay attributable.
+    """
     document = {
-        "traceEvents": chrome_trace_events(spans),
+        "traceEvents": chrome_trace_events(spans, samples),
         "displayTimeUnit": "ms",
-        "otherData": {"source": "repro.obs"},
+        "otherData": {"source": "repro.obs", "run_id": process_run_id()},
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle)
@@ -267,7 +313,12 @@ def write_jsonl(path: str | os.PathLike, spans: Sequence[Span] | None = None) ->
                 )
                 + "\n"
             )
-        handle.write(json.dumps({"metrics": REGISTRY.snapshot()}) + "\n")
+        handle.write(
+            json.dumps(
+                {"metrics": REGISTRY.snapshot(), "run_id": process_run_id()}
+            )
+            + "\n"
+        )
     return str(path)
 
 

@@ -36,6 +36,7 @@ __all__ = [
     "set_gauge",
     "observe",
     "metrics_snapshot",
+    "percentile_from_counts",
 ]
 
 #: Default histogram boundaries: log-spaced seconds from 1µs to 100s.
@@ -144,25 +145,10 @@ class Histogram:
         bucket interpolation would otherwise report an arbitrary point
         of the containing bucket.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
-        if not self.count:
-            return 0.0
-        if self.count == 1:
-            return self.sum
-        rank = q * self.count
-        cumulative = 0
-        for index, bucket_count in enumerate(self.counts):
-            previous = cumulative
-            cumulative += bucket_count
-            if cumulative >= rank and bucket_count:
-                if index >= len(self.bounds):  # overflow bucket
-                    return self.bounds[-1]
-                lo = 0.0 if index == 0 else self.bounds[index - 1]
-                hi = self.bounds[index]
-                fraction = (rank - previous) / bucket_count
-                return lo + (hi - lo) * min(1.0, max(0.0, fraction))
-        return self.bounds[-1]  # pragma: no cover - defensive
+        counts = list(self.counts)
+        return percentile_from_counts(
+            self.bounds, counts, sum(counts), self.sum, q
+        )
 
     @property
     def p50(self) -> float:
@@ -184,6 +170,40 @@ class Histogram:
             f"Histogram({self.name}{format_labels(self.labels)}, "
             f"count={self.count}, mean={self.mean:g})"
         )
+
+
+def percentile_from_counts(
+    bounds: tuple[float, ...],
+    counts: list[int],
+    count: int,
+    total_sum: float,
+    q: float,
+) -> float:
+    """Percentile estimate over an already-copied bucket state.
+
+    Operating on caller-owned copies keeps snapshots consistent while
+    another thread keeps observing into the live histogram (see
+    :meth:`MetricsRegistry.snapshot`).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
+    if not count:
+        return 0.0
+    if count == 1:
+        return total_sum
+    rank = q * count
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= rank and bucket_count:
+            if index >= len(bounds):  # overflow bucket
+                return bounds[-1]
+            lo = 0.0 if index == 0 else bounds[index - 1]
+            hi = bounds[index]
+            fraction = (rank - previous) / bucket_count
+            return lo + (hi - lo) * min(1.0, max(0.0, fraction))
+    return bounds[-1]  # pragma: no cover - defensive
 
 
 class MetricsRegistry:
@@ -235,12 +255,29 @@ class MetricsRegistry:
         )
 
     def all_metrics(self) -> list[Any]:
-        """Every registered metric, sorted by (name, labels)."""
-        return sorted(self._metrics.values(), key=lambda m: (m.name, m.labels))
+        """Every registered metric, sorted by (name, labels).
+
+        The backing dict is copied under the registry lock so iterating
+        the result is safe while worker threads register new metrics
+        (a bare ``dict.values()`` walk could raise ``RuntimeError:
+        dictionary changed size during iteration``).
+        """
+        with self._lock:
+            values = list(self._metrics.values())
+        return sorted(values, key=lambda m: (m.name, m.labels))
 
     def snapshot(self) -> dict[str, list[dict[str, Any]]]:
         """JSON-serialisable dump: ``{"counters": [...], "gauges": [...],
-        "histograms": [...]}``, each entry carrying name/labels/values."""
+        "histograms": [...]}``, each entry carrying name/labels/values.
+
+        Safe to call while other threads mutate the metrics: histogram
+        entries are built from a single copy of the bucket counts and
+        ``count`` is re-derived from that copy, so every entry satisfies
+        ``sum(entry["counts"]) == entry["count"]`` and percentiles are
+        computed from the same consistent state (``sum`` may trail the
+        copied counts by in-flight observations, which skews the mean by
+        at most those observations — it never tears or raises).
+        """
         out: dict[str, list[dict[str, Any]]] = {
             "counters": [],
             "gauges": [],
@@ -258,14 +295,18 @@ class MetricsRegistry:
                 entry["value"] = metric.value
                 out["gauges"].append(entry)
             else:
+                counts = list(metric.counts)
+                count = sum(counts)
+                total = metric.sum
+                bounds = metric.bounds
                 entry.update(
-                    buckets=list(metric.bounds),
-                    counts=list(metric.counts),
-                    sum=metric.sum,
-                    count=metric.count,
-                    p50=metric.p50,
-                    p90=metric.p90,
-                    p99=metric.p99,
+                    buckets=list(bounds),
+                    counts=counts,
+                    sum=total,
+                    count=count,
+                    p50=percentile_from_counts(bounds, counts, count, total, 0.50),
+                    p90=percentile_from_counts(bounds, counts, count, total, 0.90),
+                    p99=percentile_from_counts(bounds, counts, count, total, 0.99),
                 )
                 out["histograms"].append(entry)
         return out

@@ -77,6 +77,7 @@ class Span:
         self.span_id = STATE.next_id()
         self.parent_id = stack[-1].span_id if stack else 0
         stack.append(self)
+        STATE.active_stage = self.name
         self.start = time.perf_counter() - STATE.epoch
         return self
 
@@ -87,6 +88,7 @@ class Span:
             stack.pop()
         elif self in stack:  # unbalanced exit (generator teardown etc.)
             stack.remove(self)
+        STATE.active_stage = stack[-1].name if stack else ""
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         STATE.spans.append(self)

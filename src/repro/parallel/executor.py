@@ -165,32 +165,68 @@ class ProcessExecutor:
             )
             for index in unfinished:
                 start = time.perf_counter()
+                cpu0 = time.process_time()
                 result = fn(items[index])
                 timed[index] = (
-                    result, _WorkerTiming(os.getpid(), start, time.perf_counter())
+                    result,
+                    _WorkerTiming(
+                        os.getpid(),
+                        start,
+                        time.perf_counter(),
+                        time.process_time() - cpu0,
+                        _worker_rss_kib(),
+                    ),
                 )
         if obs.enabled():
             busy = sum(t.end - t.start for _, t in timed)
             obs.observe("parallel.task_seconds", busy)
+            # Worker-side sampler rollup: each task ships its CPU burn
+            # and its worker's RSS peak home, so the parent's telemetry
+            # covers the whole process tree, not just itself.
+            worker_cpu = sum(t.cpu_s for _, t in timed)
+            worker_rss = max((t.rss_kib for _, t in timed), default=0)
+            obs.observe("parallel.worker_cpu_seconds", worker_cpu)
+            if worker_rss:
+                obs.set_gauge("parallel.worker_rss_peak_kib", worker_rss)
             span = obs.current_span()
             if span is not None:
-                span.set(busy_s=round(busy, 6), workers=workers)
+                span.set(
+                    busy_s=round(busy, 6),
+                    workers=workers,
+                    worker_cpu_s=round(worker_cpu, 6),
+                    worker_rss_peak_kib=worker_rss,
+                )
             _record_worker_spans(span, [t for _, t in timed])
         return [result for result, _ in timed]
 
 
 class _WorkerTiming(NamedTuple):
-    """One task's in-worker measurement: who ran it, and when.
+    """One task's in-worker measurement: who ran it, when, at what cost.
 
     ``start``/``end`` are the worker's raw ``perf_counter`` readings.
     On Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which all
     processes share, so the parent can rebase them onto its own
     observability epoch and place the task on the worker's timeline.
+    ``cpu_s`` is the task's in-worker CPU burn and ``rss_kib`` the
+    worker's RSS peak after the task, so the parent-side sampler rollup
+    can account resources spent outside its own process.
     """
 
     pid: int
     start: float
     end: float
+    cpu_s: float = 0.0
+    rss_kib: int = 0
+
+
+def _worker_rss_kib() -> int:
+    """The calling process's peak RSS in KiB (0 where unsupported)."""
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except (ImportError, ValueError, OSError):  # pragma: no cover
+        return 0
 
 
 def _record_worker_spans(parent, timings: Sequence[_WorkerTiming]) -> None:
@@ -226,8 +262,15 @@ def _timed_call(fn: Callable[[T], R], item: T) -> tuple[R, _WorkerTiming]:
     recorder state across process boundaries.
     """
     start = time.perf_counter()
+    cpu0 = time.process_time()
     result = fn(item)
-    return result, _WorkerTiming(os.getpid(), start, time.perf_counter())
+    return result, _WorkerTiming(
+        os.getpid(),
+        start,
+        time.perf_counter(),
+        time.process_time() - cpu0,
+        _worker_rss_kib(),
+    )
 
 
 Executor = SerialExecutor | ProcessExecutor

@@ -32,6 +32,7 @@ identical trends and re-emits identical alerts.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 import numpy as np
@@ -365,6 +366,10 @@ class WatchTelemetry:
         self.n_updates = 0
         self.update_seconds = Histogram("stream.update_seconds", ())
         self.alerts: list[AlertRecord] = []
+        #: Index of the most recent window pushed (-1 before any).
+        self.last_window = -1
+        #: ``time.monotonic()`` of the most recent push (None before any).
+        self.last_update_monotonic: float | None = None
 
     @property
     def alerts_enabled(self) -> bool:
@@ -377,6 +382,8 @@ class WatchTelemetry:
         self.n_updates = 0
         self.update_seconds = Histogram("stream.update_seconds", ())
         self.alerts = []
+        self.last_window = -1
+        self.last_update_monotonic = None
         if self.monitor is not None:
             self.monitor.reset()
 
@@ -387,7 +394,48 @@ class WatchTelemetry:
         if seconds is not None and update.pair is not None:
             self.n_updates += 1
             self.update_seconds.observe(seconds)
+        try:
+            window = int(
+                update.frame.trace.scenario.get(WINDOW_KEY, update.step)
+            )
+        except (AttributeError, TypeError, ValueError):
+            window = update.step
+        self.last_window = max(self.last_window, window)
+        self.last_update_monotonic = time.monotonic()
         self.alerts.extend(update.alerts)
+
+    def health(self) -> dict:
+        """JSON-ready health document for the ``/healthz`` endpoint.
+
+        Reports window/update counters, the most recent window and its
+        age (the *last-window lag* an external prober watches for a
+        stalled stream), latency percentiles and alert totals.
+        """
+        hist = self.update_seconds
+        lag = (
+            round(time.monotonic() - self.last_update_monotonic, 3)
+            if self.last_update_monotonic is not None
+            else None
+        )
+        payload: dict = {
+            "status": "alerting" if self.alerts else "ok",
+            "windows": {
+                "total": self.n_windows,
+                "empty": self.n_empty,
+                "quarantined": self.n_quarantined,
+                "resumed": self.n_resumed,
+            },
+            "live_updates": self.n_updates,
+            "last_window": self.last_window,
+            "last_update_age_s": lag,
+            "update_p50_s": round(hist.p50, 6),
+            "update_p99_s": round(hist.p99, 6),
+        }
+        if self.monitor is None:
+            payload["alerts"] = None
+        else:
+            payload["alerts"] = summarize_alerts(self.alerts).to_dict()
+        return payload
 
     # ------------------------------------------------------------------
     def summary_line(self) -> str:

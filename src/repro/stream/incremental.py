@@ -303,6 +303,19 @@ class IncrementalTracker:
         """Quarantine records of failed pair evaluations (non-strict)."""
         return tuple(self._failures)
 
+    @property
+    def n_live_frames(self) -> int:
+        """Frames still held in full (not condensed to digests)."""
+        from repro.tracking.digest import FrameDigest
+
+        return sum(
+            1 for frame in self._frames if not isinstance(frame, FrameDigest)
+        )
+
+    def cache_info(self) -> dict[str, int]:
+        """The per-run :class:`EvalCache` occupancy counters."""
+        return self._cache.info()
+
     def _axes(self, frame: Frame) -> tuple[str, ...]:
         axes = frame.settings.metric_names
         if self.bounds is not None and axes != self.bounds.axis_names:

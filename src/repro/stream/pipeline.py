@@ -40,6 +40,8 @@ from repro.clustering.frames import (
     precheck_frame_input,
 )
 from repro.errors import ClusteringError, ReproError, TrackingError
+from repro.obs import ledger as obsledger
+from repro.obs.alerts import summarize_alerts
 from repro.obs.log import get_logger
 from repro.parallel.cache import PipelineCache, frame_key
 from repro.parallel.executor import pmap, resolve_jobs
@@ -238,7 +240,12 @@ def track_windows(
         )
         config = replace(config, log_extensive=True)
 
-    with obs.span("stream.track_windows") as run_span:
+    with obsledger.run_record(
+        "stream.track_windows",
+        config_digest=obsledger.config_digest(settings, config),
+        strict=strict,
+        shards=shards,
+    ), obs.span("stream.track_windows") as run_span:
         trace = validate_trace(trace, strict=strict)
         spec, windows = slice_trace(
             trace, n_windows=n_windows, window_ns=window_ns
@@ -384,6 +391,15 @@ def track_windows(
                         obs.count("stream.updates_total")
                     if telemetry is not None:
                         telemetry.record_update(update, seconds=elapsed)
+                    if obs.enabled():
+                        obs.set_gauge("stream.last_window", index)
+                        obs.set_gauge(
+                            "stream.live_windows", tracker.n_live_frames
+                        )
+                        obs.set_gauge(
+                            "stream.evalcache_entries",
+                            tracker.cache_info()["entries"],
+                        )
                     records.append(
                         WindowRecord(
                             window=index,
@@ -409,6 +425,26 @@ def track_windows(
             )
             if telemetry is not None and telemetry.alerts_enabled:
                 run_span.set(n_alerts=len(telemetry.alerts))
+        if obsledger.active_recorder() is not None:
+            obsledger.annotate(
+                stream={
+                    "n_windows": len(windows),
+                    "n_survivors": len(survivors),
+                    "n_resumed": resume_from,
+                    "key_digest": (
+                        obsledger.config_digest(key) if key is not None else None
+                    ),
+                },
+                coverage=round(result.coverage, 4),
+                quarantined={
+                    "windows": len(window_failures),
+                    "pairs": len(tracker.failures),
+                },
+            )
+            if telemetry is not None and telemetry.alerts_enabled:
+                obsledger.annotate(
+                    alerts=summarize_alerts(telemetry.alerts).to_dict()
+                )
         if strict:
             return result
         return PartialResult(

@@ -345,10 +345,18 @@ class Tracker:
             :class:`~repro.robust.partial.PartialResult` wrapping the
             :class:`TrackingResult` plus the failure records.
         """
+        from repro.obs import ledger as obsledger
         from repro.robust.partial import ItemFailure, PartialResult
 
         config = self.config
-        with obs.span("tracking.run", n_frames=len(self.frames)) as run_span:
+        with obsledger.run_record(
+            "tracking.run",
+            n_frames=len(self.frames),
+            config_digest=obsledger.config_digest(config),
+            strict=strict,
+        ) as ledger_rec, obs.span(
+            "tracking.run", n_frames=len(self.frames)
+        ) as run_span:
             with obs.span("tracking.normalize"):
                 space = normalize_frames(
                     self.frames,
@@ -446,6 +454,12 @@ class Tracker:
                 regions=tuple(regions),
                 coverage=coverage,
             )
+            if ledger_rec is not None:
+                ledger_rec.annotate(
+                    coverage=round(coverage, 4),
+                    n_regions=len(regions),
+                    quarantined={"pairs": len(failures)},
+                )
             if strict:
                 return result
             return PartialResult(value=result, failures=tuple(failures))

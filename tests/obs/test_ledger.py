@@ -1,0 +1,222 @@
+"""Run-ledger tests: appends, rotation, corrupt tolerance, recording."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import ledger as obsledger
+from repro.obs.core import set_run_id
+from repro.obs.ledger import (
+    LEDGER_ENV,
+    LEDGER_SCHEMA,
+    RunLedger,
+    begin_run,
+    config_digest,
+    end_run,
+    resolve_ledger,
+    run_record,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_ledger_state(monkeypatch):
+    """No ambient ledger, no leaked recorder stack, fresh run id."""
+    monkeypatch.delenv(LEDGER_ENV, raising=False)
+    obsledger._ACTIVE.clear()
+    set_run_id(None)
+    yield
+    obsledger._ACTIVE.clear()
+    set_run_id(None)
+
+
+class TestAppendAndRead:
+    def test_roundtrip_stamps_schema(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append({"event": "start", "run_id": "r1", "entry": "x"})
+        events = ledger.read_events()
+        assert len(events) == 1
+        assert events[0]["schema"] == LEDGER_SCHEMA
+        assert events[0]["entry"] == "x"
+
+    def test_one_line_per_event(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        for index in range(5):
+            ledger.append({"event": "start", "n": index})
+        segment = next(tmp_path.glob("events-*.jsonl"))
+        lines = segment.read_text().splitlines()
+        assert len(lines) == 5
+        assert [json.loads(line)["n"] for line in lines] == list(range(5))
+
+    def test_corrupt_lines_skipped_and_counted(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append({"event": "start", "n": 0})
+        ledger.append({"event": "end", "n": 1})
+        segment = next(tmp_path.glob("events-*.jsonl"))
+        with segment.open("a") as fh:
+            fh.write('{"truncated": \n')
+            fh.write("not json at all\n")
+            fh.write('{"valid_json": "but schemaless"}\n')
+        events = ledger.read_events()
+        assert [event["n"] for event in events] == [0, 1]
+        assert ledger.corrupt_lines == 3
+
+    def test_rotation_bounds_segment_size(self, tmp_path):
+        ledger = RunLedger(tmp_path, max_bytes=512)
+        for index in range(20):
+            ledger.append({"event": "start", "pad": "x" * 64, "n": index})
+        segments = sorted(tmp_path.glob("events-*.jsonl"))
+        assert len(segments) > 1
+        # Reads stitch all segments back together, oldest first.
+        assert [e["n"] for e in ledger.read_events()] == list(range(20))
+
+    def test_append_survives_unwritable_dir(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.root = tmp_path / "revoked" / "nope"
+        ledger.append({"event": "start"})  # must not raise
+
+
+class TestResolveLedger:
+    def test_disabled_by_default(self):
+        assert resolve_ledger() is None
+
+    def test_explicit_dir(self, tmp_path):
+        ledger = resolve_ledger(tmp_path / "ledger")
+        assert ledger is not None
+        assert ledger.root.is_dir()
+
+    def test_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(LEDGER_ENV, str(tmp_path / "env-ledger"))
+        ledger = resolve_ledger()
+        assert ledger is not None
+        assert ledger.root == tmp_path / "env-ledger"
+
+    def test_explicit_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(LEDGER_ENV, str(tmp_path / "env"))
+        ledger = resolve_ledger(tmp_path / "explicit")
+        assert ledger.root == tmp_path / "explicit"
+
+
+class TestConfigDigest:
+    def test_stable_and_order_insensitive(self):
+        a = config_digest({"x": 1, "y": [1, 2]}, "tag")
+        b = config_digest({"y": [1, 2], "x": 1}, "tag")
+        assert a == b
+        assert len(a) == 16
+
+    def test_distinguishes_configs(self):
+        assert config_digest({"eps": 0.03}) != config_digest({"eps": 0.04})
+
+    def test_handles_dataclasses(self):
+        from repro.clustering.frames import FrameSettings
+        from repro.tracking.tracker import TrackerConfig
+
+        digest = config_digest(FrameSettings(), TrackerConfig())
+        assert digest == config_digest(FrameSettings(), TrackerConfig())
+        assert digest != config_digest(FrameSettings(eps=0.9), TrackerConfig())
+
+
+class TestRunRecord:
+    def test_start_end_pairing(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        with run_record("test.entry", ledger=ledger, n_items=3) as rec:
+            assert rec is not None
+            rec.annotate(coverage=88)
+        runs = ledger.runs()
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.entry == "test.entry"
+        assert run.exit_code == 0
+        assert not run.open
+        assert run.meta["n_items"] == 3
+        assert run.end_meta["coverage"] == 88
+        assert run.wall_s >= 0
+        assert run.rss_peak_kib > 0
+
+    def test_exception_records_exit_2_and_error_type(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        with pytest.raises(ValueError):
+            with run_record("test.boom", ledger=ledger):
+                raise ValueError("no")
+        run = ledger.runs()[0]
+        assert run.exit_code == 2
+        assert run.error == "ValueError"
+
+    def test_nested_entry_points_record_once(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        with run_record("outer", ledger=ledger) as outer:
+            with run_record("inner", ledger=ledger) as inner:
+                assert inner is None
+                obsledger.annotate(from_inner=True)
+            assert outer is not None
+        runs = ledger.runs()
+        assert [run.entry for run in runs] == ["outer"]
+        assert runs[0].end_meta["from_inner"] is True
+
+    def test_disabled_path_yields_none(self):
+        with run_record("test.entry") as rec:  # no ledger anywhere
+            assert rec is None
+
+    def test_begin_end_run_none_safe(self):
+        rec = begin_run("x")  # disabled
+        assert rec is None
+        end_run(rec)  # must not raise
+
+    def test_open_run_without_end_event(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        rec = begin_run("test.crashed", ledger=ledger)
+        assert rec is not None
+        obsledger._ACTIVE.clear()  # simulate a hard crash: no close()
+        run = ledger.runs()[0]
+        assert run.open
+        assert run.exit_code is None
+
+    def test_concurrent_runs_share_a_dir(self, tmp_path):
+        # Two "processes" (distinct run ids) interleave whole lines.
+        ledger = RunLedger(tmp_path)
+        set_run_id("r-proc-a")
+        rec_a = begin_run("watch", ledger=ledger)
+        obsledger._ACTIVE.clear()
+        set_run_id("r-proc-b")
+        rec_b = begin_run("watch", ledger=ledger)
+        obsledger._ACTIVE.clear()
+        rec_a.close(exit_code=0)
+        rec_b.close(exit_code=3)
+        runs = {run.run_id: run for run in ledger.runs()}
+        assert runs["r-proc-a"].exit_code == 0
+        assert runs["r-proc-b"].exit_code == 3
+
+
+class TestPipelineIntegration:
+    def test_quick_track_records_run(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(LEDGER_ENV, str(tmp_path / "ledger"))
+        from repro.api import quick_track
+        from repro.apps import wrf
+
+        traces = [
+            wrf.build(ranks=16, iterations=4).run(seed=s) for s in (0, 1)
+        ]
+        result = quick_track(traces)
+        ledger = resolve_ledger()
+        runs = ledger.runs()
+        assert [run.entry for run in runs] == ["api.quick_track"]
+        run = runs[0]
+        assert run.exit_code == 0
+        assert run.end_meta["coverage"] == round(result.coverage, 4)
+        assert run.meta["n_traces"] == 2
+        assert run.config_digest
+
+    def test_tracker_run_records(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(LEDGER_ENV, str(tmp_path / "ledger"))
+        from repro.api import make_frames
+        from repro.apps import wrf
+        from repro.tracking.tracker import Tracker
+
+        traces = [
+            wrf.build(ranks=16, iterations=4).run(seed=s) for s in (0, 1)
+        ]
+        frames = make_frames(traces)
+        Tracker(frames).run()
+        entries = [run.entry for run in resolve_ledger().runs()]
+        assert "tracking.run" in entries

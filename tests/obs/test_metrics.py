@@ -167,3 +167,55 @@ class TestSnapshotShape:
         registry.histogram("h").observe(0.01)
         text = json.dumps(registry.snapshot())
         assert "counters" in json.loads(text)
+
+
+class TestSnapshotUnderMutation:
+    """Regression: snapshotting while workers mutate must never tear.
+
+    Before the copy-on-read fix, ``all_metrics`` iterated the live
+    registry dict (``RuntimeError: dictionary changed size during
+    iteration`` when a thread registered a new metric mid-walk) and
+    histogram entries read ``counts``/``count`` separately, so a
+    concurrent ``observe`` could yield ``sum(counts) != count`` and
+    out-of-range percentiles.
+    """
+
+    def test_concurrent_snapshot_consistency(self):
+        import threading
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def hammer(worker: int) -> None:
+            try:
+                n = 0
+                while not stop.is_set():
+                    n += 1
+                    # Fresh label values force new-metric registration
+                    # while the snapshotter walks the dict.
+                    registry.counter("mut.c", w=worker, n=n % 50).inc()
+                    registry.histogram("mut.h", buckets=(0.1, 1.0)).observe(
+                        (n % 20) / 10
+                    )
+                    registry.gauge("mut.g", w=worker).set(n)
+            except BaseException as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                snap = registry.snapshot()
+                for entry in snap["histograms"]:
+                    assert sum(entry["counts"]) == entry["count"]
+                    assert 0 <= entry["p50"] <= entry["buckets"][-1]
+                list(registry.all_metrics())
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5)
+        assert not errors, errors

@@ -1,0 +1,207 @@
+"""Exposition tests: Prometheus rendering, /metrics + /healthz serving."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import ResourceSampler
+from repro.obs.serve import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsServer,
+    render_prometheus,
+    start_metrics_server,
+)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Strict parse of the text exposition format (the golden check).
+
+    Validates every non-comment line is ``name[{labels}] value`` with a
+    sane metric name and float value; returns the series map.
+    """
+    import re
+
+    series: dict[str, float] = {}
+    typed: set[str] = set()
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            assert len(parts) == 4, line
+            assert parts[3] in {"counter", "gauge", "histogram"}, line
+            typed.add(parts[2])
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line}"
+        match = re.fullmatch(
+            r"([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)", line
+        )
+        assert match, f"malformed sample line: {line!r}"
+        name, labels, value = match.groups()
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert base in typed or name in typed, f"untyped series: {line!r}"
+        series[name + (labels or "")] = float(value)
+    assert text.endswith("\n")
+    return series
+
+
+class TestRenderPrometheus:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline.runs_total").inc(3)
+        registry.gauge("stream.live_windows").set(5)
+        hist = registry.histogram("span.seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(10.0)
+        text = render_prometheus(registry)
+        series = parse_prometheus(text)
+        assert series["repro_pipeline_runs_total"] == 3
+        assert series["repro_stream_live_windows"] == 5
+        assert series['repro_span_seconds_bucket{le="0.1"}'] == 1
+        assert series['repro_span_seconds_bucket{le="1"}'] == 2
+        assert series['repro_span_seconds_bucket{le="+Inf"}'] == 3
+        assert series["repro_span_seconds_count"] == 3
+        assert series["repro_span_seconds_sum"] == pytest.approx(10.55)
+
+    def test_buckets_are_cumulative_and_monotone(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0, 3.0))
+        for value in (0.5, 1.5, 2.5, 99.0):
+            hist.observe(value)
+        series = parse_prometheus(render_prometheus(registry))
+        buckets = [
+            series['repro_h_bucket{le="1"}'],
+            series['repro_h_bucket{le="2"}'],
+            series['repro_h_bucket{le="3"}'],
+            series['repro_h_bucket{le="+Inf"}'],
+        ]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == series["repro_h_count"] == 4
+
+    def test_label_escaping_and_name_sanitising(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "weird.name-total", evaluator='say "hi"\nback\\slash'
+        ).inc()
+        text = render_prometheus(registry)
+        assert "repro_weird_name_total" in text
+        assert '\\"hi\\"' in text
+        assert "\\n" in text
+        parse_prometheus(text)
+
+    def test_empty_registry_renders(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+
+class TestMetricsServer:
+    def test_scrape_metrics_and_healthz(self):
+        registry = MetricsRegistry()
+        registry.gauge("stream.last_window").set(9)
+        with MetricsServer(0, registry=registry) as server:
+            status, headers, body = _get(f"{server.url}/metrics")
+            assert status == 200
+            assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+            series = parse_prometheus(body)
+            assert series["repro_stream_last_window"] == 9
+            status, _, body = _get(f"{server.url}/healthz")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["run_id"].startswith("r")
+            assert payload["uptime_s"] >= 0
+
+    def test_unknown_path_404(self):
+        with MetricsServer(0, registry=MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+
+    def test_port_in_use_raises(self):
+        with MetricsServer(0, registry=MetricsRegistry()) as server:
+            with pytest.raises(OSError):
+                start_metrics_server(server.port)
+
+    def test_health_source_merged(self):
+        def health():
+            return {"status": "alerting", "last_window": 7}
+
+        with MetricsServer(
+            0, registry=MetricsRegistry(), health_source=health
+        ) as server:
+            payload = server.health_payload()
+            assert payload["status"] == "alerting"
+            assert payload["last_window"] == 7
+
+    def test_health_source_failure_degrades(self):
+        def health():
+            raise RuntimeError("racy read")
+
+        with MetricsServer(
+            0, registry=MetricsRegistry(), health_source=health
+        ) as server:
+            payload = server.health_payload()
+            assert payload["status"] == "degraded"
+            assert payload["health_error"] == "RuntimeError"
+
+    def test_sampler_summary_attached(self):
+        sampler = ResourceSampler(registry=MetricsRegistry())
+        sampler.sample_once()
+        with MetricsServer(
+            0, registry=MetricsRegistry(), sampler=sampler
+        ) as server:
+            payload = server.health_payload()
+            assert payload["sampler"]["n_samples"] == 1
+
+
+class TestLiveWatchScrape:
+    def test_scrape_during_live_watch(self):
+        """Scrape /metrics and /healthz while windows stream through."""
+        from repro.apps import wrf
+        from repro.clustering.frames import FrameSettings
+        from repro.stream import WatchTelemetry, track_windows
+
+        obs.enable()
+        telemetry = WatchTelemetry()
+        scrapes: list[dict[str, float]] = []
+        health_docs: list[dict] = []
+        with MetricsServer(0, health_source=telemetry.health) as server:
+
+            def on_update(update) -> None:
+                _, _, body = _get(f"{server.url}/metrics")
+                scrapes.append(parse_prometheus(body))
+                _, _, doc = _get(f"{server.url}/healthz")
+                health_docs.append(json.loads(doc))
+
+            trace = wrf.build(ranks=16, iterations=6).run(seed=3)
+            result = track_windows(
+                trace,
+                n_windows=4,
+                settings=FrameSettings(relevance=0.995),
+                on_update=on_update,
+                telemetry=telemetry,
+            )
+        assert result.coverage > 0
+        assert len(scrapes) == 4
+        # The live-window gauge tracks the stream as it advances.
+        last = scrapes[-1]
+        assert last["repro_stream_last_window"] == 3
+        assert last["repro_stream_live_windows"] >= 1
+        final_health = health_docs[-1]
+        assert final_health["status"] == "ok"
+        assert final_health["windows"]["total"] == 4
+        assert final_health["last_window"] == 3
+        assert final_health["last_update_age_s"] is not None

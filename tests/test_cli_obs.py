@@ -1,0 +1,255 @@
+"""CLI observability tests: --ledger-dir, --serve, the obs subcommand."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.cli import _expand_run_id, main
+from repro.obs import ledger as obsledger
+from repro.obs import runtime as obsruntime
+from repro.obs.ledger import LEDGER_ENV, RunLedger
+from repro.obs.runtime import SAMPLE_ENV
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state(monkeypatch):
+    monkeypatch.delenv(LEDGER_ENV, raising=False)
+    monkeypatch.delenv(SAMPLE_ENV, raising=False)
+    obsledger._ACTIVE.clear()
+    obs.reset()
+    yield
+    obsledger._ACTIVE.clear()
+    obsruntime.set_active_sampler(None)
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture()
+def wrf_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "wrf.json"
+    assert main([
+        "simulate", "wrf", "ranks=16", "iterations=6",
+        "-o", str(path), "--seed", "3",
+    ]) == 0
+    return str(path)
+
+
+def _watch(trace: str, *extra: str) -> int:
+    return main(["watch", trace, "--windows", "4", *extra])
+
+
+class TestExpandRunId:
+    def test_plain_path_untouched(self):
+        assert _expand_run_id("/tmp/profile.json") == "/tmp/profile.json"
+
+    def test_placeholder_expands_to_run_id(self):
+        expanded = _expand_run_id("/tmp/prof-{run_id}.json")
+        assert "{run_id}" not in expanded
+        assert obs.run_id() in expanded
+
+    def test_stable_within_a_process(self):
+        assert _expand_run_id("{run_id}") == _expand_run_id("{run_id}")
+
+
+class TestLedgerRecording:
+    def test_watch_records_run(self, tmp_path, wrf_trace, capsys):
+        ledger_dir = tmp_path / "ledger"
+        code = _watch(wrf_trace, "--ledger-dir", str(ledger_dir))
+        assert code == 0
+        runs = RunLedger(ledger_dir).runs()
+        assert [run.entry for run in runs] == ["cli.watch"]
+        run = runs[0]
+        assert run.exit_code == 0
+        assert not run.open
+        assert "--windows" in run.argv
+        # The end event carries the run's QualityReport headline numbers.
+        assert run.quality["n_frames"] == 4
+        assert run.quality["coverage_pct"] == run.end_meta["coverage"]
+        assert run.quality["n_regions"] >= 1
+
+    def test_ledger_env_fallback(self, tmp_path, wrf_trace, monkeypatch, capsys):
+        monkeypatch.setenv(LEDGER_ENV, str(tmp_path / "env-ledger"))
+        assert _watch(wrf_trace) == 0
+        assert RunLedger(tmp_path / "env-ledger").runs()[0].entry == "cli.watch"
+
+    def test_pipeline_failure_records_exit_2(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        code = main([
+            "watch", str(tmp_path / "missing.json"), "--windows", "4",
+            "--ledger-dir", str(ledger_dir),
+        ])
+        assert code == 2
+        run = RunLedger(ledger_dir).runs()[0]
+        assert run.exit_code == 2
+        assert run.error
+
+    def test_readonly_commands_not_recorded(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        ledger = RunLedger(ledger_dir)
+        ledger.append({"event": "start", "run_id": "r0", "entry": "cli.watch"})
+        assert main(["obs", "runs", "--ledger-dir", str(ledger_dir)]) == 0
+        assert main(["info", "--ledger-dir", str(ledger_dir)]) == 0
+        entries = [e["entry"] for e in ledger.read_events()]
+        assert entries == ["cli.watch"]  # no obs/info noise
+
+    def test_sampler_summary_in_ledger(
+        self, tmp_path, wrf_trace, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(SAMPLE_ENV, "0.005")
+        ledger_dir = tmp_path / "ledger"
+        assert _watch(wrf_trace, "--ledger-dir", str(ledger_dir)) == 0
+        run = RunLedger(ledger_dir).runs()[0]
+        assert run.sampler is not None
+        assert run.sampler["n_samples"] >= 1
+        assert run.sampler["period_s"] == pytest.approx(0.005)
+
+
+class TestWatchServe:
+    def test_serve_scrapes_and_closes(self, tmp_path, wrf_trace, capsys):
+        scraped: dict[str, str] = {}
+
+        def spy_url():
+            err = capsys.readouterr().err
+            for line in err.splitlines():
+                if line.startswith("serving /metrics"):
+                    return line.rsplit(" ", 1)[-1]
+            raise AssertionError(f"no serving line in: {err!r}")
+
+        # --serve-grace keeps the endpoints up after the run so the
+        # test can scrape deterministically post-completion.
+        import threading
+
+        def scrape_late(url_holder):
+            url = url_holder["url"]
+            with urllib.request.urlopen(f"{url}/metrics", timeout=5) as r:
+                scraped["metrics"] = r.read().decode()
+            with urllib.request.urlopen(f"{url}/healthz", timeout=5) as r:
+                scraped["healthz"] = r.read().decode()
+
+        holder: dict[str, str] = {}
+        thread = None
+
+        import repro.cli as cli_mod
+
+        original = cli_mod._annotate_watch_quality
+
+        def hooked(result, failures, telemetry):
+            # Runs post-tracking, pre-close: the server is still up.
+            holder["url"] = spy_url()
+            nonlocal thread
+            thread = threading.Thread(target=scrape_late, args=(holder,))
+            thread.start()
+            thread.join(timeout=10)
+            return original(result, failures, telemetry)
+
+        cli_mod._annotate_watch_quality = hooked
+        try:
+            code = _watch(wrf_trace, "--serve", "0")
+        finally:
+            cli_mod._annotate_watch_quality = original
+        assert code == 0
+        from tests.obs.test_serve import parse_prometheus
+
+        series = parse_prometheus(scraped["metrics"])
+        assert series["repro_stream_last_window"] == 3
+        assert any(
+            key.startswith("repro_runtime_rss_kib") for key in series
+        )  # --serve implies the sampler
+        health = json.loads(scraped["healthz"])
+        assert health["status"] == "ok"
+        assert health["windows"]["total"] == 4
+        assert health["sampler"]["n_samples"] >= 1
+
+    def test_port_in_use_exits_1(self, wrf_trace, capsys):
+        from repro.obs.serve import start_metrics_server
+
+        blocker = start_metrics_server(0)
+        try:
+            code = _watch(wrf_trace, "--serve", str(blocker.port))
+        finally:
+            blocker.close()
+        assert code == 1
+        assert "cannot serve telemetry" in capsys.readouterr().err
+
+    def test_serve_output_identical_to_plain(
+        self, tmp_path, wrf_trace, capsys
+    ):
+        """--serve (obs + sampler + HTTP) never changes tracking output."""
+        assert _watch(wrf_trace) == 0
+        plain = capsys.readouterr().out
+        obs.disable()
+        obs.reset()
+        obsruntime.set_active_sampler(None)
+        assert _watch(wrf_trace, "--serve", "0") == 0
+        served = capsys.readouterr().out
+        assert served == plain
+
+
+class TestObsCommand:
+    def test_no_ledger_configured(self, capsys):
+        assert main(["obs", "runs"]) == 2
+        assert "no ledger directory" in capsys.readouterr().err
+
+    def test_runs_tail_summary_export(self, tmp_path, wrf_trace, capsys):
+        ledger_dir = tmp_path / "ledger"
+        assert _watch(wrf_trace, "--ledger-dir", str(ledger_dir)) == 0
+        capsys.readouterr()
+
+        assert main(["obs", "runs", "--ledger-dir", str(ledger_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "cli.watch" in out
+        assert "run id" in out
+
+        assert main([
+            "obs", "tail", "-n", "2", "--ledger-dir", str(ledger_dir),
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        assert [e["event"] for e in events] == ["start", "end"]
+        assert all(e["schema"] == "repro.ledger/1" for e in events)
+
+        assert main(["obs", "summary", "--ledger-dir", str(ledger_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entry cli.watch" in out
+        assert "quality:" in out
+        assert "coverage_pct" in out
+
+        export = tmp_path / "bench.json"
+        assert main([
+            "obs", "export", "-o", str(export),
+            "--ledger-dir", str(ledger_dir),
+        ]) == 0
+        from repro.obs.bench import load_bench_results
+
+        benches = load_bench_results(export)
+        assert "ledger:cli.watch" in benches
+        assert benches["ledger:cli.watch"]["wall_time_s"] > 0
+
+    def test_summary_by_run_id_prefix(self, tmp_path, wrf_trace, capsys):
+        ledger_dir = tmp_path / "ledger"
+        assert _watch(wrf_trace, "--ledger-dir", str(ledger_dir)) == 0
+        run = RunLedger(ledger_dir).runs()[0]
+        capsys.readouterr()
+        assert main([
+            "obs", "summary", run.run_id[:12],
+            "--ledger-dir", str(ledger_dir),
+        ]) == 0
+        assert run.run_id in capsys.readouterr().out
+
+    def test_summary_unknown_run(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        RunLedger(ledger_dir)  # empty but existing
+        assert main([
+            "obs", "summary", "r-nope", "--ledger-dir", str(ledger_dir),
+        ]) == 2
+
+    def test_export_without_completed_runs(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        RunLedger(ledger_dir)
+        assert main(["obs", "export", "--ledger-dir", str(ledger_dir)]) == 2
+        assert "no completed runs" in capsys.readouterr().err
