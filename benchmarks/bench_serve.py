@@ -1,0 +1,58 @@
+"""Job-server benchmarks: the service tax over a direct pipeline run.
+
+What an adopter of ``repro-track serve`` cares about: submitting a job
+over HTTP and polling it to completion pays for a child process, the
+JSON round trips and the artefact writes on top of the tracking work
+itself.  This bench measures that tax on a small two-scenario HYDRO-C
+study and asserts the served bytes stay identical to the direct run —
+the differential guarantee, re-checked at benchmark scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.serve import JobClient, JobServer, JobSpec, canonical_json, result_payload
+from repro.serve.runner import execute_spec
+
+SPEC = {
+    "kind": "track",
+    "app": "hydroc",
+    "scenarios": [
+        {"block_size": 64, "ranks": 8, "iterations": 4},
+        {"block_size": 64, "ranks": 8, "iterations": 5},
+    ],
+    "seeds": [BENCH_SEED, BENCH_SEED + 1],
+    "settings": {"relevance": 0.995},
+}
+
+
+def test_perf_serve_roundtrip(benchmark, tmp_path):
+    """Direct pipeline run vs submit→poll→fetch over the job server."""
+    spec = JobSpec.from_dict(SPEC)
+    start = time.perf_counter()
+    result, failures = execute_spec(spec)
+    direct_s = time.perf_counter() - start
+    want = canonical_json(result_payload(spec, result, failures)).encode()
+
+    with JobServer(tmp_path / "srv", workers=1, job_timeout=600.0) as server:
+        client = JobClient(server.url)
+
+        def roundtrip() -> bytes:
+            job_id = client.submit("bench", SPEC)["job_id"]
+            final = client.wait(job_id, timeout=600.0)
+            assert final["state"] == "done", final
+            return client.result(job_id)
+
+        start = time.perf_counter()
+        got = run_once(benchmark, roundtrip)
+        serve_s = time.perf_counter() - start
+
+    assert got == want, "served result diverged from the direct run"
+    benchmark.extra_info["direct_s"] = round(direct_s, 3)
+    benchmark.extra_info["serve_s"] = round(serve_s, 3)
+    print(
+        f"\nserve round trip: direct {direct_s:.2f}s, "
+        f"served {serve_s:.2f}s (tax x{serve_s / direct_s:.2f})"
+    )

@@ -126,6 +126,15 @@ def pytest_sessionfinish(session, exitstatus):
             measurements["wall_time_s"] = entry["value"]
         elif entry["name"] == "bench.rss_peak_kib":
             measurements["rss_peak_kib"] = entry["value"]
+    # Merge into whatever is already committed: a partial run (one
+    # bench file) must update its own entries without clobbering the
+    # rest of the recorded suite.
+    try:
+        with open(OUTPUT_DIR / "BENCH_RESULTS.json", encoding="utf-8") as handle:
+            previous = json.load(handle).get("benches", {})
+    except (OSError, ValueError):
+        previous = {}
+    benches = {**previous, **benches}
     timings = {
         name: m["wall_time_s"] for name, m in benches.items()
         if "wall_time_s" in m

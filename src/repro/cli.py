@@ -124,6 +124,17 @@ def _add_report_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_client_url_flag(parser: argparse.ArgumentParser) -> None:
+    """``--url URL``: which job server a client subcommand talks to."""
+    parser.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="job server base URL, e.g. http://127.0.0.1:8765 "
+        "(default: REPRO_SERVE_URL)",
+    )
+
+
 def _resolve_cache(args: argparse.Namespace):
     from repro.parallel.cache import resolve_cache
 
@@ -408,6 +419,94 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--x-metric", default="ipc")
     tune.add_argument("--y-metric", default="instructions")
     tune.add_argument("--log-y", action="store_true")
+
+    serve = add_parser(
+        "serve",
+        help="run the multi-tenant tracking job server "
+        "(POST /jobs + /metrics + /healthz)",
+    )
+    serve.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="server state root: job journal plus per-tenant "
+        "cache/ledger/results trees (survives restarts; interrupted "
+        "jobs are re-queued from the journal)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765, metavar="PORT",
+        help="port for the job API and telemetry endpoints "
+        "(default: 8765; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="dispatcher threads, one isolated child process per "
+        "running job (default: 2)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=32, metavar="N",
+        help="waiting-job capacity; submissions beyond it get HTTP 429 "
+        "reason=queue_full (default: 32)",
+    )
+    serve.add_argument(
+        "--tenant-cap", type=int, default=4, metavar="N",
+        help="active (waiting+running) jobs allowed per tenant; beyond "
+        "it HTTP 429 reason=tenant_cap (default: 4)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=300.0, metavar="S",
+        help="kill a job's worker after S seconds and mark the job "
+        "failed (default: 300)",
+    )
+
+    submit = add_parser("submit", help="submit a job to a running job server")
+    submit.add_argument(
+        "spec", help="job spec JSON file ('-' reads stdin); see "
+        "docs/service.md for the schema",
+    )
+    _add_client_url_flag(submit)
+    submit.add_argument(
+        "--tenant", default="default", metavar="NAME",
+        help="tenant namespace to run under (default: 'default')",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job is terminal; exit 0 only if it is done",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="give up waiting after S seconds (default: 300)",
+    )
+
+    status = add_parser(
+        "status", help="query job status (or a tenant's jobs) on a server"
+    )
+    status.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id; omit with --tenant to list that tenant's jobs",
+    )
+    _add_client_url_flag(status)
+    status.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="list all jobs of this tenant instead of one job",
+    )
+
+    result = add_parser(
+        "result", help="fetch a done job's result payload or HTML report"
+    )
+    result.add_argument("job_id", help="job id")
+    _add_client_url_flag(result)
+    result.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the artefact to PATH (default: stdout)",
+    )
+    result.add_argument(
+        "--report", action="store_true",
+        help="fetch the self-contained HTML report instead of the "
+        "canonical result.json",
+    )
 
     add_parser("info", help="list applications, machines and case studies")
     return parser
@@ -1088,6 +1187,142 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.serve import JobServer
+
+    try:
+        server = JobServer(
+            args.root,
+            port=args.port,
+            host=args.host,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            tenant_cap=args.tenant_cap,
+            job_timeout=args.job_timeout,
+        )
+    except OSError as error:
+        print(
+            f"error: cannot serve jobs on port {args.port}: "
+            f"{error.strerror or error}",
+            file=sys.stderr,
+        )
+        return 1
+    if server.requeued:
+        print(
+            f"re-queued {len(server.requeued)} interrupted job(s) "
+            "from the journal",
+            file=sys.stderr,
+        )
+    print(
+        f"serving job API (+ /metrics, /healthz) on {server.url} "
+        f"root {args.root} (ctrl-c to stop)",
+        file=sys.stderr,
+    )
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        while not stop.wait(3600):
+            pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.close()
+        print("job server stopped", file=sys.stderr)
+    return 0
+
+
+def _serve_client(args: argparse.Namespace):
+    """Resolve --url / REPRO_SERVE_URL into a JobClient (or None)."""
+    import os
+
+    from repro.serve.client import JobClient
+
+    url = args.url or os.environ.get("REPRO_SERVE_URL")
+    if not url:
+        print(
+            "error: no job server URL (pass --url or set REPRO_SERVE_URL)",
+            file=sys.stderr,
+        )
+        return None
+    if "://" not in url:
+        url = "http://" + url
+    return JobClient(url)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    client = _serve_client(args)
+    if client is None:
+        return 2
+    try:
+        if args.spec == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.spec, encoding="utf-8") as handle:
+                text = handle.read()
+    except OSError as error:
+        print(
+            f"error: cannot read spec {args.spec!r}: "
+            f"{error.strerror or error}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = _json.loads(text)
+    except _json.JSONDecodeError as error:
+        print(f"error: spec is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    record = client.submit(args.tenant, spec)
+    if not args.wait:
+        print(_json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    final = client.wait(record["job_id"], timeout=args.timeout)
+    print(_json.dumps(final, indent=2, sort_keys=True))
+    return 0 if final.get("state") == "done" else 2
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    client = _serve_client(args)
+    if client is None:
+        return 2
+    if args.job_id is not None:
+        print(_json.dumps(client.status(args.job_id), indent=2, sort_keys=True))
+        return 0
+    if args.tenant is not None:
+        jobs = client.tenant_jobs(args.tenant)
+        print(_json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    print("error: give a job id or --tenant NAME", file=sys.stderr)
+    return 2
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    client = _serve_client(args)
+    if client is None:
+        return 2
+    data = (
+        client.report(args.job_id) if args.report else client.result(args.job_id)
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_bytes(data)
+        print(
+            f"wrote {len(data)} bytes to {args.output}", file=sys.stderr
+        )
+    else:
+        sys.stdout.buffer.write(data)
+        sys.stdout.buffer.flush()
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "track": _cmd_track,
@@ -1101,13 +1336,21 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "info": _cmd_info,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "result": _cmd_result,
 }
 
 
 #: Read-only commands that inspect state rather than run the pipeline;
 #: recording them would fill the ledger with noise (and ``obs`` reading
-#: the ledger while recording into it would observe itself).
-_LEDGER_EXEMPT = {"obs", "cache", "info", "bench-compare"}
+#: the ledger while recording into it would observe itself).  The serve
+#: *client* commands are remote reads/submissions — the pipeline work
+#: they trigger is recorded server-side in per-tenant ledgers.
+_LEDGER_EXEMPT = {
+    "obs", "cache", "info", "bench-compare", "submit", "status", "result",
+}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -17,6 +17,9 @@ __all__ = [
     "ModelError",
     "StudyError",
     "StreamError",
+    "ServeError",
+    "JobSpecError",
+    "AdmissionError",
 ]
 
 
@@ -54,3 +57,23 @@ class StudyError(ReproError):
 
 class StreamError(ReproError):
     """A windowing or incremental-tracking request is invalid."""
+
+
+class ServeError(ReproError):
+    """A job-server request could not be honoured."""
+
+
+class JobSpecError(ServeError):
+    """A submitted job specification is malformed or names unknown knobs."""
+
+
+class AdmissionError(ServeError):
+    """A job was rejected by admission control (queue or tenant caps).
+
+    ``reason`` is a stable machine-readable token (``"queue_full"`` or
+    ``"tenant_cap"``) the HTTP layer maps to a 429 response.
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason

@@ -44,6 +44,7 @@ from repro.obs.core import run_id as process_run_id
 __all__ = [
     "LEDGER_SCHEMA",
     "LEDGER_ENV",
+    "JsonlJournal",
     "RunLedger",
     "RunRecorder",
     "RunSummary",
@@ -111,13 +112,32 @@ def rss_peak_kib() -> int:
     return int(peak)
 
 
-class RunLedger:
-    """Append-only JSONL event store rooted at one directory."""
+class JsonlJournal:
+    """Append-only JSONL event store rooted at one directory.
 
-    def __init__(self, root: str | Path, *, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+    The reusable core of the run ledger — atomic ``O_APPEND`` line
+    writes, size-based segment rotation and corrupt-line-tolerant
+    reads — parameterised by the schema tag stamped on every event.
+    :class:`RunLedger` specialises it for pipeline run records;
+    :class:`repro.serve.journal.JobJournal` reuses it as the job
+    server's durable state journal.
+    """
+
+    #: Schema tag stamped on every event; subclasses override.
+    schema = LEDGER_SCHEMA
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        schema: str | None = None,
+    ) -> None:
         self.root = Path(root)
         self.max_bytes = int(max_bytes)
         self.corrupt_lines = 0
+        if schema is not None:
+            self.schema = schema
         self.root.mkdir(parents=True, exist_ok=True)
 
     # -- writing ------------------------------------------------------
@@ -159,7 +179,7 @@ class RunLedger:
         Ledger writes must never take a run down: any OS-level failure
         is swallowed after counting it.
         """
-        record = {"schema": LEDGER_SCHEMA}
+        record = {"schema": self.schema}
         record.update(event)
         line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
         data = line.encode("utf-8")
@@ -206,6 +226,12 @@ class RunLedger:
     def read_events(self) -> list[dict[str, Any]]:
         """All parseable events, oldest first."""
         return list(self.iter_events())
+
+
+class RunLedger(JsonlJournal):
+    """Pipeline run ledger: the :class:`JsonlJournal` of run records."""
+
+    schema = LEDGER_SCHEMA
 
     def runs(self) -> list["RunSummary"]:
         """Pair start/end events into per-run summaries, oldest first."""

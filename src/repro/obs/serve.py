@@ -35,6 +35,7 @@ from repro.obs.metrics import REGISTRY, MetricsRegistry
 __all__ = [
     "render_prometheus",
     "MetricsServer",
+    "Router",
     "start_metrics_server",
 ]
 
@@ -123,12 +124,21 @@ def render_prometheus(registry: MetricsRegistry | None = None) -> str:
     return "\n".join(lines) + "\n"
 
 
+#: Router callback type: ``(method, path, body) -> (status, content_type,
+#: payload)`` or ``None`` to fall through to the built-in endpoints.
+Router = Callable[[str, str, bytes], "tuple[int, str, bytes] | None"]
+
+
 class MetricsServer:
     """Daemon-thread HTTP server exposing /metrics and /healthz.
 
     *health_source* is a zero-arg callable returning extra JSON fields
     for ``/healthz`` (e.g. ``WatchTelemetry.health``); *sampler* adds
-    its summary under the ``sampler`` key.
+    its summary under the ``sampler`` key.  *router* mounts additional
+    endpoints in front of the built-ins: it sees every request
+    (``GET``/``POST``/``DELETE``) first and returns a response triple
+    or ``None`` to fall through — the job server's JSON API layers on
+    this hook without subclassing ``http.server`` internals.
     """
 
     def __init__(
@@ -139,15 +149,47 @@ class MetricsServer:
         registry: MetricsRegistry | None = None,
         health_source: Callable[[], dict[str, Any]] | None = None,
         sampler: Any | None = None,
+        router: Router | None = None,
     ) -> None:
         self.registry = registry if registry is not None else REGISTRY
         self.health_source = health_source
         self.sampler = sampler
+        self.router = router
         self.started_at = time.time()
         server = self
 
         class Handler(BaseHTTPRequestHandler):
+            def _read_body(self) -> bytes:
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                except (TypeError, ValueError):
+                    length = 0
+                return self.rfile.read(length) if length > 0 else b""
+
+            def _route(self, method: str) -> bool:
+                """Give the router first refusal; True when it answered."""
+                if server.router is None:
+                    return False
+                path = self.path.split("?", 1)[0]
+                body = self._read_body()
+                try:
+                    routed = server.router(method, path, body)
+                except Exception:  # router bugs must not kill the thread
+                    self._reply(
+                        500,
+                        "application/json; charset=utf-8",
+                        b'{"error": "internal server error"}\n',
+                    )
+                    return True
+                if routed is None:
+                    return False
+                status, ctype, payload = routed
+                self._reply(status, ctype, payload)
+                return True
+
             def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self._route("GET"):
+                    return
                 path = self.path.split("?", 1)[0]
                 if path == "/metrics":
                     body = render_prometheus(server.registry).encode("utf-8")
@@ -158,6 +200,14 @@ class MetricsServer:
                     )
                     self._reply(200, "application/json; charset=utf-8", body)
                 else:
+                    self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+            def do_POST(self) -> None:  # noqa: N802 - http.server API
+                if not self._route("POST"):
+                    self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+            def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+                if not self._route("DELETE"):
                     self._reply(404, "text/plain; charset=utf-8", b"not found\n")
 
             def _reply(self, status: int, ctype: str, body: bytes) -> None:

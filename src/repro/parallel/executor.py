@@ -40,11 +40,15 @@ from repro.obs.log import get_logger
 
 __all__ = [
     "JOBS_ENV",
+    "RemoteTaskError",
     "SerialExecutor",
     "ProcessExecutor",
+    "TaskTimeout",
+    "WorkerDeath",
     "get_executor",
     "pmap",
     "resolve_jobs",
+    "run_isolated",
 ]
 
 log = get_logger(__name__)
@@ -271,6 +275,117 @@ def _timed_call(fn: Callable[[T], R], item: T) -> tuple[R, _WorkerTiming]:
         time.process_time() - cpu0,
         _worker_rss_kib(),
     )
+
+
+class TaskTimeout(TimeoutError):
+    """An isolated task overran its deadline; its worker was killed."""
+
+
+class WorkerDeath(RuntimeError):
+    """An isolated task's worker process died before returning.
+
+    Raised when the worker exits without sending an outcome — a SIGKILL
+    from the OOM killer, a hard crash in a C extension, or an operator
+    kill.  The exit code (negative = killed by that signal number) is
+    in the message.
+    """
+
+
+class RemoteTaskError(RuntimeError):
+    """An isolated task raised; carries the original error's identity.
+
+    Exceptions cannot always cross the process boundary intact
+    (tracebacks and unpicklable payloads die with the worker), so the
+    worker ships ``(type name, message)`` and the parent raises this
+    wrapper.  :attr:`error_type` preserves the original class name for
+    failure records.
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message
+
+
+def _isolated_main(conn, fn: Callable[[T], R], item: T) -> None:
+    """Worker entry point: run the task, ship the outcome, exit."""
+    try:
+        payload: tuple = ("ok", fn(item))
+    except BaseException as exc:  # noqa: BLE001 - identity must travel home
+        payload = ("error", type(exc).__name__, str(exc))
+    try:
+        conn.send(payload)
+    except (BrokenPipeError, OSError):  # parent gave up (timeout kill race)
+        pass
+    finally:
+        conn.close()
+
+
+def run_isolated(
+    fn: Callable[[T], R],
+    item: T,
+    *,
+    timeout: float | None = None,
+) -> R:
+    """Run one task in a dedicated worker process with a hard deadline.
+
+    The complement of :func:`pmap` for long-lived services: where a
+    pool amortises startup over a batch, ``run_isolated`` buys *blast
+    containment* — the task gets its own process, so a runaway or
+    killed task can be reaped without poisoning a shared pool, and the
+    caller learns exactly which task died (a broken shared pool cannot
+    attribute the death).  The job server runs every tracking job
+    through this.
+
+    Raises
+    ------
+    TaskTimeout
+        The task exceeded *timeout* seconds; its worker was killed.
+    WorkerDeath
+        The worker died (signal, hard crash) before returning.
+    RemoteTaskError
+        The task itself raised; ``error_type`` names the original
+        exception class.
+    """
+    import multiprocessing
+
+    ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_isolated_main, args=(child_conn, fn, item), daemon=False
+    )
+    start = time.perf_counter()
+    proc.start()
+    child_conn.close()
+    try:
+        # poll() goes readable on data *or* on EOF (worker death closed
+        # the write end), so one wait covers both outcomes.
+        if not parent_conn.poll(timeout):
+            proc.kill()
+            proc.join()
+            obs.count("parallel.isolated_total", outcome="timeout")
+            raise TaskTimeout(
+                f"isolated task exceeded {timeout:g}s and was killed"
+            )
+        try:
+            outcome = parent_conn.recv()
+        except (EOFError, OSError):
+            proc.join()
+            obs.count("parallel.isolated_total", outcome="worker_death")
+            raise WorkerDeath(
+                f"worker pid {proc.pid} died before returning "
+                f"(exit code {proc.exitcode})"
+            ) from None
+    finally:
+        parent_conn.close()
+    proc.join()
+    if obs.enabled():
+        obs.observe("parallel.task_seconds", time.perf_counter() - start)
+    if outcome[0] == "error":
+        obs.count("parallel.isolated_total", outcome="error")
+        raise RemoteTaskError(outcome[1], outcome[2])
+    obs.count("parallel.isolated_total", outcome="ok")
+    return outcome[1]
 
 
 Executor = SerialExecutor | ProcessExecutor

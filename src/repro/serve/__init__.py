@@ -1,0 +1,39 @@
+"""Tracking-as-a-service: a multi-tenant job server for the pipeline.
+
+The paper's pipeline becomes a long-lived service: tenants POST job
+specs (application scenarios + tracking knobs), a journal-backed queue
+admits and persists them, a dispatcher pool executes each job in an
+isolated child process against the tenant's namespaced cache/ledger,
+and a stdlib JSON HTTP API serves status, canonical results and HTML
+reports alongside the existing ``/metrics`` + ``/healthz`` endpoints.
+
+Entry points: :class:`JobServer` (embed or ``repro-track serve``),
+:class:`JobClient` (drive a running server), :class:`JobSpec` (the
+validated job payload).  See ``docs/service.md`` for the API contract,
+tenancy model, admission control and failure semantics.
+"""
+
+from repro.serve.api import JobServer
+from repro.serve.client import JobClient
+from repro.serve.journal import JOB_SCHEMA, JobJournal
+from repro.serve.queue import JobQueue, JobRecord
+from repro.serve.runner import RESULT_SCHEMA, canonical_json, result_payload
+from repro.serve.spec import SPEC_SCHEMA, JobSpec
+from repro.serve.tenancy import TenantPaths
+from repro.serve.workers import JobRunner
+
+__all__ = [
+    "JobServer",
+    "JobClient",
+    "JobSpec",
+    "JobQueue",
+    "JobRecord",
+    "JobJournal",
+    "JobRunner",
+    "TenantPaths",
+    "JOB_SCHEMA",
+    "SPEC_SCHEMA",
+    "RESULT_SCHEMA",
+    "canonical_json",
+    "result_payload",
+]

@@ -1,0 +1,249 @@
+"""The job server: JSON HTTP API over queue + workers + tenancy.
+
+:class:`JobServer` composes the pieces of :mod:`repro.serve` behind the
+:class:`repro.obs.serve.MetricsServer` router hook, so one port serves
+both the job API and the existing observability endpoints:
+
+====================  =====================================================
+``POST /jobs``        Submit ``{"tenant": t, "spec": {...}}`` → 201 + status
+``GET /jobs/{id}``    Job status (the queue record, spec included)
+``GET /jobs/{id}/result``   Canonical ``result.json`` (byte-stable)
+``GET /jobs/{id}/report``   Self-contained HTML run report
+``DELETE /jobs/{id}``       Cancel a *waiting* job
+``GET /tenants/{t}/jobs``   All of one tenant's jobs, oldest first
+``GET /metrics``      Prometheus text exposition (built-in)
+``GET /healthz``      Health JSON + queue depth/state counts (built-in)
+====================  =====================================================
+
+Error mapping: malformed JSON or spec → 400 with the validation
+message; unknown job → 404; cancelling a non-waiting job → 409;
+admission rejection → 429 with a machine-readable ``reason``
+(``queue_full`` / ``tenant_cap``) for client-side backoff.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+from repro import obs
+from repro.errors import AdmissionError, JobSpecError, ServeError
+from repro.obs.serve import MetricsServer
+from repro.serve.journal import JobJournal
+from repro.serve.queue import JobQueue
+from repro.serve.spec import JobSpec
+from repro.serve.tenancy import TenantPaths, validate_tenant
+from repro.serve.workers import JobRunner
+
+__all__ = ["JobServer"]
+
+_JSON = "application/json; charset=utf-8"
+_HTML = "text/html; charset=utf-8"
+
+_JOB_PATH = re.compile(r"^/jobs/([0-9a-f]{12})(/result|/report)?$")
+_TENANT_PATH = re.compile(r"^/tenants/([A-Za-z0-9_-]{1,64})/jobs$")
+
+
+def _json_reply(status: int, payload: Any) -> tuple[int, str, bytes]:
+    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    return status, _JSON, body
+
+
+def _error(status: int, message: str, **extra: Any) -> tuple[int, str, bytes]:
+    payload = {"error": message}
+    payload.update(extra)
+    return _json_reply(status, payload)
+
+
+class JobServer:
+    """Multi-tenant tracking job server on one HTTP port.
+
+    Parameters mirror the admission/execution knobs: *max_queue* bounds
+    waiting jobs, *tenant_cap* bounds per-tenant active jobs, *workers*
+    sizes the dispatcher pool and *job_timeout* kills runaway jobs.
+    ``port=0`` binds an OS-assigned port (read ``.port``/``.url``).
+    On start the journal under ``<root>/journal`` is replayed:
+    interrupted jobs are re-queued exactly once, terminal jobs stay
+    queryable.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        workers: int = 2,
+        max_queue: int = 32,
+        tenant_cap: int = 4,
+        job_timeout: float | None = 300.0,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Serving implies observability, as with `watch --serve`: the
+        # /metrics endpoint reads the registry, which only fills while
+        # obs is enabled.  Re-disabled on close() if enabled here.
+        self._obs_enabled_here = False
+        if not obs.enabled():
+            obs.enable()
+            self._obs_enabled_here = True
+        self.journal = JobJournal(self.root / "journal")
+        self.queue = JobQueue(
+            self.journal, max_queue=max_queue, tenant_cap=tenant_cap
+        )
+        self.requeued = self.queue.recover()
+        self.runner = JobRunner(
+            self.queue, self.root, workers=workers, job_timeout=job_timeout
+        )
+        # Bind before starting workers: a port clash must fail fast and
+        # leave nothing running.
+        self.http = MetricsServer(
+            port,
+            host=host,
+            health_source=self._health,
+            router=self._route,
+        )
+        self.runner.start()
+        obs.set_gauge("serve.max_queue", max_queue)
+        obs.set_gauge("serve.tenant_cap", tenant_cap)
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self.http.port
+
+    @property
+    def url(self) -> str:
+        return self.http.url
+
+    def _health(self) -> dict[str, Any]:
+        counts = self.queue.counts()
+        return {
+            "serve": {
+                "jobs": counts,
+                "queue_depth": counts["submitted"],
+                "max_queue": self.queue.max_queue,
+                "tenant_cap": self.queue.tenant_cap,
+                "workers": self.runner.workers,
+                "requeued_on_start": len(self.requeued),
+            }
+        }
+
+    def close(self) -> None:
+        """Stop accepting, stop dispatching, release the port."""
+        self.runner.stop()
+        self.http.close()
+        if self._obs_enabled_here:
+            obs.disable()
+            self._obs_enabled_here = False
+
+    def __enter__(self) -> "JobServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- routing -------------------------------------------------------
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, str, bytes] | None:
+        response = self._dispatch(method, path, body)
+        if response is not None:
+            obs.count("serve.http_total", method=method, status=response[0])
+        return response
+
+    def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, str, bytes] | None:
+        if path == "/jobs":
+            if method == "POST":
+                return self._submit(body)
+            return _error(405, "use POST /jobs to submit")
+        match = _JOB_PATH.match(path)
+        if match:
+            job_id, sub = match.group(1), match.group(2)
+            if method == "DELETE" and not sub:
+                return self._cancel(job_id)
+            if method != "GET":
+                return _error(405, f"{method} not supported on {path}")
+            if sub == "/result":
+                return self._artifact(job_id, "result")
+            if sub == "/report":
+                return self._artifact(job_id, "report")
+            return self._status(job_id)
+        match = _TENANT_PATH.match(path)
+        if match and method == "GET":
+            tenant = match.group(1)
+            jobs = [r.to_dict() for r in self.queue.jobs(tenant)]
+            return _json_reply(200, {"tenant": tenant, "jobs": jobs})
+        return None  # fall through to /metrics, /healthz, 404
+
+    # -- handlers ------------------------------------------------------
+
+    def _submit(self, body: bytes) -> tuple[int, str, bytes]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return _error(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            return _error(400, "request body must be a JSON object")
+        try:
+            tenant = validate_tenant(payload.get("tenant", ""))
+            spec = JobSpec.from_dict(payload.get("spec", {}))
+        except JobSpecError as exc:
+            return _error(400, str(exc), kind="spec")
+        except ServeError as exc:
+            return _error(400, str(exc), kind="tenant")
+        try:
+            record = self.queue.submit(tenant, spec)
+        except AdmissionError as exc:
+            return _error(429, str(exc), reason=exc.reason)
+        except ServeError as exc:
+            return _error(503, str(exc))
+        TenantPaths(self.root, tenant).ensure()
+        return _json_reply(201, record.to_dict())
+
+    def _status(self, job_id: str) -> tuple[int, str, bytes]:
+        record = self.queue.get(job_id)
+        if record is None:
+            return _error(404, f"unknown job {job_id}")
+        return _json_reply(200, record.to_dict())
+
+    def _artifact(self, job_id: str, which: str) -> tuple[int, str, bytes]:
+        record = self.queue.get(job_id)
+        if record is None:
+            return _error(404, f"unknown job {job_id}")
+        if record.state != "done":
+            return _error(
+                409,
+                f"job {job_id} is {record.state}; artefacts exist only for "
+                f"done jobs",
+                state=record.state,
+            )
+        paths = TenantPaths(self.root, record.tenant)
+        path = (
+            paths.result_path(job_id)
+            if which == "result"
+            else paths.report_path(job_id)
+        )
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return _error(404, f"artefact missing for job {job_id}")
+        ctype = _JSON if which == "result" else _HTML
+        return 200, ctype, data
+
+    def _cancel(self, job_id: str) -> tuple[int, str, bytes]:
+        record = self.queue.get(job_id)
+        if record is None:
+            return _error(404, f"unknown job {job_id}")
+        try:
+            cancelled = self.queue.cancel(job_id)
+        except ServeError as exc:
+            return _error(409, str(exc), state=record.state)
+        return _json_reply(200, cancelled.to_dict())

@@ -1,0 +1,75 @@
+"""Tenant namespacing: every tenant gets an isolated slice of disk.
+
+A tenant is identified by a short name (``[A-Za-z0-9_-]{1,64}``) and
+owns a directory tree under the server root::
+
+    <root>/tenants/<tenant>/
+        cache/    per-tenant PipelineCache (content-addressed artefacts)
+        ledger/   per-tenant run ledger (JSONL journal)
+        results/  per-job result.json + report.html artefacts
+        jobs/     per-job scratch (pidfiles, checkpoints)
+
+Nothing a job reads or writes lives outside its tenant's tree, which is
+what the isolation stress test asserts: concurrent tenants never share
+cache entries, ledger events, or result files.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import ServeError
+
+__all__ = ["TenantPaths", "validate_tenant"]
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def validate_tenant(name: str) -> str:
+    """Return *name* if it is a legal tenant id, else raise ServeError."""
+    if not isinstance(name, str) or not _TENANT_RE.match(name):
+        raise ServeError(
+            f"invalid tenant name {name!r}: must match [A-Za-z0-9_-]{{1,64}}"
+        )
+    return name
+
+
+class TenantPaths:
+    """Resolved directory layout for one tenant under a server root."""
+
+    def __init__(self, root: str | Path, tenant: str) -> None:
+        self.tenant = validate_tenant(tenant)
+        self.root = Path(root)
+        self.base = self.root / "tenants" / self.tenant
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.base / "cache"
+
+    @property
+    def ledger_dir(self) -> Path:
+        return self.base / "ledger"
+
+    @property
+    def results_dir(self) -> Path:
+        return self.base / "results"
+
+    @property
+    def jobs_dir(self) -> Path:
+        return self.base / "jobs"
+
+    def ensure(self) -> "TenantPaths":
+        """Create the tenant tree (idempotent) and return self."""
+        for path in (self.cache_dir, self.ledger_dir, self.results_dir, self.jobs_dir):
+            path.mkdir(parents=True, exist_ok=True)
+        return self
+
+    def result_path(self, job_id: str) -> Path:
+        return self.results_dir / job_id / "result.json"
+
+    def report_path(self, job_id: str) -> Path:
+        return self.results_dir / job_id / "report.html"
+
+    def pid_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.pid"

@@ -80,6 +80,36 @@ def empty_counters() -> list[str]:
     return [INSTRUCTIONS, CYCLES, L1_DCM, L2_DCM, TLB_DM]
 
 
+@pytest.fixture
+def live_server():
+    """Factory for race-free test HTTP servers, closed at teardown.
+
+    Grabbing a "free" port number first and binding it later is a
+    latent race: another process can claim the port in between.  The
+    safe pattern — bind port 0, let the OS assign, read the bound port
+    back off the server — lives here so every server-based test uses
+    it identically::
+
+        server = live_server(MetricsServer, registry=...)
+        url = server.url          # http://127.0.0.1:<os-assigned>
+
+    Works with any factory taking a ``port`` keyword and exposing
+    ``close()`` (``MetricsServer``, ``JobServer``); the forced
+    ``port=0`` also means parallel test runs never collide.
+    """
+    started = []
+
+    def _start(factory, *args, **kwargs):
+        kwargs["port"] = 0
+        server = factory(*args, **kwargs)
+        started.append(server)
+        return server
+
+    yield _start
+    for server in reversed(started):
+        server.close()
+
+
 @pytest.fixture(scope="session")
 def hydroc_traces():
     """Session-cached small HydroC scenario pair (blocks 64 and 128)."""

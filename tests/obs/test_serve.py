@@ -108,67 +108,96 @@ class TestRenderPrometheus:
 
 
 class TestMetricsServer:
-    def test_scrape_metrics_and_healthz(self):
+    def test_scrape_metrics_and_healthz(self, live_server):
         registry = MetricsRegistry()
         registry.gauge("stream.last_window").set(9)
-        with MetricsServer(0, registry=registry) as server:
-            status, headers, body = _get(f"{server.url}/metrics")
-            assert status == 200
-            assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
-            series = parse_prometheus(body)
-            assert series["repro_stream_last_window"] == 9
-            status, _, body = _get(f"{server.url}/healthz")
-            payload = json.loads(body)
-            assert status == 200
-            assert payload["status"] == "ok"
-            assert payload["run_id"].startswith("r")
-            assert payload["uptime_s"] >= 0
+        server = live_server(MetricsServer, registry=registry)
+        status, headers, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        series = parse_prometheus(body)
+        assert series["repro_stream_last_window"] == 9
+        status, _, body = _get(f"{server.url}/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["run_id"].startswith("r")
+        assert payload["uptime_s"] >= 0
 
-    def test_unknown_path_404(self):
-        with MetricsServer(0, registry=MetricsRegistry()) as server:
-            with pytest.raises(urllib.error.HTTPError) as excinfo:
-                _get(f"{server.url}/nope")
-            assert excinfo.value.code == 404
+    def test_unknown_path_404(self, live_server):
+        server = live_server(MetricsServer, registry=MetricsRegistry())
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/nope")
+        assert excinfo.value.code == 404
 
-    def test_port_in_use_raises(self):
-        with MetricsServer(0, registry=MetricsRegistry()) as server:
-            with pytest.raises(OSError):
-                start_metrics_server(server.port)
+    def test_port_in_use_raises(self, live_server):
+        server = live_server(MetricsServer, registry=MetricsRegistry())
+        with pytest.raises(OSError):
+            start_metrics_server(server.port)
 
-    def test_health_source_merged(self):
+    def test_health_source_merged(self, live_server):
         def health():
             return {"status": "alerting", "last_window": 7}
 
-        with MetricsServer(
-            0, registry=MetricsRegistry(), health_source=health
-        ) as server:
-            payload = server.health_payload()
-            assert payload["status"] == "alerting"
-            assert payload["last_window"] == 7
+        server = live_server(
+            MetricsServer, registry=MetricsRegistry(), health_source=health
+        )
+        payload = server.health_payload()
+        assert payload["status"] == "alerting"
+        assert payload["last_window"] == 7
 
-    def test_health_source_failure_degrades(self):
+    def test_health_source_failure_degrades(self, live_server):
         def health():
             raise RuntimeError("racy read")
 
-        with MetricsServer(
-            0, registry=MetricsRegistry(), health_source=health
-        ) as server:
-            payload = server.health_payload()
-            assert payload["status"] == "degraded"
-            assert payload["health_error"] == "RuntimeError"
+        server = live_server(
+            MetricsServer, registry=MetricsRegistry(), health_source=health
+        )
+        payload = server.health_payload()
+        assert payload["status"] == "degraded"
+        assert payload["health_error"] == "RuntimeError"
 
-    def test_sampler_summary_attached(self):
+    def test_sampler_summary_attached(self, live_server):
         sampler = ResourceSampler(registry=MetricsRegistry())
         sampler.sample_once()
-        with MetricsServer(
-            0, registry=MetricsRegistry(), sampler=sampler
-        ) as server:
-            payload = server.health_payload()
-            assert payload["sampler"]["n_samples"] == 1
+        server = live_server(
+            MetricsServer, registry=MetricsRegistry(), sampler=sampler
+        )
+        payload = server.health_payload()
+        assert payload["sampler"]["n_samples"] == 1
+
+    def test_router_mounts_extra_endpoints(self, live_server):
+        """The router hook answers first; None falls through."""
+
+        def router(method, path, body):
+            if path == "/echo":
+                return 200, "application/json", b'{"method": "%s"}' % method.encode()
+            return None
+
+        server = live_server(
+            MetricsServer, registry=MetricsRegistry(), router=router
+        )
+        status, _, body = _get(f"{server.url}/echo")
+        assert status == 200
+        assert json.loads(body) == {"method": "GET"}
+        # Built-ins still answer when the router declines.
+        status, _, _ = _get(f"{server.url}/metrics")
+        assert status == 200
+
+    def test_router_error_is_a_500_not_a_hang(self, live_server):
+        def router(method, path, body):
+            raise RuntimeError("router bug")
+
+        server = live_server(
+            MetricsServer, registry=MetricsRegistry(), router=router
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/metrics")
+        assert excinfo.value.code == 500
 
 
 class TestLiveWatchScrape:
-    def test_scrape_during_live_watch(self):
+    def test_scrape_during_live_watch(self, live_server):
         """Scrape /metrics and /healthz while windows stream through."""
         from repro.apps import wrf
         from repro.clustering.frames import FrameSettings
@@ -178,22 +207,22 @@ class TestLiveWatchScrape:
         telemetry = WatchTelemetry()
         scrapes: list[dict[str, float]] = []
         health_docs: list[dict] = []
-        with MetricsServer(0, health_source=telemetry.health) as server:
+        server = live_server(MetricsServer, health_source=telemetry.health)
 
-            def on_update(update) -> None:
-                _, _, body = _get(f"{server.url}/metrics")
-                scrapes.append(parse_prometheus(body))
-                _, _, doc = _get(f"{server.url}/healthz")
-                health_docs.append(json.loads(doc))
+        def on_update(update) -> None:
+            _, _, body = _get(f"{server.url}/metrics")
+            scrapes.append(parse_prometheus(body))
+            _, _, doc = _get(f"{server.url}/healthz")
+            health_docs.append(json.loads(doc))
 
-            trace = wrf.build(ranks=16, iterations=6).run(seed=3)
-            result = track_windows(
-                trace,
-                n_windows=4,
-                settings=FrameSettings(relevance=0.995),
-                on_update=on_update,
-                telemetry=telemetry,
-            )
+        trace = wrf.build(ranks=16, iterations=6).run(seed=3)
+        result = track_windows(
+            trace,
+            n_windows=4,
+            settings=FrameSettings(relevance=0.995),
+            on_update=on_update,
+            telemetry=telemetry,
+        )
         assert result.coverage > 0
         assert len(scrapes) == 4
         # The live-window gauge tracks the stream as it advances.

@@ -1,0 +1,11 @@
+"""Job-server suite: differential, admission, isolation, HTTP contract.
+
+The load-bearing guarantee is the differential one: a job submitted
+through the multi-tenant server produces a canonical result payload
+*byte-identical* to running :func:`repro.quick_track` /
+:func:`repro.stream.track_windows` directly — per bundled application,
+serial and parallel, cold and warm tenant cache.  Around it: spec
+validation, queue admission control and journal recovery semantics,
+the HTTP API's status/error contract, and the concurrency stress test
+(multi-tenant isolation, caps enforced, every accepted job terminal).
+"""

@@ -1,0 +1,163 @@
+"""HTTP contract of the job API: status codes, payloads, error mapping."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.errors import AdmissionError, JobSpecError, ServeError
+from repro.serve import JobClient, JobServer
+
+SPEC = {
+    "kind": "track",
+    "app": "hydroc",
+    "scenarios": [{"block_size": 64}, {"block_size": 128}],
+    "seeds": [1, 2],
+}
+
+
+@pytest.fixture
+def paused_server(live_server, tmp_path):
+    """A server whose dispatcher never claims: jobs stay waiting."""
+    server = live_server(
+        JobServer, tmp_path / "srv", workers=1, max_queue=3, tenant_cap=2
+    )
+    server.runner.pause()
+    return server
+
+
+def raw_request(url: str, method: str = "GET", body: bytes | None = None):
+    request = urllib.request.Request(url, data=body, method=method)
+    if body is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+class TestSubmission:
+    def test_submit_returns_201_and_record(self, paused_server):
+        client = JobClient(paused_server.url)
+        record = client.submit("acme", SPEC)
+        assert record["state"] == "submitted"
+        assert record["tenant"] == "acme"
+        assert record["spec"]["app"] == "hydroc"
+        assert len(record["job_id"]) == 12
+
+    def test_malformed_json_is_400(self, paused_server):
+        status, body = raw_request(
+            f"{paused_server.url}/jobs", "POST", b"{not json"
+        )
+        assert status == 400
+        assert "JSON" in json.loads(body)["error"]
+
+    def test_bad_spec_is_400_with_message(self, paused_server):
+        client = JobClient(paused_server.url)
+        with pytest.raises(JobSpecError, match="unknown application"):
+            client.submit("acme", dict(SPEC, app="nope"))
+
+    def test_bad_tenant_is_400(self, paused_server):
+        client = JobClient(paused_server.url)
+        with pytest.raises(JobSpecError, match="tenant"):
+            client.submit("bad/../name", SPEC)
+
+    def test_queue_full_is_429_with_reason(self, paused_server):
+        client = JobClient(paused_server.url)
+        for tenant in ("a", "b", "c"):
+            client.submit(tenant, SPEC)  # max_queue=3
+        with pytest.raises(AdmissionError) as excinfo:
+            client.submit("d", SPEC)
+        assert excinfo.value.reason == "queue_full"
+
+    def test_tenant_cap_is_429_with_reason(self, paused_server):
+        client = JobClient(paused_server.url)
+        client.submit("acme", SPEC)
+        client.submit("acme", SPEC)  # tenant_cap=2
+        with pytest.raises(AdmissionError) as excinfo:
+            client.submit("acme", SPEC)
+        assert excinfo.value.reason == "tenant_cap"
+
+
+class TestStatusAndArtifacts:
+    def test_unknown_job_is_404(self, paused_server):
+        client = JobClient(paused_server.url)
+        with pytest.raises(ServeError, match="404"):
+            client.status("deadbeef0000")
+
+    def test_artifact_before_done_is_409(self, paused_server):
+        client = JobClient(paused_server.url)
+        record = client.submit("acme", SPEC)
+        status, body = raw_request(
+            f"{paused_server.url}/jobs/{record['job_id']}/result"
+        )
+        assert status == 409
+        assert json.loads(body)["state"] == "submitted"
+
+    def test_tenant_listing_is_scoped(self, paused_server):
+        client = JobClient(paused_server.url)
+        mine = client.submit("acme", SPEC)
+        client.submit("rival", SPEC)
+        jobs = client.tenant_jobs("acme")
+        assert [j["job_id"] for j in jobs] == [mine["job_id"]]
+        assert client.tenant_jobs("nobody") == []
+
+    def test_cancel_waiting_job(self, paused_server):
+        client = JobClient(paused_server.url)
+        record = client.submit("acme", SPEC)
+        cancelled = client.cancel(record["job_id"])
+        assert cancelled["state"] == "cancelled"
+        assert client.status(record["job_id"])["state"] == "cancelled"
+
+    def test_cancel_unknown_is_404(self, paused_server):
+        client = JobClient(paused_server.url)
+        with pytest.raises(ServeError, match="404"):
+            client.cancel("deadbeef0000")
+
+    def test_wrong_method_is_405(self, paused_server):
+        status, _ = raw_request(f"{paused_server.url}/jobs", "GET")
+        assert status == 405
+
+
+class TestCoexistence:
+    def test_metrics_and_healthz_still_served(self, paused_server):
+        client = JobClient(paused_server.url)
+        client.submit("acme", SPEC)
+        health = client.health()
+        serve = health["serve"]
+        assert serve["queue_depth"] == 1
+        assert serve["jobs"]["submitted"] == 1
+        assert serve["max_queue"] == 3 and serve["tenant_cap"] == 2
+        status, body = raw_request(f"{paused_server.url}/metrics")
+        assert status == 200
+        from tests.obs.test_serve import parse_prometheus
+
+        series = parse_prometheus(body.decode())
+        assert any("repro_serve_" in key for key in series)
+
+    def test_unroutable_path_is_404(self, paused_server):
+        status, _ = raw_request(f"{paused_server.url}/tenants/acme/nope")
+        assert status == 404
+
+    def test_resume_drains_the_queue(self, live_server, tmp_path):
+        """pause() holds jobs; resume() lets the dispatcher drain them."""
+        server = live_server(JobServer, tmp_path / "srv", workers=1)
+        server.runner.pause()
+        client = JobClient(server.url)
+        spec = dict(
+            SPEC,
+            scenarios=[
+                {"block_size": 64, "ranks": 8, "iterations": 3},
+                {"block_size": 64, "ranks": 8, "iterations": 4},
+            ],
+            seeds=[1, 2],
+        )
+        record = client.submit("acme", spec)
+        assert client.status(record["job_id"])["state"] == "submitted"
+        server.runner.resume()
+        final = client.wait(record["job_id"], timeout=240.0)
+        assert final["state"] == "done"
+        assert final["summary"]["coverage"] > 0

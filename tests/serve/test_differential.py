@@ -1,0 +1,142 @@
+"""Server-vs-direct differential: byte-identical results, all apps.
+
+Each test submits work through a real :class:`~repro.serve.JobServer`
+(HTTP, journal, dispatcher, isolated worker process, tenant cache) and
+compares the canonical ``result.json`` bytes against running the same
+spec directly in this process with no server involved.  Byte equality
+of the canonical payload covers everything the pipeline produces:
+per-frame region labels, region memberships, the full pairwise
+relation matrices (exact floats) and the quality report.
+
+Covered per bundled app: cold tenant cache, warm tenant cache (same
+spec resubmitted), and ``jobs=2`` inside the worker — all three must
+match the serial, cache-less direct run bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import JobClient, JobServer, JobSpec, canonical_json, result_payload
+from repro.serve.runner import execute_spec
+
+#: One small-but-clusterable spec per bundled app generator, mirroring
+#: the stream differential suite's scenarios.
+SPECS: dict[str, dict] = {
+    "wrf": {
+        "kind": "watch",
+        "app": "wrf",
+        "scenarios": [{"ranks": 16, "iterations": 6, "base_ranks": 16}],
+        "seeds": [5],
+        "windows": 4,
+        "settings": {"relevance": 0.995},
+    },
+    "nas-bt": {
+        "kind": "watch",
+        "app": "nas-bt",
+        "scenarios": [{"problem_class": "A", "ranks": 16, "iterations": 6}],
+        "seeds": [5],
+        "windows": 4,
+        "settings": {"relevance": 0.995},
+    },
+    "cgpop": {
+        "kind": "watch",
+        "app": "cgpop",
+        "scenarios": [{"machine": "MareNostrum", "ranks": 16, "iterations": 6}],
+        "seeds": [5],
+        "windows": 4,
+        "settings": {"relevance": 0.995},
+    },
+    "hydroc": {
+        "kind": "track",
+        "app": "hydroc",
+        "scenarios": [
+            {"block_size": 64, "ranks": 8, "iterations": 4},
+            {"block_size": 64, "ranks": 8, "iterations": 5},
+        ],
+        "seeds": [5, 6],
+        "settings": {"relevance": 0.995},
+    },
+    "mr-genesis": {
+        "kind": "watch",
+        "app": "mr-genesis",
+        "scenarios": [{"tasks_per_node": 1, "ranks": 12, "iterations": 8}],
+        "seeds": [5],
+        "windows": 4,
+        "settings": {"relevance": 0.995},
+    },
+}
+
+APPS = sorted(SPECS)
+
+_direct_cache: dict[str, bytes] = {}
+
+
+def direct_bytes(app: str) -> bytes:
+    """The no-server ground truth: run the spec here, serialise (memoised)."""
+    if app not in _direct_cache:
+        spec = JobSpec.from_dict(SPECS[app])
+        result, failures = execute_spec(spec)
+        _direct_cache[app] = canonical_json(
+            result_payload(spec, result, failures)
+        ).encode("utf-8")
+    return _direct_cache[app]
+
+
+def submit_and_fetch(client: JobClient, tenant: str, spec: dict) -> bytes:
+    record = client.submit(tenant, spec)
+    final = client.wait(record["job_id"], timeout=240.0)
+    assert final["state"] == "done", (
+        f"job failed: {final.get('error_type')}: {final.get('error')}"
+    )
+    return client.result(record["job_id"])
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_server_result_bit_identical_to_direct(app, live_server, tmp_path):
+    """Cold cache, warm cache and jobs=2 all match the direct bytes."""
+    server = live_server(
+        JobServer, tmp_path / "srv", workers=2, job_timeout=600.0
+    )
+    client = JobClient(server.url)
+    want = direct_bytes(app)
+
+    cold = submit_and_fetch(client, "diff", SPECS[app])
+    assert cold == want, f"{app}: cold-cache server run diverged from direct"
+
+    warm = submit_and_fetch(client, "diff", SPECS[app])
+    assert warm == want, f"{app}: warm-cache server run diverged from direct"
+
+    parallel_spec = dict(SPECS[app], jobs=2)
+    par = submit_and_fetch(client, "diff", parallel_spec)
+    assert par == want, f"{app}: jobs=2 server run diverged from direct"
+
+    # The parallel submission shares the work-product digest (jobs is
+    # bit-identity-neutral), and every payload round-trips as JSON.
+    payload = json.loads(cold)
+    assert payload["schema"] == "repro.serve.result/1"
+    assert payload["spec_digest"] == json.loads(par)["spec_digest"]
+    assert payload["n_frames"] >= 2
+    assert payload["regions"], f"{app}: no regions tracked"
+    assert payload["pair_relations"], f"{app}: no pair relations"
+
+
+def test_quality_report_is_the_status_summary(live_server, tmp_path):
+    """The done-job summary carries the quality headline numbers."""
+    server = live_server(JobServer, tmp_path / "srv", workers=1)
+    client = JobClient(server.url)
+    record = client.submit("diff", SPECS["hydroc"])
+    final = client.wait(record["job_id"], timeout=240.0)
+    assert final["state"] == "done"
+    payload = json.loads(client.result(record["job_id"]))
+    summary = final["summary"]
+    assert summary["coverage"] == payload["coverage"]
+    assert summary["n_regions"] == len(payload["regions"])
+    assert summary["n_frames"] == payload["n_frames"]
+    assert summary["n_tracked"] == payload["quality"]["n_tracked"]
+    assert summary["spec_digest"] == payload["spec_digest"]
+    # And the HTML report artefact is served for the same job.
+    report = client.report(record["job_id"])
+    assert report.startswith(b"<!DOCTYPE html>")

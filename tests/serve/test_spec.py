@@ -1,0 +1,121 @@
+"""JobSpec validation: strict, front-loaded, round-trippable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobSpecError
+from repro.serve import JobSpec
+
+GOOD_TRACK = {
+    "kind": "track",
+    "app": "hydroc",
+    "scenarios": [{"block_size": 64}, {"block_size": 128}],
+    "seeds": [1, 2],
+}
+
+GOOD_WATCH = {
+    "kind": "watch",
+    "app": "wrf",
+    "scenarios": [{"ranks": 16}],
+    "seeds": [3],
+    "windows": 4,
+}
+
+
+class TestValidation:
+    def test_minimal_track_spec(self):
+        spec = JobSpec.from_dict(GOOD_TRACK)
+        assert spec.kind == "track"
+        assert spec.seeds == (1, 2)
+        assert spec.jobs == 1 and spec.strict is True
+
+    def test_minimal_watch_spec(self):
+        spec = JobSpec.from_dict(GOOD_WATCH)
+        assert spec.windows == 4 and spec.window_ns is None
+
+    def test_round_trip_is_exact(self):
+        for payload in (GOOD_TRACK, GOOD_WATCH):
+            spec = JobSpec.from_dict(payload)
+            assert JobSpec.from_dict(spec.to_dict()) == spec
+            assert JobSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+    def test_seeds_default_to_scenario_index(self):
+        spec = JobSpec.from_dict({k: v for k, v in GOOD_TRACK.items() if k != "seeds"})
+        assert spec.seeds == (0, 1)
+
+    @pytest.mark.parametrize(
+        "mutation, match",
+        [
+            ({"kind": "stream"}, "kind"),
+            ({"app": "no-such-app"}, "unknown application"),
+            ({"app": ""}, "app"),
+            ({"scenarios": []}, "scenarios"),
+            ({"scenarios": "x"}, "scenarios"),
+            ({"seeds": [1]}, "seed"),
+            ({"seeds": "abc"}, "seeds"),
+            ({"settings": {"nope": 1}}, "settings"),
+            ({"config": {"nope": 1}}, "config"),
+            ({"bogus_field": 1}, "unknown job spec field"),
+            ({"jobs": -1}, "jobs"),
+            ({"hold_s": 1e9}, "hold_s"),
+            ({"schema": "repro.job.spec/999"}, "schema"),
+            ({"windows": 4}, "watch jobs"),
+        ],
+    )
+    def test_bad_track_specs_rejected(self, mutation, match):
+        payload = dict(GOOD_TRACK)
+        payload.update(mutation)
+        with pytest.raises(JobSpecError, match=match):
+            JobSpec.from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "mutation, match",
+        [
+            ({"windows": None}, "exactly one"),
+            ({"window_ns": 1e9}, "exactly one"),
+            ({"windows": 0}, "windows"),
+            (
+                {"scenarios": [{"ranks": 8}, {"ranks": 16}], "seeds": [1, 2]},
+                "exactly one scenario",
+            ),
+        ],
+    )
+    def test_bad_watch_specs_rejected(self, mutation, match):
+        payload = dict(GOOD_WATCH)
+        payload.update(mutation)
+        with pytest.raises(JobSpecError, match=match):
+            JobSpec.from_dict(payload)
+
+    def test_track_needs_two_scenarios(self):
+        payload = dict(GOOD_TRACK, scenarios=[{"block_size": 64}], seeds=[1])
+        with pytest.raises(JobSpecError, match="at least two"):
+            JobSpec.from_dict(payload)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(JobSpecError, match="JSON object"):
+            JobSpec.from_dict(["not", "a", "dict"])
+
+
+class TestDigest:
+    def test_digest_stable_and_knob_neutral(self):
+        base = JobSpec.from_dict(GOOD_TRACK)
+        assert base.digest() == JobSpec.from_dict(GOOD_TRACK).digest()
+        # jobs and hold_s do not change the work product.
+        parallel = JobSpec.from_dict(dict(GOOD_TRACK, jobs=2, hold_s=0.5))
+        assert parallel.digest() == base.digest()
+        # the simulated work itself does.
+        other = JobSpec.from_dict(dict(GOOD_TRACK, seeds=[7, 8]))
+        assert other.digest() != base.digest()
+
+    def test_materialised_settings_and_config(self):
+        spec = JobSpec.from_dict(
+            dict(
+                GOOD_TRACK,
+                settings={"relevance": 0.9, "eps": 0.05},
+                config={"use_callstack": False},
+            )
+        )
+        assert spec.frame_settings().relevance == 0.9
+        assert spec.frame_settings().eps == 0.05
+        assert spec.tracker_config().use_callstack is False
